@@ -1,0 +1,174 @@
+//! Criterion micro-benchmarks of the simulator's hot kernels:
+//!
+//! * analog crossbar matrix–vector products at several array sizes
+//!   (Equ. 3);
+//! * the SEI crossbar forward (gated accumulation + SA decisions);
+//! * the sparse binary conv forward (the quantized software path);
+//! * one GA generation of matrix homogenization;
+//! * a full Algorithm 1 threshold-candidate evaluation step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sei_crossbar::{CrossbarArray, SeiConfig, SeiCrossbar, SeiMode};
+use sei_device::{DeviceSpec, WriteVerify};
+use sei_mapping::homogenize::{genetic, greedy_lpt, GaConfig};
+use sei_nn::{Conv2d, Matrix};
+use sei_quantize::bits::BitTensor;
+use sei_quantize::qnet::conv_binary_preact;
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            m.set(r, c, rng.gen_range(-1.0..1.0));
+        }
+    }
+    m
+}
+
+fn bench_crossbar_mvm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_mvm");
+    let spec = DeviceSpec::default_4bit();
+    for &size in &[64usize, 128, 256, 512] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut targets = Matrix::zeros(size, size);
+        for r in 0..size {
+            for col in 0..size {
+                targets.set(r, col, rng.gen_range(0.0..1.0));
+            }
+        }
+        let arr = CrossbarArray::program(&spec, &targets, WriteVerify::Disabled, &mut rng);
+        let volts: Vec<f64> = (0..size).map(|i| 0.2 * ((i % 3) as f64) / 2.0).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| arr.column_currents(&volts, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sei_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sei_forward");
+    let spec = DeviceSpec::default_4bit();
+    for &(n, m) in &[(64usize, 16usize), (100, 64), (127, 64)] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let weights = random_matrix(n, m, &mut rng);
+        let bias = vec![0.0f32; m];
+        let xbar = SeiCrossbar::new(
+            &spec,
+            &weights,
+            &bias,
+            0.05,
+            &SeiConfig::new(SeiMode::SignedPorts),
+            &mut rng,
+        );
+        let input: Vec<bool> = (0..n).map(|i| i % 7 == 0).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{m}")),
+            &n,
+            |b, _| b.iter(|| xbar.forward(&input, &mut rng)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_binary_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binary_conv");
+    for &density in &[0.05f64, 0.15, 0.5] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::zeros(12, 64, 5);
+        for w in conv.weights_mut() {
+            *w = rng.gen_range(-0.2..0.2);
+        }
+        let bits = BitTensor::from_vec(
+            12,
+            12,
+            12,
+            (0..12 * 12 * 12).map(|_| rng.gen_bool(density)).collect(),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("density{density}")),
+            &density,
+            |b, _| b.iter(|| conv_binary_preact(&conv, &bits)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_homogenize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("homogenize_ga");
+    group.sample_size(10);
+    for &rows in &[64usize, 300] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = random_matrix(rows, 16, &mut rng);
+        let cfg = GaConfig {
+            generations: 30,
+            ..GaConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| genetic(&m, 3, &cfg, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_lpt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("homogenize_lpt");
+    for &rows in &[64usize, 300, 1024] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = random_matrix(rows, 16, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| greedy_lpt(&m, 4))
+        });
+    }
+    group.finish();
+}
+
+fn bench_snn_step(c: &mut Criterion) {
+    use sei_snn::IfNeuronLayer;
+    let mut group = c.benchmark_group("snn_if_step");
+    for &n in &[1024usize, 8192] {
+        let input: Vec<f32> = (0..n).map(|i| ((i % 13) as f32) * 0.02).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut layer = IfNeuronLayer::new(n, 0.15, 1.0);
+            b.iter(|| layer.step(&input))
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantize_threshold_eval(c: &mut Criterion) {
+    use sei_nn::data::SynthConfig;
+    use sei_nn::paper;
+    use sei_quantize::algorithm1::{quantize_network, QuantizeConfig};
+
+    let mut group = c.benchmark_group("algorithm1");
+    group.sample_size(10);
+    let calib = SynthConfig::new(40, 1).generate();
+    let net = paper::network2(2);
+    group.bench_function("network2_40samples", |b| {
+        b.iter(|| {
+            quantize_network(
+                &net,
+                &calib,
+                &QuantizeConfig {
+                    search_step: 0.02,
+                    ..QuantizeConfig::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crossbar_mvm,
+    bench_sei_forward,
+    bench_binary_conv,
+    bench_homogenize,
+    bench_greedy_lpt,
+    bench_snn_step,
+    bench_quantize_threshold_eval
+);
+criterion_main!(benches);

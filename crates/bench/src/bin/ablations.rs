@@ -1,0 +1,170 @@
+//! Ablation studies beyond the paper's tables, as called out in
+//! `DESIGN.md`:
+//!
+//! 1. **threshold-search objective** — Algorithm 1's accuracy-maximizing
+//!    search vs. the §2.4 quantization-error-minimizing alternative;
+//! 2. **device precision sweep** — SEI accuracy at 2–6 device bits under
+//!    the crossbar-level simulator (the paper fixes 4);
+//! 3. **input-layer share** — the §3.2 claim that the input layer's DACs
+//!    are ~3 % of energy / ~1 % of area of the chip;
+//! 4. **GA vs exact homogenization** on small matrices;
+//! 5. **classifier-head readout** — the default ADC head (classifier
+//!    outputs keep time-multiplexed ADCs: exact, ~K·classes conversions
+//!    per picture) vs the fully ADC-free popcount head with calibrated
+//!    thermometer thresholds;
+//! 6. **activation-bits sweep** — `b`-bit intermediate data between the
+//!    paper's 8-bit baseline and 1-bit proposal, with per-conversion
+//!    energy scaling, locating the 1-bit choice on the cost curve.
+
+use sei_bench::{banner, err_pct, pct};
+use sei_core::experiments::{device_bits_sweep, prepare_context};
+use sei_core::ExperimentScale;
+use sei_cost::{CostParams, CostReport};
+use sei_mapping::homogenize::{self, GaConfig};
+use sei_mapping::layout::DesignPlan;
+use sei_mapping::{DesignConstraints, Structure};
+use sei_nn::metrics::error_rate_with;
+use sei_nn::paper::{self, PaperNetwork};
+use sei_nn::Matrix;
+use sei_quantize::algorithm1::{quantize_network, QuantizeConfig, SearchObjective};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    banner("Ablations (design choices called out in DESIGN.md)");
+    println!("(scale: {scale:?})\n");
+
+    println!("training Network 2 (ablation subject) ...");
+    let ctx = prepare_context(scale, &[PaperNetwork::Network2]);
+    let model = ctx.model(PaperNetwork::Network2);
+
+    // --- 1. search objective ---
+    banner("A1: threshold-search objective (Algorithm 1 vs §2.4 QE-min)");
+    for (name, objective) in [
+        ("accuracy-max (Algorithm 1)", SearchObjective::Accuracy),
+        ("quantization-error-min", SearchObjective::QuantizationError),
+    ] {
+        let cfg = QuantizeConfig {
+            objective,
+            ..QuantizeConfig::default()
+        };
+        let q = quantize_network(&model.net, &ctx.calib(), &cfg);
+        let err = error_rate_with(&ctx.test, |img| q.net.classify(img));
+        println!(
+            "  {name:<28} error {}  thresholds {:?}",
+            err_pct(err),
+            q.thresholds
+        );
+    }
+    println!("  (float baseline: {})", err_pct(model.float_error));
+
+    // --- 2. device precision sweep ---
+    banner("A2: device precision sweep (paper fixes 4-bit devices)");
+    let sweep = device_bits_sweep(&ctx, PaperNetwork::Network2, &[2, 3, 4, 5, 6], scale.test.min(150));
+    for (bits, err) in sweep {
+        println!("  {bits}-bit device: crossbar-sim error {}", err_pct(err));
+    }
+
+    // --- 3. input layer share in the SEI design (§3.2) ---
+    banner("A3: input-layer share of the SEI design (paper: ~3% energy, ~1% area of chip)");
+    let net1 = paper::network1(1);
+    let constraints = DesignConstraints::paper_default();
+    let params = CostParams::default();
+    let dac_plan = DesignPlan::plan(&net1, paper::INPUT_SHAPE, Structure::DacAdc, &constraints);
+    let dac_report = CostReport::analyze(&dac_plan, &params);
+    let sei_plan = DesignPlan::plan(&net1, paper::INPUT_SHAPE, Structure::Sei, &constraints);
+    let sei_report = CostReport::analyze(&sei_plan, &params);
+    let input_dac_energy = sei_report.layers[0].energy[0];
+    let input_dac_area = sei_report.layers[0].area[0];
+    println!(
+        "  input-layer DAC energy = {} of the DAC+ADC chip energy",
+        pct(input_dac_energy / dac_report.total_energy_j())
+    );
+    println!(
+        "  input-layer DAC area   = {} of the DAC+ADC chip area",
+        pct(input_dac_area / dac_report.total_area_um2())
+    );
+    println!(
+        "  (and {} of the SEI design's own energy)",
+        pct(input_dac_energy / sei_report.total_energy_j())
+    );
+
+    // --- 5. classifier-head readout ---
+    banner("A5: split classifier head — ADC readout vs ADC-free popcount");
+    {
+        use sei_mapping::calibrate::{build_split_network, split_error_rate, SplitBuildConfig};
+        use sei_mapping::evaluate::OutputHead;
+        use sei_quantize::algorithm1::quantize_network as qn;
+        let q = qn(&model.net, &ctx.calib(), &QuantizeConfig::default());
+        // Tight crossbars force Network 2's FC (200 rows) to split.
+        let tight = DesignConstraints::paper_default().with_max_crossbar(128);
+        for (name, head) in [("ADC head (default)", OutputHead::Adc), ("popcount head", OutputHead::Popcount)] {
+            let build = build_split_network(
+                &q.net,
+                &SplitBuildConfig {
+                    output_head: head,
+                    ..SplitBuildConfig::homogenized(tight).with_dynamic_threshold()
+                },
+                &ctx.calib(),
+            );
+            println!(
+                "  {name:<20} split test error {}",
+                err_pct(split_error_rate(&build.net, &ctx.test))
+            );
+        }
+        println!("  (quantized unsplit: {})", {
+            let e = error_rate_with(&ctx.test, |img| q.net.classify(img));
+            err_pct(e)
+        });
+    }
+
+    // --- 6. activation-bits sweep ---
+    banner("A6: activation precision sweep (1-bit is the paper's proposal)");
+    {
+        use sei_quantize::{MultibitConfig, MultibitNetwork};
+        let p = CostParams::default();
+        println!(
+            "  {:>4} {:>10} {:>22}",
+            "bits", "error", "DAC energy/conv (rel)"
+        );
+        for bits in [1u32, 2, 3, 4] {
+            let q = MultibitNetwork::quantize(&model.net, &ctx.calib(), &MultibitConfig::new(bits));
+            let err = error_rate_with(&ctx.test, |img| q.classify(img));
+            println!(
+                "  {bits:>4} {:>9.2}% {:>21.2}x",
+                err * 100.0,
+                p.dac_energy_at(bits) / p.dac_energy_at(1)
+            );
+        }
+        println!(
+            "  (float: {:.2}%; 1-bit needs no hidden DACs at all — the rows above
+                price the converter a b-bit design would still require)",
+            model.float_error * 100.0
+        );
+    }
+
+    // --- 4. GA vs exact homogenization ---
+    banner("A4: GA vs exact homogenization (8-row matrices, k=2)");
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let mut ga_total = 0.0;
+    let mut exact_total = 0.0;
+    for trial in 0..5u64 {
+        let mut m = Matrix::zeros(8, 4);
+        for r in 0..8 {
+            for c in 0..4 {
+                let v = ((r * 13 + c * 7 + trial as usize * 29) % 17) as f32 / 17.0;
+                m.set(r, c, if r < 4 { v + 1.0 } else { v });
+            }
+        }
+        let ga = homogenize::genetic(&m, 2, &GaConfig::default(), &mut rng);
+        let ex = homogenize::exact(&m, 2);
+        ga_total += homogenize::mean_vector_distance(&m, &ga);
+        exact_total += homogenize::mean_vector_distance(&m, &ex);
+    }
+    println!(
+        "  mean Equ.10 distance over 5 trials: GA {ga_total:.4} vs exact {exact_total:.4} \
+         (ratio {:.2})",
+        ga_total / exact_total.max(1e-12)
+    );
+}

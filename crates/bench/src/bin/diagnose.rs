@@ -1,0 +1,118 @@
+//! Diagnostic tool: decomposes where accuracy is lost along the
+//! float → quantized → split → device pipeline, layer by layer.
+//!
+//! ```sh
+//! SEI_TRAIN_N=1500 cargo run --release -p sei-bench --bin diagnose [network1|network2]
+//! ```
+
+use sei_bench::banner;
+use sei_core::experiments::prepare_context;
+use sei_core::ExperimentScale;
+use sei_mapping::calibrate::{build_split_network, split_error_rate, SplitBuildConfig};
+use sei_mapping::homogenize::{genetic, natural_order, GaConfig};
+use sei_mapping::split::SplitSpec;
+use sei_mapping::{DesignConstraints, SplitNetwork};
+use sei_nn::metrics::error_rate_with;
+use sei_nn::paper::PaperNetwork;
+use sei_quantize::algorithm1::{quantize_network, QuantizeConfig};
+use sei_quantize::qnet::QLayer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let which = match std::env::args().nth(1).as_deref() {
+        Some("network2") => PaperNetwork::Network2,
+        Some("network3") => PaperNetwork::Network3,
+        _ => PaperNetwork::Network1,
+    };
+    banner(&format!("diagnose: {} at {scale:?}", which.name()));
+
+    let ctx = prepare_context(scale, &[which]);
+    let model = ctx.model(which);
+    println!("float error: {:.2}%", model.float_error * 100.0);
+
+    // --- quantization with different search ranges ---
+    for max in [0.1f32, 0.2, 0.3] {
+        let cfg = QuantizeConfig {
+            thres_max: max,
+            search_step: max / 20.0,
+            ..QuantizeConfig::default()
+        };
+        let q = quantize_network(&model.net, &ctx.calib(), &cfg);
+        let err = error_rate_with(&ctx.test, |img| q.net.classify(img));
+        println!(
+            "quantized (thres_max {max}): err {:.2}%, thresholds {:?}, scales {:?}",
+            err * 100.0,
+            q.thresholds,
+            q.scales
+        );
+    }
+
+    let q = quantize_network(&model.net, &ctx.calib(), &QuantizeConfig::default());
+    let constraints = DesignConstraints::paper_default();
+
+    // --- which layers need splitting? ---
+    let mut splittable: Vec<(usize, usize, usize)> = Vec::new(); // (layer idx, rows, parts)
+    for (i, l) in q.net.layers().iter().enumerate() {
+        let rows = match l {
+            QLayer::BinaryConv { conv, .. } => conv.weight_matrix().rows(),
+            QLayer::BinaryFc { linear, .. } | QLayer::OutputFc { linear } => linear.in_features(),
+            _ => continue,
+        };
+        let k = constraints.sei_partition_count(rows);
+        println!("layer {i}: {rows} rows -> {k} parts");
+        if k > 1 {
+            splittable.push((i, rows, k));
+        }
+    }
+
+    // --- full calibrated split (the Table 5 path) ---
+    let refine = std::env::var("SEI_REFINE").is_ok_and(|v| v == "1");
+    let full = build_split_network(
+        &q.net,
+        &SplitBuildConfig {
+            refine_offsets: refine,
+            ..SplitBuildConfig::homogenized(constraints).with_dynamic_threshold()
+        },
+        &ctx.calib(),
+    );
+    println!(
+        "\nfull split: err {:.2}% (output_theta {:?}, betas {:?})",
+        split_error_rate(&full.net, &ctx.test) * 100.0,
+        full.output_theta,
+        full.betas
+    );
+
+    // --- isolate each split layer: split only one layer at a time ---
+    let mut rng = StdRng::seed_from_u64(9);
+    for &(idx, rows, k) in &splittable {
+        let mut specs: Vec<Option<SplitSpec>> = vec![None; q.net.layers().len()];
+        let wm = match &q.net.layers()[idx] {
+            QLayer::BinaryConv { conv, .. } => conv.weight_matrix(),
+            QLayer::BinaryFc { linear, .. } | QLayer::OutputFc { linear } => {
+                linear.weight_matrix()
+            }
+            _ => unreachable!(),
+        };
+        for (label, partition) in [
+            ("natural", natural_order(rows, k)),
+            ("homog", genetic(&wm, k, &GaConfig::default(), &mut rng)),
+        ] {
+            specs[idx] = Some(SplitSpec::new(partition));
+            let is_output = matches!(q.net.layers()[idx], QLayer::OutputFc { .. });
+            let theta = if is_output { full.output_theta } else { None };
+            let net = SplitNetwork::new(&q.net, specs.clone(), theta);
+            println!(
+                "split only layer {idx} ({label}, k={k}): err {:.2}%",
+                split_error_rate(&net, &ctx.test) * 100.0
+            );
+        }
+        specs[idx] = None;
+    }
+
+    // --- output-layer headroom: how good could the head be? ---
+    // Compare against quantized-unsplit (analog head) as the upper bound.
+    let q_err = error_rate_with(&ctx.test, |img| q.net.classify(img));
+    println!("\nquantized unsplit (analog head upper bound): {:.2}%", q_err * 100.0);
+}

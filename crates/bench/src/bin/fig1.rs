@@ -1,0 +1,77 @@
+//! Regenerates **Fig. 1**: power and area consumption breakdown (DAC /
+//! ADC / RRAM / Other) per layer and in total, for Network 1 with 8-bit
+//! data on the traditional DAC+ADC structure.
+//!
+//! Paper claim: "ADCs and DACs cost more than 98% of the area and power
+//! consumption of RRAM-based CNN even if the crossbar size is 512×512."
+
+use sei_bench::{banner, pct};
+use sei_core::experiments::{fig1, prepare_context};
+use sei_core::ExperimentScale;
+use sei_cost::{ComponentClass, CostParams};
+use sei_mapping::DesignConstraints;
+use sei_nn::paper::PaperNetwork;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    banner("Fig. 1 — power/area breakdown, Network 1, 8-bit data, DAC+ADC");
+    println!("(scale: {scale:?})\n");
+
+    println!("training Network 1 ...");
+    let ctx = prepare_context(scale, &[PaperNetwork::Network1]);
+    let report = fig1(
+        &ctx.model(PaperNetwork::Network1).net,
+        &DesignConstraints::paper_default(),
+        &CostParams::default(),
+    );
+
+    let header = format!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9}   {:>9} {:>9} {:>9} {:>9}",
+        "layer", "P:DAC", "P:ADC", "P:RRAM", "P:Other", "A:DAC", "A:ADC", "A:RRAM", "A:Other"
+    );
+    println!("{header}");
+    for l in &report.layers {
+        let e = l.energy_fractions();
+        let a = l.area_fractions();
+        println!(
+            "{:<10} {:>9} {:>9} {:>9} {:>9}   {:>9} {:>9} {:>9} {:>9}",
+            l.name,
+            pct(e[0]),
+            pct(e[1]),
+            pct(e[2]),
+            pct(e[3]),
+            pct(a[0]),
+            pct(a[1]),
+            pct(a[2]),
+            pct(a[3]),
+        );
+    }
+    let etot = report.energy_by_class();
+    let atot = report.area_by_class();
+    let esum: f64 = etot.iter().sum();
+    let asum: f64 = atot.iter().sum();
+    print!("{:<10}", "Total");
+    for v in etot {
+        print!(" {:>9}", pct(v / esum));
+    }
+    print!("  ");
+    for v in atot {
+        print!(" {:>9}", pct(v / asum));
+    }
+    println!();
+
+    println!();
+    for (i, c) in ComponentClass::ALL.iter().enumerate() {
+        println!(
+            "  total {:<6} energy {:>10.3} uJ | area {:>10.4} mm2",
+            c.name(),
+            etot[i] * 1e6,
+            atot[i] / 1e6
+        );
+    }
+    println!(
+        "\npaper: converters >98% of power and area.\nmeasured: converters = {} of energy, {} of area",
+        pct(report.converter_energy_fraction()),
+        pct(report.converter_area_fraction()),
+    );
+}

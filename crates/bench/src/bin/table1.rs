@@ -1,0 +1,55 @@
+//! Regenerates **Table 1**: distribution of intermediate (post-ReLU conv)
+//! data, normalized per layer, bucketed into [0,1/16), [1/16,1/8),
+//! [1/8,1/4), [1/4,1].
+//!
+//! The paper analyzes CaffeNet's five conv layers and notes our networks
+//! "have a similar data distribution with CaffeNet, where the intermediate
+//! data contains more than 95% values around zero"; we analyze the trained
+//! Table 2 networks (see DESIGN.md §1 for the substitution).
+
+use sei_bench::banner;
+use sei_core::experiments::{prepare_context, table1};
+use sei_core::ExperimentScale;
+use sei_nn::paper::PaperNetwork;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    banner("Table 1 — intermediate-data distribution (normalized, post-ReLU)");
+    println!("(scale: {scale:?})\n");
+
+    println!("training Networks 1-3 ...");
+    let ctx = prepare_context(scale, &PaperNetwork::ALL);
+    let results = table1(&ctx);
+
+    println!(
+        "\npaper (CaffeNet, all layers): 98.63% | 1.20% | 0.16% | 0.01%\n"
+    );
+    println!(
+        "{:<12} {:<8} {:>10} {:>12} {:>11} {:>9} {:>8}",
+        "network", "layer", "0-1/16", "1/16-1/8", "1/8-1/4", "1/4-1", "zeros"
+    );
+    for (which, dist) in &results {
+        for l in &dist.layers {
+            println!(
+                "{:<12} {:<8} {:>9.2}% {:>11.2}% {:>10.2}% {:>8.2}% {:>7.2}%",
+                which.name(),
+                format!("Conv {}", l.ordinal),
+                l.buckets[0] * 100.0,
+                l.buckets[1] * 100.0,
+                l.buckets[2] * 100.0,
+                l.buckets[3] * 100.0,
+                l.zero_fraction * 100.0,
+            );
+        }
+        println!(
+            "{:<12} {:<8} {:>9.2}% {:>11.2}% {:>10.2}% {:>8.2}%",
+            which.name(),
+            "All",
+            dist.all_layers[0] * 100.0,
+            dist.all_layers[1] * 100.0,
+            dist.all_layers[2] * 100.0,
+            dist.all_layers[3] * 100.0,
+        );
+    }
+    println!("\nshape check: the 0-1/16 bucket dominates every layer (long-tail,\nthe premise of 1-bit quantization).");
+}

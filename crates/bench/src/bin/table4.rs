@@ -1,0 +1,94 @@
+//! Regenerates **Table 4**: error rate of the proposed splitting methods on
+//! Network 1 at max crossbar sizes 512 and 256.
+//!
+//! Paper values:
+//!
+//! | row | 512 | 256 |
+//! |---|---|---|
+//! | Original CNN | 0.93% | 0.93% |
+//! | Quantization | 1.63% | 1.63% |
+//! | Random Order Splitting | 3.90–45.89% | 4.44–49.03% |
+//! | Matrix Homogenization | 1.78% | 2.29% |
+//! | Dynamic Threshold | 1.52% | 1.82% |
+//!
+//! Plus the §4.3 claims: homogenization cuts the Equ. 10 distance by
+//! 80–90 % vs natural order, and a random order can collapse the whole CNN
+//! to ~54 % accuracy while homogenization restores ~98 %.
+//!
+//! `SEI_T4_ORDERS` sets the number of random orders sampled (default 25;
+//! the paper uses 500).
+
+use sei_bench::{banner, err_pct};
+use sei_core::experiments::{prepare_context, table4_column};
+use sei_core::ExperimentScale;
+use sei_nn::paper::PaperNetwork;
+use sei_quantize::algorithm1::{quantize_network, QuantizeConfig};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let orders: usize = std::env::var("SEI_T4_ORDERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25);
+    banner("Table 4 — error rate of the proposed methods on Network 1");
+    println!("(scale: {scale:?}, random orders: {orders})\n");
+
+    println!("training Network 1 ...");
+    let ctx = prepare_context(scale, &[PaperNetwork::Network1]);
+    let model = ctx.model(PaperNetwork::Network1);
+    println!("running Algorithm 1 ...");
+    let quantized = quantize_network(&model.net, &ctx.calib(), &QuantizeConfig::default());
+
+    let mut columns = Vec::new();
+    for max in [512usize, 256] {
+        println!("building splits at max crossbar {max} ...");
+        columns.push(table4_column(
+            model,
+            &quantized,
+            &ctx.train,
+            &ctx.test,
+            scale.calib,
+            max,
+            orders,
+            scale.seed,
+        ));
+    }
+
+    let paper = [
+        ("Original CNN", "0.93%", "0.93%"),
+        ("Quantization", "1.63%", "1.63%"),
+        ("Random Order Splitting", "3.90-45.89%", "4.44-49.03%"),
+        ("Matrix Homogenization", "1.78%", "2.29%"),
+        ("Dynamic Threshold", "1.52%", "1.82%"),
+    ];
+    println!("\n{:<26} {:>22} {:>22}", "Max Crossbar Size", 512, 256);
+    for (i, (label, p512, p256)) in paper.iter().enumerate() {
+        let measured = |c: &sei_core::experiments::Table4Column| match i {
+            0 => err_pct(c.original),
+            1 => err_pct(c.quantized),
+            2 => format!("{}-{}", err_pct(c.random_min), err_pct(c.random_max)),
+            3 => err_pct(c.homogenization),
+            _ => err_pct(c.dynamic_threshold),
+        };
+        println!(
+            "{:<26} {:>22} {:>22}   (paper: {p512} | {p256})",
+            label,
+            measured(&columns[0]),
+            measured(&columns[1]),
+        );
+    }
+
+    println!("\nEqu. 10 distance reduction vs natural order (paper: 80-90%):");
+    for (c, max) in columns.iter().zip([512, 256]) {
+        let reductions: Vec<String> = c
+            .distance_reductions
+            .iter()
+            .map(|r| format!("{:.1}%", r * 100.0))
+            .collect();
+        println!("  max {max}: per split layer {reductions:?}");
+    }
+    println!(
+        "\nshape checks: random-order spread is wide; homogenization recovers\n\
+         near-quantized accuracy; dynamic threshold recovers a little more."
+    );
+}

@@ -1,0 +1,76 @@
+//! Latency / throughput / average-power study — the quantitative side of
+//! the paper's §5.3 remark that "we can use buffer amounts to trade-off
+//! the power with time" (kernel crossbars are reused across positions;
+//! replicating them buys latency at area cost).
+//!
+//! ```sh
+//! cargo run --release -p sei-bench --bin timing [network1|network2|network3]
+//! ```
+
+use sei_bench::banner;
+use sei_cost::{CostParams, CostReport, PowerReport};
+use sei_mapping::layout::DesignPlan;
+use sei_mapping::timing::{DesignTiming, TimingModel};
+use sei_mapping::{DesignConstraints, Structure};
+use sei_nn::paper;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "network1".into());
+    let net = match which.as_str() {
+        "network2" => paper::network2(0),
+        "network3" => paper::network3(0),
+        _ => paper::network1(0),
+    };
+    banner(&format!("timing / power — {which}, 512x512 crossbars"));
+
+    let constraints = DesignConstraints::paper_default();
+    let params = CostParams::default();
+    let model = TimingModel::default();
+
+    println!(
+        "\n{:<18} {:>12} {:>12} {:>12} {:>12}",
+        "structure", "latency µs", "pics/s", "avg power", "µJ/pic"
+    );
+    for structure in Structure::ALL {
+        let plan = DesignPlan::plan(&net, paper::INPUT_SHAPE, structure, &constraints);
+        let cost = CostReport::analyze(&plan, &params);
+        let timing = DesignTiming::analyze(&plan, &model, 1);
+        let power = PowerReport::at_throughput(&cost, &timing);
+        println!(
+            "{:<18} {:>12.1} {:>12.0} {:>9.3} W {:>12.2}",
+            structure.name(),
+            timing.latency_ns() / 1e3,
+            timing.throughput_pps(),
+            power.total_watts(),
+            cost.total_energy_j() * 1e6
+        );
+    }
+
+    println!("\nSEI replication sweep (area ↔ time trade-off, §5.3):");
+    println!(
+        "{:>6} {:>12} {:>12} {:>14} {:>12}",
+        "repl", "latency µs", "pics/s", "xbar area mm²", "avg power"
+    );
+    let plan = DesignPlan::plan(&net, paper::INPUT_SHAPE, Structure::Sei, &constraints);
+    let cost = CostReport::analyze(&plan, &params);
+    let base_cells: u64 = plan.layers.iter().map(|l| l.total_cells()).sum();
+    for repl in [1usize, 2, 4, 8, 16] {
+        let timing = DesignTiming::analyze(&plan, &model, repl);
+        let power = PowerReport::at_throughput(&cost, &timing);
+        // Replication multiplies the crossbar (not converter) area.
+        let xbar_area_mm2 =
+            base_cells as f64 * repl as f64 * params.cell_area / 1e6;
+        println!(
+            "{repl:>6} {:>12.1} {:>12.0} {:>14.4} {:>9.3} W",
+            timing.latency_ns() / 1e3,
+            timing.throughput_pps(),
+            xbar_area_mm2,
+            power.total_watts()
+        );
+    }
+    println!(
+        "\nshape: replication divides latency and multiplies throughput (and\n\
+         power at full rate) — the paper's energy-per-picture metric is the\n\
+         replication-invariant quantity, which is why Table 5 reports it."
+    );
+}

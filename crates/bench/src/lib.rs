@@ -1,0 +1,56 @@
+//! Shared formatting helpers for the table/figure regenerator binaries.
+//!
+//! Each binary in `src/bin/` regenerates one paper artifact and prints the
+//! measured values next to the paper's reported ones:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig1` | Fig. 1 — power/area breakdown of the DAC+ADC design |
+//! | `table1` | Table 1 — intermediate-data distribution |
+//! | `table3` | Table 3 — error before/after 1-bit quantization |
+//! | `table4` | Table 4 — splitting / homogenization / dynamic threshold |
+//! | `table5` | Table 5 — energy & area of the three structures |
+//! | `ablations` | extra studies: search objective, device bits, input-DAC share, classifier head, activation bits, GA vs exact |
+//! | `timing` | latency / throughput / average power, replication sweep (§5.3) |
+//! | `diagnose` | accuracy-loss decomposition along the float → quantized → split → device pipeline |
+//!
+//! Scale with `SEI_TRAIN_N` / `SEI_TEST_N` / `SEI_CALIB_N` / `SEI_EPOCHS`
+//! (see [`sei_core::ExperimentScale`]). Criterion micro-benchmarks of the
+//! simulator's kernels live in `benches/kernels.rs`.
+
+/// Formats a fraction as a percent with two decimals.
+pub fn pct(frac: f64) -> String {
+    format!("{:.2}%", frac * 100.0)
+}
+
+/// Formats an error rate (a fraction) as the paper prints it.
+pub fn err_pct(err: f32) -> String {
+    format!("{:.2}%", err * 100.0)
+}
+
+/// Prints a horizontal rule sized to a header line.
+pub fn rule(header: &str) {
+    println!("{}", "-".repeat(header.len()));
+}
+
+/// Prints a titled section banner.
+pub fn banner(title: &str) {
+    let line = "=".repeat(title.len() + 4);
+    println!("\n{line}\n| {title} |\n{line}");
+}
+
+/// One labelled row of "paper vs measured" values.
+pub fn paper_vs_measured(label: &str, paper: &str, measured: &str) {
+    println!("{label:<34} paper: {paper:>10}   measured: {measured:>10}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.9652), "96.52%");
+        assert_eq!(err_pct(0.0163), "1.63%");
+    }
+}

@@ -1,0 +1,293 @@
+//! The [`Accelerator`] builder: one object carrying the complete mapped
+//! design — quantized network, calibrated splits, layout plans, cost
+//! reports and evaluators.
+
+use crate::crossbar_eval::{CrossbarEvalConfig, CrossbarNetwork};
+use sei_cost::{gops_per_joule, CostParams, CostReport};
+use sei_mapping::calibrate::{
+    build_split_network, split_error_rate, CalibratedSplit, PartitionStrategy, SplitBuildConfig,
+};
+use sei_mapping::layout::DesignPlan;
+use sei_mapping::{DesignConstraints, Structure};
+use sei_nn::data::Dataset;
+use sei_nn::metrics::{error_rate, error_rate_with};
+use sei_nn::{paper, Network};
+use sei_quantize::algorithm1::{quantize_network, QuantizationResult, QuantizeConfig};
+use serde::{Deserialize, Serialize};
+
+/// Builder for [`Accelerator`].
+#[derive(Debug, Clone)]
+pub struct AcceleratorBuilder {
+    network: Network,
+    input_shape: (usize, usize, usize),
+    constraints: DesignConstraints,
+    quantize: QuantizeConfig,
+    strategy: PartitionStrategy,
+    dynamic_threshold: bool,
+    cost: CostParams,
+    eval: CrossbarEvalConfig,
+    seed: u64,
+}
+
+impl AcceleratorBuilder {
+    /// Starts a builder from a trained float network (28×28 input assumed,
+    /// per the paper; override with
+    /// [`AcceleratorBuilder::with_input_shape`]).
+    pub fn new(network: Network) -> Self {
+        AcceleratorBuilder {
+            network,
+            input_shape: paper::INPUT_SHAPE,
+            constraints: DesignConstraints::paper_default(),
+            quantize: QuantizeConfig::default(),
+            strategy: PartitionStrategy::Homogenized(Default::default()),
+            dynamic_threshold: true,
+            cost: CostParams::default(),
+            eval: CrossbarEvalConfig::default(),
+            seed: 0,
+        }
+    }
+
+    /// Sets the input shape.
+    pub fn with_input_shape(mut self, shape: (usize, usize, usize)) -> Self {
+        self.input_shape = shape;
+        self
+    }
+
+    /// Sets the design constraints (max crossbar size etc.).
+    pub fn with_constraints(mut self, constraints: DesignConstraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Sets the quantization configuration.
+    pub fn with_quantize_config(mut self, cfg: QuantizeConfig) -> Self {
+        self.quantize = cfg;
+        self
+    }
+
+    /// Sets the row-partitioning strategy for split layers.
+    pub fn with_strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Enables or disables the dynamic-threshold β search.
+    pub fn with_dynamic_threshold(mut self, enabled: bool) -> Self {
+        self.dynamic_threshold = enabled;
+        self
+    }
+
+    /// Sets the cost-model constants.
+    pub fn with_cost_params(mut self, cost: CostParams) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the crossbar-simulation (device) configuration.
+    pub fn with_eval_config(mut self, eval: CrossbarEvalConfig) -> Self {
+        self.eval = eval;
+        self
+    }
+
+    /// Sets the global seed (partitioning, GA, device variation).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Quantizes, splits and calibrates, producing the accelerator.
+    ///
+    /// `calib` is the calibration (training) subset used by the threshold,
+    /// output-θ and β searches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calib` is empty.
+    pub fn build(self, calib: &Dataset) -> Accelerator {
+        let quantized = quantize_network(&self.network, calib, &self.quantize);
+        let split_cfg = SplitBuildConfig {
+            strategy: self.strategy.clone(),
+            beta_grid: if self.dynamic_threshold {
+                vec![0.0, 0.25, 0.5, 0.75, 1.0, 1.25]
+            } else {
+                Vec::new()
+            },
+            seed: self.seed,
+            ..SplitBuildConfig::homogenized(self.constraints)
+        };
+        let split = build_split_network(&quantized.net, &split_cfg, calib);
+        Accelerator {
+            float_net: self.network,
+            input_shape: self.input_shape,
+            quantized,
+            split,
+            constraints: self.constraints,
+            cost: self.cost,
+            eval: self.eval,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Summary row for one structure — the shape of a Table 5 row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StructureSummary {
+    /// The structure.
+    pub structure: Structure,
+    /// Activation precision between layers.
+    pub data_bits: u32,
+    /// Energy per picture (J).
+    pub energy_j: f64,
+    /// Total area (µm²).
+    pub area_um2: f64,
+    /// Energy saving vs. the DAC+ADC baseline (fraction).
+    pub energy_saving: f64,
+    /// Area saving vs. the DAC+ADC baseline (fraction).
+    pub area_saving: f64,
+    /// Energy efficiency in GOPs/J (paper Table 2 complexity convention).
+    pub gops_per_j: f64,
+}
+
+/// A complete mapped RRAM CNN accelerator.
+#[derive(Debug)]
+pub struct Accelerator {
+    /// The trained float network.
+    pub float_net: Network,
+    /// Input tensor shape.
+    pub input_shape: (usize, usize, usize),
+    /// Algorithm 1 output (quantized net, thresholds, scales, curves).
+    pub quantized: QuantizationResult,
+    /// Calibrated splitting (partitions, output θ, βs, distances).
+    pub split: CalibratedSplit,
+    /// Design constraints used.
+    pub constraints: DesignConstraints,
+    cost: CostParams,
+    eval: CrossbarEvalConfig,
+    seed: u64,
+}
+
+impl Accelerator {
+    /// Error rate of the original float network.
+    pub fn error_rate_float(&self, data: &Dataset) -> f32 {
+        error_rate(&self.float_net, data)
+    }
+
+    /// Error rate of the 1-bit-quantized network (software, unsplit).
+    pub fn error_rate_quantized(&self, data: &Dataset) -> f32 {
+        error_rate_with(data, |img| self.quantized.net.classify(img))
+    }
+
+    /// Error rate of the split (calibrated) network — the SEI structure's
+    /// functional accuracy.
+    pub fn error_rate_split(&self, data: &Dataset) -> f32 {
+        split_error_rate(&self.split.net, data)
+    }
+
+    /// Builds the crossbar-level (device-noise) simulator of this design.
+    pub fn crossbar_network(&self) -> CrossbarNetwork {
+        let cfg = CrossbarEvalConfig {
+            seed: self.seed,
+            ..self.eval
+        };
+        CrossbarNetwork::new(
+            &self.quantized.net,
+            &self.split.net.specs(),
+            self.split.output_theta,
+            &cfg,
+        )
+    }
+
+    /// Layout plan for a structure.
+    pub fn plan(&self, structure: Structure) -> DesignPlan {
+        DesignPlan::plan(&self.float_net, self.input_shape, structure, &self.constraints)
+    }
+
+    /// Cost report for a structure.
+    pub fn cost(&self, structure: Structure) -> CostReport {
+        CostReport::analyze(&self.plan(structure), &self.cost)
+    }
+
+    /// Operations per picture (2 ops per MAC).
+    pub fn operations(&self) -> u64 {
+        self.float_net.operation_count(self.input_shape)
+    }
+
+    /// Table 5-shaped summaries for all three structures.
+    pub fn summaries(&self) -> Vec<StructureSummary> {
+        let base = self.cost(Structure::DacAdc);
+        Structure::ALL
+            .iter()
+            .map(|&s| {
+                let r = self.cost(s);
+                StructureSummary {
+                    structure: s,
+                    data_bits: s.data_bits(),
+                    energy_j: r.total_energy_j(),
+                    area_um2: r.total_area_um2(),
+                    energy_saving: r.energy_saving_vs(&base),
+                    area_saving: r.area_saving_vs(&base),
+                    gops_per_j: gops_per_joule(self.operations() as f64, r.total_energy_j()),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sei_nn::data::SynthConfig;
+    use sei_nn::train::{TrainConfig, Trainer};
+
+    fn built() -> (Accelerator, Dataset) {
+        let train = SynthConfig::new(800, 31).generate();
+        let test = SynthConfig::new(200, 32).generate();
+        let mut net = paper::network2(9);
+        Trainer::new(TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        })
+        .fit(&mut net, &train);
+        let acc = AcceleratorBuilder::new(net)
+            .with_seed(3)
+            .build(&train.truncated(150));
+        (acc, test)
+    }
+
+    #[test]
+    fn end_to_end_build_and_summaries() {
+        let (acc, test) = built();
+        let ef = acc.error_rate_float(&test);
+        let eq = acc.error_rate_quantized(&test);
+        let es = acc.error_rate_split(&test);
+        assert!(ef < 0.5 && eq < 0.9 && es < 0.95);
+
+        let sums = acc.summaries();
+        assert_eq!(sums.len(), 3);
+        // SEI saves the most energy; DacAdc is the baseline (saving 0).
+        assert!(sums[0].energy_saving.abs() < 1e-9);
+        assert!(sums[2].energy_saving > sums[1].energy_saving);
+        // Tiny Network 2 is floored by the fixed input-DAC cost; Network 1
+        // reaches ~19x (see Table 5).
+        assert!(sums[2].gops_per_j > sums[0].gops_per_j * 5.0);
+    }
+
+    #[test]
+    fn crossbar_network_runs() {
+        let (acc, test) = built();
+        let mut xnet = acc.crossbar_network();
+        let err = xnet.error_rate(&test.truncated(50));
+        assert!(err <= 1.0);
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let net = paper::network2(0);
+        let b = AcceleratorBuilder::new(net)
+            .with_constraints(DesignConstraints::paper_default().with_max_crossbar(256))
+            .with_dynamic_threshold(false)
+            .with_seed(7);
+        assert_eq!(b.constraints.max_crossbar, 256);
+        assert!(!b.dynamic_threshold);
+    }
+}

@@ -1,0 +1,279 @@
+//! Device-level evaluation of the **traditional DAC+ADC baseline** — the
+//! counterpart of [`crate::crossbar_eval`] for Fig. 2(b)'s structure.
+//!
+//! Every weighted layer runs on a [`MergedCrossbar`] (four sign/precision
+//! copies, DAC-quantized 8-bit activations, ADC-digitized columns, digital
+//! merge); ReLU and max pooling happen digitally on the reconstructed
+//! values, as the paper's baseline assumes. This lets Table 5's DAC+ADC
+//! error column come from the same Monte-Carlo device model as the SEI
+//! column instead of the float network.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sei_crossbar::merged::{MergedConfig, MergedCrossbar};
+use sei_device::DeviceSpec;
+use sei_nn::data::Dataset;
+use sei_nn::{Layer, MaxPool2d, Network, Tensor3};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the baseline simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaselineEvalConfig {
+    /// Device model.
+    pub device: DeviceSpec,
+    /// Merged-structure configuration (ADC/DAC bits etc.).
+    pub merged: MergedConfig,
+    /// Seed for programming variation and read noise.
+    pub seed: u64,
+}
+
+impl Default for BaselineEvalConfig {
+    fn default() -> Self {
+        BaselineEvalConfig {
+            device: DeviceSpec::default_4bit(),
+            merged: MergedConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum BLayer {
+    Weighted {
+        xbar: MergedCrossbar,
+        bias: Vec<f32>,
+        /// Per-layer input full-scale for the 8-bit DAC normalization.
+        act_scale: f32,
+        /// Conv geometry (`None` for FC).
+        conv: Option<(usize, usize)>, // (in_ch, kernel)
+    },
+    Relu,
+    Pool(usize),
+    Flatten,
+}
+
+/// A float CNN realized on the traditional merged-crossbar structure.
+#[derive(Debug)]
+pub struct BaselineNetwork {
+    layers: Vec<BLayer>,
+    rng: StdRng,
+}
+
+impl BaselineNetwork {
+    /// Builds the baseline realization of a trained network. `calib`
+    /// supplies the per-layer activation maxima used to scale the 8-bit
+    /// DAC inputs (a handful of samples suffices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calib` is empty.
+    pub fn new(net: &Network, calib: &Dataset, cfg: &BaselineEvalConfig) -> Self {
+        assert!(!calib.is_empty(), "calibration set must not be empty");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Per-layer input maxima from float activations.
+        let mut act_max: Vec<f32> = vec![0.0; net.len()];
+        for (img, _) in calib.iter().take(64) {
+            let acts = net.forward_collect(img);
+            for (i, a) in acts.iter().take(net.len()).enumerate() {
+                act_max[i] = act_max[i].max(a.max());
+            }
+        }
+
+        let layers = net
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, layer)| match layer {
+                Layer::Conv(c) => BLayer::Weighted {
+                    xbar: MergedCrossbar::new(&cfg.device, &c.weight_matrix(), &cfg.merged, &mut rng),
+                    bias: c.bias().to_vec(),
+                    act_scale: act_max[i].max(1e-6),
+                    conv: Some((c.in_channels(), c.kernel())),
+                },
+                Layer::Linear(l) => BLayer::Weighted {
+                    xbar: MergedCrossbar::new(
+                        &cfg.device,
+                        &l.weight_matrix(),
+                        &cfg.merged,
+                        &mut rng,
+                    ),
+                    bias: l.bias().to_vec(),
+                    act_scale: act_max[i].max(1e-6),
+                    conv: None,
+                },
+                Layer::Relu => BLayer::Relu,
+                Layer::Pool(p) => BLayer::Pool(p.size()),
+                Layer::Flatten => BLayer::Flatten,
+            })
+            .collect();
+
+        BaselineNetwork {
+            layers,
+            rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(1)),
+        }
+    }
+
+    /// Forward pass to class scores through the analog baseline.
+    pub fn forward(&mut self, image: &Tensor3) -> Tensor3 {
+        let mut cur = image.clone();
+        for layer in &self.layers {
+            cur = match layer {
+                BLayer::Weighted {
+                    xbar,
+                    bias,
+                    act_scale,
+                    conv,
+                } => match conv {
+                    Some((in_ch, k)) => conv_forward(
+                        xbar,
+                        bias,
+                        *act_scale,
+                        *in_ch,
+                        *k,
+                        &cur,
+                        &mut self.rng,
+                    ),
+                    None => {
+                        let x: Vec<f32> =
+                            cur.as_slice().iter().map(|&v| v / act_scale).collect();
+                        let mut y = xbar.matvec(&x, &mut self.rng);
+                        for (o, b) in y.iter_mut().zip(bias) {
+                            *o = *o * act_scale + b;
+                        }
+                        Tensor3::from_flat(y)
+                    }
+                },
+                BLayer::Relu => {
+                    let mut t = cur.clone();
+                    t.map_inplace(|v| v.max(0.0));
+                    t
+                }
+                BLayer::Pool(s) => MaxPool2d::new(*s).forward(&cur).0,
+                BLayer::Flatten => cur.into_flat(),
+            };
+        }
+        cur
+    }
+
+    /// Classifies an image.
+    pub fn classify(&mut self, image: &Tensor3) -> usize {
+        self.forward(image).argmax()
+    }
+
+    /// Error rate over a dataset (one stochastic pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn error_rate(&mut self, data: &Dataset) -> f32 {
+        assert!(!data.is_empty(), "empty dataset");
+        let errors = data
+            .iter()
+            .filter(|(img, label)| self.classify(img) != *label as usize)
+            .count();
+        errors as f32 / data.len() as f32
+    }
+}
+
+/// Conv layer on the merged crossbar: per position, gather the patch,
+/// normalize for the DAC, matvec, rescale and add bias digitally.
+fn conv_forward(
+    xbar: &MergedCrossbar,
+    bias: &[f32],
+    act_scale: f32,
+    in_ch: usize,
+    k: usize,
+    x: &Tensor3,
+    rng: &mut StdRng,
+) -> Tensor3 {
+    let (ih, iw) = (x.height(), x.width());
+    let (oh, ow) = (ih - k + 1, iw - k + 1);
+    let m = xbar.shape().1;
+    let mut out = Tensor3::zeros(m, oh, ow);
+    let mut patch = vec![0.0f32; xbar.shape().0];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut r = 0;
+            for i in 0..in_ch {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        patch[r] = x.get(i, oy + ky, ox + kx) / act_scale;
+                        r += 1;
+                    }
+                }
+            }
+            let y = xbar.matvec(&patch, rng);
+            for (c, (&v, &b)) in y.iter().zip(bias).enumerate() {
+                out.set(c, oy, ox, v * act_scale + b);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sei_nn::data::SynthConfig;
+    use sei_nn::metrics::error_rate;
+    use sei_nn::paper;
+    use sei_nn::train::{TrainConfig, Trainer};
+
+    fn trained() -> (Network, Dataset, Dataset) {
+        let train = SynthConfig::new(900, 61).generate();
+        let test = SynthConfig::new(150, 62).generate();
+        let mut net = paper::network2(2);
+        Trainer::new(TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        })
+        .fit(&mut net, &train);
+        (net, train, test)
+    }
+
+    #[test]
+    fn baseline_tracks_float_network() {
+        // The paper's Table 5 reports the DAC+ADC structure at the
+        // software error rate — the 8-bit interfaces cost almost nothing.
+        let (net, train, test) = trained();
+        let float_err = error_rate(&net, &test);
+        let mut baseline = BaselineNetwork::new(&net, &train.truncated(32), &Default::default());
+        let err = baseline.error_rate(&test);
+        assert!(
+            (err - float_err).abs() < 0.08,
+            "baseline {err} vs float {float_err}"
+        );
+    }
+
+    #[test]
+    fn coarse_adc_hurts_baseline() {
+        let (net, train, test) = trained();
+        let subset = test.truncated(100);
+        let err_at = |adc_bits: u32| {
+            let cfg = BaselineEvalConfig {
+                merged: MergedConfig {
+                    adc_bits,
+                    ..MergedConfig::default()
+                },
+                ..Default::default()
+            };
+            let mut b = BaselineNetwork::new(&net, &train.truncated(32), &cfg);
+            b.error_rate(&subset)
+        };
+        let fine = err_at(10);
+        let coarse = err_at(3);
+        assert!(
+            coarse >= fine,
+            "3-bit ADC ({coarse}) should not beat 10-bit ({fine})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration set must not be empty")]
+    fn empty_calib_rejected() {
+        let (net, _, _) = trained();
+        let empty = Dataset::new(vec![], vec![]);
+        let _ = BaselineNetwork::new(&net, &empty, &Default::default());
+    }
+}

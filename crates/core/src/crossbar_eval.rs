@@ -1,0 +1,703 @@
+//! Crossbar-level evaluation of a quantized network — the reproduction of
+//! the paper's SPICE-level accuracy emulation (§5.1: "a 4-bit RRAM device
+//! model … is used to build up the SPICE-level crossbar array").
+//!
+//! Every hidden layer is realized as one or more programmed
+//! [`SeiCrossbar`]s (one per row-partition when the layer is split), with
+//! device programming variation frozen at build time and read noise applied
+//! per compute. The first (input) layer keeps its DAC-driven analog path
+//! (§3.2) and is modelled by a reconstructed weight matrix whose entries
+//! carry the same per-cell programming variation as an SEI row pair.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sei_crossbar::dac::Dac;
+use sei_crossbar::sei::{SeiConfig, SeiCrossbar};
+use sei_device::{DeviceSpec, ProgrammedCell, WriteVerify};
+use sei_mapping::evaluate::OutputHead;
+use sei_mapping::split::SplitSpec;
+use sei_nn::data::Dataset;
+use sei_nn::{Matrix, Tensor3};
+use sei_quantize::bits::BitTensor;
+use sei_quantize::qnet::{QLayer, QuantizedNetwork};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the crossbar-level simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarEvalConfig {
+    /// Device model (bits, variation, noise).
+    pub device: DeviceSpec,
+    /// SEI structure configuration (mode, weight bits, SA non-idealities).
+    pub sei: SeiConfig,
+    /// Output-layer readout (must match the split network's head).
+    pub output_head: OutputHead,
+    /// Seed for programming variation and read noise.
+    pub seed: u64,
+}
+
+impl Default for CrossbarEvalConfig {
+    fn default() -> Self {
+        CrossbarEvalConfig {
+            device: DeviceSpec::default_4bit(),
+            sei: SeiConfig::new(sei_crossbar::SeiMode::SignedPorts),
+            output_head: OutputHead::Adc,
+            seed: 0,
+        }
+    }
+}
+
+impl CrossbarEvalConfig {
+    /// An ideal-device configuration (no variation or noise) for
+    /// functional-equivalence tests.
+    pub fn ideal() -> Self {
+        CrossbarEvalConfig {
+            device: DeviceSpec::ideal(4),
+            ..CrossbarEvalConfig::default()
+        }
+    }
+}
+
+/// Geometry of a conv layer needed to iterate output positions.
+#[derive(Debug, Clone, Copy)]
+struct ConvGeom {
+    in_ch: usize,
+    kernel: usize,
+}
+
+/// One layer of the crossbar-level network.
+#[derive(Debug)]
+enum XLayer {
+    /// DAC-driven first conv layer with reconstructed (variated) weights.
+    FirstConv {
+        /// Reconstructed weight matrix (rows × kernels), weight units.
+        recon: Matrix,
+        bias: Vec<f32>,
+        threshold: f32,
+        dac: Dac,
+        read_sigma: f64,
+        geom: ConvGeom,
+    },
+    /// Hidden conv on SEI crossbars (possibly split).
+    HiddenConv {
+        parts: Vec<SeiCrossbar>,
+        spec: SplitSpec,
+        required: usize,
+        geom: ConvGeom,
+    },
+    /// Hidden FC on SEI crossbars (possibly split).
+    HiddenFc {
+        parts: Vec<SeiCrossbar>,
+        spec: SplitSpec,
+        required: usize,
+    },
+    /// Output FC: analog margins (unsplit), ADC-summed part margins or
+    /// vote counts (split, depending on the head).
+    OutputFc {
+        parts: Vec<SeiCrossbar>,
+        spec: SplitSpec,
+        split: bool,
+        head: OutputHead,
+    },
+    /// OR pooling.
+    PoolOr { size: usize },
+    /// Flatten bits.
+    Flatten,
+}
+
+/// A quantized network realized on simulated crossbars.
+#[derive(Debug)]
+pub struct CrossbarNetwork {
+    layers: Vec<XLayer>,
+    rng: StdRng,
+    /// Total programming pulses spent building all arrays.
+    write_pulses: u64,
+}
+
+/// Reconstructs a weight value the way the analog path would see it after
+/// programming: sign · (Σ coeff·frac(programmed digit)) · κ.
+fn reconstruct_weight(
+    spec: &DeviceSpec,
+    value: f32,
+    scale: f32,
+    weight_bits: u32,
+    verify: WriteVerify,
+    rng: &mut StdRng,
+    pulses: &mut u64,
+) -> f32 {
+    let max_code = (1u64 << weight_bits) as f64 - 1.0;
+    let frac_full = f64::from(spec.levels() - 1);
+    let sign = if value < 0.0 { -1.0f64 } else { 1.0 };
+    let code = ((f64::from(value.abs()) / f64::from(scale) * max_code).round())
+        .min(max_code) as u32;
+    let n_slices = weight_bits.div_ceil(spec.bits);
+    let mut acc = 0.0f64;
+    for s in 0..n_slices {
+        let shift = spec.bits * (n_slices - 1 - s);
+        let digit = (code >> shift) & ((1u32 << spec.bits) - 1);
+        let out = ProgrammedCell::program_with(spec, f64::from(digit) / frac_full, verify, rng);
+        *pulses += u64::from(out.outcome.pulses);
+        let frac = (out.cell.conductance() - spec.g_min) / (spec.g_max - spec.g_min);
+        acc += (1u64 << shift) as f64 * frac;
+    }
+    let kappa = f64::from(scale) * frac_full / max_code;
+    (sign * acc * kappa) as f32
+}
+
+impl CrossbarNetwork {
+    /// Builds the crossbar realization of a quantized network.
+    ///
+    /// `specs` carries the (calibrated) split specification per layer —
+    /// typically [`sei_mapping::SplitNetwork::specs`] — and `output_theta`
+    /// the firing threshold when the output layer is split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs.len()` does not match the layer count or a split
+    /// spec targets an unsupported layer.
+    pub fn new(
+        qnet: &QuantizedNetwork,
+        specs: &[Option<SplitSpec>],
+        output_theta: Option<f32>,
+        cfg: &CrossbarEvalConfig,
+    ) -> Self {
+        assert_eq!(specs.len(), qnet.layers().len(), "one spec slot per layer");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut write_pulses = 0u64;
+        let mut layers = Vec::with_capacity(qnet.layers().len());
+
+        for (layer, spec) in qnet.layers().iter().zip(specs) {
+            match layer {
+                QLayer::AnalogConv { conv, threshold } => {
+                    assert!(spec.is_none(), "cannot split the DAC-driven input layer");
+                    let wm = conv.weight_matrix();
+                    let scale = wm
+                        .as_slice()
+                        .iter()
+                        .chain(conv.bias())
+                        .fold(threshold.abs(), |a, &v| a.max(v.abs()))
+                        .max(1e-9);
+                    let mut recon = Matrix::zeros(wm.rows(), wm.cols());
+                    for r in 0..wm.rows() {
+                        for c in 0..wm.cols() {
+                            let v = reconstruct_weight(
+                                &cfg.device,
+                                wm.get(r, c),
+                                scale,
+                                cfg.sei.weight_bits,
+                                cfg.sei.write_verify,
+                                &mut rng,
+                                &mut write_pulses,
+                            );
+                            recon.set(r, c, v);
+                        }
+                    }
+                    let bias = conv
+                        .bias()
+                        .iter()
+                        .map(|&b| {
+                            reconstruct_weight(
+                                &cfg.device,
+                                b,
+                                scale,
+                                cfg.sei.weight_bits,
+                                cfg.sei.write_verify,
+                                &mut rng,
+                                &mut write_pulses,
+                            )
+                        })
+                        .collect();
+                    layers.push(XLayer::FirstConv {
+                        recon,
+                        bias,
+                        threshold: *threshold,
+                        dac: Dac::new(8, 1.0),
+                        read_sigma: cfg.device.read_sigma,
+                        geom: ConvGeom {
+                            in_ch: conv.in_channels(),
+                            kernel: conv.kernel(),
+                        },
+                    });
+                }
+                QLayer::BinaryConv { conv, threshold } => {
+                    let wm = conv.weight_matrix();
+                    let spec = spec
+                        .clone()
+                        .unwrap_or_else(|| SplitSpec::new(vec![(0..wm.rows()).collect()]));
+                    let required = spec.vote.required(spec.part_count());
+                    let parts = build_parts(
+                        &wm,
+                        conv.bias(),
+                        *threshold,
+                        &spec,
+                        cfg,
+                        &mut rng,
+                        &mut write_pulses,
+                    );
+                    layers.push(XLayer::HiddenConv {
+                        parts,
+                        spec,
+                        required,
+                        geom: ConvGeom {
+                            in_ch: conv.in_channels(),
+                            kernel: conv.kernel(),
+                        },
+                    });
+                }
+                QLayer::BinaryFc { linear, threshold } => {
+                    let wm = linear.weight_matrix();
+                    let spec = spec
+                        .clone()
+                        .unwrap_or_else(|| SplitSpec::new(vec![(0..wm.rows()).collect()]));
+                    let required = spec.vote.required(spec.part_count());
+                    let parts = build_parts(
+                        &wm,
+                        linear.bias(),
+                        *threshold,
+                        &spec,
+                        cfg,
+                        &mut rng,
+                        &mut write_pulses,
+                    );
+                    layers.push(XLayer::HiddenFc {
+                        parts,
+                        spec,
+                        required,
+                    });
+                }
+                QLayer::OutputFc { linear } => {
+                    let wm = linear.weight_matrix();
+                    let split = spec.is_some();
+                    let spec = spec
+                        .clone()
+                        .unwrap_or_else(|| SplitSpec::new(vec![(0..wm.rows()).collect()]));
+                    let theta = if split && cfg.output_head == OutputHead::Popcount {
+                        output_theta.expect("output_theta required for popcount head")
+                    } else {
+                        0.0 // margins readout; threshold only shifts all classes
+                    };
+                    let parts = build_parts(
+                        &wm,
+                        linear.bias(),
+                        theta,
+                        &spec,
+                        cfg,
+                        &mut rng,
+                        &mut write_pulses,
+                    );
+                    layers.push(XLayer::OutputFc {
+                        parts,
+                        spec,
+                        split,
+                        head: cfg.output_head,
+                    });
+                }
+                QLayer::PoolOr { size } => layers.push(XLayer::PoolOr { size: *size }),
+                QLayer::Flatten => layers.push(XLayer::Flatten),
+            }
+        }
+
+        CrossbarNetwork {
+            layers,
+            rng,
+            write_pulses,
+        }
+    }
+
+    /// Total programming pulses spent building all crossbars.
+    pub fn write_pulses(&self) -> u64 {
+        self.write_pulses
+    }
+
+    /// Classifies an image through the full analog pipeline. Stochastic:
+    /// read noise is drawn fresh each call.
+    pub fn classify(&mut self, image: &Tensor3) -> usize {
+        self.forward(image).argmax()
+    }
+
+    /// Full forward pass to class scores (analog margins, or vote counts
+    /// for a split output layer).
+    pub fn forward(&mut self, image: &Tensor3) -> Tensor3 {
+        enum V {
+            A(Tensor3),
+            B(BitTensor),
+        }
+        let mut v = V::A(image.clone());
+        for layer in &self.layers {
+            v = match (layer, v) {
+                (
+                    XLayer::FirstConv {
+                        recon,
+                        bias,
+                        threshold,
+                        dac,
+                        read_sigma,
+                        geom,
+                    },
+                    V::A(img),
+                ) => {
+                    let bits = first_conv_forward(
+                        recon,
+                        bias,
+                        *threshold,
+                        dac,
+                        *read_sigma,
+                        *geom,
+                        &img,
+                        &mut self.rng,
+                    );
+                    V::B(bits)
+                }
+                (
+                    XLayer::HiddenConv {
+                        parts,
+                        spec,
+                        required,
+                        geom,
+                    },
+                    V::B(bits),
+                ) => V::B(hidden_conv_forward(
+                    parts,
+                    spec,
+                    *required,
+                    *geom,
+                    &bits,
+                    &mut self.rng,
+                )),
+                (
+                    XLayer::HiddenFc {
+                        parts,
+                        spec,
+                        required,
+                    },
+                    V::B(bits),
+                ) => {
+                    let counts = fc_part_counts(parts, spec, bits.as_slice(), &mut self.rng);
+                    let out: Vec<bool> = counts.iter().map(|&c| c >= *required).collect();
+                    let n = out.len();
+                    V::B(BitTensor::from_vec(n, 1, 1, out))
+                }
+                (
+                    XLayer::OutputFc {
+                        parts,
+                        spec,
+                        split,
+                        head,
+                    },
+                    V::B(bits),
+                ) => {
+                    if *split && *head == OutputHead::Popcount {
+                        let counts = fc_part_counts(parts, spec, bits.as_slice(), &mut self.rng);
+                        V::A(Tensor3::from_flat(
+                            counts.iter().map(|&c| c as f32).collect(),
+                        ))
+                    } else if *split {
+                        // ADC head: digitize each part's margin and sum.
+                        let m = parts[0].kernel_columns();
+                        let mut totals = vec![0.0f64; m];
+                        for (p, xbar) in parts.iter().enumerate() {
+                            let input: Vec<bool> =
+                                spec.partitions[p].iter().map(|&r| bits.get(r, 0, 0)).collect();
+                            for (t, v) in
+                                totals.iter_mut().zip(xbar.margins(&input, &mut self.rng))
+                            {
+                                *t += v;
+                            }
+                        }
+                        V::A(Tensor3::from_flat(
+                            totals.iter().map(|&t| t as f32).collect(),
+                        ))
+                    } else {
+                        let input: Vec<bool> = bits.as_slice().to_vec();
+                        let margins = parts[0].margins(&input, &mut self.rng);
+                        V::A(Tensor3::from_flat(
+                            margins.iter().map(|&m| m as f32).collect(),
+                        ))
+                    }
+                }
+                (XLayer::PoolOr { size }, V::B(bits)) => V::B(bits.pool_or(*size)),
+                (XLayer::Flatten, V::B(bits)) => {
+                    let n = bits.len();
+                    V::B(BitTensor::from_vec(n, 1, 1, bits.to_flat_vec()))
+                }
+                (XLayer::Flatten, V::A(t)) => V::A(t.into_flat()),
+                _ => panic!("value kind mismatch in crossbar network"),
+            };
+        }
+        match v {
+            V::A(t) => t,
+            V::B(_) => panic!("network ended on a binary value"),
+        }
+    }
+
+    /// Error rate over a dataset (one stochastic pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn error_rate(&mut self, data: &Dataset) -> f32 {
+        assert!(!data.is_empty(), "empty dataset");
+        let mut errors = 0usize;
+        for (img, label) in data.iter() {
+            if self.classify(img) != label as usize {
+                errors += 1;
+            }
+        }
+        errors as f32 / data.len() as f32
+    }
+}
+
+/// Builds one SEI crossbar per partition, with the dynamic-threshold slope
+/// encoded in the reference column when β > 0.
+fn build_parts(
+    wm: &Matrix,
+    bias: &[f32],
+    theta: f32,
+    spec: &SplitSpec,
+    cfg: &CrossbarEvalConfig,
+    rng: &mut StdRng,
+    pulses: &mut u64,
+) -> Vec<SeiCrossbar> {
+    let mut parts = Vec::with_capacity(spec.part_count());
+
+    for (k, rows) in spec.partitions.iter().enumerate() {
+        let sub = wm.select_rows(rows);
+        let part_bias: Vec<f32> = bias.iter().map(|&b| spec.part_bias(b, k)).collect();
+        // θ_k(ones) = corner + slope·ones — the corner cell stores the
+        // constant part (incl. α scaling and the part's thermometer
+        // offset), ref_row_value the slope (Fig. 4's w₀ cells).
+        let (corner, slope) = spec.corner_and_slope(theta, k);
+        let part_cfg = SeiConfig {
+            ref_row_value: slope,
+            ..cfg.sei
+        };
+        let xbar = SeiCrossbar::new(&cfg.device, &sub, &part_bias, corner, &part_cfg, rng);
+        *pulses += xbar.write_pulses();
+        parts.push(xbar);
+    }
+    parts
+}
+
+/// First (input) layer: DAC-quantized pixels through the reconstructed
+/// analog matrix, aggregated column read noise, threshold firing.
+#[allow(clippy::too_many_arguments)]
+fn first_conv_forward(
+    recon: &Matrix,
+    bias: &[f32],
+    threshold: f32,
+    dac: &Dac,
+    read_sigma: f64,
+    geom: ConvGeom,
+    img: &Tensor3,
+    rng: &mut StdRng,
+) -> BitTensor {
+    use rand::Rng;
+    let k = geom.kernel;
+    let (ih, iw) = (img.height(), img.width());
+    let (oh, ow) = (ih - k + 1, iw - k + 1);
+    let m = recon.cols();
+    let mut out = BitTensor::zeros(m, oh, ow);
+    let mut patch = vec![0.0f64; recon.rows()];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut r = 0;
+            for i in 0..geom.in_ch {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        patch[r] = dac.convert_normalized(f64::from(img.get(i, oy + ky, ox + kx)));
+                        r += 1;
+                    }
+                }
+            }
+            for c in 0..m {
+                let mut acc = f64::from(bias[c]);
+                let mut var = 0.0f64;
+                for (row, &x) in patch.iter().enumerate() {
+                    if x == 0.0 {
+                        continue;
+                    }
+                    let contrib = f64::from(recon.get(row, c)) * x;
+                    acc += contrib;
+                    var += contrib * contrib;
+                }
+                if read_sigma > 0.0 && var > 0.0 {
+                    let u1: f64 = rng.gen_range(1e-12..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let g = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    acc += read_sigma * var.sqrt() * g;
+                }
+                out.set(c, oy / 1, ox, acc > f64::from(threshold));
+            }
+        }
+    }
+    out
+}
+
+/// Hidden conv: per output position, route the patch bits to each part's
+/// crossbar and vote.
+fn hidden_conv_forward(
+    parts: &[SeiCrossbar],
+    spec: &SplitSpec,
+    required: usize,
+    geom: ConvGeom,
+    bits: &BitTensor,
+    rng: &mut StdRng,
+) -> BitTensor {
+    let k = geom.kernel;
+    let (ih, iw) = (bits.height(), bits.width());
+    let (oh, ow) = (ih - k + 1, iw - k + 1);
+    let m = parts[0].kernel_columns();
+    let n: usize = spec.total_rows();
+    let mut out = BitTensor::zeros(m, oh, ow);
+    let mut patch = vec![false; n];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut r = 0;
+            for i in 0..geom.in_ch {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        patch[r] = bits.get(i, oy + ky, ox + kx);
+                        r += 1;
+                    }
+                }
+            }
+            let mut counts = vec![0usize; m];
+            for (p, xbar) in parts.iter().enumerate() {
+                let input: Vec<bool> =
+                    spec.partitions[p].iter().map(|&row| patch[row]).collect();
+                for (c, fire) in xbar.forward(&input, rng).into_iter().enumerate() {
+                    if fire {
+                        counts[c] += 1;
+                    }
+                }
+            }
+            for (c, &cnt) in counts.iter().enumerate() {
+                out.set(c, oy, ox, cnt >= required);
+            }
+        }
+    }
+    out
+}
+
+/// FC: per part, route its rows' bits and count fires per column.
+fn fc_part_counts(
+    parts: &[SeiCrossbar],
+    spec: &SplitSpec,
+    bits: &[bool],
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let m = parts[0].kernel_columns();
+    let mut counts = vec![0usize; m];
+    for (p, xbar) in parts.iter().enumerate() {
+        let input: Vec<bool> = spec.partitions[p].iter().map(|&row| bits[row]).collect();
+        for (c, fire) in xbar.forward(&input, rng).into_iter().enumerate() {
+            if fire {
+                counts[c] += 1;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sei_nn::data::SynthConfig;
+    use sei_nn::metrics::error_rate_with;
+    use sei_nn::paper;
+    use sei_nn::train::{TrainConfig, Trainer};
+    use sei_quantize::algorithm1::{quantize_network, QuantizeConfig};
+
+    /// A quantized Network 2 plus the split specs the paper-default
+    /// constraints require (the 200-row FC exceeds a single 512-limit SEI
+    /// crossbar, so evaluating it unsplit would be unphysical).
+    fn quantized_net2() -> (
+        QuantizedNetwork,
+        Vec<Option<SplitSpec>>,
+        Option<f32>,
+        Dataset,
+        Dataset,
+    ) {
+        use sei_mapping::calibrate::{build_split_network, SplitBuildConfig};
+        use sei_mapping::DesignConstraints;
+        let train = SynthConfig::new(1000, 21).generate();
+        let test = SynthConfig::new(200, 22).generate();
+        let mut net = paper::network2(5);
+        Trainer::new(TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        })
+        .fit(&mut net, &train);
+        let q = quantize_network(&net, &train.truncated(200), &QuantizeConfig::default());
+        let split = build_split_network(
+            &q.net,
+            &SplitBuildConfig::homogenized(DesignConstraints::paper_default()),
+            &train.truncated(100),
+        );
+        (
+            q.net,
+            split.net.specs(),
+            split.output_theta,
+            train,
+            test,
+        )
+    }
+
+    #[test]
+    fn ideal_crossbar_matches_software_split_network() {
+        // The load-bearing equivalence: with an ideal device the analog
+        // pipeline must classify (nearly) identically to the software
+        // split-network forward — differences only from 8-bit weight
+        // encoding at part boundaries.
+        use sei_mapping::SplitNetwork;
+        let (qnet, specs, theta, _, test) = quantized_net2();
+        let sw = SplitNetwork::new(&qnet, specs.clone(), theta);
+        let mut xnet = CrossbarNetwork::new(&qnet, &specs, theta, &CrossbarEvalConfig::ideal());
+        let sw_err = error_rate_with(&test, |img| sw.classify(img));
+        let hw_err = xnet.error_rate(&test);
+        assert!(
+            (sw_err - hw_err).abs() < 0.06,
+            "software {sw_err} vs ideal crossbar {hw_err}"
+        );
+        let mut agree = 0usize;
+        for (img, _) in test.iter() {
+            if sw.classify(img) == xnet.classify(img) {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree as f32 / test.len() as f32 > 0.85,
+            "only {agree}/{} sample-level agreement",
+            test.len()
+        );
+    }
+
+    #[test]
+    fn noisy_device_degrades_gracefully() {
+        let (qnet, specs, theta, _, test) = quantized_net2();
+        let mut ideal = CrossbarNetwork::new(&qnet, &specs, theta, &CrossbarEvalConfig::ideal());
+        let mut noisy =
+            CrossbarNetwork::new(&qnet, &specs, theta, &CrossbarEvalConfig::default());
+        let e_ideal = ideal.error_rate(&test);
+        let e_noisy = noisy.error_rate(&test);
+        // The paper's Table 4/5: device non-idealities cost ≲ 1 % accuracy.
+        assert!(
+            e_noisy <= e_ideal + 0.1,
+            "noisy {e_noisy} vs ideal {e_ideal}"
+        );
+    }
+
+    #[test]
+    fn write_pulses_accounted() {
+        let (qnet, specs, theta, _, _) = quantized_net2();
+        let xnet = CrossbarNetwork::new(&qnet, &specs, theta, &CrossbarEvalConfig::ideal());
+        // At minimum one pulse per programmed cell.
+        assert!(xnet.write_pulses() > 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "one spec slot per layer")]
+    fn spec_length_checked() {
+        let (qnet, _, _, _, _) = quantized_net2();
+        let _ = CrossbarNetwork::new(&qnet, &[], None, &CrossbarEvalConfig::ideal());
+    }
+}

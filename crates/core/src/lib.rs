@@ -1,0 +1,51 @@
+//! Top-level API of the SEI (Switched-by-Input) DAC'16 reproduction.
+//!
+//! This crate glues the substrates together into the paper's complete
+//! flow and exposes the experiment drivers that regenerate every table and
+//! figure:
+//!
+//! 1. train a CNN (`sei-nn`),
+//! 2. quantize its intermediate data to 1 bit with Algorithm 1
+//!    (`sei-quantize`),
+//! 3. split oversized layers across crossbars with homogenization and
+//!    dynamic thresholds (`sei-mapping`),
+//! 4. simulate the mapped design at crossbar level with device
+//!    non-idealities (`sei-crossbar` / `sei-device`) — the accuracy path
+//!    for SEI ([`crossbar_eval`]) and for the traditional baseline
+//!    ([`baseline_eval`]),
+//! 5. plan the layout and cost it (`sei-mapping::layout` + `sei-cost`) —
+//!    the energy/area path.
+//!
+//! [`Accelerator`] wraps steps 2–5 behind a builder;
+//! [`experiments`] contains one driver per paper artifact (Fig. 1,
+//! Tables 1/3/4/5) used by the `sei-bench` regenerator binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use sei_core::AcceleratorBuilder;
+//! use sei_nn::{data::SynthConfig, paper, train::{Trainer, TrainConfig}};
+//!
+//! let train = SynthConfig::new(400, 1).generate();
+//! let mut net = paper::network2(7);
+//! Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() })
+//!     .fit(&mut net, &train);
+//!
+//! let acc = AcceleratorBuilder::new(net).build(&train.truncated(100));
+//! let report = acc.cost(sei_mapping::Structure::Sei);
+//! assert!(report.total_energy_j() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accelerator;
+pub mod baseline_eval;
+pub mod crossbar_eval;
+pub mod experiments;
+pub mod scale;
+
+pub use accelerator::{Accelerator, AcceleratorBuilder, StructureSummary};
+pub use baseline_eval::{BaselineEvalConfig, BaselineNetwork};
+pub use crossbar_eval::{CrossbarEvalConfig, CrossbarNetwork};
+pub use scale::ExperimentScale;

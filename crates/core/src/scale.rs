@@ -1,0 +1,95 @@
+//! Experiment scaling.
+//!
+//! The paper runs on MNIST's 60 000/10 000 split with brute-force searches
+//! over the full training set. On a single-core simulation host that is
+//! hours of compute per table, so every experiment driver takes an
+//! [`ExperimentScale`]; the default is sized for minutes-per-table and the
+//! environment variables let a larger machine run closer to paper scale:
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `SEI_TRAIN_N` | training samples | 4000 |
+//! | `SEI_TEST_N` | test samples | 1000 |
+//! | `SEI_CALIB_N` | calibration samples for threshold/β searches | 400 |
+//! | `SEI_EPOCHS` | training epochs | 4 |
+//! | `SEI_SEED` | global seed | 1 |
+
+use serde::{Deserialize, Serialize};
+
+/// Sample-count and seed configuration for experiment drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Training-set size (paper: 60 000).
+    pub train: usize,
+    /// Test-set size (paper: 10 000).
+    pub test: usize,
+    /// Calibration subset for threshold / β searches.
+    pub calib: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Global seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale {
+            train: 4000,
+            test: 1000,
+            calib: 400,
+            epochs: 4,
+            seed: 1,
+        }
+    }
+}
+
+impl ExperimentScale {
+    /// Reads the scale from `SEI_*` environment variables, falling back to
+    /// defaults.
+    pub fn from_env() -> Self {
+        fn get(name: &str, default: usize) -> usize {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        }
+        let d = ExperimentScale::default();
+        ExperimentScale {
+            train: get("SEI_TRAIN_N", d.train),
+            test: get("SEI_TEST_N", d.test),
+            calib: get("SEI_CALIB_N", d.calib),
+            epochs: get("SEI_EPOCHS", d.epochs),
+            seed: get("SEI_SEED", d.seed as usize) as u64,
+        }
+    }
+
+    /// A tiny scale for unit/integration tests (seconds, not minutes).
+    pub fn tiny() -> Self {
+        ExperimentScale {
+            train: 600,
+            test: 150,
+            calib: 100,
+            epochs: 2,
+            seed: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_reasonable() {
+        let s = ExperimentScale::default();
+        assert!(s.train > s.test);
+        assert!(s.calib <= s.train);
+    }
+
+    #[test]
+    fn tiny_is_smaller() {
+        let t = ExperimentScale::tiny();
+        let d = ExperimentScale::default();
+        assert!(t.train < d.train && t.test < d.test);
+    }
+}

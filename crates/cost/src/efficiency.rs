@@ -1,0 +1,65 @@
+//! Energy efficiency (GOPs/J) and the platform comparison of §5.3.
+//!
+//! The paper reports > 2000 GOPs/J for SEI designs, "about 2 orders of
+//! magnitude higher than state-of-the-art FPGA \[2\] and GPU
+//! implementations".
+
+/// Energy efficiency of the FPGA design of Zhang et al. \[2\]
+/// (61.62 GOPs at 18.61 W), in GOPs/J.
+pub const FPGA_GOPS_PER_JOULE: f64 = 61.62 / 18.61;
+
+/// Approximate CNN inference efficiency of an Nvidia Tesla K40
+/// (2013-era, ~4.3 TFLOPS peak at 235 W, realistic CNN utilisation
+/// ~20–40 %), in GOPs/J.
+pub const GPU_K40_GOPS_PER_JOULE: f64 = 14.0;
+
+/// Giga-operations per joule for a workload of `ops` operations consuming
+/// `energy_j` joules.
+///
+/// # Panics
+///
+/// Panics if `energy_j` is not positive.
+pub fn gops_per_joule(ops: f64, energy_j: f64) -> f64 {
+    assert!(energy_j > 0.0, "energy must be positive");
+    ops / 1e9 / energy_j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostParams, CostReport};
+    use sei_mapping::{layout::DesignPlan, DesignConstraints, Structure};
+    use sei_nn::paper;
+
+    #[test]
+    fn fpga_constant_matches_cited_paper() {
+        assert!((FPGA_GOPS_PER_JOULE - 3.31).abs() < 0.02);
+    }
+
+    #[test]
+    fn sei_efficiency_two_orders_over_platforms() {
+        // §5.3: SEI achieves > 2000 GOPs/J, ~2 orders of magnitude above
+        // FPGA/GPU. We evaluate with the paper's Table 2 complexity figure.
+        let net = paper::network1(0);
+        let plan = DesignPlan::plan(
+            &net,
+            paper::INPUT_SHAPE,
+            Structure::Sei,
+            &DesignConstraints::paper_default(),
+        );
+        let report = CostReport::analyze(&plan, &CostParams::default());
+        let gopj = gops_per_joule(
+            paper::PaperNetwork::Network1.paper_gops() * 1e9,
+            report.total_energy_j(),
+        );
+        assert!(gopj > 800.0, "SEI efficiency {gopj} GOPs/J");
+        assert!(gopj / FPGA_GOPS_PER_JOULE > 100.0);
+        assert!(gopj / GPU_K40_GOPS_PER_JOULE > 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "energy must be positive")]
+    fn zero_energy_rejected() {
+        let _ = gops_per_joule(1e9, 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Area / power / energy model for RRAM CNN designs — the quantitative side
+//! of Fig. 1 and Table 5.
+//!
+//! * [`params`] — the per-component energy/area constants. The paper takes
+//!   analog-peripheral numbers from \[17–19\] and digital/memory numbers
+//!   from \[20\]; since those exact tables are not reproducible, our
+//!   defaults are **calibrated** within published ranges so that the
+//!   paper's headline ratios hold (ADC+DAC > 98 % of the traditional
+//!   design; ~16 % energy saving for 1-bit-input+ADC; > 95 % for SEI;
+//!   74–87 % area savings). See `DESIGN.md` §1.
+//! * [`report`] — evaluates a [`sei_mapping::layout::DesignPlan`] into
+//!   per-layer, per-component energy and area breakdowns.
+//! * [`efficiency`] — GOPs/J and the FPGA/GPU comparison constants.
+//!
+//! # Example
+//!
+//! ```
+//! use sei_cost::{CostParams, CostReport};
+//! use sei_mapping::{layout::DesignPlan, DesignConstraints, Structure};
+//! use sei_nn::paper;
+//!
+//! let net = paper::network1(0);
+//! let plan = DesignPlan::plan(
+//!     &net,
+//!     paper::INPUT_SHAPE,
+//!     Structure::Sei,
+//!     &DesignConstraints::paper_default(),
+//! );
+//! let report = CostReport::analyze(&plan, &CostParams::default());
+//! assert!(report.total_energy_j() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod efficiency;
+pub mod params;
+pub mod power;
+pub mod report;
+
+pub use efficiency::{gops_per_joule, FPGA_GOPS_PER_JOULE, GPU_K40_GOPS_PER_JOULE};
+pub use params::CostParams;
+pub use power::PowerReport;
+pub use report::{ComponentClass, CostReport, LayerCost};

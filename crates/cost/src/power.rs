@@ -1,0 +1,114 @@
+//! Average power: the bridge between energy-per-picture (Table 5) and the
+//! running chip (Fig. 1 is labelled "Power").
+//!
+//! At a sustained picture rate `f`, each component's average power is its
+//! per-picture energy times `f`; combining a [`crate::CostReport`] with a
+//! [`sei_mapping::timing::DesignTiming`] therefore yields the wattage
+//! breakdown, and lets the §5.3 power-vs-time (replication) trade-off be
+//! quantified.
+
+use crate::report::CostReport;
+use sei_mapping::timing::DesignTiming;
+use serde::{Deserialize, Serialize};
+
+/// Average-power breakdown of a running design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Sustained throughput used (pictures per second).
+    pub pictures_per_second: f64,
+    /// Average power per [`crate::ComponentClass`] (W).
+    pub watts_by_class: [f64; 4],
+}
+
+impl PowerReport {
+    /// Combines a cost report with a timing analysis at the design's
+    /// pipelined throughput.
+    pub fn at_throughput(cost: &CostReport, timing: &DesignTiming) -> Self {
+        Self::at_rate(cost, timing.throughput_pps())
+    }
+
+    /// Average power at an explicit picture rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pictures_per_second` is negative.
+    pub fn at_rate(cost: &CostReport, pictures_per_second: f64) -> Self {
+        assert!(pictures_per_second >= 0.0, "negative picture rate");
+        let energy = cost.energy_by_class();
+        let mut watts = [0.0f64; 4];
+        for (w, e) in watts.iter_mut().zip(energy) {
+            *w = e * pictures_per_second;
+        }
+        PowerReport {
+            pictures_per_second,
+            watts_by_class: watts,
+        }
+    }
+
+    /// Total average power (W).
+    pub fn total_watts(&self) -> f64 {
+        self.watts_by_class.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostParams, CostReport};
+    use sei_mapping::layout::DesignPlan;
+    use sei_mapping::timing::{DesignTiming, TimingModel};
+    use sei_mapping::{DesignConstraints, Structure};
+    use sei_nn::paper;
+
+    fn cost_and_timing(structure: Structure) -> (CostReport, DesignTiming) {
+        let net = paper::network1(0);
+        let plan = DesignPlan::plan(
+            &net,
+            paper::INPUT_SHAPE,
+            structure,
+            &DesignConstraints::paper_default(),
+        );
+        (
+            CostReport::analyze(&plan, &CostParams::default()),
+            DesignTiming::analyze(&plan, &TimingModel::default(), 1),
+        )
+    }
+
+    #[test]
+    fn power_scales_linearly_with_rate() {
+        let (cost, _) = cost_and_timing(Structure::Sei);
+        let p1 = PowerReport::at_rate(&cost, 1000.0);
+        let p2 = PowerReport::at_rate(&cost, 2000.0);
+        assert!((p2.total_watts() - 2.0 * p1.total_watts()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sei_runs_cooler_than_traditional_at_same_rate() {
+        let (c_sei, _) = cost_and_timing(Structure::Sei);
+        let (c_dac, _) = cost_and_timing(Structure::DacAdc);
+        let rate = 5000.0;
+        let p_sei = PowerReport::at_rate(&c_sei, rate).total_watts();
+        let p_dac = PowerReport::at_rate(&c_dac, rate).total_watts();
+        assert!(p_sei < p_dac / 10.0, "SEI {p_sei} W vs DAC+ADC {p_dac} W");
+    }
+
+    #[test]
+    fn traditional_design_is_watt_scale_at_its_own_throughput() {
+        // The paper's motivation: CMOS-class designs burn 10–20 W; the
+        // traditional RRAM design at full pipelined rate is still
+        // watt-scale while SEI is far below.
+        let (cost, timing) = cost_and_timing(Structure::DacAdc);
+        let p = PowerReport::at_throughput(&cost, &timing);
+        assert!(p.total_watts() > 0.05, "{} W", p.total_watts());
+        let (c_sei, t_sei) = cost_and_timing(Structure::Sei);
+        let p_sei = PowerReport::at_throughput(&c_sei, &t_sei);
+        // SEI throughput is higher *and* power lower.
+        assert!(p_sei.pictures_per_second >= p.pictures_per_second);
+    }
+
+    #[test]
+    fn zero_rate_zero_power() {
+        let (cost, _) = cost_and_timing(Structure::Sei);
+        assert_eq!(PowerReport::at_rate(&cost, 0.0).total_watts(), 0.0);
+    }
+}

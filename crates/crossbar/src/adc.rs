@@ -1,0 +1,102 @@
+//! Analog-to-digital converter (behavioural).
+//!
+//! ADCs digitize crossbar column currents so that results of multiple
+//! crossbars can be merged digitally (Fig. 2(b)) — the cost the SEI
+//! structure eliminates. The behavioural model quantizes a current against
+//! a full-scale range.
+
+use serde::{Deserialize, Serialize};
+
+/// An ideal `bits`-bit ADC with input full scale `full_scale` (amperes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adc {
+    bits: u32,
+    full_scale: f64,
+}
+
+impl Adc {
+    /// Creates an ADC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16, or `full_scale` is not
+    /// positive.
+    pub fn new(bits: u32, full_scale: f64) -> Self {
+        assert!((1..=16).contains(&bits), "ADC bits must be in 1..=16");
+        assert!(full_scale > 0.0, "ADC full scale must be positive");
+        Adc { bits, full_scale }
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of output codes.
+    pub fn codes(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Digitizes a current: clamps to `[0, full_scale]` and rounds to the
+    /// nearest code.
+    pub fn convert(&self, current: f64) -> u32 {
+        let max_code = (self.codes() - 1) as f64;
+        let norm = (current / self.full_scale).clamp(0.0, 1.0);
+        (norm * max_code).round() as u32
+    }
+
+    /// Digitizes and maps back to a current value (quantize–reconstruct),
+    /// handy for measuring quantization error in merged results.
+    pub fn reconstruct(&self, current: f64) -> f64 {
+        let max_code = (self.codes() - 1) as f64;
+        self.full_scale * self.convert(current) as f64 / max_code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        let a = Adc::new(8, 1e-3);
+        assert_eq!(a.convert(0.0), 0);
+        assert_eq!(a.convert(1e-3), 255);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let a = Adc::new(8, 1e-3);
+        assert_eq!(a.convert(-5.0), 0);
+        assert_eq!(a.convert(1.0), 255);
+    }
+
+    #[test]
+    fn reconstruction_error_half_lsb() {
+        let a = Adc::new(8, 1.0);
+        for i in 0..100 {
+            let v = i as f64 / 99.0;
+            assert!((a.reconstruct(v) - v).abs() <= 0.5 / 255.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let coarse = Adc::new(4, 1.0);
+        let fine = Adc::new(8, 1.0);
+        let mut ce = 0.0;
+        let mut fe = 0.0;
+        for i in 0..1000 {
+            let v = i as f64 / 999.0;
+            ce += (coarse.reconstruct(v) - v).abs();
+            fe += (fine.reconstruct(v) - v).abs();
+        }
+        assert!(fe < ce / 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "full scale must be positive")]
+    fn bad_full_scale_rejected() {
+        let _ = Adc::new(8, 0.0);
+    }
+}

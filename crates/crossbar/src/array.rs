@@ -1,0 +1,299 @@
+//! The plain analog RRAM crossbar of Fig. 2(a).
+//!
+//! Cells are programmed from a matrix of fraction-of-full-scale targets;
+//! compute applies Equ. (3): `i_out,k = Σ_j g_k,j · v_in,j`. Read noise is
+//! applied as an aggregated per-column Gaussian (statistically equivalent to
+//! independent per-cell noise, see [`CrossbarArray::column_currents`]).
+
+use crate::ir_drop::IrDropModel;
+use crate::MAX_FABRICABLE_SIZE;
+use rand::rngs::StdRng;
+use rand::Rng;
+use sei_device::{DeviceSpec, IvCurve, ProgrammedCell, WriteVerify};
+use sei_nn::Matrix;
+
+/// A programmed `rows × cols` analog crossbar.
+#[derive(Debug, Clone)]
+pub struct CrossbarArray {
+    spec: DeviceSpec,
+    rows: usize,
+    cols: usize,
+    /// Programmed conductances, row-major (siemens).
+    conductances: Vec<f64>,
+    /// Total programming pulses spent (for energy accounting).
+    write_pulses: u64,
+    ir_drop: Option<IrDropModel>,
+    iv: IvCurve,
+}
+
+impl CrossbarArray {
+    /// Programs a crossbar from fraction-of-full-scale targets in `[0, 1]`
+    /// (one matrix entry per cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension exceeds [`MAX_FABRICABLE_SIZE`].
+    pub fn program(
+        spec: &DeviceSpec,
+        targets: &Matrix,
+        strategy: WriteVerify,
+        rng: &mut StdRng,
+    ) -> Self {
+        let (rows, cols) = (targets.rows(), targets.cols());
+        assert!(
+            rows <= MAX_FABRICABLE_SIZE && cols <= MAX_FABRICABLE_SIZE,
+            "crossbar {rows}x{cols} exceeds the fabricable {MAX_FABRICABLE_SIZE} limit"
+        );
+        let mut conductances = Vec::with_capacity(rows * cols);
+        let mut write_pulses = 0u64;
+        for r in 0..rows {
+            for c in 0..cols {
+                let out =
+                    ProgrammedCell::program_with(spec, targets.get(r, c) as f64, strategy, rng);
+                write_pulses += u64::from(out.outcome.pulses);
+                conductances.push(out.cell.conductance());
+            }
+        }
+        CrossbarArray {
+            spec: *spec,
+            rows,
+            cols,
+            conductances,
+            write_pulses,
+            ir_drop: None,
+            iv: IvCurve::ohmic(),
+        }
+    }
+
+    /// Enables the first-order IR-drop attenuation model.
+    pub fn with_ir_drop(mut self, model: IrDropModel) -> Self {
+        self.ir_drop = Some(model);
+        self
+    }
+
+    /// Enables nonlinear (sinh) cell conduction. Affects the traditional
+    /// analog-input structure; SEI rows are driven at fixed port voltages
+    /// whose nonlinearity folds into calibrated constants (see
+    /// [`sei_device::iv`]).
+    pub fn with_iv_curve(mut self, iv: IvCurve) -> Self {
+        self.iv = iv;
+        self
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The device spec this array was programmed with.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Programming pulses spent building the array.
+    pub fn write_pulses(&self) -> u64 {
+        self.write_pulses
+    }
+
+    /// Programmed conductance of cell `(r, c)` in siemens (static value,
+    /// before read noise).
+    pub fn conductance(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.conductances[r * self.cols + c]
+    }
+
+    /// Analog column currents for the given row voltages — Equ. (3).
+    ///
+    /// Per-cell Gaussian read noise with relative sigma `σ` is aggregated to
+    /// a per-column Gaussian with variance `σ² · Σ_j (g_kj · v_j)²`; this is
+    /// exactly the distribution of the sum of independent per-cell noises,
+    /// computed ~`rows`× faster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltages.len() != rows`.
+    pub fn column_currents(&self, voltages: &[f64], rng: &mut StdRng) -> Vec<f64> {
+        assert_eq!(voltages.len(), self.rows, "one voltage per row required");
+        let mut currents = vec![0.0f64; self.cols];
+        let mut variances = vec![0.0f64; self.cols];
+        for r in 0..self.rows {
+            let v = voltages[r];
+            if v == 0.0 {
+                continue;
+            }
+            let row = &self.conductances[r * self.cols..(r + 1) * self.cols];
+            for c in 0..self.cols {
+                let mut contrib = self.iv.current(row[c], v);
+                if let Some(ir) = &self.ir_drop {
+                    contrib *= ir.attenuation(r, c, self.rows, self.cols);
+                }
+                currents[c] += contrib;
+                variances[c] += contrib * contrib;
+            }
+        }
+        if self.spec.read_sigma > 0.0 {
+            for (i, cur) in currents.iter_mut().enumerate() {
+                let std = self.spec.read_sigma * variances[i].sqrt();
+                if std > 0.0 {
+                    *cur += std * gaussian(rng);
+                }
+            }
+        }
+        currents
+    }
+
+    /// Noise-free column currents (for deterministic functional checks).
+    pub fn ideal_column_currents(&self, voltages: &[f64]) -> Vec<f64> {
+        assert_eq!(voltages.len(), self.rows, "one voltage per row required");
+        let mut currents = vec![0.0f64; self.cols];
+        for r in 0..self.rows {
+            let v = voltages[r];
+            if v == 0.0 {
+                continue;
+            }
+            let row = &self.conductances[r * self.cols..(r + 1) * self.cols];
+            for c in 0..self.cols {
+                let mut contrib = self.iv.current(row[c], v);
+                if let Some(ir) = &self.ir_drop {
+                    contrib *= ir.attenuation(r, c, self.rows, self.cols);
+                }
+                currents[c] += contrib;
+            }
+        }
+        currents
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ideal_array(rows: usize, cols: usize, frac: f32) -> CrossbarArray {
+        let spec = DeviceSpec::ideal(4);
+        let targets = Matrix::from_vec(rows, cols, vec![frac; rows * cols]);
+        let mut rng = StdRng::seed_from_u64(0);
+        CrossbarArray::program(&spec, &targets, WriteVerify::Enabled, &mut rng)
+    }
+
+    #[test]
+    fn equation3_matrix_vector_product() {
+        let spec = DeviceSpec::ideal(4);
+        let targets = Matrix::from_rows(&[&[1.0, 0.0][..], &[0.0, 1.0][..]]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let arr = CrossbarArray::program(&spec, &targets, WriteVerify::Enabled, &mut rng);
+        let currents = arr.ideal_column_currents(&[0.2, 0.1]);
+        assert!((currents[0] - 0.2 * spec.g_max - 0.1 * spec.g_min).abs() < 1e-12);
+        assert!((currents[1] - 0.2 * spec.g_min - 0.1 * spec.g_max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn currents_scale_linearly_with_voltage() {
+        let arr = ideal_array(8, 4, 0.5);
+        let v1: Vec<f64> = vec![0.1; 8];
+        let v2: Vec<f64> = vec![0.2; 8];
+        let c1 = arr.ideal_column_currents(&v1);
+        let c2 = arr.ideal_column_currents(&v2);
+        for (a, b) in c1.iter().zip(&c2) {
+            assert!((2.0 * a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn zero_voltage_rows_contribute_nothing() {
+        let arr = ideal_array(4, 2, 1.0);
+        let half = arr.ideal_column_currents(&[0.2, 0.0, 0.2, 0.0]);
+        let full = arr.ideal_column_currents(&[0.2, 0.2, 0.2, 0.2]);
+        for (h, f) in half.iter().zip(&full) {
+            assert!((2.0 * h - f).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn noisy_currents_centred_on_ideal() {
+        let spec = DeviceSpec {
+            read_sigma: 0.05,
+            program_sigma: 0.0,
+            rtn_probability: 0.0,
+            ..DeviceSpec::default_4bit()
+        };
+        let targets = Matrix::from_vec(16, 1, vec![0.8; 16]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let arr = CrossbarArray::program(&spec, &targets, WriteVerify::Enabled, &mut rng);
+        let volts = vec![0.2; 16];
+        let ideal = arr.ideal_column_currents(&volts)[0];
+        let n = 3000;
+        let mean: f64 = (0..n)
+            .map(|_| arr.column_currents(&volts, &mut rng)[0])
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            ((mean - ideal) / ideal).abs() < 0.01,
+            "mean {mean} vs ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn programming_variation_perturbs_conductance() {
+        let spec = DeviceSpec {
+            program_sigma: 0.2,
+            verify_tolerance: 1e9, // effectively disable verify convergence
+            max_verify_iters: 1,
+            ..DeviceSpec::default_4bit()
+        };
+        let targets = Matrix::from_vec(1, 1, vec![0.5]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let arr = CrossbarArray::program(&spec, &targets, WriteVerify::Disabled, &mut rng);
+        let exact = spec.level_conductance(spec.quantize(0.5));
+        assert_ne!(arr.conductance(0, 0), exact);
+    }
+
+    #[test]
+    fn write_pulses_accumulate() {
+        let arr = ideal_array(4, 4, 0.3);
+        assert!(arr.write_pulses() >= 16);
+    }
+
+    #[test]
+    fn nonlinear_conduction_raises_high_bias_currents() {
+        let arr = ideal_array(2, 1, 1.0);
+        let nonlinear = arr.clone().with_iv_curve(IvCurve::typical_oxide());
+        let low = [0.05f64; 2];
+        let high = [0.8f64; 2];
+        // Near-ohmic at low bias…
+        let a = arr.ideal_column_currents(&low)[0];
+        let b = nonlinear.ideal_column_currents(&low)[0];
+        assert!(((a - b) / a).abs() < 0.01);
+        // …superlinear at high bias.
+        let a = arr.ideal_column_currents(&high)[0];
+        let b = nonlinear.ideal_column_currents(&high)[0];
+        assert!(b > a * 1.2, "ohmic {a}, sinh {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the fabricable")]
+    fn oversize_array_rejected() {
+        let spec = DeviceSpec::ideal(4);
+        let targets = Matrix::zeros(513, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = CrossbarArray::program(&spec, &targets, WriteVerify::Enabled, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "one voltage per row")]
+    fn wrong_voltage_count_rejected() {
+        let arr = ideal_array(4, 2, 0.5);
+        let _ = arr.ideal_column_currents(&[0.1; 3]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Digital-to-analog converter (behavioural).
+//!
+//! In the traditional design (Fig. 2(a)/(b)) every crossbar row input needs
+//! a DAC to turn the digital activation into a drive voltage; the paper's
+//! Fig. 1 shows DACs plus ADCs costing > 98 % of area and power, which the
+//! 1-bit quantization eliminates for all hidden layers. The DAC remains in
+//! the input layer (§3.2).
+
+use serde::{Deserialize, Serialize};
+
+/// An ideal `bits`-bit voltage DAC with full-scale output `v_max`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dac {
+    bits: u32,
+    v_max: f64,
+}
+
+impl Dac {
+    /// Creates a DAC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16.
+    pub fn new(bits: u32, v_max: f64) -> Self {
+        assert!((1..=16).contains(&bits), "DAC bits must be in 1..=16");
+        Dac { bits, v_max }
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of output codes.
+    pub fn codes(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Converts a digital code to an output voltage.
+    ///
+    /// Codes above full scale saturate at `v_max`.
+    pub fn convert(&self, code: u32) -> f64 {
+        let max_code = self.codes() - 1;
+        let code = code.min(max_code);
+        self.v_max * code as f64 / max_code as f64
+    }
+
+    /// Quantizes a normalized value in `[0, 1]` to the DAC grid and returns
+    /// the output voltage — the "analog input" path for input-layer pixels.
+    pub fn convert_normalized(&self, value: f64) -> f64 {
+        let max_code = (self.codes() - 1) as f64;
+        let code = (value.clamp(0.0, 1.0) * max_code).round();
+        self.v_max * code / max_code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        let d = Dac::new(8, 0.2);
+        assert_eq!(d.convert(0), 0.0);
+        assert_eq!(d.convert(255), 0.2);
+    }
+
+    #[test]
+    fn linear_midpoint() {
+        let d = Dac::new(8, 1.0);
+        assert!((d.convert(128) - 128.0 / 255.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturates_above_full_scale() {
+        let d = Dac::new(4, 1.0);
+        assert_eq!(d.convert(999), 1.0);
+    }
+
+    #[test]
+    fn normalized_quantization_error_bounded() {
+        let d = Dac::new(8, 1.0);
+        for i in 0..100 {
+            let v = i as f64 / 99.0;
+            assert!((d.convert_normalized(v) - v).abs() <= 0.5 / 255.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "DAC bits")]
+    fn zero_bits_rejected() {
+        let _ = Dac::new(0, 1.0);
+    }
+}

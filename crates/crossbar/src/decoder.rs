@@ -1,0 +1,137 @@
+//! Row-select decoders — Fig. 3 of the paper.
+//!
+//! A crossbar needs a decoder to address individual cells for programming
+//! and verification. During compute:
+//!
+//! * the **traditional** decoder (Fig. 3(a)) ORs an "all-on" compute signal
+//!   into every row's transmission gate, so every row conducts;
+//! * the **SEI** decoder (Fig. 3(b)) inserts a MUX per row that, in compute
+//!   mode, routes the layer's **1-bit input** to the gate instead — the row
+//!   conducts only when its input bit is 1, and the analog "input" port is
+//!   freed to carry the common weight information (the extra port).
+//!
+//! This module captures that gating behaviour; its component counts feed
+//! the cost model.
+
+use serde::{Deserialize, Serialize};
+
+/// Which decoder architecture a crossbar instance uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecoderKind {
+    /// Fig. 3(a): all rows on during compute; analog inputs drive rows.
+    Traditional,
+    /// Fig. 3(b): input bits gate rows during compute; extra port drives
+    /// common weight information.
+    Sei,
+}
+
+/// Operating mode of the decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecoderMode {
+    /// Programming/verify: exactly one addressed row is enabled.
+    Write {
+        /// The addressed row.
+        row: usize,
+    },
+    /// Compute phase.
+    Compute,
+}
+
+/// Functional decoder model producing per-row transmission-gate enables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputeDecoder {
+    kind: DecoderKind,
+    rows: usize,
+}
+
+impl ComputeDecoder {
+    /// Creates a decoder for `rows` rows.
+    pub fn new(kind: DecoderKind, rows: usize) -> Self {
+        ComputeDecoder { kind, rows }
+    }
+
+    /// The decoder architecture.
+    pub fn kind(&self) -> DecoderKind {
+        self.kind
+    }
+
+    /// Number of rows driven.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Per-row gate enables for a mode. For [`DecoderKind::Sei`] in compute
+    /// mode, `input_bits` selects the rows; for the traditional decoder the
+    /// bits are ignored and every row is on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a write row is out of range, or if an SEI compute is given
+    /// the wrong number of input bits.
+    pub fn row_enables(&self, mode: DecoderMode, input_bits: Option<&[bool]>) -> Vec<bool> {
+        match mode {
+            DecoderMode::Write { row } => {
+                assert!(row < self.rows, "write row {row} out of range");
+                let mut v = vec![false; self.rows];
+                v[row] = true;
+                v
+            }
+            DecoderMode::Compute => match self.kind {
+                DecoderKind::Traditional => vec![true; self.rows],
+                DecoderKind::Sei => {
+                    let bits = input_bits
+                        .expect("SEI decoder requires input bits during compute");
+                    assert_eq!(bits.len(), self.rows, "one input bit per row");
+                    bits.to_vec()
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_mode_selects_single_row() {
+        let d = ComputeDecoder::new(DecoderKind::Traditional, 4);
+        let e = d.row_enables(DecoderMode::Write { row: 2 }, None);
+        assert_eq!(e, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn traditional_compute_all_on() {
+        let d = ComputeDecoder::new(DecoderKind::Traditional, 3);
+        let e = d.row_enables(DecoderMode::Compute, None);
+        assert_eq!(e, vec![true; 3]);
+    }
+
+    #[test]
+    fn sei_compute_follows_input_bits() {
+        let d = ComputeDecoder::new(DecoderKind::Sei, 3);
+        let e = d.row_enables(DecoderMode::Compute, Some(&[true, false, true]));
+        assert_eq!(e, vec![true, false, true]);
+    }
+
+    #[test]
+    fn sei_write_mode_ignores_inputs() {
+        let d = ComputeDecoder::new(DecoderKind::Sei, 3);
+        let e = d.row_enables(DecoderMode::Write { row: 0 }, Some(&[true, true, true]));
+        assert_eq!(e, vec![true, false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires input bits")]
+    fn sei_compute_without_bits_panics() {
+        let d = ComputeDecoder::new(DecoderKind::Sei, 2);
+        let _ = d.row_enables(DecoderMode::Compute, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn write_row_bounds_checked() {
+        let d = ComputeDecoder::new(DecoderKind::Traditional, 2);
+        let _ = d.row_enables(DecoderMode::Write { row: 2 }, None);
+    }
+}

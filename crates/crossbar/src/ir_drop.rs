@@ -1,0 +1,103 @@
+//! First-order IR-drop model.
+//!
+//! Wire resistance along word- and bit-lines attenuates the effective
+//! voltage seen by cells far from the drivers; together with fabrication
+//! yield this is what limits state-of-the-art crossbars to 512×512 (§4 of
+//! the paper, citing \[15\]). We use a closed-form first-order model: the
+//! voltage delivered to cell `(r, c)` is attenuated by the voltage divider
+//! formed by the accumulated wire resistance and the cell resistance:
+//!
+//! `atten(r, c) = 1 / (1 + r_wire · (r + c + 2) · ḡ)`
+//!
+//! where `ḡ` is the mid-range device conductance. This captures the two
+//! qualitative behaviours the accuracy experiments need — attenuation grows
+//! with array size and with device conductance — without a full nodal
+//! solve.
+
+use sei_device::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// First-order IR-drop attenuation model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IrDropModel {
+    /// Per-segment wire resistance in ohms (between adjacent cells).
+    pub wire_resistance: f64,
+    /// Representative (mid-range) cell conductance in siemens.
+    pub mean_conductance: f64,
+}
+
+impl IrDropModel {
+    /// Builds a model from a device spec with a typical interconnect
+    /// segment resistance (≈ 2.5 Ω for minimum-width metal at the 65 nm
+    /// class nodes of the cited prototypes).
+    pub fn from_spec(spec: &DeviceSpec) -> Self {
+        IrDropModel {
+            wire_resistance: 2.5,
+            mean_conductance: 0.5 * (spec.g_min + spec.g_max),
+        }
+    }
+
+    /// Attenuation factor in `(0, 1]` for cell `(r, c)` of a
+    /// `rows × cols` array.
+    pub fn attenuation(&self, r: usize, c: usize, rows: usize, cols: usize) -> f64 {
+        debug_assert!(r < rows && c < cols);
+        let segments = (r + c + 2) as f64;
+        1.0 / (1.0 + self.wire_resistance * segments * self.mean_conductance)
+    }
+
+    /// Worst-case attenuation (farthest corner) for an array size — a quick
+    /// feasibility indicator for the mapper.
+    pub fn worst_case(&self, rows: usize, cols: usize) -> f64 {
+        if rows == 0 || cols == 0 {
+            return 1.0;
+        }
+        self.attenuation(rows - 1, cols - 1, rows, cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> IrDropModel {
+        IrDropModel::from_spec(&DeviceSpec::default_4bit())
+    }
+
+    #[test]
+    fn near_corner_barely_attenuated() {
+        let a = model().attenuation(0, 0, 512, 512);
+        assert!(a > 0.99, "near-corner attenuation {a}");
+    }
+
+    #[test]
+    fn attenuation_monotonic_in_distance() {
+        let m = model();
+        let mut prev = 1.0;
+        for d in 0..512 {
+            let a = m.attenuation(d, d, 512, 512);
+            assert!(a < prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn worst_case_512_within_a_few_percent() {
+        // With ~10 µS mean conductance and 2.5 Ω segments the far corner of
+        // a 512×512 array loses a few percent — consistent with 512 being
+        // "feasible but at the limit".
+        let wc = model().worst_case(512, 512);
+        assert!(wc > 0.90 && wc < 1.0, "worst case {wc}");
+    }
+
+    #[test]
+    fn larger_arrays_attenuate_more() {
+        let m = model();
+        assert!(m.worst_case(512, 512) < m.worst_case(256, 256));
+        assert!(m.worst_case(256, 256) < m.worst_case(64, 64));
+    }
+
+    #[test]
+    fn empty_array_no_attenuation() {
+        assert_eq!(model().worst_case(0, 0), 1.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! RRAM crossbar arrays, peripheral circuits and the paper's SEI
+//! (SElected-by-Input) structure.
+//!
+//! The module map mirrors Fig. 2 and Fig. 3 of the paper:
+//!
+//! * [`array`] — the plain analog crossbar of Fig. 2(a): programmed cells,
+//!   column currents per Equ. (3), first-order IR-drop attenuation;
+//! * [`dac`] / [`adc`] — the converter interfaces of the traditional design
+//!   (Fig. 2(b)), behavioural models used by the baseline structures;
+//! * [`senseamp`] — the sense amplifier ("SA" in Fig. 2(c)/(d)) that
+//!   compares a column current against a reference and implements the
+//!   thresholded binary neuron;
+//! * [`decoder`] — the traditional compute decoder vs. the SEI decoder of
+//!   Fig. 3 (a MUX selects between write-decoder output and the 1-bit input
+//!   line);
+//! * [`merged`] — the traditional merged design of Fig. 2(b): four
+//!   sign/precision crossbar copies, DAC inputs, ADC-digitized columns,
+//!   digital shift-and-add merging;
+//! * [`sei`] — the SEI crossbar of Fig. 2(c): input bits gate the rows,
+//!   the freed input port carries the common weight information
+//!   (bit-significance ±16/±1), the rightmost reference column implements
+//!   the (dynamic) threshold of Fig. 4;
+//! * [`ir_drop`] — the wire-resistance model that motivates the 512×512
+//!   size limit \[15\].
+//!
+//! # Example
+//!
+//! A 3-input single-kernel SEI crossbar computing
+//! `fire = (Σ_{in_j=1} w_j + b > θ)` with signed 8-bit weights on ideal
+//! 4-bit devices:
+//!
+//! ```
+//! use sei_crossbar::sei::{SeiConfig, SeiCrossbar, SeiMode};
+//! use sei_device::DeviceSpec;
+//! use sei_nn::Matrix;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let weights = Matrix::from_rows(&[&[0.5][..], &[-0.25][..], &[0.75][..]]);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let xbar = SeiCrossbar::new(
+//!     &DeviceSpec::ideal(4),
+//!     &weights,
+//!     &[0.0],
+//!     0.4,
+//!     &SeiConfig::new(SeiMode::SignedPorts),
+//!     &mut rng,
+//! );
+//! // inputs {1, 0, 1}: 0.5 + 0.75 = 1.25 > 0.4 → fires
+//! assert_eq!(xbar.forward(&[true, false, true], &mut rng), vec![true]);
+//! // inputs {0, 1, 0}: −0.25 < 0.4 → does not fire
+//! assert_eq!(xbar.forward(&[false, true, false], &mut rng), vec![false]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adc;
+pub mod array;
+pub mod dac;
+pub mod decoder;
+pub mod ir_drop;
+pub mod merged;
+pub mod sei;
+pub mod senseamp;
+
+pub use adc::Adc;
+pub use array::CrossbarArray;
+pub use dac::Dac;
+pub use decoder::{ComputeDecoder, DecoderKind};
+pub use ir_drop::IrDropModel;
+pub use merged::{MergedConfig, MergedCrossbar};
+pub use sei::{SeiConfig, SeiCrossbar, SeiMode};
+pub use senseamp::SenseAmp;
+
+/// Maximum crossbar dimension achievable by state-of-the-art fabrication,
+/// per the paper (§4, citing \[15\]): 512 × 512.
+pub const MAX_FABRICABLE_SIZE: usize = 512;

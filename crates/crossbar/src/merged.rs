@@ -1,0 +1,392 @@
+//! The traditional ADC-merged crossbar design — Fig. 2(b).
+//!
+//! Signed 8-bit weights on 4-bit devices need **four** crossbar copies
+//! (positive/negative × high/low bit-slices, §4's example: "the ADC-based
+//! method implements the matrix in 300×64 crossbar but demands total 4
+//! crossbars"). Analog inputs arrive through DACs, every copy's column
+//! currents are digitized by ADCs, and digital adders/subtractors/shifters
+//! merge the four codes per Equ. (5):
+//!
+//! `y = 2⁴·(hi⁺ − hi⁻) + (lo⁺ − lo⁻)`
+//!
+//! Crucially the ADC digitizes *before* subtraction, so the common
+//! `g_min`-offset current consumes converter dynamic range and the
+//! quantization error of four conversions stacks — the fidelity cost that
+//! the SEI structure's analog merging avoids.
+
+use crate::adc::Adc;
+use crate::array::CrossbarArray;
+use crate::dac::Dac;
+use rand::rngs::StdRng;
+use sei_device::{DeviceSpec, WriteVerify};
+use sei_nn::Matrix;
+use serde::{Deserialize, Serialize};
+
+
+/// Configuration of a merged (traditional) crossbar block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MergedConfig {
+    /// Weight precision (paper: 8).
+    pub weight_bits: u32,
+    /// ADC resolution (paper-era: 8).
+    pub adc_bits: u32,
+    /// DAC resolution for the analog inputs (8).
+    pub dac_bits: u32,
+    /// Programming strategy.
+    pub write_verify: WriteVerify,
+}
+
+impl Default for MergedConfig {
+    fn default() -> Self {
+        MergedConfig {
+            weight_bits: 8,
+            adc_bits: 8,
+            dac_bits: 8,
+            write_verify: WriteVerify::Enabled,
+        }
+    }
+}
+
+/// One row-chunk of the merged design: four sign/precision copies over a
+/// contiguous row range, with its own ADC full-scale.
+#[derive(Debug, Clone)]
+struct MergedChunk {
+    start: usize,
+    rows: usize,
+    /// (slice coefficient, sign, array) per copy.
+    copies: Vec<(f64, f64, CrossbarArray)>,
+    adc: Adc,
+}
+
+/// A signed high-precision weight matrix realized as four crossbar copies
+/// (per row-chunk, when the matrix exceeds the fabrication limit) with DAC
+/// inputs and ADC-merged outputs.
+#[derive(Debug, Clone)]
+pub struct MergedCrossbar {
+    chunks: Vec<MergedChunk>,
+    dac: Dac,
+    /// Weight units represented by one unit of merged digit sum at full
+    /// input scale.
+    kappa: f64,
+    read_voltage: f64,
+    g_min: f64,
+    g_span: f64,
+    rows: usize,
+    cols: usize,
+    cfg: MergedConfig,
+}
+
+impl MergedCrossbar {
+    /// Programs the copies from a real-valued `inputs × outputs` weight
+    /// matrix. Matrices taller than the fabrication limit are row-chunked
+    /// (each chunk gets its own four copies and ADCs; chunk results are
+    /// summed digitally — exactly the layout planner's accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is out of range (bits 1..=16) or the
+    /// matrix is wider than the fabrication limit.
+    pub fn new(
+        spec: &DeviceSpec,
+        weights: &Matrix,
+        cfg: &MergedConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!((1..=16).contains(&cfg.weight_bits), "weight bits");
+        let (n, m) = (weights.rows(), weights.cols());
+        assert!(
+            m <= crate::MAX_FABRICABLE_SIZE,
+            "column chunking is not modelled; {m} columns exceed the limit"
+        );
+        let n_slices = cfg.weight_bits.div_ceil(spec.bits);
+        assert_eq!(
+            n_slices, 2,
+            "the merged design models the paper's 2-slice (8-on-4) case"
+        );
+        let max_code = (1u64 << cfg.weight_bits) as f64 - 1.0;
+        let frac_full = f64::from(spec.levels() - 1);
+
+        let w_scale = weights
+            .as_slice()
+            .iter()
+            .fold(1e-9f32, |a, &v| a.max(v.abs()));
+
+        // Row chunks against the fabrication limit.
+        let n_chunks = n.div_ceil(crate::MAX_FABRICABLE_SIZE).max(1);
+        let base_rows = n / n_chunks;
+        let extra = n % n_chunks;
+        let mut chunks = Vec::with_capacity(n_chunks);
+        let mut start = 0usize;
+        for ci in 0..n_chunks {
+            let rows = base_rows + usize::from(ci < extra);
+            // Build the four target matrices for this chunk.
+            let mut targets = vec![Matrix::zeros(rows, m); 4]; // [p-hi, p-lo, n-hi, n-lo]
+            for r in 0..rows {
+                for c in 0..m {
+                    let v = weights.get(start + r, c);
+                    let code = ((f64::from(v.abs()) / f64::from(w_scale) * max_code)
+                        .round())
+                    .min(max_code) as u32;
+                    let hi = (code >> spec.bits) & (spec.levels() - 1);
+                    let lo = code & (spec.levels() - 1);
+                    let base = if v < 0.0 { 2 } else { 0 };
+                    targets[base].set(r, c, (f64::from(hi) / frac_full) as f32);
+                    targets[base + 1].set(r, c, (f64::from(lo) / frac_full) as f32);
+                }
+            }
+            let coeff_sign = [(16.0, 1.0), (1.0, 1.0), (16.0, -1.0), (1.0, -1.0)];
+            let copies = targets
+                .into_iter()
+                .zip(coeff_sign)
+                .map(|(t, (coeff, sign))| {
+                    (
+                        coeff,
+                        sign,
+                        CrossbarArray::program(spec, &t, cfg.write_verify, rng),
+                    )
+                })
+                .collect();
+            // Current full scale: every chunk cell at g_max, inputs at v_read.
+            let full_scale = spec.read_voltage * spec.g_max * rows as f64;
+            chunks.push(MergedChunk {
+                start,
+                rows,
+                copies,
+                adc: Adc::new(cfg.adc_bits, full_scale),
+            });
+            start += rows;
+        }
+
+        let kappa = f64::from(w_scale) * frac_full / max_code;
+        MergedCrossbar {
+            chunks,
+            dac: Dac::new(cfg.dac_bits, spec.read_voltage),
+            kappa,
+            read_voltage: spec.read_voltage,
+            g_min: spec.g_min,
+            g_span: spec.g_max - spec.g_min,
+            rows: n,
+            cols: m,
+            cfg: *cfg,
+        }
+    }
+
+    /// Logical matrix dimensions.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total crossbar instances (4 per row-chunk).
+    pub fn copy_count(&self) -> usize {
+        self.chunks.iter().map(|c| c.copies.len()).sum()
+    }
+
+    /// Number of row-chunks (1 unless the matrix exceeds the limit).
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The configuration this block was built with.
+    pub fn config(&self) -> &MergedConfig {
+        &self.cfg
+    }
+
+    /// Total programming pulses across all copies.
+    pub fn write_pulses(&self) -> u64 {
+        self.chunks
+            .iter()
+            .flat_map(|c| c.copies.iter().map(|(_, _, a)| a.write_pulses()))
+            .sum()
+    }
+
+    /// The full merged matrix–vector product: normalized activations
+    /// `x ∈ [0, 1]` through DACs, four noisy analog reads, ADC
+    /// digitization, digital shift-and-add merge. Returns reconstructed
+    /// weight-unit outputs `≈ Wᵀ·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the matrix rows.
+    pub fn matvec(&self, x: &[f32], rng: &mut StdRng) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows, "one activation per row");
+        let volts: Vec<f64> = x
+            .iter()
+            .map(|&v| self.dac.convert_normalized(f64::from(v).clamp(0.0, 1.0)))
+            .collect();
+
+        // Per chunk and copy: analog currents → ADC codes → digital merge.
+        let mut merged = vec![0.0f64; self.cols];
+        for chunk in &self.chunks {
+            let chunk_volts = &volts[chunk.start..chunk.start + chunk.rows];
+            let volt_sum: f64 = chunk_volts.iter().sum();
+            for (coeff, sign, array) in &chunk.copies {
+                let currents = array.column_currents(chunk_volts, rng);
+                for (c, &i) in currents.iter().enumerate() {
+                    let digitized = chunk.adc.reconstruct(i);
+                    // Digital offset subtraction: the g_min baseline current
+                    // is input-dependent but digitally known (Σv·g_min).
+                    let above_offset = digitized - volt_sum * self.g_min;
+                    merged[c] += coeff * sign * above_offset;
+                }
+            }
+        }
+
+        // Convert merged current back to weight units: the signed digit sum
+        // is merged / (Δg/frac_full · v_read), and one digit unit is
+        // κ/frac_full weight units — together `y = merged·κ / (Δg·v_read)`.
+        merged
+            .iter()
+            .map(|&s| (s * self.kappa / (self.g_span * self.read_voltage)) as f32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn random_matrix(n: usize, m: usize, seed: u64) -> Matrix {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = Matrix::zeros(n, m);
+        for r in 0..n {
+            for c in 0..m {
+                w.set(r, c, rng.gen_range(-1.0..1.0));
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn four_copies_built() {
+        let w = random_matrix(6, 3, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let xbar = MergedCrossbar::new(
+            &DeviceSpec::ideal(4),
+            &w,
+            &MergedConfig::default(),
+            &mut rng,
+        );
+        assert_eq!(xbar.copy_count(), 4);
+        assert_eq!(xbar.chunk_count(), 1);
+        assert_eq!(xbar.shape(), (6, 3));
+        assert!(xbar.write_pulses() >= 4 * 18);
+    }
+
+    #[test]
+    fn tall_matrix_chunks_like_the_layout_plan() {
+        // 1024 rows → 2 chunks of 512 → 8 crossbar instances, matching
+        // DesignPlan's accounting for Network 1's FC layer.
+        let w = random_matrix(300, 4, 9); // keep programming fast
+        let mut tall = Matrix::zeros(1024, 2);
+        for r in 0..1024 {
+            for c in 0..2 {
+                tall.set(r, c, w.get(r % 300, c) * if r % 2 == 0 { 1.0 } else { -0.5 });
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(10);
+        let xbar = MergedCrossbar::new(
+            &DeviceSpec::ideal(4),
+            &tall,
+            &MergedConfig {
+                adc_bits: 12,
+                write_verify: WriteVerify::Disabled,
+                ..MergedConfig::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(xbar.chunk_count(), 2);
+        assert_eq!(xbar.copy_count(), 8);
+        // Chunked matvec still tracks the true product.
+        let x: Vec<f32> = (0..1024).map(|i| ((i % 5) as f32) / 5.0).collect();
+        let y = xbar.matvec(&x, &mut rng);
+        for c in 0..2 {
+            let expect: f32 = (0..1024).map(|r| tall.get(r, c) * x[r]).sum();
+            let scale: f32 = (0..1024).map(|r| tall.get(r, c).abs()).sum();
+            assert!(
+                (y[c] - expect).abs() < 0.02 * scale.max(1.0),
+                "col {c}: {} vs {expect}",
+                y[c]
+            );
+        }
+    }
+
+    #[test]
+    fn ideal_matvec_tracks_true_product() {
+        let w = random_matrix(8, 4, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let xbar = MergedCrossbar::new(
+            &DeviceSpec::ideal(4),
+            &w,
+            &MergedConfig {
+                adc_bits: 12, // generous converter to isolate weight quantization
+                ..MergedConfig::default()
+            },
+            &mut rng,
+        );
+        let x: Vec<f32> = (0..8).map(|i| (i as f32) / 8.0).collect();
+        let y = xbar.matvec(&x, &mut rng);
+        let scale = w.as_slice().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        for c in 0..4 {
+            let mut expect = 0.0f32;
+            for r in 0..8 {
+                expect += w.get(r, c) * x[r];
+            }
+            assert!(
+                (y[c] - expect).abs() < 0.12 * scale.max(1.0),
+                "col {c}: merged {} vs true {expect}",
+                y[c]
+            );
+        }
+    }
+
+    #[test]
+    fn coarse_adc_degrades_fidelity() {
+        let w = random_matrix(16, 4, 5);
+        let x: Vec<f32> = (0..16).map(|i| ((i * 7) % 10) as f32 / 10.0).collect();
+        let truth: Vec<f32> = (0..4)
+            .map(|c| (0..16).map(|r| w.get(r, c) * x[r]).sum())
+            .collect();
+        let mse = |bits: u32| -> f32 {
+            let mut rng = StdRng::seed_from_u64(6);
+            let xbar = MergedCrossbar::new(
+                &DeviceSpec::ideal(4),
+                &w,
+                &MergedConfig {
+                    adc_bits: bits,
+                    ..MergedConfig::default()
+                },
+                &mut rng,
+            );
+            let y = xbar.matvec(&x, &mut rng);
+            y.iter()
+                .zip(&truth)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                / 4.0
+        };
+        assert!(
+            mse(4) > mse(12),
+            "4-bit ADC should be worse than 12-bit: {} vs {}",
+            mse(4),
+            mse(12)
+        );
+    }
+
+    #[test]
+    fn zero_input_gives_zero_output() {
+        let w = random_matrix(5, 2, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let xbar = MergedCrossbar::new(
+            &DeviceSpec::ideal(4),
+            &w,
+            &MergedConfig::default(),
+            &mut rng,
+        );
+        let y = xbar.matvec(&[0.0; 5], &mut rng);
+        for &v in &y {
+            assert!(v.abs() < 1e-3, "output {v} for zero input");
+        }
+    }
+}

@@ -1,0 +1,674 @@
+//! The SEI (SElected-by-Input) crossbar — §4 and Fig. 2(c)/Fig. 4 of the
+//! paper.
+//!
+//! # How the structure works
+//!
+//! After 1-bit quantization a layer computes (Equ. 4)
+//!
+//! `output_i = [ Σ_{j : input_j = 1} w_ij + b_i  >  θ ]`
+//!
+//! The 1-bit inputs therefore only *select* which weights accumulate. SEI
+//! routes each input bit to the row's transmission gate (see
+//! [`crate::decoder`]), freeing the analog "input" port to carry **common
+//! information of the weights in the same row** (Equ. 5 → Equ. 6):
+//!
+//! * **bit-significance** — an 8-bit weight is stored in two 4-bit cells of
+//!   the *same column* on two physical rows driven with port coefficients
+//!   `2⁴·v_com` and `v_com`, implementing shift-and-add in analog;
+//! * **sign** — positive and negative weight cells sit on rows driven with
+//!   `+v` and `−v` ([`SeiMode::SignedPorts`], for symmetric bipolar
+//!   devices);
+//! * for devices that cannot take negative drive ([`SeiMode::DynamicThreshold`],
+//!   §4.2), all stored values are linearly mapped to positives,
+//!   `w* = (w − lo)/(hi − lo)`, and the mapping offset is compensated by an
+//!   extra **reference column** whose cells (also selected by the input
+//!   bits) store `w₀ = map(0)`, with the layer threshold `θ` in the
+//!   bottom-corner cell — exactly Fig. 4.
+//!
+//! In both modes each kernel column's current is compared against the
+//! reference column's current by a sense amplifier; no ADC is needed.
+//!
+//! # Normalized analog arithmetic
+//!
+//! Internally the simulation works in "fraction units": a cell contributes
+//! `coeff · (g − g_min)/(g_max − g_min)`. Subtracting `g_min` per cell is
+//! physically justified because every `g_min` term cancels between a kernel
+//! column and the reference column: in `SignedPorts` mode the `+` and `−`
+//! rows of each weight are gated by the *same* input bit so their `g_min`
+//! offsets cancel pairwise, and in `DynamicThreshold` mode the reference
+//! column has a cell on *every* row a kernel column has, gated identically.
+//! The comparison `I_k > I_ref` is therefore unchanged.
+
+use crate::senseamp::SenseAmp;
+use crate::MAX_FABRICABLE_SIZE;
+use rand::rngs::StdRng;
+use rand::Rng;
+use sei_device::{DeviceSpec, ProgrammedCell, WriteVerify};
+use sei_nn::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// How signed weights are realized on the crossbar (§4.1 vs §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SeiMode {
+    /// Signs via ±1 port coefficients on paired rows; needs a symmetric
+    /// bipolar device. 4 physical rows per logical input at 8-bit weights
+    /// on 4-bit devices (pos-hi, pos-lo, neg-hi, neg-lo) — the paper's
+    /// "1200×64 RRAM array" example for the 300×64 matrix.
+    SignedPorts,
+    /// Linear mapping to all-positive stored values with the dynamic
+    /// threshold reference column of Fig. 4. 2 physical rows per logical
+    /// input at 8-bit weights on 4-bit devices.
+    DynamicThreshold,
+}
+
+/// Configuration of an SEI crossbar.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeiConfig {
+    /// Sign realization mode.
+    pub mode: SeiMode,
+    /// Weight precision in bits (the paper uses 8).
+    pub weight_bits: u32,
+    /// Whether programming uses the write–verify loop.
+    pub write_verify: WriteVerify,
+    /// Static sense-amp offset sigma, in fraction units (0 = ideal SA).
+    pub sa_offset_sigma: f64,
+    /// Per-decision sense-amp noise sigma, in fraction units.
+    pub sa_noise_sigma: f64,
+    /// Value (weight units) stored in the reference column's input-gated
+    /// cells. 0 gives a static threshold; a positive value `s` makes the
+    /// effective threshold `θ + s · (active inputs)` — the dynamic
+    /// threshold of Fig. 4, used by the splitting compensation.
+    pub ref_row_value: f32,
+}
+
+impl SeiConfig {
+    /// Default configuration for a mode: 8-bit weights, write–verify on,
+    /// ideal sense amplifiers.
+    pub fn new(mode: SeiMode) -> Self {
+        SeiConfig {
+            mode,
+            weight_bits: 8,
+            write_verify: WriteVerify::Enabled,
+            sa_offset_sigma: 0.0,
+            sa_noise_sigma: 0.0,
+            ref_row_value: 0.0,
+        }
+    }
+}
+
+/// What gates a physical row's transmission gates during compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Gate {
+    /// Gated by logical input bit `j` (SEI decoder).
+    Input(usize),
+    /// Always on (bias / threshold rows).
+    AlwaysOn,
+}
+
+/// One physical crossbar row: its gate source and the precomputed
+/// contribution (`coeff · programmed-fraction`) of each cell, kernel
+/// columns first, reference column last.
+#[derive(Debug, Clone)]
+struct PhysRow {
+    gate: Gate,
+    contribs: Vec<f64>,
+}
+
+/// A programmed SEI crossbar holding one weight matrix slice, its biases
+/// and its layer threshold (Fig. 2(c) + Fig. 4).
+#[derive(Debug, Clone)]
+pub struct SeiCrossbar {
+    cfg: SeiConfig,
+    logical_inputs: usize,
+    cols: usize,
+    rows: Vec<PhysRow>,
+    sas: Vec<SenseAmp>,
+    /// Weight-units value of one fraction unit.
+    kappa: f64,
+    read_sigma: f64,
+    write_pulses: u64,
+}
+
+/// Base-`2^device_bits` digit decomposition of an unsigned code, most
+/// significant slice first, with slice coefficients.
+fn slices(code: u32, device_bits: u32, n_slices: u32) -> Vec<(f64, u32)> {
+    let base = 1u32 << device_bits;
+    let mut out = Vec::with_capacity(n_slices as usize);
+    for s in 0..n_slices {
+        let shift = device_bits * (n_slices - 1 - s);
+        let digit = (code >> shift) & (base - 1);
+        out.push((f64::from(1u32 << shift), digit));
+    }
+    out
+}
+
+impl SeiCrossbar {
+    /// Programs an SEI crossbar implementing
+    /// `fire_k = [ Σ_{j: in_j=1} weights[j][k] + bias[k] > threshold ]`.
+    ///
+    /// `weights` is the crossbar-orientation matrix (`inputs × kernels`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the physical row or column count would exceed the
+    /// fabricable 512 limit, if `bias.len() != weights.cols()`, or if
+    /// `weight_bits` is not a positive multiple-of-`device` precision ≤ 16.
+    pub fn new(
+        spec: &DeviceSpec,
+        weights: &Matrix,
+        bias: &[f32],
+        threshold: f32,
+        cfg: &SeiConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let n = weights.rows();
+        let m = weights.cols();
+        assert_eq!(bias.len(), m, "one bias per kernel column");
+        assert!(
+            (1..=16).contains(&cfg.weight_bits),
+            "weight_bits must be in 1..=16"
+        );
+        let n_slices = cfg.weight_bits.div_ceil(spec.bits);
+        let rows_per_input = match cfg.mode {
+            SeiMode::SignedPorts => 2 * n_slices as usize,
+            SeiMode::DynamicThreshold => n_slices as usize,
+        };
+        let phys_rows = (n + 1) * rows_per_input; // +1 logical row for bias/threshold
+        let phys_cols = m + 1; // +1 reference column
+        assert!(
+            phys_rows <= MAX_FABRICABLE_SIZE && phys_cols <= MAX_FABRICABLE_SIZE,
+            "SEI crossbar {phys_rows}x{phys_cols} exceeds the fabricable \
+             {MAX_FABRICABLE_SIZE} limit; split the matrix first"
+        );
+
+        let max_code = (1u64 << cfg.weight_bits) as f64 - 1.0;
+        let frac_full = (spec.levels() - 1) as f64;
+
+        // Value range analysis for the encoding.
+        let mut vmin = threshold.min(0.0).min(cfg.ref_row_value) as f64;
+        let mut vmax = threshold.max(0.0).max(cfg.ref_row_value) as f64;
+        for &b in bias {
+            vmin = vmin.min(b as f64);
+            vmax = vmax.max(b as f64);
+        }
+        for r in 0..n {
+            for &w in weights.row(r) {
+                vmin = vmin.min(w as f64);
+                vmax = vmax.max(w as f64);
+            }
+        }
+
+        // (map, kappa): map(v) -> unsigned code, kappa converts fraction
+        // units back to weight units.
+        let (lo, span) = match cfg.mode {
+            SeiMode::SignedPorts => {
+                let scale = vmax.abs().max(vmin.abs()).max(1e-9);
+                (0.0, scale)
+            }
+            SeiMode::DynamicThreshold => {
+                let lo = vmin;
+                let span = (vmax - lo).max(1e-9);
+                (lo, span)
+            }
+        };
+        let kappa = span * frac_full / max_code;
+
+        let mut write_pulses = 0u64;
+        let mut program = |target_frac: f64, rng: &mut StdRng| -> f64 {
+            let out = ProgrammedCell::program_with(spec, target_frac, cfg.write_verify, rng);
+            write_pulses += u64::from(out.outcome.pulses);
+            (out.cell.conductance() - spec.g_min) / (spec.g_max - spec.g_min)
+        };
+
+        let encode_unsigned = |v: f64| -> u32 {
+            (((v - lo) / span * max_code).round().clamp(0.0, max_code)) as u32
+        };
+        let encode_magnitude = |v: f64| -> (f64, u32) {
+            let sign = if v < 0.0 { -1.0 } else { 1.0 };
+            let code = ((v.abs() / span * max_code).round().min(max_code)) as u32;
+            (sign, code)
+        };
+
+        let mut rows: Vec<PhysRow> = Vec::with_capacity(phys_rows);
+
+        // Column value for (logical row index or bias row) in each mode:
+        // returns the per-physical-row contributions over m kernel columns
+        // plus the reference column.
+        let mut build_logical_row = |gate: Gate,
+                                     values: &dyn Fn(usize) -> f64, // kernel col -> value
+                                     ref_value: f64,
+                                     rng: &mut StdRng| {
+            match cfg.mode {
+                SeiMode::SignedPorts => {
+                    // 2 * n_slices physical rows: + slices then − slices.
+                    for sign in [1.0f64, -1.0] {
+                        for s in 0..n_slices {
+                            let mut contribs = Vec::with_capacity(m + 1);
+                            let mut coeff_of_slice = 0.0;
+                            for k in 0..=m {
+                                let v = if k < m { values(k) } else { ref_value };
+                                let (vsign, code) = encode_magnitude(v);
+                                let sl = slices(code, spec.bits, n_slices)[s as usize];
+                                coeff_of_slice = sl.0;
+                                let digit = if vsign == sign { sl.1 } else { 0 };
+                                let frac = program(f64::from(digit) / frac_full, rng);
+                                contribs.push(sign * sl.0 * frac);
+                            }
+                            let _ = coeff_of_slice;
+                            rows.push(PhysRow { gate, contribs });
+                        }
+                    }
+                }
+                SeiMode::DynamicThreshold => {
+                    for s in 0..n_slices {
+                        let mut contribs = Vec::with_capacity(m + 1);
+                        for k in 0..=m {
+                            let v = if k < m { values(k) } else { ref_value };
+                            let code = encode_unsigned(v);
+                            let sl = slices(code, spec.bits, n_slices)[s as usize];
+                            let frac = program(f64::from(sl.1) / frac_full, rng);
+                            contribs.push(sl.0 * frac);
+                        }
+                        rows.push(PhysRow { gate, contribs });
+                    }
+                }
+            }
+        };
+
+        // Weight rows, one logical row per input.
+        for j in 0..n {
+            let row_vals = weights.row(j).to_vec();
+            // Reference-column cell on weight rows stores `ref_row_value`
+            // (0 for a static threshold) — which in DynamicThreshold mode
+            // maps through w0 = −lo/span, the paper's linear-mapping
+            // offset, so offsets still cancel.
+            build_logical_row(
+                Gate::Input(j),
+                &|k| f64::from(row_vals[k]),
+                f64::from(cfg.ref_row_value),
+                rng,
+            );
+        }
+        // Bias/threshold logical row (always on): kernel columns carry the
+        // biases, the corner carries the layer threshold (Fig. 4).
+        let bias_vals = bias.to_vec();
+        build_logical_row(
+            Gate::AlwaysOn,
+            &|k| f64::from(bias_vals[k]),
+            f64::from(threshold),
+            rng,
+        );
+
+        let sas = (0..m)
+            .map(|_| SenseAmp::with_mismatch(cfg.sa_offset_sigma, cfg.sa_noise_sigma, rng))
+            .collect();
+
+        SeiCrossbar {
+            cfg: *cfg,
+            logical_inputs: n,
+            cols: m,
+            rows,
+            sas,
+            kappa,
+            read_sigma: spec.read_sigma,
+            write_pulses,
+        }
+    }
+
+    /// Number of logical (1-bit) inputs.
+    pub fn logical_inputs(&self) -> usize {
+        self.logical_inputs
+    }
+
+    /// Number of kernel columns (excluding the reference column).
+    pub fn kernel_columns(&self) -> usize {
+        self.cols
+    }
+
+    /// Physical row count (including bias/threshold rows).
+    pub fn physical_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Physical column count (including the reference column).
+    pub fn physical_cols(&self) -> usize {
+        self.cols + 1
+    }
+
+    /// Total programming pulses spent building the array.
+    pub fn write_pulses(&self) -> u64 {
+        self.write_pulses
+    }
+
+    /// The configuration used to build this crossbar.
+    pub fn config(&self) -> &SeiConfig {
+        &self.cfg
+    }
+
+    /// Raw fraction-unit column sums (kernel columns then reference) for a
+    /// given input pattern, optionally with read noise.
+    fn sums(&self, input: &[bool], noise: Option<&mut StdRng>) -> Vec<f64> {
+        assert_eq!(
+            input.len(),
+            self.logical_inputs,
+            "one input bit per logical row"
+        );
+        let w = self.cols + 1;
+        let mut sums = vec![0.0f64; w];
+        let mut vars = vec![0.0f64; w];
+        for row in &self.rows {
+            let active = match row.gate {
+                Gate::Input(j) => input[j],
+                Gate::AlwaysOn => true,
+            };
+            if !active {
+                continue;
+            }
+            for (k, &c) in row.contribs.iter().enumerate() {
+                sums[k] += c;
+                vars[k] += c * c;
+            }
+        }
+        if let Some(rng) = noise {
+            if self.read_sigma > 0.0 {
+                for (s, &v) in sums.iter_mut().zip(&vars) {
+                    let std = self.read_sigma * v.sqrt();
+                    if std > 0.0 {
+                        *s += std * gaussian(rng);
+                    }
+                }
+            }
+        }
+        sums
+    }
+
+    /// Fires each kernel column's sense amplifier against the reference
+    /// column — the complete compute operation of the structure.
+    pub fn forward(&self, input: &[bool], rng: &mut StdRng) -> Vec<bool> {
+        let sums = self.sums(input, Some(rng));
+        let reference = sums[self.cols];
+        (0..self.cols)
+            .map(|k| self.sas[k].decide(sums[k], reference, rng))
+            .collect()
+    }
+
+    /// Noise-free weighted sums per kernel column, converted back to weight
+    /// units and with the reference baseline subtracted — for a perfectly
+    /// programmed array this equals `Σ_{in_j=1} w_jk + b_k − θ` up to weight
+    /// quantization, so `fires ⇔ value > 0`. Diagnostic / test hook.
+    pub fn ideal_margins(&self, input: &[bool]) -> Vec<f64> {
+        let sums = self.sums(input, None);
+        let reference = sums[self.cols];
+        (0..self.cols)
+            .map(|k| (sums[k] - reference) * self.kappa)
+            .collect()
+    }
+
+    /// Like [`SeiCrossbar::ideal_margins`] but with read noise applied —
+    /// the analog readout path used when an *output* layer's class margins
+    /// are consumed directly (one shared reference, no sense-amp
+    /// thresholding).
+    pub fn margins(&self, input: &[bool], rng: &mut StdRng) -> Vec<f64> {
+        let sums = self.sums(input, Some(rng));
+        let reference = sums[self.cols];
+        (0..self.cols)
+            .map(|k| (sums[k] - reference) * self.kappa)
+            .collect()
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn direct_margins(weights: &Matrix, bias: &[f32], theta: f32, input: &[bool]) -> Vec<f32> {
+        (0..weights.cols())
+            .map(|k| {
+                let mut acc = bias[k];
+                for (j, &b) in input.iter().enumerate() {
+                    if b {
+                        acc += weights.get(j, k);
+                    }
+                }
+                acc - theta
+            })
+            .collect()
+    }
+
+    /// Compares SEI firing against the direct Equ. (4) computation,
+    /// skipping columns whose margin is within the 8-bit weight
+    /// quantization resolution — hardware with quantized weights cannot
+    /// (and need not) resolve exact ties.
+    fn assert_matches_direct(
+        xbar: &SeiCrossbar,
+        weights: &Matrix,
+        bias: &[f32],
+        theta: f32,
+        input: &[bool],
+        rng: &mut StdRng,
+    ) {
+        let fires = xbar.forward(input, rng);
+        let margins = direct_margins(weights, bias, theta, input);
+        // Worst-case quantization slack: half an LSB per active operand.
+        let scale = weights
+            .as_slice()
+            .iter()
+            .chain(bias)
+            .map(|v| v.abs())
+            .fold(theta.abs(), f32::max);
+        let tol = scale / 255.0 * (input.len() + 2) as f32;
+        for (k, (&fire, &margin)) in fires.iter().zip(&margins).enumerate() {
+            if margin.abs() <= tol {
+                continue;
+            }
+            assert_eq!(
+                fire,
+                margin > 0.0,
+                "input {input:?} column {k} margin {margin}"
+            );
+        }
+    }
+
+    fn all_patterns(n: usize) -> impl Iterator<Item = Vec<bool>> {
+        (0..(1usize << n)).map(move |mask| (0..n).map(|j| mask & (1 << j) != 0).collect())
+    }
+
+    #[test]
+    fn signed_ports_matches_direct_computation() {
+        let weights = Matrix::from_rows(&[
+            &[0.5, -0.3][..],
+            &[-0.25, 0.8][..],
+            &[0.75, 0.1][..],
+            &[-0.6, -0.9][..],
+        ]);
+        let bias = [0.05, -0.1];
+        let theta = 0.2;
+        let mut rng = StdRng::seed_from_u64(1);
+        let xbar = SeiCrossbar::new(
+            &DeviceSpec::ideal(4),
+            &weights,
+            &bias,
+            theta,
+            &SeiConfig::new(SeiMode::SignedPorts),
+            &mut rng,
+        );
+        for input in all_patterns(4) {
+            assert_matches_direct(&xbar, &weights, &bias, theta, &input, &mut rng);
+        }
+    }
+
+    #[test]
+    fn dynamic_threshold_matches_direct_computation() {
+        let weights = Matrix::from_rows(&[
+            &[0.5, -0.3][..],
+            &[-0.25, 0.8][..],
+            &[0.75, 0.1][..],
+            &[-0.6, -0.9][..],
+        ]);
+        let bias = [0.05, -0.1];
+        let theta = 0.2;
+        let mut rng = StdRng::seed_from_u64(2);
+        let xbar = SeiCrossbar::new(
+            &DeviceSpec::ideal(4),
+            &weights,
+            &bias,
+            theta,
+            &SeiConfig::new(SeiMode::DynamicThreshold),
+            &mut rng,
+        );
+        for input in all_patterns(4) {
+            assert_matches_direct(&xbar, &weights, &bias, theta, &input, &mut rng);
+        }
+    }
+
+    #[test]
+    fn row_counts_match_paper_example() {
+        // §5.1: a 300×64 signed 8-bit matrix on 4-bit devices becomes a
+        // 1200×64 RRAM array (4 physical rows per weight). We check the
+        // per-input factor on a small instance: 4 inputs → 16 weight rows
+        // + 4 bias rows = 20 physical rows, 2+1 columns.
+        let weights = Matrix::zeros(4, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let xbar = SeiCrossbar::new(
+            &DeviceSpec::ideal(4),
+            &weights,
+            &[0.0, 0.0],
+            0.1,
+            &SeiConfig::new(SeiMode::SignedPorts),
+            &mut rng,
+        );
+        assert_eq!(xbar.physical_rows(), (4 + 1) * 4);
+        assert_eq!(xbar.physical_cols(), 3);
+
+        let dynamic = SeiCrossbar::new(
+            &DeviceSpec::ideal(4),
+            &weights,
+            &[0.0, 0.0],
+            0.1,
+            &SeiConfig::new(SeiMode::DynamicThreshold),
+            &mut rng,
+        );
+        assert_eq!(dynamic.physical_rows(), (4 + 1) * 2);
+    }
+
+    #[test]
+    fn ideal_margins_reconstruct_weight_sums() {
+        let weights = Matrix::from_rows(&[&[0.5, -0.3][..], &[-0.25, 0.8][..]]);
+        let bias = [0.0, 0.0];
+        let theta = 0.0;
+        let mut rng = StdRng::seed_from_u64(4);
+        for mode in [SeiMode::SignedPorts, SeiMode::DynamicThreshold] {
+            let xbar = SeiCrossbar::new(
+                &DeviceSpec::ideal(4),
+                &weights,
+                &bias,
+                theta,
+                &SeiConfig::new(mode),
+                &mut rng,
+            );
+            let margins = xbar.ideal_margins(&[true, true]);
+            assert!(
+                (margins[0] - 0.25).abs() < 0.02,
+                "{mode:?} margin {margins:?}"
+            );
+            assert!((margins[1] - 0.5).abs() < 0.02, "{mode:?} margin {margins:?}");
+        }
+    }
+
+    #[test]
+    fn all_zero_input_only_bias_counts() {
+        let weights = Matrix::from_rows(&[&[10.0][..]]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let xbar = SeiCrossbar::new(
+            &DeviceSpec::ideal(4),
+            &weights,
+            &[0.5],
+            0.2,
+            &SeiConfig::new(SeiMode::SignedPorts),
+            &mut rng,
+        );
+        // bias 0.5 > θ 0.2 even with no input selected
+        assert_eq!(xbar.forward(&[false], &mut rng), vec![true]);
+    }
+
+    #[test]
+    fn device_variation_perturbs_margins_but_not_clear_decisions() {
+        let weights = Matrix::from_rows(&[&[1.0][..], &[1.0][..]]);
+        let spec = DeviceSpec::default_4bit(); // with variation + noise
+        let mut rng = StdRng::seed_from_u64(6);
+        let xbar = SeiCrossbar::new(
+            &spec,
+            &weights,
+            &[0.0],
+            0.5,
+            &SeiConfig::new(SeiMode::SignedPorts),
+            &mut rng,
+        );
+        // 2.0 vs θ=0.5 is a wide margin; noise should not flip it.
+        for _ in 0..50 {
+            assert_eq!(xbar.forward(&[true, true], &mut rng), vec![true]);
+        }
+        // 0 active inputs: 0 < 0.5, also wide.
+        for _ in 0..50 {
+            assert_eq!(xbar.forward(&[false, false], &mut rng), vec![false]);
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_weights_use_four_slices() {
+        let weights = Matrix::zeros(2, 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = SeiConfig {
+            weight_bits: 16,
+            ..SeiConfig::new(SeiMode::DynamicThreshold)
+        };
+        let xbar = SeiCrossbar::new(&DeviceSpec::ideal(4), &weights, &[0.0], 0.0, &cfg, &mut rng);
+        assert_eq!(xbar.physical_rows(), (2 + 1) * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the fabricable")]
+    fn oversize_rejected() {
+        let weights = Matrix::zeros(200, 1); // 201 * 4 > 512
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = SeiCrossbar::new(
+            &DeviceSpec::ideal(4),
+            &weights,
+            &[0.0],
+            0.0,
+            &SeiConfig::new(SeiMode::SignedPorts),
+            &mut rng,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one bias per kernel column")]
+    fn bias_length_checked() {
+        let weights = Matrix::zeros(2, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = SeiCrossbar::new(
+            &DeviceSpec::ideal(4),
+            &weights,
+            &[0.0],
+            0.0,
+            &SeiConfig::new(SeiMode::SignedPorts),
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn slice_decomposition_reconstructs_code() {
+        for code in [0u32, 1, 15, 16, 128, 255] {
+            let sl = slices(code, 4, 2);
+            let recon: u32 = sl.iter().map(|&(c, d)| c as u32 * d).sum();
+            assert_eq!(recon, code);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Sense amplifier: a clocked current comparator.
+//!
+//! After 1-bit quantization the non-linear neuron degenerates into a
+//! threshold comparison (§3.1: "the neuron function can also be merged into
+//! the SA by setting a corresponding reference"), so the entire digital
+//! conversion on the output side of an SEI crossbar is one SA per column.
+//! The model adds a static input-referred offset (set at build, per
+//! instance) and optional per-decision metastable noise.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A sense amplifier comparing a column current against a reference current.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SenseAmp {
+    /// Static input-referred offset (amperes), fixed per instance.
+    offset: f64,
+    /// Sigma of per-decision comparator noise (amperes).
+    noise_sigma: f64,
+}
+
+impl SenseAmp {
+    /// An ideal offset-free sense amplifier.
+    pub fn ideal() -> Self {
+        SenseAmp {
+            offset: 0.0,
+            noise_sigma: 0.0,
+        }
+    }
+
+    /// Creates an instance with a random static offset drawn from
+    /// `N(0, offset_sigma²)` — mismatch is frozen at fabrication time.
+    pub fn with_mismatch(offset_sigma: f64, noise_sigma: f64, rng: &mut StdRng) -> Self {
+        let offset = if offset_sigma > 0.0 {
+            offset_sigma * gaussian(rng)
+        } else {
+            0.0
+        };
+        SenseAmp {
+            offset,
+            noise_sigma,
+        }
+    }
+
+    /// The frozen static offset of this instance.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Compares `current` against `reference`; returns `true` when the
+    /// column fires.
+    pub fn decide(&self, current: f64, reference: f64, rng: &mut StdRng) -> bool {
+        let noise = if self.noise_sigma > 0.0 {
+            self.noise_sigma * gaussian(rng)
+        } else {
+            0.0
+        };
+        current + self.offset + noise > reference
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_compares_exactly() {
+        let sa = SenseAmp::ideal();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sa.decide(2.0, 1.0, &mut rng));
+        assert!(!sa.decide(1.0, 2.0, &mut rng));
+        assert!(!sa.decide(1.0, 1.0, &mut rng)); // strict inequality
+    }
+
+    #[test]
+    fn mismatch_is_frozen_per_instance() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sa = SenseAmp::with_mismatch(1e-6, 0.0, &mut rng);
+        let o1 = sa.offset();
+        // Decisions shift consistently by the same offset.
+        let border = 1e-6;
+        let fires = sa.decide(border, border - o1 + 1e-12, &mut rng);
+        assert!(!fires || o1 > 0.0);
+    }
+
+    #[test]
+    fn offsets_distributed_around_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 2000;
+        let mean: f64 = (0..n)
+            .map(|_| SenseAmp::with_mismatch(1e-6, 0.0, &mut rng).offset())
+            .sum::<f64>()
+            / n as f64;
+        assert!(mean.abs() < 1e-7, "offset mean {mean}");
+    }
+
+    #[test]
+    fn decision_noise_flips_borderline_cases() {
+        let sa = SenseAmp {
+            offset: 0.0,
+            noise_sigma: 1e-6,
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 2000;
+        let fires = (0..n).filter(|_| sa.decide(1e-3, 1e-3, &mut rng)).count();
+        // Exactly-at-threshold with symmetric noise → about half fire.
+        let rate = fires as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.05, "rate {rate}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the analog layer: Equ. (3) linearity, converter
+//! round-trips and SEI structural invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sei_crossbar::{Adc, CrossbarArray, Dac, SeiConfig, SeiCrossbar, SeiMode};
+use sei_device::{DeviceSpec, WriteVerify};
+use sei_nn::Matrix;
+
+fn targets(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(0.0f32..1.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Equ. (3) is linear: currents for `a·v1 + b·v2` equal
+    /// `a·I(v1) + b·I(v2)`.
+    #[test]
+    fn column_currents_linear(
+        t in targets(6, 3),
+        v1 in proptest::collection::vec(0.0f64..0.3, 6),
+        v2 in proptest::collection::vec(0.0f64..0.3, 6),
+        a in 0.0f64..2.0,
+        b in 0.0f64..2.0,
+    ) {
+        let spec = DeviceSpec::ideal(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let arr = CrossbarArray::program(&spec, &t, WriteVerify::Enabled, &mut rng);
+        let combined: Vec<f64> = v1.iter().zip(&v2).map(|(x, y)| a * x + b * y).collect();
+        let i1 = arr.ideal_column_currents(&v1);
+        let i2 = arr.ideal_column_currents(&v2);
+        let ic = arr.ideal_column_currents(&combined);
+        for k in 0..3 {
+            let expect = a * i1[k] + b * i2[k];
+            prop_assert!((ic[k] - expect).abs() <= 1e-9 * expect.abs().max(1e-12));
+        }
+    }
+
+    /// Currents are monotone in any cell's stored fraction.
+    #[test]
+    fn currents_monotone_in_weight(lo in 0.0f32..0.4, hi_delta in 0.1f32..0.6) {
+        let spec = DeviceSpec::ideal(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let low = CrossbarArray::program(
+            &spec, &Matrix::from_vec(1, 1, vec![lo]), WriteVerify::Enabled, &mut rng);
+        let high = CrossbarArray::program(
+            &spec, &Matrix::from_vec(1, 1, vec![(lo + hi_delta).min(1.0)]),
+            WriteVerify::Enabled, &mut rng);
+        let v = [0.2f64];
+        prop_assert!(high.ideal_column_currents(&v)[0] >= low.ideal_column_currents(&v)[0]);
+    }
+
+    /// DAC→ADC round trip at matched scales loses at most one LSB of each.
+    #[test]
+    fn converter_roundtrip(value in 0.0f64..1.0) {
+        let dac = Dac::new(8, 1.0);
+        let adc = Adc::new(8, 1.0);
+        let analog = dac.convert_normalized(value);
+        let recon = adc.reconstruct(analog);
+        prop_assert!((recon - value).abs() <= 2.0 / 255.0);
+    }
+
+    /// SEI physical row count follows the 4-rows-per-weight law of §5.1
+    /// regardless of matrix contents.
+    #[test]
+    fn sei_row_law(t in targets(6, 2), theta in 0.0f32..0.1) {
+        let mut signed = t.clone();
+        for (i, v) in signed.as_mut_slice().iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *v = -*v;
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let xbar = SeiCrossbar::new(
+            &DeviceSpec::ideal(4),
+            &signed,
+            &[0.0, 0.0],
+            theta,
+            &SeiConfig::new(SeiMode::SignedPorts),
+            &mut rng,
+        );
+        prop_assert_eq!(xbar.physical_rows(), (6 + 1) * 4);
+        prop_assert_eq!(xbar.physical_cols(), 3);
+    }
+
+    /// Monotonicity of the SEI margin: adding one more active input with a
+    /// positive weight never decreases that column's margin.
+    #[test]
+    fn sei_margin_monotone(
+        w_extra in 0.05f32..1.0,
+        base_pattern in 0u32..8,
+    ) {
+        let weights = Matrix::from_rows(&[&[0.3][..], &[-0.2][..], &[0.4][..], &[w_extra][..]]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let xbar = SeiCrossbar::new(
+            &DeviceSpec::ideal(4),
+            &weights,
+            &[0.0],
+            0.05,
+            &SeiConfig::new(SeiMode::SignedPorts),
+            &mut rng,
+        );
+        let mut without: Vec<bool> = (0..3).map(|j| base_pattern & (1 << j) != 0).collect();
+        without.push(false);
+        let mut with = without.clone();
+        with[3] = true;
+        let m0 = xbar.ideal_margins(&without)[0];
+        let m1 = xbar.ideal_margins(&with)[0];
+        prop_assert!(m1 >= m0 - 1e-6, "adding positive weight lowered margin: {m0} -> {m1}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Per-operation device energy.
+//!
+//! Read energy follows the resistive dissipation `E = V² · g · t` for the
+//! read pulse; write energy is a per-pulse constant times the pulse count
+//! from the write–verify loop. These feed the crate-level cost model in
+//! `sei-cost` (whose peripheral-circuit constants dominate, per the paper's
+//! Fig. 1 observation that ADCs/DACs consume > 98 %).
+
+use crate::spec::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// Energy accounting helper bound to a device spec.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceEnergy {
+    read_voltage: f64,
+    read_pulse: f64,
+    write_pulse_energy: f64,
+}
+
+impl DeviceEnergy {
+    /// Builds the accounting helper from a spec.
+    pub fn from_spec(spec: &DeviceSpec) -> Self {
+        DeviceEnergy {
+            read_voltage: spec.read_voltage,
+            read_pulse: spec.read_pulse,
+            write_pulse_energy: spec.write_pulse_energy,
+        }
+    }
+
+    /// Energy (joules) dissipated reading a cell of conductance `g` for one
+    /// read pulse: `V² · g · t`.
+    pub fn read_energy(&self, conductance: f64) -> f64 {
+        self.read_voltage * self.read_voltage * conductance * self.read_pulse
+    }
+
+    /// Worst-case read energy for a spec (cell at `g_max`).
+    pub fn max_read_energy(spec: &DeviceSpec) -> f64 {
+        DeviceEnergy::from_spec(spec).read_energy(spec.g_max)
+    }
+
+    /// Energy (joules) of a programming operation that used `pulses` pulses.
+    pub fn write_energy(&self, pulses: u32) -> f64 {
+        self.write_pulse_energy * pulses as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_energy_formula() {
+        let spec = DeviceSpec::default_4bit();
+        let e = DeviceEnergy::from_spec(&spec);
+        let g = 10e-6;
+        let expect = spec.read_voltage.powi(2) * g * spec.read_pulse;
+        assert!((e.read_energy(g) - expect).abs() < 1e-24);
+    }
+
+    #[test]
+    fn read_energy_scales_with_conductance() {
+        let spec = DeviceSpec::default_4bit();
+        let e = DeviceEnergy::from_spec(&spec);
+        assert!(e.read_energy(spec.g_max) > e.read_energy(spec.g_min));
+    }
+
+    #[test]
+    fn max_read_energy_is_femtojoule_scale() {
+        // Sanity: 0.2 V, 20 µS, 10 ns → 8 fJ. Keeps the cost model grounded.
+        let spec = DeviceSpec::default_4bit();
+        let e = DeviceEnergy::max_read_energy(&spec);
+        assert!(e > 1e-16 && e < 1e-13, "read energy {e} J out of range");
+    }
+
+    #[test]
+    fn write_energy_counts_pulses() {
+        let spec = DeviceSpec::default_4bit();
+        let e = DeviceEnergy::from_spec(&spec);
+        assert_eq!(e.write_energy(3), 3.0 * spec.write_pulse_energy);
+    }
+}

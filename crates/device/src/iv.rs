@@ -1,0 +1,136 @@
+//! Nonlinear static I–V conduction.
+//!
+//! Real metal-oxide cells conduct super-linearly at higher bias — commonly
+//! modelled as `I(V) = g · V₀ · sinh(V / V₀)` (the hyperbolic-sine form
+//! used for the oxide devices the paper cites \[16\]\[21\]), which reduces
+//! to the ohmic `I = g·V` of Equ. (3) as `V → 0`.
+//!
+//! The nonlinearity matters for the *traditional* structure, where the DAC
+//! drives a spread of analog voltages onto the rows; crossbar MVM is only
+//! exact in the ohmic regime, so the read voltage must stay well below
+//! `V₀`. The SEI structure is naturally immune: every row is driven at one
+//! of a handful of fixed port voltages (±v_com, ±2⁴·v_com), so the
+//! nonlinearity folds into constant effective coefficients that
+//! programming calibration absorbs — one more (undiscussed) advantage of
+//! switching rows by input.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyperbolic-sine I–V curve: `I(V) = g · v0 · sinh(V / v0)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IvCurve {
+    /// Nonlinearity voltage scale (volts); smaller = more nonlinear.
+    pub v0: f64,
+}
+
+impl IvCurve {
+    /// A typical oxide-RRAM curve (`V₀ ≈ 0.55 V`: ~6 % excess current at a
+    /// 0.3 V read).
+    pub fn typical_oxide() -> Self {
+        IvCurve { v0: 0.55 }
+    }
+
+    /// An effectively ohmic device.
+    pub fn ohmic() -> Self {
+        IvCurve { v0: f64::INFINITY }
+    }
+
+    /// Current through a cell of conductance `g` (S) at bias `v` (V).
+    pub fn current(&self, g: f64, v: f64) -> f64 {
+        if self.v0.is_infinite() {
+            g * v
+        } else {
+            g * self.v0 * (v / self.v0).sinh()
+        }
+    }
+
+    /// Relative deviation from ohmic conduction at bias `v`:
+    /// `I(v)/(g·v) − 1` (0 for ohmic, grows with `|v|`).
+    pub fn nonlinearity_at(&self, v: f64) -> f64 {
+        if v == 0.0 || self.v0.is_infinite() {
+            return 0.0;
+        }
+        (self.v0 * (v / self.v0).sinh()) / v - 1.0
+    }
+
+    /// The largest read voltage keeping the MVM error below `tolerance`
+    /// (relative); the design rule for DAC full-scale in the traditional
+    /// structure.
+    pub fn max_read_voltage(&self, tolerance: f64) -> f64 {
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        if self.v0.is_infinite() {
+            return f64::INFINITY;
+        }
+        // Bisection on the monotone nonlinearity_at.
+        let (mut lo, mut hi) = (0.0f64, 5.0 * self.v0);
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if self.nonlinearity_at(mid) > tolerance {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohmic_limit_at_small_bias() {
+        let iv = IvCurve::typical_oxide();
+        let g = 10e-6;
+        let v = 0.01;
+        let i = iv.current(g, v);
+        assert!(((i - g * v) / (g * v)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn superlinear_at_high_bias() {
+        let iv = IvCurve::typical_oxide();
+        let g = 10e-6;
+        assert!(iv.current(g, 1.0) > g * 1.0 * 1.3);
+    }
+
+    #[test]
+    fn nonlinearity_monotone_in_bias() {
+        let iv = IvCurve::typical_oxide();
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let v = i as f64 * 0.1;
+            let n = iv.nonlinearity_at(v);
+            assert!(n >= prev);
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn odd_symmetry() {
+        let iv = IvCurve::typical_oxide();
+        let g = 5e-6;
+        assert!((iv.current(g, 0.3) + iv.current(g, -0.3)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn max_read_voltage_respects_tolerance() {
+        let iv = IvCurve::typical_oxide();
+        let vmax = iv.max_read_voltage(0.05);
+        assert!(vmax > 0.0 && vmax < 5.0 * iv.v0);
+        assert!(iv.nonlinearity_at(vmax) <= 0.05 + 1e-6);
+        assert!(iv.nonlinearity_at(vmax * 1.2) > 0.05);
+        // The paper-era 0.2 V read on a typical device is comfortably
+        // inside a 5 % budget.
+        assert!(vmax > 0.2);
+    }
+
+    #[test]
+    fn ohmic_curve_is_exact() {
+        let iv = IvCurve::ohmic();
+        assert_eq!(iv.current(2e-6, 0.7), 2e-6 * 0.7);
+        assert_eq!(iv.nonlinearity_at(3.0), 0.0);
+        assert!(iv.max_read_voltage(0.01).is_infinite());
+    }
+}

@@ -1,0 +1,55 @@
+//! Behavioural RRAM device models for the SEI (DAC'16) reproduction.
+//!
+//! The paper's accuracy emulation uses "a 4-bit RRAM device model packed in
+//! Verilog-A \[21\] ... to build up the SPICE-level crossbar array" (§5.1).
+//! This crate provides the behavioural equivalent — fast enough to run
+//! Monte-Carlo accuracy experiments over whole test sets while exercising
+//! the same non-idealities the SPICE model captures:
+//!
+//! * **multi-level conductance states** — state-of-the-art devices support
+//!   4–6 bits of resistance levels \[13\]; [`DeviceSpec::levels`] quantizes
+//!   stored values onto that grid;
+//! * **programming variation** — each write lands log-normally around the
+//!   target conductance ([`programming`]), optionally tightened by a
+//!   write–verify loop (the "adaptable variation-tolerant algorithm" of
+//!   \[13\]);
+//! * **read noise** — cycle-to-cycle Gaussian noise plus random telegraph
+//!   noise \[8\] ([`noise`]);
+//! * **polarity constraints** — unipolar or asymmetric-bipolar devices
+//!   cannot take negative "input" voltages \[16\], which motivates the
+//!   paper's dynamic-threshold structure (§4.2); see [`Polarity`];
+//! * **per-operation energy** ([`energy`]);
+//! * **nonlinear conduction** ([`iv`]) and **retention drift**
+//!   ([`retention`]) — extensions beyond the paper's evaluation window.
+//!
+//! # Example
+//!
+//! ```
+//! use sei_device::{DeviceSpec, ProgrammedCell};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let spec = DeviceSpec::default_4bit();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! // Program a weight of 0.5 (fraction of full scale) and read it back.
+//! let cell = ProgrammedCell::program(&spec, 0.5, &mut rng);
+//! let g = cell.read_conductance(&spec, &mut rng);
+//! assert!(g > spec.g_min && g < spec.g_max);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod iv;
+pub mod noise;
+pub mod programming;
+pub mod retention;
+pub mod spec;
+
+pub use energy::DeviceEnergy;
+pub use iv::IvCurve;
+pub use noise::ReadNoise;
+pub use programming::{ProgramOutcome, ProgrammedCell, WriteVerify};
+pub use retention::RetentionModel;
+pub use spec::{DeviceSpec, Polarity};

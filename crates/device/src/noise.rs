@@ -1,0 +1,112 @@
+//! Read-time noise: cycle-to-cycle Gaussian noise and random telegraph
+//! noise (RTN).
+//!
+//! The paper cites RTN in AlOx/WOy devices \[8\] as one of the reasons a
+//! fully-analog bufferless CNN pipeline is impractical; here RTN appears as
+//! an occasional discrete conductance excursion during reads.
+
+use crate::spec::DeviceSpec;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Read-noise model: multiplicative Gaussian plus two-sided RTN events.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadNoise {
+    /// Relative sigma of per-read Gaussian noise.
+    pub sigma: f64,
+    /// Probability of an RTN excursion on a given read.
+    pub rtn_probability: f64,
+    /// Relative amplitude of the RTN excursion.
+    pub rtn_amplitude: f64,
+}
+
+impl ReadNoise {
+    /// Extracts the read-noise parameters from a device spec.
+    pub fn from_spec(spec: &DeviceSpec) -> Self {
+        ReadNoise {
+            sigma: spec.read_sigma,
+            rtn_probability: spec.rtn_probability,
+            rtn_amplitude: spec.rtn_amplitude,
+        }
+    }
+
+    /// A noiseless model.
+    pub fn none() -> Self {
+        ReadNoise {
+            sigma: 0.0,
+            rtn_probability: 0.0,
+            rtn_amplitude: 0.0,
+        }
+    }
+
+    /// Applies one read's worth of noise to a conductance value.
+    pub fn apply(&self, conductance: f64, rng: &mut StdRng) -> f64 {
+        let mut g = conductance;
+        if self.sigma > 0.0 {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let n = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            g *= 1.0 + self.sigma * n;
+        }
+        if self.rtn_probability > 0.0 && rng.gen_bool(self.rtn_probability) {
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            g *= 1.0 + sign * self.rtn_amplitude;
+        }
+        g.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(ReadNoise::none().apply(5e-6, &mut rng), 5e-6);
+    }
+
+    #[test]
+    fn noise_is_centred() {
+        let noise = ReadNoise {
+            sigma: 0.05,
+            rtn_probability: 0.0,
+            rtn_amplitude: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| noise.apply(1.0, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn rtn_events_occur_at_expected_rate() {
+        let noise = ReadNoise {
+            sigma: 0.0,
+            rtn_probability: 0.1,
+            rtn_amplitude: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 10_000;
+        let events = (0..n)
+            .filter(|_| (noise.apply(1.0, &mut rng) - 1.0).abs() > 1e-9)
+            .count();
+        let rate = events as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn never_returns_negative_conductance() {
+        let noise = ReadNoise {
+            sigma: 2.0, // absurdly large to force negative excursions
+            rtn_probability: 0.5,
+            rtn_amplitude: 2.0,
+        };
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..1000 {
+            assert!(noise.apply(1e-6, &mut rng) >= 0.0);
+        }
+    }
+}

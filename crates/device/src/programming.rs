@@ -1,0 +1,239 @@
+//! Programming (write) model with optional write–verify.
+//!
+//! A raw programming pulse lands log-normally distributed around the target
+//! conductance. The write–verify loop re-pulses until the read-back value is
+//! within `verify_tolerance` of the target (in units of one level spacing) —
+//! the "adaptable variation-tolerant algorithm" for high-precision tuning
+//! that the paper cites as \[13\] (Alibart et al.).
+
+use crate::spec::DeviceSpec;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Result of programming one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgramOutcome {
+    /// Level index that was targeted.
+    pub target_level: u32,
+    /// Conductance actually achieved (siemens).
+    pub achieved: f64,
+    /// Number of programming pulses spent.
+    pub pulses: u32,
+    /// Whether the verify loop converged within the pulse budget.
+    pub converged: bool,
+}
+
+/// Strategy for programming cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WriteVerify {
+    /// Single open-loop pulse; full programming variation applies.
+    Disabled,
+    /// Closed-loop program-and-verify per the device spec's tolerance and
+    /// iteration budget.
+    Enabled,
+}
+
+/// A cell that has been programmed to (approximately) a conductance level.
+///
+/// The stored `conductance` is the post-programming static value; read-time
+/// noise is applied on top by [`ProgrammedCell::read_conductance`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgrammedCell {
+    level: u32,
+    conductance: f64,
+}
+
+/// One log-normal multiplicative variation sample: `exp(sigma * N(0,1))`,
+/// mean-adjusted so small sigmas stay centred on 1.
+fn lognormal_factor(rng: &mut StdRng, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return 1.0;
+    }
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let n = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (sigma * n - sigma * sigma / 2.0).exp()
+}
+
+impl ProgrammedCell {
+    /// Programs a fraction-of-full-scale `value` in `[0, 1]` with
+    /// write–verify enabled (the paper's default assumption for mapped
+    /// weights).
+    pub fn program(spec: &DeviceSpec, value: f64, rng: &mut StdRng) -> Self {
+        Self::program_with(spec, value, WriteVerify::Enabled, rng).into_cell()
+    }
+
+    /// Programs with an explicit strategy, returning the full outcome (for
+    /// energy accounting and the programming-quality tests).
+    pub fn program_with(
+        spec: &DeviceSpec,
+        value: f64,
+        strategy: WriteVerify,
+        rng: &mut StdRng,
+    ) -> ProgramWithOutcome {
+        let level = spec.quantize(value);
+        let target_g = spec.level_conductance(level);
+        let tol = spec.verify_tolerance * spec.level_spacing();
+
+        let mut pulses = 0u32;
+        let mut achieved = target_g * lognormal_factor(rng, spec.program_sigma);
+        pulses += 1;
+        let mut converged = (achieved - target_g).abs() <= tol;
+
+        if strategy == WriteVerify::Enabled {
+            while !converged && pulses < spec.max_verify_iters {
+                // Each retry pulse nudges toward the target with fresh, but
+                // shrinking, variation — modelling fine-tuning pulses.
+                let blend = 0.5;
+                let fresh = target_g * lognormal_factor(rng, spec.program_sigma * 0.5);
+                achieved = achieved * (1.0 - blend) + fresh * blend;
+                pulses += 1;
+                converged = (achieved - target_g).abs() <= tol;
+            }
+        }
+
+        ProgramWithOutcome {
+            outcome: ProgramOutcome {
+                target_level: level,
+                achieved,
+                pulses,
+                converged,
+            },
+            cell: ProgrammedCell {
+                level,
+                conductance: achieved,
+            },
+        }
+    }
+
+    /// Constructs an exactly-on-target cell (no variation); used for ideal
+    /// or functional-only simulations.
+    pub fn ideal(spec: &DeviceSpec, value: f64) -> Self {
+        let level = spec.quantize(value);
+        ProgrammedCell {
+            level,
+            conductance: spec.level_conductance(level),
+        }
+    }
+
+    /// Target level index.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Static post-programming conductance (siemens), before read noise.
+    pub fn conductance(&self) -> f64 {
+        self.conductance
+    }
+
+    /// One noisy read of the cell conductance: applies Gaussian
+    /// cycle-to-cycle noise and, with the spec'd probability, a random
+    /// telegraph noise excursion.
+    pub fn read_conductance(&self, spec: &DeviceSpec, rng: &mut StdRng) -> f64 {
+        crate::noise::ReadNoise::from_spec(spec).apply(self.conductance, rng)
+    }
+}
+
+/// Outcome bundle from [`ProgrammedCell::program_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgramWithOutcome {
+    /// Statistics of the programming operation.
+    pub outcome: ProgramOutcome,
+    /// The programmed cell.
+    pub cell: ProgrammedCell,
+}
+
+impl ProgramWithOutcome {
+    /// Extracts the programmed cell, discarding statistics.
+    pub fn into_cell(self) -> ProgrammedCell {
+        self.cell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_program_hits_level_exactly() {
+        let spec = DeviceSpec::default_4bit();
+        let cell = ProgrammedCell::ideal(&spec, 0.5);
+        assert_eq!(cell.conductance(), spec.level_conductance(cell.level()));
+    }
+
+    #[test]
+    fn zero_sigma_program_is_exact() {
+        let spec = DeviceSpec::ideal(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let cell = ProgrammedCell::program(&spec, 0.33, &mut rng);
+        assert_eq!(cell.conductance(), spec.level_conductance(cell.level()));
+    }
+
+    #[test]
+    fn write_verify_tightens_distribution() {
+        let spec = DeviceSpec {
+            program_sigma: 0.3,
+            ..DeviceSpec::default_4bit()
+        };
+        let mut rng = StdRng::seed_from_u64(42);
+        let target = spec.level_conductance(spec.quantize(0.8));
+        let spread = |strategy: WriteVerify, rng: &mut StdRng| -> f64 {
+            let n = 300;
+            let mut sum2 = 0.0;
+            for _ in 0..n {
+                let out = ProgrammedCell::program_with(&spec, 0.8, strategy, rng);
+                let rel = (out.cell.conductance() - target) / target;
+                sum2 += rel * rel;
+            }
+            (sum2 / n as f64).sqrt()
+        };
+        let open_loop = spread(WriteVerify::Disabled, &mut rng);
+        let verified = spread(WriteVerify::Enabled, &mut rng);
+        assert!(
+            verified < open_loop * 0.7,
+            "verify should tighten: open {open_loop}, verified {verified}"
+        );
+    }
+
+    #[test]
+    fn verify_converges_within_budget_most_of_the_time() {
+        let spec = DeviceSpec::default_4bit();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut converged = 0;
+        let n = 500;
+        for i in 0..n {
+            let v = (i % 16) as f64 / 15.0;
+            let out = ProgrammedCell::program_with(&spec, v, WriteVerify::Enabled, &mut rng);
+            if out.outcome.converged {
+                converged += 1;
+            }
+            assert!(out.outcome.pulses <= spec.max_verify_iters);
+        }
+        assert!(
+            converged as f64 / n as f64 > 0.95,
+            "only {converged}/{n} converged"
+        );
+    }
+
+    #[test]
+    fn lognormal_factor_centred() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| lognormal_factor(&mut rng, 0.1)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean} should be ~1");
+    }
+
+    #[test]
+    fn pulses_counted() {
+        let spec = DeviceSpec {
+            program_sigma: 0.5,
+            verify_tolerance: 0.05,
+            ..DeviceSpec::default_4bit()
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let out = ProgrammedCell::program_with(&spec, 1.0, WriteVerify::Enabled, &mut rng);
+        assert!(out.outcome.pulses >= 1);
+    }
+}

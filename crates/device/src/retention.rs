@@ -1,0 +1,150 @@
+//! Retention: conductance drift over time.
+//!
+//! Programmed filaments relax; the standard empirical model is a power-law
+//! drift of the programmed conductance toward the off state,
+//! `g(t) = g_min + (g₀ − g_min) · (t/t₀)^(−ν)` for `t > t₀`, with the
+//! drift exponent `ν` varying device-to-device. The paper's evaluation
+//! programs once and measures immediately; this module supports the
+//! "accuracy after a shelf life" ablation that a deployment would need.
+
+use crate::programming::ProgrammedCell;
+use crate::spec::DeviceSpec;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Power-law retention model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionModel {
+    /// Reference time (seconds) at which drift begins (programming
+    /// timescale).
+    pub t0: f64,
+    /// Mean drift exponent ν.
+    pub nu_mean: f64,
+    /// Device-to-device sigma of ν.
+    pub nu_sigma: f64,
+}
+
+impl Default for RetentionModel {
+    fn default() -> Self {
+        RetentionModel {
+            t0: 1.0,
+            nu_mean: 0.005,
+            nu_sigma: 0.002,
+        }
+    }
+}
+
+impl RetentionModel {
+    /// Draws a per-device drift exponent (non-negative).
+    pub fn sample_nu(&self, rng: &mut StdRng) -> f64 {
+        if self.nu_sigma == 0.0 {
+            return self.nu_mean.max(0.0);
+        }
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let n = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.nu_mean + self.nu_sigma * n).max(0.0)
+    }
+
+    /// Drift factor `(t/t₀)^(−ν)` in `(0, 1]` for elapsed time `t ≥ t₀`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not positive.
+    pub fn drift_factor(&self, t: f64, nu: f64) -> f64 {
+        assert!(t > 0.0, "elapsed time must be positive");
+        if t <= self.t0 {
+            return 1.0;
+        }
+        (t / self.t0).powf(-nu)
+    }
+
+    /// The conductance of a programmed cell after `t` seconds on the
+    /// shelf, with a freshly drawn per-device exponent.
+    pub fn aged_conductance(
+        &self,
+        cell: &ProgrammedCell,
+        spec: &DeviceSpec,
+        t: f64,
+        rng: &mut StdRng,
+    ) -> f64 {
+        let nu = self.sample_nu(rng);
+        let factor = self.drift_factor(t, nu);
+        spec.g_min + (cell.conductance() - spec.g_min).max(0.0) * factor
+    }
+
+    /// Time (seconds) until the programmed window contracts to `fraction`
+    /// of its original span at the mean exponent — a retention figure of
+    /// merit ("10-year window > 50 %" style).
+    pub fn time_to_window_fraction(&self, fraction: f64) -> f64 {
+        assert!(
+            (0.0..1.0).contains(&fraction) && fraction > 0.0,
+            "fraction must be in (0, 1)"
+        );
+        if self.nu_mean <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.t0 * fraction.powf(-1.0 / self.nu_mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_drift_before_t0() {
+        let m = RetentionModel::default();
+        assert_eq!(m.drift_factor(0.5, 0.01), 1.0);
+        assert_eq!(m.drift_factor(1.0, 0.01), 1.0);
+    }
+
+    #[test]
+    fn drift_monotone_in_time_and_nu() {
+        let m = RetentionModel::default();
+        assert!(m.drift_factor(1e3, 0.01) > m.drift_factor(1e6, 0.01));
+        assert!(m.drift_factor(1e6, 0.001) > m.drift_factor(1e6, 0.01));
+    }
+
+    #[test]
+    fn aged_conductance_stays_in_window() {
+        let spec = DeviceSpec::default_4bit();
+        let m = RetentionModel::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let cell = ProgrammedCell::ideal(&spec, 1.0);
+        for &t in &[1.0, 1e3, 1e6, 3e8] {
+            let g = m.aged_conductance(&cell, &spec, t, &mut rng);
+            assert!(g >= spec.g_min && g <= cell.conductance() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn ten_year_window_reasonable() {
+        // ν = 0.005 → the window holds > 85 % after 10 years.
+        let m = RetentionModel {
+            nu_sigma: 0.0,
+            ..RetentionModel::default()
+        };
+        let ten_years = 10.0 * 365.25 * 86400.0;
+        let f = m.drift_factor(ten_years, m.nu_mean);
+        assert!(f > 0.85, "10-year window factor {f}");
+        assert!(m.time_to_window_fraction(0.5) > ten_years);
+    }
+
+    #[test]
+    fn nu_samples_non_negative_and_centred() {
+        let m = RetentionModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 5000;
+        let mean: f64 = (0..n).map(|_| m.sample_nu(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - m.nu_mean).abs() < 0.001, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "elapsed time must be positive")]
+    fn zero_time_rejected() {
+        let _ = RetentionModel::default().drift_factor(0.0, 0.01);
+    }
+}

@@ -1,0 +1,222 @@
+//! Device specification: conductance window, level count, variation and
+//! noise magnitudes, polarity capability.
+
+use serde::{Deserialize, Serialize};
+
+/// Switching-polarity capability of the device (§4.2 of the paper).
+///
+/// The SEI sign trick of §4.1 drives the extra port with −1 for the
+/// negative-weight cell, which requires a device that behaves symmetrically
+/// under both voltage polarities. Unipolar devices (and bipolar devices with
+/// strongly asymmetric I–V \[16\]) cannot do that, which is why the paper
+/// introduces the dynamic-threshold linear-mapping structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Polarity {
+    /// Symmetric bipolar: negative read voltages are usable, so signed
+    /// weights can use ±1 ports directly.
+    Bipolar,
+    /// Unipolar: only one voltage polarity is available.
+    Unipolar,
+    /// Bipolar but with asymmetric conduction; negative reads are
+    /// unreliable and are treated as unavailable.
+    AsymmetricBipolar,
+}
+
+impl Polarity {
+    /// Whether a negative "input" voltage may be applied during compute.
+    pub fn supports_negative_input(self) -> bool {
+        matches!(self, Polarity::Bipolar)
+    }
+}
+
+/// Static parameters of one RRAM device model.
+///
+/// Defaults are modelled on the HfOx/AlOx multilevel synaptic devices the
+/// paper cites (\[13\], \[16\], \[21\]): a 0.1–20 µS conductance window,
+/// 16 levels (4 bits), a few percent programming variation after
+/// write–verify, and sub-percent read noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Number of programmable bits; the device offers `2^bits` levels.
+    pub bits: u32,
+    /// Minimum (off-state) conductance in siemens.
+    pub g_min: f64,
+    /// Maximum (on-state) conductance in siemens.
+    pub g_max: f64,
+    /// Log-normal sigma of a single un-verified programming pulse.
+    pub program_sigma: f64,
+    /// Relative tolerance targeted by the write–verify loop (fraction of one
+    /// level spacing).
+    pub verify_tolerance: f64,
+    /// Maximum write–verify iterations before giving up.
+    pub max_verify_iters: u32,
+    /// Gaussian cycle-to-cycle read-noise sigma (relative).
+    pub read_sigma: f64,
+    /// Probability that a read is perturbed by random telegraph noise.
+    pub rtn_probability: f64,
+    /// Relative conductance excursion of an RTN event.
+    pub rtn_amplitude: f64,
+    /// Polarity capability.
+    pub polarity: Polarity,
+    /// Read voltage in volts (used for current and energy computations).
+    pub read_voltage: f64,
+    /// Read pulse duration in seconds.
+    pub read_pulse: f64,
+    /// Energy of one programming pulse in joules.
+    pub write_pulse_energy: f64,
+}
+
+impl DeviceSpec {
+    /// The paper's experimental configuration: a 4-bit device.
+    pub fn default_4bit() -> Self {
+        DeviceSpec {
+            bits: 4,
+            g_min: 0.1e-6,
+            g_max: 20e-6,
+            program_sigma: 0.08,
+            verify_tolerance: 0.5,
+            max_verify_iters: 16,
+            read_sigma: 0.01,
+            rtn_probability: 0.002,
+            rtn_amplitude: 0.10,
+            polarity: Polarity::Bipolar,
+            read_voltage: 0.2,
+            read_pulse: 10e-9,
+            write_pulse_energy: 1e-12,
+        }
+    }
+
+    /// A variant with a different level count (2–8 bits), other parameters
+    /// unchanged — used by the device-precision ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 8.
+    pub fn with_bits(mut self, bits: u32) -> Self {
+        assert!((1..=8).contains(&bits), "bits must be in 1..=8");
+        self.bits = bits;
+        self
+    }
+
+    /// An ideal noiseless device (infinite-precision analog behaviour is
+    /// still quantized to levels, but variation and noise are zero). Used by
+    /// equivalence tests.
+    pub fn ideal(bits: u32) -> Self {
+        DeviceSpec {
+            program_sigma: 0.0,
+            read_sigma: 0.0,
+            rtn_probability: 0.0,
+            ..DeviceSpec::default_4bit().with_bits(bits)
+        }
+    }
+
+    /// Number of distinct conductance levels (`2^bits`).
+    pub fn levels(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Conductance of level `level` under the linear level map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= levels()`.
+    pub fn level_conductance(&self, level: u32) -> f64 {
+        assert!(level < self.levels(), "level {level} out of range");
+        let frac = level as f64 / (self.levels() - 1) as f64;
+        self.g_min + frac * (self.g_max - self.g_min)
+    }
+
+    /// Quantizes a fraction-of-full-scale value in `[0, 1]` to the nearest
+    /// level index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn quantize(&self, value: f64) -> u32 {
+        assert!(value.is_finite(), "cannot quantize non-finite value");
+        let clamped = value.clamp(0.0, 1.0);
+        (clamped * (self.levels() - 1) as f64).round() as u32
+    }
+
+    /// The fraction of full scale represented by a level (inverse of
+    /// [`DeviceSpec::quantize`] up to rounding).
+    pub fn level_fraction(&self, level: u32) -> f64 {
+        assert!(level < self.levels(), "level {level} out of range");
+        level as f64 / (self.levels() - 1) as f64
+    }
+
+    /// Conductance spacing between adjacent levels.
+    pub fn level_spacing(&self) -> f64 {
+        (self.g_max - self.g_min) / (self.levels() - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_bit_has_16_levels() {
+        let s = DeviceSpec::default_4bit();
+        assert_eq!(s.levels(), 16);
+    }
+
+    #[test]
+    fn level_conductance_endpoints() {
+        let s = DeviceSpec::default_4bit();
+        assert_eq!(s.level_conductance(0), s.g_min);
+        assert_eq!(s.level_conductance(15), s.g_max);
+    }
+
+    #[test]
+    fn quantize_roundtrip_on_grid() {
+        let s = DeviceSpec::default_4bit();
+        for level in 0..s.levels() {
+            let frac = s.level_fraction(level);
+            assert_eq!(s.quantize(frac), level);
+        }
+    }
+
+    #[test]
+    fn quantize_clamps_out_of_range() {
+        let s = DeviceSpec::default_4bit();
+        assert_eq!(s.quantize(-3.0), 0);
+        assert_eq!(s.quantize(7.5), 15);
+    }
+
+    #[test]
+    fn quantize_max_error_half_level() {
+        let s = DeviceSpec::default_4bit();
+        let step = 1.0 / 15.0;
+        for i in 0..100 {
+            let v = i as f64 / 99.0;
+            let q = s.level_fraction(s.quantize(v));
+            assert!((q - v).abs() <= step / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn polarity_negative_input_rules() {
+        assert!(Polarity::Bipolar.supports_negative_input());
+        assert!(!Polarity::Unipolar.supports_negative_input());
+        assert!(!Polarity::AsymmetricBipolar.supports_negative_input());
+    }
+
+    #[test]
+    fn with_bits_changes_levels() {
+        let s = DeviceSpec::default_4bit().with_bits(6);
+        assert_eq!(s.levels(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=8")]
+    fn with_bits_rejects_zero() {
+        let _ = DeviceSpec::default_4bit().with_bits(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn level_conductance_bounds_checked() {
+        let _ = DeviceSpec::default_4bit().level_conductance(16);
+    }
+}

@@ -1,0 +1,162 @@
+//! The three hardware structures of Table 5 and the design constraints.
+
+use serde::{Deserialize, Serialize};
+
+/// The crossbar structures the paper compares (Table 5, "Crossbar
+/// Structure" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Structure {
+    /// Traditional: 8-bit activations through DACs, results merged by ADCs
+    /// (Fig. 2(a)/(b)).
+    DacAdc,
+    /// After software 1-bit quantization: binary inputs drive rows directly
+    /// (no hidden-layer DACs) but signed / high-precision weights still
+    /// need ADC-based merging of multiple crossbars.
+    OneBitInputAdc,
+    /// The proposed structure: 1-bit inputs gate rows, the extra port
+    /// carries common weight information, sense amplifiers replace ADCs
+    /// (Fig. 2(c)/(d)).
+    Sei,
+}
+
+impl Structure {
+    /// All structures, in the paper's Table 5 row order.
+    pub const ALL: [Structure; 3] = [Structure::DacAdc, Structure::OneBitInputAdc, Structure::Sei];
+
+    /// Table 5's "Data Bits" column: activation precision between layers.
+    pub fn data_bits(self) -> u32 {
+        match self {
+            Structure::DacAdc => 8,
+            Structure::OneBitInputAdc | Structure::Sei => 1,
+        }
+    }
+
+    /// Display name as used in Table 5.
+    pub fn name(self) -> &'static str {
+        match self {
+            Structure::DacAdc => "DAC+ADC",
+            Structure::OneBitInputAdc => "1-bit-Input+ADC",
+            Structure::Sei => "SEI",
+        }
+    }
+}
+
+/// Shared design constraints for a mapped accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DesignConstraints {
+    /// Maximum crossbar dimension (rows and columns), e.g. 512 or 256.
+    pub max_crossbar: usize,
+    /// Weight precision in bits (paper: 8).
+    pub weight_bits: u32,
+    /// Device precision in bits (paper: 4).
+    pub device_bits: u32,
+}
+
+impl DesignConstraints {
+    /// The paper's default experiment setup: 512×512 crossbars, 8-bit
+    /// weights, 4-bit devices.
+    pub fn paper_default() -> Self {
+        DesignConstraints {
+            max_crossbar: 512,
+            weight_bits: 8,
+            device_bits: 4,
+        }
+    }
+
+    /// Same but with a smaller maximum crossbar (Table 4/5 also evaluate
+    /// 256).
+    pub fn with_max_crossbar(mut self, max: usize) -> Self {
+        assert!(max >= 8, "max crossbar size unreasonably small");
+        self.max_crossbar = max;
+        self
+    }
+
+    /// Number of device cells needed per weight magnitude
+    /// (`ceil(weight_bits / device_bits)`; 2 for the paper's 8-on-4).
+    pub fn slices_per_weight(&self) -> usize {
+        self.weight_bits.div_ceil(self.device_bits) as usize
+    }
+
+    /// Physical rows per logical input row in an SEI crossbar:
+    /// `2 × slices` (positive and negative port rows). The paper's 300×64
+    /// example: 4 rows per weight → 1200×64.
+    pub fn sei_rows_per_input(&self) -> usize {
+        2 * self.slices_per_weight()
+    }
+
+    /// Maximum logical input rows a single SEI crossbar supports, after
+    /// reserving one logical row for the bias/threshold rows and one
+    /// physical column for the reference.
+    pub fn sei_logical_capacity(&self) -> usize {
+        (self.max_crossbar / self.sei_rows_per_input()).saturating_sub(1)
+    }
+
+    /// Number of row-partitions needed to map `n` logical inputs in the SEI
+    /// structure.
+    pub fn sei_partition_count(&self, n: usize) -> usize {
+        let cap = self.sei_logical_capacity().max(1);
+        n.div_ceil(cap).max(1)
+    }
+
+    /// Number of row-partitions needed in the merged (ADC) structures,
+    /// where each of the parallel sign/precision crossbars holds the
+    /// logical matrix directly.
+    pub fn merged_partition_count(&self, n: usize) -> usize {
+        n.div_ceil(self.max_crossbar).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_bits_match_table5() {
+        assert_eq!(Structure::DacAdc.data_bits(), 8);
+        assert_eq!(Structure::OneBitInputAdc.data_bits(), 1);
+        assert_eq!(Structure::Sei.data_bits(), 1);
+    }
+
+    #[test]
+    fn paper_default_slices() {
+        let c = DesignConstraints::paper_default();
+        assert_eq!(c.slices_per_weight(), 2);
+        assert_eq!(c.sei_rows_per_input(), 4);
+    }
+
+    #[test]
+    fn paper_300x64_example_needs_three_crossbars() {
+        // §5.1: "we still need three 400×64 crossbars to implement the huge
+        // 1200×64 RRAM array".
+        let c = DesignConstraints::paper_default();
+        assert_eq!(c.sei_partition_count(300), 3);
+    }
+
+    #[test]
+    fn fc_1024_at_512_and_256() {
+        let c512 = DesignConstraints::paper_default();
+        // 1024 logical rows, capacity (512/4)−1 = 127 → 9 parts.
+        assert_eq!(c512.sei_logical_capacity(), 127);
+        assert_eq!(c512.sei_partition_count(1024), 9);
+        let c256 = c512.with_max_crossbar(256);
+        assert_eq!(c256.sei_logical_capacity(), 63);
+        assert_eq!(c256.sei_partition_count(1024), 17);
+    }
+
+    #[test]
+    fn small_matrices_fit_single_crossbar() {
+        let c = DesignConstraints::paper_default();
+        assert_eq!(c.sei_partition_count(25), 1);
+        assert_eq!(c.merged_partition_count(300), 1);
+    }
+
+    #[test]
+    fn odd_weight_bits_round_up_slices() {
+        let c = DesignConstraints {
+            weight_bits: 6,
+            device_bits: 4,
+            max_crossbar: 512,
+        };
+        assert_eq!(c.slices_per_weight(), 2);
+    }
+}

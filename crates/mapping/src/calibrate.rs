@@ -1,0 +1,630 @@
+//! Calibration pipeline for split networks: partitioning, per-layer
+//! threshold-scale/vote search, output-layer threshold + thermometer-offset
+//! search, activity statistics and dynamic-threshold β search — the
+//! end-to-end procedure behind Table 4.
+//!
+//! The paper "use\[s\] the 60,000 samples in Training Set to optimize the
+//! interval of dynamic threshold, while the experimental results are tested
+//! in the 10,000 samples in Test Set"; [`build_split_network`] mirrors that
+//! discipline — pass a training subset here and score the result on the
+//! test set.
+//!
+//! Calibration proceeds layer by layer in network order (the same greedy
+//! discipline as Algorithm 1), caching each sample's value at the layer
+//! boundary so a candidate only re-runs the network suffix:
+//!
+//! 1. **hidden split layers** — grid-search the per-part threshold scale α
+//!    and the digital vote count D (the paper fixes α = 1, i.e. `θ/K`, and
+//!    implies a majority vote; both are free digital/analog design
+//!    parameters);
+//! 2. **split output layer** — grid-search the firing threshold θ_out
+//!    (quantiles of the observed class scores) jointly with a thermometer
+//!    spread δ of per-part offsets, so the part-fire popcount becomes a
+//!    graded class score;
+//! 3. **β** — the dynamic-threshold strength, line-searched last (with the
+//!    measured mean active-input counts `ē_k`).
+
+use crate::arch::DesignConstraints;
+use crate::evaluate::{OnesStats, OutputHead, SplitNetwork};
+use crate::homogenize::{self, GaConfig, Partition};
+use crate::split::{SplitSpec, VoteRule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sei_nn::data::Dataset;
+use sei_nn::Matrix;
+use sei_quantize::qnet::{QLayer, QValue, QuantizedNetwork};
+use serde::{Deserialize, Serialize};
+
+/// How the rows of an oversized matrix are assigned to partitions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PartitionStrategy {
+    /// Natural (original) row order — chunked contiguously.
+    Natural,
+    /// Uniformly random row order (the Table 4 failure mode).
+    Random,
+    /// Genetic-algorithm homogenization (Equ. 10 objective).
+    Homogenized(GaConfig),
+}
+
+/// Configuration of the split-network build.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitBuildConfig {
+    /// Crossbar and precision constraints (determine which layers split
+    /// and into how many parts).
+    pub constraints: DesignConstraints,
+    /// Partitioning strategy.
+    pub strategy: PartitionStrategy,
+    /// β candidates for the dynamic-threshold search (empty = keep β = 0).
+    pub beta_grid: Vec<f32>,
+    /// α (threshold scale) candidates for hidden split layers.
+    pub alpha_grid: Vec<f32>,
+    /// Number of output-layer threshold candidates (quantiles of the
+    /// observed class scores).
+    pub output_theta_candidates: usize,
+    /// Thermometer-spread multipliers for the split output layer (relative
+    /// to the observed score dispersion; 0 ⇒ flat thresholds).
+    pub delta_grid: Vec<f32>,
+    /// Skip the output-θ search and use this value (e.g. to compare many
+    /// random partitions under one calibrated threshold).
+    pub fixed_output_theta: Option<f32>,
+    /// Switch for the α/D/θ_out/δ grid searches: when `false`, the build
+    /// keeps the paper-faithful static defaults (α = 1 i.e. θ/K, majority
+    /// vote, flat offsets). The β search is governed solely by
+    /// [`SplitBuildConfig::beta_grid`].
+    pub calibrate: bool,
+    /// Output-layer readout (ADC head by default; see
+    /// [`crate::evaluate::OutputHead`]).
+    pub output_head: OutputHead,
+    /// Run per-part offset coordinate descent on the split output layer.
+    /// Off by default: with small calibration sets the extra ~100 adaptive
+    /// evaluations overfit (measurably worse test error); enable only with
+    /// paper-scale calibration data.
+    pub refine_offsets: bool,
+    /// Sample cap for calibrating *conv* split layers (their suffix
+    /// evaluation is ~100× costlier than an FC suffix; capping keeps the
+    /// grid search tractable while FC/output layers use the full set).
+    pub conv_calib_cap: usize,
+    /// RNG seed (partition shuffling / GA).
+    pub seed: u64,
+}
+
+impl SplitBuildConfig {
+    /// A calibrated homogenized build (static thresholds — no β search) at
+    /// the given constraints.
+    pub fn homogenized(constraints: DesignConstraints) -> Self {
+        SplitBuildConfig {
+            constraints,
+            strategy: PartitionStrategy::Homogenized(GaConfig::default()),
+            beta_grid: Vec::new(),
+            alpha_grid: vec![0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.15, 1.3],
+            output_theta_candidates: 10,
+            delta_grid: vec![0.0, 0.5, 1.0, 2.0, 4.0, 8.0],
+            fixed_output_theta: None,
+            calibrate: true,
+            output_head: OutputHead::Adc,
+            refine_offsets: false,
+            conv_calib_cap: 200,
+            seed: 0,
+        }
+    }
+
+    /// Adds the dynamic-threshold β search with a default grid.
+    pub fn with_dynamic_threshold(mut self) -> Self {
+        self.beta_grid = vec![0.0, 0.25, 0.5, 0.75, 1.0, 1.25];
+        self
+    }
+
+    /// Disables all grid searches (paper-faithful static θ/K + majority).
+    pub fn uncalibrated(mut self) -> Self {
+        self.calibrate = false;
+        self
+    }
+}
+
+/// Per-split-layer report of the homogenization objective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistanceReport {
+    /// Layer index in the quantized network.
+    pub layer_index: usize,
+    /// Number of parts.
+    pub parts: usize,
+    /// Equ. 10 distance of the natural-order partition.
+    pub natural_distance: f64,
+    /// Equ. 10 distance of the chosen partition.
+    pub chosen_distance: f64,
+}
+
+impl DistanceReport {
+    /// Fractional reduction of the distance vs. natural order (the paper
+    /// reports 80–90 % for fine-trained CNNs).
+    pub fn reduction(&self) -> f64 {
+        if self.natural_distance <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.chosen_distance / self.natural_distance
+        }
+    }
+}
+
+/// A calibrated split network plus its calibration artifacts.
+#[derive(Debug)]
+pub struct CalibratedSplit {
+    /// The evaluable network.
+    pub net: SplitNetwork,
+    /// Output-layer firing threshold (when the output layer was split).
+    pub output_theta: Option<f32>,
+    /// β chosen per split layer (parallel to `net.split_indices()`).
+    pub betas: Vec<f32>,
+    /// Homogenization-objective reports per split layer.
+    pub distances: Vec<DistanceReport>,
+}
+
+/// Error rate of a split network over a dataset.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn split_error_rate(net: &SplitNetwork, data: &Dataset) -> f32 {
+    assert!(!data.is_empty(), "empty dataset");
+    let errors = data
+        .iter()
+        .filter(|(img, label)| net.classify(img) != *label as usize)
+        .count();
+    errors as f32 / data.len() as f32
+}
+
+/// The weight matrix of a splittable quantized layer, if it is one.
+fn layer_matrix(layer: &QLayer) -> Option<(Matrix, bool)> {
+    match layer {
+        QLayer::BinaryConv { conv, .. } => Some((conv.weight_matrix(), false)),
+        QLayer::BinaryFc { linear, .. } => Some((linear.weight_matrix(), false)),
+        QLayer::OutputFc { linear } => Some((linear.weight_matrix(), true)),
+        _ => None,
+    }
+}
+
+/// Builds and calibrates a split network from a quantized network.
+///
+/// Layers whose SEI physical row count exceeds the crossbar limit are
+/// partitioned per the strategy and then calibrated per the module-level
+/// procedure, all on `calib`.
+///
+/// # Panics
+///
+/// Panics if `calib` is empty while any calibration step needs it.
+pub fn build_split_network(
+    qnet: &QuantizedNetwork,
+    cfg: &SplitBuildConfig,
+    calib: &Dataset,
+) -> CalibratedSplit {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut specs: Vec<Option<SplitSpec>> = Vec::with_capacity(qnet.layers().len());
+    let mut distances = Vec::new();
+    let mut output_split = false;
+
+    for (i, layer) in qnet.layers().iter().enumerate() {
+        let Some((wm, is_output)) = layer_matrix(layer) else {
+            specs.push(None);
+            continue;
+        };
+        let n = wm.rows();
+        let k = cfg.constraints.sei_partition_count(n);
+        if k <= 1 {
+            specs.push(None);
+            continue;
+        }
+        let partition: Partition = match &cfg.strategy {
+            PartitionStrategy::Natural => homogenize::natural_order(n, k),
+            PartitionStrategy::Random => homogenize::random_order(n, k, &mut rng),
+            PartitionStrategy::Homogenized(ga) => homogenize::genetic(&wm, k, ga, &mut rng),
+        };
+        distances.push(DistanceReport {
+            layer_index: i,
+            parts: k,
+            natural_distance: homogenize::mean_vector_distance(
+                &wm,
+                &homogenize::natural_order(n, k),
+            ),
+            chosen_distance: homogenize::mean_vector_distance(&wm, &partition),
+        });
+        output_split |= is_output;
+        specs.push(Some(SplitSpec::new(partition)));
+    }
+
+    // Observed class-score distribution of the (unsplit) quantized net —
+    // the candidate source for θ_out and the thermometer spread. Only the
+    // popcount head needs a θ_out at all.
+    let output_needs_theta = output_split && cfg.output_head == OutputHead::Popcount;
+    let score_quantiles = if output_needs_theta {
+        assert!(
+            !calib.is_empty() || cfg.fixed_output_theta.is_some(),
+            "output-θ selection needs calibration data"
+        );
+        let mut values: Vec<f32> = Vec::new();
+        for (img, _) in calib.iter() {
+            values.extend_from_slice(qnet.forward(img).as_slice());
+        }
+        values.sort_by(f32::total_cmp);
+        values
+    } else {
+        Vec::new()
+    };
+    let quantile = |q: f32| -> f32 {
+        if score_quantiles.is_empty() {
+            0.0
+        } else {
+            score_quantiles[((score_quantiles.len() - 1) as f32 * q) as usize]
+        }
+    };
+
+    let initial_theta = if output_needs_theta {
+        Some(cfg.fixed_output_theta.unwrap_or_else(|| quantile(0.7)))
+    } else {
+        None
+    };
+
+    let mut net = SplitNetwork::new(qnet, specs, initial_theta);
+    net.set_output_head(cfg.output_head);
+    let n_split = net.split_indices().len();
+    let mut betas = vec![0.0f32; n_split];
+    if n_split == 0 || calib.is_empty() {
+        return CalibratedSplit {
+            net,
+            output_theta: initial_theta,
+            betas,
+            distances,
+        };
+    }
+
+    // --- sequential per-layer calibration with prefix caching ---
+    //
+    // Pass order: the output head first (so hidden-layer grids are scored
+    // through a sane readout), then hidden layers in network order, then
+    // the head again (now seeing the final hidden configuration).
+    let split_indices = net.split_indices().to_vec();
+    let mut output_theta = initial_theta;
+    let mut order: Vec<usize> = Vec::new();
+    // With the ADC head the output layer computes exactly; it needs no
+    // calibration pass.
+    let output_positions: Vec<usize> = (0..split_indices.len())
+        .filter(|&w| net.split_is_output(w) && cfg.output_head == OutputHead::Popcount)
+        .collect();
+    let hidden_positions: Vec<usize> = (0..split_indices.len())
+        .filter(|&w| !net.split_is_output(w))
+        .collect();
+    order.extend(&output_positions);
+    order.extend(&hidden_positions);
+    if !hidden_positions.is_empty() {
+        order.extend(&output_positions);
+    }
+    for &which in &order {
+        let layer_idx = split_indices[which];
+        // Conv suffixes are expensive to evaluate; cap their calibration
+        // sample count (FC/output layers use everything).
+        let is_conv = matches!(qnet.layers()[layer_idx], QLayer::BinaryConv { .. });
+        let eval_n = if is_conv {
+            calib.len().min(cfg.conv_calib_cap.max(1))
+        } else {
+            calib.len()
+        };
+        // Cache each sample's value at this layer's input (uses the
+        // already-calibrated earlier layers).
+        let prefix: Vec<QValue> = calib
+            .images()
+            .iter()
+            .take(eval_n)
+            .map(|img| net.forward_range(QValue::Analog(img.clone()), 0, layer_idx))
+            .collect();
+
+        // Mean active-input statistics for this layer (β's ē_k), measured
+        // by running just this layer with stats enabled.
+        let mut stats = vec![OnesStats::default(); n_split];
+        for v in &prefix {
+            let _ =
+                net.forward_range_with_stats(v.clone(), layer_idx, layer_idx + 1, &mut stats);
+        }
+        if stats[which].count > 0 {
+            net.set_mean_ones(which, stats[which].means());
+        }
+
+        // Scoring closure: accuracy of the suffix from the cached prefix.
+        let accuracy = |net: &SplitNetwork| -> f32 {
+            let mut correct = 0usize;
+            for (v, (_, label)) in prefix.iter().zip(calib.iter()) {
+                let scores = net
+                    .forward_range(v.clone(), layer_idx, net.len())
+                    .expect_analog();
+                if scores.argmax() == label as usize {
+                    correct += 1;
+                }
+            }
+            correct as f32 / prefix.len() as f32
+        };
+
+        if cfg.calibrate {
+            if net.split_is_output(which) {
+                // θ_out × thermometer-δ grid.
+                let k = net.split_parts(which);
+                let theta_cands: Vec<f32> = if let Some(t) = cfg.fixed_output_theta {
+                    vec![t]
+                } else {
+                    let n_cand = cfg.output_theta_candidates.max(2);
+                    (0..n_cand)
+                        .map(|i| quantile(0.30 + 0.69 * i as f32 / (n_cand - 1) as f32))
+                        .collect()
+                };
+                // Spread unit: the observed score dispersion shared across
+                // the K parts.
+                let unit = ((quantile(0.9) - quantile(0.5)).abs() / k.max(1) as f32).max(1e-6);
+                let mut best = (f32::MIN, theta_cands[0], 0.0f32);
+                for &theta in &theta_cands {
+                    net.set_split_theta(which, theta);
+                    for &dmul in &cfg.delta_grid {
+                        let delta = dmul * unit;
+                        let offsets: Vec<f32> = (0..k)
+                            .map(|p| delta * (p as f32 - (k as f32 - 1.0) / 2.0))
+                            .collect();
+                        net.set_part_offsets(which, offsets);
+                        let acc = accuracy(&net);
+                        if acc > best.0 {
+                            best = (acc, theta, dmul);
+                        }
+                    }
+                }
+                net.set_split_theta(which, best.1);
+                let delta = best.2 * unit;
+                let mut offsets: Vec<f32> = (0..k)
+                    .map(|p| delta * (p as f32 - (k as f32 - 1.0) / 2.0))
+                    .collect();
+                net.set_part_offsets(which, offsets.clone());
+                output_theta = Some(best.1);
+
+                // Coordinate-descent refinement of the per-part offsets
+                // (each offset is just a programmed reference-column cell,
+                // so any vector is realizable). Opt-in: overfits small
+                // calibration sets.
+                let mut best_acc = best.0;
+                for _round in 0..if cfg.refine_offsets { 2 } else { 0 } {
+                    for p in 0..k {
+                        let current = offsets[p];
+                        let mut chosen = current;
+                        for step in [-1.0f32, -0.5, 0.5, 1.0] {
+                            offsets[p] = current + step * unit;
+                            net.set_part_offsets(which, offsets.clone());
+                            let acc = accuracy(&net);
+                            if acc > best_acc {
+                                best_acc = acc;
+                                chosen = offsets[p];
+                            }
+                        }
+                        offsets[p] = chosen;
+                    }
+                }
+                net.set_part_offsets(which, offsets);
+            } else {
+                // (α, D) grid for hidden layers.
+                let k = net.split_parts(which);
+                let d_cands: Vec<usize> = (1..=k).collect();
+                let mut best = (f32::MIN, 1.0f32, VoteRule::Majority.required(k));
+                for &alpha in &cfg.alpha_grid {
+                    net.set_theta_scale(which, alpha);
+                    for &d in &d_cands {
+                        net.set_vote(which, VoteRule::AtLeast(d));
+                        let acc = accuracy(&net);
+                        if acc > best.0 {
+                            best = (acc, alpha, d);
+                        }
+                    }
+                }
+                net.set_theta_scale(which, best.1);
+                net.set_vote(which, VoteRule::AtLeast(best.2));
+            }
+
+        }
+
+        // β line search (needs ē_k, set above). Runs whenever a grid is
+        // supplied, independent of the α/D/θ_out calibration switch — the
+        // paper's "Dynamic Threshold" row is plain homogenization plus this
+        // compensation.
+        if !cfg.beta_grid.is_empty() {
+            let mut best = (f32::MIN, 0.0f32);
+            for &beta in &cfg.beta_grid {
+                net.set_beta(which, beta);
+                let acc = accuracy(&net);
+                if acc > best.0 {
+                    best = (acc, beta);
+                }
+            }
+            net.set_beta(which, best.1);
+            betas[which] = best.1;
+        }
+    }
+
+    CalibratedSplit {
+        net,
+        output_theta,
+        betas,
+        distances,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sei_nn::data::SynthConfig;
+    use sei_nn::paper;
+    use sei_nn::train::{TrainConfig, Trainer};
+    use sei_quantize::algorithm1::{quantize_network, QuantizeConfig};
+
+    fn quantized_net2(train: &Dataset) -> QuantizedNetwork {
+        let mut net = paper::network2(3);
+        Trainer::new(TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        })
+        .fit(&mut net, train);
+        quantize_network(&net, &train.truncated(200), &QuantizeConfig::default()).net
+    }
+
+    /// Constraints tight enough to force splitting of Network 2's FC layer
+    /// (200 rows) and conv2 (36 rows): capacity (64/4)−1 = 15.
+    fn tight() -> DesignConstraints {
+        DesignConstraints::paper_default().with_max_crossbar(64)
+    }
+
+    #[test]
+    fn no_split_needed_returns_plain_network() {
+        let train = SynthConfig::new(300, 1).generate();
+        let qnet = quantized_net2(&train);
+        // Network 2's largest matrix has 200 rows → fits a single SEI
+        // crossbar once the capacity exceeds 200 logical rows (rows×4+4).
+        let roomy = DesignConstraints::paper_default().with_max_crossbar(1024);
+        let cfg = SplitBuildConfig::homogenized(roomy);
+        let result = build_split_network(&qnet, &cfg, &train.truncated(50));
+        assert!(result.net.split_indices().is_empty());
+        assert!(result.output_theta.is_none());
+        assert!(result.distances.is_empty());
+    }
+
+    #[test]
+    fn tight_constraints_split_conv2_and_fc() {
+        let train = SynthConfig::new(400, 2).generate();
+        let qnet = quantized_net2(&train);
+        let cfg = SplitBuildConfig {
+            strategy: PartitionStrategy::Natural,
+            ..SplitBuildConfig::homogenized(tight())
+        };
+        let result = build_split_network(&qnet, &cfg, &train.truncated(60));
+        assert_eq!(result.net.split_indices().len(), 2);
+        // The default ADC head needs no output θ.
+        assert!(result.output_theta.is_none());
+        // conv2: 36 rows / 15 capacity → 3 parts; fc: 200/15 → 14 parts.
+        assert_eq!(result.distances[0].parts, 3);
+        assert_eq!(result.distances[1].parts, 14);
+    }
+
+    #[test]
+    fn homogenized_distance_not_worse_than_natural() {
+        let train = SynthConfig::new(400, 3).generate();
+        let qnet = quantized_net2(&train);
+        let cfg = SplitBuildConfig::homogenized(tight());
+        let result = build_split_network(&qnet, &cfg, &train.truncated(40));
+        for d in &result.distances {
+            assert!(
+                d.chosen_distance <= d.natural_distance + 1e-9,
+                "layer {}: chosen {} vs natural {}",
+                d.layer_index,
+                d.chosen_distance,
+                d.natural_distance
+            );
+        }
+    }
+
+    #[test]
+    fn calibrated_split_stays_close_to_unsplit() {
+        // The headline Table 4 behaviour: a calibrated homogenized split
+        // should stay in the neighbourhood of the unsplit quantized error,
+        // not collapse.
+        let train = SynthConfig::new(1200, 4).generate();
+        let test = SynthConfig::new(300, 5).generate();
+        let qnet = quantized_net2(&train);
+        let calib = train.truncated(200);
+        let unsplit_err = {
+            let errs = test
+                .iter()
+                .filter(|(img, l)| qnet.classify(img) != *l as usize)
+                .count();
+            errs as f32 / test.len() as f32
+        };
+        let build = build_split_network(&qnet, &SplitBuildConfig::homogenized(tight()), &calib);
+        let err = split_error_rate(&build.net, &test);
+        assert!(
+            err <= unsplit_err + 0.12,
+            "split {err} strayed too far from unsplit {unsplit_err}"
+        );
+    }
+
+    #[test]
+    fn homogenization_beats_random_order_accuracy() {
+        // The Table 4 story in miniature: random-order splitting hurts;
+        // homogenization recovers most of it.
+        let train = SynthConfig::new(1200, 4).generate();
+        let test = SynthConfig::new(300, 5).generate();
+        let qnet = quantized_net2(&train);
+        let calib = train.truncated(150);
+
+        let random = build_split_network(
+            &qnet,
+            &SplitBuildConfig {
+                strategy: PartitionStrategy::Random,
+                seed: 13,
+                ..SplitBuildConfig::homogenized(tight())
+            },
+            &calib,
+        );
+        let homog = build_split_network(&qnet, &SplitBuildConfig::homogenized(tight()), &calib);
+
+        let err_random = split_error_rate(&random.net, &test);
+        let err_homog = split_error_rate(&homog.net, &test);
+        assert!(
+            err_homog <= err_random + 0.02,
+            "homogenized {err_homog} should not lose to random {err_random}"
+        );
+    }
+
+    #[test]
+    fn beta_search_runs_and_does_not_hurt_calibration_accuracy() {
+        let train = SynthConfig::new(800, 6).generate();
+        let qnet = quantized_net2(&train);
+        let calib = train.truncated(100);
+
+        let static_build =
+            build_split_network(&qnet, &SplitBuildConfig::homogenized(tight()), &calib);
+        let dynamic_build = build_split_network(
+            &qnet,
+            &SplitBuildConfig::homogenized(tight()).with_dynamic_threshold(),
+            &calib,
+        );
+        let err_static = split_error_rate(&static_build.net, &calib);
+        let err_dynamic = split_error_rate(&dynamic_build.net, &calib);
+        // β = 0 is in the grid, so calibration accuracy can only improve.
+        assert!(
+            err_dynamic <= err_static + 1e-6,
+            "dynamic {err_dynamic} vs static {err_static}"
+        );
+        assert_eq!(dynamic_build.betas.len(), 2);
+    }
+
+    #[test]
+    fn uncalibrated_build_keeps_paper_defaults() {
+        let train = SynthConfig::new(400, 7).generate();
+        let qnet = quantized_net2(&train);
+        let cfg = SplitBuildConfig::homogenized(tight()).uncalibrated();
+        let result = build_split_network(&qnet, &cfg, &train.truncated(50));
+        for spec in result.net.specs().into_iter().flatten() {
+            assert_eq!(spec.theta_scale, 1.0);
+            assert_eq!(spec.beta, 0.0);
+            assert!(spec.part_offsets.is_empty());
+            assert_eq!(spec.vote, VoteRule::Majority);
+        }
+    }
+
+    #[test]
+    fn calibration_beats_uncalibrated_on_calib_set() {
+        let train = SynthConfig::new(1000, 8).generate();
+        let qnet = quantized_net2(&train);
+        let calib = train.truncated(150);
+        let raw = build_split_network(
+            &qnet,
+            &SplitBuildConfig::homogenized(tight()).uncalibrated(),
+            &calib,
+        );
+        let cal = build_split_network(&qnet, &SplitBuildConfig::homogenized(tight()), &calib);
+        let err_raw = split_error_rate(&raw.net, &calib);
+        let err_cal = split_error_rate(&cal.net, &calib);
+        assert!(
+            err_cal <= err_raw + 1e-6,
+            "calibrated {err_cal} vs uncalibrated {err_raw}"
+        );
+    }
+}

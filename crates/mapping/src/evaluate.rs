@@ -1,0 +1,813 @@
+//! Evaluating a quantized network whose large layers are split across
+//! crossbars — the accuracy side of §4.3 (Table 4).
+//!
+//! A [`SplitNetwork`] wraps a [`QuantizedNetwork`]; selected weighted
+//! layers are computed part-wise exactly as the hardware would:
+//!
+//! * each part computes `S_k = Σ_{j ∈ part_k, bit_j=1} w_j + b·n_k/n` and
+//!   fires when `S_k > θ_k(ones_k)` ([`SplitSpec::part_threshold`]);
+//! * a **hidden** layer's output bit is a digital vote over the part bits;
+//! * the **output** layer's per-class score is, under the default
+//!   [`OutputHead::Adc`], the digitally-summed part sums (exact — the few
+//!   classifier outputs keep their ADCs, see [`OutputHead`]); under
+//!   [`OutputHead::Popcount`] it is the vote *count* of part fires with a
+//!   calibrated firing threshold `output_theta`.
+
+use crate::split::SplitSpec;
+use serde::{Deserialize, Serialize};
+use sei_quantize::bits::BitTensor;
+use sei_quantize::qnet::{QLayer, QValue, QuantizedNetwork};
+use sei_nn::{Matrix, Tensor3};
+
+/// How a *split output (classifier) layer* is read out.
+///
+/// The paper eliminates the ADCs of every hidden layer but never claims the
+/// 10 classifier outputs are converter-free; reading the final layer's part
+/// sums through ADCs costs ~`K·classes` conversions **per picture**
+/// (negligible next to the tens of thousands eliminated) and keeps the
+/// classification exact — this is the default. The fully ADC-free
+/// alternative reads each part through its sense amplifier and uses the
+/// per-class popcount as the score; it needs the calibrated thresholds /
+/// thermometer offsets of [`crate::calibrate`] and costs accuracy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum OutputHead {
+    /// Part sums digitized by (time-multiplexed) ADCs and added digitally.
+    #[default]
+    Adc,
+    /// ADC-free: per-class popcount of part fires (vote-count scores).
+    Popcount,
+}
+
+/// Per-split-layer activity statistics collected during calibration
+/// forwards: the running sum and count of active inputs per part.
+#[derive(Debug, Clone, Default)]
+pub struct OnesStats {
+    /// Per part: sum of `ones_k` over all observed firings.
+    pub sums: Vec<f64>,
+    /// Number of observations (positions × images).
+    pub count: u64,
+}
+
+impl OnesStats {
+    /// Mean active inputs per part.
+    pub fn means(&self) -> Vec<f32> {
+        self.sums
+            .iter()
+            .map(|&s| (s / self.count.max(1) as f64) as f32)
+            .collect()
+    }
+}
+
+/// One layer of a split network.
+#[derive(Debug, Clone)]
+enum SLayer {
+    /// Unsplit layer, evaluated by the quantized-network rules.
+    Plain(QLayer),
+    /// Split hidden conv layer.
+    SplitConv {
+        wm: Matrix,
+        bias: Vec<f32>,
+        theta: f32,
+        kernel: usize,
+        in_ch: usize,
+        spec: SplitSpec,
+    },
+    /// Split FC layer (hidden or output).
+    SplitFc {
+        wm: Matrix,
+        bias: Vec<f32>,
+        theta: f32,
+        spec: SplitSpec,
+        output: bool,
+    },
+}
+
+/// A quantized network with per-layer splitting specifications.
+#[derive(Debug, Clone)]
+pub struct SplitNetwork {
+    layers: Vec<SLayer>,
+    /// Indices (into `layers`) of the split layers, in order — the key by
+    /// which calibration statistics and β updates are addressed.
+    split_indices: Vec<usize>,
+    head: OutputHead,
+}
+
+impl SplitNetwork {
+    /// Builds a split network with the default [`OutputHead::Adc`]
+    /// readout. `specs[i]`, when present, applies to `qnet.layers()[i]`,
+    /// which must be a `BinaryConv`, `BinaryFc` or `OutputFc`.
+    /// `output_theta` is required only by the [`OutputHead::Popcount`]
+    /// readout (set it when you intend to switch heads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spec targets an unsupported layer or if a partition
+    /// does not cover the layer's rows exactly.
+    pub fn new(
+        qnet: &QuantizedNetwork,
+        specs: Vec<Option<SplitSpec>>,
+        output_theta: Option<f32>,
+    ) -> Self {
+        assert_eq!(
+            specs.len(),
+            qnet.layers().len(),
+            "one (optional) spec per layer"
+        );
+        let mut layers = Vec::with_capacity(specs.len());
+        let mut split_indices = Vec::new();
+        for (i, (layer, spec)) in qnet.layers().iter().zip(specs).enumerate() {
+            let Some(spec) = spec else {
+                layers.push(SLayer::Plain(layer.clone()));
+                continue;
+            };
+            split_indices.push(i);
+            match layer {
+                QLayer::BinaryConv { conv, threshold } => {
+                    let wm = conv.weight_matrix();
+                    check_partition(&spec, wm.rows());
+                    layers.push(SLayer::SplitConv {
+                        wm,
+                        bias: conv.bias().to_vec(),
+                        theta: *threshold,
+                        kernel: conv.kernel(),
+                        in_ch: conv.in_channels(),
+                        spec,
+                    });
+                }
+                QLayer::BinaryFc { linear, threshold } => {
+                    let wm = linear.weight_matrix();
+                    check_partition(&spec, wm.rows());
+                    layers.push(SLayer::SplitFc {
+                        wm,
+                        bias: linear.bias().to_vec(),
+                        theta: *threshold,
+                        spec,
+                        output: false,
+                    });
+                }
+                QLayer::OutputFc { linear } => {
+                    let wm = linear.weight_matrix();
+                    check_partition(&spec, wm.rows());
+                    layers.push(SLayer::SplitFc {
+                        wm,
+                        bias: linear.bias().to_vec(),
+                        theta: output_theta.unwrap_or(0.0),
+                        spec,
+                        output: true,
+                    });
+                }
+                other => panic!("cannot split layer kind {other:?}"),
+            }
+        }
+        SplitNetwork {
+            layers,
+            split_indices,
+            head: OutputHead::default(),
+        }
+    }
+
+    /// Selects the output-layer readout (see [`OutputHead`]).
+    pub fn set_output_head(&mut self, head: OutputHead) {
+        self.head = head;
+    }
+
+    /// The current output-layer readout.
+    pub fn output_head(&self) -> OutputHead {
+        self.head
+    }
+
+    /// Indices of split layers (into the underlying layer list), in order.
+    pub fn split_indices(&self) -> &[usize] {
+        &self.split_indices
+    }
+
+    /// The (calibrated) split specification per layer — `None` for unsplit
+    /// layers. Consumers such as the crossbar-level simulator rebuild the
+    /// same partitioning from this.
+    pub fn specs(&self) -> Vec<Option<SplitSpec>> {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                SLayer::Plain(_) => None,
+                SLayer::SplitConv { spec, .. } | SLayer::SplitFc { spec, .. } => {
+                    Some(spec.clone())
+                }
+            })
+            .collect()
+    }
+
+    /// Sets the dynamic-threshold β of the `which`-th split layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `which` is out of range.
+    pub fn set_beta(&mut self, which: usize, beta: f32) {
+        let idx = self.split_indices[which];
+        match &mut self.layers[idx] {
+            SLayer::SplitConv { spec, .. } | SLayer::SplitFc { spec, .. } => spec.beta = beta,
+            SLayer::Plain(_) => unreachable!(),
+        }
+    }
+
+    /// Sets the calibrated mean active-input counts of the `which`-th split
+    /// layer.
+    pub fn set_mean_ones(&mut self, which: usize, means: Vec<f32>) {
+        let idx = self.split_indices[which];
+        match &mut self.layers[idx] {
+            SLayer::SplitConv { spec, .. } | SLayer::SplitFc { spec, .. } => {
+                assert_eq!(means.len(), spec.part_count(), "one mean per part");
+                spec.mean_ones = means;
+            }
+            SLayer::Plain(_) => unreachable!(),
+        }
+    }
+
+    /// Sets the threshold scale α of the `which`-th split layer.
+    pub fn set_theta_scale(&mut self, which: usize, alpha: f32) {
+        let idx = self.split_indices[which];
+        match &mut self.layers[idx] {
+            SLayer::SplitConv { spec, .. } | SLayer::SplitFc { spec, .. } => {
+                spec.theta_scale = alpha;
+            }
+            SLayer::Plain(_) => unreachable!(),
+        }
+    }
+
+    /// Sets the digital vote rule of the `which`-th split layer.
+    pub fn set_vote(&mut self, which: usize, vote: crate::split::VoteRule) {
+        let idx = self.split_indices[which];
+        match &mut self.layers[idx] {
+            SLayer::SplitConv { spec, .. } | SLayer::SplitFc { spec, .. } => {
+                spec.vote = vote;
+            }
+            SLayer::Plain(_) => unreachable!(),
+        }
+    }
+
+    /// Sets the per-part threshold offsets (thermometer code) of the
+    /// `which`-th split layer.
+    pub fn set_part_offsets(&mut self, which: usize, offsets: Vec<f32>) {
+        let idx = self.split_indices[which];
+        match &mut self.layers[idx] {
+            SLayer::SplitConv { spec, .. } | SLayer::SplitFc { spec, .. } => {
+                assert!(
+                    offsets.is_empty() || offsets.len() == spec.part_count(),
+                    "one offset per part"
+                );
+                spec.part_offsets = offsets;
+            }
+            SLayer::Plain(_) => unreachable!(),
+        }
+    }
+
+    /// Borrows the β of the `which`-th split layer.
+    pub fn beta(&self, which: usize) -> f32 {
+        let idx = self.split_indices[which];
+        match &self.layers[idx] {
+            SLayer::SplitConv { spec, .. } | SLayer::SplitFc { spec, .. } => spec.beta,
+            SLayer::Plain(_) => unreachable!(),
+        }
+    }
+
+    /// Sets the firing threshold of the `which`-th split layer (used by the
+    /// output-θ calibration; for hidden layers this overrides the
+    /// Algorithm 1 threshold and is normally left untouched).
+    pub fn set_split_theta(&mut self, which: usize, theta: f32) {
+        let idx = self.split_indices[which];
+        match &mut self.layers[idx] {
+            SLayer::SplitConv { theta: t, .. } | SLayer::SplitFc { theta: t, .. } => *t = theta,
+            SLayer::Plain(_) => unreachable!(),
+        }
+    }
+
+    /// Whether the `which`-th split layer is the output layer.
+    pub fn split_is_output(&self, which: usize) -> bool {
+        let idx = self.split_indices[which];
+        matches!(self.layers[idx], SLayer::SplitFc { output: true, .. })
+    }
+
+    /// Number of parts of the `which`-th split layer.
+    pub fn split_parts(&self, which: usize) -> usize {
+        let idx = self.split_indices[which];
+        match &self.layers[idx] {
+            SLayer::SplitConv { spec, .. } | SLayer::SplitFc { spec, .. } => spec.part_count(),
+            SLayer::Plain(_) => unreachable!(),
+        }
+    }
+
+    /// Like [`SplitNetwork::forward_range`] but also accumulating
+    /// active-input statistics for split layers inside the range (`stats`
+    /// stays parallel to [`SplitNetwork::split_indices`]).
+    pub fn forward_range_with_stats(
+        &self,
+        value: QValue,
+        start: usize,
+        end: usize,
+        stats: &mut [OnesStats],
+    ) -> QValue {
+        assert!(start <= end && end <= self.layers.len(), "bad layer range");
+        assert_eq!(stats.len(), self.split_indices.len());
+        self.forward_internal(value, start, end, Some(stats))
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Full forward pass to class scores. For a split output layer the
+    /// scores are vote counts (integers as `f32`).
+    pub fn forward(&self, image: &Tensor3) -> Tensor3 {
+        self.forward_internal(QValue::Analog(image.clone()), 0, self.layers.len(), None)
+            .expect_analog()
+    }
+
+    /// Forward pass that also accumulates active-input statistics per split
+    /// layer into `stats` (parallel to [`SplitNetwork::split_indices`]).
+    pub fn forward_with_stats(&self, image: &Tensor3, stats: &mut [OnesStats]) -> Tensor3 {
+        assert_eq!(stats.len(), self.split_indices.len());
+        self.forward_internal(
+            QValue::Analog(image.clone()),
+            0,
+            self.layers.len(),
+            Some(stats),
+        )
+        .expect_analog()
+    }
+
+    /// Runs layers `start..end` on an intermediate value — the calibration
+    /// pipeline caches a prefix value and re-evaluates only the suffix when
+    /// searching a split layer's parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or the value kind does not
+    /// match layer `start`'s expectation.
+    pub fn forward_range(&self, value: QValue, start: usize, end: usize) -> QValue {
+        assert!(start <= end && end <= self.layers.len(), "bad layer range");
+        self.forward_internal(value, start, end, None)
+    }
+
+    fn forward_internal(
+        &self,
+        value: QValue,
+        start: usize,
+        end: usize,
+        mut stats: Option<&mut [OnesStats]>,
+    ) -> QValue {
+        let mut v = value;
+        // Count split layers before `start` so stats stay aligned.
+        let mut split_no = self
+            .split_indices
+            .iter()
+            .take_while(|&&i| i < start)
+            .count();
+        for layer in &self.layers[start..end] {
+            v = match layer {
+                SLayer::Plain(q) => QuantizedNetwork::forward_layer(q, v),
+                SLayer::SplitConv {
+                    wm,
+                    bias,
+                    theta,
+                    kernel,
+                    in_ch,
+                    spec,
+                } => {
+                    let bits = v.expect_bits();
+                    let out = split_conv_forward(
+                        wm,
+                        bias,
+                        *theta,
+                        *kernel,
+                        *in_ch,
+                        spec,
+                        &bits,
+                        stats.as_deref_mut().map(|s| &mut s[split_no]),
+                    );
+                    split_no += 1;
+                    QValue::Bits(out)
+                }
+                SLayer::SplitFc {
+                    wm,
+                    bias,
+                    theta,
+                    spec,
+                    output,
+                } => {
+                    let bits = v.expect_bits();
+                    if *output && self.head == OutputHead::Adc {
+                        // ADC head: part sums digitized and added — exactly
+                        // the unsplit linear output.
+                        let sums = split_fc_sums(
+                            wm,
+                            bias,
+                            spec,
+                            bits.as_slice(),
+                            stats.as_deref_mut().map(|s| &mut s[split_no]),
+                        );
+                        split_no += 1;
+                        QValue::Analog(Tensor3::from_flat(sums))
+                    } else {
+                        let (fires, counts) = split_fc_votes(
+                            wm,
+                            bias,
+                            *theta,
+                            spec,
+                            bits.as_slice(),
+                            stats.as_deref_mut().map(|s| &mut s[split_no]),
+                        );
+                        split_no += 1;
+                        if *output {
+                            QValue::Analog(Tensor3::from_flat(
+                                counts.iter().map(|&c| c as f32).collect(),
+                            ))
+                        } else {
+                            let required = spec.vote.required(spec.part_count());
+                            QValue::Bits(BitTensor::from_vec(
+                                fires.len(),
+                                1,
+                                1,
+                                counts.iter().map(|&c| c >= required).collect(),
+                            ))
+                        }
+                    }
+                }
+            };
+        }
+        v
+    }
+
+    /// Classifies an image (score argmax; ties resolve to the lowest
+    /// class, as a digital comparator chain would).
+    pub fn classify(&self, image: &Tensor3) -> usize {
+        self.forward(image).argmax()
+    }
+}
+
+fn check_partition(spec: &SplitSpec, rows: usize) {
+    let mut seen = vec![false; rows];
+    for part in &spec.partitions {
+        for &r in part {
+            assert!(r < rows, "partition row {r} out of bounds ({rows})");
+            assert!(!seen[r], "partition row {r} duplicated");
+            seen[r] = true;
+        }
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "partition must cover all {rows} rows"
+    );
+}
+
+/// Part-wise conv evaluation: for each output position, gathers the patch
+/// bits and lets each part fire independently.
+#[allow(clippy::too_many_arguments)]
+fn split_conv_forward(
+    wm: &Matrix,
+    bias: &[f32],
+    theta: f32,
+    kernel: usize,
+    in_ch: usize,
+    spec: &SplitSpec,
+    bits: &BitTensor,
+    mut stats: Option<&mut OnesStats>,
+) -> BitTensor {
+    assert_eq!(bits.channels(), in_ch, "conv input channels");
+    let k = kernel;
+    let (ih, iw) = (bits.height(), bits.width());
+    let (oh, ow) = (ih - k + 1, iw - k + 1);
+    let m = wm.cols();
+    let parts = spec.part_count();
+    let required = spec.vote.required(parts);
+    let mut out = BitTensor::zeros(m, oh, ow);
+
+    if let Some(s) = stats.as_deref_mut() {
+        if s.sums.is_empty() {
+            s.sums = vec![0.0; parts];
+        }
+    }
+
+    let mut patch = vec![false; wm.rows()];
+    let mut sums = vec![0.0f32; m];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            // Gather patch bits in weight-matrix row order (i, ky, kx).
+            let mut r = 0;
+            for i in 0..in_ch {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        patch[r] = bits.get(i, oy + ky, ox + kx);
+                        r += 1;
+                    }
+                }
+            }
+            let mut counts = vec![0usize; m];
+            for (p, part) in spec.partitions.iter().enumerate() {
+                sums.iter_mut().for_each(|s| *s = 0.0);
+                let mut ones = 0usize;
+                for &row in part {
+                    if patch[row] {
+                        ones += 1;
+                        for (s, &w) in sums.iter_mut().zip(wm.row(row)) {
+                            *s += w;
+                        }
+                    }
+                }
+                if let Some(s) = stats.as_deref_mut() {
+                    s.sums[p] += ones as f64;
+                }
+                let thr = spec.part_threshold(theta, p, ones);
+                for (c, (&s, &b)) in sums.iter().zip(bias).enumerate() {
+                    if s + spec.part_bias(b, p) > thr {
+                        counts[c] += 1;
+                    }
+                }
+            }
+            if let Some(s) = stats.as_deref_mut() {
+                s.count += 1;
+            }
+            for (c, &cnt) in counts.iter().enumerate() {
+                out.set(c, oy, ox, cnt >= required);
+            }
+        }
+    }
+    out
+}
+
+/// Part-wise FC evaluation; returns per-column (part-fire bitsets flattened
+/// away) — `fires` is unused beyond its length, `counts[c]` is how many
+/// parts fired for column `c`.
+fn split_fc_votes(
+    wm: &Matrix,
+    bias: &[f32],
+    theta: f32,
+    spec: &SplitSpec,
+    bits: &[bool],
+    mut stats: Option<&mut OnesStats>,
+) -> (Vec<bool>, Vec<usize>) {
+    assert_eq!(bits.len(), wm.rows(), "fc input length");
+    let m = wm.cols();
+    let parts = spec.part_count();
+    if let Some(s) = stats.as_deref_mut() {
+        if s.sums.is_empty() {
+            s.sums = vec![0.0; parts];
+        }
+        s.count += 1;
+    }
+    let mut counts = vec![0usize; m];
+    let mut sums = vec![0.0f32; m];
+    for (p, part) in spec.partitions.iter().enumerate() {
+        sums.iter_mut().for_each(|s| *s = 0.0);
+        let mut ones = 0usize;
+        for &row in part {
+            if bits[row] {
+                ones += 1;
+                for (s, &w) in sums.iter_mut().zip(wm.row(row)) {
+                    *s += w;
+                }
+            }
+        }
+        if let Some(s) = stats.as_deref_mut() {
+            s.sums[p] += ones as f64;
+        }
+        let thr = spec.part_threshold(theta, p, ones);
+        for (c, (&s, &b)) in sums.iter().zip(bias).enumerate() {
+            if s + spec.part_bias(b, p) > thr {
+                counts[c] += 1;
+            }
+        }
+    }
+    (vec![false; m], counts)
+}
+
+/// FC with ADC head: per-class digital sum of the parts' analog sums.
+fn split_fc_sums(
+    wm: &Matrix,
+    bias: &[f32],
+    spec: &SplitSpec,
+    bits: &[bool],
+    mut stats: Option<&mut OnesStats>,
+) -> Vec<f32> {
+    assert_eq!(bits.len(), wm.rows(), "fc input length");
+    let m = wm.cols();
+    let parts = spec.part_count();
+    if let Some(s) = stats.as_deref_mut() {
+        if s.sums.is_empty() {
+            s.sums = vec![0.0; parts];
+        }
+        s.count += 1;
+    }
+    let mut totals = vec![0.0f32; m];
+    for (p, part) in spec.partitions.iter().enumerate() {
+        let mut ones = 0usize;
+        for &row in part {
+            if bits[row] {
+                ones += 1;
+                for (t, &w) in totals.iter_mut().zip(wm.row(row)) {
+                    *t += w;
+                }
+            }
+        }
+        if let Some(s) = stats.as_deref_mut() {
+            s.sums[p] += ones as f64;
+        }
+        for (t, &b) in totals.iter_mut().zip(bias) {
+            *t += spec.part_bias(b, p);
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homogenize::natural_order;
+    use sei_nn::{Conv2d, Linear};
+    use sei_quantize::qnet::fc_binary_preact;
+
+    /// A qnet: BinaryFc(6→4, θ) → Flatten no-op → OutputFc(4→3).
+    fn tiny_qnet() -> QuantizedNetwork {
+        let mut hidden = Linear::zeros(6, 4);
+        for (i, w) in hidden.weights_mut().iter_mut().enumerate() {
+            *w = ((i % 5) as f32 - 2.0) * 0.1;
+        }
+        let mut out = Linear::zeros(4, 3);
+        for (i, w) in out.weights_mut().iter_mut().enumerate() {
+            *w = ((i % 7) as f32 - 3.0) * 0.2;
+        }
+        QuantizedNetwork::new(vec![
+            QLayer::BinaryFc {
+                linear: hidden,
+                threshold: 0.05,
+            },
+            QLayer::OutputFc { linear: out },
+        ])
+    }
+
+    /// Feeds a bit pattern through a qnet/splitnet pair. The nets here take
+    /// bits directly, so we wrap the pattern in a fake "analog" image and
+    /// pre-threshold it with an AnalogConv-free path: instead, construct
+    /// the input as bits via a 1-layer prefix. For simplicity the tests
+    /// call the layer functions directly where needed.
+    #[test]
+    fn single_part_split_matches_unsplit_hidden_layer() {
+        let qnet = tiny_qnet();
+        let QLayer::BinaryFc { linear, threshold } = &qnet.layers()[0] else {
+            panic!()
+        };
+        let wm = linear.weight_matrix();
+        let spec = SplitSpec::new(natural_order(6, 1));
+        let bits = [true, false, true, true, false, true];
+        let (_, counts) = split_fc_votes(&wm, linear.bias(), *threshold, &spec, &bits, None);
+        let pre = fc_binary_preact(
+            linear,
+            &BitTensor::from_vec(6, 1, 1, bits.to_vec()),
+        );
+        for (c, &cnt) in counts.iter().enumerate() {
+            let direct = pre.as_slice()[c] > *threshold;
+            assert_eq!(cnt >= 1, direct, "column {c}");
+        }
+    }
+
+    #[test]
+    fn vote_counts_bounded_by_parts() {
+        let qnet = tiny_qnet();
+        let QLayer::BinaryFc { linear, threshold } = &qnet.layers()[0] else {
+            panic!()
+        };
+        let wm = linear.weight_matrix();
+        let spec = SplitSpec::new(natural_order(6, 3));
+        let bits = [true; 6];
+        let (_, counts) = split_fc_votes(&wm, linear.bias(), *threshold, &spec, &bits, None);
+        assert!(counts.iter().all(|&c| c <= 3));
+    }
+
+    #[test]
+    fn split_conv_single_part_matches_dense_threshold() {
+        let mut conv = Conv2d::zeros(1, 2, 2);
+        for (i, w) in conv.weights_mut().iter_mut().enumerate() {
+            *w = (i as f32 - 3.5) * 0.1;
+        }
+        conv.bias_mut().copy_from_slice(&[0.02, -0.02]);
+        let theta = 0.05f32;
+        let bits = BitTensor::from_vec(
+            1,
+            3,
+            3,
+            vec![true, false, true, true, true, false, false, true, true],
+        );
+        let wm = conv.weight_matrix();
+        let spec = SplitSpec::new(natural_order(4, 1));
+        let split = split_conv_forward(&wm, conv.bias(), theta, 2, 1, &spec, &bits, None);
+        let dense = sei_quantize::qnet::conv_binary_preact(&conv, &bits);
+        let direct = BitTensor::threshold(&dense, theta);
+        assert_eq!(split, direct);
+    }
+
+    #[test]
+    fn stats_accumulate_ones() {
+        let qnet = tiny_qnet();
+        let specs = vec![Some(SplitSpec::new(natural_order(6, 2))), None];
+        let net = SplitNetwork::new(&qnet, specs, None);
+        let mut stats = vec![OnesStats::default()];
+        // Input must be analog→bits; tiny_qnet starts with a binary layer,
+        // so feed bits through the internal API by constructing a dataset
+        // of "bit images": a 6-element image thresholded at 0.5 upstream is
+        // not available here, so call forward_with_stats with a bit-like
+        // analog tensor is invalid. Use the split_fc_votes path directly:
+        let QLayer::BinaryFc { linear, threshold } = &qnet.layers()[0] else {
+            panic!()
+        };
+        let wm = linear.weight_matrix();
+        let spec = SplitSpec::new(natural_order(6, 2));
+        let bits = [true, true, false, false, true, false];
+        let _ = split_fc_votes(
+            &wm,
+            linear.bias(),
+            *threshold,
+            &spec,
+            &bits,
+            Some(&mut stats[0]),
+        );
+        assert_eq!(stats[0].count, 1);
+        assert_eq!(stats[0].sums, vec![2.0, 1.0]);
+        let _ = net;
+    }
+
+    #[test]
+    fn dynamic_threshold_can_rescue_sparse_part() {
+        // Hidden layer, 2 parts. Craft weights so part 1 holds all the
+        // mass; with one active input in part 0 only, static θ/2 thresholds
+        // make part 1 fail (no active inputs → sum 0) while dynamic β=1
+        // drops its threshold to 0 ⇒ still 0 > 0 is false… instead give
+        // part 1 a tiny bias so it fires once its threshold drops.
+        let mut linear = Linear::zeros(4, 1);
+        linear.weights_mut().copy_from_slice(&[0.2, 0.0, 0.0, 0.0]);
+        linear.bias_mut()[0] = 0.011; // shared, split 50/50
+        let theta = 0.02f32;
+        let wm = linear.weight_matrix();
+        let mut spec = SplitSpec::new(natural_order(4, 2));
+        spec.mean_ones = vec![1.0, 1.0];
+        let bits = [true, false, false, false];
+
+        // Static: part0 fires (0.2 + 0.0055 > 0.01), part1 (0.0055 > 0.01) no.
+        spec.beta = 0.0;
+        let (_, counts) = split_fc_votes(&wm, linear.bias(), theta, &spec, &bits, None);
+        assert_eq!(counts[0], 1);
+
+        // Dynamic β=1: part1 sees 0 active inputs → θ_1 = 0 → bias 0.0055 > 0 fires.
+        spec.beta = 1.0;
+        let (_, counts) = split_fc_votes(&wm, linear.bias(), theta, &spec, &bits, None);
+        assert_eq!(counts[0], 2, "dynamic threshold should rescue the sparse part");
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover all")]
+    fn incomplete_partition_rejected() {
+        let qnet = tiny_qnet();
+        let spec = SplitSpec::new(vec![vec![0, 1, 2]]); // misses rows 3..6
+        let _ = SplitNetwork::new(&qnet, vec![Some(spec), None], None);
+    }
+
+    #[test]
+    fn adc_head_split_output_equals_unsplit() {
+        // The default ADC head makes a split output layer compute exactly
+        // the unsplit linear scores.
+        let qnet = tiny_qnet();
+        let spec = SplitSpec::new(natural_order(4, 2));
+        let split = SplitNetwork::new(&qnet, vec![None, Some(spec)], None);
+        let unsplit = SplitNetwork::new(&qnet, vec![None, None], None);
+        assert_eq!(split.output_head(), OutputHead::Adc);
+        // Drive with a few bit patterns through the hidden layer by
+        // feeding analog inputs that the hidden BinaryFc cannot take —
+        // instead compare the output layer directly via forward_range.
+        for pattern in 0..16u32 {
+            let bits: Vec<bool> = (0..4).map(|j| pattern & (1 << j) != 0).collect();
+            let v = QValue::Bits(BitTensor::from_vec(4, 1, 1, bits));
+            let a = split.forward_range(v.clone(), 1, 2).expect_analog();
+            let b = unsplit.forward_range(v, 1, 2).expect_analog();
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_head_gives_vote_counts() {
+        let qnet = tiny_qnet();
+        let spec = SplitSpec::new(natural_order(4, 2));
+        let mut net = SplitNetwork::new(&qnet, vec![None, Some(spec)], Some(0.1));
+        net.set_output_head(OutputHead::Popcount);
+        let bits: Vec<bool> = vec![true, true, false, true];
+        let v = QValue::Bits(BitTensor::from_vec(4, 1, 1, bits));
+        let scores = net.forward_range(v, 1, 2).expect_analog();
+        for &s in scores.as_slice() {
+            assert!(s == s.round() && (0.0..=2.0).contains(&s), "count {s}");
+        }
+    }
+}

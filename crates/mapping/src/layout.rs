@@ -1,0 +1,435 @@
+//! Layout planning: how a CNN maps onto crossbars and peripheral circuits
+//! under each of the three structures, with exact component counts.
+//!
+//! The planner walks a network's weighted layers and, per layer, decides:
+//!
+//! * how many crossbar instances of what size are needed (sign/precision
+//!   copies for the merged structures, the 4-rows-per-weight SEI packing
+//!   with reference column for SEI, and row/column chunking against the
+//!   fabrication limit);
+//! * how many DACs, ADCs, sense amplifiers, digital merge adders and vote
+//!   units surround them;
+//! * how many crossbar compute cycles one picture triggers (a conv layer
+//!   fires once per output position — kernels are stored once and reused,
+//!   the baseline design the paper also assumes for area numbers).
+//!
+//! The resulting [`DesignPlan`] is consumed by `sei-cost` to produce the
+//! Fig. 1 breakdowns and Table 5 energy/area numbers.
+//!
+//! Input-layer convention (§3.2): pictures stay 8-bit in all structures,
+//! so the first weighted layer always keeps its DACs. In the SEI structure
+//! the first layer uses DAC-driven sign/precision crossbar copies whose
+//! currents merge in analog into the sense amplifier (no ADC) — consistent
+//! with the paper's claim that the input layer costs ~3 % energy / ~1 %
+//! area of the chip.
+
+use crate::arch::{DesignConstraints, Structure};
+use sei_nn::{Layer, Network};
+use serde::{Deserialize, Serialize};
+
+/// One physical crossbar instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrossbarInstance {
+    /// Physical rows.
+    pub rows: usize,
+    /// Physical columns.
+    pub cols: usize,
+}
+
+impl CrossbarInstance {
+    /// Cell count.
+    pub fn cells(&self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+}
+
+/// Component inventory and activity counts for one weighted layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerPlan {
+    /// Index in the network's layer list.
+    pub layer_index: usize,
+    /// Display name ("Conv 1", "FC", …) matching Fig. 1's x-axis.
+    pub name: String,
+    /// Logical weight-matrix rows (`S·S·I` or FC inputs).
+    pub logical_rows: usize,
+    /// Logical weight-matrix columns (kernels / output neurons).
+    pub logical_cols: usize,
+    /// Crossbar compute cycles per picture (conv: output positions; FC: 1).
+    pub computes_per_picture: u64,
+    /// Crossbar instances.
+    pub crossbars: Vec<CrossbarInstance>,
+    /// DAC count (input drivers).
+    pub dacs: usize,
+    /// DAC conversions per picture. Each unique input element is converted
+    /// once and held/routed to the rows that need it (the input-register
+    /// design the paper's future work describes), so this is the layer's
+    /// input element count, not `dacs × computes`.
+    pub dac_conversions: u64,
+    /// ADC count (physical instances; conversions per picture are tracked
+    /// separately since readout ADCs can be time-multiplexed).
+    pub adcs: usize,
+    /// ADC conversions per picture.
+    pub adc_conversions: u64,
+    /// Sense-amplifier count.
+    pub sas: usize,
+    /// Digital adders/subtractors/shifters for result merging (plus
+    /// threshold comparators in the 1-bit-input+ADC structure).
+    pub merge_adders: usize,
+    /// Digital vote/popcount units (SEI splitting).
+    pub vote_units: usize,
+    /// OR gates implementing the degenerate pooling after this layer
+    /// (1-bit structures only).
+    pub pool_or_gates: usize,
+    /// Output elements produced per picture (pre-pooling) — buffer traffic.
+    pub output_elements: u64,
+    /// Whether this layer reads the raw input picture.
+    pub input_is_image: bool,
+}
+
+impl LayerPlan {
+    /// Total RRAM cells across this layer's crossbars.
+    pub fn total_cells(&self) -> u64 {
+        self.crossbars.iter().map(CrossbarInstance::cells).sum()
+    }
+
+    /// Total physical crossbar rows (drives decoder/driver area).
+    pub fn total_rows(&self) -> u64 {
+        self.crossbars.iter().map(|x| x.rows as u64).sum()
+    }
+}
+
+/// A complete mapped design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPlan {
+    /// The structure this plan implements.
+    pub structure: Structure,
+    /// The constraints it was planned under.
+    pub constraints: DesignConstraints,
+    /// Per-weighted-layer plans, in network order.
+    pub layers: Vec<LayerPlan>,
+    /// Input picture size in pixels.
+    pub input_pixels: u64,
+}
+
+impl DesignPlan {
+    /// Plans the mapping of `net` (evaluated on `input_shape` pictures)
+    /// onto `structure` under `constraints`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network contains a weighted layer the planner cannot
+    /// express (it handles conv and FC, the paper's repertoire).
+    pub fn plan(
+        net: &Network,
+        input_shape: (usize, usize, usize),
+        structure: Structure,
+        constraints: &DesignConstraints,
+    ) -> Self {
+        let mut layers = Vec::new();
+        let mut shape = input_shape;
+        let mut conv_no = 0usize;
+        let mut first = true;
+        let last_weighted = net
+            .layers()
+            .iter()
+            .rposition(Layer::is_weighted)
+            .unwrap_or(usize::MAX);
+
+        for (i, layer) in net.layers().iter().enumerate() {
+            let out_shape = layer.output_shape(shape);
+            let input_elements = (shape.0 * shape.1 * shape.2) as u64;
+            match layer {
+                Layer::Conv(c) => {
+                    conv_no += 1;
+                    let computes = (out_shape.1 * out_shape.2) as u64;
+                    let mut plan = plan_weighted(
+                        structure,
+                        constraints,
+                        c.matrix_rows(),
+                        c.out_channels(),
+                        computes,
+                        input_elements,
+                        first,
+                        i == last_weighted,
+                    );
+                    plan.layer_index = i;
+                    plan.name = format!("Conv {conv_no}");
+                    plan.pool_or_gates = pool_gates(net, i, out_shape, structure);
+                    layers.push(plan);
+                    first = false;
+                }
+                Layer::Linear(l) => {
+                    let mut plan = plan_weighted(
+                        structure,
+                        constraints,
+                        l.in_features(),
+                        l.out_features(),
+                        1,
+                        input_elements,
+                        first,
+                        i == last_weighted,
+                    );
+                    plan.layer_index = i;
+                    plan.name = "FC".to_string();
+                    layers.push(plan);
+                    first = false;
+                }
+                _ => {}
+            }
+            shape = out_shape;
+        }
+
+        DesignPlan {
+            structure,
+            constraints: *constraints,
+            layers,
+            input_pixels: (input_shape.0 * input_shape.1 * input_shape.2) as u64,
+        }
+    }
+
+    /// Sum of a per-layer extractor over all layers.
+    pub fn total<T: std::iter::Sum>(&self, f: impl Fn(&LayerPlan) -> T) -> T {
+        self.layers.iter().map(f).sum()
+    }
+}
+
+/// OR-gate count for a pooling layer directly following layer `i` (1-bit
+/// structures only; the DAC+ADC design pools digitally in the "other"
+/// category).
+fn pool_gates(
+    net: &Network,
+    i: usize,
+    out_shape: (usize, usize, usize),
+    structure: Structure,
+) -> usize {
+    if structure.data_bits() != 1 {
+        return 0;
+    }
+    let mut j = i + 1;
+    while j < net.len() {
+        match &net.layers()[j] {
+            Layer::Relu => j += 1,
+            Layer::Pool(p) => {
+                let s = p.size();
+                return out_shape.0 * (out_shape.1 / s) * (out_shape.2 / s);
+            }
+            _ => return 0,
+        }
+    }
+    0
+}
+
+/// Chunks `n` into `k` near-equal sizes (ceil for the first chunks).
+fn chunk_sizes(n: usize, k: usize) -> Vec<usize> {
+    let base = n / k;
+    let extra = n % k;
+    (0..k).map(|i| base + usize::from(i < extra)).collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn plan_weighted(
+    structure: Structure,
+    constraints: &DesignConstraints,
+    n: usize,
+    m: usize,
+    computes: u64,
+    input_elements: u64,
+    first: bool,
+    last: bool,
+) -> LayerPlan {
+    let max = constraints.max_crossbar;
+    let copies = 2 * constraints.slices_per_weight(); // sign × precision
+    let mut plan = LayerPlan {
+        layer_index: 0,
+        name: String::new(),
+        logical_rows: n,
+        logical_cols: m,
+        computes_per_picture: computes,
+        crossbars: Vec::new(),
+        dacs: 0,
+        dac_conversions: 0,
+        adcs: 0,
+        adc_conversions: 0,
+        sas: 0,
+        merge_adders: 0,
+        vote_units: 0,
+        pool_or_gates: 0,
+        output_elements: computes * m as u64,
+        input_is_image: first,
+    };
+
+    let merged_like = matches!(structure, Structure::DacAdc | Structure::OneBitInputAdc)
+        || (structure == Structure::Sei && first);
+
+    if merged_like {
+        let r_chunks = n.div_ceil(max).max(1);
+        let c_chunks = m.div_ceil(max).max(1);
+        for &rows in &chunk_sizes(n, r_chunks) {
+            for &cols in &chunk_sizes(m, c_chunks) {
+                for _ in 0..copies {
+                    plan.crossbars.push(CrossbarInstance { rows, cols });
+                }
+            }
+        }
+        match structure {
+            Structure::DacAdc => {
+                plan.dacs = n;
+                plan.dac_conversions = input_elements;
+                plan.adcs = copies * r_chunks * m;
+                plan.adc_conversions = plan.adcs as u64 * computes;
+                plan.merge_adders = m * (copies * r_chunks - 1);
+            }
+            Structure::OneBitInputAdc => {
+                plan.dacs = if first { n } else { 0 };
+                plan.dac_conversions = if first { input_elements } else { 0 };
+                plan.adcs = copies * r_chunks * m;
+                plan.adc_conversions = plan.adcs as u64 * computes;
+                // merge adders plus one digital threshold comparator per
+                // output.
+                plan.merge_adders = m * (copies * r_chunks - 1) + m;
+            }
+            Structure::Sei => {
+                // SEI input layer: DAC-driven copies, analog merge into SA.
+                plan.dacs = n;
+                plan.dac_conversions = input_elements;
+                plan.sas = m;
+            }
+        }
+    } else {
+        // SEI hidden or output layer.
+        let rows_per_input = constraints.sei_rows_per_input();
+        let k = constraints.sei_partition_count(n);
+        let c_chunks = (m + 1).div_ceil(max).max(1);
+        for &part in &chunk_sizes(n, k) {
+            let rows = (part + 1) * rows_per_input;
+            for &cols in &chunk_sizes(m + 1, c_chunks) {
+                plan.crossbars.push(CrossbarInstance { rows, cols });
+            }
+        }
+        if last {
+            // Classifier readout: one time-multiplexed ADC per class
+            // digitizes each part's sum once per picture; digital adders
+            // combine them.
+            plan.adcs = m;
+            plan.adc_conversions = (k * m) as u64 * computes;
+            plan.merge_adders = if k > 1 { m * (k - 1) } else { 0 };
+        } else {
+            plan.sas = k * m;
+            plan.vote_units = if k > 1 { m } else { 0 };
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sei_nn::paper;
+
+    fn plans_for(structure: Structure, max: usize) -> DesignPlan {
+        let net = paper::network1(0);
+        let constraints = DesignConstraints::paper_default().with_max_crossbar(max);
+        DesignPlan::plan(&net, paper::INPUT_SHAPE, structure, &constraints)
+    }
+
+    #[test]
+    fn network1_dacadc_counts() {
+        let p = plans_for(Structure::DacAdc, 512);
+        assert_eq!(p.layers.len(), 3);
+        let conv2 = &p.layers[1];
+        // §5.1: "the ADC-based method implements the matrix in 300×64
+        // crossbar but demands total 4 crossbars".
+        assert_eq!(conv2.crossbars.len(), 4);
+        assert_eq!(conv2.crossbars[0], CrossbarInstance { rows: 300, cols: 64 });
+        assert_eq!(conv2.dacs, 300);
+        assert_eq!(conv2.adcs, 4 * 64);
+        assert_eq!(conv2.computes_per_picture, 64);
+        // FC: 1024 rows → 2 row-chunks of 512 → 8 crossbars.
+        let fc = &p.layers[2];
+        assert_eq!(fc.crossbars.len(), 8);
+        assert_eq!(fc.adcs, 4 * 2 * 10);
+    }
+
+    #[test]
+    fn network1_sei_counts() {
+        let p = plans_for(Structure::Sei, 512);
+        let conv2 = &p.layers[1];
+        // §5.1: three crossbars for the 1200×64 logical array (our packing
+        // adds the bias row and reference column: (100+1)·4 = 404 rows,
+        // 65 columns).
+        assert_eq!(conv2.crossbars.len(), 3);
+        assert_eq!(conv2.crossbars[0], CrossbarInstance { rows: 404, cols: 65 });
+        assert_eq!(conv2.adcs, 0);
+        assert_eq!(conv2.dacs, 0);
+        assert_eq!(conv2.sas, 3 * 64);
+        assert_eq!(conv2.vote_units, 64);
+        // Input layer keeps DACs (§3.2).
+        let conv1 = &p.layers[0];
+        assert_eq!(conv1.dacs, 25);
+        assert_eq!(conv1.adcs, 0);
+        assert_eq!(conv1.sas, 12);
+    }
+
+    #[test]
+    fn onebit_removes_hidden_dacs_only() {
+        let p = plans_for(Structure::OneBitInputAdc, 512);
+        assert_eq!(p.layers[0].dacs, 25); // input layer keeps DACs
+        assert_eq!(p.layers[1].dacs, 0);
+        assert_eq!(p.layers[2].dacs, 0);
+        assert!(p.layers[1].adcs > 0); // merging still needs ADCs
+    }
+
+    #[test]
+    fn sei_halving_crossbar_size_increases_parts() {
+        let p512 = plans_for(Structure::Sei, 512);
+        let p256 = plans_for(Structure::Sei, 256);
+        assert!(p256.layers[1].crossbars.len() > p512.layers[1].crossbars.len());
+        assert_eq!(p256.layers[1].crossbars.len(), 5); // ceil(300/63)
+        assert_eq!(p512.layers[2].crossbars.len(), 9); // FC 1024/127
+    }
+
+    #[test]
+    fn no_crossbar_exceeds_limit() {
+        for s in Structure::ALL {
+            for max in [512usize, 256] {
+                let p = plans_for(s, max);
+                for l in &p.layers {
+                    for x in &l.crossbars {
+                        assert!(
+                            x.rows <= max && x.cols <= max,
+                            "{} {max}: {x:?} exceeds limit",
+                            l.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_gates_present_only_in_onebit_structures() {
+        let sei = plans_for(Structure::Sei, 512);
+        let dac = plans_for(Structure::DacAdc, 512);
+        assert!(sei.layers[0].pool_or_gates > 0);
+        assert_eq!(dac.layers[0].pool_or_gates, 0);
+        // Conv1 pools 24×24×12 → 12×12×12 = 1728 OR gates.
+        assert_eq!(sei.layers[0].pool_or_gates, 1728);
+    }
+
+    #[test]
+    fn output_elements_track_feature_map() {
+        let p = plans_for(Structure::Sei, 512);
+        assert_eq!(p.layers[0].output_elements, 576 * 12);
+        assert_eq!(p.layers[1].output_elements, 64 * 64);
+        assert_eq!(p.layers[2].output_elements, 10);
+        assert_eq!(p.input_pixels, 784);
+    }
+
+    #[test]
+    fn computes_per_picture() {
+        let p = plans_for(Structure::DacAdc, 512);
+        assert_eq!(p.layers[0].computes_per_picture, 576);
+        assert_eq!(p.layers[1].computes_per_picture, 64);
+        assert_eq!(p.layers[2].computes_per_picture, 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Matrix splitting, homogenization, dynamic-threshold compensation and
+//! crossbar layout planning — §4.3 of the SEI paper plus the design-space
+//! bookkeeping the cost model needs.
+//!
+//! * [`arch`] — the three structures compared in Table 5 (`DAC+ADC`,
+//!   `1-bit-input + ADC`, `SEI`) and the design constraints (max crossbar
+//!   size, device/weight bits);
+//! * [`split`] — column splitting of a large weight matrix into
+//!   crossbar-sized row partitions with per-part thresholds and a digital
+//!   vote ("we can directly divide the original threshold into multiple
+//!   parts for the crossbars, like using Thres/3 as the threshold for 3
+//!   individual crossbars");
+//! * [`homogenize`] — the off-line matrix homogenization: re-combine rows
+//!   to minimize the total Euclidean distance between the partitions'
+//!   column-mean vectors (Equ. 10), via exact search for tiny instances and
+//!   a genetic algorithm otherwise;
+//! * [`evaluate`] — a [`SplitNetwork`] evaluator that runs a quantized
+//!   network with selected layers computed part-wise (majority vote for
+//!   hidden layers, vote-count scores for the output layer);
+//! * [`calibrate`] — the on-line dynamic-threshold compensation: each
+//!   part's threshold is biased by how many of its inputs are active, with
+//!   the strength β line-searched on the training set;
+//! * [`layout`] — the layout planner that turns a network + structure into
+//!   exact component counts (crossbars, DACs, ADCs, SAs, merge adders) and
+//!   per-picture activation counts for `sei-cost`.
+//!
+//! # Example
+//!
+//! Partition a 6-row matrix into 2 homogenized parts and check the
+//! distance objective improved over the natural order:
+//!
+//! ```
+//! use sei_mapping::homogenize::{self, GaConfig};
+//! use sei_nn::Matrix;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let m = Matrix::from_rows(&[
+//!     &[9.0, 0.0][..], &[8.0, 1.0][..], &[7.0, 0.5][..],
+//!     &[0.0, 9.0][..], &[1.0, 8.0][..], &[0.5, 7.0][..],
+//! ]);
+//! let natural = homogenize::natural_order(6, 2);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let better = homogenize::genetic(&m, 2, &GaConfig::default(), &mut rng);
+//! assert!(
+//!     homogenize::mean_vector_distance(&m, &better)
+//!         <= homogenize::mean_vector_distance(&m, &natural)
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod calibrate;
+pub mod evaluate;
+pub mod homogenize;
+pub mod layout;
+pub mod split;
+pub mod timing;
+
+pub use arch::{DesignConstraints, Structure};
+pub use evaluate::{OutputHead, SplitNetwork};
+pub use split::{SplitSpec, VoteRule};

@@ -1,0 +1,208 @@
+//! Splitting a large matrix across crossbars without ADCs — §4.3.
+//!
+//! Each row-partition of the weight matrix lives in its own SEI crossbar
+//! and performs its own threshold firing; a small digital circuit combines
+//! the 1-bit part outputs. The original threshold `θ` is divided among the
+//! parts in proportion to their row counts (the paper's `θ/3` example for
+//! three equal parts), and the per-part bias share likewise.
+//!
+//! The **dynamic threshold** extension (§4.2 applied to splitting) biases
+//! each part's threshold by how many of its inputs are currently active:
+//!
+//! `θ_k(ones_k) = θ·(n_k/n) · ((1−β) + β · ones_k / ē_k)`
+//!
+//! where `ē_k` is the calibration-set mean of `ones_k`. With `β = 0` this
+//! is the static proportional split; with `β > 0`, a part whose inputs are
+//! mostly inactive ("more low-value inputs") gets a lower threshold, which
+//! is exactly the compensation the paper describes, and is implementable by
+//! the Fig. 4 dynamic-threshold column (the reference current is affine in
+//! the active-input count).
+
+use crate::homogenize::Partition;
+use serde::{Deserialize, Serialize};
+
+/// How the 1-bit part outputs combine into the layer's output bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VoteRule {
+    /// Fire when at least `⌈K/2⌉` of the K parts fire (the default; maps
+    /// the paper's "0,0,1 → 0" / "0,1,1 → 1" examples).
+    Majority,
+    /// Fire when at least this many parts fire.
+    AtLeast(usize),
+}
+
+impl VoteRule {
+    /// The number of firing parts required, for `k` parts.
+    pub fn required(&self, k: usize) -> usize {
+        match *self {
+            VoteRule::Majority => k.div_ceil(2),
+            VoteRule::AtLeast(n) => n.min(k).max(1),
+        }
+    }
+}
+
+/// Complete specification of how one layer's matrix is split.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitSpec {
+    /// Row partition (indices into the layer's logical input rows).
+    pub partitions: Partition,
+    /// Digital combination rule for hidden layers.
+    pub vote: VoteRule,
+    /// Dynamic-threshold strength β (0 = static thresholds).
+    pub beta: f32,
+    /// Calibrated mean active-input count per part (`ē_k`); must have one
+    /// entry per partition when `beta > 0`. An empty vector defaults each
+    /// `ē_k` to half the part size.
+    pub mean_ones: Vec<f32>,
+    /// Scale α applied to every part's base threshold (the paper's `θ/K`
+    /// corresponds to α = 1; the calibration pipeline may find that firing
+    /// parts slightly earlier or later pairs better with the chosen vote
+    /// count).
+    pub theta_scale: f32,
+    /// Per-part additive threshold offsets (weight units). Staggering the
+    /// offsets turns the part-fire popcount into a **thermometer code** of
+    /// the common signal — used for the split output layer, where the
+    /// popcount is the class score. Offsets are ordinary programmed cells
+    /// in the reference column, so this costs no extra hardware. Empty =
+    /// all zeros.
+    pub part_offsets: Vec<f32>,
+}
+
+impl SplitSpec {
+    /// Creates a static (β = 0, α = 1, majority-vote) spec from a
+    /// partition.
+    pub fn new(partitions: Partition) -> Self {
+        SplitSpec {
+            partitions,
+            vote: VoteRule::Majority,
+            beta: 0.0,
+            mean_ones: Vec::new(),
+            theta_scale: 1.0,
+            part_offsets: Vec::new(),
+        }
+    }
+
+    /// Number of parts.
+    pub fn part_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total number of logical rows covered by the partition.
+    pub fn total_rows(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// The calibrated (or default) `ē_k` for part `k`.
+    pub fn expected_ones(&self, k: usize) -> f32 {
+        if let Some(&e) = self.mean_ones.get(k) {
+            e.max(1e-3)
+        } else {
+            (self.partitions[k].len() as f32 / 2.0).max(1e-3)
+        }
+    }
+
+    /// The constant and per-active-input-slope parts of part `k`'s
+    /// threshold:
+    ///
+    /// `θ_k(ones) = corner + slope · ones`
+    /// where `corner = α·θ·(n_k/n)·(1−β) + offset_k` and
+    /// `slope = α·θ·(n_k/n)·β/ē_k`.
+    ///
+    /// These map directly onto the Fig. 4 hardware: `corner` is the
+    /// bottom-corner threshold cell (plus the part's offset cell), `slope`
+    /// is the `w₀` value in the input-gated reference-column cells.
+    pub fn corner_and_slope(&self, layer_theta: f32, k: usize) -> (f32, f32) {
+        let n: usize = self.total_rows();
+        let n_k = self.partitions[k].len();
+        let base = self.theta_scale * layer_theta * n_k as f32 / n.max(1) as f32;
+        let offset = self.part_offsets.get(k).copied().unwrap_or(0.0);
+        if self.beta == 0.0 {
+            (base + offset, 0.0)
+        } else {
+            (
+                base * (1.0 - self.beta) + offset,
+                base * self.beta / self.expected_ones(k),
+            )
+        }
+    }
+
+    /// The per-part threshold for a given active-input count — the dynamic
+    /// threshold rule documented at module level.
+    pub fn part_threshold(&self, layer_theta: f32, k: usize, ones_k: usize) -> f32 {
+        let (corner, slope) = self.corner_and_slope(layer_theta, k);
+        corner + slope * ones_k as f32
+    }
+
+    /// The per-part share of a neuron bias `b` (proportional to rows).
+    pub fn part_bias(&self, bias: f32, k: usize) -> f32 {
+        let n: usize = self.total_rows();
+        bias * self.partitions[k].len() as f32 / n.max(1) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homogenize::natural_order;
+
+    #[test]
+    fn majority_required() {
+        assert_eq!(VoteRule::Majority.required(3), 2);
+        assert_eq!(VoteRule::Majority.required(4), 2);
+        assert_eq!(VoteRule::Majority.required(9), 5);
+        assert_eq!(VoteRule::Majority.required(1), 1);
+    }
+
+    #[test]
+    fn at_least_clamped() {
+        assert_eq!(VoteRule::AtLeast(5).required(3), 3);
+        assert_eq!(VoteRule::AtLeast(0).required(3), 1);
+        assert_eq!(VoteRule::AtLeast(2).required(3), 2);
+    }
+
+    #[test]
+    fn static_thresholds_sum_to_layer_threshold() {
+        let spec = SplitSpec::new(natural_order(10, 3));
+        let theta = 0.09f32;
+        let sum: f32 = (0..3).map(|k| spec.part_threshold(theta, k, 0)).sum();
+        assert!((sum - theta).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equal_parts_get_theta_over_k() {
+        // The paper's "using Thres/3 as the threshold for 3 individual
+        // crossbars" for equal parts.
+        let spec = SplitSpec::new(natural_order(9, 3));
+        let theta = 0.06f32;
+        for k in 0..3 {
+            assert!((spec.part_threshold(theta, k, 0) - theta / 3.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn dynamic_threshold_lowers_for_sparse_parts() {
+        let mut spec = SplitSpec::new(natural_order(12, 3));
+        spec.beta = 0.8;
+        spec.mean_ones = vec![2.0, 2.0, 2.0];
+        let theta = 0.09f32;
+        let quiet = spec.part_threshold(theta, 0, 0); // no active inputs
+        let expected = spec.part_threshold(theta, 0, 2); // at calibration mean
+        let busy = spec.part_threshold(theta, 0, 4); // double the mean
+        assert!(quiet < expected && expected < busy);
+        assert!((expected - theta / 3.0).abs() < 1e-6, "at ē the rule is static");
+    }
+
+    #[test]
+    fn bias_shares_sum_to_bias() {
+        let spec = SplitSpec::new(natural_order(10, 4));
+        let b = -0.35f32;
+        let sum: f32 = (0..4).map(|k| spec.part_bias(b, k)).sum();
+        assert!((sum - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_expected_ones_half_part() {
+        let spec = SplitSpec::new(natural_order(8, 2));
+        assert!((spec.expected_ones(0) - 2.0).abs() < 1e-6);
+    }
+}

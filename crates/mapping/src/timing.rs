@@ -1,0 +1,204 @@
+//! Timing model: latency and throughput of a mapped design.
+//!
+//! The paper evaluates energy per picture and notes (§5.3) that "since each
+//! kernel is used multiple times in the procession of one picture, we can
+//! use buffer amounts to trade-off the power with time" — kernels
+//! (crossbars) are reused across output positions, so a conv layer takes
+//! one crossbar compute cycle per position unless the crossbars are
+//! replicated. This module quantifies that trade-off:
+//!
+//! * each weighted layer needs `computes_per_picture / replication`
+//!   sequential compute cycles;
+//! * a compute cycle costs the crossbar read plus the layer's conversion
+//!   path (DAC settle and/or ADC conversion, or just the SA decision);
+//! * layers operate as a pipeline over pictures, so throughput is set by
+//!   the slowest stage and latency by the sum.
+
+use crate::layout::{DesignPlan, LayerPlan};
+use serde::{Deserialize, Serialize};
+
+/// Circuit-level timing constants (nanoseconds). Defaults are typical of
+/// the 2014–16-era components the cost model is calibrated to: ~100 ns for
+/// a full analog crossbar evaluation, ~1 µs-class 8-bit SAR conversions at
+/// low power, fast comparators.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Crossbar analog settle + read time per compute cycle (ns).
+    pub crossbar_read_ns: f64,
+    /// One ADC conversion (ns).
+    pub adc_conversion_ns: f64,
+    /// DAC settle time, overlapped per cycle (ns).
+    pub dac_settle_ns: f64,
+    /// Sense-amp decision (ns).
+    pub sa_decision_ns: f64,
+    /// Digital merge/vote per cycle (ns).
+    pub digital_ns: f64,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            crossbar_read_ns: 100.0,
+            adc_conversion_ns: 500.0,
+            dac_settle_ns: 50.0,
+            sa_decision_ns: 10.0,
+            digital_ns: 10.0,
+        }
+    }
+}
+
+/// Timing of one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerTiming {
+    /// Layer name.
+    pub name: String,
+    /// Crossbar replication factor applied (1 = paper baseline).
+    pub replication: usize,
+    /// Sequential compute cycles per picture.
+    pub cycles: u64,
+    /// Time per cycle (ns).
+    pub cycle_ns: f64,
+    /// Total layer latency per picture (ns).
+    pub latency_ns: f64,
+}
+
+/// Timing of a full design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignTiming {
+    /// Per-layer timings.
+    pub layers: Vec<LayerTiming>,
+}
+
+impl DesignTiming {
+    /// Analyzes a plan with uniform crossbar replication (1 = the paper's
+    /// kernel-reuse baseline; higher values parallelize positions at
+    /// proportional area cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replication == 0`.
+    pub fn analyze(plan: &DesignPlan, model: &TimingModel, replication: usize) -> Self {
+        assert!(replication > 0, "replication must be positive");
+        let layers = plan
+            .layers
+            .iter()
+            .map(|l| layer_timing(l, model, replication))
+            .collect();
+        DesignTiming { layers }
+    }
+
+    /// End-to-end latency for one picture (ns): the pipeline fill time.
+    pub fn latency_ns(&self) -> f64 {
+        self.layers.iter().map(|l| l.latency_ns).sum()
+    }
+
+    /// Pipelined throughput in pictures per second (the slowest stage
+    /// gates the pipeline).
+    pub fn throughput_pps(&self) -> f64 {
+        let slowest = self
+            .layers
+            .iter()
+            .map(|l| l.latency_ns)
+            .fold(0.0f64, f64::max);
+        if slowest <= 0.0 {
+            0.0
+        } else {
+            1e9 / slowest
+        }
+    }
+}
+
+fn layer_timing(l: &LayerPlan, model: &TimingModel, replication: usize) -> LayerTiming {
+    // Conversion path per cycle: DAC settle overlaps the read; ADC
+    // conversions within a cycle happen once per column batch (the
+    // column-parallel converters of the merged designs), so one conversion
+    // latency is charged per cycle when ADCs exist; SA/digital likewise.
+    let mut cycle_ns = model.crossbar_read_ns;
+    if l.dacs > 0 {
+        cycle_ns += model.dac_settle_ns;
+    }
+    if l.adc_conversions > 0 {
+        cycle_ns += model.adc_conversion_ns;
+    }
+    if l.sas > 0 {
+        cycle_ns += model.sa_decision_ns;
+    }
+    if l.merge_adders + l.vote_units > 0 {
+        cycle_ns += model.digital_ns;
+    }
+    let cycles = l.computes_per_picture.div_ceil(replication as u64);
+    LayerTiming {
+        name: l.name.clone(),
+        replication,
+        cycles,
+        cycle_ns,
+        latency_ns: cycles as f64 * cycle_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{DesignConstraints, Structure};
+    use crate::layout::DesignPlan;
+    use sei_nn::paper;
+
+    fn timing(structure: Structure, replication: usize) -> DesignTiming {
+        let net = paper::network1(0);
+        let plan = DesignPlan::plan(
+            &net,
+            paper::INPUT_SHAPE,
+            structure,
+            &DesignConstraints::paper_default(),
+        );
+        DesignTiming::analyze(&plan, &TimingModel::default(), replication)
+    }
+
+    #[test]
+    fn conv1_dominates_cycles() {
+        // 576 positions for conv1 vs 64 for conv2 vs 1 for FC.
+        let t = timing(Structure::Sei, 1);
+        assert_eq!(t.layers[0].cycles, 576);
+        assert_eq!(t.layers[1].cycles, 64);
+        assert_eq!(t.layers[2].cycles, 1);
+        assert!(t.layers[0].latency_ns > t.layers[1].latency_ns);
+    }
+
+    #[test]
+    fn sei_cycles_are_faster_than_adc_cycles() {
+        // No per-cycle ADC conversion in SEI hidden layers.
+        let sei = timing(Structure::Sei, 1);
+        let adc = timing(Structure::DacAdc, 1);
+        assert!(
+            sei.layers[1].cycle_ns < adc.layers[1].cycle_ns,
+            "SEI {} vs ADC {}",
+            sei.layers[1].cycle_ns,
+            adc.layers[1].cycle_ns
+        );
+    }
+
+    #[test]
+    fn replication_trades_area_for_latency() {
+        let base = timing(Structure::Sei, 1);
+        let repl = timing(Structure::Sei, 4);
+        assert!(repl.latency_ns() < base.latency_ns() / 3.0);
+        assert!(repl.throughput_pps() > base.throughput_pps() * 3.0);
+    }
+
+    #[test]
+    fn throughput_set_by_slowest_stage() {
+        let t = timing(Structure::Sei, 1);
+        let slowest = t
+            .layers
+            .iter()
+            .map(|l| l.latency_ns)
+            .fold(0.0f64, f64::max);
+        assert!((t.throughput_pps() - 1e9 / slowest).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication must be positive")]
+    fn zero_replication_rejected() {
+        let _ = timing(Structure::Sei, 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the splitting machinery: partition validity, the
+//! Equ. 10 objective, and the exactness of part-wise accumulation.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sei_mapping::homogenize::{
+    genetic, mean_vector_distance, natural_order, random_order, GaConfig,
+};
+use sei_mapping::split::{SplitSpec, VoteRule};
+use sei_nn::Matrix;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-5.0f32..5.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every partitioning strategy yields a permutation of the rows with
+    /// near-equal part sizes.
+    #[test]
+    fn partitions_are_valid(n in 4usize..40, k in 1usize..4, seed in 0u64..500) {
+        prop_assume!(k <= n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for partition in [natural_order(n, k), random_order(n, k, &mut rng)] {
+            let mut all: Vec<usize> = partition.iter().flatten().copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+            let sizes: Vec<usize> = partition.iter().map(Vec::len).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            prop_assert!(max - min <= 1);
+        }
+    }
+
+    /// The Equ. 10 distance is non-negative and zero only when part means
+    /// coincide; it is invariant under relabeling the parts.
+    #[test]
+    fn distance_properties(m in matrix(8, 3), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = random_order(8, 2, &mut rng);
+        let d = mean_vector_distance(&m, &p);
+        prop_assert!(d >= 0.0);
+        let swapped = vec![p[1].clone(), p[0].clone()];
+        let d2 = mean_vector_distance(&m, &swapped);
+        prop_assert!((d - d2).abs() < 1e-9);
+    }
+
+    /// The GA's result is never worse than the natural order (the natural
+    /// order seeds its population).
+    #[test]
+    fn ga_never_loses_to_natural(m in matrix(12, 4), seed in 0u64..50) {
+        let cfg = GaConfig { generations: 15, ..GaConfig::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ga = genetic(&m, 3, &cfg, &mut rng);
+        let d_ga = mean_vector_distance(&m, &ga);
+        let d_nat = mean_vector_distance(&m, &natural_order(12, 3));
+        prop_assert!(d_ga <= d_nat + 1e-9);
+    }
+
+    /// Part-wise sums reconstruct the exact total: Σ_k (S_k + b_k) =
+    /// Σ_active w + b for any partition, bias and input pattern.
+    #[test]
+    fn part_sums_reconstruct_total(
+        m in matrix(10, 2),
+        bias in -1.0f32..1.0,
+        pattern in 0u32..1024,
+        seed in 0u64..50,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = SplitSpec::new(random_order(10, 3, &mut rng));
+        let bits: Vec<bool> = (0..10).map(|j| pattern & (1 << j) != 0).collect();
+        for col in 0..2 {
+            let total_direct: f32 = (0..10)
+                .filter(|&j| bits[j])
+                .map(|j| m.get(j, col))
+                .sum::<f32>()
+                + bias;
+            let total_parts: f32 = (0..3)
+                .map(|k| {
+                    let s: f32 = spec.partitions[k]
+                        .iter()
+                        .filter(|&&j| bits[j])
+                        .map(|&j| m.get(j, col))
+                        .sum();
+                    s + spec.part_bias(bias, k)
+                })
+                .sum();
+            prop_assert!((total_direct - total_parts).abs() < 1e-4);
+        }
+    }
+
+    /// Static part thresholds always sum to the layer threshold times α.
+    #[test]
+    fn part_thresholds_sum(theta in 0.0f32..0.2, alpha in 0.25f32..2.0, k in 1usize..6) {
+        let n = 12usize;
+        prop_assume!(k <= n);
+        let mut spec = SplitSpec::new(natural_order(n, k));
+        spec.theta_scale = alpha;
+        let sum: f32 = (0..k).map(|p| spec.part_threshold(theta, p, 0)).sum();
+        prop_assert!((sum - alpha * theta).abs() < 1e-5);
+    }
+
+    /// The dynamic threshold at the calibrated mean equals the static one.
+    #[test]
+    fn dynamic_threshold_neutral_at_mean(theta in 0.01f32..0.2, beta in 0.0f32..1.5) {
+        let mut spec = SplitSpec::new(natural_order(9, 3));
+        spec.beta = beta;
+        spec.mean_ones = vec![2.0, 2.0, 2.0];
+        let dynamic = spec.part_threshold(theta, 0, 2);
+        spec.beta = 0.0;
+        let static_t = spec.part_threshold(theta, 0, 2);
+        prop_assert!((dynamic - static_t).abs() < 1e-5);
+    }
+
+    /// Vote requirements are monotone in K and bounded by K.
+    #[test]
+    fn vote_requirements_sane(k in 1usize..20) {
+        let maj = VoteRule::Majority.required(k);
+        prop_assert!(maj >= 1 && maj <= k);
+        prop_assert!(maj * 2 >= k);
+        prop_assert!(VoteRule::AtLeast(999).required(k) == k);
+    }
+}

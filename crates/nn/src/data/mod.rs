@@ -1,0 +1,110 @@
+//! Datasets: the [`Dataset`] container and the synthetic MNIST-like digit
+//! generator ([`synth`], re-exported here).
+//!
+//! The original paper evaluates on the MNIST handwritten-digit files. Those
+//! are not redistributable inside this repository, so [`SynthConfig`]
+//! procedurally generates a 10-class 28×28 grayscale digit task with the
+//! same tensor shapes and a ReLU-sparse activation profile (see `DESIGN.md`
+//! §1 for the substitution rationale). Generation is deterministic from a
+//! seed.
+
+mod synth;
+
+pub use synth::{SynthConfig, IMAGE_SIDE};
+
+use crate::tensor::Tensor3;
+
+/// A labelled image-classification dataset.
+///
+/// Images are `(1, 28, 28)` tensors with values in `[0, 1]`; labels are the
+/// digit classes `0..=9`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Vec<Tensor3>,
+    labels: Vec<u8>,
+}
+
+impl Dataset {
+    /// Creates a dataset from parallel image/label vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn new(images: Vec<Tensor3>, labels: Vec<u8>) -> Self {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        Dataset { images, labels }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Borrows sample `i` as an `(image, label)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn sample(&self, i: usize) -> (&Tensor3, u8) {
+        (&self.images[i], self.labels[i])
+    }
+
+    /// Borrows all images.
+    pub fn images(&self) -> &[Tensor3] {
+        &self.images
+    }
+
+    /// Borrows all labels.
+    pub fn labels(&self) -> &[u8] {
+        &self.labels
+    }
+
+    /// Iterates over `(image, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tensor3, u8)> {
+        self.images.iter().zip(self.labels.iter().copied())
+    }
+
+    /// Returns a new dataset holding only the first `n` samples (or all of
+    /// them if `n >= len()`); used to scale experiments to the machine.
+    pub fn truncated(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        Dataset {
+            images: self.images[..n].to_vec(),
+            labels: self.labels[..n].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_checks_lengths() {
+        let d = Dataset::new(vec![Tensor3::zeros(1, 28, 28)], vec![3]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.sample(0).1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = Dataset::new(vec![], vec![1]);
+    }
+
+    #[test]
+    fn truncated_clamps() {
+        let d = Dataset::new(
+            vec![Tensor3::zeros(1, 28, 28); 5],
+            vec![0, 1, 2, 3, 4],
+        );
+        assert_eq!(d.truncated(3).len(), 3);
+        assert_eq!(d.truncated(99).len(), 5);
+        assert_eq!(d.truncated(3).labels(), &[0, 1, 2]);
+    }
+}

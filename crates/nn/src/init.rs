@@ -1,0 +1,88 @@
+//! Deterministic weight initialization.
+
+use crate::layers::Layer;
+use crate::network::Network;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fills a buffer with uniform values in `[-limit, limit]`.
+fn fill_uniform(rng: &mut StdRng, buf: &mut [f32], limit: f32) {
+    for v in buf {
+        *v = rng.gen_range(-limit..=limit);
+    }
+}
+
+/// He/Kaiming-style uniform initialization for every weighted layer of a
+/// network, in place. Biases are zeroed.
+///
+/// The limit per layer is `sqrt(6 / fan_in)` — appropriate for the ReLU
+/// networks of the paper.
+///
+/// # Example
+///
+/// ```
+/// use sei_nn::{init, paper};
+/// let mut a = paper::network2(7);
+/// let b = paper::network2(7);
+/// assert_eq!(a, b); // same seed, same weights
+/// init::he_uniform(&mut a, 8);
+/// assert_ne!(a, b); // reseeded differently
+/// ```
+pub fn he_uniform(net: &mut Network, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for layer in net.layers_mut() {
+        match layer {
+            Layer::Conv(c) => {
+                let fan_in = c.matrix_rows() as f32;
+                let limit = (6.0 / fan_in).sqrt();
+                fill_uniform(&mut rng, c.weights_mut(), limit);
+                c.bias_mut().fill(0.0);
+            }
+            Layer::Linear(l) => {
+                let fan_in = l.in_features() as f32;
+                let limit = (6.0 / fan_in).sqrt();
+                fill_uniform(&mut rng, l.weights_mut(), limit);
+                l.bias_mut().fill(0.0);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Linear};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Network::new(vec![Layer::Linear(Linear::zeros(10, 5))]);
+        let mut b = a.clone();
+        he_uniform(&mut a, 123);
+        he_uniform(&mut b, 123);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Network::new(vec![Layer::Linear(Linear::zeros(10, 5))]);
+        let mut b = a.clone();
+        he_uniform(&mut a, 1);
+        he_uniform(&mut b, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn respects_fan_in_limit() {
+        let mut net = Network::new(vec![Layer::Conv(Conv2d::zeros(3, 4, 5))]);
+        he_uniform(&mut net, 9);
+        let limit = (6.0f32 / 75.0).sqrt();
+        if let Layer::Conv(c) = &net.layers()[0] {
+            assert!(c.weights().iter().all(|w| w.abs() <= limit + 1e-6));
+            assert!(c.weights().iter().any(|w| w.abs() > limit * 0.5));
+            assert!(c.bias().iter().all(|&b| b == 0.0));
+        } else {
+            unreachable!();
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! 2-D convolution layer (stride 1, valid padding), implemented via im2col.
+//!
+//! The paper treats a convolution layer with `K` kernels of size `S×S×I` as a
+//! matrix–vector multiplication with an `(S·S·I) × K` weight matrix (§2.2:
+//! "for the Conv layer containing 64 kernels in 3×3×3 size, we can use 27×64
+//! RRAM crossbar"). [`Conv2d::weight_matrix`] exposes exactly that
+//! crossbar-orientation matrix.
+
+use crate::layers::ParamGrad;
+use crate::tensor::{Matrix, Tensor3};
+use serde::{Deserialize, Serialize};
+
+/// A 2-D convolution with square kernels, stride 1 and no padding.
+///
+/// Weight layout: `weights[((o * in_ch + i) * k + ky) * k + kx]`.
+///
+/// # Example
+///
+/// ```
+/// use sei_nn::{Conv2d, Tensor3};
+/// // 1 input channel, 1 kernel of size 2: a moving sum.
+/// let mut c = Conv2d::zeros(1, 1, 2);
+/// c.weights_mut().fill(1.0);
+/// let x = Tensor3::from_vec(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// let y = c.forward(&x);
+/// assert_eq!(y.as_slice(), &[10.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with all weights and biases zero.
+    pub fn zeros(in_ch: usize, out_ch: usize, k: usize) -> Self {
+        Conv2d {
+            in_ch,
+            out_ch,
+            k,
+            weights: vec![0.0; out_ch * in_ch * k * k],
+            bias: vec![0.0; out_ch],
+        }
+    }
+
+    /// Creates a convolution from explicit parameter buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths do not match the declared shape.
+    pub fn from_parts(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        weights: Vec<f32>,
+        bias: Vec<f32>,
+    ) -> Self {
+        assert_eq!(weights.len(), out_ch * in_ch * k * k, "weight buffer size");
+        assert_eq!(bias.len(), out_ch, "bias buffer size");
+        Conv2d {
+            in_ch,
+            out_ch,
+            k,
+            weights,
+            bias,
+        }
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_ch
+    }
+
+    /// Number of kernels (output channels).
+    pub fn out_channels(&self) -> usize {
+        self.out_ch
+    }
+
+    /// Kernel side length `S`.
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+
+    /// Borrows the weight buffer.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Mutably borrows the weight buffer.
+    pub fn weights_mut(&mut self) -> &mut [f32] {
+        &mut self.weights
+    }
+
+    /// Borrows the bias buffer.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutably borrows the bias buffer.
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    /// Number of rows of the crossbar-orientation weight matrix: `S·S·I`.
+    pub fn matrix_rows(&self) -> usize {
+        self.in_ch * self.k * self.k
+    }
+
+    /// The paper's `(S·S·I) × K` weight matrix: one column per kernel,
+    /// one row per input-patch element.
+    ///
+    /// Row index `r` corresponds to patch element `(i, ky, kx)` with
+    /// `r = (i * k + ky) * k + kx`, matching [`Conv2d::im2col`] column order.
+    pub fn weight_matrix(&self) -> Matrix {
+        let rows = self.matrix_rows();
+        let mut m = Matrix::zeros(rows, self.out_ch);
+        for o in 0..self.out_ch {
+            for r in 0..rows {
+                m.set(r, o, self.weights[o * rows + r]);
+            }
+        }
+        m
+    }
+
+    /// Replaces the weights from a crossbar-orientation matrix (inverse of
+    /// [`Conv2d::weight_matrix`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape is not `(S·S·I) × K`.
+    pub fn set_weight_matrix(&mut self, m: &Matrix) {
+        let rows = self.matrix_rows();
+        assert_eq!(m.rows(), rows, "weight matrix row count");
+        assert_eq!(m.cols(), self.out_ch, "weight matrix column count");
+        for o in 0..self.out_ch {
+            for r in 0..rows {
+                self.weights[o * rows + r] = m.get(r, o);
+            }
+        }
+    }
+
+    fn out_hw(&self, x: &Tensor3) -> (usize, usize) {
+        assert_eq!(x.channels(), self.in_ch, "conv input channels");
+        assert!(
+            x.height() >= self.k && x.width() >= self.k,
+            "input smaller than kernel"
+        );
+        (x.height() - self.k + 1, x.width() - self.k + 1)
+    }
+
+    /// Extracts sliding patches: one row per output position `(y, x)` in
+    /// row-major order, one column per patch element `(i, ky, kx)`.
+    pub fn im2col(&self, x: &Tensor3) -> Matrix {
+        let (oh, ow) = self.out_hw(x);
+        let cols = self.matrix_rows();
+        let mut m = Matrix::zeros(oh * ow, cols);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = m.row_mut(oy * ow + ox);
+                let mut c = 0;
+                for i in 0..self.in_ch {
+                    for ky in 0..self.k {
+                        for kx in 0..self.k {
+                            row[c] = x.get(i, oy + ky, ox + kx);
+                            c += 1;
+                        }
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape is incompatible.
+    pub fn forward(&self, x: &Tensor3) -> Tensor3 {
+        self.forward_with_cols(x).0
+    }
+
+    /// Forward pass that also returns the im2col patch matrix (reused by the
+    /// backward pass).
+    pub fn forward_with_cols(&self, x: &Tensor3) -> (Tensor3, Matrix) {
+        let (oh, ow) = self.out_hw(x);
+        let cols = self.im2col(x);
+        let rows = self.matrix_rows();
+        let mut y = Tensor3::zeros(self.out_ch, oh, ow);
+        for pos in 0..oh * ow {
+            let patch = cols.row(pos);
+            for o in 0..self.out_ch {
+                let w = &self.weights[o * rows..(o + 1) * rows];
+                let mut acc = self.bias[o];
+                for (a, b) in w.iter().zip(patch) {
+                    acc += a * b;
+                }
+                y.set(o, pos / ow, pos % ow, acc);
+            }
+        }
+        (y, cols)
+    }
+
+    /// Backward pass given the input `x`, the cached im2col matrix and the
+    /// upstream gradient. Returns `(grad_input, param_grad)`.
+    pub fn backward(&self, x: &Tensor3, cols: &Matrix, grad_y: &Tensor3) -> (Tensor3, ParamGrad) {
+        let (oh, ow) = self.out_hw(x);
+        assert_eq!(grad_y.shape(), (self.out_ch, oh, ow), "grad_y shape");
+        let rows = self.matrix_rows();
+
+        let mut gw = vec![0.0; self.weights.len()];
+        let mut gb = vec![0.0; self.out_ch];
+        // grad for im2col matrix; scattered back into the input afterwards.
+        let mut gcols = Matrix::zeros(oh * ow, rows);
+
+        for pos in 0..oh * ow {
+            let patch = cols.row(pos);
+            let grow = gcols.row_mut(pos);
+            for o in 0..self.out_ch {
+                let g = grad_y.get(o, pos / ow, pos % ow);
+                if g == 0.0 {
+                    continue;
+                }
+                gb[o] += g;
+                let wslice = &self.weights[o * rows..(o + 1) * rows];
+                let gwslice = &mut gw[o * rows..(o + 1) * rows];
+                for c in 0..rows {
+                    gwslice[c] += g * patch[c];
+                    grow[c] += g * wslice[c];
+                }
+            }
+        }
+
+        // col2im scatter-add.
+        let mut gx = Tensor3::zeros(self.in_ch, x.height(), x.width());
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let grow = gcols.row(oy * ow + ox);
+                let mut c = 0;
+                for i in 0..self.in_ch {
+                    for ky in 0..self.k {
+                        for kx in 0..self.k {
+                            let cur = gx.get(i, oy + ky, ox + kx);
+                            gx.set(i, oy + ky, ox + kx, cur + grow[c]);
+                            c += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        (
+            gx,
+            ParamGrad {
+                weights: gw,
+                bias: gb,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_conv() -> (Conv2d, Tensor3) {
+        let mut c = Conv2d::zeros(2, 3, 2);
+        // deterministic pseudo-random-ish weights
+        for (i, w) in c.weights_mut().iter_mut().enumerate() {
+            *w = ((i as f32) * 0.37).sin() * 0.5;
+        }
+        for (i, b) in c.bias_mut().iter_mut().enumerate() {
+            *b = 0.1 * i as f32;
+        }
+        let mut x = Tensor3::zeros(2, 4, 4);
+        for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as f32) * 0.11).cos();
+        }
+        (c, x)
+    }
+
+    fn loss(y: &Tensor3) -> f32 {
+        // simple quadratic loss: 0.5 * sum(y^2)
+        y.as_slice().iter().map(|v| 0.5 * v * v).sum()
+    }
+
+    #[test]
+    fn forward_known_single_pixel() {
+        let mut c = Conv2d::zeros(1, 1, 3);
+        c.weights_mut().copy_from_slice(&[0., 0., 0., 0., 1., 0., 0., 0., 0.]);
+        c.bias_mut()[0] = 2.0;
+        let mut x = Tensor3::zeros(1, 3, 3);
+        x.set(0, 1, 1, 7.0);
+        let y = c.forward(&x);
+        assert_eq!(y.shape(), (1, 1, 1));
+        assert_eq!(y.get(0, 0, 0), 9.0);
+    }
+
+    #[test]
+    fn weight_matrix_roundtrip() {
+        let (c, _) = finite_diff_conv();
+        let m = c.weight_matrix();
+        assert_eq!(m.rows(), 8);
+        assert_eq!(m.cols(), 3);
+        let mut c2 = Conv2d::zeros(2, 3, 2);
+        c2.set_weight_matrix(&m);
+        assert_eq!(c2.weights(), c.weights());
+    }
+
+    #[test]
+    fn forward_matches_weight_matrix_times_patch() {
+        let (c, x) = finite_diff_conv();
+        let (y, cols) = c.forward_with_cols(&x);
+        let wm = c.weight_matrix();
+        // pick output position (1, 2): row index 1*3+2 = 5
+        let patch = cols.row(5);
+        let prods = wm.vecmat(patch);
+        for o in 0..3 {
+            let expect = prods[o] + c.bias()[o];
+            assert!((y.get(o, 1, 2) - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn backward_weights_match_finite_difference() {
+        let (mut c, x) = finite_diff_conv();
+        let (y, cols) = c.forward_with_cols(&x);
+        let gy = y.clone(); // dL/dy = y for quadratic loss
+        let (_, pg) = c.backward(&x, &cols, &gy);
+        let eps = 1e-3;
+        for idx in [0usize, 5, 11, 23] {
+            let orig = c.weights()[idx];
+            c.weights_mut()[idx] = orig + eps;
+            let lp = loss(&c.forward(&x));
+            c.weights_mut()[idx] = orig - eps;
+            let lm = loss(&c.forward(&x));
+            c.weights_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (pg.weights[idx] - fd).abs() < 1e-2,
+                "weight {idx}: analytic {} vs fd {fd}",
+                pg.weights[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_input_matches_finite_difference() {
+        let (c, mut x) = finite_diff_conv();
+        let (y, cols) = c.forward_with_cols(&x);
+        let gy = y.clone();
+        let (gx, _) = c.backward(&x, &cols, &gy);
+        let eps = 1e-3;
+        for idx in [0usize, 7, 15, 31] {
+            let orig = x.as_slice()[idx];
+            x.as_mut_slice()[idx] = orig + eps;
+            let lp = loss(&c.forward(&x));
+            x.as_mut_slice()[idx] = orig - eps;
+            let lm = loss(&c.forward(&x));
+            x.as_mut_slice()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (gx.as_slice()[idx] - fd).abs() < 1e-2,
+                "input {idx}: analytic {} vs fd {fd}",
+                gx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_bias_is_sum_of_grad() {
+        let (c, x) = finite_diff_conv();
+        let (y, cols) = c.forward_with_cols(&x);
+        let mut gy = y.clone();
+        gy.map_inplace(|_| 1.0);
+        let (_, pg) = c.backward(&x, &cols, &gy);
+        let positions = (y.height() * y.width()) as f32;
+        for o in 0..3 {
+            assert!((pg.bias[o] - positions).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "conv input channels")]
+    fn forward_rejects_wrong_channels() {
+        let c = Conv2d::zeros(2, 1, 2);
+        let x = Tensor3::zeros(1, 4, 4);
+        let _ = c.forward(&x);
+    }
+}

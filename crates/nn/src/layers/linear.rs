@@ -1,0 +1,247 @@
+//! Fully-connected (FC) layer — Equ. (2) of the paper:
+//! `output_i = f(Σ_j w_ij · input_j + b_i)` (the non-linearity `f` is a
+//! separate [`crate::Layer::Relu`]).
+
+use crate::layers::ParamGrad;
+use crate::tensor::{Matrix, Tensor3};
+use serde::{Deserialize, Serialize};
+
+/// A fully-connected layer with weight layout `weights[o * in + i]`.
+///
+/// # Example
+///
+/// ```
+/// use sei_nn::{Linear, Tensor3};
+/// let mut l = Linear::zeros(2, 1);
+/// l.weights_mut().copy_from_slice(&[3.0, -1.0]);
+/// l.bias_mut()[0] = 0.5;
+/// let y = l.forward(&Tensor3::from_flat(vec![1.0, 2.0]));
+/// assert_eq!(y.as_slice(), &[1.5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a linear layer with all parameters zero.
+    pub fn zeros(in_features: usize, out_features: usize) -> Self {
+        Linear {
+            in_features,
+            out_features,
+            weights: vec![0.0; in_features * out_features],
+            bias: vec![0.0; out_features],
+        }
+    }
+
+    /// Creates a linear layer from explicit parameter buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths do not match the declared shape.
+    pub fn from_parts(
+        in_features: usize,
+        out_features: usize,
+        weights: Vec<f32>,
+        bias: Vec<f32>,
+    ) -> Self {
+        assert_eq!(weights.len(), in_features * out_features, "weight buffer");
+        assert_eq!(bias.len(), out_features, "bias buffer");
+        Linear {
+            in_features,
+            out_features,
+            weights,
+            bias,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output dimension.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Borrows the weight buffer (`weights[o * in + i]`).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Mutably borrows the weight buffer.
+    pub fn weights_mut(&mut self) -> &mut [f32] {
+        &mut self.weights
+    }
+
+    /// Borrows the bias buffer.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutably borrows the bias buffer.
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    /// Crossbar-orientation weight matrix: `in_features` rows ×
+    /// `out_features` columns (one column per output neuron), matching the
+    /// paper's `1024×10` FC matrix of Network 1.
+    pub fn weight_matrix(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.in_features, self.out_features);
+        for o in 0..self.out_features {
+            for i in 0..self.in_features {
+                m.set(i, o, self.weights[o * self.in_features + i]);
+            }
+        }
+        m
+    }
+
+    /// Replaces the weights from a crossbar-orientation matrix (inverse of
+    /// [`Linear::weight_matrix`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape is not `in_features × out_features`.
+    pub fn set_weight_matrix(&mut self, m: &Matrix) {
+        assert_eq!(m.rows(), self.in_features, "weight matrix rows");
+        assert_eq!(m.cols(), self.out_features, "weight matrix cols");
+        for o in 0..self.out_features {
+            for i in 0..self.in_features {
+                self.weights[o * self.in_features + i] = m.get(i, o);
+            }
+        }
+    }
+
+    /// Forward pass. The input may have any 3-D shape whose total length is
+    /// `in_features` (it is read flat).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length does not match.
+    pub fn forward(&self, x: &Tensor3) -> Tensor3 {
+        assert_eq!(x.len(), self.in_features, "linear input length");
+        let xs = x.as_slice();
+        let mut y = Vec::with_capacity(self.out_features);
+        for o in 0..self.out_features {
+            let w = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+            let mut acc = self.bias[o];
+            for (a, b) in w.iter().zip(xs) {
+                acc += a * b;
+            }
+            y.push(acc);
+        }
+        Tensor3::from_flat(y)
+    }
+
+    /// Backward pass; returns `(grad_input, param_grad)`.
+    pub fn backward(&self, x: &Tensor3, grad_y: &Tensor3) -> (Tensor3, ParamGrad) {
+        assert_eq!(grad_y.len(), self.out_features, "grad_y length");
+        let xs = x.as_slice();
+        let gys = grad_y.as_slice();
+        let mut gw = vec![0.0; self.weights.len()];
+        let mut gx = vec![0.0; self.in_features];
+        for o in 0..self.out_features {
+            let g = gys[o];
+            if g == 0.0 {
+                continue;
+            }
+            let w = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+            let gwr = &mut gw[o * self.in_features..(o + 1) * self.in_features];
+            for i in 0..self.in_features {
+                gwr[i] += g * xs[i];
+                gx[i] += g * w[i];
+            }
+        }
+        let (c, h, w) = x.shape();
+        (
+            Tensor3::from_vec(c, h, w, gx),
+            ParamGrad {
+                weights: gw,
+                bias: gys.to_vec(),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known() {
+        let l = Linear::from_parts(3, 2, vec![1.0, 0.0, -1.0, 2.0, 2.0, 2.0], vec![0.0, 1.0]);
+        let y = l.forward(&Tensor3::from_flat(vec![1.0, 2.0, 3.0]));
+        assert_eq!(y.as_slice(), &[-2.0, 13.0]);
+    }
+
+    #[test]
+    fn weight_matrix_roundtrip() {
+        let l = Linear::from_parts(2, 3, vec![1., 2., 3., 4., 5., 6.], vec![0.0; 3]);
+        let m = l.weight_matrix();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 0), 2.0);
+        assert_eq!(m.get(0, 2), 5.0);
+        let mut l2 = Linear::zeros(2, 3);
+        l2.set_weight_matrix(&m);
+        assert_eq!(l2.weights(), l.weights());
+    }
+
+    #[test]
+    fn forward_equals_vecmat_plus_bias() {
+        let l = Linear::from_parts(3, 2, vec![0.5, -0.5, 1.0, 2.0, 0.0, -1.0], vec![0.1, 0.2]);
+        let x = [1.0, 2.0, -1.0];
+        let y = l.forward(&Tensor3::from_flat(x.to_vec()));
+        let via_matrix = l.weight_matrix().vecmat(&x);
+        for o in 0..2 {
+            assert!((y.as_slice()[o] - (via_matrix[o] + l.bias()[o])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut l = Linear::from_parts(3, 2, vec![0.3, -0.2, 0.7, -0.4, 0.9, 0.1], vec![0.0, 0.5]);
+        let x = Tensor3::from_flat(vec![0.5, -1.0, 2.0]);
+        let loss = |l: &Linear, x: &Tensor3| -> f32 {
+            l.forward(x).as_slice().iter().map(|v| 0.5 * v * v).sum()
+        };
+        let y = l.forward(&x);
+        let (gx, pg) = l.backward(&x, &y);
+        let eps = 1e-3;
+        for idx in 0..6 {
+            let orig = l.weights()[idx];
+            l.weights_mut()[idx] = orig + eps;
+            let lp = loss(&l, &x);
+            l.weights_mut()[idx] = orig - eps;
+            let lm = loss(&l, &x);
+            l.weights_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((pg.weights[idx] - fd).abs() < 1e-2);
+        }
+        let mut xv = x.clone();
+        for idx in 0..3 {
+            let orig = xv.as_slice()[idx];
+            xv.as_mut_slice()[idx] = orig + eps;
+            let lp = loss(&l, &xv);
+            xv.as_mut_slice()[idx] = orig - eps;
+            let lm = loss(&l, &xv);
+            xv.as_mut_slice()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((gx.as_slice()[idx] - fd).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn accepts_unflattened_input_of_right_length() {
+        let l = Linear::zeros(12, 4);
+        let x = Tensor3::zeros(3, 2, 2);
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), (4, 1, 1));
+    }
+}

@@ -1,0 +1,223 @@
+//! Layer zoo: convolution, ReLU, max-pooling, flatten and fully-connected
+//! layers, each with a forward pass and a backward pass for training.
+//!
+//! Layers are collected in the [`Layer`] enum rather than a trait object so
+//! that the quantizer and the crossbar mapper can pattern-match on the layer
+//! kind and reach its weights directly (the paper's Algorithm 1 re-scales
+//! weights per layer, and the mapper turns each weighted layer into its
+//! crossbar-orientation weight matrix).
+
+mod conv;
+mod linear;
+mod pool;
+
+pub use conv::Conv2d;
+pub use linear::Linear;
+pub use pool::MaxPool2d;
+
+use crate::tensor::Tensor3;
+use serde::{Deserialize, Serialize};
+
+/// Per-layer data captured by the training forward pass and consumed by the
+/// backward pass.
+#[derive(Debug, Clone)]
+pub enum LayerCache {
+    /// im2col patch matrix for a convolution (one row per output position).
+    Conv(crate::tensor::Matrix),
+    /// Flat input-buffer index of the maximum of each pooling window.
+    Pool(Vec<usize>),
+    /// The layer needs no cache beyond its input.
+    None,
+}
+
+/// Gradient of a layer's parameters, laid out exactly like the parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamGrad {
+    /// Gradient w.r.t. the weights (same layout as the layer's weight buffer).
+    pub weights: Vec<f32>,
+    /// Gradient w.r.t. the bias.
+    pub bias: Vec<f32>,
+}
+
+/// One layer of a sequential [`crate::Network`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// 2-D convolution (stride 1, no padding — the paper's configuration).
+    Conv(Conv2d),
+    /// Rectified linear unit, `max(x, 0)`, the paper's non-linear neuron.
+    Relu,
+    /// Non-overlapping spatial max pooling.
+    Pool(MaxPool2d),
+    /// Reshape `(c, h, w)` to `(c·h·w, 1, 1)` between conv and FC stages.
+    Flatten,
+    /// Fully-connected layer.
+    Linear(Linear),
+}
+
+impl Layer {
+    /// Runs the layer forward (inference path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape is incompatible with the layer.
+    pub fn forward(&self, x: &Tensor3) -> Tensor3 {
+        match self {
+            Layer::Conv(c) => c.forward(x),
+            Layer::Relu => {
+                let mut y = x.clone();
+                y.map_inplace(|v| v.max(0.0));
+                y
+            }
+            Layer::Pool(p) => p.forward(x).0,
+            Layer::Flatten => x.clone().into_flat(),
+            Layer::Linear(l) => l.forward(x),
+        }
+    }
+
+    /// Runs the layer forward, additionally returning the cache needed by
+    /// [`Layer::backward`].
+    pub fn forward_train(&self, x: &Tensor3) -> (Tensor3, LayerCache) {
+        match self {
+            Layer::Conv(c) => {
+                let (y, cols) = c.forward_with_cols(x);
+                (y, LayerCache::Conv(cols))
+            }
+            Layer::Pool(p) => {
+                let (y, argmax) = p.forward(x);
+                (y, LayerCache::Pool(argmax))
+            }
+            other => (other.forward(x), LayerCache::None),
+        }
+    }
+
+    /// Back-propagates `grad_y` through the layer.
+    ///
+    /// `x` must be the same input that produced `cache` in
+    /// [`Layer::forward_train`]. Returns the gradient w.r.t. the input and,
+    /// for weighted layers, the parameter gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` does not match the layer kind.
+    pub fn backward(
+        &self,
+        x: &Tensor3,
+        cache: &LayerCache,
+        grad_y: &Tensor3,
+    ) -> (Tensor3, Option<ParamGrad>) {
+        match (self, cache) {
+            (Layer::Conv(c), LayerCache::Conv(cols)) => {
+                let (gx, pg) = c.backward(x, cols, grad_y);
+                (gx, Some(pg))
+            }
+            (Layer::Relu, _) => {
+                let mut gx = grad_y.clone();
+                for (g, &v) in gx.as_mut_slice().iter_mut().zip(x.as_slice()) {
+                    if v <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+                (gx, None)
+            }
+            (Layer::Pool(p), LayerCache::Pool(argmax)) => (p.backward(x, argmax, grad_y), None),
+            (Layer::Flatten, _) => {
+                let (c, h, w) = x.shape();
+                (
+                    Tensor3::from_vec(c, h, w, grad_y.as_slice().to_vec()),
+                    None,
+                )
+            }
+            (Layer::Linear(l), _) => {
+                let (gx, pg) = l.backward(x, grad_y);
+                (gx, Some(pg))
+            }
+            (layer, cache) => panic!("cache kind {cache:?} does not match layer {layer:?}"),
+        }
+    }
+
+    /// Output shape for a given input shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape is incompatible with the layer.
+    pub fn output_shape(&self, input: (usize, usize, usize)) -> (usize, usize, usize) {
+        let (c, h, w) = input;
+        match self {
+            Layer::Conv(cv) => {
+                assert_eq!(c, cv.in_channels(), "conv input channel mismatch");
+                (cv.out_channels(), h - cv.kernel() + 1, w - cv.kernel() + 1)
+            }
+            Layer::Relu => input,
+            Layer::Pool(p) => (c, h / p.size(), w / p.size()),
+            Layer::Flatten => (c * h * w, 1, 1),
+            Layer::Linear(l) => {
+                assert_eq!(c * h * w, l.in_features(), "linear input size mismatch");
+                (l.out_features(), 1, 1)
+            }
+        }
+    }
+
+    /// Whether this layer carries trainable weights (conv or linear).
+    pub fn is_weighted(&self) -> bool {
+        matches!(self, Layer::Conv(_) | Layer::Linear(_))
+    }
+
+    /// Short human-readable kind name for reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Layer::Conv(_) => "conv",
+            Layer::Relu => "relu",
+            Layer::Pool(_) => "pool",
+            Layer::Flatten => "flatten",
+            Layer::Linear(_) => "fc",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_clamps_negatives() {
+        let x = Tensor3::from_flat(vec![-1.0, 0.0, 2.0]);
+        let y = Layer::Relu.forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let x = Tensor3::from_flat(vec![-1.0, 0.0, 2.0]);
+        let gy = Tensor3::from_flat(vec![1.0, 1.0, 1.0]);
+        let (gx, pg) = Layer::Relu.backward(&x, &LayerCache::None, &gy);
+        assert_eq!(gx.as_slice(), &[0.0, 0.0, 1.0]);
+        assert!(pg.is_none());
+    }
+
+    #[test]
+    fn flatten_roundtrip_shapes() {
+        let x = Tensor3::zeros(2, 3, 4);
+        let y = Layer::Flatten.forward(&x);
+        assert_eq!(y.shape(), (24, 1, 1));
+        let gy = Tensor3::zeros(24, 1, 1);
+        let (gx, _) = Layer::Flatten.backward(&x, &LayerCache::None, &gy);
+        assert_eq!(gx.shape(), (2, 3, 4));
+    }
+
+    #[test]
+    fn output_shape_chain_network1_style() {
+        // 28x28 -> conv 5x5x12 -> 24x24x12 -> pool2 -> 12x12x12
+        let conv = Layer::Conv(Conv2d::zeros(1, 12, 5));
+        let s1 = conv.output_shape((1, 28, 28));
+        assert_eq!(s1, (12, 24, 24));
+        let pool = Layer::Pool(MaxPool2d::new(2));
+        assert_eq!(pool.output_shape(s1), (12, 12, 12));
+    }
+
+    #[test]
+    fn pool_output_shape_floors() {
+        // 11x11 pooled by 2 -> 5x5, as in Networks 2 and 3.
+        let pool = Layer::Pool(MaxPool2d::new(2));
+        assert_eq!(pool.output_shape((8, 11, 11)), (8, 5, 5));
+    }
+}

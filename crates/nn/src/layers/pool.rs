@@ -1,0 +1,122 @@
+//! Non-overlapping spatial max pooling.
+//!
+//! The paper's networks use 2×2 max pooling. After 1-bit quantization the
+//! pooling of binary activations degenerates into a logical OR (§3.1); that
+//! degenerate path lives in `sei-quantize`, while this module provides the
+//! full-precision layer used for training and the float baseline.
+
+use crate::tensor::Tensor3;
+use serde::{Deserialize, Serialize};
+
+/// `s×s` max pooling with stride `s` (window edges that do not fit are
+/// dropped, i.e. the output spatial size is `floor(in / s)` — matching the
+/// paper's Network 2/3 where an 11×11 map pools to 5×5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaxPool2d {
+    size: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with window/stride `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "pool size must be positive");
+        MaxPool2d { size }
+    }
+
+    /// Window side length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Forward pass; returns the pooled tensor and, per output element, the
+    /// flat input-buffer index of the winning input (for the backward pass).
+    pub fn forward(&self, x: &Tensor3) -> (Tensor3, Vec<usize>) {
+        let s = self.size;
+        let (c, h, w) = x.shape();
+        let (oh, ow) = (h / s, w / s);
+        let mut y = Tensor3::zeros(c, oh, ow);
+        let mut argmax = vec![0usize; c * oh * ow];
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::MIN;
+                    let mut best_idx = 0;
+                    for dy in 0..s {
+                        for dx in 0..s {
+                            let (iy, ix) = (oy * s + dy, ox * s + dx);
+                            let v = x.get(ch, iy, ix);
+                            if v > best {
+                                best = v;
+                                best_idx = (ch * h + iy) * w + ix;
+                            }
+                        }
+                    }
+                    y.set(ch, oy, ox, best);
+                    argmax[(ch * oh + oy) * ow + ox] = best_idx;
+                }
+            }
+        }
+        (y, argmax)
+    }
+
+    /// Backward pass: routes each upstream gradient to the input element that
+    /// won its pooling window.
+    pub fn backward(&self, x: &Tensor3, argmax: &[usize], grad_y: &Tensor3) -> Tensor3 {
+        let (c, h, w) = x.shape();
+        let mut gx = Tensor3::zeros(c, h, w);
+        for (g, &idx) in grad_y.as_slice().iter().zip(argmax) {
+            gx.as_mut_slice()[idx] += g;
+        }
+        gx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_picks_window_max() {
+        let x = Tensor3::from_vec(1, 2, 4, vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 8.0, 7.0]);
+        let (y, _) = MaxPool2d::new(2).forward(&x);
+        assert_eq!(y.shape(), (1, 1, 2));
+        assert_eq!(y.as_slice(), &[5.0, 8.0]);
+    }
+
+    #[test]
+    fn forward_drops_ragged_edge() {
+        // 5x5 pooled by 2 -> 2x2 (last row/col dropped)
+        let mut x = Tensor3::zeros(1, 5, 5);
+        x.set(0, 4, 4, 100.0); // in the dropped edge
+        let (y, _) = MaxPool2d::new(2).forward(&x);
+        assert_eq!(y.shape(), (1, 2, 2));
+        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let x = Tensor3::from_vec(1, 2, 2, vec![1.0, 9.0, 3.0, 2.0]);
+        let p = MaxPool2d::new(2);
+        let (_, argmax) = p.forward(&x);
+        let gy = Tensor3::from_vec(1, 1, 1, vec![5.0]);
+        let gx = p.backward(&x, &argmax, &gy);
+        assert_eq!(gx.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn multi_channel_independent() {
+        let x = Tensor3::from_vec(2, 2, 2, vec![1.0, 2.0, 3.0, 4.0, 40.0, 30.0, 20.0, 10.0]);
+        let (y, _) = MaxPool2d::new(2).forward(&x);
+        assert_eq!(y.as_slice(), &[4.0, 40.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool size must be positive")]
+    fn zero_size_rejected() {
+        let _ = MaxPool2d::new(0);
+    }
+}

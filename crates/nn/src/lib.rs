@@ -1,0 +1,82 @@
+//! CNN substrate for the SEI (Switched-by-Input) DAC'16 reproduction.
+//!
+//! This crate implements, from scratch, everything the paper's software side
+//! needs:
+//!
+//! * a small dense [`Tensor3`]/[`Matrix`] numeric core ([`tensor`]);
+//! * the layer zoo of the paper's networks — convolution, ReLU, max-pooling,
+//!   and fully-connected layers — with forward **and** backward passes
+//!   ([`layers`]);
+//! * a sequential [`Network`] container and the three paper networks of
+//!   Table 2 ([`paper`]);
+//! * mini-batch SGD-with-momentum training ([`train`]) with softmax
+//!   cross-entropy loss ([`loss`]);
+//! * a deterministic synthetic MNIST-like dataset generator ([`data`]) used
+//!   in place of the original MNIST files (see `DESIGN.md` §1 for the
+//!   substitution rationale);
+//! * evaluation metrics ([`metrics`]);
+//! * plain-text model persistence ([`serialize`]).
+//!
+//! # Example
+//!
+//! Train the paper's smallest network (Network 2 of Table 2) on a small
+//! synthetic dataset and measure its error rate:
+//!
+//! ```
+//! use sei_nn::data::SynthConfig;
+//! use sei_nn::paper;
+//! use sei_nn::train::{Trainer, TrainConfig};
+//! use sei_nn::metrics::error_rate;
+//!
+//! let train = SynthConfig::new(600, 1).generate();
+//! let test = SynthConfig::new(200, 2).generate();
+//! let mut net = paper::network2(42);
+//! let cfg = TrainConfig { epochs: 2, ..TrainConfig::default() };
+//! Trainer::new(cfg).fit(&mut net, &train);
+//! let err = error_rate(&net, &test);
+//! assert!(err < 0.9, "training should beat chance, got {err}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod network;
+pub mod paper;
+pub mod serialize;
+pub mod tensor;
+pub mod train;
+
+pub use layers::{Conv2d, Layer, Linear, MaxPool2d};
+pub use network::Network;
+pub use tensor::{Matrix, Tensor3};
+
+/// Errors produced by shape-checked operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// Two operands had incompatible dimensions.
+    Mismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Dimensions of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+}
+
+impl core::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ShapeError::Mismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}

@@ -1,0 +1,92 @@
+//! Softmax cross-entropy loss for classifier training.
+
+use crate::tensor::Tensor3;
+
+/// Numerically-stable softmax over a flat logit tensor.
+///
+/// # Example
+///
+/// ```
+/// use sei_nn::{loss, Tensor3};
+/// let p = loss::softmax(&Tensor3::from_flat(vec![0.0, 0.0]));
+/// assert!((p[0] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax(logits: &Tensor3) -> Vec<f32> {
+    let xs = logits.as_slice();
+    let max = xs.iter().copied().fold(f32::MIN, f32::max);
+    let exps: Vec<f32> = xs.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Cross-entropy of softmax probabilities against a class label, plus the
+/// gradient with respect to the logits (`p − one_hot(label)`).
+///
+/// # Panics
+///
+/// Panics if `label` is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor3, label: usize) -> (f32, Tensor3) {
+    let p = softmax(logits);
+    assert!(label < p.len(), "label {label} out of range {}", p.len());
+    let loss = -(p[label].max(1e-12)).ln();
+    let mut grad = p;
+    grad[label] -= 1.0;
+    (loss, Tensor3::from_flat(grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&Tensor3::from_flat(vec![1.0, 2.0, 3.0]));
+        let s: f32 = p.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&Tensor3::from_flat(vec![1.0, 2.0]));
+        let b = softmax(&Tensor3::from_flat(vec![101.0, 102.0]));
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let p = softmax(&Tensor3::from_flat(vec![1000.0, 0.0]));
+        assert!(p[0] > 0.999 && p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Tensor3::from_flat(vec![0.3, -0.7, 1.2]);
+        let (_, grad) = softmax_cross_entropy(&logits, 2);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let (lossp, _) = softmax_cross_entropy(&lp, 2);
+            let (lossm, _) = softmax_cross_entropy(&lm, 2);
+            let fd = (lossp - lossm) / (2.0 * eps);
+            assert!((grad.as_slice()[i] - fd).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_low_loss() {
+        let (loss, _) = softmax_cross_entropy(&Tensor3::from_flat(vec![20.0, 0.0]), 0);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let _ = softmax_cross_entropy(&Tensor3::from_flat(vec![0.0, 0.0]), 5);
+    }
+}

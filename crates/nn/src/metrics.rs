@@ -1,0 +1,147 @@
+//! Evaluation metrics: error rate and confusion matrix.
+//!
+//! The paper reports classification **error rate** (Tables 3–5); these
+//! helpers compute it for a full-precision [`Network`] — the quantized and
+//! crossbar-level evaluation paths in `sei-quantize` / `sei-core` provide
+//! their own equivalents that share the [`ConfusionMatrix`] type.
+
+use crate::data::Dataset;
+use crate::network::Network;
+use serde::{Deserialize, Serialize};
+
+/// Classification error rate of a network over a dataset, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn error_rate(net: &Network, data: &Dataset) -> f32 {
+    assert!(!data.is_empty(), "empty dataset");
+    let mut errors = 0usize;
+    for (img, label) in data.iter() {
+        if net.classify(img) != label as usize {
+            errors += 1;
+        }
+    }
+    errors as f32 / data.len() as f32
+}
+
+/// Error rate of an arbitrary classifier closure over a dataset.
+///
+/// Convenient for the quantized / crossbar evaluation paths which are not
+/// [`Network`]s.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn error_rate_with(
+    data: &Dataset,
+    mut classify: impl FnMut(&crate::tensor::Tensor3) -> usize,
+) -> f32 {
+    assert!(!data.is_empty(), "empty dataset");
+    let mut errors = 0usize;
+    for (img, label) in data.iter() {
+        if classify(img) != label as usize {
+            errors += 1;
+        }
+    }
+    errors as f32 / data.len() as f32
+}
+
+/// A `classes × classes` confusion matrix (`rows = true label`,
+/// `cols = prediction`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u32>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `classes` classes.
+    pub fn new(classes: usize) -> Self {
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one `(truth, prediction)` observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, truth: usize, prediction: usize) {
+        assert!(truth < self.classes && prediction < self.classes);
+        self.counts[truth * self.classes + prediction] += 1;
+    }
+
+    /// Count at `(truth, prediction)`.
+    pub fn count(&self, truth: usize, prediction: usize) -> u32 {
+        self.counts[truth * self.classes + prediction]
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall error rate.
+    pub fn error_rate(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u32 = (0..self.classes).map(|i| self.count(i, i)).sum();
+        1.0 - correct as f32 / total as f32
+    }
+
+    /// Fills the matrix from a network evaluated over a dataset.
+    pub fn evaluate(net: &Network, data: &Dataset, classes: usize) -> Self {
+        let mut cm = ConfusionMatrix::new(classes);
+        for (img, label) in data.iter() {
+            cm.record(label as usize, net.classify(img));
+        }
+        cm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_matrix_basic() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        cm.record(2, 2);
+        assert_eq!(cm.total(), 3);
+        assert_eq!(cm.count(0, 1), 1);
+        assert!((cm.error_rate() - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_matrix_zero_error() {
+        assert_eq!(ConfusionMatrix::new(2).error_rate(), 0.0);
+    }
+
+    #[test]
+    fn error_rate_with_closure() {
+        let data = crate::data::SynthConfig::new(20, 1).generate();
+        // Predict label 0 for everything: 2 of 20 are class 0.
+        let err = error_rate_with(&data, |_| 0);
+        assert!((err - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn error_rate_empty_panics() {
+        let data = crate::data::Dataset::new(vec![], vec![]);
+        let net = crate::paper::network2(0);
+        let _ = error_rate(&net, &data);
+    }
+}

@@ -1,0 +1,199 @@
+//! Sequential network container.
+
+use crate::layers::{Layer, LayerCache};
+use crate::tensor::Tensor3;
+use serde::{Deserialize, Serialize};
+
+/// A sequential stack of [`Layer`]s — the paper's CNNs are all of the shape
+/// `Conv → ReLU → Pool → Conv → ReLU → Pool → Flatten → FC`.
+///
+/// # Example
+///
+/// ```
+/// use sei_nn::{Network, Layer, Conv2d, MaxPool2d, Linear, Tensor3};
+/// let net = Network::new(vec![
+///     Layer::Conv(Conv2d::zeros(1, 4, 3)),
+///     Layer::Relu,
+///     Layer::Pool(MaxPool2d::new(2)),
+///     Layer::Flatten,
+///     Layer::Linear(Linear::zeros(4 * 13 * 13, 10)),
+/// ]);
+/// let logits = net.forward(&Tensor3::zeros(1, 28, 28));
+/// assert_eq!(logits.shape(), (10, 1, 1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Creates a network from a layer list.
+    pub fn new(layers: Vec<Layer>) -> Self {
+        Network { layers }
+    }
+
+    /// Borrows the layer list.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutably borrows the layer list (used by the quantizer to re-scale
+    /// weights in place).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Indices of the weighted (conv / FC) layers, in order. These are the
+    /// "layers" in the sense of the paper's Algorithm 1 (its greedy loop
+    /// iterates over weighted layers).
+    pub fn weighted_layer_indices(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.is_weighted())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Inference forward pass through all layers.
+    pub fn forward(&self, x: &Tensor3) -> Tensor3 {
+        let mut cur = x.clone();
+        for l in &self.layers {
+            cur = l.forward(&cur);
+        }
+        cur
+    }
+
+    /// Forward pass that returns the input of every layer plus the final
+    /// output: `activations[i]` is the input to layer `i`, and
+    /// `activations[len()]` is the network output.
+    pub fn forward_collect(&self, x: &Tensor3) -> Vec<Tensor3> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.clone());
+        for l in &self.layers {
+            let next = l.forward(acts.last().expect("non-empty"));
+            acts.push(next);
+        }
+        acts
+    }
+
+    /// Forward pass for training: returns per-layer inputs, per-layer caches
+    /// and the output.
+    pub fn forward_train(&self, x: &Tensor3) -> (Vec<Tensor3>, Vec<LayerCache>, Tensor3) {
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut cur = x.clone();
+        for l in &self.layers {
+            inputs.push(cur.clone());
+            let (y, cache) = l.forward_train(&cur);
+            caches.push(cache);
+            cur = y;
+        }
+        (inputs, caches, cur)
+    }
+
+    /// Classifies an input by logit argmax.
+    pub fn classify(&self, x: &Tensor3) -> usize {
+        self.forward(x).argmax()
+    }
+
+    /// Output shape for a given input shape, chaining through all layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any layer is incompatible with its input shape.
+    pub fn output_shape(&self, input: (usize, usize, usize)) -> (usize, usize, usize) {
+        self.layers
+            .iter()
+            .fold(input, |s, l| l.output_shape(s))
+    }
+
+    /// Total multiply–accumulate operation count (×2 for the paper's
+    /// "operations" convention: one multiply + one add) for a single input of
+    /// the given shape.
+    ///
+    /// For Network 1 of Table 2 this evaluates to ≈ 6 M operations
+    /// ("0.006 GOPs").
+    pub fn operation_count(&self, input: (usize, usize, usize)) -> u64 {
+        let mut shape = input;
+        let mut ops: u64 = 0;
+        for l in &self.layers {
+            let out = l.output_shape(shape);
+            match l {
+                Layer::Conv(c) => {
+                    let macs = (out.0 * out.1 * out.2) as u64 * c.matrix_rows() as u64;
+                    ops += 2 * macs;
+                }
+                Layer::Linear(lin) => {
+                    ops += 2 * (lin.in_features() * lin.out_features()) as u64;
+                }
+                _ => {}
+            }
+            shape = out;
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Linear, MaxPool2d};
+
+    fn tiny_net() -> Network {
+        Network::new(vec![
+            Layer::Conv(Conv2d::zeros(1, 2, 3)),
+            Layer::Relu,
+            Layer::Pool(MaxPool2d::new(2)),
+            Layer::Flatten,
+            Layer::Linear(Linear::zeros(2 * 3 * 3, 4)),
+        ])
+    }
+
+    #[test]
+    fn forward_shape_chain() {
+        let net = tiny_net();
+        let y = net.forward(&Tensor3::zeros(1, 8, 8));
+        assert_eq!(y.shape(), (4, 1, 1));
+        assert_eq!(net.output_shape((1, 8, 8)), (4, 1, 1));
+    }
+
+    #[test]
+    fn forward_collect_lengths() {
+        let net = tiny_net();
+        let acts = net.forward_collect(&Tensor3::zeros(1, 8, 8));
+        assert_eq!(acts.len(), net.len() + 1);
+        assert_eq!(acts[0].shape(), (1, 8, 8));
+        assert_eq!(acts[net.len()].shape(), (4, 1, 1));
+    }
+
+    #[test]
+    fn weighted_layer_indices_finds_conv_and_fc() {
+        let net = tiny_net();
+        assert_eq!(net.weighted_layer_indices(), vec![0, 4]);
+    }
+
+    #[test]
+    fn operation_count_network1_matches_paper_complexity() {
+        let net = crate::paper::network1(0);
+        let ops = net.operation_count((1, 28, 28));
+        // Paper Table 2 reports 0.006 GOPs for Network 1; our MAC-based
+        // count lands in the same order of magnitude (the paper's exact
+        // accounting convention is not specified).
+        let gops = ops as f64 / 1e9;
+        assert!(
+            (0.002..0.010).contains(&gops),
+            "Network 1 complexity {gops} GOPs should be ~0.006"
+        );
+    }
+}

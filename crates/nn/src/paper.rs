@@ -1,0 +1,191 @@
+//! The three CNN configurations of the paper's Table 2, plus their reported
+//! reference numbers.
+//!
+//! | | Network 1 | Network 2 | Network 3 |
+//! |---|---|---|---|
+//! | Conv 1 | 12 kernels 5×5 (25×12) | 4 kernels 3×3 (9×4) | 6 kernels 3×3 (9×6) |
+//! | Pool | 2×2 | 2×2 | 2×2 |
+//! | Conv 2 | 64 kernels 5×5 (300×64) | 8 kernels 3×3 (36×8) | 12 kernels 3×3 (54×12) |
+//! | Pool | 2×2 | 2×2 | 2×2 |
+//! | FC | 1024×10 | 200×10 | 300×10 |
+//! | Complexity | 0.006 GOPs | 0.00016 GOPs | 0.0003 GOPs |
+
+use crate::init;
+use crate::layers::{Conv2d, Layer, Linear, MaxPool2d};
+use crate::network::Network;
+use serde::{Deserialize, Serialize};
+
+/// Input shape shared by all paper networks: one 28×28 grayscale channel.
+pub const INPUT_SHAPE: (usize, usize, usize) = (1, 28, 28);
+
+/// Number of classes.
+pub const CLASSES: usize = 10;
+
+/// Identifier for one of the paper's Table 2 networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PaperNetwork {
+    /// 12×5×5 / 64×5×5 / FC 1024×10 — "Network 1".
+    Network1,
+    /// 4×3×3 / 8×3×3 / FC 200×10 — "Network 2".
+    Network2,
+    /// 6×3×3 / 12×3×3 / FC 300×10 — "Network 3".
+    Network3,
+}
+
+impl PaperNetwork {
+    /// All three networks, in paper order.
+    pub const ALL: [PaperNetwork; 3] = [
+        PaperNetwork::Network1,
+        PaperNetwork::Network2,
+        PaperNetwork::Network3,
+    ];
+
+    /// Human-readable name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperNetwork::Network1 => "Network 1",
+            PaperNetwork::Network2 => "Network 2",
+            PaperNetwork::Network3 => "Network 3",
+        }
+    }
+
+    /// Builds the network with He-uniform initialized weights.
+    pub fn build(self, seed: u64) -> Network {
+        match self {
+            PaperNetwork::Network1 => network1(seed),
+            PaperNetwork::Network2 => network2(seed),
+            PaperNetwork::Network3 => network3(seed),
+        }
+    }
+
+    /// The complexity figure reported in Table 2 (GOPs per picture).
+    pub fn paper_gops(self) -> f64 {
+        match self {
+            PaperNetwork::Network1 => 0.006,
+            PaperNetwork::Network2 => 0.00016,
+            PaperNetwork::Network3 => 0.0003,
+        }
+    }
+
+    /// The pre-quantization error rate the paper reports in Table 3.
+    pub fn paper_error_before_quantization(self) -> f32 {
+        match self {
+            PaperNetwork::Network1 => 0.0093,
+            PaperNetwork::Network2 => 0.0288,
+            PaperNetwork::Network3 => 0.0153,
+        }
+    }
+
+    /// The post-quantization error rate the paper reports in Table 3.
+    pub fn paper_error_after_quantization(self) -> f32 {
+        match self {
+            PaperNetwork::Network1 => 0.0163,
+            PaperNetwork::Network2 => 0.0342,
+            PaperNetwork::Network3 => 0.0207,
+        }
+    }
+}
+
+fn conv_net(c1: (usize, usize), c2: (usize, usize), seed: u64) -> Network {
+    let (k1, n1) = (c1.1, c1.0);
+    let (k2, n2) = (c2.1, c2.0);
+    let (_, h, w) = INPUT_SHAPE;
+    let s1 = (h - k1 + 1, w - k1 + 1);
+    let p1 = (s1.0 / 2, s1.1 / 2);
+    let s2 = (p1.0 - k2 + 1, p1.1 - k2 + 1);
+    let p2 = (s2.0 / 2, s2.1 / 2);
+    let fc_in = n2 * p2.0 * p2.1;
+    let mut net = Network::new(vec![
+        Layer::Conv(Conv2d::zeros(1, n1, k1)),
+        Layer::Relu,
+        Layer::Pool(MaxPool2d::new(2)),
+        Layer::Conv(Conv2d::zeros(n1, n2, k2)),
+        Layer::Relu,
+        Layer::Pool(MaxPool2d::new(2)),
+        Layer::Flatten,
+        Layer::Linear(Linear::zeros(fc_in, CLASSES)),
+    ]);
+    init::he_uniform(&mut net, seed);
+    net
+}
+
+/// Network 1 of Table 2: 12 kernels 5×5, 64 kernels 5×5, FC 1024×10.
+pub fn network1(seed: u64) -> Network {
+    conv_net((12, 5), (64, 5), seed)
+}
+
+/// Network 2 of Table 2: 4 kernels 3×3, 8 kernels 3×3, FC 200×10.
+pub fn network2(seed: u64) -> Network {
+    conv_net((4, 3), (8, 3), seed)
+}
+
+/// Network 3 of Table 2: 6 kernels 3×3, 12 kernels 3×3, FC 300×10.
+pub fn network3(seed: u64) -> Network {
+    conv_net((6, 3), (12, 3), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network1_weight_matrix_shapes_match_table2() {
+        let net = network1(0);
+        // Conv1 weight matrix 25x12, Conv2 300x64, FC 1024x10.
+        if let Layer::Conv(c) = &net.layers()[0] {
+            assert_eq!((c.matrix_rows(), c.out_channels()), (25, 12));
+        } else {
+            unreachable!()
+        }
+        if let Layer::Conv(c) = &net.layers()[3] {
+            assert_eq!((c.matrix_rows(), c.out_channels()), (300, 64));
+        } else {
+            unreachable!()
+        }
+        if let Layer::Linear(l) = &net.layers()[7] {
+            assert_eq!((l.in_features(), l.out_features()), (1024, 10));
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn network2_shapes_match_table2() {
+        let net = network2(0);
+        if let Layer::Conv(c) = &net.layers()[3] {
+            assert_eq!((c.matrix_rows(), c.out_channels()), (36, 8));
+        } else {
+            unreachable!()
+        }
+        if let Layer::Linear(l) = &net.layers()[7] {
+            assert_eq!((l.in_features(), l.out_features()), (200, 10));
+        } else {
+            unreachable!()
+        }
+        assert_eq!(net.output_shape(INPUT_SHAPE), (10, 1, 1));
+    }
+
+    #[test]
+    fn network3_shapes_match_table2() {
+        let net = network3(0);
+        if let Layer::Conv(c) = &net.layers()[3] {
+            assert_eq!((c.matrix_rows(), c.out_channels()), (54, 12));
+        } else {
+            unreachable!()
+        }
+        if let Layer::Linear(l) = &net.layers()[7] {
+            assert_eq!((l.in_features(), l.out_features()), (300, 10));
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn all_networks_forward_on_input_shape() {
+        for pn in PaperNetwork::ALL {
+            let net = pn.build(1);
+            let y = net.forward(&crate::tensor::Tensor3::zeros(1, 28, 28));
+            assert_eq!(y.shape(), (10, 1, 1), "{}", pn.name());
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Plain-text model persistence.
+//!
+//! Trained networks can be saved and re-loaded so the experiment binaries
+//! don't retrain for every table. The format is a small self-describing
+//! text file (stable across platforms, diff-able, no external
+//! dependencies):
+//!
+//! ```text
+//! SEI-NET v1
+//! layers 5
+//! conv 1 4 3
+//! <36 weights>
+//! <4 biases>
+//! relu
+//! pool 2
+//! flatten
+//! linear 676 10
+//! ...
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use sei_nn::{paper, serialize};
+//! let net = paper::network2(3);
+//! let text = serialize::to_string(&net);
+//! let back = serialize::from_str(&text)?;
+//! assert_eq!(net, back);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::layers::{Conv2d, Layer, Linear, MaxPool2d};
+use crate::network::Network;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Magic header of the format.
+const MAGIC: &str = "SEI-NET v1";
+
+/// Error parsing a serialized network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNetworkError {
+    /// Human-readable description of what failed.
+    message: String,
+    /// 1-based line where the problem was found (0 = end of input).
+    line: usize,
+}
+
+impl ParseNetworkError {
+    fn new(message: impl Into<String>, line: usize) -> Self {
+        ParseNetworkError {
+            message: message.into(),
+            line,
+        }
+    }
+}
+
+impl core::fmt::Display for ParseNetworkError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid network file (line {}): {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseNetworkError {}
+
+/// Serializes a network to the text format.
+pub fn to_string(net: &Network) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "layers {}", net.len());
+    for layer in net.layers() {
+        match layer {
+            Layer::Conv(c) => {
+                let _ = writeln!(
+                    out,
+                    "conv {} {} {}",
+                    c.in_channels(),
+                    c.out_channels(),
+                    c.kernel()
+                );
+                write_floats(&mut out, c.weights());
+                write_floats(&mut out, c.bias());
+            }
+            Layer::Relu => {
+                let _ = writeln!(out, "relu");
+            }
+            Layer::Pool(p) => {
+                let _ = writeln!(out, "pool {}", p.size());
+            }
+            Layer::Flatten => {
+                let _ = writeln!(out, "flatten");
+            }
+            Layer::Linear(l) => {
+                let _ = writeln!(out, "linear {} {}", l.in_features(), l.out_features());
+                write_floats(&mut out, l.weights());
+                write_floats(&mut out, l.bias());
+            }
+        }
+    }
+    out
+}
+
+fn write_floats(out: &mut String, values: &[f32]) {
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        // Exact round-trip via hex-free shortest repr of the bits.
+        let _ = write!(out, "{}", float_to_token(*v));
+    }
+    out.push('\n');
+}
+
+/// Exact binary round-trip: floats are stored as decimal when lossless is
+/// guaranteed (Rust's shortest repr always round-trips f32).
+fn float_to_token(v: f32) -> String {
+    format!("{v}")
+}
+
+/// Deserializes a network from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseNetworkError`] on any structural or numeric problem.
+pub fn from_str(text: &str) -> Result<Network, ParseNetworkError> {
+    let mut lines = text.lines().enumerate();
+    let mut next_line = |what: &'static str| -> Result<(usize, &str), ParseNetworkError> {
+        for (i, l) in lines.by_ref() {
+            if !l.trim().is_empty() {
+                return Ok((i + 1, l.trim()));
+            }
+        }
+        Err(ParseNetworkError::new(
+            format!("unexpected end of input, expected {what}"),
+            0,
+        ))
+    };
+
+    let (ln, magic) = next_line("header")?;
+    if magic != MAGIC {
+        return Err(ParseNetworkError::new(
+            format!("bad header {magic:?}, expected {MAGIC:?}"),
+            ln,
+        ));
+    }
+    let (ln, count_line) = next_line("layer count")?;
+    let count: usize = match count_line.strip_prefix("layers ") {
+        Some(n) => n
+            .trim()
+            .parse()
+            .map_err(|_| ParseNetworkError::new("bad layer count", ln))?,
+        None => return Err(ParseNetworkError::new("expected `layers <n>`", ln)),
+    };
+
+    let parse_floats = |line: &str, ln: usize, expect: usize| -> Result<Vec<f32>, ParseNetworkError> {
+        let vals: Result<Vec<f32>, _> = line.split_whitespace().map(str::parse).collect();
+        let vals =
+            vals.map_err(|_| ParseNetworkError::new("bad float literal", ln))?;
+        if vals.len() != expect {
+            return Err(ParseNetworkError::new(
+                format!("expected {expect} values, found {}", vals.len()),
+                ln,
+            ));
+        }
+        Ok(vals)
+    };
+
+    let mut layers = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (ln, header) = next_line("layer header")?;
+        let mut parts = header.split_whitespace();
+        match parts.next() {
+            Some("conv") => {
+                let dims: Vec<usize> = parts
+                    .map(str::parse)
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| ParseNetworkError::new("bad conv dims", ln))?;
+                let [ic, oc, k] = dims[..] else {
+                    return Err(ParseNetworkError::new("conv needs 3 dims", ln));
+                };
+                let (wl, wline) = next_line("conv weights")?;
+                let weights = parse_floats(wline, wl, oc * ic * k * k)?;
+                let (bl, bline) = next_line("conv bias")?;
+                let bias = parse_floats(bline, bl, oc)?;
+                layers.push(Layer::Conv(Conv2d::from_parts(ic, oc, k, weights, bias)));
+            }
+            Some("linear") => {
+                let dims: Vec<usize> = parts
+                    .map(str::parse)
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| ParseNetworkError::new("bad linear dims", ln))?;
+                let [inf, outf] = dims[..] else {
+                    return Err(ParseNetworkError::new("linear needs 2 dims", ln));
+                };
+                let (wl, wline) = next_line("linear weights")?;
+                let weights = parse_floats(wline, wl, inf * outf)?;
+                let (bl, bline) = next_line("linear bias")?;
+                let bias = parse_floats(bline, bl, outf)?;
+                layers.push(Layer::Linear(Linear::from_parts(inf, outf, weights, bias)));
+            }
+            Some("relu") => layers.push(Layer::Relu),
+            Some("flatten") => layers.push(Layer::Flatten),
+            Some("pool") => {
+                let size: usize = parts
+                    .next()
+                    .ok_or_else(|| ParseNetworkError::new("pool needs a size", ln))?
+                    .parse()
+                    .map_err(|_| ParseNetworkError::new("bad pool size", ln))?;
+                if size == 0 {
+                    return Err(ParseNetworkError::new("pool size must be positive", ln));
+                }
+                layers.push(Layer::Pool(MaxPool2d::new(size)));
+            }
+            other => {
+                return Err(ParseNetworkError::new(
+                    format!("unknown layer kind {other:?}"),
+                    ln,
+                ))
+            }
+        }
+    }
+    Ok(Network::new(layers))
+}
+
+/// Saves a network to a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save(net: &Network, path: impl AsRef<Path>) -> std::io::Result<()> {
+    std::fs::write(path, to_string(net))
+}
+
+/// Loads a network from a file.
+///
+/// # Errors
+///
+/// Returns an [`std::io::Error`] for I/O problems (parse errors are wrapped
+/// as `InvalidData`).
+pub fn load(path: impl AsRef<Path>) -> std::io::Result<Network> {
+    let text = std::fs::read_to_string(path)?;
+    from_str(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn roundtrip_all_paper_networks() {
+        for which in paper::PaperNetwork::ALL {
+            let net = which.build(17);
+            let text = to_string(&net);
+            let back = from_str(&text).expect("parse");
+            assert_eq!(net, back, "{}", which.name());
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_exact_bits() {
+        let mut net = paper::network2(3);
+        // poke in some awkward values
+        if let Layer::Conv(c) = &mut net.layers_mut()[0] {
+            c.weights_mut()[0] = f32::MIN_POSITIVE;
+            c.weights_mut()[1] = -1.234_567_8e-20;
+            c.weights_mut()[2] = 3.402_823e38;
+        }
+        let back = from_str(&to_string(&net)).expect("parse");
+        assert_eq!(net, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("sei_nn_serialize_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("net2.seinet");
+        let net = paper::network2(9);
+        save(&net, &path).expect("save");
+        let back = load(&path).expect("load");
+        assert_eq!(net, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = from_str("NOT-A-NET\nlayers 0\n").unwrap_err();
+        assert!(err.to_string().contains("bad header"));
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let net = paper::network2(1);
+        let text = to_string(&net);
+        let cut = &text[..text.len() / 2];
+        assert!(from_str(cut).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_value_count() {
+        let text = "SEI-NET v1\nlayers 1\nconv 1 1 2\n1 2 3\n0\n";
+        let err = from_str(text).unwrap_err();
+        assert!(err.to_string().contains("expected 4 values"));
+    }
+
+    #[test]
+    fn rejects_unknown_layer() {
+        let text = "SEI-NET v1\nlayers 1\nattention 8\n";
+        assert!(from_str(text).is_err());
+    }
+}

@@ -1,0 +1,512 @@
+//! Dense numeric containers: a channel-major 3-D tensor and a row-major
+//! matrix.
+//!
+//! These are deliberately minimal — just what the CNN layers, the quantizer
+//! and the crossbar mapper need — but fully shape-checked and tested.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense 3-D tensor laid out channel-major: index `(c, y, x)` maps to
+/// `data[(c * h + y) * w + x]`.
+///
+/// Feature maps everywhere in this workspace are `Tensor3`s; a flat vector
+/// (e.g. the input of a fully-connected layer) is represented as a
+/// `Tensor3` with `h == w == 1`.
+///
+/// # Example
+///
+/// ```
+/// use sei_nn::Tensor3;
+/// let mut t = Tensor3::zeros(2, 3, 4);
+/// t.set(1, 2, 3, 5.0);
+/// assert_eq!(t.get(1, 2, 3), 5.0);
+/// assert_eq!(t.len(), 24);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor3 {
+    c: usize,
+    h: usize,
+    w: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor3 {
+    /// Creates a tensor of the given shape filled with zeros.
+    pub fn zeros(c: usize, h: usize, w: usize) -> Self {
+        Tensor3 {
+            c,
+            h,
+            w,
+            data: vec![0.0; c * h * w],
+        }
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != c * h * w`.
+    pub fn from_vec(c: usize, h: usize, w: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            c * h * w,
+            "buffer length {} does not match shape ({c},{h},{w})",
+            data.len()
+        );
+        Tensor3 { c, h, w, data }
+    }
+
+    /// Creates a flat tensor (shape `(n, 1, 1)`) from a vector.
+    pub fn from_flat(data: Vec<f32>) -> Self {
+        let n = data.len();
+        Tensor3 {
+            c: n,
+            h: 1,
+            w: 1,
+            data,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+
+    /// Spatial height.
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Spatial width.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Shape as a `(channels, height, width)` triple.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.c, self.h, self.w)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn offset(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.c && y < self.h && x < self.w);
+        (c * self.h + y) * self.w + x
+    }
+
+    /// Reads the element at `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the index is out of bounds.
+    #[inline]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.data[self.offset(c, y, x)]
+    }
+
+    /// Writes the element at `(c, y, x)`.
+    #[inline]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: f32) {
+        let o = self.offset(c, y, x);
+        self.data[o] = v;
+    }
+
+    /// Borrows the underlying buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the tensor as a flat `(len, 1, 1)` tensor (no copy of
+    /// semantic content; the buffer is moved).
+    pub fn into_flat(self) -> Tensor3 {
+        let n = self.data.len();
+        Tensor3 {
+            c: n,
+            h: 1,
+            w: 1,
+            data: self.data,
+        }
+    }
+
+    /// Largest element, or 0.0 for an empty tensor.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::MIN, f32::max).max(0.0)
+    }
+
+    /// Smallest element, or 0.0 for an empty tensor.
+    pub fn min(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().copied().fold(f32::MAX, f32::min)
+        }
+    }
+
+    /// Index of the largest element (ties resolved to the first).
+    ///
+    /// Useful for classification argmax over a logit tensor.
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        let mut bv = f32::MIN;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > bv {
+                bv = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Applies a function to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Scales every element by `s` in place.
+    pub fn scale(&mut self, s: f32) {
+        self.map_inplace(|v| v * s);
+    }
+}
+
+/// A dense row-major matrix of `f32`.
+///
+/// The paper's "weight matrix" of a layer (e.g. the 300×64 matrix of Conv
+/// Layer 2 in Network 1) is represented as a `Matrix` with one **column per
+/// output neuron / kernel** and one **row per input element**, matching the
+/// crossbar orientation (inputs drive rows, outputs are column currents).
+///
+/// # Example
+///
+/// ```
+/// use sei_nn::Matrix;
+/// let m = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+/// let y = m.matvec(&[1.0, 1.0]);
+/// assert_eq!(y, vec![3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match shape {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices (all rows must have equal length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths or if `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "cannot build a matrix from zero rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads element `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Writes element `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrows row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Borrows the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Computes `y = Mᵀ·x`-style per-row dot products: `y[r] = Σ_c M[r,c]·x[c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec length mismatch");
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Computes the column-space product `y[c] = Σ_r M[r,c]·x[r]` — the
+    /// crossbar direction (inputs drive rows, outputs accumulate down
+    /// columns, Equ. (3) of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn vecmat(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows, "vecmat length mismatch");
+        let mut y = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let xv = x[r];
+            if xv == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            for (o, m) in y.iter_mut().zip(row) {
+                *o += m * xv;
+            }
+        }
+        y
+    }
+
+    /// Dense matrix–matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(i);
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transposed(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Mean of each column, as a length-`cols` vector.
+    ///
+    /// This is the `a_i` "average vector" of Equ. (10) used by the matrix
+    /// homogenization objective.
+    pub fn column_means(&self) -> Vec<f32> {
+        let mut means = vec![0.0; self.cols];
+        if self.rows == 0 {
+            return means;
+        }
+        for r in 0..self.rows {
+            for (m, &v) in means.iter_mut().zip(self.row(r)) {
+                *m += v;
+            }
+        }
+        let inv = 1.0 / self.rows as f32;
+        for m in &mut means {
+            *m *= inv;
+        }
+        means
+    }
+
+    /// Builds a new matrix consisting of the given rows of `self`, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &r) in indices.iter().enumerate() {
+            assert!(r < self.rows, "row index {r} out of bounds");
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_indexing_roundtrip() {
+        let mut t = Tensor3::zeros(3, 4, 5);
+        let mut v = 0.0;
+        for c in 0..3 {
+            for y in 0..4 {
+                for x in 0..5 {
+                    t.set(c, y, x, v);
+                    v += 1.0;
+                }
+            }
+        }
+        let mut expect = 0.0;
+        for c in 0..3 {
+            for y in 0..4 {
+                for x in 0..5 {
+                    assert_eq!(t.get(c, y, x), expect);
+                    expect += 1.0;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tensor_layout_is_channel_major() {
+        let mut t = Tensor3::zeros(2, 2, 2);
+        t.set(1, 0, 0, 9.0);
+        assert_eq!(t.as_slice()[4], 9.0);
+    }
+
+    #[test]
+    fn tensor_argmax_first_tie() {
+        let t = Tensor3::from_flat(vec![1.0, 3.0, 3.0, 2.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn tensor_max_min() {
+        let t = Tensor3::from_flat(vec![-2.0, 5.0, 0.5]);
+        assert_eq!(t.max(), 5.0);
+        assert_eq!(t.min(), -2.0);
+    }
+
+    #[test]
+    fn tensor_into_flat_preserves_data() {
+        let t = Tensor3::from_vec(2, 1, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let f = t.into_flat();
+        assert_eq!(f.shape(), (4, 1, 1));
+        assert_eq!(f.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn tensor_from_vec_rejects_bad_len() {
+        let _ = Tensor3::from_vec(2, 2, 2, vec![0.0; 7]);
+    }
+
+    #[test]
+    fn matvec_and_vecmat_agree_with_transpose() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0][..], &[4.0, 5.0, 6.0][..]]);
+        let x = [1.0, -1.0];
+        let via_vecmat = m.vecmat(&x);
+        let via_transpose = m.transposed().matvec(&x);
+        assert_eq!(via_vecmat, via_transpose);
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0][..], &[7.0, 8.0][..]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn column_means_known() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+        assert_eq!(m.column_means(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn select_rows_reorders() {
+        let m = Matrix::from_rows(&[&[1.0][..], &[2.0][..], &[3.0][..]]);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.as_slice(), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn transposed_involution() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0][..], &[4.0, 5.0, 6.0][..]]);
+        assert_eq!(m.transposed().transposed(), m);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the numeric core: matrix identities, conv/im2col
+//! consistency, loss gradients and pooling invariants.
+
+use proptest::prelude::*;
+use sei_nn::loss::{softmax, softmax_cross_entropy};
+use sei_nn::{Conv2d, Matrix, MaxPool2d, Tensor3};
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `vecmat(x) == transposed().matvec(x)` for all matrices.
+    #[test]
+    fn vecmat_is_transposed_matvec(m in matrix(4, 6), x in proptest::collection::vec(-5.0f32..5.0, 4)) {
+        let a = m.vecmat(&x);
+        let b = m.transposed().matvec(&x);
+        for (p, q) in a.iter().zip(&b) {
+            prop_assert!((p - q).abs() < 1e-3);
+        }
+    }
+
+    /// Matrix multiplication distributes over the vector product:
+    /// `(A·B)ᵀ-style row product == A applied after B`.
+    #[test]
+    fn matmul_composes_with_matvec(
+        a in matrix(3, 4),
+        b in matrix(4, 5),
+        x in proptest::collection::vec(-2.0f32..2.0, 5),
+    ) {
+        let direct = a.matmul(&b).matvec(&x);
+        let staged = a.matvec(&b.matvec(&x));
+        for (p, q) in direct.iter().zip(&staged) {
+            prop_assert!((p - q).abs() < 1e-2, "{p} vs {q}");
+        }
+    }
+
+    /// Column means scale linearly with the matrix.
+    #[test]
+    fn column_means_linear(m in matrix(5, 3), k in -3.0f32..3.0) {
+        let base = m.column_means();
+        let mut scaled = m.clone();
+        for v in scaled.as_mut_slice() {
+            *v *= k;
+        }
+        for (b, s) in base.iter().zip(scaled.column_means()) {
+            prop_assert!((b * k - s).abs() < 1e-3);
+        }
+    }
+
+    /// Conv forward equals the weight-matrix product of each im2col patch.
+    #[test]
+    fn conv_equals_im2col_product(
+        weights in proptest::collection::vec(-1.0f32..1.0, 2 * 2 * 2 * 2),
+        input in proptest::collection::vec(-1.0f32..1.0, 2 * 4 * 4),
+    ) {
+        let conv = Conv2d::from_parts(2, 2, 2, weights, vec![0.0; 2]);
+        let x = Tensor3::from_vec(2, 4, 4, input);
+        let (y, cols) = conv.forward_with_cols(&x);
+        let wm = conv.weight_matrix();
+        for pos in 0..9 {
+            let prods = wm.vecmat(cols.row(pos));
+            for o in 0..2 {
+                prop_assert!((y.get(o, pos / 3, pos % 3) - prods[o]).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// Softmax output is a probability vector regardless of logit scale.
+    #[test]
+    fn softmax_is_distribution(logits in proptest::collection::vec(-50.0f32..50.0, 10)) {
+        let p = softmax(&Tensor3::from_flat(logits));
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Cross-entropy gradient components sum to zero (p − one-hot).
+    #[test]
+    fn ce_gradient_sums_to_zero(
+        logits in proptest::collection::vec(-5.0f32..5.0, 6),
+        label in 0usize..6,
+    ) {
+        let (_, grad) = softmax_cross_entropy(&Tensor3::from_flat(logits), label);
+        let s: f32 = grad.as_slice().iter().sum();
+        prop_assert!(s.abs() < 1e-4);
+    }
+
+    /// Max pooling never invents values: every output element is present
+    /// in the input, and pooling is monotone.
+    #[test]
+    fn pooling_selects_existing_values(data in proptest::collection::vec(-9.0f32..9.0, 36)) {
+        let t = Tensor3::from_vec(1, 6, 6, data.clone());
+        let (pooled, _) = MaxPool2d::new(2).forward(&t);
+        for &v in pooled.as_slice() {
+            prop_assert!(data.contains(&v));
+        }
+        // Monotonicity: adding a constant shifts the pool by the constant.
+        let mut shifted = t.clone();
+        shifted.map_inplace(|v| v + 1.5);
+        let (pooled2, _) = MaxPool2d::new(2).forward(&shifted);
+        for (a, b) in pooled.as_slice().iter().zip(pooled2.as_slice()) {
+            prop_assert!((a + 1.5 - b).abs() < 1e-4);
+        }
+    }
+
+    /// Weight re-scaling by a positive constant never changes the argmax
+    /// of a linear layer's output — the paper's "weight scaling without
+    /// numeral precision loss does not change the classification result".
+    #[test]
+    fn positive_scaling_preserves_argmax(
+        weights in proptest::collection::vec(-1.0f32..1.0, 8 * 4),
+        input in proptest::collection::vec(0.0f32..1.0, 8),
+        scale in 0.01f32..100.0,
+    ) {
+        use sei_nn::Linear;
+        let l1 = Linear::from_parts(8, 4, weights.clone(), vec![0.0; 4]);
+        let scaled: Vec<f32> = weights.iter().map(|w| w / scale).collect();
+        let l2 = Linear::from_parts(8, 4, scaled, vec![0.0; 4]);
+        let x = Tensor3::from_flat(input);
+        prop_assert_eq!(l1.forward(&x).argmax(), l2.forward(&x).argmax());
+    }
+}

@@ -1,0 +1,234 @@
+//! 3-D binary feature maps.
+//!
+//! After 1-bit quantization every intermediate feature map is a tensor of
+//! bits; [`BitTensor`] mirrors [`sei_nn::Tensor3`]'s channel-major layout.
+
+use sei_nn::Tensor3;
+use serde::{Deserialize, Serialize};
+
+/// A channel-major 3-D tensor of bits.
+///
+/// # Example
+///
+/// ```
+/// use sei_quantize::BitTensor;
+/// use sei_nn::Tensor3;
+/// let t = Tensor3::from_flat(vec![0.0, 0.5, 0.04]);
+/// let bits = BitTensor::threshold(&t, 0.1);
+/// assert_eq!(bits.as_slice(), &[false, true, false]);
+/// assert_eq!(bits.count_ones(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitTensor {
+    c: usize,
+    h: usize,
+    w: usize,
+    bits: Vec<bool>,
+}
+
+impl BitTensor {
+    /// Creates an all-zero bit tensor.
+    pub fn zeros(c: usize, h: usize, w: usize) -> Self {
+        BitTensor {
+            c,
+            h,
+            w,
+            bits: vec![false; c * h * w],
+        }
+    }
+
+    /// Creates a bit tensor from a buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != c * h * w`.
+    pub fn from_vec(c: usize, h: usize, w: usize, bits: Vec<bool>) -> Self {
+        assert_eq!(bits.len(), c * h * w, "buffer length mismatch");
+        BitTensor { c, h, w, bits }
+    }
+
+    /// Quantizes a float tensor: bit = `value > threshold` — Equ. (4)'s
+    /// output rule.
+    pub fn threshold(t: &Tensor3, threshold: f32) -> Self {
+        let (c, h, w) = t.shape();
+        BitTensor {
+            c,
+            h,
+            w,
+            bits: t.as_slice().iter().map(|&v| v > threshold).collect(),
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+
+    /// Spatial height.
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Spatial width.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Shape triple.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.c, self.h, self.w)
+    }
+
+    /// Total bit count.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Reads the bit at `(c, y, x)`.
+    #[inline]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> bool {
+        debug_assert!(c < self.c && y < self.h && x < self.w);
+        self.bits[(c * self.h + y) * self.w + x]
+    }
+
+    /// Writes the bit at `(c, y, x)`.
+    #[inline]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: bool) {
+        debug_assert!(c < self.c && y < self.h && x < self.w);
+        self.bits[(c * self.h + y) * self.w + x] = v;
+    }
+
+    /// Borrows the underlying buffer.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Fraction of set bits (0 for an empty tensor).
+    pub fn density(&self) -> f32 {
+        if self.bits.is_empty() {
+            0.0
+        } else {
+            self.count_ones() as f32 / self.bits.len() as f32
+        }
+    }
+
+    /// OR-pooling with window/stride `size` — the degenerate max-pooling of
+    /// §3.1. Ragged edges are dropped, matching
+    /// [`sei_nn::MaxPool2d`].
+    pub fn pool_or(&self, size: usize) -> BitTensor {
+        assert!(size > 0, "pool size must be positive");
+        let (oh, ow) = (self.h / size, self.w / size);
+        let mut out = BitTensor::zeros(self.c, oh, ow);
+        for c in 0..self.c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut any = false;
+                    'win: for dy in 0..size {
+                        for dx in 0..size {
+                            if self.get(c, oy * size + dy, ox * size + dx) {
+                                any = true;
+                                break 'win;
+                            }
+                        }
+                    }
+                    out.set(c, oy, ox, any);
+                }
+            }
+        }
+        out
+    }
+
+    /// Flattens to a plain bool vector (row-major, channel-major), the
+    /// input format of [`sei_crossbar`-style] row gates.
+    pub fn to_flat_vec(&self) -> Vec<bool> {
+        self.bits.clone()
+    }
+
+    /// Converts to a 0.0/1.0 float tensor (used when feeding a float
+    /// network suffix during threshold search).
+    pub fn to_float(&self) -> Tensor3 {
+        Tensor3::from_vec(
+            self.c,
+            self.h,
+            self.w,
+            self.bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_is_strict() {
+        let t = Tensor3::from_flat(vec![0.1, 0.1001]);
+        let b = BitTensor::threshold(&t, 0.1);
+        assert_eq!(b.as_slice(), &[false, true]);
+    }
+
+    #[test]
+    fn pool_or_equals_threshold_after_maxpool() {
+        // §3.1: quantize-then-OR-pool == maxpool-then-quantize.
+        use sei_nn::MaxPool2d;
+        let t = Tensor3::from_vec(
+            1,
+            4,
+            4,
+            vec![
+                0.0, 0.2, 0.0, 0.0, //
+                0.1, 0.0, 0.0, 0.05, //
+                0.3, 0.0, 0.9, 0.0, //
+                0.0, 0.0, 0.0, 0.0,
+            ],
+        );
+        for theta in [0.05f32, 0.15, 0.5] {
+            let quant_then_pool = BitTensor::threshold(&t, theta).pool_or(2);
+            let (pooled, _) = MaxPool2d::new(2).forward(&t);
+            let pool_then_quant = BitTensor::threshold(&pooled, theta);
+            assert_eq!(quant_then_pool, pool_then_quant, "theta {theta}");
+        }
+    }
+
+    #[test]
+    fn pool_or_drops_ragged_edge() {
+        let mut b = BitTensor::zeros(1, 5, 5);
+        b.set(0, 4, 4, true);
+        let p = b.pool_or(2);
+        assert_eq!(p.shape(), (1, 2, 2));
+        assert_eq!(p.count_ones(), 0);
+    }
+
+    #[test]
+    fn density_and_count() {
+        let b = BitTensor::from_vec(1, 1, 4, vec![true, false, true, false]);
+        assert_eq!(b.count_ones(), 2);
+        assert_eq!(b.density(), 0.5);
+    }
+
+    #[test]
+    fn to_float_roundtrip() {
+        let b = BitTensor::from_vec(1, 2, 1, vec![true, false]);
+        let f = b.to_float();
+        assert_eq!(f.as_slice(), &[1.0, 0.0]);
+        assert_eq!(BitTensor::threshold(&f, 0.5), b);
+    }
+
+    #[test]
+    fn indexing_layout_matches_tensor3() {
+        let mut b = BitTensor::zeros(2, 2, 2);
+        b.set(1, 0, 1, true);
+        assert_eq!(b.as_slice()[5], true);
+        assert!(b.get(1, 0, 1));
+    }
+}

@@ -1,0 +1,209 @@
+//! Intermediate-data distribution analysis — Table 1 of the paper.
+//!
+//! The paper normalizes each conv layer's (post-ReLU) outputs by the
+//! layer's maximum and buckets them into `[0, 1/16)`, `[1/16, 1/8)`,
+//! `[1/8, 1/4)` and `[1/4, 1]`, observing that >85 % of values are zero or
+//! near zero — the long-tail shape that makes 1-bit quantization viable.
+
+use sei_nn::data::Dataset;
+use sei_nn::{Layer, Network};
+use serde::{Deserialize, Serialize};
+
+/// The four normalized-value buckets of Table 1 (lower bound inclusive,
+/// upper exclusive except the last).
+pub const DISTRIBUTION_BUCKETS: [(f64, f64); 4] = [
+    (0.0, 1.0 / 16.0),
+    (1.0 / 16.0, 1.0 / 8.0),
+    (1.0 / 8.0, 1.0 / 4.0),
+    (1.0 / 4.0, 1.0),
+];
+
+/// Distribution of one layer's activations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerDistribution {
+    /// Index of the conv layer in the network's layer list.
+    pub layer_index: usize,
+    /// 1-based conv-layer ordinal (as in Table 1's "Layer 1..5").
+    pub ordinal: usize,
+    /// Fraction of activations in each [`DISTRIBUTION_BUCKETS`] bucket.
+    pub buckets: [f64; 4],
+    /// Fraction of activations that are exactly zero (subset of bucket 0).
+    pub zero_fraction: f64,
+    /// The per-layer maximum used for normalization.
+    pub max: f32,
+    /// Number of activations sampled.
+    pub count: u64,
+}
+
+/// Distribution of all conv layers plus the all-layer aggregate (the
+/// "All Layers" row of Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivationDistribution {
+    /// Per-conv-layer distributions, in network order.
+    pub layers: Vec<LayerDistribution>,
+    /// Aggregate over all conv layers.
+    pub all_layers: [f64; 4],
+}
+
+impl ActivationDistribution {
+    /// Analyzes the post-ReLU conv activations of `net` over `data`.
+    ///
+    /// Two passes are made: the first finds each layer's max, the second
+    /// buckets the normalized values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or the network has no conv layer followed
+    /// by a ReLU.
+    pub fn analyze(net: &Network, data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "empty dataset");
+        // Layer indices whose *outputs* we sample: the ReLU following each
+        // conv.
+        let mut relu_after_conv = Vec::new();
+        for (i, l) in net.layers().iter().enumerate() {
+            if matches!(l, Layer::Relu)
+                && i > 0
+                && matches!(net.layers()[i - 1], Layer::Conv(_))
+            {
+                relu_after_conv.push(i);
+            }
+        }
+        assert!(
+            !relu_after_conv.is_empty(),
+            "network has no conv+relu stage to analyze"
+        );
+
+        // Pass 1: maxima.
+        let mut maxima = vec![0.0f32; relu_after_conv.len()];
+        for (img, _) in data.iter() {
+            let acts = net.forward_collect(img);
+            for (s, &li) in relu_after_conv.iter().enumerate() {
+                maxima[s] = maxima[s].max(acts[li + 1].max());
+            }
+        }
+        for m in &mut maxima {
+            *m = m.max(1e-12);
+        }
+
+        // Pass 2: bucket counts.
+        let mut counts = vec![[0u64; 4]; relu_after_conv.len()];
+        let mut zeros = vec![0u64; relu_after_conv.len()];
+        let mut totals = vec![0u64; relu_after_conv.len()];
+        for (img, _) in data.iter() {
+            let acts = net.forward_collect(img);
+            for (s, &li) in relu_after_conv.iter().enumerate() {
+                for &v in acts[li + 1].as_slice() {
+                    let norm = f64::from(v) / f64::from(maxima[s]);
+                    totals[s] += 1;
+                    if v == 0.0 {
+                        zeros[s] += 1;
+                    }
+                    let b = bucket_of(norm);
+                    counts[s][b] += 1;
+                }
+            }
+        }
+
+        let mut layers = Vec::with_capacity(relu_after_conv.len());
+        let mut agg = [0u64; 4];
+        let mut agg_total = 0u64;
+        for (s, &li) in relu_after_conv.iter().enumerate() {
+            let total = totals[s].max(1);
+            let mut buckets = [0.0f64; 4];
+            for b in 0..4 {
+                buckets[b] = counts[s][b] as f64 / total as f64;
+                agg[b] += counts[s][b];
+            }
+            agg_total += totals[s];
+            layers.push(LayerDistribution {
+                layer_index: li - 1,
+                ordinal: s + 1,
+                buckets,
+                zero_fraction: zeros[s] as f64 / total as f64,
+                max: maxima[s],
+                count: totals[s],
+            });
+        }
+        let mut all_layers = [0.0f64; 4];
+        for b in 0..4 {
+            all_layers[b] = agg[b] as f64 / agg_total.max(1) as f64;
+        }
+        ActivationDistribution { layers, all_layers }
+    }
+}
+
+/// Bucket index of a normalized value.
+fn bucket_of(norm: f64) -> usize {
+    for (i, &(lo, hi)) in DISTRIBUTION_BUCKETS.iter().enumerate() {
+        let _ = lo;
+        if norm < hi || i == 3 {
+            return i;
+        }
+    }
+    3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sei_nn::data::SynthConfig;
+    use sei_nn::paper;
+    use sei_nn::train::{TrainConfig, Trainer};
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(0.05), 0);
+        assert_eq!(bucket_of(1.0 / 16.0), 1);
+        assert_eq!(bucket_of(0.1), 1);
+        assert_eq!(bucket_of(1.0 / 8.0), 2);
+        assert_eq!(bucket_of(0.2), 2);
+        assert_eq!(bucket_of(0.25), 3);
+        assert_eq!(bucket_of(1.0), 3);
+    }
+
+    #[test]
+    fn buckets_sum_to_one() {
+        let data = SynthConfig::new(60, 1).generate();
+        let net = paper::network2(2);
+        let dist = ActivationDistribution::analyze(&net, &data);
+        assert_eq!(dist.layers.len(), 2);
+        for l in &dist.layers {
+            let s: f64 = l.buckets.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "layer {} sums to {s}", l.ordinal);
+        }
+        let s: f64 = dist.all_layers.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trained_network_is_relu_sparse() {
+        // The Table 1 shape: after training, the dominant bucket is the
+        // near-zero one.
+        let train = SynthConfig::new(800, 3).generate();
+        let mut net = paper::network2(4);
+        Trainer::new(TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        })
+        .fit(&mut net, &train);
+        let dist = ActivationDistribution::analyze(&net, &train.truncated(200));
+        assert!(
+            dist.all_layers[0] > 0.5,
+            "expected near-zero-dominated distribution, got {:?}",
+            dist.all_layers
+        );
+        // ReLU exact zeros should be a large share.
+        for l in &dist.layers {
+            assert!(l.zero_fraction > 0.2, "layer {} zeros {}", l.ordinal, l.zero_fraction);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_data_rejected() {
+        let net = paper::network2(0);
+        let empty = sei_nn::data::Dataset::new(vec![], vec![]);
+        let _ = ActivationDistribution::analyze(&net, &empty);
+    }
+}

@@ -1,0 +1,59 @@
+//! 1-bit quantization of intermediate data — §3 of the SEI paper.
+//!
+//! The paper observes (Table 1) that ReLU conv-layer outputs are extremely
+//! sparse — >85 % exact zeros, most of the rest near zero — and exploits
+//! this to quantize all intermediate data to **1 bit**: each layer's
+//! pre-activation output is compared against a per-layer threshold `θ`.
+//! This eliminates every hidden-layer DAC (the 0/1 signal drives the
+//! crossbar row gate directly) and degenerates:
+//!
+//! * the ReLU neuron into the threshold comparison itself (any monotone
+//!   neuron folds into the sense-amp reference),
+//! * max-pooling into a logical **OR** of bits (quantizing before pooling
+//!   with the same threshold is equivalent to quantizing after).
+//!
+//! Modules:
+//!
+//! * [`bits`] — a 3-D bit tensor for binary feature maps;
+//! * [`qnet`] — the quantized network representation and its forward
+//!   paths (analog first layer, binary hidden layers, OR-pooling, analog
+//!   output layer);
+//! * [`algorithm1`] — the paper's Algorithm 1: per-layer weight re-scaling
+//!   plus greedy brute-force threshold search on the training set;
+//! * [`distribution`] — the intermediate-data distribution analysis of
+//!   Table 1;
+//! * [`multibit`] — an extension: `b`-bit activation quantization, used to
+//!   locate the paper's 1-bit choice on the accuracy/interface-cost curve.
+//!
+//! # Example
+//!
+//! Quantize a freshly trained Network 2 and use the quantized net:
+//!
+//! ```
+//! use sei_nn::{data::SynthConfig, paper, train::{Trainer, TrainConfig}};
+//! use sei_quantize::algorithm1::{quantize_network, QuantizeConfig};
+//!
+//! let train = SynthConfig::new(400, 1).generate();
+//! let mut net = paper::network2(42);
+//! Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() })
+//!     .fit(&mut net, &train);
+//! let result = quantize_network(&net, &train.truncated(100), &QuantizeConfig::default());
+//! assert_eq!(result.thresholds.len(), 2); // conv1 and conv2 get thresholds
+//! let pred = result.net.classify(train.sample(0).0);
+//! assert!(pred < 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm1;
+pub mod bits;
+pub mod distribution;
+pub mod multibit;
+pub mod qnet;
+
+pub use algorithm1::{quantize_network, QuantizationResult, QuantizeConfig, SearchObjective};
+pub use bits::BitTensor;
+pub use multibit::{MultibitConfig, MultibitNetwork};
+pub use distribution::{ActivationDistribution, DISTRIBUTION_BUCKETS};
+pub use qnet::{QLayer, QuantizedNetwork};

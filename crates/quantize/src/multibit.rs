@@ -1,0 +1,368 @@
+//! Multi-bit activation quantization — an extension locating the paper's
+//! 1-bit choice on the accuracy/interface-cost curve.
+//!
+//! The paper jumps from 8-bit activations (DAC+ADC structure) straight to
+//! 1 bit (SEI). In between lie designs with `b`-bit activations: hidden
+//! layers still need DACs (cheaper ones — converter energy scales
+//! ~`2^b`, see [`sei_cost`-style] scaling) and ADC merging, but keep more
+//! information per activation. This module quantizes a network's
+//! intermediate data to `b` bits with the same greedy, layer-by-layer,
+//! re-scale-then-search recipe as Algorithm 1: the search parameter is the
+//! full-scale `s` of a **uniform threshold ladder**
+//! `t_i = s·i/(2^b − 1)`, so `b = 1` degenerates exactly to the paper's
+//! single-threshold case (with `θ = s/(2^b−1)·1`... i.e. `θ = s`).
+//!
+//! The `ablations` bench sweeps `b ∈ {1, 2, 3, 4}` to show where the
+//! accuracy saturates — supporting the paper's claim that 1 bit (plus its
+//! structural tricks) is the sweet spot once interface cost is counted.
+
+use crate::algorithm1::SearchObjective;
+use sei_nn::data::Dataset;
+use sei_nn::{Conv2d, Layer, Linear, Network, Tensor3};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the multi-bit quantizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultibitConfig {
+    /// Activation bits `b` (1..=6). Levels = `2^b`.
+    pub bits: u32,
+    /// Full-scale candidates are searched over `[scale_min, scale_max]`.
+    pub scale_min: f32,
+    /// Upper end of the full-scale search.
+    pub scale_max: f32,
+    /// Search step.
+    pub search_step: f32,
+    /// Scoring objective (accuracy, as in Algorithm 1, by default).
+    pub objective: SearchObjective,
+}
+
+impl MultibitConfig {
+    /// Default search for `b`-bit activations (full scale in
+    /// `[0.05, 1.0]`, matching the normalized post-rescale range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 6.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=6).contains(&bits), "bits must be in 1..=6");
+        MultibitConfig {
+            bits,
+            scale_min: 0.05,
+            scale_max: 1.0,
+            search_step: 0.05,
+            objective: SearchObjective::Accuracy,
+        }
+    }
+
+    /// Number of quantization levels.
+    pub fn levels(&self) -> u32 {
+        1 << self.bits
+    }
+}
+
+/// One quantized layer of the multi-bit network: a re-scaled weighted layer
+/// plus its activation full-scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum MLayer {
+    Conv { conv: Conv2d, scale: f32 },
+    Pool { size: usize },
+    Flatten,
+    Output { linear: Linear },
+}
+
+/// A network with `b`-bit intermediate activations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultibitNetwork {
+    layers: Vec<MLayer>,
+    bits: u32,
+    /// Chosen full-scale per quantized layer.
+    scales: Vec<f32>,
+}
+
+/// Quantizes a tensor to `levels` uniform steps over `[0, full_scale]`,
+/// returning values normalized back into `[0, 1]` (level / (levels−1)).
+fn quantize_tensor(t: &Tensor3, full_scale: f32, levels: u32) -> Tensor3 {
+    let max_level = (levels - 1) as f32;
+    let mut out = t.clone();
+    out.map_inplace(|v| {
+        let lvl = (v / full_scale * max_level).floor().clamp(0.0, max_level);
+        lvl / max_level
+    });
+    out
+}
+
+impl MultibitNetwork {
+    /// Quantizes `net`'s intermediate activations to `cfg.bits` bits with
+    /// the greedy layer-by-layer search, calibrated on `calib`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calib` is empty or the network shape is unsupported
+    /// (conv/relu/pool/flatten/linear, FC last — the paper's repertoire).
+    pub fn quantize(net: &Network, calib: &Dataset, cfg: &MultibitConfig) -> Self {
+        assert!(!calib.is_empty(), "calibration set must not be empty");
+        let weighted = net.weighted_layer_indices();
+        let last = *weighted.last().expect("weighted layers");
+        let levels = cfg.levels();
+
+        let mut layers = Vec::new();
+        let mut scales = Vec::new();
+        // Per-sample current activations (normalized levels as floats).
+        let mut states: Vec<Tensor3> = calib.images().to_vec();
+
+        let mut idx = 0usize;
+        while idx < net.len() {
+            match &net.layers()[idx] {
+                Layer::Conv(c) if idx != last => {
+                    // Pre-activations on the current states.
+                    let mut outs: Vec<Tensor3> = states.iter().map(|s| c.forward(s)).collect();
+                    let mut max_out = 0.0f32;
+                    for o in &outs {
+                        max_out = max_out.max(o.max());
+                    }
+                    let max_out = max_out.max(1e-6);
+                    for o in &mut outs {
+                        o.scale(1.0 / max_out);
+                    }
+                    let mut scaled = c.clone();
+                    for w in scaled.weights_mut() {
+                        *w /= max_out;
+                    }
+                    for b in scaled.bias_mut() {
+                        *b /= max_out;
+                    }
+
+                    // Search the activation full-scale.
+                    let pool = following_pool(net, idx);
+                    let suffix = suffix_start(net, idx);
+                    let mut best = (cfg.scale_min, f32::MIN);
+                    let mut s = cfg.scale_min;
+                    while s <= cfg.scale_max + 1e-9 {
+                        let score = match cfg.objective {
+                            SearchObjective::Accuracy => {
+                                let mut correct = 0usize;
+                                for (o, (_, label)) in outs.iter().zip(calib.iter()) {
+                                    let mut q = quantize_tensor(o, s, levels);
+                                    if let Some(p) = pool {
+                                        let (pooled, _) =
+                                            sei_nn::MaxPool2d::new(p).forward(&q);
+                                        q = pooled;
+                                    }
+                                    let logits = forward_suffix(net, suffix, &q);
+                                    if logits.argmax() == label as usize {
+                                        correct += 1;
+                                    }
+                                }
+                                correct as f32 / calib.len() as f32
+                            }
+                            SearchObjective::QuantizationError => {
+                                let mut err = 0.0f64;
+                                let mut n = 0usize;
+                                for o in &outs {
+                                    let q = quantize_tensor(o, s, levels);
+                                    for (&a, &b) in
+                                        o.as_slice().iter().zip(q.as_slice())
+                                    {
+                                        let d = f64::from(a.max(0.0).min(1.0) - b);
+                                        err += d * d;
+                                        n += 1;
+                                    }
+                                }
+                                -(err / n as f64) as f32
+                            }
+                        };
+                        if score > best.1 {
+                            best = (s, score);
+                        }
+                        s += cfg.search_step;
+                    }
+
+                    // Commit.
+                    states = outs
+                        .into_iter()
+                        .map(|o| {
+                            let mut q = quantize_tensor(&o, best.0, levels);
+                            if let Some(p) = pool {
+                                let (pooled, _) = sei_nn::MaxPool2d::new(p).forward(&q);
+                                q = pooled;
+                            }
+                            q
+                        })
+                        .collect();
+                    layers.push(MLayer::Conv {
+                        conv: scaled,
+                        scale: best.0,
+                    });
+                    if let Some(p) = pool {
+                        layers.push(MLayer::Pool { size: p });
+                    }
+                    scales.push(best.0);
+                    idx = suffix;
+                }
+                Layer::Linear(l) => {
+                    debug_assert_eq!(idx, last, "hidden FC not used by the paper's nets");
+                    layers.push(MLayer::Output { linear: l.clone() });
+                    idx += 1;
+                }
+                Layer::Flatten => {
+                    states = states.into_iter().map(Tensor3::into_flat).collect();
+                    layers.push(MLayer::Flatten);
+                    idx += 1;
+                }
+                Layer::Relu | Layer::Pool(_) => idx += 1,
+                Layer::Conv(_) => panic!("final weighted layer must be fully-connected"),
+            }
+        }
+
+        MultibitNetwork {
+            layers,
+            bits: cfg.bits,
+            scales,
+        }
+    }
+
+    /// Activation precision.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Chosen full-scale per quantized layer.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Forward pass to class scores.
+    pub fn forward(&self, image: &Tensor3) -> Tensor3 {
+        let levels = 1u32 << self.bits;
+        let mut cur = image.clone();
+        for layer in &self.layers {
+            cur = match layer {
+                MLayer::Conv { conv, scale } => {
+                    let pre = conv.forward(&cur);
+                    quantize_tensor(&pre, *scale, levels)
+                }
+                MLayer::Pool { size } => sei_nn::MaxPool2d::new(*size).forward(&cur).0,
+                MLayer::Flatten => cur.into_flat(),
+                MLayer::Output { linear } => linear.forward(&cur),
+            };
+        }
+        cur
+    }
+
+    /// Classifies an image.
+    pub fn classify(&self, image: &Tensor3) -> usize {
+        self.forward(image).argmax()
+    }
+}
+
+fn suffix_start(net: &Network, idx: usize) -> usize {
+    let mut j = idx + 1;
+    while j < net.len() && matches!(net.layers()[j], Layer::Relu | Layer::Pool(_)) {
+        j += 1;
+    }
+    j
+}
+
+fn following_pool(net: &Network, idx: usize) -> Option<usize> {
+    let mut j = idx + 1;
+    while j < net.len() {
+        match &net.layers()[j] {
+            Layer::Relu => j += 1,
+            Layer::Pool(p) => return Some(p.size()),
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn forward_suffix(net: &Network, start: usize, x: &Tensor3) -> Tensor3 {
+    let mut cur = x.clone();
+    for l in &net.layers()[start..] {
+        cur = l.forward(&cur);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sei_nn::data::SynthConfig;
+    use sei_nn::metrics::error_rate_with;
+    use sei_nn::paper;
+    use sei_nn::train::{TrainConfig, Trainer};
+
+    fn trained() -> (Network, Dataset, Dataset) {
+        let train = SynthConfig::new(1000, 71).generate();
+        let test = SynthConfig::new(250, 72).generate();
+        let mut net = paper::network2(3);
+        Trainer::new(TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        })
+        .fit(&mut net, &train);
+        (net, train, test)
+    }
+
+    #[test]
+    fn quantize_tensor_hits_grid() {
+        let t = Tensor3::from_flat(vec![0.0, 0.1, 0.49, 0.51, 0.99, 2.0]);
+        let q = quantize_tensor(&t, 1.0, 4); // levels {0, 1/3, 2/3, 1}
+        for &v in q.as_slice() {
+            let lvl = v * 3.0;
+            assert!((lvl - lvl.round()).abs() < 1e-5);
+        }
+        assert_eq!(q.as_slice()[0], 0.0);
+        assert_eq!(q.as_slice()[5], 1.0); // clamped
+    }
+
+    #[test]
+    fn more_bits_monotonically_help_or_tie() {
+        let (net, train, test) = trained();
+        let calib = train.truncated(150);
+        let err_at = |bits: u32| {
+            let q = MultibitNetwork::quantize(&net, &calib, &MultibitConfig::new(bits));
+            error_rate_with(&test, |img| q.classify(img))
+        };
+        let e1 = err_at(1);
+        let e4 = err_at(4);
+        assert!(
+            e4 <= e1 + 0.03,
+            "4-bit ({e4}) should not lose to 1-bit ({e1})"
+        );
+    }
+
+    #[test]
+    fn four_bit_close_to_float() {
+        let (net, train, test) = trained();
+        let float_err = error_rate_with(&test, |img| net.classify(img));
+        let q = MultibitNetwork::quantize(
+            &net,
+            &train.truncated(150),
+            &MultibitConfig::new(4),
+        );
+        let e = error_rate_with(&test, |img| q.classify(img));
+        assert!(
+            e <= float_err + 0.08,
+            "4-bit error {e} vs float {float_err}"
+        );
+    }
+
+    #[test]
+    fn structure_and_scales_recorded() {
+        let (net, train, _) = trained();
+        let q = MultibitNetwork::quantize(
+            &net,
+            &train.truncated(60),
+            &MultibitConfig::new(2),
+        );
+        assert_eq!(q.bits(), 2);
+        assert_eq!(q.scales().len(), 2);
+        assert!(q.scales().iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=6")]
+    fn zero_bits_rejected() {
+        let _ = MultibitConfig::new(0);
+    }
+}

@@ -1,0 +1,378 @@
+//! The quantized-network representation and its forward paths.
+//!
+//! A [`QuantizedNetwork`] is the software-level model of the accelerated
+//! CNN after Algorithm 1: weighted layers carry re-scaled weights and a
+//! firing threshold, the activation between layers is 1 bit, pooling is OR,
+//! and only the input layer (analog pixels through DACs, §3.2) and the
+//! output layer (class scores, consumed by argmax) remain analog.
+//!
+//! The forward functions here compute Equ. (4) **directly in software**;
+//! `sei-core` provides the matching crossbar-level evaluation that runs the
+//! same network through `sei-crossbar`'s analog model, and the two must
+//! agree under an ideal device (an integration test enforces this).
+
+use crate::bits::BitTensor;
+use sei_nn::{Conv2d, Linear, Tensor3};
+use serde::{Deserialize, Serialize};
+
+/// One layer of a quantized network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QLayer {
+    /// First conv layer: analog (DAC-driven) inputs, threshold firing.
+    AnalogConv {
+        /// Re-scaled convolution parameters.
+        conv: Conv2d,
+        /// Firing threshold θ for this layer.
+        threshold: f32,
+    },
+    /// Hidden conv layer: 1-bit inputs select weights, threshold firing —
+    /// Equ. (4).
+    BinaryConv {
+        /// Re-scaled convolution parameters.
+        conv: Conv2d,
+        /// Firing threshold θ for this layer.
+        threshold: f32,
+    },
+    /// OR-pooling of bits (degenerate max pooling, §3.1).
+    PoolOr {
+        /// Pooling window/stride.
+        size: usize,
+    },
+    /// Shape-only flatten.
+    Flatten,
+    /// Hidden FC layer on bits with threshold firing.
+    BinaryFc {
+        /// Re-scaled linear parameters.
+        linear: Linear,
+        /// Firing threshold θ for this layer.
+        threshold: f32,
+    },
+    /// Output FC layer on bits; produces analog class scores (no
+    /// quantization after the final layer).
+    OutputFc {
+        /// Linear parameters (re-scaling the output layer does not change
+        /// the argmax, so these may stay unscaled).
+        linear: Linear,
+    },
+}
+
+/// Value flowing between quantized layers: analog only at the very start
+/// and very end of the network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QValue {
+    /// Analog tensor (network input or final scores).
+    Analog(Tensor3),
+    /// Binary feature map.
+    Bits(BitTensor),
+}
+
+impl QValue {
+    /// Unwraps the analog tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value holds bits.
+    pub fn expect_analog(self) -> Tensor3 {
+        match self {
+            QValue::Analog(t) => t,
+            QValue::Bits(_) => panic!("expected analog value, found bits"),
+        }
+    }
+
+    /// Unwraps the bit tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is analog.
+    pub fn expect_bits(self) -> BitTensor {
+        match self {
+            QValue::Bits(b) => b,
+            QValue::Analog(_) => panic!("expected bits, found analog value"),
+        }
+    }
+}
+
+/// Pre-activation output of a conv layer driven by binary inputs:
+/// `out[k][p] = Σ_{active inputs in patch p} w + b_k` — the selective
+/// accumulation of Equ. (4), computed sparsely (cost scales with the
+/// number of set bits).
+pub fn conv_binary_preact(conv: &Conv2d, bits: &BitTensor) -> Tensor3 {
+    assert_eq!(bits.channels(), conv.in_channels(), "channel mismatch");
+    let k = conv.kernel();
+    let (ih, iw) = (bits.height(), bits.width());
+    assert!(ih >= k && iw >= k, "input smaller than kernel");
+    let (oh, ow) = (ih - k + 1, iw - k + 1);
+    let out_ch = conv.out_channels();
+    let rows = conv.matrix_rows();
+    let mut out = Tensor3::zeros(out_ch, oh, ow);
+
+    // Initialize with biases.
+    for o in 0..out_ch {
+        let b = conv.bias()[o];
+        for y in 0..oh {
+            for x in 0..ow {
+                out.set(o, y, x, b);
+            }
+        }
+    }
+
+    // Scatter each active input pixel into every output position whose
+    // receptive field contains it.
+    for i in 0..bits.channels() {
+        for y in 0..ih {
+            for x in 0..iw {
+                if !bits.get(i, y, x) {
+                    continue;
+                }
+                let ky_lo = y.saturating_sub(oh - 1).max(0);
+                let ky_hi = (k - 1).min(y);
+                let kx_lo = x.saturating_sub(ow - 1).max(0);
+                let kx_hi = (k - 1).min(x);
+                for ky in ky_lo..=ky_hi {
+                    let oy = y - ky;
+                    for kx in kx_lo..=kx_hi {
+                        let ox = x - kx;
+                        let widx_base = (i * k + ky) * k + kx;
+                        for o in 0..out_ch {
+                            let w = conv.weights()[o * rows + widx_base];
+                            let cur = out.get(o, oy, ox);
+                            out.set(o, oy, ox, cur + w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Pre-activation output of an FC layer driven by binary inputs:
+/// `out_i = Σ_{j : bit_j} w_ij + b_i`.
+pub fn fc_binary_preact(linear: &Linear, bits: &BitTensor) -> Tensor3 {
+    assert_eq!(bits.len(), linear.in_features(), "input length mismatch");
+    let n = linear.in_features();
+    let mut out: Vec<f32> = linear.bias().to_vec();
+    for (j, &b) in bits.as_slice().iter().enumerate() {
+        if !b {
+            continue;
+        }
+        for (o, acc) in out.iter_mut().enumerate() {
+            *acc += linear.weights()[o * n + j];
+        }
+    }
+    Tensor3::from_flat(out)
+}
+
+/// A fully-quantized network (the output of Algorithm 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedNetwork {
+    layers: Vec<QLayer>,
+}
+
+impl QuantizedNetwork {
+    /// Creates a quantized network from its layer list.
+    pub fn new(layers: Vec<QLayer>) -> Self {
+        QuantizedNetwork { layers }
+    }
+
+    /// Borrows the layers.
+    pub fn layers(&self) -> &[QLayer] {
+        &self.layers
+    }
+
+    /// Mutably borrows the layers (used by the splitting experiments to
+    /// swap a layer's evaluation strategy).
+    pub fn layers_mut(&mut self) -> &mut [QLayer] {
+        &mut self.layers
+    }
+
+    /// Runs one layer.
+    pub fn forward_layer(layer: &QLayer, value: QValue) -> QValue {
+        match layer {
+            QLayer::AnalogConv { conv, threshold } => {
+                let x = value.expect_analog();
+                let pre = conv.forward(&x);
+                QValue::Bits(BitTensor::threshold(&pre, *threshold))
+            }
+            QLayer::BinaryConv { conv, threshold } => {
+                let bits = value.expect_bits();
+                let pre = conv_binary_preact(conv, &bits);
+                QValue::Bits(BitTensor::threshold(&pre, *threshold))
+            }
+            QLayer::PoolOr { size } => {
+                let bits = value.expect_bits();
+                QValue::Bits(bits.pool_or(*size))
+            }
+            QLayer::Flatten => match value {
+                QValue::Bits(b) => {
+                    let n = b.len();
+                    QValue::Bits(BitTensor::from_vec(n, 1, 1, b.to_flat_vec()))
+                }
+                QValue::Analog(t) => QValue::Analog(t.into_flat()),
+            },
+            QLayer::BinaryFc { linear, threshold } => {
+                let bits = value.expect_bits();
+                let pre = fc_binary_preact(linear, &bits);
+                QValue::Bits(BitTensor::threshold(&pre, *threshold))
+            }
+            QLayer::OutputFc { linear } => {
+                let bits = value.expect_bits();
+                QValue::Analog(fc_binary_preact(linear, &bits))
+            }
+        }
+    }
+
+    /// Full forward pass from an analog input image to analog class scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer sequence produces a type mismatch (e.g. a binary
+    /// layer receiving an analog value).
+    pub fn forward(&self, image: &Tensor3) -> Tensor3 {
+        let mut v = QValue::Analog(image.clone());
+        for l in &self.layers {
+            v = Self::forward_layer(l, v);
+        }
+        v.expect_analog()
+    }
+
+    /// Forward pass that returns every intermediate value (input of each
+    /// layer), for distribution analysis and crossbar mapping.
+    pub fn forward_collect(&self, image: &Tensor3) -> (Vec<QValue>, Tensor3) {
+        let mut values = Vec::with_capacity(self.layers.len());
+        let mut v = QValue::Analog(image.clone());
+        for l in &self.layers {
+            values.push(v.clone());
+            v = Self::forward_layer(l, v);
+        }
+        (values, v.expect_analog())
+    }
+
+    /// Classifies an image by score argmax.
+    pub fn classify(&self, image: &Tensor3) -> usize {
+        self.forward(image).argmax()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sei_nn::MaxPool2d;
+
+    fn small_conv() -> Conv2d {
+        let mut c = Conv2d::zeros(2, 3, 2);
+        for (i, w) in c.weights_mut().iter_mut().enumerate() {
+            *w = ((i * 7 % 13) as f32 - 6.0) * 0.1;
+        }
+        for (i, b) in c.bias_mut().iter_mut().enumerate() {
+            *b = i as f32 * 0.05;
+        }
+        c
+    }
+
+    #[test]
+    fn conv_binary_matches_dense_with_float_bits() {
+        let conv = small_conv();
+        let bits = BitTensor::from_vec(
+            2,
+            3,
+            3,
+            vec![
+                true, false, true, false, true, false, true, true, false, //
+                false, true, false, true, false, true, false, false, true,
+            ],
+        );
+        let sparse = conv_binary_preact(&conv, &bits);
+        let dense = conv.forward(&bits.to_float());
+        assert_eq!(sparse.shape(), dense.shape());
+        for (a, b) in sparse.as_slice().iter().zip(dense.as_slice()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn conv_binary_all_zero_input_gives_bias() {
+        let conv = small_conv();
+        let bits = BitTensor::zeros(2, 3, 3);
+        let out = conv_binary_preact(&conv, &bits);
+        for o in 0..3 {
+            for &v in &[out.get(o, 0, 0), out.get(o, 1, 1)] {
+                assert!((v - conv.bias()[o]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn fc_binary_matches_dense() {
+        let mut l = Linear::zeros(4, 3);
+        for (i, w) in l.weights_mut().iter_mut().enumerate() {
+            *w = (i as f32 - 5.0) * 0.2;
+        }
+        l.bias_mut().copy_from_slice(&[0.1, -0.1, 0.3]);
+        let bits = BitTensor::from_vec(4, 1, 1, vec![true, false, false, true]);
+        let sparse = fc_binary_preact(&l, &bits);
+        let dense = l.forward(&bits.to_float());
+        for (a, b) in sparse.as_slice().iter().zip(dense.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantized_network_runs_end_to_end() {
+        // input 1x6x6 -> AnalogConv(1->2,k3) -> 2x4x4 bits -> PoolOr2 ->
+        // 2x2x2 -> Flatten 8 -> OutputFc 8->4
+        let mut conv = Conv2d::zeros(1, 2, 3);
+        conv.weights_mut().fill(0.2);
+        let mut fc = Linear::zeros(8, 4);
+        for (i, w) in fc.weights_mut().iter_mut().enumerate() {
+            *w = i as f32 * 0.01;
+        }
+        let qnet = QuantizedNetwork::new(vec![
+            QLayer::AnalogConv {
+                conv,
+                threshold: 0.5,
+            },
+            QLayer::PoolOr { size: 2 },
+            QLayer::Flatten,
+            QLayer::OutputFc { linear: fc },
+        ]);
+        let img = Tensor3::from_vec(1, 6, 6, vec![0.5; 36]);
+        let scores = qnet.forward(&img);
+        assert_eq!(scores.shape(), (4, 1, 1));
+        let (values, _) = qnet.forward_collect(&img);
+        assert_eq!(values.len(), 4);
+    }
+
+    #[test]
+    fn quantize_before_pool_equals_after_pool_through_network_layer() {
+        // The paper's §3.1 equivalence at the layer level: AnalogConv
+        // followed by PoolOr equals float conv → float maxpool → threshold.
+        let conv = small_conv();
+        let img = Tensor3::from_vec(
+            2,
+            4,
+            4,
+            (0..32).map(|i| ((i * 13 % 17) as f32) * 0.05).collect(),
+        );
+        let theta = 0.3;
+        let via_q = {
+            let pre = conv.forward(&img);
+            BitTensor::threshold(&pre, theta).pool_or(2)
+        };
+        let via_float = {
+            let pre = conv.forward(&img);
+            let (pooled, _) = MaxPool2d::new(2).forward(&pre);
+            BitTensor::threshold(&pooled, theta)
+        };
+        assert_eq!(via_q, via_float);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected bits")]
+    fn type_mismatch_panics() {
+        let l = Linear::zeros(4, 2);
+        let qnet = QuantizedNetwork::new(vec![QLayer::OutputFc { linear: l }]);
+        let img = Tensor3::zeros(4, 1, 1);
+        let _ = qnet.forward(&img); // analog fed into binary-input layer
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for Algorithm 1's invariants on randomly-initialized
+//! (untrained) networks — the algorithm must be well-behaved regardless of
+//! weight quality.
+
+use proptest::prelude::*;
+use sei_nn::data::SynthConfig;
+use sei_nn::paper;
+use sei_quantize::algorithm1::{quantize_network, QuantizeConfig, SearchObjective};
+use sei_quantize::qnet::QLayer;
+
+proptest! {
+    // Each case trains nothing but runs the full search — keep counts low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Thresholds always land on the search grid inside [min, max]; scales
+    /// are positive; the quantized structure mirrors the original.
+    #[test]
+    fn thresholds_on_grid(seed in 0u64..1000, step_idx in 0usize..3) {
+        let step = [0.01f32, 0.02, 0.05][step_idx];
+        let cfg = QuantizeConfig {
+            search_step: step,
+            ..QuantizeConfig::default()
+        };
+        let net = paper::network2(seed);
+        let calib = SynthConfig::new(40, seed).generate();
+        let result = quantize_network(&net, &calib, &cfg);
+
+        prop_assert_eq!(result.thresholds.len(), 2);
+        prop_assert_eq!(result.scales.len(), 2);
+        for &t in &result.thresholds {
+            // Either on the fine grid, or from the coarse global scan /
+            // its refinement (above thres_max, within the normalized
+            // range).
+            prop_assert!((cfg.thres_min..=1.0 + 1e-6).contains(&t));
+            if t <= cfg.thres_max + 1e-6 {
+                let steps = (t - cfg.thres_min) / step;
+                prop_assert!(
+                    (steps - steps.round()).abs() < 1e-3,
+                    "theta {} off-grid",
+                    t
+                );
+            }
+        }
+        for &s in &result.scales {
+            prop_assert!(s > 0.0);
+        }
+        // Structure: AnalogConv, PoolOr, BinaryConv, PoolOr, Flatten, OutputFc.
+        prop_assert_eq!(result.net.layers().len(), 6);
+        let first_is_analog = matches!(result.net.layers()[0], QLayer::AnalogConv { .. });
+        let last_is_output = matches!(result.net.layers()[5], QLayer::OutputFc { .. });
+        prop_assert!(first_is_analog);
+        prop_assert!(last_is_output);
+    }
+
+    /// The quantized network always produces a valid class for any image.
+    #[test]
+    fn classify_total_function(seed in 0u64..1000) {
+        let net = paper::network2(seed);
+        let calib = SynthConfig::new(30, seed).generate();
+        let result = quantize_network(&net, &calib, &QuantizeConfig::default());
+        for (img, _) in calib.iter().take(5) {
+            prop_assert!(result.net.classify(img) < 10);
+        }
+    }
+
+    /// Both objectives yield usable nets (no panics, valid outputs) on
+    /// arbitrary weights.
+    #[test]
+    fn objectives_total(seed in 0u64..500) {
+        let net = paper::network3(seed);
+        let calib = SynthConfig::new(30, seed).generate();
+        for objective in [SearchObjective::Accuracy, SearchObjective::QuantizationError] {
+            let cfg = QuantizeConfig {
+                objective,
+                search_step: 0.02,
+                ..QuantizeConfig::default()
+            };
+            let result = quantize_network(&net, &calib, &cfg);
+            prop_assert_eq!(result.search_curves.len(), 2);
+            for c in &result.search_curves {
+                prop_assert!(c.points.iter().all(|(t, s)| t.is_finite() && s.is_finite()));
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Spiking-neural-network extension of the SEI structure — the paper's
+//! stated future-work direction (§6: "We will also use the proposed
+//! structure to support other applications using 1-bit data like
+//! RRAM-based Spiking Neural Networks").
+//!
+//! The observation is that the SEI crossbar is *already* a spiking
+//! substrate: its rows are gated by 1-bit signals, so a spike train can
+//! drive it directly — and unlike the CNN case (§3.2), the **input layer's
+//! DACs disappear too**, because rate-coded input spikes are 1-bit.
+//!
+//! This crate converts a 1-bit-quantized network
+//! ([`sei_quantize::QuantizedNetwork`]) into a rate-coded spiking network:
+//!
+//! * [`encoding`] — input spike generation: Bernoulli rate coding (the
+//!   classic stochastic scheme) and deterministic phased rate coding;
+//! * [`neuron`] — integrate-and-fire dynamics with subtractive reset and
+//!   optional leak;
+//! * [`network`] — the [`SpikingNetwork`]: each weighted layer accumulates
+//!   per-timestep selective weight sums (exactly what an SEI crossbar
+//!   computes for a spike vector) into IF membranes; pooling ORs spikes;
+//!   the classifier accumulates analog membrane charge over the window.
+//!
+//! # Example
+//!
+//! ```
+//! use sei_nn::{data::SynthConfig, paper, train::{Trainer, TrainConfig}};
+//! use sei_quantize::algorithm1::{quantize_network, QuantizeConfig};
+//! use sei_snn::{SnnConfig, SpikingNetwork};
+//!
+//! let train = SynthConfig::new(400, 1).generate();
+//! let mut net = paper::network2(42);
+//! Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() })
+//!     .fit(&mut net, &train);
+//! let q = quantize_network(&net, &train.truncated(100), &QuantizeConfig::default());
+//!
+//! let snn = SpikingNetwork::from_quantized(&q.net, SnnConfig::default());
+//! let class = snn.classify(train.sample(0).0, 7);
+//! assert!(class < 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encoding;
+pub mod network;
+pub mod neuron;
+
+pub use encoding::{InputEncoding, SpikeTrain};
+pub use network::{SnnConfig, SpikingNetwork};
+pub use neuron::IfNeuronLayer;

@@ -1,0 +1,351 @@
+//! The spiking network: a 1-bit-quantized CNN run in the time domain.
+//!
+//! Conversion from a [`QuantizedNetwork`] is direct because the hardware
+//! substrate is identical: an SEI crossbar gated by a spike vector computes
+//! exactly the selective weight sum `Σ_{spike_j} w_ij + b_i` that an IF
+//! neuron integrates each timestep. The ANN's layer threshold `θ` becomes
+//! the IF firing threshold, so a neuron's spike *rate* approximates
+//! `preact/θ` — a graded generalization of the ANN's 1-bit `preact > θ`
+//! decision that converges to (and often slightly beats) the quantized
+//! network as the time window grows.
+//!
+//! Differences from the CNN pipeline:
+//!
+//! * the **input layer also takes 1-bit data** (spike frames), so even the
+//!   §3.2 input DACs disappear — the whole pipeline is converter-free
+//!   except the classifier readout;
+//! * max pooling is an OR of spikes per timestep;
+//! * the classifier integrates charge over the window without firing and
+//!   the class is the argmax of accumulated charge.
+
+use crate::encoding::{InputEncoding, SpikeTrain};
+use crate::neuron::IfNeuronLayer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sei_nn::{Conv2d, Linear, Tensor3};
+use sei_quantize::qnet::{conv_binary_preact, fc_binary_preact, QLayer, QuantizedNetwork};
+use sei_quantize::BitTensor;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a spiking run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SnnConfig {
+    /// Input spike encoding.
+    pub encoding: InputEncoding,
+    /// Per-step membrane leak factor (1.0 = pure integrate-and-fire).
+    pub leak: f32,
+    /// RNG seed (Bernoulli encoding only).
+    pub seed: u64,
+}
+
+impl Default for SnnConfig {
+    fn default() -> Self {
+        SnnConfig {
+            encoding: InputEncoding::default(),
+            leak: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// One stage of the spiking pipeline.
+#[derive(Debug, Clone)]
+enum SpikeLayer {
+    /// Convolution integrated by IF neurons (first or hidden — both take
+    /// spike frames).
+    Conv {
+        conv: Conv2d,
+        threshold: f32,
+        out_neurons: usize,
+        out_shape: (usize, usize, usize),
+    },
+    /// Per-timestep OR pooling of spikes.
+    PoolOr { size: usize },
+    /// Reshape.
+    Flatten,
+    /// Hidden FC integrated by IF neurons.
+    Fc { linear: Linear, threshold: f32 },
+    /// Output FC: non-firing charge accumulator.
+    Output { linear: Linear },
+}
+
+/// Per-run statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpikeStats {
+    /// Total spikes emitted per spiking layer (input frames excluded).
+    pub spikes_per_layer: Vec<u64>,
+    /// Input spikes presented.
+    pub input_spikes: u64,
+    /// Timesteps simulated.
+    pub timesteps: usize,
+}
+
+/// A rate-coded spiking realization of a quantized network.
+#[derive(Debug, Clone)]
+pub struct SpikingNetwork {
+    layers: Vec<SpikeLayer>,
+    cfg: SnnConfig,
+    input_shape: (usize, usize, usize),
+}
+
+impl SpikingNetwork {
+    /// Converts a quantized network (for the paper's 28×28 input shape).
+    pub fn from_quantized(qnet: &QuantizedNetwork, cfg: SnnConfig) -> Self {
+        Self::from_quantized_with_input(qnet, cfg, sei_nn::paper::INPUT_SHAPE)
+    }
+
+    /// Converts a quantized network with an explicit input shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantized network contains a layer kind the spiking
+    /// pipeline cannot express.
+    pub fn from_quantized_with_input(
+        qnet: &QuantizedNetwork,
+        cfg: SnnConfig,
+        input_shape: (usize, usize, usize),
+    ) -> Self {
+        let mut layers = Vec::with_capacity(qnet.layers().len());
+        let mut shape = input_shape;
+        for layer in qnet.layers() {
+            match layer {
+                QLayer::AnalogConv { conv, threshold }
+                | QLayer::BinaryConv { conv, threshold } => {
+                    let out_shape = (
+                        conv.out_channels(),
+                        shape.1 - conv.kernel() + 1,
+                        shape.2 - conv.kernel() + 1,
+                    );
+                    layers.push(SpikeLayer::Conv {
+                        conv: conv.clone(),
+                        threshold: *threshold,
+                        out_neurons: out_shape.0 * out_shape.1 * out_shape.2,
+                        out_shape,
+                    });
+                    shape = out_shape;
+                }
+                QLayer::PoolOr { size } => {
+                    layers.push(SpikeLayer::PoolOr { size: *size });
+                    shape = (shape.0, shape.1 / size, shape.2 / size);
+                }
+                QLayer::Flatten => {
+                    layers.push(SpikeLayer::Flatten);
+                    shape = (shape.0 * shape.1 * shape.2, 1, 1);
+                }
+                QLayer::BinaryFc { linear, threshold } => {
+                    shape = (linear.out_features(), 1, 1);
+                    layers.push(SpikeLayer::Fc {
+                        linear: linear.clone(),
+                        threshold: *threshold,
+                    });
+                }
+                QLayer::OutputFc { linear } => {
+                    shape = (linear.out_features(), 1, 1);
+                    layers.push(SpikeLayer::Output {
+                        linear: linear.clone(),
+                    });
+                }
+            }
+        }
+        SpikingNetwork {
+            layers,
+            cfg,
+            input_shape,
+        }
+    }
+
+    /// The configured input shape.
+    pub fn input_shape(&self) -> (usize, usize, usize) {
+        self.input_shape
+    }
+
+    /// Runs the network on an image for `timesteps` steps, returning the
+    /// accumulated class charge and spike statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timesteps == 0` or the image shape mismatches.
+    pub fn run(&self, image: &Tensor3, timesteps: usize) -> (Tensor3, SpikeStats) {
+        assert!(timesteps > 0, "need at least one timestep");
+        assert_eq!(image.shape(), self.input_shape, "input shape");
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut train = SpikeTrain::new(image, self.cfg.encoding);
+
+        // Per-layer IF state and output accumulator.
+        let mut if_states: Vec<Option<IfNeuronLayer>> = self
+            .layers
+            .iter()
+            .map(|l| match l {
+                SpikeLayer::Conv {
+                    threshold,
+                    out_neurons,
+                    ..
+                } => Some(IfNeuronLayer::new(*out_neurons, *threshold, self.cfg.leak)),
+                SpikeLayer::Fc { linear, threshold } => Some(IfNeuronLayer::new(
+                    linear.out_features(),
+                    *threshold,
+                    self.cfg.leak,
+                )),
+                _ => None,
+            })
+            .collect();
+        let out_classes = match self.layers.last() {
+            Some(SpikeLayer::Output { linear }) => linear.out_features(),
+            _ => panic!("spiking network must end with an output layer"),
+        };
+        let mut charge = vec![0.0f32; out_classes];
+        let mut stats = SpikeStats {
+            spikes_per_layer: vec![0; self.layers.len()],
+            input_spikes: 0,
+            timesteps,
+        };
+
+        for _ in 0..timesteps {
+            let mut spikes = train.next_frame(&mut rng);
+            stats.input_spikes += spikes.count_ones() as u64;
+            for (li, layer) in self.layers.iter().enumerate() {
+                match layer {
+                    SpikeLayer::Conv {
+                        conv, out_shape, ..
+                    } => {
+                        let preact = conv_binary_preact(conv, &spikes);
+                        let fired = if_states[li]
+                            .as_mut()
+                            .expect("conv has IF state")
+                            .step(preact.as_slice());
+                        stats.spikes_per_layer[li] +=
+                            fired.iter().filter(|&&b| b).count() as u64;
+                        spikes =
+                            BitTensor::from_vec(out_shape.0, out_shape.1, out_shape.2, fired);
+                    }
+                    SpikeLayer::PoolOr { size } => {
+                        spikes = spikes.pool_or(*size);
+                    }
+                    SpikeLayer::Flatten => {
+                        let n = spikes.len();
+                        spikes = BitTensor::from_vec(n, 1, 1, spikes.to_flat_vec());
+                    }
+                    SpikeLayer::Fc { linear, .. } => {
+                        let preact = fc_binary_preact(linear, &spikes);
+                        let fired = if_states[li]
+                            .as_mut()
+                            .expect("fc has IF state")
+                            .step(preact.as_slice());
+                        stats.spikes_per_layer[li] +=
+                            fired.iter().filter(|&&b| b).count() as u64;
+                        let n = fired.len();
+                        spikes = BitTensor::from_vec(n, 1, 1, fired);
+                    }
+                    SpikeLayer::Output { linear } => {
+                        let preact = fc_binary_preact(linear, &spikes);
+                        for (c, &v) in charge.iter_mut().zip(preact.as_slice()) {
+                            *c += v;
+                        }
+                        // spikes unused beyond this point in the chain.
+                    }
+                }
+            }
+        }
+
+        (Tensor3::from_flat(charge), stats)
+    }
+
+    /// Classifies an image over a `timesteps`-step window.
+    pub fn classify(&self, image: &Tensor3, timesteps: usize) -> usize {
+        self.run(image, timesteps).0.argmax()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sei_nn::data::SynthConfig;
+    use sei_nn::metrics::error_rate_with;
+    use sei_nn::paper;
+    use sei_nn::train::{TrainConfig, Trainer};
+    use sei_quantize::algorithm1::{quantize_network, QuantizeConfig};
+
+    fn quantized_net2() -> (QuantizedNetwork, sei_nn::data::Dataset) {
+        let train = SynthConfig::new(1200, 51).generate();
+        let test = SynthConfig::new(250, 52).generate();
+        let mut net = paper::network2(7);
+        Trainer::new(TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        })
+        .fit(&mut net, &train);
+        let q = quantize_network(&net, &train.truncated(250), &QuantizeConfig::default());
+        (q.net, test)
+    }
+
+    #[test]
+    fn structure_conversion() {
+        let (qnet, _) = quantized_net2();
+        let snn = SpikingNetwork::from_quantized(&qnet, SnnConfig::default());
+        assert_eq!(snn.layers.len(), qnet.layers().len());
+        assert_eq!(snn.input_shape(), (1, 28, 28));
+    }
+
+    #[test]
+    fn deterministic_with_phased_encoding() {
+        let (qnet, test) = quantized_net2();
+        let snn = SpikingNetwork::from_quantized(&qnet, SnnConfig::default());
+        let (img, _) = test.sample(0);
+        let a = snn.run(img, 6).0;
+        let b = snn.run(img, 6).0;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accuracy_improves_with_window_and_approaches_quantized() {
+        let (qnet, test) = quantized_net2();
+        let snn = SpikingNetwork::from_quantized(&qnet, SnnConfig::default());
+        let subset = test.truncated(120);
+        let q_err = error_rate_with(&subset, |img| qnet.classify(img));
+        let err_at = |t: usize| error_rate_with(&subset, |img| snn.classify(img, t));
+        let e1 = err_at(1);
+        let e12 = err_at(12);
+        assert!(
+            e12 <= e1 + 0.02,
+            "longer window should not be worse: T=1 {e1}, T=12 {e12}"
+        );
+        assert!(
+            e12 <= q_err + 0.15,
+            "T=12 spiking error {e12} too far from quantized {q_err}"
+        );
+    }
+
+    #[test]
+    fn spike_stats_accumulate() {
+        let (qnet, test) = quantized_net2();
+        let snn = SpikingNetwork::from_quantized(&qnet, SnnConfig::default());
+        let (img, _) = test.sample(3);
+        let (_, stats) = snn.run(img, 5);
+        assert_eq!(stats.timesteps, 5);
+        assert!(stats.input_spikes > 0);
+        // Conv layers should emit some spikes on a real image.
+        assert!(stats.spikes_per_layer.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn bernoulli_encoding_runs() {
+        let (qnet, test) = quantized_net2();
+        let snn = SpikingNetwork::from_quantized(
+            &qnet,
+            SnnConfig {
+                encoding: InputEncoding::Bernoulli,
+                ..SnnConfig::default()
+            },
+        );
+        let (img, _) = test.sample(1);
+        assert!(snn.classify(img, 8) < 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one timestep")]
+    fn zero_timesteps_rejected() {
+        let (qnet, test) = quantized_net2();
+        let snn = SpikingNetwork::from_quantized(&qnet, SnnConfig::default());
+        let _ = snn.run(test.sample(0).0, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Integrate-and-fire neuron layers.
+//!
+//! Each neuron accumulates the per-timestep weighted input into a membrane
+//! potential; when the membrane crosses the firing threshold the neuron
+//! emits a spike and the threshold is *subtracted* (soft reset, which
+//! preserves the super-threshold residue and gives the best ANN→SNN rate
+//! fidelity). An optional multiplicative leak models membrane decay.
+
+use serde::{Deserialize, Serialize};
+
+/// State of one layer of IF neurons.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IfNeuronLayer {
+    membranes: Vec<f32>,
+    threshold: f32,
+    leak: f32,
+}
+
+impl IfNeuronLayer {
+    /// Creates a layer of `n` neurons with the given firing threshold and
+    /// per-step leak factor (1.0 = no leak).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive or `leak` is outside `(0, 1]`.
+    pub fn new(n: usize, threshold: f32, leak: f32) -> Self {
+        assert!(threshold > 0.0, "IF threshold must be positive");
+        assert!(leak > 0.0 && leak <= 1.0, "leak must be in (0, 1]");
+        IfNeuronLayer {
+            membranes: vec![0.0; n],
+            threshold,
+            leak,
+        }
+    }
+
+    /// Number of neurons.
+    pub fn len(&self) -> usize {
+        self.membranes.len()
+    }
+
+    /// Whether the layer has no neurons.
+    pub fn is_empty(&self) -> bool {
+        self.membranes.is_empty()
+    }
+
+    /// The firing threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Borrows the membrane potentials.
+    pub fn membranes(&self) -> &[f32] {
+        &self.membranes
+    }
+
+    /// Integrates one timestep of input charge and returns the spike
+    /// pattern (soft reset: threshold subtracted on fire).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != len()`.
+    pub fn step(&mut self, input: &[f32]) -> Vec<bool> {
+        assert_eq!(input.len(), self.membranes.len(), "input length");
+        self.membranes
+            .iter_mut()
+            .zip(input)
+            .map(|(v, &x)| {
+                *v = *v * self.leak + x;
+                if *v > self.threshold {
+                    *v -= self.threshold;
+                    true
+                } else {
+                    false
+                }
+            })
+            .collect()
+    }
+
+    /// Resets all membranes to zero (between input presentations).
+    pub fn reset(&mut self) {
+        self.membranes.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_drive_fires_at_rate_proportional_to_input() {
+        // Input x per step against threshold θ → rate ≈ x/θ (soft reset).
+        let mut layer = IfNeuronLayer::new(1, 1.0, 1.0);
+        let mut spikes = 0;
+        let t = 1000;
+        for _ in 0..t {
+            if layer.step(&[0.3])[0] {
+                spikes += 1;
+            }
+        }
+        let rate = spikes as f32 / t as f32;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn subthreshold_input_never_fires_without_accumulation_reset() {
+        let mut layer = IfNeuronLayer::new(1, 10.0, 1.0);
+        for step in 0..9 {
+            assert!(!layer.step(&[1.0])[0], "fired too early at {step}");
+        }
+        // 10th step crosses 10.0? membrane = 10.0, strict > → not yet.
+        assert!(!layer.step(&[1.0])[0]);
+        assert!(layer.step(&[1.0])[0]);
+    }
+
+    #[test]
+    fn soft_reset_preserves_residue() {
+        let mut layer = IfNeuronLayer::new(1, 1.0, 1.0);
+        assert!(layer.step(&[1.7])[0]);
+        assert!((layer.membranes()[0] - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn leak_decays_membrane() {
+        let mut layer = IfNeuronLayer::new(1, 10.0, 0.5);
+        let _ = layer.step(&[4.0]); // v = 4
+        let _ = layer.step(&[0.0]); // v = 2
+        assert!((layer.membranes()[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_input_depresses() {
+        let mut layer = IfNeuronLayer::new(1, 1.0, 1.0);
+        let _ = layer.step(&[0.8]);
+        let _ = layer.step(&[-0.5]);
+        assert!((layer.membranes()[0] - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_zeroes_state() {
+        let mut layer = IfNeuronLayer::new(3, 1.0, 1.0);
+        let _ = layer.step(&[0.5, 0.9, 0.1]);
+        layer.reset();
+        assert!(layer.membranes().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        let _ = IfNeuronLayer::new(1, 0.0, 1.0);
+    }
+}

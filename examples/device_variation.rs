@@ -1,0 +1,118 @@
+//! Monte-Carlo study of device non-idealities: how programming variation,
+//! read noise and device precision affect the SEI accelerator's accuracy —
+//! the behavioural equivalent of the paper's SPICE-level emulation (§5.1).
+//!
+//! ```sh
+//! cargo run --release --example device_variation
+//! ```
+
+use sei::core::{AcceleratorBuilder, CrossbarEvalConfig, CrossbarNetwork};
+use sei::device::DeviceSpec;
+use sei::nn::data::SynthConfig;
+use sei::nn::paper;
+use sei::nn::train::{TrainConfig, Trainer};
+
+fn main() {
+    let train = SynthConfig::new(2000, 3).generate();
+    let test = SynthConfig::new(300, 4).generate();
+
+    println!("training Network 2 ...");
+    let mut net = paper::network2(5);
+    Trainer::new(TrainConfig {
+        epochs: 4,
+        ..TrainConfig::default()
+    })
+    .fit(&mut net, &train);
+
+    println!("building the SEI accelerator ...");
+    let acc = AcceleratorBuilder::new(net).build(&train.truncated(300));
+    let software_err = acc.error_rate_split(&test);
+    println!(
+        "software (functional) split error: {:.2}%\n",
+        software_err * 100.0
+    );
+
+    let eval = |device: DeviceSpec, seed: u64| -> f32 {
+        let cfg = CrossbarEvalConfig {
+            device,
+            seed,
+            ..CrossbarEvalConfig::default()
+        };
+        let mut xnet = CrossbarNetwork::new(
+            &acc.quantized.net,
+            &acc.split.net.specs(),
+            acc.split.output_theta,
+            &cfg,
+        );
+        xnet.error_rate(&test)
+    };
+
+    // --- programming-variation sweep (3 seeds each: chip-to-chip spread) ---
+    println!("programming variation sweep (4-bit devices, write-verify on):");
+    for sigma in [0.0f64, 0.05, 0.10, 0.20, 0.40] {
+        let spec = DeviceSpec {
+            program_sigma: sigma,
+            ..DeviceSpec::default_4bit()
+        };
+        let errs: Vec<f32> = (0..3).map(|s| eval(spec, s)).collect();
+        let mean = errs.iter().sum::<f32>() / errs.len() as f32;
+        println!(
+            "  sigma {:>4.2}: error {:>5.2}% (chips: {:.2}% / {:.2}% / {:.2}%)",
+            sigma,
+            mean * 100.0,
+            errs[0] * 100.0,
+            errs[1] * 100.0,
+            errs[2] * 100.0
+        );
+    }
+
+    // --- read-noise sweep ---
+    println!("\nread-noise sweep:");
+    for sigma in [0.0f64, 0.01, 0.05, 0.10] {
+        let spec = DeviceSpec {
+            read_sigma: sigma,
+            ..DeviceSpec::default_4bit()
+        };
+        println!("  sigma {:>4.2}: error {:>5.2}%", sigma, eval(spec, 0) * 100.0);
+    }
+
+    // --- device precision sweep (the paper fixes 4 bits) ---
+    println!("\ndevice precision sweep:");
+    for bits in [2u32, 3, 4, 5, 6] {
+        let spec = DeviceSpec::default_4bit().with_bits(bits);
+        println!("  {bits}-bit: error {:>5.2}%", eval(spec, 0) * 100.0);
+    }
+
+    // --- retention: accuracy after a shelf life (extension) ---
+    println!("\nretention (power-law drift of programmed conductances):");
+    {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use sei::device::{ProgrammedCell, RetentionModel};
+        let spec = DeviceSpec::default_4bit();
+        let model = RetentionModel::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        let cell = ProgrammedCell::ideal(&spec, 1.0);
+        for (label, t) in [
+            ("1 hour", 3600.0),
+            ("1 month", 2.6e6),
+            ("1 year", 3.2e7),
+            ("10 years", 3.2e8),
+        ] {
+            let g = model.aged_conductance(&cell, &spec, t, &mut rng);
+            let window = (g - spec.g_min) / (spec.g_max - spec.g_min);
+            println!("  after {label:>8}: on-state window at {:.1}%", window * 100.0);
+        }
+        println!(
+            "  time until the window halves (mean drift): {:.1e} years",
+            model.time_to_window_fraction(0.5) / 3.15e7
+        );
+    }
+
+    println!(
+        "\nExpected shape: graceful degradation — write-verify keeps the paper's\n\
+         default (4-bit, ~8% pulse variation) within a fraction of a point of\n\
+         the software model; 2-bit devices or >20% open-loop variation hurt;\n\
+         retention drift is slow enough to re-verify on a maintenance cadence."
+    );
+}

@@ -1,0 +1,83 @@
+//! Quickstart: train a small CNN, quantize it to 1-bit activations, map it
+//! onto the SEI crossbar structure and print accuracy + energy/area.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sei::core::AcceleratorBuilder;
+use sei::mapping::Structure;
+use sei::nn::data::SynthConfig;
+use sei::nn::paper;
+use sei::nn::train::{TrainConfig, Trainer};
+
+fn main() {
+    // 1. Data: a synthetic MNIST-like digit task (deterministic per seed).
+    let train = SynthConfig::new(2000, 1).generate();
+    let test = SynthConfig::new(500, 2).generate();
+
+    // 2. Train the paper's Network 2 (Table 2): 4×3×3 / 8×3×3 / FC 200×10.
+    println!("training Network 2 on {} samples ...", train.len());
+    let mut net = paper::network2(42);
+    let stats = Trainer::new(TrainConfig {
+        epochs: 4,
+        ..TrainConfig::default()
+    })
+    .fit(&mut net, &train);
+    for s in &stats {
+        println!(
+            "  epoch {}: loss {:.3}, train error {:.2}%",
+            s.epoch,
+            s.mean_loss,
+            s.train_error * 100.0
+        );
+    }
+
+    // 3. Build the accelerator: Algorithm 1 quantization + homogenized
+    //    splitting + dynamic-threshold calibration.
+    println!("\nquantizing and mapping ...");
+    let acc = AcceleratorBuilder::new(net).build(&train.truncated(300));
+    println!(
+        "  thresholds: {:?}  (searched over [0, 0.1])",
+        acc.quantized.thresholds
+    );
+    println!(
+        "  float error:     {:.2}%",
+        acc.error_rate_float(&test) * 100.0
+    );
+    println!(
+        "  quantized error: {:.2}%",
+        acc.error_rate_quantized(&test) * 100.0
+    );
+    println!(
+        "  SEI (split) err: {:.2}%",
+        acc.error_rate_split(&test) * 100.0
+    );
+
+    // 4. Device-level check: run the crossbar simulation with programming
+    //    variation and read noise on a subset.
+    let mut xnet = acc.crossbar_network();
+    println!(
+        "  crossbar-sim err (4-bit devices, noisy): {:.2}%",
+        xnet.error_rate(&test.truncated(100)) * 100.0
+    );
+
+    // 5. Cost: compare the three structures of the paper's Table 5.
+    println!("\n{:<18} {:>10} {:>9} {:>10}", "structure", "energy uJ", "save%", "area-save%");
+    for s in acc.summaries() {
+        println!(
+            "{:<18} {:>10.2} {:>9.2} {:>10.2}",
+            s.structure.name(),
+            s.energy_j * 1e6,
+            s.energy_saving * 100.0,
+            s.area_saving * 100.0
+        );
+    }
+    let sei = &acc.summaries()[2];
+    println!(
+        "\nSEI energy efficiency: {:.0} GOPs/J ({}x the paper's FPGA reference)",
+        sei.gops_per_j,
+        (sei.gops_per_j / sei::cost::FPGA_GOPS_PER_JOULE) as u64
+    );
+    let _ = Structure::ALL;
+}

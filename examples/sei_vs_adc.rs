@@ -1,0 +1,83 @@
+//! Compares the three hardware structures (DAC+ADC / 1-bit-input+ADC /
+//! SEI) on one network, layer by layer — a working tour of the layout
+//! planner and cost model behind the paper's Fig. 1 and Table 5.
+//!
+//! ```sh
+//! cargo run --release --example sei_vs_adc [network1|network2|network3] [max_crossbar]
+//! ```
+
+use sei::cost::{CostParams, CostReport};
+use sei::mapping::layout::DesignPlan;
+use sei::mapping::{DesignConstraints, Structure};
+use sei::nn::paper;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("network1");
+    let max: usize = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+
+    let net = match which {
+        "network2" => paper::network2(0),
+        "network3" => paper::network3(0),
+        _ => paper::network1(0),
+    };
+    let constraints = DesignConstraints::paper_default().with_max_crossbar(max);
+    println!("=== {which} @ max crossbar {max}x{max}, 8-bit weights on 4-bit devices ===\n");
+
+    let params = CostParams::default();
+    let mut reports = Vec::new();
+    for structure in Structure::ALL {
+        let plan = DesignPlan::plan(&net, paper::INPUT_SHAPE, structure, &constraints);
+        println!("--- {} ---", structure.name());
+        println!(
+            "{:<8} {:>9} {:>14} {:>6} {:>6} {:>6} {:>8} {:>7}",
+            "layer", "logical", "crossbars", "DACs", "ADCs", "SAs", "adders", "votes"
+        );
+        for l in &plan.layers {
+            let sizes: Vec<String> = l
+                .crossbars
+                .iter()
+                .map(|x| format!("{}x{}", x.rows, x.cols))
+                .collect();
+            let size_summary = if sizes.iter().all(|s| s == &sizes[0]) {
+                format!("{} x {}", sizes.len(), sizes[0])
+            } else {
+                format!("{} mixed", sizes.len())
+            };
+            println!(
+                "{:<8} {:>4}x{:<4} {:>14} {:>6} {:>6} {:>6} {:>8} {:>7}",
+                l.name,
+                l.logical_rows,
+                l.logical_cols,
+                size_summary,
+                l.dacs,
+                l.adcs,
+                l.sas,
+                l.merge_adders,
+                l.vote_units
+            );
+        }
+        let report = CostReport::analyze(&plan, &params);
+        println!(
+            "energy {:.2} uJ/pic | area {:.3} mm2 | converters = {:.1}% of energy\n",
+            report.total_energy_j() * 1e6,
+            report.total_area_um2() / 1e6,
+            report.converter_energy_fraction() * 100.0
+        );
+        reports.push((structure, report));
+    }
+
+    let base = &reports[0].1;
+    println!("--- savings vs DAC+ADC ---");
+    for (s, r) in &reports[1..] {
+        println!(
+            "{:<18} energy saving {:>6.2}% | area saving {:>6.2}%",
+            s.name(),
+            r.energy_saving_vs(base) * 100.0,
+            r.area_saving_vs(base) * 100.0
+        );
+    }
+}

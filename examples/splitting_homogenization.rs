@@ -1,0 +1,113 @@
+//! Demonstrates §4.3 of the paper end to end: why naive splitting of a
+//! large matrix across ADC-free crossbars breaks accuracy, and how matrix
+//! homogenization plus the dynamic threshold restore it.
+//!
+//! ```sh
+//! cargo run --release --example splitting_homogenization
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sei::mapping::calibrate::{
+    build_split_network, split_error_rate, PartitionStrategy, SplitBuildConfig,
+};
+use sei::mapping::homogenize::{self, GaConfig};
+use sei::mapping::DesignConstraints;
+use sei::nn::data::SynthConfig;
+use sei::nn::metrics::error_rate_with;
+use sei::nn::paper;
+use sei::nn::train::{TrainConfig, Trainer};
+use sei::nn::Layer;
+use sei::quantize::algorithm1::{quantize_network, QuantizeConfig};
+
+fn main() {
+    let train = SynthConfig::new(2500, 11).generate();
+    let test = SynthConfig::new(600, 12).generate();
+
+    println!("training Network 2 ...");
+    let mut net = paper::network2(7);
+    Trainer::new(TrainConfig {
+        epochs: 4,
+        ..TrainConfig::default()
+    })
+    .fit(&mut net, &train);
+
+    println!("quantizing (Algorithm 1) ...");
+    let q = quantize_network(&net, &train.truncated(300), &QuantizeConfig::default());
+    let q_err = error_rate_with(&test, |img| q.net.classify(img));
+    println!("  quantized (unsplit) error: {:.2}%\n", q_err * 100.0);
+
+    // Force splitting with a tight crossbar budget: capacity (64/4)−1 = 15
+    // logical rows, so conv2 (36 rows) → 3 parts, FC (200 rows) → 14 parts.
+    let constraints = DesignConstraints::paper_default().with_max_crossbar(64);
+    let calib = train.truncated(250);
+
+    // --- the distance objective on the FC matrix, for intuition ---
+    if let Layer::Linear(fc) = &net.layers()[7] {
+        let wm = fc.weight_matrix();
+        let k = constraints.sei_partition_count(wm.rows());
+        let natural = homogenize::natural_order(wm.rows(), k);
+        let mut rng = StdRng::seed_from_u64(0);
+        let random = homogenize::random_order(wm.rows(), k, &mut rng);
+        let homog = homogenize::genetic(&wm, k, &GaConfig::default(), &mut rng);
+        println!("Equ. 10 distance of the FC matrix split into {k} parts:");
+        println!(
+            "  natural {:.4} | random {:.4} | homogenized {:.4} ({:.1}% reduction vs natural)",
+            homogenize::mean_vector_distance(&wm, &natural),
+            homogenize::mean_vector_distance(&wm, &random),
+            homogenize::mean_vector_distance(&wm, &homog),
+            (1.0 - homogenize::mean_vector_distance(&wm, &homog)
+                / homogenize::mean_vector_distance(&wm, &natural))
+                * 100.0
+        );
+    }
+
+    // --- accuracy of the four splitting strategies ---
+    println!("\nsplit-network test error (max crossbar 64x64):");
+    let homog_build = build_split_network(
+        &q.net,
+        &SplitBuildConfig {
+            seed: 3,
+            ..SplitBuildConfig::homogenized(constraints)
+        },
+        &calib,
+    );
+    for (label, strategy, dynamic) in [
+        ("natural order, static θ", PartitionStrategy::Natural, false),
+        ("random order,  static θ", PartitionStrategy::Random, false),
+        (
+            "homogenized,   static θ",
+            PartitionStrategy::Homogenized(GaConfig::default()),
+            false,
+        ),
+        (
+            "homogenized + dynamic θ",
+            PartitionStrategy::Homogenized(GaConfig::default()),
+            true,
+        ),
+    ] {
+        let mut cfg = SplitBuildConfig {
+            strategy,
+            seed: 3,
+            fixed_output_theta: homog_build.output_theta,
+            ..SplitBuildConfig::homogenized(constraints)
+        };
+        if dynamic {
+            cfg = cfg.with_dynamic_threshold();
+        }
+        let build = build_split_network(&q.net, &cfg, &calib);
+        let err = split_error_rate(&build.net, &test);
+        let betas = if dynamic {
+            format!("  betas {:?}", build.betas)
+        } else {
+            String::new()
+        };
+        println!("  {label}: {:.2}%{betas}", err * 100.0);
+    }
+
+    println!(
+        "\nThe paper's Table 4 shows the same ordering on MNIST Network 1:\n\
+         random order up to ~50% error; homogenization back under 2.3%;\n\
+         dynamic threshold recovering a further ~0.4pp."
+    );
+}

@@ -1,0 +1,47 @@
+//! `sei` — umbrella crate for the reproduction of *"Switched by Input:
+//! Power Efficient Structure for RRAM-based Convolutional Neural Network"*
+//! (Xia et al., DAC 2016).
+//!
+//! This crate re-exports the whole workspace under one name so the
+//! examples and integration tests can use a single dependency:
+//!
+//! * [`nn`] — CNN substrate (tensors, layers, training, synthetic MNIST);
+//! * [`device`] — behavioural RRAM device models;
+//! * [`crossbar`] — crossbar arrays, peripherals and the SEI structure;
+//! * [`quantize`] — 1-bit quantization (Algorithm 1);
+//! * [`mapping`] — splitting, homogenization, dynamic thresholds, layout;
+//! * [`cost`] — area/power/energy model;
+//! * [`core`] — the [`core::Accelerator`] builder and experiment drivers;
+//! * [`snn`] — the spiking-network extension (the paper's future-work
+//!   direction).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sei::core::AcceleratorBuilder;
+//! use sei::nn::{data::SynthConfig, paper, train::{Trainer, TrainConfig}};
+//!
+//! // Train the paper's smallest network on synthetic digits…
+//! let train = SynthConfig::new(400, 1).generate();
+//! let mut net = paper::network2(42);
+//! Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() })
+//!     .fit(&mut net, &train);
+//!
+//! // …then quantize, split and cost it.
+//! let acc = AcceleratorBuilder::new(net).build(&train.truncated(100));
+//! for summary in acc.summaries() {
+//!     println!("{:?}", summary);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sei_core as core;
+pub use sei_cost as cost;
+pub use sei_crossbar as crossbar;
+pub use sei_device as device;
+pub use sei_mapping as mapping;
+pub use sei_nn as nn;
+pub use sei_quantize as quantize;
+pub use sei_snn as snn;

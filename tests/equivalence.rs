@@ -1,0 +1,170 @@
+//! Property-based equivalence tests across crates: the analog SEI
+//! structure must compute exactly the thresholded selective accumulation
+//! of Equ. (4)–(6), and the software transformations the paper relies on
+//! (quantize-before-pool, bias folding, linear weight mapping) must be
+//! exact identities.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sei::crossbar::{SeiConfig, SeiCrossbar, SeiMode};
+use sei::device::DeviceSpec;
+use sei::nn::{Matrix, MaxPool2d, Tensor3};
+use sei::quantize::BitTensor;
+
+/// Strategy: a small weight matrix with entries in [-1, 1].
+fn weight_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f32..1.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Equ. (5) ≡ Equ. (6): the SEI crossbar with signed ports fires
+    /// exactly like the direct software computation, for every input
+    /// pattern, whenever the margin exceeds the 8-bit quantization slack.
+    #[test]
+    fn sei_signed_ports_equals_direct_math(
+        weights in weight_matrix(5, 3),
+        bias in proptest::collection::vec(-0.3f32..0.3, 3),
+        theta in 0.0f32..0.1,
+        pattern in 0u32..32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xbar = SeiCrossbar::new(
+            &DeviceSpec::ideal(4),
+            &weights,
+            &bias,
+            theta,
+            &SeiConfig::new(SeiMode::SignedPorts),
+            &mut rng,
+        );
+        let input: Vec<bool> = (0..5).map(|j| pattern & (1 << j) != 0).collect();
+        let fires = xbar.forward(&input, &mut rng);
+        let scale = weights
+            .as_slice()
+            .iter()
+            .chain(&bias)
+            .map(|v| v.abs())
+            .fold(theta.abs(), f32::max)
+            .max(1e-9);
+        let tol = scale / 255.0 * 8.0;
+        for k in 0..3 {
+            let mut acc = bias[k];
+            for (j, &b) in input.iter().enumerate() {
+                if b {
+                    acc += weights.get(j, k);
+                }
+            }
+            let margin = acc - theta;
+            if margin.abs() > tol {
+                prop_assert_eq!(
+                    fires[k],
+                    margin > 0.0,
+                    "col {} margin {} input {:?}",
+                    k, margin, input
+                );
+            }
+        }
+    }
+
+    /// §4.2: the dynamic-threshold (all-positive linear mapping) mode
+    /// computes the same function as the signed-port mode.
+    #[test]
+    fn sei_modes_agree(
+        weights in weight_matrix(4, 2),
+        theta in 0.0f32..0.1,
+        pattern in 0u32..16,
+    ) {
+        let bias = vec![0.0f32; 2];
+        let mut rng = StdRng::seed_from_u64(11);
+        let signed = SeiCrossbar::new(
+            &DeviceSpec::ideal(4), &weights, &bias, theta,
+            &SeiConfig::new(SeiMode::SignedPorts), &mut rng,
+        );
+        let dynamic = SeiCrossbar::new(
+            &DeviceSpec::ideal(4), &weights, &bias, theta,
+            &SeiConfig::new(SeiMode::DynamicThreshold), &mut rng,
+        );
+        let input: Vec<bool> = (0..4).map(|j| pattern & (1 << j) != 0).collect();
+        // Compare margins (immune to tie flips at exactly zero).
+        let ms = signed.ideal_margins(&input);
+        let md = dynamic.ideal_margins(&input);
+        for (a, b) in ms.iter().zip(&md) {
+            prop_assert!((a - b).abs() < 0.05, "margins {} vs {}", a, b);
+        }
+    }
+
+    /// §3.1: quantizing before max pooling equals quantizing after, for
+    /// any tensor and threshold (the OR-pool degeneration).
+    #[test]
+    fn quantize_pool_commutation(
+        data in proptest::collection::vec(-1.0f32..2.0, 36),
+        theta in -0.5f32..1.5,
+    ) {
+        let t = Tensor3::from_vec(1, 6, 6, data);
+        let a = BitTensor::threshold(&t, theta).pool_or(2);
+        let (pooled, _) = MaxPool2d::new(2).forward(&t);
+        let b = BitTensor::threshold(&pooled, theta);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The extra-port weighting of Equ. (6): scaling every weight by a
+    /// power of two and the threshold alike leaves the decision unchanged
+    /// (the shift-and-add property the hi/lo bit cells rely on).
+    #[test]
+    fn margin_scale_invariance(
+        weights in weight_matrix(4, 2),
+        theta in 0.001f32..0.05,
+        pattern in 0u32..16,
+    ) {
+        let bias = vec![0.0f32; 2];
+        let mut rng = StdRng::seed_from_u64(13);
+        let base = SeiCrossbar::new(
+            &DeviceSpec::ideal(4), &weights, &bias, theta,
+            &SeiConfig::new(SeiMode::SignedPorts), &mut rng,
+        );
+        let mut scaled_w = weights.clone();
+        for v in scaled_w.as_mut_slice() {
+            *v *= 0.5;
+        }
+        let scaled = SeiCrossbar::new(
+            &DeviceSpec::ideal(4), &scaled_w, &bias, theta * 0.5,
+            &SeiConfig::new(SeiMode::SignedPorts), &mut rng,
+        );
+        let input: Vec<bool> = (0..4).map(|j| pattern & (1 << j) != 0).collect();
+        let mb = base.ideal_margins(&input);
+        let ms = scaled.ideal_margins(&input);
+        for (a, b) in mb.iter().zip(&ms) {
+            prop_assert!((a - 2.0 * b).abs() < 0.05, "margin {} vs scaled {}", a, b);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Device-level invariant: programmed conductance stays within the
+    /// physical window under write–verify, for any target.
+    #[test]
+    fn programming_stays_in_window(value in 0.0f64..1.0, seed in 0u64..1000) {
+        use sei::device::ProgrammedCell;
+        let spec = DeviceSpec::default_4bit();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cell = ProgrammedCell::program(&spec, value, &mut rng);
+        // Allow the open-loop variation margin around the window.
+        prop_assert!(cell.conductance() > 0.0);
+        prop_assert!(cell.conductance() < spec.g_max * 1.8);
+    }
+
+    /// Quantization maps every fraction to the nearest level (error at
+    /// most half a level).
+    #[test]
+    fn level_quantization_error_bounded(value in 0.0f64..1.0) {
+        let spec = DeviceSpec::default_4bit();
+        let level = spec.quantize(value);
+        let recon = spec.level_fraction(level);
+        prop_assert!((recon - value).abs() <= 0.5 / 15.0 + 1e-12);
+    }
+}
