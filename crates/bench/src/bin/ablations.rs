@@ -16,9 +16,10 @@
 //!    paper's 8-bit baseline and 1-bit proposal, with per-conversion
 //!    energy scaling, locating the 1-bit choice on the cost curve.
 
-use sei_bench::{banner, err_pct, pct};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sei_bench::{banner, bench_init, emit_report, err_pct, new_report, pct};
 use sei_core::experiments::{device_bits_sweep, prepare_context};
-use sei_core::ExperimentScale;
 use sei_cost::{CostParams, CostReport};
 use sei_mapping::homogenize::{self, GaConfig};
 use sei_mapping::layout::DesignPlan;
@@ -27,11 +28,9 @@ use sei_nn::metrics::error_rate_with;
 use sei_nn::paper::{self, PaperNetwork};
 use sei_nn::Matrix;
 use sei_quantize::algorithm1::{quantize_network, QuantizeConfig, SearchObjective};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = bench_init();
     banner("Ablations (design choices called out in DESIGN.md)");
     println!("(scale: {scale:?})\n");
 
@@ -61,8 +60,13 @@ fn main() {
 
     // --- 2. device precision sweep ---
     banner("A2: device precision sweep (paper fixes 4-bit devices)");
-    let sweep = device_bits_sweep(&ctx, PaperNetwork::Network2, &[2, 3, 4, 5, 6], scale.test.min(150));
-    for (bits, err) in sweep {
+    let sweep = device_bits_sweep(
+        &ctx,
+        PaperNetwork::Network2,
+        &[2, 3, 4, 5, 6],
+        scale.test.min(150),
+    );
+    for &(bits, err) in &sweep {
         println!("  {bits}-bit device: crossbar-sim error {}", err_pct(err));
     }
 
@@ -99,7 +103,10 @@ fn main() {
         let q = qn(&model.net, &ctx.calib(), &QuantizeConfig::default());
         // Tight crossbars force Network 2's FC (200 rows) to split.
         let tight = DesignConstraints::paper_default().with_max_crossbar(128);
-        for (name, head) in [("ADC head (default)", OutputHead::Adc), ("popcount head", OutputHead::Popcount)] {
+        for (name, head) in [
+            ("ADC head (default)", OutputHead::Adc),
+            ("popcount head", OutputHead::Popcount),
+        ] {
             let build = build_split_network(
                 &q.net,
                 &SplitBuildConfig {
@@ -167,4 +174,25 @@ fn main() {
          (ratio {:.2})",
         ga_total / exact_total.max(1e-12)
     );
+
+    let mut report = new_report("ablations", &scale);
+    report.set_f64("float_error", f64::from(model.float_error));
+    let device_rows: Vec<sei_telemetry::json::Value> = sweep
+        .iter()
+        .map(|&(bits, err)| {
+            let mut v = sei_telemetry::json::Value::obj();
+            v.set(
+                "device_bits",
+                sei_telemetry::json::Value::UInt(u64::from(bits)),
+            );
+            v.set("error", sei_telemetry::json::Value::Float(f64::from(err)));
+            v
+        })
+        .collect();
+    report.set(
+        "device_bits_sweep",
+        sei_telemetry::json::Value::Arr(device_rows),
+    );
+    report.set_f64("ga_vs_exact_ratio", ga_total / exact_total.max(1e-12));
+    emit_report(&mut report);
 }

@@ -5,9 +5,10 @@
 //! SEI_TRAIN_N=1500 cargo run --release -p sei-bench --bin diagnose [network1|network2]
 //! ```
 
-use sei_bench::banner;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sei_bench::{banner, bench_init, emit_report, env_or, new_report};
 use sei_core::experiments::prepare_context;
-use sei_core::ExperimentScale;
 use sei_mapping::calibrate::{build_split_network, split_error_rate, SplitBuildConfig};
 use sei_mapping::homogenize::{genetic, natural_order, GaConfig};
 use sei_mapping::split::SplitSpec;
@@ -16,11 +17,9 @@ use sei_nn::metrics::error_rate_with;
 use sei_nn::paper::PaperNetwork;
 use sei_quantize::algorithm1::{quantize_network, QuantizeConfig};
 use sei_quantize::qnet::QLayer;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = bench_init();
     let which = match std::env::args().nth(1).as_deref() {
         Some("network2") => PaperNetwork::Network2,
         Some("network3") => PaperNetwork::Network3,
@@ -68,7 +67,7 @@ fn main() {
     }
 
     // --- full calibrated split (the Table 5 path) ---
-    let refine = std::env::var("SEI_REFINE").is_ok_and(|v| v == "1");
+    let refine = env_or::<u8>("SEI_REFINE", "0 or 1", 0) == 1;
     let full = build_split_network(
         &q.net,
         &SplitBuildConfig {
@@ -90,9 +89,7 @@ fn main() {
         let mut specs: Vec<Option<SplitSpec>> = vec![None; q.net.layers().len()];
         let wm = match &q.net.layers()[idx] {
             QLayer::BinaryConv { conv, .. } => conv.weight_matrix(),
-            QLayer::BinaryFc { linear, .. } | QLayer::OutputFc { linear } => {
-                linear.weight_matrix()
-            }
+            QLayer::BinaryFc { linear, .. } | QLayer::OutputFc { linear } => linear.weight_matrix(),
             _ => unreachable!(),
         };
         for (label, partition) in [
@@ -114,5 +111,18 @@ fn main() {
     // --- output-layer headroom: how good could the head be? ---
     // Compare against quantized-unsplit (analog head) as the upper bound.
     let q_err = error_rate_with(&ctx.test, |img| q.net.classify(img));
-    println!("\nquantized unsplit (analog head upper bound): {:.2}%", q_err * 100.0);
+    println!(
+        "\nquantized unsplit (analog head upper bound): {:.2}%",
+        q_err * 100.0
+    );
+
+    let mut report = new_report("diagnose", &scale);
+    report.set_str("network", which.name());
+    report.set_f64("float_error", f64::from(model.float_error));
+    report.set_f64("quantized_error", f64::from(q_err));
+    report.set_f64(
+        "split_error",
+        f64::from(split_error_rate(&full.net, &ctx.test)),
+    );
+    emit_report(&mut report);
 }

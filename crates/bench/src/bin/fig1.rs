@@ -5,15 +5,15 @@
 //! Paper claim: "ADCs and DACs cost more than 98% of the area and power
 //! consumption of RRAM-based CNN even if the crossbar size is 512×512."
 
-use sei_bench::{banner, pct};
+use sei_bench::{banner, bench_init, emit_report, new_report, pct};
 use sei_core::experiments::{fig1, prepare_context};
-use sei_core::ExperimentScale;
 use sei_cost::{ComponentClass, CostParams};
 use sei_mapping::DesignConstraints;
 use sei_nn::paper::PaperNetwork;
+use sei_telemetry::json::Value;
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = bench_init();
     banner("Fig. 1 — power/area breakdown, Network 1, 8-bit data, DAC+ADC");
     println!("(scale: {scale:?})\n");
 
@@ -74,4 +74,27 @@ fn main() {
         pct(report.converter_energy_fraction()),
         pct(report.converter_area_fraction()),
     );
+
+    let mut run = new_report("fig1", &scale);
+    let classes: Vec<Value> = ComponentClass::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let mut v = Value::obj();
+            v.set("class", Value::Str(c.name().to_string()));
+            v.set("energy_j", Value::Float(etot[i]));
+            v.set("area_um2", Value::Float(atot[i]));
+            v
+        })
+        .collect();
+    run.set("totals", Value::Arr(classes));
+    run.set(
+        "converter_energy_fraction",
+        Value::Float(report.converter_energy_fraction()),
+    );
+    run.set(
+        "converter_area_fraction",
+        Value::Float(report.converter_area_fraction()),
+    );
+    emit_report(&mut run);
 }

@@ -7,13 +7,13 @@
 //! data contains more than 95% values around zero"; we analyze the trained
 //! Table 2 networks (see DESIGN.md §1 for the substitution).
 
-use sei_bench::banner;
+use sei_bench::{banner, bench_init, emit_report, new_report};
 use sei_core::experiments::{prepare_context, table1};
-use sei_core::ExperimentScale;
 use sei_nn::paper::PaperNetwork;
+use sei_telemetry::json::Value;
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = bench_init();
     banner("Table 1 — intermediate-data distribution (normalized, post-ReLU)");
     println!("(scale: {scale:?})\n");
 
@@ -21,9 +21,7 @@ fn main() {
     let ctx = prepare_context(scale, &PaperNetwork::ALL);
     let results = table1(&ctx);
 
-    println!(
-        "\npaper (CaffeNet, all layers): 98.63% | 1.20% | 0.16% | 0.01%\n"
-    );
+    println!("\npaper (CaffeNet, all layers): 98.63% | 1.20% | 0.16% | 0.01%\n");
     println!(
         "{:<12} {:<8} {:>10} {:>12} {:>11} {:>9} {:>8}",
         "network", "layer", "0-1/16", "1/16-1/8", "1/8-1/4", "1/4-1", "zeros"
@@ -52,4 +50,35 @@ fn main() {
         );
     }
     println!("\nshape check: the 0-1/16 bucket dominates every layer (long-tail,\nthe premise of 1-bit quantization).");
+
+    let mut report = new_report("table1", &scale);
+    let nets: Vec<Value> = results
+        .iter()
+        .map(|(which, dist)| {
+            let mut net = Value::obj();
+            net.set("network", Value::Str(which.name().to_string()));
+            let layers: Vec<Value> = dist
+                .layers
+                .iter()
+                .map(|l| {
+                    let mut layer = Value::obj();
+                    layer.set("layer", Value::Str(format!("conv{}", l.ordinal)));
+                    layer.set(
+                        "buckets",
+                        Value::Arr(l.buckets.iter().map(|&b| Value::Float(b)).collect()),
+                    );
+                    layer.set("zero_fraction", Value::Float(l.zero_fraction));
+                    layer
+                })
+                .collect();
+            net.set("layers", Value::Arr(layers));
+            net.set(
+                "all_layers",
+                Value::Arr(dist.all_layers.iter().map(|&b| Value::Float(b)).collect()),
+            );
+            net
+        })
+        .collect();
+    report.set("networks", Value::Arr(nets));
+    emit_report(&mut report);
 }

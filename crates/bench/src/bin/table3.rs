@@ -6,14 +6,14 @@
 //! than one percentage point. Absolute errors differ on the synthetic
 //! dataset; the reproduced claim is the bounded quantization penalty.
 
-use sei_bench::{banner, err_pct, paper_vs_measured};
+use sei_bench::{banner, bench_init, emit_report, err_pct, new_report, paper_vs_measured};
 use sei_core::experiments::{prepare_context, table3};
-use sei_core::ExperimentScale;
 use sei_nn::paper::PaperNetwork;
 use sei_quantize::QuantizeConfig;
+use sei_telemetry::json::Value;
 
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = bench_init();
     banner("Table 3 — error rate of the quantization method");
     println!("(scale: {scale:?})\n");
 
@@ -44,4 +44,22 @@ fn main() {
         );
     }
     println!("shape check: every network keeps a small (≈1pp-scale) penalty.");
+
+    let mut report = new_report("table3", &scale);
+    let report_rows: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            let mut row = Value::obj();
+            row.set("network", Value::Str(r.network.name().to_string()));
+            row.set("float_error", Value::Float(f64::from(r.before)));
+            row.set("quantized_error", Value::Float(f64::from(r.after)));
+            row.set(
+                "quantization_penalty",
+                Value::Float(f64::from(r.after - r.before)),
+            );
+            row
+        })
+        .collect();
+    report.set("rows", Value::Arr(report_rows));
+    emit_report(&mut report);
 }

@@ -18,18 +18,15 @@
 //! `SEI_T4_ORDERS` sets the number of random orders sampled (default 25;
 //! the paper uses 500).
 
-use sei_bench::{banner, err_pct};
+use sei_bench::{banner, bench_init, emit_report, env_or, err_pct, new_report};
 use sei_core::experiments::{prepare_context, table4_column};
-use sei_core::ExperimentScale;
 use sei_nn::paper::PaperNetwork;
 use sei_quantize::algorithm1::{quantize_network, QuantizeConfig};
+use sei_telemetry::json::Value;
 
 fn main() {
-    let scale = ExperimentScale::from_env();
-    let orders: usize = std::env::var("SEI_T4_ORDERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(25);
+    let scale = bench_init();
+    let orders: usize = env_or("SEI_T4_ORDERS", "an order count (usize)", 25);
     banner("Table 4 — error rate of the proposed methods on Network 1");
     println!("(scale: {scale:?}, random orders: {orders})\n");
 
@@ -87,6 +84,37 @@ fn main() {
             .collect();
         println!("  max {max}: per split layer {reductions:?}");
     }
+
+    let mut report = new_report("table4", &scale);
+    report.set_u64("random_orders", orders as u64);
+    let cols: Vec<Value> = columns
+        .iter()
+        .map(|c| {
+            let mut col = Value::obj();
+            col.set("max_crossbar", Value::UInt(c.max_crossbar as u64));
+            col.set("original", Value::Float(f64::from(c.original)));
+            col.set("quantized", Value::Float(f64::from(c.quantized)));
+            col.set("random_min", Value::Float(f64::from(c.random_min)));
+            col.set("random_max", Value::Float(f64::from(c.random_max)));
+            col.set("homogenization", Value::Float(f64::from(c.homogenization)));
+            col.set(
+                "dynamic_threshold",
+                Value::Float(f64::from(c.dynamic_threshold)),
+            );
+            col.set(
+                "distance_reductions",
+                Value::Arr(
+                    c.distance_reductions
+                        .iter()
+                        .map(|&r| Value::Float(r))
+                        .collect(),
+                ),
+            );
+            col
+        })
+        .collect();
+    report.set("columns", Value::Arr(cols));
+    emit_report(&mut report);
     println!(
         "\nshape checks: random-order spread is wide; homogenization recovers\n\
          near-quantized accuracy; dynamic threshold recovers a little more."

@@ -26,18 +26,15 @@
 //! `SEI_T5_DEVICE_N` sets the subset size for the crossbar-level
 //! (device-noise) SEI accuracy simulation (default 100, 0 disables).
 
-use sei_bench::banner;
+use sei_bench::{banner, bench_init, emit_report, env_or, new_report};
 use sei_core::experiments::{prepare_context, table5_block, table5_blocks};
-use sei_core::ExperimentScale;
 use sei_cost::{CostParams, FPGA_GOPS_PER_JOULE, GPU_K40_GOPS_PER_JOULE};
 use sei_nn::paper::PaperNetwork;
+use sei_telemetry::json::Value;
 
 fn main() {
-    let scale = ExperimentScale::from_env();
-    let device_n: usize = std::env::var("SEI_T5_DEVICE_N")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(100);
+    let scale = bench_init();
+    let device_n: usize = env_or("SEI_T5_DEVICE_N", "a sample count (usize)", 100);
     banner("Table 5 — result of proposed method using 4-bit RRAM devices");
     println!("(scale: {scale:?}, device-sim subset: {device_n})\n");
 
@@ -47,13 +44,39 @@ fn main() {
 
     println!(
         "\n{:<11} {:>4} {:<16} {:>7} {:>9} {:>11} {:>8} {:>8} {:>10}",
-        "network", "max", "structure", "bits", "error", "device-err", "uJ/pic", "save%", "area-save%"
+        "network",
+        "max",
+        "structure",
+        "bits",
+        "error",
+        "device-err",
+        "uJ/pic",
+        "save%",
+        "area-save%"
     );
     let mut sei_gops: Vec<(String, f64)> = Vec::new();
+    let mut report = new_report("table5", &scale);
+    report.set_u64("device_sim_n", device_n as u64);
+    let mut report_rows: Vec<Value> = Vec::new();
     for (which, max) in table5_blocks() {
         println!("  [{} @ {max} ...]", which.name());
         let rows = table5_block(&ctx, which, max, &params, device_n);
         for r in &rows {
+            let mut row = Value::obj();
+            row.set("network", Value::Str(r.network.name().to_string()));
+            row.set("max_crossbar", Value::UInt(r.max_crossbar as u64));
+            row.set("structure", Value::Str(r.structure.name().to_string()));
+            row.set("data_bits", Value::UInt(u64::from(r.data_bits)));
+            row.set("error", Value::Float(f64::from(r.error)));
+            match r.device_error {
+                Some(e) => row.set("device_error", Value::Float(f64::from(e))),
+                None => row.set("device_error", Value::Null),
+            };
+            row.set("energy_uj", Value::Float(r.energy_uj));
+            row.set("energy_saving_pct", Value::Float(r.energy_saving_pct));
+            row.set("area_saving_pct", Value::Float(r.area_saving_pct));
+            row.set("gops_per_j", Value::Float(r.gops_per_j));
+            report_rows.push(row);
             println!(
                 "{:<11} {:>4} {:<16} {:>7} {:>8.2}% {:>11} {:>8.2} {:>8.2} {:>10.2}",
                 r.network.name(),
@@ -73,6 +96,8 @@ fn main() {
             }
         }
     }
+    report.set("rows", Value::Arr(report_rows));
+    emit_report(&mut report);
 
     println!("\n§5.3 energy efficiency (at paper Table 2 complexity):");
     for (label, g) in &sei_gops {

@@ -7,14 +7,16 @@
 //! cargo run --release -p sei-bench --bin timing [network1|network2|network3]
 //! ```
 
-use sei_bench::banner;
+use sei_bench::{banner, bench_init, emit_report, new_report};
 use sei_cost::{CostParams, CostReport, PowerReport};
 use sei_mapping::layout::DesignPlan;
 use sei_mapping::timing::{DesignTiming, TimingModel};
 use sei_mapping::{DesignConstraints, Structure};
 use sei_nn::paper;
+use sei_telemetry::json::Value;
 
 fn main() {
+    let scale = bench_init();
     let which = std::env::args().nth(1).unwrap_or_else(|| "network1".into());
     let net = match which.as_str() {
         "network2" => paper::network2(0),
@@ -31,6 +33,9 @@ fn main() {
         "\n{:<18} {:>12} {:>12} {:>12} {:>12}",
         "structure", "latency µs", "pics/s", "avg power", "µJ/pic"
     );
+    let mut report = new_report("timing", &scale);
+    report.set_str("network", &which);
+    let mut structure_rows: Vec<Value> = Vec::new();
     for structure in Structure::ALL {
         let plan = DesignPlan::plan(&net, paper::INPUT_SHAPE, structure, &constraints);
         let cost = CostReport::analyze(&plan, &params);
@@ -44,7 +49,15 @@ fn main() {
             power.total_watts(),
             cost.total_energy_j() * 1e6
         );
+        let mut row = Value::obj();
+        row.set("structure", Value::Str(structure.name().to_string()));
+        row.set("latency_us", Value::Float(timing.latency_ns() / 1e3));
+        row.set("throughput_pps", Value::Float(timing.throughput_pps()));
+        row.set("avg_power_w", Value::Float(power.total_watts()));
+        row.set("energy_uj", Value::Float(cost.total_energy_j() * 1e6));
+        structure_rows.push(row);
     }
+    report.set("structures", Value::Arr(structure_rows));
 
     println!("\nSEI replication sweep (area ↔ time trade-off, §5.3):");
     println!(
@@ -58,8 +71,7 @@ fn main() {
         let timing = DesignTiming::analyze(&plan, &model, repl);
         let power = PowerReport::at_throughput(&cost, &timing);
         // Replication multiplies the crossbar (not converter) area.
-        let xbar_area_mm2 =
-            base_cells as f64 * repl as f64 * params.cell_area / 1e6;
+        let xbar_area_mm2 = base_cells as f64 * repl as f64 * params.cell_area / 1e6;
         println!(
             "{repl:>6} {:>12.1} {:>12.0} {:>14.4} {:>9.3} W",
             timing.latency_ns() / 1e3,
@@ -73,4 +85,5 @@ fn main() {
          power at full rate) — the paper's energy-per-picture metric is the\n\
          replication-invariant quantity, which is why Table 5 reports it."
     );
+    emit_report(&mut report);
 }

@@ -18,6 +18,65 @@
 //! (see [`sei_core::ExperimentScale`]). Criterion micro-benchmarks of the
 //! simulator's kernels live in `benches/kernels.rs`.
 
+use sei_core::ExperimentScale;
+use sei_telemetry::json::Value;
+use sei_telemetry::{sei_warn, RunReport};
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Initializes telemetry (`SEI_LOG`, `SEI_REPORT_JSON`) and reads the
+/// experiment scale. Exits with a clear message when any `SEI_*` variable
+/// is set but malformed — never silently falls back to a default.
+pub fn bench_init() -> ExperimentScale {
+    if let Err(e) = sei_telemetry::init_from_env() {
+        exit_env_error(&e);
+    }
+    match ExperimentScale::from_env() {
+        Ok(scale) => scale,
+        Err(e) => exit_env_error(&e),
+    }
+}
+
+/// Strictly parses an optional environment variable: unset → `default`,
+/// malformed → process exit with a clear message.
+pub fn env_or<T: FromStr>(name: &str, expected: &'static str, default: T) -> T {
+    match sei_telemetry::env::parse_var(name, expected) {
+        Ok(v) => v.unwrap_or(default),
+        Err(e) => exit_env_error(&e),
+    }
+}
+
+fn exit_env_error(e: &dyn Display) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(2);
+}
+
+/// Starts a run report pre-filled with the seed and scale fields every
+/// regenerator binary shares.
+pub fn new_report(experiment: &str, scale: &ExperimentScale) -> RunReport {
+    let mut report = RunReport::new(experiment);
+    report.set_u64("seed", scale.seed);
+    let mut s = Value::obj();
+    s.set("train_n", Value::UInt(scale.train as u64));
+    s.set("test_n", Value::UInt(scale.test as u64));
+    s.set("calib_n", Value::UInt(scale.calib as u64));
+    s.set("epochs", Value::UInt(scale.epochs as u64));
+    report.set("scale", s);
+    report
+}
+
+/// Finalizes the report (capturing live phase timings and physical-event
+/// counters) and appends it to `SEI_REPORT_JSON` when that is set. Report
+/// failures warn rather than abort: the table on stdout is the primary
+/// artifact.
+pub fn emit_report(report: &mut RunReport) {
+    report.finalize();
+    match report.emit_env() {
+        Ok(_) => {}
+        Err(e) => sei_warn!("failed to write run report: {e}"),
+    }
+}
+
 /// Formats a fraction as a percent with two decimals.
 pub fn pct(frac: f64) -> String {
     format!("{:.2}%", frac * 100.0)

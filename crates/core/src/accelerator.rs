@@ -199,7 +199,12 @@ impl Accelerator {
 
     /// Layout plan for a structure.
     pub fn plan(&self, structure: Structure) -> DesignPlan {
-        DesignPlan::plan(&self.float_net, self.input_shape, structure, &self.constraints)
+        DesignPlan::plan(
+            &self.float_net,
+            self.input_shape,
+            structure,
+            &self.constraints,
+        )
     }
 
     /// Cost report for a structure.

@@ -86,7 +86,12 @@ impl BaselineNetwork {
             .enumerate()
             .map(|(i, layer)| match layer {
                 Layer::Conv(c) => BLayer::Weighted {
-                    xbar: MergedCrossbar::new(&cfg.device, &c.weight_matrix(), &cfg.merged, &mut rng),
+                    xbar: MergedCrossbar::new(
+                        &cfg.device,
+                        &c.weight_matrix(),
+                        &cfg.merged,
+                        &mut rng,
+                    ),
                     bias: c.bias().to_vec(),
                     act_scale: act_max[i].max(1e-6),
                     conv: Some((c.in_channels(), c.kernel())),
@@ -125,18 +130,11 @@ impl BaselineNetwork {
                     act_scale,
                     conv,
                 } => match conv {
-                    Some((in_ch, k)) => conv_forward(
-                        xbar,
-                        bias,
-                        *act_scale,
-                        *in_ch,
-                        *k,
-                        &cur,
-                        &mut self.rng,
-                    ),
+                    Some((in_ch, k)) => {
+                        conv_forward(xbar, bias, *act_scale, *in_ch, *k, &cur, &mut self.rng)
+                    }
                     None => {
-                        let x: Vec<f32> =
-                            cur.as_slice().iter().map(|&v| v / act_scale).collect();
+                        let x: Vec<f32> = cur.as_slice().iter().map(|&v| v / act_scale).collect();
                         let mut y = xbar.matvec(&x, &mut self.rng);
                         for (o, b) in y.iter_mut().zip(bias) {
                             *o = *o * act_scale + b;

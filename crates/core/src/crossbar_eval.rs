@@ -127,8 +127,8 @@ fn reconstruct_weight(
     let max_code = (1u64 << weight_bits) as f64 - 1.0;
     let frac_full = f64::from(spec.levels() - 1);
     let sign = if value < 0.0 { -1.0f64 } else { 1.0 };
-    let code = ((f64::from(value.abs()) / f64::from(scale) * max_code).round())
-        .min(max_code) as u32;
+    let code =
+        ((f64::from(value.abs()) / f64::from(scale) * max_code).round()).min(max_code) as u32;
     let n_slices = weight_bits.div_ceil(spec.bits);
     let mut acc = 0.0f64;
     for s in 0..n_slices {
@@ -395,10 +395,11 @@ impl CrossbarNetwork {
                         let m = parts[0].kernel_columns();
                         let mut totals = vec![0.0f64; m];
                         for (p, xbar) in parts.iter().enumerate() {
-                            let input: Vec<bool> =
-                                spec.partitions[p].iter().map(|&r| bits.get(r, 0, 0)).collect();
-                            for (t, v) in
-                                totals.iter_mut().zip(xbar.margins(&input, &mut self.rng))
+                            let input: Vec<bool> = spec.partitions[p]
+                                .iter()
+                                .map(|&r| bits.get(r, 0, 0))
+                                .collect();
+                            for (t, v) in totals.iter_mut().zip(xbar.margins(&input, &mut self.rng))
                             {
                                 *t += v;
                             }
@@ -508,8 +509,8 @@ fn first_conv_forward(
                     }
                 }
             }
-            for c in 0..m {
-                let mut acc = f64::from(bias[c]);
+            for (c, &b) in bias.iter().enumerate().take(m) {
+                let mut acc = f64::from(b);
                 let mut var = 0.0f64;
                 for (row, &x) in patch.iter().enumerate() {
                     if x == 0.0 {
@@ -525,7 +526,7 @@ fn first_conv_forward(
                     let g = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
                     acc += read_sigma * var.sqrt() * g;
                 }
-                out.set(c, oy / 1, ox, acc > f64::from(threshold));
+                out.set(c, oy, ox, acc > f64::from(threshold));
             }
         }
     }
@@ -562,8 +563,7 @@ fn hidden_conv_forward(
             }
             let mut counts = vec![0usize; m];
             for (p, xbar) in parts.iter().enumerate() {
-                let input: Vec<bool> =
-                    spec.partitions[p].iter().map(|&row| patch[row]).collect();
+                let input: Vec<bool> = spec.partitions[p].iter().map(|&row| patch[row]).collect();
                 for (c, fire) in xbar.forward(&input, rng).into_iter().enumerate() {
                     if fire {
                         counts[c] += 1;
@@ -633,13 +633,7 @@ mod tests {
             &SplitBuildConfig::homogenized(DesignConstraints::paper_default()),
             &train.truncated(100),
         );
-        (
-            q.net,
-            split.net.specs(),
-            split.output_theta,
-            train,
-            test,
-        )
+        (q.net, split.net.specs(), split.output_theta, train, test)
     }
 
     #[test]
@@ -675,8 +669,7 @@ mod tests {
     fn noisy_device_degrades_gracefully() {
         let (qnet, specs, theta, _, test) = quantized_net2();
         let mut ideal = CrossbarNetwork::new(&qnet, &specs, theta, &CrossbarEvalConfig::ideal());
-        let mut noisy =
-            CrossbarNetwork::new(&qnet, &specs, theta, &CrossbarEvalConfig::default());
+        let mut noisy = CrossbarNetwork::new(&qnet, &specs, theta, &CrossbarEvalConfig::default());
         let e_ideal = ideal.error_rate(&test);
         let e_noisy = noisy.error_rate(&test);
         // The paper's Table 4/5: device non-idealities cost ≲ 1 % accuracy.

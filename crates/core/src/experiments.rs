@@ -21,6 +21,7 @@ use sei_nn::train::{TrainConfig, Trainer};
 use sei_nn::Network;
 use sei_quantize::algorithm1::{quantize_network, QuantizationResult, QuantizeConfig};
 use sei_quantize::distribution::ActivationDistribution;
+use sei_telemetry::{sei_debug, sei_info, span};
 use serde::{Deserialize, Serialize};
 
 /// A trained paper network plus its float test error.
@@ -73,10 +74,16 @@ impl Context {
 /// repeated table regenerations skip training. Delete the directory to
 /// retrain.
 pub fn prepare_context(scale: ExperimentScale, which: &[PaperNetwork]) -> Context {
-    let train = SynthConfig::new(scale.train, scale.seed).generate();
-    let test = SynthConfig::new(scale.test, scale.seed.wrapping_add(1)).generate();
-    let cache_dir = std::env::var("SEI_MODEL_DIR")
-        .unwrap_or_else(|_| "target/sei-models".to_string());
+    let _prepare = span!("prepare_context");
+    let (train, test) = {
+        let _span = span!("data_gen");
+        (
+            SynthConfig::new(scale.train, scale.seed).generate(),
+            SynthConfig::new(scale.test, scale.seed.wrapping_add(1)).generate(),
+        )
+    };
+    let cache_dir =
+        std::env::var("SEI_MODEL_DIR").unwrap_or_else(|_| "target/sei-models".to_string());
     let models = which
         .iter()
         .map(|&w| {
@@ -88,8 +95,19 @@ pub fn prepare_context(scale: ExperimentScale, which: &[PaperNetwork]) -> Contex
                 scale.seed
             ));
             let net = match sei_nn::serialize::load(&cache_path) {
-                Ok(net) => net,
+                Ok(net) => {
+                    sei_info!("{}: loaded cached model {}", w.name(), cache_path.display());
+                    net
+                }
                 Err(_) => {
+                    let _span = span!("train");
+                    sei_info!(
+                        "{}: training ({} samples, {} epochs, seed {})",
+                        w.name(),
+                        scale.train,
+                        scale.epochs,
+                        scale.seed
+                    );
                     let mut net = w.build(scale.seed.wrapping_add(10));
                     Trainer::new(TrainConfig {
                         epochs: scale.epochs,
@@ -104,6 +122,7 @@ pub fn prepare_context(scale: ExperimentScale, which: &[PaperNetwork]) -> Contex
                 }
             };
             let float_error = error_rate(&net, &test);
+            sei_info!("{}: float test error {float_error:.4}", w.name());
             TrainedModel {
                 which: w,
                 net,
@@ -125,6 +144,7 @@ pub fn prepare_context(scale: ExperimentScale, which: &[PaperNetwork]) -> Contex
 
 /// Runs the Table 1 analysis for every prepared network.
 pub fn table1(ctx: &Context) -> Vec<(PaperNetwork, ActivationDistribution)> {
+    let _span = span!("table1");
     ctx.models
         .iter()
         .map(|m| {
@@ -153,10 +173,14 @@ pub struct Table3Row {
 
 /// Quantizes each prepared network with Algorithm 1 and scores both.
 pub fn table3(ctx: &Context, cfg: &QuantizeConfig) -> Vec<Table3Row> {
+    let _span = span!("table3");
     ctx.models
         .iter()
         .map(|m| {
-            let q = quantize_network(&m.net, &ctx.calib(), cfg);
+            let q = {
+                let _span = span!("quantization");
+                quantize_network(&m.net, &ctx.calib(), cfg)
+            };
             Table3Row {
                 network: m.which,
                 before: m.float_error,
@@ -173,6 +197,7 @@ pub fn table3(ctx: &Context, cfg: &QuantizeConfig) -> Vec<Table3Row> {
 /// Cost report of the DAC+ADC design for a network (Fig. 1's subject:
 /// Network 1 with 8-bit data).
 pub fn fig1(net: &Network, constraints: &DesignConstraints, params: &CostParams) -> CostReport {
+    let _span = span!("fig1");
     let plan = DesignPlan::plan(net, paper::INPUT_SHAPE, Structure::DacAdc, constraints);
     CostReport::analyze(&plan, params)
 }
@@ -208,6 +233,7 @@ pub struct Table4Column {
 ///
 /// `random_orders` controls how many random partitions are sampled (the
 /// paper samples 500); each is scored on `test`.
+#[allow(clippy::too_many_arguments)]
 pub fn table4_column(
     model: &TrainedModel,
     quantized: &QuantizationResult,
@@ -218,6 +244,7 @@ pub fn table4_column(
     random_orders: usize,
     seed: u64,
 ) -> Table4Column {
+    let _span = span!("table4_column");
     let calib = train.truncated(calib_n);
     let constraints = DesignConstraints::paper_default().with_max_crossbar(max_crossbar);
     let original = error_rate(&model.net, test);
@@ -229,7 +256,10 @@ pub fn table4_column(
         seed,
         ..SplitBuildConfig::homogenized(constraints).uncalibrated()
     };
-    let homog = build_split_network(&quantized.net, &homog_cfg, &calib);
+    let homog = {
+        let _span = span!("split_homogenized");
+        build_split_network(&quantized.net, &homog_cfg, &calib)
+    };
     let homog_err = split_error_rate(&homog.net, test);
 
     // Homogenized + dynamic threshold: the paper's row is the static
@@ -240,10 +270,14 @@ pub fn table4_column(
             .uncalibrated()
             .with_dynamic_threshold()
     };
-    let dynamic = build_split_network(&quantized.net, &dyn_cfg, &calib);
+    let dynamic = {
+        let _span = span!("split_dynamic_threshold");
+        build_split_network(&quantized.net, &dyn_cfg, &calib)
+    };
     let dyn_err = split_error_rate(&dynamic.net, test);
 
     // Random orders, uncompensated (the paper's failure-mode row).
+    let _random_span = span!("split_random_orders");
     let mut random_min = f32::MAX;
     let mut random_max = f32::MIN;
     for i in 0..random_orders {
@@ -327,20 +361,34 @@ pub fn table5_block(
     params: &CostParams,
     device_eval_n: usize,
 ) -> Vec<Table5Row> {
+    let _span = span!("table5_block");
     let model = ctx.model(which);
     let constraints = DesignConstraints::paper_default().with_max_crossbar(max_crossbar);
     let calib = ctx.calib();
 
-    let acc = AcceleratorBuilder::new(model.net.clone())
-        .with_constraints(constraints)
-        .with_cost_params(*params)
-        .with_seed(ctx.scale.seed)
-        .build(&calib);
+    let acc = {
+        let _span = span!("build_accelerator");
+        AcceleratorBuilder::new(model.net.clone())
+            .with_constraints(constraints)
+            .with_cost_params(*params)
+            .with_seed(ctx.scale.seed)
+            .build(&calib)
+    };
 
     let float_err = model.float_error;
-    let q_err = acc.error_rate_quantized(&ctx.test);
-    let sei_err = acc.error_rate_split(&ctx.test);
+    let (q_err, sei_err) = {
+        let _span = span!("split_eval");
+        (
+            acc.error_rate_quantized(&ctx.test),
+            acc.error_rate_split(&ctx.test),
+        )
+    };
     let (device_err, baseline_device_err) = if device_eval_n > 0 {
+        let _span = span!("device_noise_eval");
+        sei_debug!(
+            "{}: device-level eval on {device_eval_n} samples",
+            which.name()
+        );
         let subset = ctx.test.truncated(device_eval_n);
         let mut xnet = acc.crossbar_network();
         let mut baseline = crate::baseline_eval::BaselineNetwork::new(
@@ -401,6 +449,7 @@ pub fn device_bits_sweep(
     bits: &[u32],
     eval_n: usize,
 ) -> Vec<(u32, f32)> {
+    let _span = span!("device_bits_sweep");
     let model = ctx.model(which);
     let calib = ctx.calib();
     bits.iter()

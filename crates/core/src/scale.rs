@@ -14,6 +14,7 @@
 //! | `SEI_EPOCHS` | training epochs | 4 |
 //! | `SEI_SEED` | global seed | 1 |
 
+use sei_telemetry::env::{parse_lookup, EnvError};
 use serde::{Deserialize, Serialize};
 
 /// Sample-count and seed configuration for experiment drivers.
@@ -44,23 +45,24 @@ impl Default for ExperimentScale {
 }
 
 impl ExperimentScale {
-    /// Reads the scale from `SEI_*` environment variables, falling back to
-    /// defaults.
-    pub fn from_env() -> Self {
-        fn get(name: &str, default: usize) -> usize {
-            std::env::var(name)
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(default)
-        }
+    /// Reads the scale from `SEI_*` environment variables. Unset variables
+    /// keep their defaults; set-but-malformed values are rejected with an
+    /// error naming the variable and the expected form (never silently
+    /// replaced by a default).
+    pub fn from_env() -> Result<Self, EnvError> {
+        Self::from_lookup(|name| std::env::var(name).ok())
+    }
+
+    /// Lookup-injectable core of [`from_env`](Self::from_env), for tests.
+    pub fn from_lookup(get: impl Fn(&str) -> Option<String>) -> Result<Self, EnvError> {
         let d = ExperimentScale::default();
-        ExperimentScale {
-            train: get("SEI_TRAIN_N", d.train),
-            test: get("SEI_TEST_N", d.test),
-            calib: get("SEI_CALIB_N", d.calib),
-            epochs: get("SEI_EPOCHS", d.epochs),
-            seed: get("SEI_SEED", d.seed as usize) as u64,
-        }
+        Ok(ExperimentScale {
+            train: parse_lookup(&get, "SEI_TRAIN_N", "a sample count (usize)")?.unwrap_or(d.train),
+            test: parse_lookup(&get, "SEI_TEST_N", "a sample count (usize)")?.unwrap_or(d.test),
+            calib: parse_lookup(&get, "SEI_CALIB_N", "a sample count (usize)")?.unwrap_or(d.calib),
+            epochs: parse_lookup(&get, "SEI_EPOCHS", "an epoch count (usize)")?.unwrap_or(d.epochs),
+            seed: parse_lookup(&get, "SEI_SEED", "a seed (u64)")?.unwrap_or(d.seed),
+        })
     }
 
     /// A tiny scale for unit/integration tests (seconds, not minutes).
@@ -91,5 +93,33 @@ mod tests {
         let t = ExperimentScale::tiny();
         let d = ExperimentScale::default();
         assert!(t.train < d.train && t.test < d.test);
+    }
+
+    #[test]
+    fn from_lookup_unset_uses_defaults() {
+        let s = ExperimentScale::from_lookup(|_| None).unwrap();
+        assert_eq!(s, ExperimentScale::default());
+    }
+
+    #[test]
+    fn from_lookup_reads_values() {
+        let s = ExperimentScale::from_lookup(|name| match name {
+            "SEI_TRAIN_N" => Some("123".to_string()),
+            "SEI_SEED" => Some("9".to_string()),
+            _ => None,
+        })
+        .unwrap();
+        assert_eq!(s.train, 123);
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.test, ExperimentScale::default().test);
+    }
+
+    #[test]
+    fn from_lookup_rejects_malformed() {
+        let err =
+            ExperimentScale::from_lookup(|name| (name == "SEI_EPOCHS").then(|| "many".to_string()))
+                .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("SEI_EPOCHS") && msg.contains("many"), "{msg}");
     }
 }

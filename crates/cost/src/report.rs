@@ -192,8 +192,8 @@ fn layer_cost(
     // --- area ---
     let a_dac = l.dacs as f64 * params.dac_area;
     let a_adc = l.adcs as f64 * params.adc_area;
-    let a_rram = l.total_cells() as f64 * params.cell_area
-        + l.total_rows() as f64 * params.row_driver_area;
+    let a_rram =
+        l.total_cells() as f64 * params.cell_area + l.total_rows() as f64 * params.row_driver_area;
     let a_sa = l.sas as f64 * params.sa_area;
     let a_digital = (l.merge_adders + l.vote_units) as f64 * params.digital_unit_area
         + l.pool_or_gates as f64 * params.or_gate_area;

@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use sei_device::{DeviceSpec, IvCurve, ProgrammedCell, WriteVerify};
 use sei_nn::Matrix;
+use sei_telemetry::counters::{self, Event};
 
 /// A programmed `rows × cols` analog crossbar.
 #[derive(Debug, Clone)]
@@ -121,12 +122,13 @@ impl CrossbarArray {
         assert_eq!(voltages.len(), self.rows, "one voltage per row required");
         let mut currents = vec![0.0f64; self.cols];
         let mut variances = vec![0.0f64; self.cols];
-        for r in 0..self.rows {
-            let v = voltages[r];
+        let mut power = 0.0f64; // Σ v·i over driven cells
+        for (r, &v) in voltages.iter().enumerate() {
             if v == 0.0 {
                 continue;
             }
             let row = &self.conductances[r * self.cols..(r + 1) * self.cols];
+            let mut row_current = 0.0f64;
             for c in 0..self.cols {
                 let mut contrib = self.iv.current(row[c], v);
                 if let Some(ir) = &self.ir_drop {
@@ -134,8 +136,13 @@ impl CrossbarArray {
                 }
                 currents[c] += contrib;
                 variances[c] += contrib * contrib;
+                row_current += contrib;
             }
+            power += v * row_current;
         }
+        // One analog read of the array; E = t_read · Σ v·i.
+        counters::add(Event::CrossbarReadOps, 1);
+        counters::add_energy_joules(self.spec.read_pulse * power);
         if self.spec.read_sigma > 0.0 {
             for (i, cur) in currents.iter_mut().enumerate() {
                 let std = self.spec.read_sigma * variances[i].sqrt();
@@ -151,8 +158,7 @@ impl CrossbarArray {
     pub fn ideal_column_currents(&self, voltages: &[f64]) -> Vec<f64> {
         assert_eq!(voltages.len(), self.rows, "one voltage per row required");
         let mut currents = vec![0.0f64; self.cols];
-        for r in 0..self.rows {
-            let v = voltages[r];
+        for (r, &v) in voltages.iter().enumerate() {
             if v == 0.0 {
                 continue;
             }

@@ -79,8 +79,7 @@ impl ComputeDecoder {
             DecoderMode::Compute => match self.kind {
                 DecoderKind::Traditional => vec![true; self.rows],
                 DecoderKind::Sei => {
-                    let bits = input_bits
-                        .expect("SEI decoder requires input bits during compute");
+                    let bits = input_bits.expect("SEI decoder requires input bits during compute");
                     assert_eq!(bits.len(), self.rows, "one input bit per row");
                     bits.to_vec()
                 }

@@ -20,8 +20,8 @@ use crate::dac::Dac;
 use rand::rngs::StdRng;
 use sei_device::{DeviceSpec, WriteVerify};
 use sei_nn::Matrix;
+use sei_telemetry::counters::{self, Event};
 use serde::{Deserialize, Serialize};
-
 
 /// Configuration of a merged (traditional) crossbar block.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -86,12 +86,7 @@ impl MergedCrossbar {
     ///
     /// Panics if the configuration is out of range (bits 1..=16) or the
     /// matrix is wider than the fabrication limit.
-    pub fn new(
-        spec: &DeviceSpec,
-        weights: &Matrix,
-        cfg: &MergedConfig,
-        rng: &mut StdRng,
-    ) -> Self {
+    pub fn new(spec: &DeviceSpec, weights: &Matrix, cfg: &MergedConfig, rng: &mut StdRng) -> Self {
         assert!((1..=16).contains(&cfg.weight_bits), "weight bits");
         let (n, m) = (weights.rows(), weights.cols());
         assert!(
@@ -124,9 +119,8 @@ impl MergedCrossbar {
             for r in 0..rows {
                 for c in 0..m {
                     let v = weights.get(start + r, c);
-                    let code = ((f64::from(v.abs()) / f64::from(w_scale) * max_code)
-                        .round())
-                    .min(max_code) as u32;
+                    let code = ((f64::from(v.abs()) / f64::from(w_scale) * max_code).round())
+                        .min(max_code) as u32;
                     let hi = (code >> spec.bits) & (spec.levels() - 1);
                     let lo = code & (spec.levels() - 1);
                     let base = if v < 0.0 { 2 } else { 0 };
@@ -209,6 +203,14 @@ impl MergedCrossbar {
     /// Panics if `x.len()` does not match the matrix rows.
     pub fn matvec(&self, x: &[f32], rng: &mut StdRng) -> Vec<f32> {
         assert_eq!(x.len(), self.rows, "one activation per row");
+        // One DAC conversion per logical row; each crossbar copy digitizes
+        // every kernel column (the read ops themselves are counted inside
+        // `column_currents`).
+        counters::add(Event::DacConversions, self.rows as u64);
+        counters::add(
+            Event::AdcConversions,
+            (self.copy_count() * self.cols) as u64,
+        );
         let volts: Vec<f64> = x
             .iter()
             .map(|&v| self.dac.convert_normalized(f64::from(v).clamp(0.0, 1.0)))
@@ -282,7 +284,11 @@ mod tests {
         let mut tall = Matrix::zeros(1024, 2);
         for r in 0..1024 {
             for c in 0..2 {
-                tall.set(r, c, w.get(r % 300, c) * if r % 2 == 0 { 1.0 } else { -0.5 });
+                tall.set(
+                    r,
+                    c,
+                    w.get(r % 300, c) * if r % 2 == 0 { 1.0 } else { -0.5 },
+                );
             }
         }
         let mut rng = StdRng::seed_from_u64(10);
@@ -301,13 +307,12 @@ mod tests {
         // Chunked matvec still tracks the true product.
         let x: Vec<f32> = (0..1024).map(|i| ((i % 5) as f32) / 5.0).collect();
         let y = xbar.matvec(&x, &mut rng);
-        for c in 0..2 {
+        for (c, &yc) in y.iter().enumerate() {
             let expect: f32 = (0..1024).map(|r| tall.get(r, c) * x[r]).sum();
             let scale: f32 = (0..1024).map(|r| tall.get(r, c).abs()).sum();
             assert!(
-                (y[c] - expect).abs() < 0.02 * scale.max(1.0),
-                "col {c}: {} vs {expect}",
-                y[c]
+                (yc - expect).abs() < 0.02 * scale.max(1.0),
+                "col {c}: {yc} vs {expect}"
             );
         }
     }
@@ -328,15 +333,14 @@ mod tests {
         let x: Vec<f32> = (0..8).map(|i| (i as f32) / 8.0).collect();
         let y = xbar.matvec(&x, &mut rng);
         let scale = w.as_slice().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
-        for c in 0..4 {
+        for (c, &yc) in y.iter().enumerate() {
             let mut expect = 0.0f32;
-            for r in 0..8 {
-                expect += w.get(r, c) * x[r];
+            for (r, &xv) in x.iter().enumerate() {
+                expect += w.get(r, c) * xv;
             }
             assert!(
-                (y[c] - expect).abs() < 0.12 * scale.max(1.0),
-                "col {c}: merged {} vs true {expect}",
-                y[c]
+                (yc - expect).abs() < 0.12 * scale.max(1.0),
+                "col {c}: merged {yc} vs true {expect}"
             );
         }
     }

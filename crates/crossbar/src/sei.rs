@@ -43,8 +43,9 @@ use crate::senseamp::SenseAmp;
 use crate::MAX_FABRICABLE_SIZE;
 use rand::rngs::StdRng;
 use rand::Rng;
-use sei_device::{DeviceSpec, ProgrammedCell, WriteVerify};
+use sei_device::{DeviceEnergy, DeviceSpec, ProgrammedCell, WriteVerify};
 use sei_nn::Matrix;
+use sei_telemetry::counters::{self, Event};
 use serde::{Deserialize, Serialize};
 
 /// How signed weights are realized on the crossbar (§4.1 vs §4.2).
@@ -127,6 +128,8 @@ pub struct SeiCrossbar {
     kappa: f64,
     read_sigma: f64,
     write_pulses: u64,
+    /// Mean-conductance read energy of one cell (joules), for telemetry.
+    cell_read_energy: f64,
 }
 
 /// Base-`2^device_bits` digit decomposition of an unsigned code, most
@@ -220,9 +223,8 @@ impl SeiCrossbar {
             (out.cell.conductance() - spec.g_min) / (spec.g_max - spec.g_min)
         };
 
-        let encode_unsigned = |v: f64| -> u32 {
-            (((v - lo) / span * max_code).round().clamp(0.0, max_code)) as u32
-        };
+        let encode_unsigned =
+            |v: f64| -> u32 { (((v - lo) / span * max_code).round().clamp(0.0, max_code)) as u32 };
         let encode_magnitude = |v: f64| -> (f64, u32) {
             let sign = if v < 0.0 { -1.0 } else { 1.0 };
             let code = ((v.abs() / span * max_code).round().min(max_code)) as u32;
@@ -312,6 +314,8 @@ impl SeiCrossbar {
             kappa,
             read_sigma: spec.read_sigma,
             write_pulses,
+            cell_read_energy: DeviceEnergy::from_spec(spec)
+                .read_energy(0.5 * (spec.g_min + spec.g_max)),
         }
     }
 
@@ -356,19 +360,29 @@ impl SeiCrossbar {
         let w = self.cols + 1;
         let mut sums = vec![0.0f64; w];
         let mut vars = vec![0.0f64; w];
+        let mut gated_on = 0u64;
+        let mut active_rows = 0u64;
         for row in &self.rows {
-            let active = match row.gate {
-                Gate::Input(j) => input[j],
-                Gate::AlwaysOn => true,
-            };
-            if !active {
-                continue;
+            match row.gate {
+                Gate::Input(j) => {
+                    if !input[j] {
+                        continue;
+                    }
+                    gated_on += 1;
+                }
+                Gate::AlwaysOn => {}
             }
+            active_rows += 1;
             for (k, &c) in row.contribs.iter().enumerate() {
                 sums[k] += c;
                 vars[k] += c * c;
             }
         }
+        // Batched per read: one op, `gated_on` transmission-gate switches,
+        // and mean-conductance read energy over the active cells.
+        counters::add(Event::CrossbarReadOps, 1);
+        counters::add(Event::GateSwitches, gated_on);
+        counters::add_energy_joules(active_rows as f64 * w as f64 * self.cell_read_energy);
         if let Some(rng) = noise {
             if self.read_sigma > 0.0 {
                 for (s, &v) in sums.iter_mut().zip(&vars) {
@@ -387,6 +401,7 @@ impl SeiCrossbar {
     pub fn forward(&self, input: &[bool], rng: &mut StdRng) -> Vec<bool> {
         let sums = self.sums(input, Some(rng));
         let reference = sums[self.cols];
+        counters::add(Event::SenseAmpFires, self.cols as u64);
         (0..self.cols)
             .map(|k| self.sas[k].decide(sums[k], reference, rng))
             .collect()
@@ -578,7 +593,10 @@ mod tests {
                 (margins[0] - 0.25).abs() < 0.02,
                 "{mode:?} margin {margins:?}"
             );
-            assert!((margins[1] - 0.5).abs() < 0.02, "{mode:?} margin {margins:?}");
+            assert!(
+                (margins[1] - 0.5).abs() < 0.02,
+                "{mode:?} margin {margins:?}"
+            );
         }
     }
 

@@ -9,6 +9,7 @@
 use crate::spec::DeviceSpec;
 use rand::rngs::StdRng;
 use rand::Rng;
+use sei_telemetry::counters::{self, Event};
 use serde::{Deserialize, Serialize};
 
 /// Result of programming one cell.
@@ -92,6 +93,9 @@ impl ProgrammedCell {
                 converged = (achieved - target_g).abs() <= tol;
             }
         }
+
+        counters::add(Event::WritePulses, u64::from(pulses));
+        counters::add_energy_joules(spec.write_pulse_energy * f64::from(pulses));
 
         ProgramWithOutcome {
             outcome: ProgramOutcome {

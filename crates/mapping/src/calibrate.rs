@@ -33,6 +33,7 @@ use rand::SeedableRng;
 use sei_nn::data::Dataset;
 use sei_nn::Matrix;
 use sei_quantize::qnet::{QLayer, QValue, QuantizedNetwork};
+use sei_telemetry::{sei_debug, span};
 use serde::{Deserialize, Serialize};
 
 /// How the rows of an oversized matrix are assigned to partitions.
@@ -197,11 +198,13 @@ pub fn build_split_network(
     cfg: &SplitBuildConfig,
     calib: &Dataset,
 ) -> CalibratedSplit {
+    let _build_span = span!("build_split_network");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut specs: Vec<Option<SplitSpec>> = Vec::with_capacity(qnet.layers().len());
     let mut distances = Vec::new();
     let mut output_split = false;
 
+    let partition_span = span!("partition");
     for (i, layer) in qnet.layers().iter().enumerate() {
         let Some((wm, is_output)) = layer_matrix(layer) else {
             specs.push(None);
@@ -230,6 +233,7 @@ pub fn build_split_network(
         output_split |= is_output;
         specs.push(Some(SplitSpec::new(partition)));
     }
+    drop(partition_span);
 
     // Observed class-score distribution of the (unsplit) quantized net —
     // the candidate source for θ_out and the thermometer spread. Only the
@@ -320,8 +324,7 @@ pub fn build_split_network(
         // by running just this layer with stats enabled.
         let mut stats = vec![OnesStats::default(); n_split];
         for v in &prefix {
-            let _ =
-                net.forward_range_with_stats(v.clone(), layer_idx, layer_idx + 1, &mut stats);
+            let _ = net.forward_range_with_stats(v.clone(), layer_idx, layer_idx + 1, &mut stats);
         }
         if stats[which].count > 0 {
             net.set_mean_ones(which, stats[which].means());
@@ -344,6 +347,7 @@ pub fn build_split_network(
         if cfg.calibrate {
             if net.split_is_output(which) {
                 // θ_out × thermometer-δ grid.
+                let _theta_span = span!("output_theta_delta_grid");
                 let k = net.split_parts(which);
                 let theta_cands: Vec<f32> = if let Some(t) = cfg.fixed_output_theta {
                     vec![t]
@@ -403,6 +407,7 @@ pub fn build_split_network(
                 net.set_part_offsets(which, offsets);
             } else {
                 // (α, D) grid for hidden layers.
+                let _alpha_span = span!("alpha_d_grid");
                 let k = net.split_parts(which);
                 let d_cands: Vec<usize> = (1..=k).collect();
                 let mut best = (f32::MIN, 1.0f32, VoteRule::Majority.required(k));
@@ -418,8 +423,13 @@ pub fn build_split_network(
                 }
                 net.set_theta_scale(which, best.1);
                 net.set_vote(which, VoteRule::AtLeast(best.2));
+                sei_debug!(
+                    "split layer {layer_idx}: alpha {:.3}, D {} (calib acc {:.4})",
+                    best.1,
+                    best.2,
+                    best.0
+                );
             }
-
         }
 
         // β line search (needs ē_k, set above). Runs whenever a grid is
@@ -427,6 +437,7 @@ pub fn build_split_network(
         // paper's "Dynamic Threshold" row is plain homogenization plus this
         // compensation.
         if !cfg.beta_grid.is_empty() {
+            let _beta_span = span!("beta_search");
             let mut best = (f32::MIN, 0.0f32);
             for &beta in &cfg.beta_grid {
                 net.set_beta(which, beta);
@@ -437,6 +448,7 @@ pub fn build_split_network(
             }
             net.set_beta(which, best.1);
             betas[which] = best.1;
+            sei_debug!("split layer {layer_idx}: beta {:.3}", best.1);
         }
     }
 

@@ -14,10 +14,10 @@
 //!   calibrated firing threshold `output_theta`.
 
 use crate::split::SplitSpec;
-use serde::{Deserialize, Serialize};
+use sei_nn::{Matrix, Tensor3};
 use sei_quantize::bits::BitTensor;
 use sei_quantize::qnet::{QLayer, QValue, QuantizedNetwork};
-use sei_nn::{Matrix, Tensor3};
+use serde::{Deserialize, Serialize};
 
 /// How a *split output (classifier) layer* is read out.
 ///
@@ -159,6 +159,11 @@ impl SplitNetwork {
                 other => panic!("cannot split layer kind {other:?}"),
             }
         }
+        sei_telemetry::sei_debug!(
+            "split network: {} layers, split at {:?}",
+            layers.len(),
+            split_indices
+        );
         SplitNetwork {
             layers,
             split_indices,
@@ -189,9 +194,7 @@ impl SplitNetwork {
             .iter()
             .map(|l| match l {
                 SLayer::Plain(_) => None,
-                SLayer::SplitConv { spec, .. } | SLayer::SplitFc { spec, .. } => {
-                    Some(spec.clone())
-                }
+                SLayer::SplitConv { spec, .. } | SLayer::SplitFc { spec, .. } => Some(spec.clone()),
             })
             .collect()
     }
@@ -664,10 +667,7 @@ mod tests {
         let spec = SplitSpec::new(natural_order(6, 1));
         let bits = [true, false, true, true, false, true];
         let (_, counts) = split_fc_votes(&wm, linear.bias(), *threshold, &spec, &bits, None);
-        let pre = fc_binary_preact(
-            linear,
-            &BitTensor::from_vec(6, 1, 1, bits.to_vec()),
-        );
+        let pre = fc_binary_preact(linear, &BitTensor::from_vec(6, 1, 1, bits.to_vec()));
         for (c, &cnt) in counts.iter().enumerate() {
             let direct = pre.as_slice()[c] > *threshold;
             assert_eq!(cnt >= 1, direct, "column {c}");
@@ -714,7 +714,7 @@ mod tests {
         let qnet = tiny_qnet();
         let specs = vec![Some(SplitSpec::new(natural_order(6, 2))), None];
         let net = SplitNetwork::new(&qnet, specs, None);
-        let mut stats = vec![OnesStats::default()];
+        let mut stats = [OnesStats::default()];
         // Input must be analog→bits; tiny_qnet starts with a binary layer,
         // so feed bits through the internal API by constructing a dataset
         // of "bit images": a 6-element image thresholded at 0.5 upstream is
@@ -763,7 +763,10 @@ mod tests {
         // Dynamic β=1: part1 sees 0 active inputs → θ_1 = 0 → bias 0.0055 > 0 fires.
         spec.beta = 1.0;
         let (_, counts) = split_fc_votes(&wm, linear.bias(), theta, &spec, &bits, None);
-        assert_eq!(counts[0], 2, "dynamic threshold should rescue the sparse part");
+        assert_eq!(
+            counts[0], 2,
+            "dynamic threshold should rescue the sparse part"
+        );
     }
 
     #[test]

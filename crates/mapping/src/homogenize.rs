@@ -21,6 +21,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use sei_nn::Matrix;
+use sei_telemetry::{span, Heartbeat};
 use serde::{Deserialize, Serialize};
 
 /// A partition of row indices `0..n` into `K` groups.
@@ -216,6 +217,7 @@ pub fn genetic(matrix: &Matrix, k: usize, cfg: &GaConfig, rng: &mut StdRng) -> P
     if k == 1 {
         return natural_order(n, 1);
     }
+    let _ga_span = span!("homogenize_ga");
 
     let lambda = cfg.second_moment_weight;
     let score = |order: &[usize]| {
@@ -243,7 +245,8 @@ pub fn genetic(matrix: &Matrix, k: usize, cfg: &GaConfig, rng: &mut StdRng) -> P
     }
     population.sort_by(|a, b| a.1.total_cmp(&b.1));
 
-    for _ in 0..cfg.generations {
+    let mut heartbeat = Heartbeat::new("homogenization GA");
+    for generation in 0..cfg.generations {
         let mut children = Vec::with_capacity(cfg.offspring);
         for _ in 0..cfg.offspring {
             // Tournament-select a parent biased toward the front.
@@ -262,6 +265,7 @@ pub fn genetic(matrix: &Matrix, k: usize, cfg: &GaConfig, rng: &mut StdRng) -> P
         population.extend(children);
         population.sort_by(|a, b| a.1.total_cmp(&b.1));
         population.truncate(cfg.population);
+        heartbeat.tick(generation + 1, cfg.generations, population[0].1);
     }
 
     chunks_of_order(population[0].0.clone(), k)
@@ -351,9 +355,7 @@ mod tests {
         let natural = natural_order(8, 2);
         // Interleaved partition is far more homogeneous.
         let interleaved: Partition = vec![vec![0, 2, 4, 6], vec![1, 3, 5, 7]];
-        assert!(
-            mean_vector_distance(&m, &interleaved) < mean_vector_distance(&m, &natural) / 2.0
-        );
+        assert!(mean_vector_distance(&m, &interleaved) < mean_vector_distance(&m, &natural) / 2.0);
     }
 
     #[test]
@@ -436,9 +438,8 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(4);
         let p = genetic(&m, 2, &cfg, &mut rng);
-        let combined = |p: &Partition| {
-            mean_vector_distance(&m, p) + 0.5 * second_moment_distance(&m, p)
-        };
+        let combined =
+            |p: &Partition| mean_vector_distance(&m, p) + 0.5 * second_moment_distance(&m, p);
         assert!(combined(&p) <= combined(&natural_order(16, 2)) + 1e-9);
     }
 

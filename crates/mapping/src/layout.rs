@@ -340,7 +340,13 @@ mod tests {
         // §5.1: "the ADC-based method implements the matrix in 300×64
         // crossbar but demands total 4 crossbars".
         assert_eq!(conv2.crossbars.len(), 4);
-        assert_eq!(conv2.crossbars[0], CrossbarInstance { rows: 300, cols: 64 });
+        assert_eq!(
+            conv2.crossbars[0],
+            CrossbarInstance {
+                rows: 300,
+                cols: 64
+            }
+        );
         assert_eq!(conv2.dacs, 300);
         assert_eq!(conv2.adcs, 4 * 64);
         assert_eq!(conv2.computes_per_picture, 64);
@@ -358,7 +364,13 @@ mod tests {
         // adds the bias row and reference column: (100+1)·4 = 404 rows,
         // 65 columns).
         assert_eq!(conv2.crossbars.len(), 3);
-        assert_eq!(conv2.crossbars[0], CrossbarInstance { rows: 404, cols: 65 });
+        assert_eq!(
+            conv2.crossbars[0],
+            CrossbarInstance {
+                rows: 404,
+                cols: 65
+            }
+        );
         assert_eq!(conv2.adcs, 0);
         assert_eq!(conv2.dacs, 0);
         assert_eq!(conv2.sas, 3 * 64);

@@ -189,7 +189,10 @@ mod tests {
         let expected = spec.part_threshold(theta, 0, 2); // at calibration mean
         let busy = spec.part_threshold(theta, 0, 4); // double the mean
         assert!(quiet < expected && expected < busy);
-        assert!((expected - theta / 3.0).abs() < 1e-6, "at ē the rule is static");
+        assert!(
+            (expected - theta / 3.0).abs() < 1e-6,
+            "at ē the rule is static"
+        );
     }
 
     #[test]

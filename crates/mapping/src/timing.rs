@@ -188,11 +188,7 @@ mod tests {
     #[test]
     fn throughput_set_by_slowest_stage() {
         let t = timing(Structure::Sei, 1);
-        let slowest = t
-            .layers
-            .iter()
-            .map(|l| l.latency_ns)
-            .fold(0.0f64, f64::max);
+        let slowest = t.layers.iter().map(|l| l.latency_ns).fold(0.0f64, f64::max);
         assert!((t.throughput_pps() - 1e9 / slowest).abs() < 1e-6);
     }
 

@@ -99,10 +99,7 @@ mod tests {
 
     #[test]
     fn truncated_clamps() {
-        let d = Dataset::new(
-            vec![Tensor3::zeros(1, 28, 28); 5],
-            vec![0, 1, 2, 3, 4],
-        );
+        let d = Dataset::new(vec![Tensor3::zeros(1, 28, 28); 5], vec![0, 1, 2, 3, 4]);
         assert_eq!(d.truncated(3).len(), 3);
         assert_eq!(d.truncated(99).len(), 5);
         assert_eq!(d.truncated(3).labels(), &[0, 1, 2]);

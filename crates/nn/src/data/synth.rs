@@ -212,10 +212,7 @@ fn digit_strokes(digit: u8) -> Vec<Vec<(f32, f32)>> {
         5 => {
             let mut bowl = vec![(0.32, 0.48)];
             bowl.extend(arc(0.44, 0.66, 0.26, 0.2, -0.5 * PI, 0.55 * PI, 12));
-            vec![
-                vec![(0.74, 0.14), (0.32, 0.14), (0.32, 0.48)],
-                bowl,
-            ]
+            vec![vec![(0.74, 0.14), (0.32, 0.14), (0.32, 0.48)], bowl]
         }
         6 => {
             let mut tail = vec![(0.66, 0.12)];

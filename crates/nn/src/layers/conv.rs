@@ -290,7 +290,8 @@ mod tests {
     #[test]
     fn forward_known_single_pixel() {
         let mut c = Conv2d::zeros(1, 1, 3);
-        c.weights_mut().copy_from_slice(&[0., 0., 0., 0., 1., 0., 0., 0., 0.]);
+        c.weights_mut()
+            .copy_from_slice(&[0., 0., 0., 0., 1., 0., 0., 0., 0.]);
         c.bias_mut()[0] = 2.0;
         let mut x = Tensor3::zeros(1, 3, 3);
         x.set(0, 1, 1, 7.0);
@@ -318,8 +319,8 @@ mod tests {
         // pick output position (1, 2): row index 1*3+2 = 5
         let patch = cols.row(5);
         let prods = wm.vecmat(patch);
-        for o in 0..3 {
-            let expect = prods[o] + c.bias()[o];
+        for (o, &p) in prods.iter().enumerate() {
+            let expect = p + c.bias()[o];
             assert!((y.get(o, 1, 2) - expect).abs() < 1e-5);
         }
     }

@@ -199,8 +199,8 @@ mod tests {
         let x = [1.0, 2.0, -1.0];
         let y = l.forward(&Tensor3::from_flat(x.to_vec()));
         let via_matrix = l.weight_matrix().vecmat(&x);
-        for o in 0..2 {
-            assert!((y.as_slice()[o] - (via_matrix[o] + l.bias()[o])).abs() < 1e-6);
+        for (o, &v) in via_matrix.iter().enumerate() {
+            assert!((y.as_slice()[o] - (v + l.bias()[o])).abs() < 1e-6);
         }
     }
 

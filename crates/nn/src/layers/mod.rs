@@ -122,10 +122,7 @@ impl Layer {
             (Layer::Pool(p), LayerCache::Pool(argmax)) => (p.backward(x, argmax, grad_y), None),
             (Layer::Flatten, _) => {
                 let (c, h, w) = x.shape();
-                (
-                    Tensor3::from_vec(c, h, w, grad_y.as_slice().to_vec()),
-                    None,
-                )
+                (Tensor3::from_vec(c, h, w, grad_y.as_slice().to_vec()), None)
             }
             (Layer::Linear(l), _) => {
                 let (gx, pg) = l.backward(x, grad_y);

@@ -113,9 +113,7 @@ impl Network {
     ///
     /// Panics if any layer is incompatible with its input shape.
     pub fn output_shape(&self, input: (usize, usize, usize)) -> (usize, usize, usize) {
-        self.layers
-            .iter()
-            .fold(input, |s, l| l.output_shape(s))
+        self.layers.iter().fold(input, |s, l| l.output_shape(s))
     }
 
     /// Total multiply–accumulate operation count (×2 for the paper's

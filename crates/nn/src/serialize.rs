@@ -59,7 +59,11 @@ impl ParseNetworkError {
 
 impl core::fmt::Display for ParseNetworkError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "invalid network file (line {}): {}", self.line, self.message)
+        write!(
+            f,
+            "invalid network file (line {}): {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -154,18 +158,18 @@ pub fn from_str(text: &str) -> Result<Network, ParseNetworkError> {
         None => return Err(ParseNetworkError::new("expected `layers <n>`", ln)),
     };
 
-    let parse_floats = |line: &str, ln: usize, expect: usize| -> Result<Vec<f32>, ParseNetworkError> {
-        let vals: Result<Vec<f32>, _> = line.split_whitespace().map(str::parse).collect();
-        let vals =
-            vals.map_err(|_| ParseNetworkError::new("bad float literal", ln))?;
-        if vals.len() != expect {
-            return Err(ParseNetworkError::new(
-                format!("expected {expect} values, found {}", vals.len()),
-                ln,
-            ));
-        }
-        Ok(vals)
-    };
+    let parse_floats =
+        |line: &str, ln: usize, expect: usize| -> Result<Vec<f32>, ParseNetworkError> {
+            let vals: Result<Vec<f32>, _> = line.split_whitespace().map(str::parse).collect();
+            let vals = vals.map_err(|_| ParseNetworkError::new("bad float literal", ln))?;
+            if vals.len() != expect {
+                return Err(ParseNetworkError::new(
+                    format!("expected {expect} values, found {}", vals.len()),
+                    ln,
+                ));
+            }
+            Ok(vals)
+        };
 
     let mut layers = Vec::with_capacity(count);
     for _ in 0..count {

@@ -308,13 +308,13 @@ impl Matrix {
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "matvec length mismatch");
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, out) in y.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
-            y[r] = acc;
+            *out = acc;
         }
         y
     }
@@ -329,8 +329,7 @@ impl Matrix {
     pub fn vecmat(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.rows, "vecmat length mismatch");
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xv = x[r];
+        for (r, &xv) in x.iter().enumerate() {
             if xv == 0.0 {
                 continue;
             }

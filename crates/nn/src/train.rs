@@ -7,6 +7,7 @@ use crate::network::Network;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use sei_telemetry::{span, Heartbeat};
 use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters for [`Trainer`].
@@ -113,6 +114,8 @@ impl Trainer {
     /// Trains `net` in place on `data`, returning per-epoch statistics.
     pub fn fit(&self, net: &mut Network, data: &Dataset) -> Vec<EpochStats> {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let _fit_span = span!("fit");
+        let mut heartbeat = Heartbeat::new("training");
         let mut rng = StdRng::seed_from_u64(self.cfg.shuffle_seed);
         let mut velocity = Velocity::for_network(net);
         let mut order: Vec<usize> = (0..data.len()).collect();
@@ -224,6 +227,11 @@ impl Trainer {
                 mean_loss: (loss_sum / data.len() as f64) as f32,
                 train_error: errors as f32 / data.len() as f32,
             });
+            heartbeat.tick(
+                epoch + 1,
+                self.cfg.epochs,
+                f64::from(1.0 - stats[epoch].train_error),
+            );
             lr *= self.cfg.lr_decay;
         }
         stats

@@ -63,8 +63,8 @@ proptest! {
         let wm = conv.weight_matrix();
         for pos in 0..9 {
             let prods = wm.vecmat(cols.row(pos));
-            for o in 0..2 {
-                prop_assert!((y.get(o, pos / 3, pos % 3) - prods[o]).abs() < 1e-4);
+            for (o, &p) in prods.iter().enumerate() {
+                prop_assert!((y.get(o, pos / 3, pos % 3) - p).abs() < 1e-4);
             }
         }
     }

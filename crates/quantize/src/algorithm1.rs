@@ -26,6 +26,7 @@ use crate::bits::BitTensor;
 use crate::qnet::{conv_binary_preact, fc_binary_preact, QLayer, QValue, QuantizedNetwork};
 use sei_nn::data::Dataset;
 use sei_nn::{Layer, Network, Tensor3};
+use sei_telemetry::{sei_debug, span, Heartbeat};
 use serde::{Deserialize, Serialize};
 
 /// What the threshold search optimizes.
@@ -154,6 +155,7 @@ pub fn quantize_network(
     cfg: &QuantizeConfig,
 ) -> QuantizationResult {
     assert!(!calib.is_empty(), "calibration set must not be empty");
+    let _quantize_span = span!("quantize_network");
     let weighted = net.weighted_layer_indices();
     assert!(!weighted.is_empty(), "network has no weighted layers");
     let last_weighted = *weighted.last().expect("non-empty");
@@ -177,11 +179,11 @@ pub fn quantize_network(
         match layer {
             Layer::Conv(_) | Layer::Linear(_) if idx != last_weighted => {
                 // --- Algorithm 1 body for hidden weighted layer `idx` ---
+                let _layer_span = span!("quantize_layer");
                 let first_layer_analog = matches!(states[0], QValue::Analog(_));
 
                 // (1) feedforward through already-quantized front layers.
-                let mut outs: Vec<Tensor3> =
-                    states.iter().map(|s| preact(layer, s)).collect();
+                let mut outs: Vec<Tensor3> = states.iter().map(|s| preact(layer, s)).collect();
 
                 // (2) weight re-scaling by the max output.
                 let mut max_out = 0.0f32;
@@ -230,16 +232,18 @@ pub fn quantize_network(
                         }
                     }
                 };
+                let mut heartbeat = Heartbeat::new("threshold search");
                 let mut best_theta = grid[0];
                 let mut best_score = f32::MIN;
                 let mut points = Vec::with_capacity(grid.len());
-                for &theta in &grid {
+                for (i, &theta) in grid.iter().enumerate() {
                     let score = score_of(theta);
                     points.push((theta, score));
                     if score > best_score {
                         best_score = score;
                         best_theta = theta;
                     }
+                    heartbeat.tick(i + 1, grid.len(), f64::from(best_score));
                 }
                 // Robustness extension beyond the paper's fixed range: a
                 // coarse global scan over the whole normalized range (the
@@ -260,6 +264,7 @@ pub fn quantize_network(
                         best_theta = t;
                         coarse_best = Some(t);
                     }
+                    heartbeat.tick(points.len(), 0, f64::from(best_score));
                     t += coarse_step;
                 }
                 if let Some(center) = coarse_best {
@@ -305,6 +310,10 @@ pub fn quantize_network(
                 if let Some(p) = pool_after {
                     qlayers.push(QLayer::PoolOr { size: p });
                 }
+                sei_debug!(
+                    "layer {idx}: threshold {best_theta:.4}, score {best_score:.4}, \
+                     scale {max_out:.4}"
+                );
                 thresholds.push(best_theta);
                 scales.push(max_out);
                 curves.push(SearchCurve {

@@ -161,7 +161,10 @@ impl BitTensor {
             self.c,
             self.h,
             self.w,
-            self.bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
+            self.bits
+                .iter()
+                .map(|&b| if b { 1.0 } else { 0.0 })
+                .collect(),
         )
     }
 }
@@ -228,7 +231,7 @@ mod tests {
     fn indexing_layout_matches_tensor3() {
         let mut b = BitTensor::zeros(2, 2, 2);
         b.set(1, 0, 1, true);
-        assert_eq!(b.as_slice()[5], true);
+        assert!(b.as_slice()[5]);
         assert!(b.get(1, 0, 1));
     }
 }

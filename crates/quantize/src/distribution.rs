@@ -61,10 +61,7 @@ impl ActivationDistribution {
         // conv.
         let mut relu_after_conv = Vec::new();
         for (i, l) in net.layers().iter().enumerate() {
-            if matches!(l, Layer::Relu)
-                && i > 0
-                && matches!(net.layers()[i - 1], Layer::Conv(_))
-            {
+            if matches!(l, Layer::Relu) && i > 0 && matches!(net.layers()[i - 1], Layer::Conv(_)) {
                 relu_after_conv.push(i);
             }
         }
@@ -195,7 +192,12 @@ mod tests {
         );
         // ReLU exact zeros should be a large share.
         for l in &dist.layers {
-            assert!(l.zero_fraction > 0.2, "layer {} zeros {}", l.ordinal, l.zero_fraction);
+            assert!(
+                l.zero_fraction > 0.2,
+                "layer {} zeros {}",
+                l.ordinal,
+                l.zero_fraction
+            );
         }
     }
 

@@ -54,6 +54,6 @@ pub mod qnet;
 
 pub use algorithm1::{quantize_network, QuantizationResult, QuantizeConfig, SearchObjective};
 pub use bits::BitTensor;
-pub use multibit::{MultibitConfig, MultibitNetwork};
 pub use distribution::{ActivationDistribution, DISTRIBUTION_BUCKETS};
+pub use multibit::{MultibitConfig, MultibitNetwork};
 pub use qnet::{QLayer, QuantizedNetwork};

@@ -144,8 +144,7 @@ impl MultibitNetwork {
                                 for (o, (_, label)) in outs.iter().zip(calib.iter()) {
                                     let mut q = quantize_tensor(o, s, levels);
                                     if let Some(p) = pool {
-                                        let (pooled, _) =
-                                            sei_nn::MaxPool2d::new(p).forward(&q);
+                                        let (pooled, _) = sei_nn::MaxPool2d::new(p).forward(&q);
                                         q = pooled;
                                     }
                                     let logits = forward_suffix(net, suffix, &q);
@@ -160,10 +159,8 @@ impl MultibitNetwork {
                                 let mut n = 0usize;
                                 for o in &outs {
                                     let q = quantize_tensor(o, s, levels);
-                                    for (&a, &b) in
-                                        o.as_slice().iter().zip(q.as_slice())
-                                    {
-                                        let d = f64::from(a.max(0.0).min(1.0) - b);
+                                    for (&a, &b) in o.as_slice().iter().zip(q.as_slice()) {
+                                        let d = f64::from(a.clamp(0.0, 1.0) - b);
                                         err += d * d;
                                         n += 1;
                                     }
@@ -335,11 +332,7 @@ mod tests {
     fn four_bit_close_to_float() {
         let (net, train, test) = trained();
         let float_err = error_rate_with(&test, |img| net.classify(img));
-        let q = MultibitNetwork::quantize(
-            &net,
-            &train.truncated(150),
-            &MultibitConfig::new(4),
-        );
+        let q = MultibitNetwork::quantize(&net, &train.truncated(150), &MultibitConfig::new(4));
         let e = error_rate_with(&test, |img| q.classify(img));
         assert!(
             e <= float_err + 0.08,
@@ -350,11 +343,7 @@ mod tests {
     #[test]
     fn structure_and_scales_recorded() {
         let (net, train, _) = trained();
-        let q = MultibitNetwork::quantize(
-            &net,
-            &train.truncated(60),
-            &MultibitConfig::new(2),
-        );
+        let q = MultibitNetwork::quantize(&net, &train.truncated(60), &MultibitConfig::new(2));
         assert_eq!(q.bits(), 2);
         assert_eq!(q.scales().len(), 2);
         assert!(q.scales().iter().all(|&s| s > 0.0));

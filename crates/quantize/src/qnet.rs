@@ -124,9 +124,9 @@ pub fn conv_binary_preact(conv: &Conv2d, bits: &BitTensor) -> Tensor3 {
                 if !bits.get(i, y, x) {
                     continue;
                 }
-                let ky_lo = y.saturating_sub(oh - 1).max(0);
+                let ky_lo = y.saturating_sub(oh - 1);
                 let ky_hi = (k - 1).min(y);
-                let kx_lo = x.saturating_sub(ow - 1).max(0);
+                let kx_lo = x.saturating_sub(ow - 1);
                 let kx_hi = (k - 1).min(x);
                 for ky in ky_lo..=ky_hi {
                     let oy = y - ky;

@@ -25,6 +25,7 @@ use rand::SeedableRng;
 use sei_nn::{Conv2d, Linear, Tensor3};
 use sei_quantize::qnet::{conv_binary_preact, fc_binary_preact, QLayer, QuantizedNetwork};
 use sei_quantize::BitTensor;
+use sei_telemetry::counters::{self, Event};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a spiking run.
@@ -109,8 +110,7 @@ impl SpikingNetwork {
         let mut shape = input_shape;
         for layer in qnet.layers() {
             match layer {
-                QLayer::AnalogConv { conv, threshold }
-                | QLayer::BinaryConv { conv, threshold } => {
+                QLayer::AnalogConv { conv, threshold } | QLayer::BinaryConv { conv, threshold } => {
                     let out_shape = (
                         conv.out_channels(),
                         shape.1 - conv.kernel() + 1,
@@ -213,10 +213,8 @@ impl SpikingNetwork {
                             .as_mut()
                             .expect("conv has IF state")
                             .step(preact.as_slice());
-                        stats.spikes_per_layer[li] +=
-                            fired.iter().filter(|&&b| b).count() as u64;
-                        spikes =
-                            BitTensor::from_vec(out_shape.0, out_shape.1, out_shape.2, fired);
+                        stats.spikes_per_layer[li] += fired.iter().filter(|&&b| b).count() as u64;
+                        spikes = BitTensor::from_vec(out_shape.0, out_shape.1, out_shape.2, fired);
                     }
                     SpikeLayer::PoolOr { size } => {
                         spikes = spikes.pool_or(*size);
@@ -231,8 +229,7 @@ impl SpikingNetwork {
                             .as_mut()
                             .expect("fc has IF state")
                             .step(preact.as_slice());
-                        stats.spikes_per_layer[li] +=
-                            fired.iter().filter(|&&b| b).count() as u64;
+                        stats.spikes_per_layer[li] += fired.iter().filter(|&&b| b).count() as u64;
                         let n = fired.len();
                         spikes = BitTensor::from_vec(n, 1, 1, fired);
                     }
@@ -246,6 +243,15 @@ impl SpikingNetwork {
                 }
             }
         }
+
+        // In the SEI-SNN view every input spike toggles a transmission
+        // gate and every IF neuron fire is a sense-amp decision; batch
+        // both into the telemetry counters once per run.
+        counters::add(Event::GateSwitches, stats.input_spikes);
+        counters::add(
+            Event::SenseAmpFires,
+            stats.spikes_per_layer.iter().sum::<u64>(),
+        );
 
         (Tensor3::from_flat(charge), stats)
     }

@@ -1,0 +1,144 @@
+//! Typed counters for physical events in the simulated accelerator.
+//!
+//! The registry is a fixed array of relaxed `AtomicU64`s indexed by
+//! [`Event`], guarded by a single `AtomicBool`. Hot paths batch their adds
+//! (one `add` per forward pass, not per cell), so the enabled-mode cost is
+//! a couple of relaxed atomic RMWs per crossbar operation and the
+//! disabled-mode cost is one relaxed load plus a branch per event.
+//!
+//! Energy is accumulated as integer femtojoules so that concurrent adds
+//! stay exact and lock-free; reports convert to picojoules.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Physical events tracked across the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Event {
+    /// One analog read operation of a crossbar (or crossbar copy): a full
+    /// wordline-drive + column-current evaluation.
+    CrossbarReadOps,
+    /// SEI transmission gates driven on by a 1-bit input during a read
+    /// (the quantity the SEI structure exists to minimize).
+    GateSwitches,
+    /// Sense-amplifier threshold decisions (the SEI replacement for ADCs).
+    SenseAmpFires,
+    /// Full ADC output reconstructions in the merged/conventional path.
+    AdcConversions,
+    /// DAC input conversions (analog wordline voltages from digital input).
+    DacConversions,
+    /// Write-verify programming pulses applied to RRAM cells.
+    WritePulses,
+    /// Accumulated read/write energy, in femtojoules (reported as pJ).
+    EnergyFemtojoules,
+}
+
+pub const EVENT_COUNT: usize = 7;
+
+pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
+    Event::CrossbarReadOps,
+    Event::GateSwitches,
+    Event::SenseAmpFires,
+    Event::AdcConversions,
+    Event::DacConversions,
+    Event::WritePulses,
+    Event::EnergyFemtojoules,
+];
+
+impl Event {
+    /// Stable snake_case name used as the NDJSON report key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Event::CrossbarReadOps => "crossbar_read_ops",
+            Event::GateSwitches => "gate_switches",
+            Event::SenseAmpFires => "sense_amp_fires",
+            Event::AdcConversions => "adc_conversions",
+            Event::DacConversions => "dac_conversions",
+            Event::WritePulses => "write_pulses",
+            Event::EnergyFemtojoules => "energy_fj",
+        }
+    }
+}
+
+static COUNTERS: [AtomicU64; EVENT_COUNT] = [const { AtomicU64::new(0) }; EVENT_COUNT];
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether physical-event counting is active. One relaxed load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Globally enable or disable counting (spans and logging are unaffected).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Add `n` occurrences of `event`. Call sites should batch per operation
+/// (e.g. once per forward pass) rather than per cell.
+#[inline(always)]
+pub fn add(event: Event, n: u64) {
+    if enabled() {
+        COUNTERS[event as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Accumulate energy given in joules (converted to integer femtojoules so
+/// concurrent adds are exact).
+#[inline(always)]
+pub fn add_energy_joules(joules: f64) {
+    if enabled() {
+        let fj = (joules * 1e15).round();
+        if fj > 0.0 {
+            COUNTERS[Event::EnergyFemtojoules as usize].fetch_add(fj as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Current value of one counter.
+pub fn get(event: Event) -> u64 {
+    COUNTERS[event as usize].load(Ordering::Relaxed)
+}
+
+/// Reset every counter to zero (between experiments / in tests).
+pub fn reset() {
+    for c in &COUNTERS {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of all counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    pub values: [u64; EVENT_COUNT],
+}
+
+impl Snapshot {
+    pub fn get(&self, event: Event) -> u64 {
+        self.values[event as usize]
+    }
+
+    /// Accumulated energy in picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        self.get(Event::EnergyFemtojoules) as f64 / 1e3
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating), for
+    /// measuring one phase of a longer run.
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        let mut out = Snapshot::default();
+        for i in 0..EVENT_COUNT {
+            out.values[i] = self.values[i].saturating_sub(earlier.values[i]);
+        }
+        out
+    }
+}
+
+/// Snapshot the live registry.
+pub fn snapshot() -> Snapshot {
+    let mut s = Snapshot::default();
+    for (i, c) in COUNTERS.iter().enumerate() {
+        s.values[i] = c.load(Ordering::Relaxed);
+    }
+    s
+}

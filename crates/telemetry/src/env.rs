@@ -1,0 +1,107 @@
+//! Strict `SEI_*` environment-variable parsing.
+//!
+//! Malformed values are rejected with an error naming the variable, the
+//! offending value, and the expected form — never silently replaced by a
+//! default. A lookup-injectable variant keeps tests free of racy
+//! `std::env::set_var` calls.
+
+use std::fmt;
+use std::str::FromStr;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvError {
+    pub var: String,
+    pub value: String,
+    pub expected: &'static str,
+}
+
+impl EnvError {
+    pub fn new(var: &str, value: &str, expected: &'static str) -> EnvError {
+        EnvError {
+            var: var.to_string(),
+            value: value.to_string(),
+            expected,
+        }
+    }
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "environment variable {}: invalid value {:?} (expected {})",
+            self.var, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// Parse `name` from the process environment. Unset → `Ok(None)`;
+/// set-but-malformed → `Err` with a clear message.
+pub fn parse_var<T: FromStr>(name: &str, expected: &'static str) -> Result<Option<T>, EnvError> {
+    parse_lookup(|n| std::env::var(n).ok(), name, expected)
+}
+
+/// Like [`parse_var`] but falls back to `default` only when the variable
+/// is *unset* (malformed values still error).
+pub fn parse_var_or<T: FromStr>(
+    name: &str,
+    expected: &'static str,
+    default: T,
+) -> Result<T, EnvError> {
+    Ok(parse_var(name, expected)?.unwrap_or(default))
+}
+
+/// Lookup-injectable core of [`parse_var`], for deterministic tests.
+pub fn parse_lookup<T: FromStr>(
+    get: impl Fn(&str) -> Option<String>,
+    name: &str,
+    expected: &'static str,
+) -> Result<Option<T>, EnvError> {
+    match get(name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .trim()
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| EnvError::new(name, &raw, expected)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_of<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |name| {
+            pairs
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| v.to_string())
+        }
+    }
+
+    #[test]
+    fn unset_is_none() {
+        let got: Option<usize> = parse_lookup(env_of(&[]), "SEI_X", "a usize").unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn valid_parses() {
+        let got: Option<usize> =
+            parse_lookup(env_of(&[("SEI_X", " 42 ")]), "SEI_X", "a usize").unwrap();
+        assert_eq!(got, Some(42));
+    }
+
+    #[test]
+    fn malformed_is_clear_error() {
+        let err =
+            parse_lookup::<usize>(env_of(&[("SEI_X", "lots")]), "SEI_X", "a usize").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("SEI_X"), "{msg}");
+        assert!(msg.contains("lots"), "{msg}");
+        assert!(msg.contains("a usize"), "{msg}");
+    }
+}

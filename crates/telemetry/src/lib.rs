@@ -1,0 +1,53 @@
+//! `sei-telemetry` — the observability layer of the SEI simulator.
+//!
+//! The paper's headline claims are aggregate physical counts (energy per
+//! read, ADC conversions saved, SEI gate switches driven by 1-bit
+//! activations), so the simulator needs a measurement layer that is cheap
+//! enough to live on the hot paths it measures. This crate provides four
+//! pieces, all dependency-free:
+//!
+//! * [`counters`] — a fixed registry of typed physical-event counters
+//!   (crossbar reads, transmission-gate switches, ADC/DAC conversions,
+//!   sense-amp fires, write pulses, accumulated energy). Counting is a
+//!   relaxed atomic add; when metrics are disabled the cost is one relaxed
+//!   atomic load plus a branch per event.
+//! * [`span`] — hierarchical wall-clock phase timers via the [`span!`]
+//!   macro. Guards push onto a thread-local stack, so nesting is tracked
+//!   without a global lock on entry; only span *exit* touches the shared
+//!   registry.
+//! * [`log`] — a leveled logging facade (`SEI_LOG=error|warn|info|debug`)
+//!   with the [`sei_error!`], [`sei_warn!`], [`sei_info!`], [`sei_debug!`]
+//!   macros and a [`log::Heartbeat`] helper for long-running search loops.
+//! * [`report`] — an NDJSON run-report emitter (`SEI_REPORT_JSON=path`)
+//!   backed by the hand-rolled [`json`] module, capturing scale, seeds,
+//!   per-layer error decomposition, phase timings, and physical counters
+//!   as one machine-readable line per experiment.
+//!
+//! [`env`] rounds things out with strict `SEI_*` environment parsing that
+//! rejects malformed values with a clear error instead of silently falling
+//! back to defaults.
+
+pub mod counters;
+pub mod env;
+pub mod json;
+pub mod log;
+pub mod report;
+pub mod span;
+
+pub use counters::Event;
+pub use env::EnvError;
+pub use log::{Heartbeat, Level};
+pub use report::RunReport;
+
+/// Validates telemetry-related environment up front: `SEI_LOG` must be a
+/// known level and `SEI_REPORT_JSON`, when set, must be non-empty.
+///
+/// Binaries should call this first so a typo like `SEI_LOG=verbose` fails
+/// loudly at startup instead of deep inside a run. Library code that never
+/// sees `init_from_env` still works: the log level is parsed lazily on
+/// first use (and panics with the same message on malformed input).
+pub fn init_from_env() -> Result<(), EnvError> {
+    log::init_level_from_env()?;
+    report::report_path_from_env()?;
+    Ok(())
+}

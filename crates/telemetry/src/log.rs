@@ -1,0 +1,185 @@
+//! Leveled logging facade for library crates.
+//!
+//! The level comes from `SEI_LOG` (`error|warn|info|debug`, default
+//! `warn`) and is parsed once; a malformed value is rejected with a clear
+//! message — eagerly via [`crate::init_from_env`] in binaries, or as a
+//! panic on first lazy use in library-only contexts. Output goes to
+//! stderr so bench binaries keep stdout for their tables.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::env::EnvError;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            _ => Level::Debug,
+        }
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = ();
+    fn from_str(s: &str) -> Result<Level, ()> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            _ => Err(()),
+        }
+    }
+}
+
+/// 0..=3 mirror `Level`; sentinel meaning "not initialized yet".
+const UNSET: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+/// Parse `SEI_LOG` and fix the level. Returns a clear error (instead of a
+/// silent default) when the value is malformed.
+pub fn init_level_from_env() -> Result<Level, EnvError> {
+    let level = match std::env::var("SEI_LOG") {
+        Ok(raw) => raw
+            .parse::<Level>()
+            .map_err(|()| EnvError::new("SEI_LOG", &raw, "one of error|warn|info|debug"))?,
+        Err(_) => Level::Warn,
+    };
+    set_level(level);
+    Ok(level)
+}
+
+/// Override the level programmatically (tests, binaries with CLI flags).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Current level, lazily initialized from `SEI_LOG`. Panics with the same
+/// clear message `init_level_from_env` would return if the variable is
+/// malformed — never silently defaults.
+pub fn level() -> Level {
+    let raw = LEVEL.load(Ordering::Relaxed);
+    if raw != UNSET {
+        return Level::from_u8(raw);
+    }
+    match init_level_from_env() {
+        Ok(level) => level,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// One relaxed load + compare on the fast path.
+#[inline]
+pub fn log_enabled(at: Level) -> bool {
+    let raw = LEVEL.load(Ordering::Relaxed);
+    if raw == UNSET {
+        return at <= level();
+    }
+    at as u8 <= raw
+}
+
+#[doc(hidden)]
+pub fn write_line(at: Level, args: std::fmt::Arguments<'_>) {
+    eprintln!("[sei {:5}] {args}", at.as_str());
+}
+
+#[macro_export]
+macro_rules! sei_log {
+    ($lvl:expr, $($arg:tt)+) => {
+        if $crate::log::log_enabled($lvl) {
+            $crate::log::write_line($lvl, format_args!($($arg)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! sei_error {
+    ($($arg:tt)+) => { $crate::sei_log!($crate::log::Level::Error, $($arg)+) };
+}
+
+#[macro_export]
+macro_rules! sei_warn {
+    ($($arg:tt)+) => { $crate::sei_log!($crate::log::Level::Warn, $($arg)+) };
+}
+
+#[macro_export]
+macro_rules! sei_info {
+    ($($arg:tt)+) => { $crate::sei_log!($crate::log::Level::Info, $($arg)+) };
+}
+
+#[macro_export]
+macro_rules! sei_debug {
+    ($($arg:tt)+) => { $crate::sei_log!($crate::log::Level::Debug, $($arg)+) };
+}
+
+/// Periodic progress reporter for long search loops (GA homogenization,
+/// Algorithm 1 threshold scans). Emits an info-level line at most once per
+/// interval, so scaled-up runs are not silent for minutes while the loop
+/// itself pays one `Instant::now()` per tick.
+pub struct Heartbeat {
+    label: &'static str,
+    every: Duration,
+    start: Instant,
+    last: Instant,
+}
+
+impl Heartbeat {
+    /// Default 2-second reporting interval.
+    pub fn new(label: &'static str) -> Heartbeat {
+        Heartbeat::with_interval(label, Duration::from_secs(2))
+    }
+
+    pub fn with_interval(label: &'static str, every: Duration) -> Heartbeat {
+        let now = Instant::now();
+        Heartbeat {
+            label,
+            every,
+            start: now,
+            last: now,
+        }
+    }
+
+    /// Report progress; logs when the interval has elapsed since the last
+    /// report. `iteration`/`total` describe loop position (`total == 0`
+    /// means unbounded), `objective` is the current best objective value.
+    pub fn tick(&mut self, iteration: usize, total: usize, objective: f64) {
+        if !log_enabled(Level::Info) || self.last.elapsed() < self.every {
+            return;
+        }
+        self.last = Instant::now();
+        let elapsed = self.start.elapsed().as_secs_f64();
+        if total > 0 {
+            crate::sei_info!(
+                "{}: iter {iteration}/{total}, best {objective:.6}, elapsed {elapsed:.1}s",
+                self.label
+            );
+        } else {
+            crate::sei_info!(
+                "{}: iter {iteration}, best {objective:.6}, elapsed {elapsed:.1}s",
+                self.label
+            );
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! NDJSON run reports.
+//!
+//! Each experiment appends exactly one JSON line to the file named by
+//! `SEI_REPORT_JSON`, capturing experiment identity, scale/seed, caller
+//! sections (e.g. per-layer error decomposition), phase timings from the
+//! span registry, and the physical-event counters. One line per run makes
+//! reports trivially diffable and greppable:
+//!
+//! ```text
+//! SEI_REPORT_JSON=a.ndjson cargo run --release -p sei-bench --bin table5
+//! ```
+
+use std::io::Write;
+
+use crate::counters::{self, Snapshot, ALL_EVENTS};
+use crate::env::{parse_var, EnvError};
+use crate::json::Value;
+use crate::span::{self, PhaseStat};
+
+pub const SCHEMA: &str = "sei-run-report/v1";
+
+/// Builder for one NDJSON run-report line. Key order is fixed by
+/// insertion order, so the emitted schema is stable across runs.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    root: Value,
+}
+
+impl RunReport {
+    pub fn new(experiment: &str) -> RunReport {
+        let mut root = Value::obj();
+        root.set("schema", Value::Str(SCHEMA.to_string()));
+        root.set("experiment", Value::Str(experiment.to_string()));
+        RunReport { root }
+    }
+
+    /// Attach an arbitrary top-level section or scalar.
+    pub fn set(&mut self, key: &str, value: Value) -> &mut RunReport {
+        self.root.set(key, value);
+        self
+    }
+
+    pub fn set_u64(&mut self, key: &str, v: u64) -> &mut RunReport {
+        self.set(key, Value::UInt(v))
+    }
+
+    pub fn set_f64(&mut self, key: &str, v: f64) -> &mut RunReport {
+        self.set(key, Value::Float(v))
+    }
+
+    pub fn set_str(&mut self, key: &str, v: &str) -> &mut RunReport {
+        self.set(key, Value::Str(v.to_string()))
+    }
+
+    /// Attach the live span registry and counter registry.
+    pub fn finalize(&mut self) -> &mut RunReport {
+        let phases = span::phase_timings();
+        let counters = counters::snapshot();
+        self.finalize_with(&phases, &counters)
+    }
+
+    /// Deterministic variant of [`finalize`](Self::finalize) for tests.
+    pub fn finalize_with(
+        &mut self,
+        phases: &[(String, PhaseStat)],
+        counters: &Snapshot,
+    ) -> &mut RunReport {
+        let mut phase_obj = Value::obj();
+        for (path, stat) in phases {
+            let mut entry = Value::obj();
+            entry.set("calls", Value::UInt(stat.calls));
+            entry.set("total_ms", Value::Float(stat.total_ms()));
+            phase_obj.set(path, entry);
+        }
+        self.root.set("phases", phase_obj);
+
+        let mut counter_obj = Value::obj();
+        for event in ALL_EVENTS {
+            counter_obj.set(event.name(), Value::UInt(counters.get(event)));
+        }
+        counter_obj.set("energy_pj", Value::Float(counters.energy_pj()));
+        self.root.set("counters", counter_obj);
+        self
+    }
+
+    /// The report as one compact JSON line (no trailing newline).
+    pub fn to_ndjson_line(&self) -> String {
+        self.root.to_json()
+    }
+
+    pub fn as_value(&self) -> &Value {
+        &self.root
+    }
+
+    /// Append this report to `path` as one NDJSON line.
+    pub fn write_to(&self, path: &str) -> std::io::Result<()> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(file, "{}", self.to_ndjson_line())
+    }
+
+    /// Append to the file named by `SEI_REPORT_JSON`, if set. Returns
+    /// `Ok(true)` when a line was written. Malformed (empty) paths error.
+    pub fn emit_env(&self) -> Result<bool, Box<dyn std::error::Error>> {
+        match report_path_from_env()? {
+            None => Ok(false),
+            Some(path) => {
+                self.write_to(&path)?;
+                Ok(true)
+            }
+        }
+    }
+}
+
+/// Read and validate `SEI_REPORT_JSON`. Unset → `None`; set but empty →
+/// error (the caller almost certainly made a shell quoting mistake).
+pub fn report_path_from_env() -> Result<Option<String>, EnvError> {
+    match parse_var::<String>("SEI_REPORT_JSON", "a writable file path")? {
+        Some(p) if p.trim().is_empty() => Err(EnvError::new(
+            "SEI_REPORT_JSON",
+            &p,
+            "a non-empty file path",
+        )),
+        other => Ok(other),
+    }
+}

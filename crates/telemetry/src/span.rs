@@ -1,0 +1,92 @@
+//! Hierarchical wall-clock phase timers.
+//!
+//! `let _guard = span!("training");` times the enclosing scope. Nested
+//! spans record under a slash-joined path (`"table5/training"`), built
+//! from a thread-local stack so span *entry* never takes a lock; only the
+//! drop (span exit) touches the shared registry, and spans wrap pipeline
+//! phases, not inner loops.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseStat {
+    pub calls: u64,
+    pub total_ns: u128,
+}
+
+impl PhaseStat {
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+}
+
+static REGISTRY: Mutex<BTreeMap<String, PhaseStat>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII timer for one pipeline phase. Create via the [`span!`](crate::span!) macro.
+pub struct SpanGuard {
+    path: String,
+    start: Instant,
+}
+
+impl SpanGuard {
+    pub fn enter(name: &'static str) -> SpanGuard {
+        let path = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(name);
+            s.join("/")
+        });
+        SpanGuard {
+            path,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed().as_nanos();
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        let mut reg = REGISTRY.lock().unwrap();
+        let stat = reg.entry(std::mem::take(&mut self.path)).or_default();
+        stat.calls += 1;
+        stat.total_ns += elapsed;
+    }
+}
+
+/// Times the enclosing scope under the given phase name:
+/// `let _span = sei_telemetry::span!("quantization");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name)
+    };
+}
+
+/// All recorded phases, sorted by path.
+pub fn phase_timings() -> Vec<(String, PhaseStat)> {
+    REGISTRY
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// Stat for a single phase path, if recorded.
+pub fn phase(path: &str) -> Option<PhaseStat> {
+    REGISTRY.lock().unwrap().get(path).copied()
+}
+
+/// Clear all recorded phase timings (between experiments / in tests).
+pub fn reset() {
+    REGISTRY.lock().unwrap().clear();
+}

@@ -1,0 +1,211 @@
+//! Integration tests for the observability layer: counter aggregation
+//! under concurrent increments, span nesting/timing monotonicity, and
+//! NDJSON report round-trip with a schema-stability snapshot.
+
+use sei_telemetry::counters::{self, Event, Snapshot};
+use sei_telemetry::json::{self, Value};
+use sei_telemetry::report::{RunReport, SCHEMA};
+use sei_telemetry::span::{self, PhaseStat};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The two tests that toggle the global enabled flag must not interleave.
+static ENABLE_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn concurrent_counter_increments_aggregate_exactly() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+
+    let _guard = ENABLE_LOCK.lock().unwrap();
+    counters::set_enabled(true);
+    let before = counters::snapshot();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    counters::add(Event::GateSwitches, 3);
+                    counters::add_energy_joules(2e-15);
+                }
+            });
+        }
+    });
+    let delta = counters::snapshot().delta_since(&before);
+    assert_eq!(delta.get(Event::GateSwitches), THREADS * PER_THREAD * 3);
+    assert_eq!(
+        delta.get(Event::EnergyFemtojoules),
+        THREADS * PER_THREAD * 2
+    );
+    assert_eq!(delta.energy_pj(), (THREADS * PER_THREAD * 2) as f64 / 1e3);
+}
+
+#[test]
+fn disabled_counters_do_not_move() {
+    let _guard = ENABLE_LOCK.lock().unwrap();
+    counters::set_enabled(false);
+    let before = counters::get(Event::AdcConversions);
+    counters::add(Event::AdcConversions, 99);
+    counters::add_energy_joules(1e-12);
+    let after = counters::get(Event::AdcConversions);
+    counters::set_enabled(true);
+    assert_eq!(before, after);
+}
+
+#[test]
+fn span_nesting_records_hierarchical_paths_and_monotonic_times() {
+    {
+        let _outer = sei_telemetry::span!("test_outer");
+        std::thread::sleep(Duration::from_millis(4));
+        {
+            let _inner = sei_telemetry::span!("test_inner");
+            std::thread::sleep(Duration::from_millis(4));
+        }
+        {
+            let _inner = sei_telemetry::span!("test_inner");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    let outer = span::phase("test_outer").expect("outer phase recorded");
+    let inner = span::phase("test_outer/test_inner").expect("nested path recorded");
+    assert_eq!(outer.calls, 1);
+    assert_eq!(inner.calls, 2);
+    // A parent's wall clock includes all of its children's.
+    assert!(
+        outer.total_ns >= inner.total_ns,
+        "outer {} < inner {}",
+        outer.total_ns,
+        inner.total_ns
+    );
+    assert!(outer.total_ns > 0);
+    // Timing is monotone: re-entering a span only accumulates.
+    let again = {
+        let outer_again = span::SpanGuard::enter("test_outer");
+        drop(outer_again);
+        span::phase("test_outer").unwrap()
+    };
+    assert_eq!(again.calls, 2);
+    assert!(again.total_ns >= outer.total_ns);
+}
+
+fn fixed_report() -> RunReport {
+    let phases = vec![
+        (
+            "table5".to_string(),
+            PhaseStat {
+                calls: 1,
+                total_ns: 2_500_000,
+            },
+        ),
+        (
+            "table5/training".to_string(),
+            PhaseStat {
+                calls: 1,
+                total_ns: 1_000_000,
+            },
+        ),
+    ];
+    let mut counters = Snapshot::default();
+    counters.values[Event::CrossbarReadOps as usize] = 128;
+    counters.values[Event::GateSwitches as usize] = 4096;
+    counters.values[Event::EnergyFemtojoules as usize] = 1500;
+
+    let mut report = RunReport::new("table5");
+    report.set_u64("seed", 1);
+    let mut scale = Value::obj();
+    scale.set("train_n", Value::UInt(4000));
+    scale.set("test_n", Value::UInt(1000));
+    report.set("scale", scale);
+    let mut layer = Value::obj();
+    layer.set("layer", Value::Str("conv1".to_string()));
+    layer.set("quant_err", Value::Float(0.0125));
+    report.set("layers", Value::Arr(vec![layer]));
+    report.finalize_with(&phases, &counters);
+    report
+}
+
+#[test]
+fn ndjson_report_round_trips() {
+    let report = fixed_report();
+    let line = report.to_ndjson_line();
+    assert!(!line.contains('\n'), "NDJSON record must be a single line");
+
+    let parsed = json::parse(&line).expect("emitted line parses");
+    assert_eq!(parsed, *report.as_value());
+    assert_eq!(parsed.get("schema").and_then(Value::as_str), Some(SCHEMA));
+    assert_eq!(
+        parsed
+            .get("counters")
+            .and_then(|c| c.get("gate_switches"))
+            .and_then(Value::as_u64),
+        Some(4096)
+    );
+    assert_eq!(
+        parsed
+            .get("phases")
+            .and_then(|p| p.get("table5/training"))
+            .and_then(|t| t.get("total_ms"))
+            .and_then(Value::as_f64),
+        Some(1.0)
+    );
+}
+
+/// Schema-stability snapshot: the exact serialized form of a fixed report.
+/// If this test fails, the report schema changed — bump `SCHEMA` and any
+/// downstream diff tooling along with this literal.
+#[test]
+fn ndjson_schema_snapshot() {
+    let expected = concat!(
+        "{\"schema\":\"sei-run-report/v1\",\"experiment\":\"table5\",",
+        "\"seed\":1,",
+        "\"scale\":{\"train_n\":4000,\"test_n\":1000},",
+        "\"layers\":[{\"layer\":\"conv1\",\"quant_err\":0.0125}],",
+        "\"phases\":{",
+        "\"table5\":{\"calls\":1,\"total_ms\":2.5},",
+        "\"table5/training\":{\"calls\":1,\"total_ms\":1.0}},",
+        "\"counters\":{\"crossbar_read_ops\":128,\"gate_switches\":4096,",
+        "\"sense_amp_fires\":0,\"adc_conversions\":0,\"dac_conversions\":0,",
+        "\"write_pulses\":0,\"energy_fj\":1500,\"energy_pj\":1.5}}"
+    );
+    assert_eq!(fixed_report().to_ndjson_line(), expected);
+}
+
+#[test]
+fn report_write_to_appends_ndjson_lines() {
+    let dir = std::env::temp_dir().join(format!("sei-telemetry-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("report.ndjson");
+    let path_str = path.to_str().unwrap();
+
+    fixed_report().write_to(path_str).unwrap();
+    fixed_report().write_to(path_str).unwrap();
+
+    let body = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), 2);
+    for line in lines {
+        json::parse(line).expect("every NDJSON line parses");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn json_parser_rejects_garbage_with_offset() {
+    let err = json::parse("{\"a\": nope}").unwrap_err();
+    assert!(err.to_string().contains("byte"), "{err}");
+    assert!(json::parse("").is_err());
+    assert!(json::parse("{\"a\":1} extra").is_err());
+}
+
+#[test]
+fn json_escapes_round_trip() {
+    let mut obj = Value::obj();
+    obj.set(
+        "text",
+        Value::Str("line1\nline2\t\"quoted\" \\ ünïcode".to_string()),
+    );
+    obj.set("neg", Value::Int(-42));
+    obj.set("exp", Value::Float(1.25e-7));
+    let line = obj.to_json();
+    assert_eq!(json::parse(&line).unwrap(), obj);
+}

@@ -73,7 +73,11 @@ fn main() {
             read_sigma: sigma,
             ..DeviceSpec::default_4bit()
         };
-        println!("  sigma {:>4.2}: error {:>5.2}%", sigma, eval(spec, 0) * 100.0);
+        println!(
+            "  sigma {:>4.2}: error {:>5.2}%",
+            sigma,
+            eval(spec, 0) * 100.0
+        );
     }
 
     // --- device precision sweep (the paper fixes 4 bits) ---
@@ -101,7 +105,10 @@ fn main() {
         ] {
             let g = model.aged_conductance(&cell, &spec, t, &mut rng);
             let window = (g - spec.g_min) / (spec.g_max - spec.g_min);
-            println!("  after {label:>8}: on-state window at {:.1}%", window * 100.0);
+            println!(
+                "  after {label:>8}: on-state window at {:.1}%",
+                window * 100.0
+            );
         }
         println!(
             "  time until the window halves (mean drift): {:.1e} years",

@@ -63,7 +63,10 @@ fn main() {
     );
 
     // 5. Cost: compare the three structures of the paper's Table 5.
-    println!("\n{:<18} {:>10} {:>9} {:>10}", "structure", "energy uJ", "save%", "area-save%");
+    println!(
+        "\n{:<18} {:>10} {:>9} {:>10}",
+        "structure", "energy uJ", "save%", "area-save%"
+    );
     for s in acc.summaries() {
         println!(
             "{:<18} {:>10.2} {:>9.2} {:>10.2}",

@@ -26,7 +26,11 @@ fn main() {
     println!("logical layer: 3 inputs x 2 kernels, signed weights, bias, θ = {theta}");
     println!("weights:");
     for j in 0..3 {
-        println!("  input {j}: {:+.2} {:+.2}", weights.get(j, 0), weights.get(j, 1));
+        println!(
+            "  input {j}: {:+.2} {:+.2}",
+            weights.get(j, 0),
+            weights.get(j, 1)
+        );
     }
 
     // --- 8-bit encoding of one weight ---
@@ -59,7 +63,10 @@ fn main() {
     println!("  = (3 inputs + 1 bias row) x 4 cells-per-weight, kernels + 1 reference column");
 
     // --- walk every input pattern ---
-    println!("\n{:<12} {:>22} {:>14}", "inputs", "margins (k0, k1)", "fires");
+    println!(
+        "\n{:<12} {:>22} {:>14}",
+        "inputs", "margins (k0, k1)", "fires"
+    );
     for mask in 0..8u32 {
         let input: Vec<bool> = (0..3).map(|j| mask & (1 << j) != 0).collect();
         let margins = xbar.ideal_margins(&input);
@@ -78,7 +85,10 @@ fn main() {
             .collect();
         println!(
             "{:<12} {:>10.3} {:>10.3} {:>8}{:>6}   (direct: {:+.3} {:+.3})",
-            format!("{:?}", input.iter().map(|&b| u8::from(b)).collect::<Vec<_>>()),
+            format!(
+                "{:?}",
+                input.iter().map(|&b| u8::from(b)).collect::<Vec<_>>()
+            ),
             margins[0],
             margins[1],
             fires[0],

@@ -14,10 +14,7 @@ use sei::nn::paper;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("network1");
-    let max: usize = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(512);
+    let max: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(512);
 
     let net = match which {
         "network2" => paper::network2(0),

@@ -43,7 +43,10 @@ fn main() {
                 ..SnnConfig::default()
             },
         );
-        println!("{:>5} {:>10} {:>16} {:>14}", "T", "error", "input spikes", "layer spikes");
+        println!(
+            "{:>5} {:>10} {:>16} {:>14}",
+            "T", "error", "input spikes", "layer spikes"
+        );
         for t in [1usize, 2, 4, 8, 16] {
             let err = error_rate_with(&test, |img| snn.classify(img, t));
             let (_, stats) = snn.run(test.sample(0).0, t);

@@ -40,7 +40,11 @@ fn main() {
         for b in l.buckets {
             print!("{:>15.2}%", b * 100.0);
         }
-        println!("   (zeros: {:.1}%, max {:.1})", l.zero_fraction * 100.0, l.max);
+        println!(
+            "   (zeros: {:.1}%, max {:.1})",
+            l.zero_fraction * 100.0,
+            l.max
+        );
     }
     println!(
         "\n→ the long tail (paper Table 1: >95% of CaffeNet values near zero)\n\
@@ -49,8 +53,14 @@ fn main() {
 
     // --- Algorithm 1 with both objectives ---
     for (name, objective) in [
-        ("accuracy-maximizing (Algorithm 1)", SearchObjective::Accuracy),
-        ("quantization-error-minimizing (§2.4)", SearchObjective::QuantizationError),
+        (
+            "accuracy-maximizing (Algorithm 1)",
+            SearchObjective::Accuracy,
+        ),
+        (
+            "quantization-error-minimizing (§2.4)",
+            SearchObjective::QuantizationError,
+        ),
     ] {
         let cfg = QuantizeConfig {
             objective,

@@ -13,7 +13,9 @@
 //! * [`cost`] — area/power/energy model;
 //! * [`core`] — the [`core::Accelerator`] builder and experiment drivers;
 //! * [`snn`] — the spiking-network extension (the paper's future-work
-//!   direction).
+//!   direction);
+//! * [`telemetry`] — structured tracing, physical-event counters and
+//!   NDJSON run reports (`SEI_LOG`, `SEI_REPORT_JSON`).
 //!
 //! # Quickstart
 //!
@@ -45,3 +47,4 @@ pub use sei_mapping as mapping;
 pub use sei_nn as nn;
 pub use sei_quantize as quantize;
 pub use sei_snn as snn;
+pub use sei_telemetry as telemetry;

@@ -3,13 +3,13 @@
 //! (not our calibration choices), so a regression here means the model no
 //! longer implements the described system.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sei::crossbar::{MergedConfig, MergedCrossbar, SeiConfig, SeiCrossbar, SeiMode};
 use sei::device::DeviceSpec;
 use sei::mapping::layout::DesignPlan;
 use sei::mapping::{DesignConstraints, Structure};
 use sei::nn::{paper, Layer, Matrix};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Table 2: the weight-matrix shapes of all three networks.
 #[test]

@@ -7,8 +7,13 @@ use sei::nn::data::SynthConfig;
 use sei::nn::paper;
 use sei::nn::train::{TrainConfig, Trainer};
 
-fn trained_network2(seed: u64) -> (sei::nn::Network, sei::nn::data::Dataset, sei::nn::data::Dataset)
-{
+fn trained_network2(
+    seed: u64,
+) -> (
+    sei::nn::Network,
+    sei::nn::data::Dataset,
+    sei::nn::data::Dataset,
+) {
     let train = SynthConfig::new(1000, seed).generate();
     let test = SynthConfig::new(250, seed + 1).generate();
     let mut net = paper::network2(seed + 2);
