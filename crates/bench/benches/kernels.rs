@@ -106,7 +106,7 @@ fn bench_homogenize(c: &mut Criterion) {
             ..GaConfig::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
-            b.iter(|| genetic(&m, 3, &cfg, &mut rng))
+            b.iter(|| genetic(&m, 3, &cfg, &mut rng, sei_core::Engine::single()))
         });
     }
     group.finish();
@@ -155,6 +155,7 @@ fn bench_quantize_threshold_eval(c: &mut Criterion) {
                     search_step: 0.02,
                     ..QuantizeConfig::default()
                 },
+                sei_core::Engine::single(),
             )
         })
     });

@@ -18,7 +18,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sei_bench::{banner, bench_init, emit_report, err_pct, new_report, pct};
+use sei_bench::{banner, bench_init, emit_report, err_pct, new_report, ok_or_exit, pct};
 use sei_core::experiments::{device_bits_sweep, prepare_context};
 use sei_cost::{CostParams, CostReport};
 use sei_mapping::homogenize::{self, GaConfig};
@@ -34,9 +34,12 @@ fn main() {
     banner("Ablations (design choices called out in DESIGN.md)");
     println!("(scale: {scale:?})\n");
 
-    println!("training Network 2 (ablation subject) ...");
-    let ctx = prepare_context(scale, &[PaperNetwork::Network2]);
-    let model = ctx.model(PaperNetwork::Network2);
+    println!(
+        "training Network 2 (ablation subject, {} threads) ...",
+        scale.threads
+    );
+    let ctx = ok_or_exit(prepare_context(scale.clone(), &[PaperNetwork::Network2]));
+    let model = ok_or_exit(ctx.model(PaperNetwork::Network2));
 
     // --- 1. search objective ---
     banner("A1: threshold-search objective (Algorithm 1 vs §2.4 QE-min)");
@@ -48,7 +51,12 @@ fn main() {
             objective,
             ..QuantizeConfig::default()
         };
-        let q = quantize_network(&model.net, &ctx.calib(), &cfg);
+        let q = ok_or_exit(quantize_network(
+            &model.net,
+            &ctx.calib(),
+            &cfg,
+            ctx.engine(),
+        ));
         let err = error_rate_with(&ctx.test, |img| q.net.classify(img));
         println!(
             "  {name:<28} error {}  thresholds {:?}",
@@ -60,12 +68,12 @@ fn main() {
 
     // --- 2. device precision sweep ---
     banner("A2: device precision sweep (paper fixes 4-bit devices)");
-    let sweep = device_bits_sweep(
+    let sweep = ok_or_exit(device_bits_sweep(
         &ctx,
         PaperNetwork::Network2,
         &[2, 3, 4, 5, 6],
         scale.test.min(150),
-    );
+    ));
     for &(bits, err) in &sweep {
         println!("  {bits}-bit device: crossbar-sim error {}", err_pct(err));
     }
@@ -100,24 +108,30 @@ fn main() {
         use sei_mapping::calibrate::{build_split_network, split_error_rate, SplitBuildConfig};
         use sei_mapping::evaluate::OutputHead;
         use sei_quantize::algorithm1::quantize_network as qn;
-        let q = qn(&model.net, &ctx.calib(), &QuantizeConfig::default());
+        let q = ok_or_exit(qn(
+            &model.net,
+            &ctx.calib(),
+            &QuantizeConfig::default(),
+            ctx.engine(),
+        ));
         // Tight crossbars force Network 2's FC (200 rows) to split.
         let tight = DesignConstraints::paper_default().with_max_crossbar(128);
         for (name, head) in [
             ("ADC head (default)", OutputHead::Adc),
             ("popcount head", OutputHead::Popcount),
         ] {
-            let build = build_split_network(
+            let build = ok_or_exit(build_split_network(
                 &q.net,
                 &SplitBuildConfig {
                     output_head: head,
                     ..SplitBuildConfig::homogenized(tight).with_dynamic_threshold()
                 },
                 &ctx.calib(),
-            );
+                ctx.engine(),
+            ));
             println!(
                 "  {name:<20} split test error {}",
-                err_pct(split_error_rate(&build.net, &ctx.test))
+                err_pct(split_error_rate(&build.net, &ctx.test, ctx.engine()))
             );
         }
         println!("  (quantized unsplit: {})", {
@@ -164,7 +178,7 @@ fn main() {
                 m.set(r, c, if r < 4 { v + 1.0 } else { v });
             }
         }
-        let ga = homogenize::genetic(&m, 2, &GaConfig::default(), &mut rng);
+        let ga = homogenize::genetic(&m, 2, &GaConfig::default(), &mut rng, ctx.engine());
         let ex = homogenize::exact(&m, 2);
         ga_total += homogenize::mean_vector_distance(&m, &ga);
         exact_total += homogenize::mean_vector_distance(&m, &ex);

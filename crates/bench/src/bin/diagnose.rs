@@ -7,7 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sei_bench::{banner, bench_init, emit_report, env_or, new_report};
+use sei_bench::{banner, bench_init, emit_report, env_or, new_report, ok_or_exit};
 use sei_core::experiments::prepare_context;
 use sei_mapping::calibrate::{build_split_network, split_error_rate, SplitBuildConfig};
 use sei_mapping::homogenize::{genetic, natural_order, GaConfig};
@@ -27,8 +27,9 @@ fn main() {
     };
     banner(&format!("diagnose: {} at {scale:?}", which.name()));
 
-    let ctx = prepare_context(scale, &[which]);
-    let model = ctx.model(which);
+    let ctx = ok_or_exit(prepare_context(scale.clone(), &[which]));
+    let model = ok_or_exit(ctx.model(which));
+    let engine = ctx.engine();
     println!("float error: {:.2}%", model.float_error * 100.0);
 
     // --- quantization with different search ranges ---
@@ -38,7 +39,7 @@ fn main() {
             search_step: max / 20.0,
             ..QuantizeConfig::default()
         };
-        let q = quantize_network(&model.net, &ctx.calib(), &cfg);
+        let q = ok_or_exit(quantize_network(&model.net, &ctx.calib(), &cfg, engine));
         let err = error_rate_with(&ctx.test, |img| q.net.classify(img));
         println!(
             "quantized (thres_max {max}): err {:.2}%, thresholds {:?}, scales {:?}",
@@ -48,7 +49,12 @@ fn main() {
         );
     }
 
-    let q = quantize_network(&model.net, &ctx.calib(), &QuantizeConfig::default());
+    let q = ok_or_exit(quantize_network(
+        &model.net,
+        &ctx.calib(),
+        &QuantizeConfig::default(),
+        engine,
+    ));
     let constraints = DesignConstraints::paper_default();
 
     // --- which layers need splitting? ---
@@ -68,17 +74,18 @@ fn main() {
 
     // --- full calibrated split (the Table 5 path) ---
     let refine = env_or::<u8>("SEI_REFINE", "0 or 1", 0) == 1;
-    let full = build_split_network(
+    let full = ok_or_exit(build_split_network(
         &q.net,
         &SplitBuildConfig {
             refine_offsets: refine,
             ..SplitBuildConfig::homogenized(constraints).with_dynamic_threshold()
         },
         &ctx.calib(),
-    );
+        engine,
+    ));
     println!(
         "\nfull split: err {:.2}% (output_theta {:?}, betas {:?})",
-        split_error_rate(&full.net, &ctx.test) * 100.0,
+        split_error_rate(&full.net, &ctx.test, engine) * 100.0,
         full.output_theta,
         full.betas
     );
@@ -94,7 +101,10 @@ fn main() {
         };
         for (label, partition) in [
             ("natural", natural_order(rows, k)),
-            ("homog", genetic(&wm, k, &GaConfig::default(), &mut rng)),
+            (
+                "homog",
+                genetic(&wm, k, &GaConfig::default(), &mut rng, engine),
+            ),
         ] {
             specs[idx] = Some(SplitSpec::new(partition));
             let is_output = matches!(q.net.layers()[idx], QLayer::OutputFc { .. });
@@ -102,7 +112,7 @@ fn main() {
             let net = SplitNetwork::new(&q.net, specs.clone(), theta);
             println!(
                 "split only layer {idx} ({label}, k={k}): err {:.2}%",
-                split_error_rate(&net, &ctx.test) * 100.0
+                split_error_rate(&net, &ctx.test, engine) * 100.0
             );
         }
         specs[idx] = None;
@@ -122,7 +132,7 @@ fn main() {
     report.set_f64("quantized_error", f64::from(q_err));
     report.set_f64(
         "split_error",
-        f64::from(split_error_rate(&full.net, &ctx.test)),
+        f64::from(split_error_rate(&full.net, &ctx.test, engine)),
     );
     emit_report(&mut report);
 }

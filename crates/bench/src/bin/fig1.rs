@@ -5,7 +5,7 @@
 //! Paper claim: "ADCs and DACs cost more than 98% of the area and power
 //! consumption of RRAM-based CNN even if the crossbar size is 512×512."
 
-use sei_bench::{banner, bench_init, emit_report, new_report, pct};
+use sei_bench::{banner, bench_init, emit_report, new_report, ok_or_exit, pct};
 use sei_core::experiments::{fig1, prepare_context};
 use sei_cost::{ComponentClass, CostParams};
 use sei_mapping::DesignConstraints;
@@ -17,13 +17,13 @@ fn main() {
     banner("Fig. 1 — power/area breakdown, Network 1, 8-bit data, DAC+ADC");
     println!("(scale: {scale:?})\n");
 
-    println!("training Network 1 ...");
-    let ctx = prepare_context(scale, &[PaperNetwork::Network1]);
-    let report = fig1(
-        &ctx.model(PaperNetwork::Network1).net,
+    println!("training Network 1 ({} threads) ...", scale.threads);
+    let ctx = ok_or_exit(prepare_context(scale.clone(), &[PaperNetwork::Network1]));
+    let report = ok_or_exit(fig1(
+        &ok_or_exit(ctx.model(PaperNetwork::Network1)).net,
         &DesignConstraints::paper_default(),
         &CostParams::default(),
-    );
+    ));
 
     let header = format!(
         "{:<10} {:>9} {:>9} {:>9} {:>9}   {:>9} {:>9} {:>9} {:>9}",

@@ -7,7 +7,7 @@
 //! data contains more than 95% values around zero"; we analyze the trained
 //! Table 2 networks (see DESIGN.md §1 for the substitution).
 
-use sei_bench::{banner, bench_init, emit_report, new_report};
+use sei_bench::{banner, bench_init, emit_report, new_report, ok_or_exit};
 use sei_core::experiments::{prepare_context, table1};
 use sei_nn::paper::PaperNetwork;
 use sei_telemetry::json::Value;
@@ -17,9 +17,9 @@ fn main() {
     banner("Table 1 — intermediate-data distribution (normalized, post-ReLU)");
     println!("(scale: {scale:?})\n");
 
-    println!("training Networks 1-3 ...");
-    let ctx = prepare_context(scale, &PaperNetwork::ALL);
-    let results = table1(&ctx);
+    println!("training Networks 1-3 ({} threads) ...", scale.threads);
+    let ctx = ok_or_exit(prepare_context(scale.clone(), &PaperNetwork::ALL));
+    let results = ok_or_exit(table1(&ctx));
 
     println!("\npaper (CaffeNet, all layers): 98.63% | 1.20% | 0.16% | 0.01%\n");
     println!(

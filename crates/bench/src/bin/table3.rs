@@ -6,7 +6,9 @@
 //! than one percentage point. Absolute errors differ on the synthetic
 //! dataset; the reproduced claim is the bounded quantization penalty.
 
-use sei_bench::{banner, bench_init, emit_report, err_pct, new_report, paper_vs_measured};
+use sei_bench::{
+    banner, bench_init, emit_report, err_pct, new_report, ok_or_exit, paper_vs_measured,
+};
 use sei_core::experiments::{prepare_context, table3};
 use sei_nn::paper::PaperNetwork;
 use sei_quantize::QuantizeConfig;
@@ -17,10 +19,10 @@ fn main() {
     banner("Table 3 — error rate of the quantization method");
     println!("(scale: {scale:?})\n");
 
-    println!("training Networks 1-3 ...");
-    let ctx = prepare_context(scale, &PaperNetwork::ALL);
+    println!("training Networks 1-3 ({} threads) ...", scale.threads);
+    let ctx = ok_or_exit(prepare_context(scale.clone(), &PaperNetwork::ALL));
     println!("running Algorithm 1 (threshold search over [0, 0.2], step 0.005) ...");
-    let rows = table3(&ctx, &QuantizeConfig::default());
+    let rows = ok_or_exit(table3(&ctx, &QuantizeConfig::default()));
 
     println!();
     for r in &rows {

@@ -18,7 +18,7 @@
 //! `SEI_T4_ORDERS` sets the number of random orders sampled (default 25;
 //! the paper uses 500).
 
-use sei_bench::{banner, bench_init, emit_report, env_or, err_pct, new_report};
+use sei_bench::{banner, bench_init, emit_report, env_or, err_pct, new_report, ok_or_exit};
 use sei_core::experiments::{prepare_context, table4_column};
 use sei_nn::paper::PaperNetwork;
 use sei_quantize::algorithm1::{quantize_network, QuantizeConfig};
@@ -30,16 +30,21 @@ fn main() {
     banner("Table 4 — error rate of the proposed methods on Network 1");
     println!("(scale: {scale:?}, random orders: {orders})\n");
 
-    println!("training Network 1 ...");
-    let ctx = prepare_context(scale, &[PaperNetwork::Network1]);
-    let model = ctx.model(PaperNetwork::Network1);
+    println!("training Network 1 ({} threads) ...", scale.threads);
+    let ctx = ok_or_exit(prepare_context(scale.clone(), &[PaperNetwork::Network1]));
+    let model = ok_or_exit(ctx.model(PaperNetwork::Network1));
     println!("running Algorithm 1 ...");
-    let quantized = quantize_network(&model.net, &ctx.calib(), &QuantizeConfig::default());
+    let quantized = ok_or_exit(quantize_network(
+        &model.net,
+        &ctx.calib(),
+        &QuantizeConfig::default(),
+        ctx.engine(),
+    ));
 
     let mut columns = Vec::new();
     for max in [512usize, 256] {
         println!("building splits at max crossbar {max} ...");
-        columns.push(table4_column(
+        columns.push(ok_or_exit(table4_column(
             model,
             &quantized,
             &ctx.train,
@@ -48,7 +53,8 @@ fn main() {
             max,
             orders,
             scale.seed,
-        ));
+            ctx.engine(),
+        )));
     }
 
     let paper = [

@@ -26,7 +26,7 @@
 //! `SEI_T5_DEVICE_N` sets the subset size for the crossbar-level
 //! (device-noise) SEI accuracy simulation (default 100, 0 disables).
 
-use sei_bench::{banner, bench_init, emit_report, env_or, new_report};
+use sei_bench::{banner, bench_init, emit_report, env_or, new_report, ok_or_exit};
 use sei_core::experiments::{prepare_context, table5_block, table5_blocks};
 use sei_cost::{CostParams, FPGA_GOPS_PER_JOULE, GPU_K40_GOPS_PER_JOULE};
 use sei_nn::paper::PaperNetwork;
@@ -38,8 +38,8 @@ fn main() {
     banner("Table 5 — result of proposed method using 4-bit RRAM devices");
     println!("(scale: {scale:?}, device-sim subset: {device_n})\n");
 
-    println!("training Networks 1-3 ...");
-    let ctx = prepare_context(scale, &PaperNetwork::ALL);
+    println!("training Networks 1-3 ({} threads) ...", scale.threads);
+    let ctx = ok_or_exit(prepare_context(scale.clone(), &PaperNetwork::ALL));
     let params = CostParams::default();
 
     println!(
@@ -60,7 +60,7 @@ fn main() {
     let mut report_rows: Vec<Value> = Vec::new();
     for (which, max) in table5_blocks() {
         println!("  [{} @ {max} ...]", which.name());
-        let rows = table5_block(&ctx, which, max, &params, device_n);
+        let rows = ok_or_exit(table5_block(&ctx, which, max, &params, device_n));
         for r in &rows {
             let mut row = Value::obj();
             row.set("network", Value::Str(r.network.name().to_string()));

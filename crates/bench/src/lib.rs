@@ -18,22 +18,46 @@
 //! (see [`sei_core::ExperimentScale`]). Criterion micro-benchmarks of the
 //! simulator's kernels live in `benches/kernels.rs`.
 
-use sei_core::ExperimentScale;
+use sei_core::{ExperimentScale, SeiError};
 use sei_telemetry::json::Value;
 use sei_telemetry::{sei_warn, RunReport};
 use std::fmt::Display;
 use std::str::FromStr;
+use std::sync::OnceLock;
+use std::time::Instant;
 
-/// Initializes telemetry (`SEI_LOG`, `SEI_REPORT_JSON`) and reads the
-/// experiment scale. Exits with a clear message when any `SEI_*` variable
-/// is set but malformed — never silently falls back to a default.
+/// Process start time, set by [`bench_init`] and reported by
+/// [`emit_report`] as `wall_clock_s`.
+static START: OnceLock<Instant> = OnceLock::new();
+
+/// Initializes telemetry (`SEI_LOG`, `SEI_REPORT_JSON`), starts the
+/// wall-clock and reads the experiment scale. Exits with a clear message
+/// when any `SEI_*` variable is set but malformed — never silently falls
+/// back to a default.
 pub fn bench_init() -> ExperimentScale {
+    let _ = START.set(Instant::now());
     if let Err(e) = sei_telemetry::init_from_env() {
         exit_env_error(&e);
     }
     match ExperimentScale::from_env() {
         Ok(scale) => scale,
         Err(e) => exit_env_error(&e),
+    }
+}
+
+/// Unwraps a driver result, or exits with the error's message: exit code 2
+/// for environment errors (same contract as the `SEI_*` parsing path),
+/// 1 for every other failure. The regenerators never panic on bad input.
+pub fn ok_or_exit<T>(result: Result<T, SeiError>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(match e {
+                SeiError::Env(_) => 2,
+                _ => 1,
+            });
+        }
     }
 }
 
@@ -61,6 +85,7 @@ pub fn new_report(experiment: &str, scale: &ExperimentScale) -> RunReport {
     s.set("test_n", Value::UInt(scale.test as u64));
     s.set("calib_n", Value::UInt(scale.calib as u64));
     s.set("epochs", Value::UInt(scale.epochs as u64));
+    s.set("threads", Value::UInt(scale.threads as u64));
     report.set("scale", s);
     report
 }
@@ -70,6 +95,9 @@ pub fn new_report(experiment: &str, scale: &ExperimentScale) -> RunReport {
 /// failures warn rather than abort: the table on stdout is the primary
 /// artifact.
 pub fn emit_report(report: &mut RunReport) {
+    if let Some(start) = START.get() {
+        report.set("wall_clock_s", Value::Float(start.elapsed().as_secs_f64()));
+    }
     report.finalize();
     match report.emit_env() {
         Ok(_) => {}
@@ -111,5 +139,21 @@ mod tests {
     fn pct_formats() {
         assert_eq!(pct(0.9652), "96.52%");
         assert_eq!(err_pct(0.0163), "1.63%");
+    }
+
+    #[test]
+    fn ok_or_exit_passes_ok_through() {
+        assert_eq!(ok_or_exit(Ok::<_, SeiError>(41)), 41);
+    }
+
+    #[test]
+    fn report_includes_threads_and_wall_clock() {
+        let _ = START.set(Instant::now());
+        let scale = ExperimentScale::tiny().with_threads(3);
+        let mut report = new_report("unit", &scale);
+        emit_report(&mut report);
+        let json = report.to_ndjson_line();
+        assert!(json.contains("\"threads\":3"), "{json}");
+        assert!(json.contains("wall_clock_s"), "{json}");
     }
 }

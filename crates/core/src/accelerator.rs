@@ -4,13 +4,14 @@
 
 use crate::crossbar_eval::{CrossbarEvalConfig, CrossbarNetwork};
 use sei_cost::{gops_per_joule, CostParams, CostReport};
+use sei_engine::{Engine, SeiError};
 use sei_mapping::calibrate::{
     build_split_network, split_error_rate, CalibratedSplit, PartitionStrategy, SplitBuildConfig,
 };
 use sei_mapping::layout::DesignPlan;
 use sei_mapping::{DesignConstraints, Structure};
 use sei_nn::data::Dataset;
-use sei_nn::metrics::{error_rate, error_rate_with};
+use sei_nn::metrics::{error_rate_par, error_rate_with_par};
 use sei_nn::{paper, Network};
 use sei_quantize::algorithm1::{quantize_network, QuantizationResult, QuantizeConfig};
 use serde::{Deserialize, Serialize};
@@ -26,6 +27,7 @@ pub struct AcceleratorBuilder {
     dynamic_threshold: bool,
     cost: CostParams,
     eval: CrossbarEvalConfig,
+    engine: Engine,
     seed: u64,
 }
 
@@ -43,6 +45,7 @@ impl AcceleratorBuilder {
             dynamic_threshold: true,
             cost: CostParams::default(),
             eval: CrossbarEvalConfig::default(),
+            engine: Engine::available(),
             seed: 0,
         }
     }
@@ -89,6 +92,14 @@ impl AcceleratorBuilder {
         self
     }
 
+    /// Sets the execution engine used for calibration searches and
+    /// batch evaluation (default: all available cores). Results are
+    /// bit-identical at any thread count.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Sets the global seed (partitioning, GA, device variation).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -100,11 +111,17 @@ impl AcceleratorBuilder {
     /// `calib` is the calibration (training) subset used by the threshold,
     /// output-θ and β searches.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `calib` is empty.
-    pub fn build(self, calib: &Dataset) -> Accelerator {
-        let quantized = quantize_network(&self.network, calib, &self.quantize);
+    /// Returns [`SeiError::EmptyDataset`] when `calib` is empty,
+    /// [`SeiError::InvalidConfig`] when the quantize, split or crossbar
+    /// configuration is inconsistent, and
+    /// [`SeiError::UnsupportedNetwork`] when the network has no layer
+    /// Algorithm 1 can threshold. All configuration validation happens
+    /// here, before any expensive work.
+    pub fn build(self, calib: &Dataset) -> Result<Accelerator, SeiError> {
+        self.eval.validate()?;
+        let quantized = quantize_network(&self.network, calib, &self.quantize, self.engine)?;
         let split_cfg = SplitBuildConfig {
             strategy: self.strategy.clone(),
             beta_grid: if self.dynamic_threshold {
@@ -115,8 +132,8 @@ impl AcceleratorBuilder {
             seed: self.seed,
             ..SplitBuildConfig::homogenized(self.constraints)
         };
-        let split = build_split_network(&quantized.net, &split_cfg, calib);
-        Accelerator {
+        let split = build_split_network(&quantized.net, &split_cfg, calib, self.engine)?;
+        Ok(Accelerator {
             float_net: self.network,
             input_shape: self.input_shape,
             quantized,
@@ -124,8 +141,9 @@ impl AcceleratorBuilder {
             constraints: self.constraints,
             cost: self.cost,
             eval: self.eval,
+            engine: self.engine,
             seed: self.seed,
-        }
+        })
     }
 }
 
@@ -163,24 +181,30 @@ pub struct Accelerator {
     pub constraints: DesignConstraints,
     cost: CostParams,
     eval: CrossbarEvalConfig,
+    engine: Engine,
     seed: u64,
 }
 
 impl Accelerator {
+    /// The execution engine the accelerator evaluates with.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
     /// Error rate of the original float network.
     pub fn error_rate_float(&self, data: &Dataset) -> f32 {
-        error_rate(&self.float_net, data)
+        error_rate_par(&self.float_net, data, self.engine)
     }
 
     /// Error rate of the 1-bit-quantized network (software, unsplit).
     pub fn error_rate_quantized(&self, data: &Dataset) -> f32 {
-        error_rate_with(data, |img| self.quantized.net.classify(img))
+        error_rate_with_par(data, self.engine, |img| self.quantized.net.classify(img))
     }
 
     /// Error rate of the split (calibrated) network — the SEI structure's
     /// functional accuracy.
     pub fn error_rate_split(&self, data: &Dataset) -> f32 {
-        split_error_rate(&self.split.net, data)
+        split_error_rate(&self.split.net, data, self.engine)
     }
 
     /// Builds the crossbar-level (device-noise) simulator of this design.
@@ -255,7 +279,9 @@ mod tests {
         .fit(&mut net, &train);
         let acc = AcceleratorBuilder::new(net)
             .with_seed(3)
-            .build(&train.truncated(150));
+            .with_engine(Engine::new(2))
+            .build(&train.truncated(150))
+            .unwrap();
         (acc, test)
     }
 
@@ -280,9 +306,37 @@ mod tests {
     #[test]
     fn crossbar_network_runs() {
         let (acc, test) = built();
-        let mut xnet = acc.crossbar_network();
-        let err = xnet.error_rate(&test.truncated(50));
+        let xnet = acc.crossbar_network();
+        let err = xnet.error_rate(&test.truncated(50), acc.engine());
         assert!(err <= 1.0);
+    }
+
+    #[test]
+    fn build_rejects_empty_calibration() {
+        let net = paper::network2(0);
+        let err = AcceleratorBuilder::new(net)
+            .build(&Dataset::new(vec![], vec![]))
+            .unwrap_err();
+        assert!(matches!(err, SeiError::EmptyDataset { .. }));
+    }
+
+    #[test]
+    fn build_rejects_invalid_eval_config() {
+        let net = paper::network2(0);
+        let train = SynthConfig::new(50, 1).generate();
+        let mut eval = CrossbarEvalConfig::default();
+        eval.device.bits = 0;
+        let err = AcceleratorBuilder::new(net)
+            .with_eval_config(eval)
+            .build(&train)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SeiError::InvalidConfig {
+                config: "CrossbarEvalConfig",
+                ..
+            }
+        ));
     }
 
     #[test]

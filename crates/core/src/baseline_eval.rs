@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sei_crossbar::merged::{MergedConfig, MergedCrossbar};
 use sei_device::DeviceSpec;
+use sei_engine::{chunk_seed, Engine, SeiError, DEFAULT_CHUNK};
 use sei_nn::data::Dataset;
 use sei_nn::{Layer, MaxPool2d, Network, Tensor3};
 use serde::{Deserialize, Serialize};
@@ -37,6 +38,59 @@ impl Default for BaselineEvalConfig {
     }
 }
 
+impl BaselineEvalConfig {
+    /// Sets the device model.
+    pub fn with_device(mut self, device: DeviceSpec) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Sets the merged-structure configuration.
+    pub fn with_merged(mut self, merged: MergedConfig) -> Self {
+        self.merged = merged;
+        self
+    }
+
+    /// Sets the variation/noise seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Checks the configuration for physical consistency.
+    pub fn validate(&self) -> Result<(), SeiError> {
+        let bad = |field: &'static str, reason: String| {
+            Err(SeiError::invalid_config(
+                "BaselineEvalConfig",
+                field,
+                reason,
+            ))
+        };
+        if self.device.bits == 0 {
+            return bad("device.bits", "device must store at least 1 bit".into());
+        }
+        if !(self.device.g_max > self.device.g_min && self.device.g_min >= 0.0) {
+            return bad(
+                "device.g_min/g_max",
+                format!(
+                    "conductance window must satisfy 0 <= g_min < g_max, got [{}, {}]",
+                    self.device.g_min, self.device.g_max
+                ),
+            );
+        }
+        for (field, v) in [
+            ("merged.weight_bits", self.merged.weight_bits),
+            ("merged.adc_bits", self.merged.adc_bits),
+            ("merged.dac_bits", self.merged.dac_bits),
+        ] {
+            if v == 0 {
+                return bad(field, "interface precision must be at least 1 bit".into());
+            }
+        }
+        Ok(())
+    }
+}
+
 #[derive(Debug)]
 enum BLayer {
     Weighted {
@@ -53,10 +107,16 @@ enum BLayer {
 }
 
 /// A float CNN realized on the traditional merged-crossbar structure.
+///
+/// As with [`crate::CrossbarNetwork`], programming variation is frozen at
+/// build time and read noise comes from a caller-provided RNG, so the
+/// network is shareable across threads and
+/// [`error_rate`](Self::error_rate) is bit-identical at any thread count.
 #[derive(Debug)]
 pub struct BaselineNetwork {
     layers: Vec<BLayer>,
-    rng: StdRng,
+    /// Base seed for per-chunk read-noise streams.
+    noise_seed: u64,
 }
 
 impl BaselineNetwork {
@@ -113,14 +173,17 @@ impl BaselineNetwork {
             })
             .collect();
 
+        // `rng` ends here: programming variation is committed; reads use
+        // fresh per-chunk streams derived from `noise_seed`.
         BaselineNetwork {
             layers,
-            rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(1)),
+            noise_seed: cfg.seed.wrapping_add(1),
         }
     }
 
-    /// Forward pass to class scores through the analog baseline.
-    pub fn forward(&mut self, image: &Tensor3) -> Tensor3 {
+    /// Forward pass to class scores through the analog baseline, drawing
+    /// read noise from `rng`.
+    pub fn forward_with(&self, image: &Tensor3, rng: &mut StdRng) -> Tensor3 {
         let mut cur = image.clone();
         for layer in &self.layers {
             cur = match layer {
@@ -130,12 +193,10 @@ impl BaselineNetwork {
                     act_scale,
                     conv,
                 } => match conv {
-                    Some((in_ch, k)) => {
-                        conv_forward(xbar, bias, *act_scale, *in_ch, *k, &cur, &mut self.rng)
-                    }
+                    Some((in_ch, k)) => conv_forward(xbar, bias, *act_scale, *in_ch, *k, &cur, rng),
                     None => {
                         let x: Vec<f32> = cur.as_slice().iter().map(|&v| v / act_scale).collect();
-                        let mut y = xbar.matvec(&x, &mut self.rng);
+                        let mut y = xbar.matvec(&x, rng);
                         for (o, b) in y.iter_mut().zip(bias) {
                             *o = *o * act_scale + b;
                         }
@@ -154,22 +215,34 @@ impl BaselineNetwork {
         cur
     }
 
-    /// Classifies an image.
-    pub fn classify(&mut self, image: &Tensor3) -> usize {
-        self.forward(image).argmax()
+    /// Classifies an image, drawing read noise from `rng`.
+    pub fn classify_with(&self, image: &Tensor3, rng: &mut StdRng) -> usize {
+        self.forward_with(image, rng).argmax()
     }
 
-    /// Error rate over a dataset (one stochastic pass).
+    /// Error rate over a dataset (one stochastic pass, parallelized over
+    /// fixed-size chunks with per-chunk noise streams).
     ///
     /// # Panics
     ///
     /// Panics if `data` is empty.
-    pub fn error_rate(&mut self, data: &Dataset) -> f32 {
+    pub fn error_rate(&self, data: &Dataset, engine: Engine) -> f32 {
         assert!(!data.is_empty(), "empty dataset");
-        let errors = data
-            .iter()
-            .filter(|(img, label)| self.classify(img) != *label as usize)
-            .count();
+        let labels = data.labels();
+        let errors: usize = engine
+            .map_chunks(data.images(), DEFAULT_CHUNK, |c, chunk| {
+                let base = c * DEFAULT_CHUNK;
+                let mut rng = StdRng::seed_from_u64(chunk_seed(self.noise_seed, c as u64));
+                chunk
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, img)| {
+                        self.classify_with(img, &mut rng) != labels[base + i] as usize
+                    })
+                    .count()
+            })
+            .into_iter()
+            .sum();
         errors as f32 / data.len() as f32
     }
 }
@@ -236,8 +309,8 @@ mod tests {
         // software error rate — the 8-bit interfaces cost almost nothing.
         let (net, train, test) = trained();
         let float_err = error_rate(&net, &test);
-        let mut baseline = BaselineNetwork::new(&net, &train.truncated(32), &Default::default());
-        let err = baseline.error_rate(&test);
+        let baseline = BaselineNetwork::new(&net, &train.truncated(32), &Default::default());
+        let err = baseline.error_rate(&test, Engine::new(2));
         assert!(
             (err - float_err).abs() < 0.08,
             "baseline {err} vs float {float_err}"
@@ -256,8 +329,8 @@ mod tests {
                 },
                 ..Default::default()
             };
-            let mut b = BaselineNetwork::new(&net, &train.truncated(32), &cfg);
-            b.error_rate(&subset)
+            let b = BaselineNetwork::new(&net, &train.truncated(32), &cfg);
+            b.error_rate(&subset, Engine::new(2))
         };
         let fine = err_at(10);
         let coarse = err_at(3);
@@ -273,5 +346,29 @@ mod tests {
         let (net, _, _) = trained();
         let empty = Dataset::new(vec![], vec![]);
         let _ = BaselineNetwork::new(&net, &empty, &Default::default());
+    }
+
+    #[test]
+    fn error_rate_is_thread_count_invariant() {
+        let (net, train, test) = trained();
+        let baseline = BaselineNetwork::new(&net, &train.truncated(32), &Default::default());
+        let subset = test.truncated(100);
+        let e1 = baseline.error_rate(&subset, Engine::single());
+        let e7 = baseline.error_rate(&subset, Engine::new(7));
+        assert_eq!(e1.to_bits(), e7.to_bits());
+    }
+
+    #[test]
+    fn validate_rejects_zero_adc_bits() {
+        let mut cfg = BaselineEvalConfig::default();
+        assert!(cfg.validate().is_ok());
+        cfg.merged.adc_bits = 0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(SeiError::InvalidConfig {
+                config: "BaselineEvalConfig",
+                ..
+            })
+        ));
     }
 }

@@ -14,6 +14,7 @@ use rand::SeedableRng;
 use sei_crossbar::dac::Dac;
 use sei_crossbar::sei::{SeiConfig, SeiCrossbar};
 use sei_device::{DeviceSpec, ProgrammedCell, WriteVerify};
+use sei_engine::{chunk_seed, Engine, SeiError, DEFAULT_CHUNK};
 use sei_mapping::evaluate::OutputHead;
 use sei_mapping::split::SplitSpec;
 use sei_nn::data::Dataset;
@@ -54,6 +55,79 @@ impl CrossbarEvalConfig {
             device: DeviceSpec::ideal(4),
             ..CrossbarEvalConfig::default()
         }
+    }
+
+    /// Sets the device model.
+    pub fn with_device(mut self, device: DeviceSpec) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Sets the SEI structure configuration.
+    pub fn with_sei(mut self, sei: SeiConfig) -> Self {
+        self.sei = sei;
+        self
+    }
+
+    /// Sets the output-layer readout head.
+    pub fn with_output_head(mut self, head: OutputHead) -> Self {
+        self.output_head = head;
+        self
+    }
+
+    /// Sets the variation/noise seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Checks the configuration for physical consistency. Called once by
+    /// [`crate::AcceleratorBuilder::build`]; direct [`CrossbarNetwork`]
+    /// construction asserts the same invariants.
+    pub fn validate(&self) -> Result<(), SeiError> {
+        let bad = |field: &'static str, reason: String| {
+            Err(SeiError::invalid_config(
+                "CrossbarEvalConfig",
+                field,
+                reason,
+            ))
+        };
+        if self.device.bits == 0 {
+            return bad("device.bits", "device must store at least 1 bit".into());
+        }
+        if !(self.device.g_max > self.device.g_min && self.device.g_min >= 0.0) {
+            return bad(
+                "device.g_min/g_max",
+                format!(
+                    "conductance window must satisfy 0 <= g_min < g_max, got [{}, {}]",
+                    self.device.g_min, self.device.g_max
+                ),
+            );
+        }
+        if !(self.device.read_sigma.is_finite() && self.device.read_sigma >= 0.0) {
+            return bad(
+                "device.read_sigma",
+                format!("must be finite and >= 0, got {}", self.device.read_sigma),
+            );
+        }
+        if self.sei.weight_bits == 0 {
+            return bad("sei.weight_bits", "weights need at least 1 bit".into());
+        }
+        for (field, v) in [
+            ("sei.sa_offset_sigma", self.sei.sa_offset_sigma),
+            ("sei.sa_noise_sigma", self.sei.sa_noise_sigma),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return bad(field, format!("must be finite and >= 0, got {v}"));
+            }
+        }
+        if !self.sei.ref_row_value.is_finite() {
+            return bad(
+                "sei.ref_row_value",
+                format!("must be finite, got {}", self.sei.ref_row_value),
+            );
+        }
+        Ok(())
     }
 }
 
@@ -105,10 +179,18 @@ enum XLayer {
 }
 
 /// A quantized network realized on simulated crossbars.
+///
+/// Programming variation is frozen at build time; read noise is drawn from
+/// an explicit caller-provided RNG ([`forward_with`](Self::forward_with)),
+/// which keeps the network shareable across threads.
+/// [`error_rate`](Self::error_rate) derives one independent noise stream
+/// per work chunk from the build seed, so its result is bit-identical at
+/// any thread count.
 #[derive(Debug)]
 pub struct CrossbarNetwork {
     layers: Vec<XLayer>,
-    rng: StdRng,
+    /// Base seed for per-chunk read-noise streams.
+    noise_seed: u64,
     /// Total programming pulses spent building all arrays.
     write_pulses: u64,
 }
@@ -296,9 +378,11 @@ impl CrossbarNetwork {
             }
         }
 
+        // `rng` ends here: programming variation is committed; reads use
+        // fresh per-chunk streams derived from `noise_seed`.
         CrossbarNetwork {
             layers,
-            rng,
+            noise_seed: cfg.seed.wrapping_add(1),
             write_pulses,
         }
     }
@@ -308,15 +392,15 @@ impl CrossbarNetwork {
         self.write_pulses
     }
 
-    /// Classifies an image through the full analog pipeline. Stochastic:
-    /// read noise is drawn fresh each call.
-    pub fn classify(&mut self, image: &Tensor3) -> usize {
-        self.forward(image).argmax()
+    /// Classifies an image through the full analog pipeline, drawing read
+    /// noise from `rng`.
+    pub fn classify_with(&self, image: &Tensor3, rng: &mut StdRng) -> usize {
+        self.forward_with(image, rng).argmax()
     }
 
     /// Full forward pass to class scores (analog margins, or vote counts
-    /// for a split output layer).
-    pub fn forward(&mut self, image: &Tensor3) -> Tensor3 {
+    /// for a split output layer), drawing read noise from `rng`.
+    pub fn forward_with(&self, image: &Tensor3, rng: &mut StdRng) -> Tensor3 {
         enum V {
             A(Tensor3),
             B(BitTensor),
@@ -343,7 +427,7 @@ impl CrossbarNetwork {
                         *read_sigma,
                         *geom,
                         &img,
-                        &mut self.rng,
+                        rng,
                     );
                     V::B(bits)
                 }
@@ -356,12 +440,7 @@ impl CrossbarNetwork {
                     },
                     V::B(bits),
                 ) => V::B(hidden_conv_forward(
-                    parts,
-                    spec,
-                    *required,
-                    *geom,
-                    &bits,
-                    &mut self.rng,
+                    parts, spec, *required, *geom, &bits, rng,
                 )),
                 (
                     XLayer::HiddenFc {
@@ -371,7 +450,7 @@ impl CrossbarNetwork {
                     },
                     V::B(bits),
                 ) => {
-                    let counts = fc_part_counts(parts, spec, bits.as_slice(), &mut self.rng);
+                    let counts = fc_part_counts(parts, spec, bits.as_slice(), rng);
                     let out: Vec<bool> = counts.iter().map(|&c| c >= *required).collect();
                     let n = out.len();
                     V::B(BitTensor::from_vec(n, 1, 1, out))
@@ -386,7 +465,7 @@ impl CrossbarNetwork {
                     V::B(bits),
                 ) => {
                     if *split && *head == OutputHead::Popcount {
-                        let counts = fc_part_counts(parts, spec, bits.as_slice(), &mut self.rng);
+                        let counts = fc_part_counts(parts, spec, bits.as_slice(), rng);
                         V::A(Tensor3::from_flat(
                             counts.iter().map(|&c| c as f32).collect(),
                         ))
@@ -399,8 +478,7 @@ impl CrossbarNetwork {
                                 .iter()
                                 .map(|&r| bits.get(r, 0, 0))
                                 .collect();
-                            for (t, v) in totals.iter_mut().zip(xbar.margins(&input, &mut self.rng))
-                            {
+                            for (t, v) in totals.iter_mut().zip(xbar.margins(&input, rng)) {
                                 *t += v;
                             }
                         }
@@ -409,7 +487,7 @@ impl CrossbarNetwork {
                         ))
                     } else {
                         let input: Vec<bool> = bits.as_slice().to_vec();
-                        let margins = parts[0].margins(&input, &mut self.rng);
+                        let margins = parts[0].margins(&input, rng);
                         V::A(Tensor3::from_flat(
                             margins.iter().map(|&m| m as f32).collect(),
                         ))
@@ -430,19 +508,33 @@ impl CrossbarNetwork {
         }
     }
 
-    /// Error rate over a dataset (one stochastic pass).
+    /// Error rate over a dataset (one stochastic pass, parallelized over
+    /// fixed-size chunks).
+    ///
+    /// Each chunk draws read noise from its own stream seeded by
+    /// [`chunk_seed`] of the build seed, so the result does not depend on
+    /// `engine`'s thread count.
     ///
     /// # Panics
     ///
     /// Panics if `data` is empty.
-    pub fn error_rate(&mut self, data: &Dataset) -> f32 {
+    pub fn error_rate(&self, data: &Dataset, engine: Engine) -> f32 {
         assert!(!data.is_empty(), "empty dataset");
-        let mut errors = 0usize;
-        for (img, label) in data.iter() {
-            if self.classify(img) != label as usize {
-                errors += 1;
-            }
-        }
+        let labels = data.labels();
+        let errors: usize = engine
+            .map_chunks(data.images(), DEFAULT_CHUNK, |c, chunk| {
+                let base = c * DEFAULT_CHUNK;
+                let mut rng = StdRng::seed_from_u64(chunk_seed(self.noise_seed, c as u64));
+                chunk
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, img)| {
+                        self.classify_with(img, &mut rng) != labels[base + i] as usize
+                    })
+                    .count()
+            })
+            .into_iter()
+            .sum();
         errors as f32 / data.len() as f32
     }
 }
@@ -627,12 +719,20 @@ mod tests {
             ..TrainConfig::default()
         })
         .fit(&mut net, &train);
-        let q = quantize_network(&net, &train.truncated(200), &QuantizeConfig::default());
+        let q = quantize_network(
+            &net,
+            &train.truncated(200),
+            &QuantizeConfig::default(),
+            Engine::new(2),
+        )
+        .unwrap();
         let split = build_split_network(
             &q.net,
             &SplitBuildConfig::homogenized(DesignConstraints::paper_default()),
             &train.truncated(100),
-        );
+            Engine::new(2),
+        )
+        .unwrap();
         (q.net, split.net.specs(), split.output_theta, train, test)
     }
 
@@ -645,16 +745,17 @@ mod tests {
         use sei_mapping::SplitNetwork;
         let (qnet, specs, theta, _, test) = quantized_net2();
         let sw = SplitNetwork::new(&qnet, specs.clone(), theta);
-        let mut xnet = CrossbarNetwork::new(&qnet, &specs, theta, &CrossbarEvalConfig::ideal());
+        let xnet = CrossbarNetwork::new(&qnet, &specs, theta, &CrossbarEvalConfig::ideal());
         let sw_err = error_rate_with(&test, |img| sw.classify(img));
-        let hw_err = xnet.error_rate(&test);
+        let hw_err = xnet.error_rate(&test, Engine::new(2));
         assert!(
             (sw_err - hw_err).abs() < 0.06,
             "software {sw_err} vs ideal crossbar {hw_err}"
         );
         let mut agree = 0usize;
+        let mut rng = StdRng::seed_from_u64(77);
         for (img, _) in test.iter() {
-            if sw.classify(img) == xnet.classify(img) {
+            if sw.classify(img) == xnet.classify_with(img, &mut rng) {
                 agree += 1;
             }
         }
@@ -668,10 +769,10 @@ mod tests {
     #[test]
     fn noisy_device_degrades_gracefully() {
         let (qnet, specs, theta, _, test) = quantized_net2();
-        let mut ideal = CrossbarNetwork::new(&qnet, &specs, theta, &CrossbarEvalConfig::ideal());
-        let mut noisy = CrossbarNetwork::new(&qnet, &specs, theta, &CrossbarEvalConfig::default());
-        let e_ideal = ideal.error_rate(&test);
-        let e_noisy = noisy.error_rate(&test);
+        let ideal = CrossbarNetwork::new(&qnet, &specs, theta, &CrossbarEvalConfig::ideal());
+        let noisy = CrossbarNetwork::new(&qnet, &specs, theta, &CrossbarEvalConfig::default());
+        let e_ideal = ideal.error_rate(&test, Engine::new(2));
+        let e_noisy = noisy.error_rate(&test, Engine::new(2));
         // The paper's Table 4/5: device non-idealities cost ≲ 1 % accuracy.
         assert!(
             e_noisy <= e_ideal + 0.1,
@@ -692,5 +793,38 @@ mod tests {
     fn spec_length_checked() {
         let (qnet, _, _, _, _) = quantized_net2();
         let _ = CrossbarNetwork::new(&qnet, &[], None, &CrossbarEvalConfig::ideal());
+    }
+
+    #[test]
+    fn error_rate_is_thread_count_invariant() {
+        let (qnet, specs, theta, _, test) = quantized_net2();
+        let xnet = CrossbarNetwork::new(&qnet, &specs, theta, &CrossbarEvalConfig::default());
+        let subset = test.truncated(120);
+        let e1 = xnet.error_rate(&subset, Engine::single());
+        let e2 = xnet.error_rate(&subset, Engine::new(2));
+        let e7 = xnet.error_rate(&subset, Engine::new(7));
+        assert_eq!(e1.to_bits(), e2.to_bits());
+        assert_eq!(e1.to_bits(), e7.to_bits());
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        assert!(CrossbarEvalConfig::default().validate().is_ok());
+        let mut bad = CrossbarEvalConfig::default();
+        bad.device.bits = 0;
+        assert!(matches!(
+            bad.validate(),
+            Err(SeiError::InvalidConfig {
+                config: "CrossbarEvalConfig",
+                field: "device.bits",
+                ..
+            })
+        ));
+        let mut bad = CrossbarEvalConfig::default();
+        bad.device.g_max = bad.device.g_min;
+        assert!(bad.validate().is_err());
+        let mut bad = CrossbarEvalConfig::default();
+        bad.sei.sa_noise_sigma = f64::NAN;
+        assert!(bad.validate().is_err());
     }
 }

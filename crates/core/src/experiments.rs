@@ -9,13 +9,14 @@ use crate::accelerator::AcceleratorBuilder;
 use crate::crossbar_eval::CrossbarEvalConfig;
 use crate::scale::ExperimentScale;
 use sei_cost::{gops_per_joule, CostParams, CostReport};
+use sei_engine::{Engine, SeiError};
 use sei_mapping::calibrate::{
     build_split_network, split_error_rate, PartitionStrategy, SplitBuildConfig,
 };
 use sei_mapping::layout::DesignPlan;
 use sei_mapping::{DesignConstraints, Structure};
 use sei_nn::data::{Dataset, SynthConfig};
-use sei_nn::metrics::{error_rate, error_rate_with};
+use sei_nn::metrics::{error_rate_par, error_rate_with_par};
 use sei_nn::paper::{self, PaperNetwork};
 use sei_nn::train::{TrainConfig, Trainer};
 use sei_nn::Network;
@@ -51,30 +52,62 @@ pub struct Context {
 impl Context {
     /// The model for a given paper network.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the context was prepared without it.
-    pub fn model(&self, which: PaperNetwork) -> &TrainedModel {
+    /// Returns [`SeiError::MissingModel`] if the context was prepared
+    /// without it.
+    pub fn model(&self, which: PaperNetwork) -> Result<&TrainedModel, SeiError> {
         self.models
             .iter()
             .find(|m| m.which == which)
-            .expect("network not in context")
+            .ok_or_else(|| SeiError::MissingModel {
+                name: which.name().to_string(),
+            })
     }
 
     /// The calibration subset (first `scale.calib` training samples).
     pub fn calib(&self) -> Dataset {
         self.train.truncated(self.scale.calib)
     }
+
+    /// The execution engine this context's scale selects.
+    pub fn engine(&self) -> Engine {
+        self.scale.engine()
+    }
 }
 
 /// Generates datasets and trains the given paper networks.
 ///
-/// Trained weights are cached on disk (directory `SEI_MODEL_DIR`, default
-/// `target/sei-models`) keyed by network, dataset size, epochs and seed, so
-/// repeated table regenerations skip training. Delete the directory to
-/// retrain.
-pub fn prepare_context(scale: ExperimentScale, which: &[PaperNetwork]) -> Context {
+/// Trained weights are cached on disk (directory `scale.model_dir`, i.e.
+/// `SEI_MODEL_DIR`, default `<workspace>/results/models`) keyed by network,
+/// dataset size, epochs and seed, so repeated table regenerations skip
+/// training. Delete the directory to retrain. The networks train in
+/// parallel on the scale's engine (training itself is seeded per network,
+/// so the result is independent of the thread count).
+///
+/// # Errors
+///
+/// Returns [`SeiError::InvalidConfig`] when the scale asks for empty
+/// datasets (a zero train, test or calibration count).
+pub fn prepare_context(
+    scale: ExperimentScale,
+    which: &[PaperNetwork],
+) -> Result<Context, SeiError> {
     let _prepare = span!("prepare_context");
+    for (field, n) in [
+        ("train", scale.train),
+        ("test", scale.test),
+        ("calib", scale.calib),
+    ] {
+        if n == 0 {
+            return Err(SeiError::invalid_config(
+                "ExperimentScale",
+                field,
+                "sample count must be at least 1",
+            ));
+        }
+    }
+    let engine = scale.engine();
     let (train, test) = {
         let _span = span!("data_gen");
         (
@@ -82,60 +115,56 @@ pub fn prepare_context(scale: ExperimentScale, which: &[PaperNetwork]) -> Contex
             SynthConfig::new(scale.test, scale.seed.wrapping_add(1)).generate(),
         )
     };
-    let cache_dir =
-        std::env::var("SEI_MODEL_DIR").unwrap_or_else(|_| "target/sei-models".to_string());
-    let models = which
-        .iter()
-        .map(|&w| {
-            let cache_path = std::path::Path::new(&cache_dir).join(format!(
-                "{}-t{}-e{}-s{}.seinet",
-                w.name().replace(' ', "_"),
-                scale.train,
-                scale.epochs,
-                scale.seed
-            ));
-            let net = match sei_nn::serialize::load(&cache_path) {
-                Ok(net) => {
-                    sei_info!("{}: loaded cached model {}", w.name(), cache_path.display());
-                    net
-                }
-                Err(_) => {
-                    let _span = span!("train");
-                    sei_info!(
-                        "{}: training ({} samples, {} epochs, seed {})",
-                        w.name(),
-                        scale.train,
-                        scale.epochs,
-                        scale.seed
-                    );
-                    let mut net = w.build(scale.seed.wrapping_add(10));
-                    Trainer::new(TrainConfig {
-                        epochs: scale.epochs,
-                        shuffle_seed: scale.seed,
-                        ..TrainConfig::default()
-                    })
-                    .fit(&mut net, &train);
-                    if std::fs::create_dir_all(&cache_dir).is_ok() {
-                        let _ = sei_nn::serialize::save(&net, &cache_path);
-                    }
-                    net
-                }
-            };
-            let float_error = error_rate(&net, &test);
-            sei_info!("{}: float test error {float_error:.4}", w.name());
-            TrainedModel {
-                which: w,
-                net,
-                float_error,
+    let cache_dir = scale.model_dir.clone();
+    let models = engine.map(which, |&w| {
+        let cache_path = std::path::Path::new(&cache_dir).join(format!(
+            "{}-t{}-e{}-s{}.seinet",
+            w.name().replace(' ', "_"),
+            scale.train,
+            scale.epochs,
+            scale.seed
+        ));
+        let net = match sei_nn::serialize::load(&cache_path) {
+            Ok(net) => {
+                sei_info!("{}: loaded cached model {}", w.name(), cache_path.display());
+                net
             }
-        })
-        .collect();
-    Context {
+            Err(_) => {
+                let _span = span!("train");
+                sei_info!(
+                    "{}: training ({} samples, {} epochs, seed {})",
+                    w.name(),
+                    scale.train,
+                    scale.epochs,
+                    scale.seed
+                );
+                let mut net = w.build(scale.seed.wrapping_add(10));
+                Trainer::new(TrainConfig {
+                    epochs: scale.epochs,
+                    shuffle_seed: scale.seed,
+                    ..TrainConfig::default()
+                })
+                .fit(&mut net, &train);
+                if std::fs::create_dir_all(&cache_dir).is_ok() {
+                    let _ = sei_nn::serialize::save(&net, &cache_path);
+                }
+                net
+            }
+        };
+        let float_error = error_rate_par(&net, &test, Engine::single());
+        sei_info!("{}: float test error {float_error:.4}", w.name());
+        TrainedModel {
+            which: w,
+            net,
+            float_error,
+        }
+    });
+    Ok(Context {
         scale,
         train,
         test,
         models,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -143,17 +172,23 @@ pub fn prepare_context(scale: ExperimentScale, which: &[PaperNetwork]) -> Contex
 // ---------------------------------------------------------------------------
 
 /// Runs the Table 1 analysis for every prepared network.
-pub fn table1(ctx: &Context) -> Vec<(PaperNetwork, ActivationDistribution)> {
+///
+/// # Errors
+///
+/// Returns [`SeiError::EmptyDataset`] when the calibration subset is empty.
+pub fn table1(ctx: &Context) -> Result<Vec<(PaperNetwork, ActivationDistribution)>, SeiError> {
     let _span = span!("table1");
-    ctx.models
+    let calib = ctx.calib();
+    if calib.is_empty() {
+        return Err(SeiError::EmptyDataset {
+            what: "calibration set",
+        });
+    }
+    Ok(ctx
+        .models
         .iter()
-        .map(|m| {
-            (
-                m.which,
-                ActivationDistribution::analyze(&m.net, &ctx.calib()),
-            )
-        })
-        .collect()
+        .map(|m| (m.which, ActivationDistribution::analyze(&m.net, &calib)))
+        .collect())
 }
 
 // ---------------------------------------------------------------------------
@@ -172,20 +207,26 @@ pub struct Table3Row {
 }
 
 /// Quantizes each prepared network with Algorithm 1 and scores both.
-pub fn table3(ctx: &Context, cfg: &QuantizeConfig) -> Vec<Table3Row> {
+///
+/// # Errors
+///
+/// Propagates quantization failures ([`SeiError::InvalidConfig`],
+/// [`SeiError::EmptyDataset`], [`SeiError::UnsupportedNetwork`]).
+pub fn table3(ctx: &Context, cfg: &QuantizeConfig) -> Result<Vec<Table3Row>, SeiError> {
     let _span = span!("table3");
+    let engine = ctx.engine();
     ctx.models
         .iter()
         .map(|m| {
             let q = {
                 let _span = span!("quantization");
-                quantize_network(&m.net, &ctx.calib(), cfg)
+                quantize_network(&m.net, &ctx.calib(), cfg, engine)?
             };
-            Table3Row {
+            Ok(Table3Row {
                 network: m.which,
                 before: m.float_error,
-                after: error_rate_with(&ctx.test, |img| q.net.classify(img)),
-            }
+                after: error_rate_with_par(&ctx.test, engine, |img| q.net.classify(img)),
+            })
         })
         .collect()
 }
@@ -196,10 +237,24 @@ pub fn table3(ctx: &Context, cfg: &QuantizeConfig) -> Vec<Table3Row> {
 
 /// Cost report of the DAC+ADC design for a network (Fig. 1's subject:
 /// Network 1 with 8-bit data).
-pub fn fig1(net: &Network, constraints: &DesignConstraints, params: &CostParams) -> CostReport {
+///
+/// # Errors
+///
+/// Returns [`SeiError::UnsupportedNetwork`] when the network has no
+/// weighted layer to plan.
+pub fn fig1(
+    net: &Network,
+    constraints: &DesignConstraints,
+    params: &CostParams,
+) -> Result<CostReport, SeiError> {
     let _span = span!("fig1");
+    if net.layers().is_empty() {
+        return Err(SeiError::UnsupportedNetwork {
+            reason: "cannot plan a layout for an empty network".to_string(),
+        });
+    }
     let plan = DesignPlan::plan(net, paper::INPUT_SHAPE, Structure::DacAdc, constraints);
-    CostReport::analyze(&plan, params)
+    Ok(CostReport::analyze(&plan, params))
 }
 
 // ---------------------------------------------------------------------------
@@ -232,7 +287,14 @@ pub struct Table4Column {
 /// Runs the Table 4 ablation for one network at one crossbar limit.
 ///
 /// `random_orders` controls how many random partitions are sampled (the
-/// paper samples 500); each is scored on `test`.
+/// paper samples 500); each is scored on `test`. The random-order trials
+/// fan out on `engine` (each trial builds and scores sequentially on its
+/// worker, so the min/max are bit-identical at any thread count).
+///
+/// # Errors
+///
+/// Propagates split-build failures ([`SeiError::InvalidConfig`],
+/// [`SeiError::EmptyDataset`]).
 #[allow(clippy::too_many_arguments)]
 pub fn table4_column(
     model: &TrainedModel,
@@ -243,12 +305,13 @@ pub fn table4_column(
     max_crossbar: usize,
     random_orders: usize,
     seed: u64,
-) -> Table4Column {
+    engine: Engine,
+) -> Result<Table4Column, SeiError> {
     let _span = span!("table4_column");
     let calib = train.truncated(calib_n);
     let constraints = DesignConstraints::paper_default().with_max_crossbar(max_crossbar);
-    let original = error_rate(&model.net, test);
-    let q_err = error_rate_with(test, |img| quantized.net.classify(img));
+    let original = error_rate_par(&model.net, test, engine);
+    let q_err = error_rate_with_par(test, engine, |img| quantized.net.classify(img));
 
     // Homogenized, static thresholds — the paper's "Matrix Homogenization"
     // row uses the plain θ/K + majority rule, no on-line compensation.
@@ -258,9 +321,9 @@ pub fn table4_column(
     };
     let homog = {
         let _span = span!("split_homogenized");
-        build_split_network(&quantized.net, &homog_cfg, &calib)
+        build_split_network(&quantized.net, &homog_cfg, &calib, engine)?
     };
-    let homog_err = split_error_rate(&homog.net, test);
+    let homog_err = split_error_rate(&homog.net, test, engine);
 
     // Homogenized + dynamic threshold: the paper's row is the static
     // homogenized build plus the on-line β compensation (no other grids).
@@ -272,22 +335,28 @@ pub fn table4_column(
     };
     let dynamic = {
         let _span = span!("split_dynamic_threshold");
-        build_split_network(&quantized.net, &dyn_cfg, &calib)
+        build_split_network(&quantized.net, &dyn_cfg, &calib, engine)?
     };
-    let dyn_err = split_error_rate(&dynamic.net, test);
+    let dyn_err = split_error_rate(&dynamic.net, test, engine);
 
-    // Random orders, uncompensated (the paper's failure-mode row).
+    // Random orders, uncompensated (the paper's failure-mode row). Each
+    // trial is independent and seeded by its index, so the whole sweep
+    // fans out; workers run their trial sequentially (Engine::single).
     let _random_span = span!("split_random_orders");
-    let mut random_min = f32::MAX;
-    let mut random_max = f32::MIN;
-    for i in 0..random_orders {
+    let trial_errs: Vec<Result<f32, SeiError>> = engine.map_indexed(random_orders, |i| {
         let cfg = SplitBuildConfig {
             strategy: PartitionStrategy::Random,
             seed: seed.wrapping_add(1000 + i as u64),
             ..SplitBuildConfig::homogenized(constraints).uncalibrated()
         };
-        let build = build_split_network(&quantized.net, &cfg, &calib.truncated(1));
-        let err = split_error_rate(&build.net, test);
+        let build =
+            build_split_network(&quantized.net, &cfg, &calib.truncated(1), Engine::single())?;
+        Ok(split_error_rate(&build.net, test, Engine::single()))
+    });
+    let mut random_min = f32::MAX;
+    let mut random_max = f32::MIN;
+    for err in trial_errs {
+        let err = err?;
         random_min = random_min.min(err);
         random_max = random_max.max(err);
     }
@@ -296,7 +365,7 @@ pub fn table4_column(
         random_max = 0.0;
     }
 
-    Table4Column {
+    Ok(Table4Column {
         max_crossbar,
         original,
         quantized: q_err,
@@ -306,7 +375,7 @@ pub fn table4_column(
         homogenization: homog_err,
         dynamic_threshold: dyn_err,
         distance_reductions: homog.distances.iter().map(|d| d.reduction()).collect(),
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -354,17 +423,23 @@ pub fn table5_blocks() -> Vec<(PaperNetwork, usize)> {
 ///
 /// `device_eval_n` is the subset size for the crossbar-level SEI accuracy
 /// simulation (0 disables it).
+///
+/// # Errors
+///
+/// Returns [`SeiError::MissingModel`] when `which` was not prepared, and
+/// propagates accelerator-build failures.
 pub fn table5_block(
     ctx: &Context,
     which: PaperNetwork,
     max_crossbar: usize,
     params: &CostParams,
     device_eval_n: usize,
-) -> Vec<Table5Row> {
+) -> Result<Vec<Table5Row>, SeiError> {
     let _span = span!("table5_block");
-    let model = ctx.model(which);
+    let model = ctx.model(which)?;
     let constraints = DesignConstraints::paper_default().with_max_crossbar(max_crossbar);
     let calib = ctx.calib();
+    let engine = ctx.engine();
 
     let acc = {
         let _span = span!("build_accelerator");
@@ -372,7 +447,8 @@ pub fn table5_block(
             .with_constraints(constraints)
             .with_cost_params(*params)
             .with_seed(ctx.scale.seed)
-            .build(&calib)
+            .with_engine(engine)
+            .build(&calib)?
     };
 
     let float_err = model.float_error;
@@ -390,15 +466,15 @@ pub fn table5_block(
             which.name()
         );
         let subset = ctx.test.truncated(device_eval_n);
-        let mut xnet = acc.crossbar_network();
-        let mut baseline = crate::baseline_eval::BaselineNetwork::new(
+        let xnet = acc.crossbar_network();
+        let baseline = crate::baseline_eval::BaselineNetwork::new(
             &model.net,
             &calib.truncated(32),
             &crate::baseline_eval::BaselineEvalConfig::default(),
         );
         (
-            Some(xnet.error_rate(&subset)),
-            Some(baseline.error_rate(&subset)),
+            Some(xnet.error_rate(&subset, engine)),
+            Some(baseline.error_rate(&subset, engine)),
         )
     } else {
         (None, None)
@@ -406,7 +482,7 @@ pub fn table5_block(
 
     let gops = which.paper_gops() * 1e9;
     let base = acc.cost(Structure::DacAdc);
-    Structure::ALL
+    Ok(Structure::ALL
         .iter()
         .map(|&s| {
             let r = acc.cost(s);
@@ -432,7 +508,7 @@ pub fn table5_block(
                 gops_per_j: gops_per_joule(gops, r.total_energy_j()),
             }
         })
-        .collect()
+        .collect())
 }
 
 // ---------------------------------------------------------------------------
@@ -443,34 +519,44 @@ pub fn table5_block(
 /// the crossbar-level simulator. The design constraints are rebuilt per
 /// precision — fewer device bits mean more slices per weight, hence more
 /// physical rows and different split partitioning.
+/// # Errors
+///
+/// Returns [`SeiError::MissingModel`] when `which` was not prepared, and
+/// propagates accelerator-build failures.
 pub fn device_bits_sweep(
     ctx: &Context,
     which: PaperNetwork,
     bits: &[u32],
     eval_n: usize,
-) -> Vec<(u32, f32)> {
+) -> Result<Vec<(u32, f32)>, SeiError> {
     let _span = span!("device_bits_sweep");
-    let model = ctx.model(which);
+    let model = ctx.model(which)?;
     let calib = ctx.calib();
-    bits.iter()
-        .map(|&b| {
+    let engine = ctx.engine();
+    // The Monte-Carlo sweep fans out over the precision points; each
+    // point's build and eval run sequentially on their worker, so the
+    // curve is bit-identical at any thread count.
+    engine
+        .map(bits, |&b| {
             let constraints = DesignConstraints {
                 device_bits: b,
                 ..DesignConstraints::paper_default()
             };
             let device = sei_device::DeviceSpec::default_4bit().with_bits(b);
-            let eval = CrossbarEvalConfig {
-                device,
-                ..CrossbarEvalConfig::default()
-            };
+            let eval = CrossbarEvalConfig::default().with_device(device);
             let acc = AcceleratorBuilder::new(model.net.clone())
                 .with_constraints(constraints)
                 .with_eval_config(eval)
                 .with_seed(ctx.scale.seed)
-                .build(&calib);
-            let mut xnet = acc.crossbar_network();
-            (b, xnet.error_rate(&ctx.test.truncated(eval_n)))
+                .with_engine(Engine::single())
+                .build(&calib)?;
+            let xnet = acc.crossbar_network();
+            Ok((
+                b,
+                xnet.error_rate(&ctx.test.truncated(eval_n), Engine::single()),
+            ))
         })
+        .into_iter()
         .collect()
 }
 
@@ -479,19 +565,64 @@ mod tests {
     use super::*;
 
     fn tiny_ctx() -> Context {
-        prepare_context(ExperimentScale::tiny(), &[PaperNetwork::Network2])
+        let scale = ExperimentScale {
+            threads: 2,
+            model_dir: std::env::temp_dir()
+                .join("sei-test-models")
+                .to_string_lossy()
+                .into_owned(),
+            ..ExperimentScale::tiny()
+        };
+        prepare_context(scale, &[PaperNetwork::Network2]).unwrap()
     }
 
     #[test]
     fn context_trains_above_chance() {
         let ctx = tiny_ctx();
-        assert!(ctx.model(PaperNetwork::Network2).float_error < 0.6);
+        assert!(ctx.model(PaperNetwork::Network2).unwrap().float_error < 0.6);
+    }
+
+    #[test]
+    fn fig1_rejects_empty_network() {
+        let net = sei_nn::Network::new(Vec::new());
+        let err = fig1(
+            &net,
+            &DesignConstraints::paper_default(),
+            &CostParams::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SeiError::UnsupportedNetwork { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_model_is_an_error() {
+        let ctx = tiny_ctx();
+        let err = ctx.model(PaperNetwork::Network1).unwrap_err();
+        assert!(matches!(err, SeiError::MissingModel { ref name } if name.contains('1')));
+        assert!(err.to_string().contains("prepare_context"));
+    }
+
+    #[test]
+    fn zero_scale_is_an_error() {
+        let scale = ExperimentScale {
+            test: 0,
+            ..ExperimentScale::tiny()
+        };
+        let err = prepare_context(scale, &[]).unwrap_err();
+        assert!(matches!(
+            err,
+            SeiError::InvalidConfig {
+                config: "ExperimentScale",
+                field: "test",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn table1_shape() {
         let ctx = tiny_ctx();
-        let t1 = table1(&ctx);
+        let t1 = table1(&ctx).unwrap();
         assert_eq!(t1.len(), 1);
         assert_eq!(t1[0].1.layers.len(), 2);
     }
@@ -499,15 +630,30 @@ mod tests {
     #[test]
     fn table3_quantization_cost_bounded() {
         let ctx = tiny_ctx();
-        let rows = table3(&ctx, &QuantizeConfig::default());
+        let rows = table3(&ctx, &QuantizeConfig::default()).unwrap();
         assert_eq!(rows.len(), 1);
         assert!(rows[0].after <= rows[0].before + 0.25);
     }
 
     #[test]
+    fn table3_rejects_bad_quantize_config() {
+        let ctx = tiny_ctx();
+        let bad = QuantizeConfig::default().with_search_step(0.0);
+        let err = table3(&ctx, &bad).unwrap_err();
+        assert!(matches!(
+            err,
+            SeiError::InvalidConfig {
+                config: "QuantizeConfig",
+                ..
+            }
+        ));
+    }
+
+    #[test]
     fn table5_block_shape() {
         let ctx = tiny_ctx();
-        let rows = table5_block(&ctx, PaperNetwork::Network2, 512, &CostParams::default(), 0);
+        let rows =
+            table5_block(&ctx, PaperNetwork::Network2, 512, &CostParams::default(), 0).unwrap();
         assert_eq!(rows.len(), 3);
         assert!(rows[0].energy_saving_pct.abs() < 1e-6);
         assert!(rows[2].energy_saving_pct > rows[1].energy_saving_pct);
@@ -520,13 +666,50 @@ mod tests {
     #[test]
     fn table4_column_runs_small() {
         let ctx = tiny_ctx();
-        let model = ctx.model(PaperNetwork::Network2);
-        let q = quantize_network(&model.net, &ctx.calib(), &QuantizeConfig::default());
+        let model = ctx.model(PaperNetwork::Network2).unwrap();
+        let q = quantize_network(
+            &model.net,
+            &ctx.calib(),
+            &QuantizeConfig::default(),
+            ctx.engine(),
+        )
+        .unwrap();
         // Use a tight crossbar to force splitting even on Network 2.
-        let col = table4_column(model, &q, &ctx.train, &ctx.test, 60, 64, 3, 5);
+        let col =
+            table4_column(model, &q, &ctx.train, &ctx.test, 60, 64, 3, 5, ctx.engine()).unwrap();
         assert_eq!(col.random_orders, 3);
         assert!(col.random_max >= col.random_min);
         assert!(!col.distance_reductions.is_empty());
         assert!(col.homogenization <= col.random_max + 1e-6);
+    }
+
+    #[test]
+    fn table4_column_is_thread_count_invariant() {
+        let ctx = tiny_ctx();
+        let model = ctx.model(PaperNetwork::Network2).unwrap();
+        let q = quantize_network(
+            &model.net,
+            &ctx.calib(),
+            &QuantizeConfig::default(),
+            Engine::single(),
+        )
+        .unwrap();
+        let run = |threads: usize| {
+            table4_column(
+                model,
+                &q,
+                &ctx.train,
+                &ctx.test,
+                60,
+                64,
+                3,
+                5,
+                Engine::new(threads),
+            )
+            .unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a, b);
     }
 }

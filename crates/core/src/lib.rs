@@ -31,10 +31,17 @@
 //! Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() })
 //!     .fit(&mut net, &train);
 //!
-//! let acc = AcceleratorBuilder::new(net).build(&train.truncated(100));
+//! let acc = AcceleratorBuilder::new(net)
+//!     .build(&train.truncated(100))
+//!     .expect("valid configuration and non-empty calibration set");
 //! let report = acc.cost(sei_mapping::Structure::Sei);
 //! assert!(report.total_energy_j() > 0.0);
 //! ```
+//!
+//! Every driver is fallible — misconfiguration and empty datasets surface
+//! as [`SeiError`] values, never panics — and batch evaluation fans out on
+//! an [`engine::Engine`] whose results are bit-identical at any thread
+//! count (see the `SEI_THREADS` variable on [`ExperimentScale`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,3 +56,5 @@ pub use accelerator::{Accelerator, AcceleratorBuilder, StructureSummary};
 pub use baseline_eval::{BaselineEvalConfig, BaselineNetwork};
 pub use crossbar_eval::{CrossbarEvalConfig, CrossbarNetwork};
 pub use scale::ExperimentScale;
+pub use sei_engine as engine;
+pub use sei_engine::{Engine, SeiError};

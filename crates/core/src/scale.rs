@@ -13,12 +13,24 @@
 //! | `SEI_CALIB_N` | calibration samples for threshold/β searches | 400 |
 //! | `SEI_EPOCHS` | training epochs | 4 |
 //! | `SEI_SEED` | global seed | 1 |
+//! | `SEI_THREADS` | worker threads for the execution engine | available parallelism |
+//! | `SEI_MODEL_DIR` | trained-model cache directory | `<workspace>/results/models` |
+//!
+//! Results are bit-identical at any `SEI_THREADS` value — the engine
+//! chunks work and seeds per-chunk RNG streams independently of the
+//! thread count (see [`sei_engine::Engine`]).
 
+use sei_engine::Engine;
 use sei_telemetry::env::{parse_lookup, EnvError};
 use serde::{Deserialize, Serialize};
 
-/// Sample-count and seed configuration for experiment drivers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Default model-cache directory: `results/models` at the workspace root.
+fn default_model_dir() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/models").to_string()
+}
+
+/// Sample-count, seed and execution configuration for experiment drivers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExperimentScale {
     /// Training-set size (paper: 60 000).
     pub train: usize,
@@ -30,6 +42,10 @@ pub struct ExperimentScale {
     pub epochs: usize,
     /// Global seed.
     pub seed: u64,
+    /// Worker threads for parallel evaluation/search (`SEI_THREADS`).
+    pub threads: usize,
+    /// Directory caching trained model weights (`SEI_MODEL_DIR`).
+    pub model_dir: String,
 }
 
 impl Default for ExperimentScale {
@@ -40,6 +56,8 @@ impl Default for ExperimentScale {
             calib: 400,
             epochs: 4,
             seed: 1,
+            threads: Engine::available().threads(),
+            model_dir: default_model_dir(),
         }
     }
 }
@@ -62,7 +80,27 @@ impl ExperimentScale {
             calib: parse_lookup(&get, "SEI_CALIB_N", "a sample count (usize)")?.unwrap_or(d.calib),
             epochs: parse_lookup(&get, "SEI_EPOCHS", "an epoch count (usize)")?.unwrap_or(d.epochs),
             seed: parse_lookup(&get, "SEI_SEED", "a seed (u64)")?.unwrap_or(d.seed),
+            threads: Engine::parse_threads_lookup(&get)?
+                .map_or(d.threads, |t| Engine::new(t).threads()),
+            model_dir: get("SEI_MODEL_DIR").unwrap_or(d.model_dir),
         })
+    }
+
+    /// The execution engine this scale selects.
+    pub fn engine(&self) -> Engine {
+        Engine::new(self.threads)
+    }
+
+    /// Sets the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Engine::new(threads).threads();
+        self
+    }
+
+    /// Sets the model-cache directory.
+    pub fn with_model_dir(mut self, dir: impl Into<String>) -> Self {
+        self.model_dir = dir.into();
+        self
     }
 
     /// A tiny scale for unit/integration tests (seconds, not minutes).
@@ -72,7 +110,7 @@ impl ExperimentScale {
             test: 150,
             calib: 100,
             epochs: 2,
-            seed: 1,
+            ..ExperimentScale::default()
         }
     }
 }
@@ -86,6 +124,8 @@ mod tests {
         let s = ExperimentScale::default();
         assert!(s.train > s.test);
         assert!(s.calib <= s.train);
+        assert!(s.threads >= 1);
+        assert!(s.model_dir.ends_with("results/models"));
     }
 
     #[test]
@@ -106,11 +146,15 @@ mod tests {
         let s = ExperimentScale::from_lookup(|name| match name {
             "SEI_TRAIN_N" => Some("123".to_string()),
             "SEI_SEED" => Some("9".to_string()),
+            "SEI_THREADS" => Some("3".to_string()),
+            "SEI_MODEL_DIR" => Some("/tmp/models".to_string()),
             _ => None,
         })
         .unwrap();
         assert_eq!(s.train, 123);
         assert_eq!(s.seed, 9);
+        assert_eq!(s.threads, 3);
+        assert_eq!(s.model_dir, "/tmp/models");
         assert_eq!(s.test, ExperimentScale::default().test);
     }
 
@@ -121,5 +165,13 @@ mod tests {
                 .unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("SEI_EPOCHS") && msg.contains("many"), "{msg}");
+    }
+
+    #[test]
+    fn from_lookup_rejects_zero_threads() {
+        let err =
+            ExperimentScale::from_lookup(|name| (name == "SEI_THREADS").then(|| "0".to_string()))
+                .unwrap_err();
+        assert!(err.to_string().contains("SEI_THREADS"));
     }
 }

@@ -1,0 +1,135 @@
+//! Workspace-wide error type for the public pipeline.
+
+use sei_telemetry::env::EnvError;
+use std::fmt;
+
+/// Everything that can go wrong in the public SEI pipeline.
+///
+/// Hand-rolled in the `thiserror` style (the workspace takes no new
+/// dependencies): each variant carries enough context to print a
+/// actionable one-line message. Internal invariants that indicate a bug
+/// in the simulator itself (mismatched layer counts, corrupted caches)
+/// still panic — `SeiError` is reserved for *user-reachable* failures:
+/// malformed configuration, empty datasets, missing models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeiError {
+    /// A strict `SEI_*` environment variable failed to parse.
+    Env(EnvError),
+    /// A dataset that must be non-empty (calibration / evaluation set)
+    /// was empty.
+    EmptyDataset {
+        /// Which dataset: `"calibration set"`, `"evaluation set"`, …
+        what: &'static str,
+    },
+    /// A configuration value is out of range or inconsistent.
+    InvalidConfig {
+        /// Which config struct: `"QuantizeConfig"`, `"SplitBuildConfig"`,
+        /// `"CrossbarEvalConfig"`, `"ExperimentScale"`, …
+        config: &'static str,
+        /// The offending field (or field combination).
+        field: &'static str,
+        /// Human-readable constraint that was violated.
+        reason: String,
+    },
+    /// A trained model was requested from a [`Context`] that does not
+    /// hold it.
+    ///
+    /// [`Context`]: https://docs.rs/sei-core
+    MissingModel {
+        /// Name of the requested network (e.g. `"Network_2"`).
+        name: String,
+    },
+    /// The network shape is outside what the SEI pipeline supports
+    /// (e.g. no weighted layers, or a conv layer as the final classifier).
+    UnsupportedNetwork {
+        /// What exactly is unsupported.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SeiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeiError::Env(e) => write!(f, "{e}"),
+            SeiError::EmptyDataset { what } => {
+                write!(f, "{what} must not be empty")
+            }
+            SeiError::InvalidConfig {
+                config,
+                field,
+                reason,
+            } => write!(f, "invalid {config}: {field}: {reason}"),
+            SeiError::MissingModel { name } => {
+                write!(
+                    f,
+                    "network {name:?} not in context (was it listed in prepare_context?)"
+                )
+            }
+            SeiError::UnsupportedNetwork { reason } => {
+                write!(f, "unsupported network: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SeiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SeiError::Env(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EnvError> for SeiError {
+    fn from(e: EnvError) -> SeiError {
+        SeiError::Env(e)
+    }
+}
+
+impl SeiError {
+    /// Shorthand for an [`SeiError::InvalidConfig`].
+    pub fn invalid_config(
+        config: &'static str,
+        field: &'static str,
+        reason: impl Into<String>,
+    ) -> SeiError {
+        SeiError::InvalidConfig {
+            config,
+            field,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = SeiError::invalid_config("QuantizeConfig", "search_step", "must be positive");
+        let msg = e.to_string();
+        assert!(msg.contains("QuantizeConfig"), "{msg}");
+        assert!(msg.contains("search_step"), "{msg}");
+
+        let e = SeiError::EmptyDataset {
+            what: "calibration set",
+        };
+        assert!(e.to_string().contains("calibration set"));
+
+        let e = SeiError::MissingModel {
+            name: "Network_2".into(),
+        };
+        assert!(e.to_string().contains("Network_2"));
+    }
+
+    #[test]
+    fn env_error_converts_and_sources() {
+        let env = EnvError::new("SEI_THREADS", "lots", "a positive integer");
+        let e: SeiError = env.clone().into();
+        assert_eq!(e, SeiError::Env(env));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("SEI_THREADS"));
+    }
+}

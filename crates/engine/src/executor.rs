@@ -1,0 +1,269 @@
+//! The deterministic work-chunked parallel executor.
+//!
+//! # Determinism contract
+//!
+//! Every `Engine` method decomposes the work into units whose boundaries
+//! depend only on the *item count* (and, for chunked methods, the chunk
+//! size) — never on the thread count. Threads pull unit indices from a
+//! shared atomic counter, compute results locally, and the results are
+//! re-assembled **in unit-index order** before being returned. Any
+//! randomness a unit needs is drawn from a per-chunk RNG seeded by
+//! [`chunk_seed`]`(seed, chunk_index)`, not from a stream shared across
+//! units. Consequently the returned `Vec` is bit-for-bit identical for
+//! any `threads >= 1`.
+
+use sei_telemetry::env::{parse_lookup, EnvError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default dataset chunk size for batched evaluation.
+///
+/// Small enough that a handful of chunks exist even at test scale
+/// (`SEI_TEST_N=150`), large enough that per-chunk overhead (thread
+/// hand-off, RNG construction) is negligible at paper scale.
+pub const DEFAULT_CHUNK: usize = 64;
+
+/// A handle describing how much parallelism to use for deterministic
+/// fan-out loops.
+///
+/// `Engine` is a plain `Copy` value (just a thread count), so it is
+/// cheap to store in builders and thread through call chains. Use
+/// [`Engine::single`] for strictly sequential execution (e.g. inside an
+/// already-parallel outer loop) and [`Engine::from_env`] to respect the
+/// `SEI_THREADS` knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Default for Engine {
+    /// Defaults to [`Engine::available`] — all hardware threads.
+    fn default() -> Engine {
+        Engine::available()
+    }
+}
+
+impl Engine {
+    /// An engine running work on `threads` worker threads
+    /// (`0` is clamped to `1`).
+    pub fn new(threads: usize) -> Engine {
+        Engine {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A strictly sequential engine (one thread, no spawning at all).
+    pub fn single() -> Engine {
+        Engine { threads: 1 }
+    }
+
+    /// An engine sized to the machine's available parallelism.
+    pub fn available() -> Engine {
+        Engine::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Strictly parse the `SEI_THREADS` override from `get`
+    /// (a lookup-injectable environment, for deterministic tests).
+    /// Unset → `Ok(None)`; `0` or malformed → `Err`.
+    pub fn parse_threads_lookup(
+        get: impl Fn(&str) -> Option<String>,
+    ) -> Result<Option<usize>, EnvError> {
+        match parse_lookup::<usize>(&get, "SEI_THREADS", "a positive thread count")? {
+            Some(0) => Err(EnvError::new("SEI_THREADS", "0", "a positive thread count")),
+            other => Ok(other),
+        }
+    }
+
+    /// An engine honoring `SEI_THREADS` (default: available parallelism).
+    pub fn from_env() -> Result<Engine, EnvError> {
+        let parsed = Engine::parse_threads_lookup(|n| std::env::var(n).ok())?;
+        Ok(parsed.map(Engine::new).unwrap_or_else(Engine::available))
+    }
+
+    /// The number of worker threads this engine fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Compute `f(0), f(1), …, f(n-1)` on up to `threads` workers and
+    /// return the results in index order.
+    ///
+    /// `f` must be a pure function of its index (plus captured shared
+    /// state); the output is identical at any thread count.
+    pub fn map_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        let next = &next;
+        let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(part) => indexed.extend(part),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        indexed.sort_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Map `f` over `items`, returning results in item order.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_indexed(items.len(), |i| f(&items[i]))
+    }
+
+    /// Split `items` into fixed-size chunks (the last may be short) and
+    /// compute `f(chunk_index, chunk)` for each, in chunk order.
+    ///
+    /// Chunk boundaries depend only on `items.len()` and `chunk_size`,
+    /// so per-chunk RNG streams derived via [`chunk_seed`] make any
+    /// stochastic per-chunk computation thread-count-invariant.
+    pub fn map_chunks<T, R, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        let size = chunk_size.max(1);
+        let n_chunks = items.len().div_ceil(size);
+        self.map_indexed(n_chunks, |c| {
+            let lo = c * size;
+            let hi = (lo + size).min(items.len());
+            f(c, &items[lo..hi])
+        })
+    }
+}
+
+/// Derive the RNG seed for one work chunk from the experiment seed and
+/// the chunk index.
+///
+/// The scheme is `seed ⊕ chunk_index` (with the index spread by the
+/// golden-ratio constant) fed through the splitmix64 finalizer, so that
+/// adjacent chunk indices yield decorrelated `StdRng` streams instead of
+/// nearly-identical ones. The derivation uses only `(seed, chunk_index)`
+/// — never the thread count — which is what keeps chunked evaluation
+/// bit-identical at any parallelism level.
+pub fn chunk_seed(seed: u64, chunk_index: u64) -> u64 {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut z = seed ^ chunk_index.wrapping_mul(GOLDEN).wrapping_add(GOLDEN);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        for threads in [1, 2, 7] {
+            let engine = Engine::new(threads);
+            let got = engine.map_indexed(100, |i| i * i);
+            let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_boundaries_are_thread_invariant() {
+        let items: Vec<u32> = (0..157).collect();
+        let reference = Engine::single().map_chunks(&items, 16, |c, chunk| (c, chunk.to_vec()));
+        for threads in [2, 7, 32] {
+            let got = Engine::new(threads).map_chunks(&items, 16, |c, chunk| (c, chunk.to_vec()));
+            assert_eq!(got, reference, "threads={threads}");
+        }
+        assert_eq!(reference.len(), 10);
+        assert_eq!(reference[9].1.len(), 13);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Engine::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let got: Vec<u8> = Engine::new(8).map_indexed(0, |_| unreachable!());
+        assert!(got.is_empty());
+        let none: Vec<u8> = Engine::new(8).map_chunks::<u8, _, _>(&[], 64, |_, _| unreachable!());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn parse_threads_rejects_zero_and_garbage() {
+        let got = Engine::parse_threads_lookup(|_| Some("4".into())).unwrap();
+        assert_eq!(got, Some(4));
+        let got = Engine::parse_threads_lookup(|_| None).unwrap();
+        assert_eq!(got, None);
+        assert!(Engine::parse_threads_lookup(|_| Some("0".into())).is_err());
+        assert!(Engine::parse_threads_lookup(|_| Some("many".into())).is_err());
+    }
+
+    /// The per-chunk RNG streams must never overlap: if two chunks'
+    /// `StdRng` streams shared a run of states, stochastic evaluation
+    /// would correlate across chunks. We check that the first 64 draws
+    /// of 128 adjacent chunk streams are pairwise disjoint (and that the
+    /// seeds themselves are distinct).
+    #[test]
+    fn chunk_rng_streams_do_not_overlap() {
+        use std::collections::HashSet;
+        let seed = 1u64;
+        let mut seen_seeds = HashSet::new();
+        let mut seen_draws = HashSet::new();
+        for chunk in 0..128u64 {
+            let s = chunk_seed(seed, chunk);
+            assert!(
+                seen_seeds.insert(s),
+                "duplicate chunk seed at chunk {chunk}"
+            );
+            let mut rng = StdRng::seed_from_u64(s);
+            for draw in 0..64 {
+                let v: u64 = rng.gen();
+                assert!(
+                    seen_draws.insert(v),
+                    "overlapping RNG streams at chunk {chunk}, draw {draw}"
+                );
+            }
+        }
+        // Different experiment seeds must also diverge per chunk.
+        assert_ne!(chunk_seed(1, 0), chunk_seed(2, 0));
+    }
+}

@@ -1,0 +1,25 @@
+//! `sei-engine` — deterministic work-chunked parallel execution and the
+//! workspace-wide fallible-API error type.
+//!
+//! The simulator's hot loops (batch accuracy evaluation, Algorithm 1's
+//! threshold grid search, GA fitness scoring, Monte-Carlo device sweeps)
+//! are embarrassingly parallel over independent items. [`Engine`] runs
+//! such loops on `std::thread` scoped threads with *fixed* work
+//! decomposition: chunk boundaries and per-chunk RNG seeds depend only on
+//! the item count and the experiment seed — never on the thread count or
+//! on scheduling order — so every result is bit-for-bit identical whether
+//! it was computed on 1 thread or 64 (see DESIGN.md §6).
+//!
+//! [`SeiError`] is the workspace's hand-rolled `thiserror`-style error
+//! enum: the public pipeline (`AcceleratorBuilder::build`,
+//! `prepare_context`, the `table*`/`fig1` drivers) returns
+//! `Result<_, SeiError>` instead of panicking on malformed input.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod executor;
+
+pub use error::SeiError;
+pub use executor::{chunk_seed, Engine, DEFAULT_CHUNK};

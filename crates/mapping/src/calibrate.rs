@@ -30,6 +30,7 @@ use crate::homogenize::{self, GaConfig, Partition};
 use crate::split::{SplitSpec, VoteRule};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sei_engine::{Engine, SeiError, DEFAULT_CHUNK};
 use sei_nn::data::Dataset;
 use sei_nn::Matrix;
 use sei_quantize::qnet::{QLayer, QValue, QuantizedNetwork};
@@ -120,6 +121,93 @@ impl SplitBuildConfig {
         self.calibrate = false;
         self
     }
+
+    /// Builder: sets the partitioning strategy.
+    pub fn with_strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builder: sets the RNG seed (partition shuffling / GA).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: sets the output-layer readout head.
+    pub fn with_output_head(mut self, head: OutputHead) -> Self {
+        self.output_head = head;
+        self
+    }
+
+    /// Builder: sets the β candidate grid for the dynamic-threshold
+    /// search (empty = keep β = 0).
+    pub fn with_beta_grid(mut self, grid: Vec<f32>) -> Self {
+        self.beta_grid = grid;
+        self
+    }
+
+    /// Checks the configuration once, up front, so bad constraints or
+    /// grids fail with a clear error instead of deep inside the
+    /// calibration loops.
+    pub fn validate(&self) -> Result<(), SeiError> {
+        let c = &self.constraints;
+        if c.max_crossbar < 8 {
+            return Err(SeiError::invalid_config(
+                "SplitBuildConfig",
+                "constraints.max_crossbar",
+                format!("must be at least 8, got {}", c.max_crossbar),
+            ));
+        }
+        if c.device_bits == 0 || c.weight_bits == 0 {
+            return Err(SeiError::invalid_config(
+                "SplitBuildConfig",
+                "constraints.weight_bits/device_bits",
+                "precisions must be at least 1 bit",
+            ));
+        }
+        if c.sei_rows_per_input() > c.max_crossbar {
+            return Err(SeiError::invalid_config(
+                "SplitBuildConfig",
+                "constraints",
+                format!(
+                    "one SEI input needs {} physical rows but the crossbar only has {}",
+                    c.sei_rows_per_input(),
+                    c.max_crossbar
+                ),
+            ));
+        }
+        for (field, grid) in [
+            ("beta_grid", &self.beta_grid),
+            ("alpha_grid", &self.alpha_grid),
+            ("delta_grid", &self.delta_grid),
+        ] {
+            if grid.iter().any(|v| !v.is_finite()) {
+                return Err(SeiError::invalid_config(
+                    "SplitBuildConfig",
+                    field,
+                    "grid values must be finite",
+                ));
+            }
+        }
+        if self.conv_calib_cap == 0 {
+            return Err(SeiError::invalid_config(
+                "SplitBuildConfig",
+                "conv_calib_cap",
+                "must be at least 1",
+            ));
+        }
+        if let Some(t) = self.fixed_output_theta {
+            if !t.is_finite() {
+                return Err(SeiError::invalid_config(
+                    "SplitBuildConfig",
+                    "fixed_output_theta",
+                    "must be finite",
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Per-split-layer report of the homogenization objective.
@@ -160,17 +248,29 @@ pub struct CalibratedSplit {
     pub distances: Vec<DistanceReport>,
 }
 
-/// Error rate of a split network over a dataset.
+/// Error rate of a split network over a dataset, evaluated in parallel
+/// on `engine`.
+///
+/// Split-network classification is deterministic, so the chunked count
+/// is exactly the sequential count at any thread count.
 ///
 /// # Panics
 ///
 /// Panics if `data` is empty.
-pub fn split_error_rate(net: &SplitNetwork, data: &Dataset) -> f32 {
+pub fn split_error_rate(net: &SplitNetwork, data: &Dataset, engine: Engine) -> f32 {
     assert!(!data.is_empty(), "empty dataset");
-    let errors = data
-        .iter()
-        .filter(|(img, label)| net.classify(img) != *label as usize)
-        .count();
+    let labels = data.labels();
+    let errors: usize = engine
+        .map_chunks(data.images(), DEFAULT_CHUNK, |c, chunk| {
+            let base = c * DEFAULT_CHUNK;
+            chunk
+                .iter()
+                .enumerate()
+                .filter(|(i, img)| net.classify(img) != labels[base + i] as usize)
+                .count()
+        })
+        .into_iter()
+        .sum();
     errors as f32 / data.len() as f32
 }
 
@@ -188,16 +288,23 @@ fn layer_matrix(layer: &QLayer) -> Option<(Matrix, bool)> {
 ///
 /// Layers whose SEI physical row count exceeds the crossbar limit are
 /// partitioned per the strategy and then calibrated per the module-level
-/// procedure, all on `calib`.
+/// procedure, all on `calib`. Per-sample suffix evaluations (the inner
+/// loop of every grid search) fan out on `engine`; candidate selection
+/// scans scores in grid order, so results are bit-identical at any
+/// thread count.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `calib` is empty while any calibration step needs it.
+/// Returns [`SeiError::InvalidConfig`] for bad constraints or grids and
+/// [`SeiError::EmptyDataset`] when a calibration step needs data but
+/// `calib` is empty.
 pub fn build_split_network(
     qnet: &QuantizedNetwork,
     cfg: &SplitBuildConfig,
     calib: &Dataset,
-) -> CalibratedSplit {
+    engine: Engine,
+) -> Result<CalibratedSplit, SeiError> {
+    cfg.validate()?;
     let _build_span = span!("build_split_network");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut specs: Vec<Option<SplitSpec>> = Vec::with_capacity(qnet.layers().len());
@@ -219,7 +326,7 @@ pub fn build_split_network(
         let partition: Partition = match &cfg.strategy {
             PartitionStrategy::Natural => homogenize::natural_order(n, k),
             PartitionStrategy::Random => homogenize::random_order(n, k, &mut rng),
-            PartitionStrategy::Homogenized(ga) => homogenize::genetic(&wm, k, ga, &mut rng),
+            PartitionStrategy::Homogenized(ga) => homogenize::genetic(&wm, k, ga, &mut rng, engine),
         };
         distances.push(DistanceReport {
             layer_index: i,
@@ -240,14 +347,16 @@ pub fn build_split_network(
     // popcount head needs a θ_out at all.
     let output_needs_theta = output_split && cfg.output_head == OutputHead::Popcount;
     let score_quantiles = if output_needs_theta {
-        assert!(
-            !calib.is_empty() || cfg.fixed_output_theta.is_some(),
-            "output-θ selection needs calibration data"
-        );
-        let mut values: Vec<f32> = Vec::new();
-        for (img, _) in calib.iter() {
-            values.extend_from_slice(qnet.forward(img).as_slice());
+        if calib.is_empty() && cfg.fixed_output_theta.is_none() {
+            return Err(SeiError::EmptyDataset {
+                what: "calibration set (output-θ selection)",
+            });
         }
+        let mut values: Vec<f32> = engine
+            .map(calib.images(), |img| qnet.forward(img).as_slice().to_vec())
+            .into_iter()
+            .flatten()
+            .collect();
         values.sort_by(f32::total_cmp);
         values
     } else {
@@ -272,12 +381,12 @@ pub fn build_split_network(
     let n_split = net.split_indices().len();
     let mut betas = vec![0.0f32; n_split];
     if n_split == 0 || calib.is_empty() {
-        return CalibratedSplit {
+        return Ok(CalibratedSplit {
             net,
             output_theta: initial_theta,
             betas,
             distances,
-        };
+        });
     }
 
     // --- sequential per-layer calibration with prefix caching ---
@@ -313,12 +422,9 @@ pub fn build_split_network(
         };
         // Cache each sample's value at this layer's input (uses the
         // already-calibrated earlier layers).
-        let prefix: Vec<QValue> = calib
-            .images()
-            .iter()
-            .take(eval_n)
-            .map(|img| net.forward_range(QValue::Analog(img.clone()), 0, layer_idx))
-            .collect();
+        let prefix: Vec<QValue> = engine.map(&calib.images()[..eval_n], |img| {
+            net.forward_range(QValue::Analog(img.clone()), 0, layer_idx)
+        });
 
         // Mean active-input statistics for this layer (β's ē_k), measured
         // by running just this layer with stats enabled.
@@ -330,17 +436,27 @@ pub fn build_split_network(
             net.set_mean_ones(which, stats[which].means());
         }
 
-        // Scoring closure: accuracy of the suffix from the cached prefix.
+        // Scoring closure: accuracy of the suffix from the cached prefix,
+        // fanned out per sample (each sample's suffix run is independent;
+        // the summed correct-count is thread-count-invariant).
+        let labels = calib.labels();
         let accuracy = |net: &SplitNetwork| -> f32 {
-            let mut correct = 0usize;
-            for (v, (_, label)) in prefix.iter().zip(calib.iter()) {
-                let scores = net
-                    .forward_range(v.clone(), layer_idx, net.len())
-                    .expect_analog();
-                if scores.argmax() == label as usize {
-                    correct += 1;
-                }
-            }
+            let correct: usize = engine
+                .map_chunks(&prefix, DEFAULT_CHUNK, |c, chunk| {
+                    let base = c * DEFAULT_CHUNK;
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, v)| {
+                            let scores = net
+                                .forward_range((*v).clone(), layer_idx, net.len())
+                                .expect_analog();
+                            scores.argmax() == labels[base + j] as usize
+                        })
+                        .count()
+                })
+                .into_iter()
+                .sum();
             correct as f32 / prefix.len() as f32
         };
 
@@ -452,12 +568,12 @@ pub fn build_split_network(
         }
     }
 
-    CalibratedSplit {
+    Ok(CalibratedSplit {
         net,
         output_theta,
         betas,
         distances,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -468,6 +584,10 @@ mod tests {
     use sei_nn::train::{TrainConfig, Trainer};
     use sei_quantize::algorithm1::{quantize_network, QuantizeConfig};
 
+    fn eng() -> Engine {
+        Engine::new(2)
+    }
+
     fn quantized_net2(train: &Dataset) -> QuantizedNetwork {
         let mut net = paper::network2(3);
         Trainer::new(TrainConfig {
@@ -475,7 +595,14 @@ mod tests {
             ..TrainConfig::default()
         })
         .fit(&mut net, train);
-        quantize_network(&net, &train.truncated(200), &QuantizeConfig::default()).net
+        quantize_network(
+            &net,
+            &train.truncated(200),
+            &QuantizeConfig::default(),
+            Engine::single(),
+        )
+        .unwrap()
+        .net
     }
 
     /// Constraints tight enough to force splitting of Network 2's FC layer
@@ -492,7 +619,7 @@ mod tests {
         // crossbar once the capacity exceeds 200 logical rows (rows×4+4).
         let roomy = DesignConstraints::paper_default().with_max_crossbar(1024);
         let cfg = SplitBuildConfig::homogenized(roomy);
-        let result = build_split_network(&qnet, &cfg, &train.truncated(50));
+        let result = build_split_network(&qnet, &cfg, &train.truncated(50), eng()).unwrap();
         assert!(result.net.split_indices().is_empty());
         assert!(result.output_theta.is_none());
         assert!(result.distances.is_empty());
@@ -506,7 +633,7 @@ mod tests {
             strategy: PartitionStrategy::Natural,
             ..SplitBuildConfig::homogenized(tight())
         };
-        let result = build_split_network(&qnet, &cfg, &train.truncated(60));
+        let result = build_split_network(&qnet, &cfg, &train.truncated(60), eng()).unwrap();
         assert_eq!(result.net.split_indices().len(), 2);
         // The default ADC head needs no output θ.
         assert!(result.output_theta.is_none());
@@ -520,7 +647,7 @@ mod tests {
         let train = SynthConfig::new(400, 3).generate();
         let qnet = quantized_net2(&train);
         let cfg = SplitBuildConfig::homogenized(tight());
-        let result = build_split_network(&qnet, &cfg, &train.truncated(40));
+        let result = build_split_network(&qnet, &cfg, &train.truncated(40), eng()).unwrap();
         for d in &result.distances {
             assert!(
                 d.chosen_distance <= d.natural_distance + 1e-9,
@@ -548,8 +675,14 @@ mod tests {
                 .count();
             errs as f32 / test.len() as f32
         };
-        let build = build_split_network(&qnet, &SplitBuildConfig::homogenized(tight()), &calib);
-        let err = split_error_rate(&build.net, &test);
+        let build = build_split_network(
+            &qnet,
+            &SplitBuildConfig::homogenized(tight()),
+            &calib,
+            eng(),
+        )
+        .unwrap();
+        let err = split_error_rate(&build.net, &test, eng());
         assert!(
             err <= unsplit_err + 0.12,
             "split {err} strayed too far from unsplit {unsplit_err}"
@@ -567,17 +700,23 @@ mod tests {
 
         let random = build_split_network(
             &qnet,
-            &SplitBuildConfig {
-                strategy: PartitionStrategy::Random,
-                seed: 13,
-                ..SplitBuildConfig::homogenized(tight())
-            },
+            &SplitBuildConfig::homogenized(tight())
+                .with_strategy(PartitionStrategy::Random)
+                .with_seed(13),
             &calib,
-        );
-        let homog = build_split_network(&qnet, &SplitBuildConfig::homogenized(tight()), &calib);
+            eng(),
+        )
+        .unwrap();
+        let homog = build_split_network(
+            &qnet,
+            &SplitBuildConfig::homogenized(tight()),
+            &calib,
+            eng(),
+        )
+        .unwrap();
 
-        let err_random = split_error_rate(&random.net, &test);
-        let err_homog = split_error_rate(&homog.net, &test);
+        let err_random = split_error_rate(&random.net, &test, eng());
+        let err_homog = split_error_rate(&homog.net, &test, eng());
         assert!(
             err_homog <= err_random + 0.02,
             "homogenized {err_homog} should not lose to random {err_random}"
@@ -590,15 +729,22 @@ mod tests {
         let qnet = quantized_net2(&train);
         let calib = train.truncated(100);
 
-        let static_build =
-            build_split_network(&qnet, &SplitBuildConfig::homogenized(tight()), &calib);
+        let static_build = build_split_network(
+            &qnet,
+            &SplitBuildConfig::homogenized(tight()),
+            &calib,
+            eng(),
+        )
+        .unwrap();
         let dynamic_build = build_split_network(
             &qnet,
             &SplitBuildConfig::homogenized(tight()).with_dynamic_threshold(),
             &calib,
-        );
-        let err_static = split_error_rate(&static_build.net, &calib);
-        let err_dynamic = split_error_rate(&dynamic_build.net, &calib);
+            eng(),
+        )
+        .unwrap();
+        let err_static = split_error_rate(&static_build.net, &calib, eng());
+        let err_dynamic = split_error_rate(&dynamic_build.net, &calib, eng());
         // β = 0 is in the grid, so calibration accuracy can only improve.
         assert!(
             err_dynamic <= err_static + 1e-6,
@@ -612,7 +758,7 @@ mod tests {
         let train = SynthConfig::new(400, 7).generate();
         let qnet = quantized_net2(&train);
         let cfg = SplitBuildConfig::homogenized(tight()).uncalibrated();
-        let result = build_split_network(&qnet, &cfg, &train.truncated(50));
+        let result = build_split_network(&qnet, &cfg, &train.truncated(50), eng()).unwrap();
         for spec in result.net.specs().into_iter().flatten() {
             assert_eq!(spec.theta_scale, 1.0);
             assert_eq!(spec.beta, 0.0);
@@ -630,10 +776,18 @@ mod tests {
             &qnet,
             &SplitBuildConfig::homogenized(tight()).uncalibrated(),
             &calib,
-        );
-        let cal = build_split_network(&qnet, &SplitBuildConfig::homogenized(tight()), &calib);
-        let err_raw = split_error_rate(&raw.net, &calib);
-        let err_cal = split_error_rate(&cal.net, &calib);
+            eng(),
+        )
+        .unwrap();
+        let cal = build_split_network(
+            &qnet,
+            &SplitBuildConfig::homogenized(tight()),
+            &calib,
+            eng(),
+        )
+        .unwrap();
+        let err_raw = split_error_rate(&raw.net, &calib, eng());
+        let err_cal = split_error_rate(&cal.net, &calib, eng());
         assert!(
             err_cal <= err_raw + 1e-6,
             "calibrated {err_cal} vs uncalibrated {err_raw}"

@@ -20,6 +20,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use sei_engine::Engine;
 use sei_nn::Matrix;
 use sei_telemetry::{span, Heartbeat};
 use serde::{Deserialize, Serialize};
@@ -206,12 +207,21 @@ pub fn greedy_lpt(matrix: &Matrix, k: usize) -> Partition {
 /// best `population` individuals survive each generation. The initial
 /// population contains the natural order plus random orders.
 ///
-/// Deterministic for a given RNG state.
+/// Deterministic for a given RNG state: all randomness (initial orders,
+/// parent selection, mutations) is drawn from `rng` on the calling
+/// thread; only the pure Equ. 10 scoring of candidates fans out on
+/// `engine`, so the result is bit-identical at any thread count.
 ///
 /// # Panics
 ///
 /// Panics if `k == 0` or `k > matrix.rows()`.
-pub fn genetic(matrix: &Matrix, k: usize, cfg: &GaConfig, rng: &mut StdRng) -> Partition {
+pub fn genetic(
+    matrix: &Matrix,
+    k: usize,
+    cfg: &GaConfig,
+    rng: &mut StdRng,
+    engine: Engine,
+) -> Partition {
     let n = matrix.rows();
     assert!(k > 0 && k <= n, "invalid partition count {k} for {n} rows");
     if k == 1 {
@@ -229,25 +239,28 @@ pub fn genetic(matrix: &Matrix, k: usize, cfg: &GaConfig, rng: &mut StdRng) -> P
         s
     };
 
-    let mut population: Vec<(Vec<usize>, f64)> = Vec::with_capacity(cfg.population);
-    let natural: Vec<usize> = (0..n).collect();
-    let s = score(&natural);
-    population.push((natural, s));
+    // Generate the initial orderings with `rng` (sequential, so the draw
+    // sequence matches the single-threaded reference), then score the
+    // whole batch in parallel.
+    let mut orders: Vec<Vec<usize>> = Vec::with_capacity(cfg.population);
+    orders.push((0..n).collect());
     // Seed with the greedy heuristic's ordering as well.
-    let lpt_order: Vec<usize> = greedy_lpt(matrix, k).into_iter().flatten().collect();
-    let s = score(&lpt_order);
-    population.push((lpt_order, s));
-    while population.len() < cfg.population {
+    orders.push(greedy_lpt(matrix, k).into_iter().flatten().collect());
+    while orders.len() < cfg.population {
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(rng);
-        let s = score(&order);
-        population.push((order, s));
+        orders.push(order);
     }
+    let scores = engine.map(&orders, |o| score(o));
+    let mut population: Vec<(Vec<usize>, f64)> = orders.into_iter().zip(scores).collect();
     population.sort_by(|a, b| a.1.total_cmp(&b.1));
 
     let mut heartbeat = Heartbeat::new("homogenization GA");
     for generation in 0..cfg.generations {
-        let mut children = Vec::with_capacity(cfg.offspring);
+        // Offspring generation stays on the RNG thread; fitness scoring
+        // (the expensive part) fans out. Stable sort + append order keep
+        // tie-breaking identical to the sequential algorithm.
+        let mut child_orders = Vec::with_capacity(cfg.offspring);
         for _ in 0..cfg.offspring {
             // Tournament-select a parent biased toward the front.
             let a = rng.gen_range(0..population.len());
@@ -259,10 +272,10 @@ pub fn genetic(matrix: &Matrix, k: usize, cfg: &GaConfig, rng: &mut StdRng) -> P
                 let j = rng.gen_range(0..n);
                 child.swap(i, j);
             }
-            let s = score(&child);
-            children.push((child, s));
+            child_orders.push(child);
         }
-        population.extend(children);
+        let child_scores = engine.map(&child_orders, |c| score(c));
+        population.extend(child_orders.into_iter().zip(child_scores));
         population.sort_by(|a, b| a.1.total_cmp(&b.1));
         population.truncate(cfg.population);
         heartbeat.tick(generation + 1, cfg.generations, population[0].1);
@@ -362,7 +375,7 @@ mod tests {
     fn genetic_beats_natural_on_skewed_matrix() {
         let m = skewed(16, 4);
         let mut rng = StdRng::seed_from_u64(1);
-        let ga = genetic(&m, 2, &GaConfig::default(), &mut rng);
+        let ga = genetic(&m, 2, &GaConfig::default(), &mut rng, Engine::new(2));
         let d_ga = mean_vector_distance(&m, &ga);
         let d_nat = mean_vector_distance(&m, &natural_order(16, 2));
         // The paper reports 80–90 % distance reduction on trained CNN
@@ -377,7 +390,7 @@ mod tests {
     fn genetic_close_to_exact_on_small_instance() {
         let m = skewed(8, 3);
         let mut rng = StdRng::seed_from_u64(2);
-        let ga = genetic(&m, 2, &GaConfig::default(), &mut rng);
+        let ga = genetic(&m, 2, &GaConfig::default(), &mut rng, Engine::new(2));
         let ex = exact(&m, 2);
         let d_ga = mean_vector_distance(&m, &ga);
         let d_ex = mean_vector_distance(&m, &ex);
@@ -411,7 +424,7 @@ mod tests {
     fn ga_not_worse_than_its_lpt_seed() {
         let m = skewed(20, 5);
         let mut rng = StdRng::seed_from_u64(8);
-        let ga = genetic(&m, 4, &GaConfig::default(), &mut rng);
+        let ga = genetic(&m, 4, &GaConfig::default(), &mut rng, Engine::new(2));
         let d_ga = mean_vector_distance(&m, &ga);
         let d_lpt = mean_vector_distance(&m, &greedy_lpt(&m, 4));
         assert!(d_ga <= d_lpt + 1e-9, "GA {d_ga} vs its seed LPT {d_lpt}");
@@ -437,7 +450,7 @@ mod tests {
             ..GaConfig::default()
         };
         let mut rng = StdRng::seed_from_u64(4);
-        let p = genetic(&m, 2, &cfg, &mut rng);
+        let p = genetic(&m, 2, &cfg, &mut rng, Engine::single());
         let combined =
             |p: &Partition| mean_vector_distance(&m, p) + 0.5 * second_moment_distance(&m, p);
         assert!(combined(&p) <= combined(&natural_order(16, 2)) + 1e-9);
@@ -450,8 +463,8 @@ mod tests {
             generations: 20,
             ..GaConfig::default()
         };
-        let a = genetic(&m, 3, &cfg, &mut StdRng::seed_from_u64(5));
-        let b = genetic(&m, 3, &cfg, &mut StdRng::seed_from_u64(5));
+        let a = genetic(&m, 3, &cfg, &mut StdRng::seed_from_u64(5), Engine::single());
+        let b = genetic(&m, 3, &cfg, &mut StdRng::seed_from_u64(5), Engine::new(7));
         assert_eq!(a, b);
     }
 
@@ -459,7 +472,7 @@ mod tests {
     fn k_equals_one_trivial() {
         let m = skewed(6, 2);
         let mut rng = StdRng::seed_from_u64(9);
-        let p = genetic(&m, 1, &GaConfig::default(), &mut rng);
+        let p = genetic(&m, 1, &GaConfig::default(), &mut rng, Engine::single());
         assert_eq!(p.len(), 1);
         assert_eq!(p[0].len(), 6);
     }

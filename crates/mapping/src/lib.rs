@@ -30,6 +30,7 @@
 //! distance objective improved over the natural order:
 //!
 //! ```
+//! use sei_engine::Engine;
 //! use sei_mapping::homogenize::{self, GaConfig};
 //! use sei_nn::Matrix;
 //! use rand::rngs::StdRng;
@@ -41,7 +42,7 @@
 //! ]);
 //! let natural = homogenize::natural_order(6, 2);
 //! let mut rng = StdRng::seed_from_u64(0);
-//! let better = homogenize::genetic(&m, 2, &GaConfig::default(), &mut rng);
+//! let better = homogenize::genetic(&m, 2, &GaConfig::default(), &mut rng, Engine::single());
 //! assert!(
 //!     homogenize::mean_vector_distance(&m, &better)
 //!         <= homogenize::mean_vector_distance(&m, &natural)
@@ -61,4 +62,5 @@ pub mod timing;
 
 pub use arch::{DesignConstraints, Structure};
 pub use evaluate::{OutputHead, SplitNetwork};
+pub use sei_engine::{Engine, SeiError};
 pub use split::{SplitSpec, VoteRule};

@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sei_engine::Engine;
 use sei_mapping::homogenize::{
     genetic, mean_vector_distance, natural_order, random_order, GaConfig,
 };
@@ -53,7 +54,7 @@ proptest! {
     fn ga_never_loses_to_natural(m in matrix(12, 4), seed in 0u64..50) {
         let cfg = GaConfig { generations: 15, ..GaConfig::default() };
         let mut rng = StdRng::seed_from_u64(seed);
-        let ga = genetic(&m, 3, &cfg, &mut rng);
+        let ga = genetic(&m, 3, &cfg, &mut rng, Engine::new(2));
         let d_ga = mean_vector_distance(&m, &ga);
         let d_nat = mean_vector_distance(&m, &natural_order(12, 3));
         prop_assert!(d_ga <= d_nat + 1e-9);

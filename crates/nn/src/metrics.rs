@@ -7,6 +7,7 @@
 
 use crate::data::Dataset;
 use crate::network::Network;
+use sei_engine::{Engine, DEFAULT_CHUNK};
 use serde::{Deserialize, Serialize};
 
 /// Classification error rate of a network over a dataset, in `[0, 1]`.
@@ -44,6 +45,46 @@ pub fn error_rate_with(
             errors += 1;
         }
     }
+    errors as f32 / data.len() as f32
+}
+
+/// Parallel [`error_rate`]: the dataset is evaluated in fixed-size
+/// chunks fanned out over `engine`'s worker threads.
+///
+/// Classification is deterministic, so the result is exactly equal to
+/// the sequential [`error_rate`] at any thread count.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn error_rate_par(net: &Network, data: &Dataset, engine: Engine) -> f32 {
+    error_rate_with_par(data, engine, |img| net.classify(img))
+}
+
+/// Parallel [`error_rate_with`] for `Sync` classifier closures (the
+/// quantized / split / crossbar evaluation paths).
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn error_rate_with_par(
+    data: &Dataset,
+    engine: Engine,
+    classify: impl Fn(&crate::tensor::Tensor3) -> usize + Sync,
+) -> f32 {
+    assert!(!data.is_empty(), "empty dataset");
+    let labels = data.labels();
+    let errors: usize = engine
+        .map_chunks(data.images(), DEFAULT_CHUNK, |c, chunk| {
+            let base = c * DEFAULT_CHUNK;
+            chunk
+                .iter()
+                .enumerate()
+                .filter(|(i, img)| classify(img) != labels[base + i] as usize)
+                .count()
+        })
+        .into_iter()
+        .sum();
     errors as f32 / data.len() as f32
 }
 
@@ -135,6 +176,17 @@ mod tests {
         // Predict label 0 for everything: 2 of 20 are class 0.
         let err = error_rate_with(&data, |_| 0);
         assert!((err - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_error_rate_matches_sequential() {
+        let data = crate::data::SynthConfig::new(130, 7).generate();
+        let net = crate::paper::network2(3);
+        let seq = error_rate(&net, &data);
+        for threads in [1, 2, 7] {
+            let par = error_rate_par(&net, &data, Engine::new(threads));
+            assert_eq!(par.to_bits(), seq.to_bits(), "threads={threads}");
+        }
     }
 
     #[test]

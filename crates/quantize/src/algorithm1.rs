@@ -24,6 +24,7 @@
 
 use crate::bits::BitTensor;
 use crate::qnet::{conv_binary_preact, fc_binary_preact, QLayer, QValue, QuantizedNetwork};
+use sei_engine::{Engine, SeiError};
 use sei_nn::data::Dataset;
 use sei_nn::{Layer, Network, Tensor3};
 use sei_telemetry::{sei_debug, span, Heartbeat};
@@ -76,6 +77,55 @@ impl QuantizeConfig {
             ..QuantizeConfig::default()
         }
     }
+
+    /// Builder: sets the threshold search range `[min, max]`.
+    pub fn with_range(mut self, min: f32, max: f32) -> Self {
+        self.thres_min = min;
+        self.thres_max = max;
+        self
+    }
+
+    /// Builder: sets the brute-force search step.
+    pub fn with_search_step(mut self, step: f32) -> Self {
+        self.search_step = step;
+        self
+    }
+
+    /// Builder: sets the scoring objective.
+    pub fn with_objective(mut self, objective: SearchObjective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Checks the configuration once, up front, so a bad range fails
+    /// with a clear error instead of deep inside the search loop.
+    pub fn validate(&self) -> Result<(), SeiError> {
+        if !self.thres_min.is_finite() || !self.thres_max.is_finite() {
+            return Err(SeiError::invalid_config(
+                "QuantizeConfig",
+                "thres_min/thres_max",
+                "threshold bounds must be finite",
+            ));
+        }
+        if self.thres_max < self.thres_min {
+            return Err(SeiError::invalid_config(
+                "QuantizeConfig",
+                "thres_max",
+                format!(
+                    "search range is empty (thres_max {} < thres_min {})",
+                    self.thres_max, self.thres_min
+                ),
+            ));
+        }
+        if !(self.search_step.is_finite() && self.search_step > 0.0) {
+            return Err(SeiError::invalid_config(
+                "QuantizeConfig",
+                "search_step",
+                format!("must be a positive finite step, got {}", self.search_step),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Per-layer record of the threshold search, for the search-curve plots.
@@ -100,19 +150,28 @@ pub struct QuantizationResult {
     pub search_curves: Vec<SearchCurve>,
 }
 
-/// Computes the candidate threshold grid.
-fn threshold_grid(cfg: &QuantizeConfig) -> Vec<f32> {
-    assert!(
-        cfg.search_step > 0.0 && cfg.thres_max >= cfg.thres_min,
-        "invalid threshold search range"
-    );
+/// Evenly-stepped candidate grid `start + step * k` up to `end`
+/// (inclusive, small tolerance). Integer-multiple stepping instead of
+/// `t += step` accumulation, so the point count never depends on how
+/// rounding error happened to accumulate.
+fn stepped_grid(start: f32, end: f32, step: f32) -> Vec<f32> {
     let mut grid = Vec::new();
-    let mut t = cfg.thres_min;
-    while t <= cfg.thres_max + 1e-9 {
+    let mut k = 0u32;
+    loop {
+        let t = start + step * k as f32;
+        if t > end + 1e-6 {
+            return grid;
+        }
         grid.push(t);
-        t += cfg.search_step;
+        k += 1;
     }
-    grid
+}
+
+/// Computes the candidate threshold grid. The range is checked by
+/// [`QuantizeConfig::validate`] before this runs.
+fn threshold_grid(cfg: &QuantizeConfig) -> Vec<f32> {
+    debug_assert!(cfg.search_step > 0.0 && cfg.thres_max >= cfg.thres_min);
+    stepped_grid(cfg.thres_min, cfg.thres_max, cfg.search_step)
 }
 
 /// Runs the original float network from layer `start` on a value, returning
@@ -143,21 +202,36 @@ fn preact(layer: &Layer, state: &QValue) -> Tensor3 {
 ///
 /// `calib` is the calibration set (the paper uses the 60 000-sample MNIST
 /// training set; scale to taste — thresholds are 1-D parameters and
-/// saturate quickly with calibration size).
+/// saturate quickly with calibration size). Candidate thresholds are
+/// scored in parallel on `engine` (they are independent); the winner is
+/// still selected by scanning scores in grid order, so the result is
+/// bit-identical at any thread count.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `calib` is empty, if the network has no weighted layers, or if
-/// the configuration range is invalid.
+/// Returns [`SeiError::EmptyDataset`] for an empty calibration set,
+/// [`SeiError::InvalidConfig`] for a bad search range, and
+/// [`SeiError::UnsupportedNetwork`] when the network has no weighted
+/// layers or ends in a conv layer.
 pub fn quantize_network(
     net: &Network,
     calib: &Dataset,
     cfg: &QuantizeConfig,
-) -> QuantizationResult {
-    assert!(!calib.is_empty(), "calibration set must not be empty");
+    engine: Engine,
+) -> Result<QuantizationResult, SeiError> {
+    if calib.is_empty() {
+        return Err(SeiError::EmptyDataset {
+            what: "calibration set",
+        });
+    }
+    cfg.validate()?;
     let _quantize_span = span!("quantize_network");
     let weighted = net.weighted_layer_indices();
-    assert!(!weighted.is_empty(), "network has no weighted layers");
+    if weighted.is_empty() {
+        return Err(SeiError::UnsupportedNetwork {
+            reason: "network has no weighted layers".to_string(),
+        });
+    }
     let last_weighted = *weighted.last().expect("non-empty");
     let grid = threshold_grid(cfg);
 
@@ -182,8 +256,9 @@ pub fn quantize_network(
                 let _layer_span = span!("quantize_layer");
                 let first_layer_analog = matches!(states[0], QValue::Analog(_));
 
-                // (1) feedforward through already-quantized front layers.
-                let mut outs: Vec<Tensor3> = states.iter().map(|s| preact(layer, s)).collect();
+                // (1) feedforward through already-quantized front layers
+                // (samples are independent — fan out).
+                let mut outs: Vec<Tensor3> = engine.map(&states, |s| preact(layer, s));
 
                 // (2) weight re-scaling by the max output.
                 let mut max_out = 0.0f32;
@@ -232,12 +307,17 @@ pub fn quantize_network(
                         }
                     }
                 };
+                // Candidate thresholds are independent: score each batch
+                // in parallel, then pick the winner by scanning scores in
+                // grid order with strict `>`, so ties resolve exactly as
+                // the sequential loop did (first best wins) and the
+                // chosen threshold is thread-count-invariant.
                 let mut heartbeat = Heartbeat::new("threshold search");
                 let mut best_theta = grid[0];
                 let mut best_score = f32::MIN;
                 let mut points = Vec::with_capacity(grid.len());
-                for (i, &theta) in grid.iter().enumerate() {
-                    let score = score_of(theta);
+                let fine_scores = engine.map(&grid, |&t| score_of(t));
+                for (i, (&theta, &score)) in grid.iter().zip(&fine_scores).enumerate() {
                     points.push((theta, score));
                     if score > best_score {
                         best_score = score;
@@ -254,43 +334,39 @@ pub fn quantize_network(
                 // its winner at the fine step. Layers matching the paper's
                 // long-tail assumption are unaffected.
                 let coarse_step = 0.05f32;
+                let coarse_grid = stepped_grid(cfg.thres_max + coarse_step, 1.0, coarse_step);
+                let coarse_scores = engine.map(&coarse_grid, |&t| score_of(t));
                 let mut coarse_best: Option<f32> = None;
-                let mut t = cfg.thres_max + coarse_step;
-                while t <= 1.0 + 1e-9 {
-                    let score = score_of(t);
-                    points.push((t, score));
+                for (&theta, &score) in coarse_grid.iter().zip(&coarse_scores) {
+                    points.push((theta, score));
                     if score > best_score {
                         best_score = score;
-                        best_theta = t;
-                        coarse_best = Some(t);
+                        best_theta = theta;
+                        coarse_best = Some(theta);
                     }
                     heartbeat.tick(points.len(), 0, f64::from(best_score));
-                    t += coarse_step;
                 }
                 if let Some(center) = coarse_best {
-                    let mut t = center - coarse_step;
-                    while t <= center + coarse_step + 1e-9 {
-                        let score = score_of(t);
-                        points.push((t, score));
+                    let refine_grid =
+                        stepped_grid(center - coarse_step, center + coarse_step, cfg.search_step);
+                    let refine_scores = engine.map(&refine_grid, |&t| score_of(t));
+                    for (&theta, &score) in refine_grid.iter().zip(&refine_scores) {
+                        points.push((theta, score));
                         if score > best_score {
                             best_score = score;
-                            best_theta = t;
+                            best_theta = theta;
                         }
-                        t += cfg.search_step;
                     }
                 }
 
                 // Commit: update states with the winning threshold.
-                states = outs
-                    .into_iter()
-                    .map(|o| {
-                        let mut bits = BitTensor::threshold(&o, best_theta);
-                        if let Some(p) = pool_after {
-                            bits = bits.pool_or(p);
-                        }
-                        QValue::Bits(bits)
-                    })
-                    .collect();
+                states = engine.map(&outs, |o| {
+                    let mut bits = BitTensor::threshold(o, best_theta);
+                    if let Some(p) = pool_after {
+                        bits = bits.pool_or(p);
+                    }
+                    QValue::Bits(bits)
+                });
 
                 qlayers.push(match (&scaled_layer, first_layer_analog) {
                     (Layer::Conv(c), true) => QLayer::AnalogConv {
@@ -334,7 +410,9 @@ pub fn quantize_network(
             Layer::Conv(_) => {
                 // A conv as the final weighted layer is not a classifier
                 // head in the paper's networks.
-                panic!("final weighted layer must be fully-connected");
+                return Err(SeiError::UnsupportedNetwork {
+                    reason: "final weighted layer must be fully-connected".to_string(),
+                });
             }
             Layer::Flatten => {
                 states = states
@@ -354,12 +432,12 @@ pub fn quantize_network(
         }
     }
 
-    QuantizationResult {
+    Ok(QuantizationResult {
         net: QuantizedNetwork::new(qlayers),
         thresholds,
         scales,
         search_curves: curves,
-    }
+    })
 }
 
 /// Index of the first layer after `idx`'s ReLU/pool epilogue — where the
@@ -447,13 +525,37 @@ mod tests {
     }
 
     #[test]
+    fn unweighted_network_is_unsupported() {
+        let calib = SynthConfig::new(10, 1).generate();
+        let net = Network::new(vec![Layer::Flatten]);
+        let err = quantize_network(&net, &calib, &QuantizeConfig::default(), Engine::single())
+            .unwrap_err();
+        assert!(matches!(err, SeiError::UnsupportedNetwork { .. }), "{err}");
+    }
+
+    #[test]
+    fn conv_classifier_head_is_unsupported() {
+        let calib = SynthConfig::new(10, 2).generate();
+        let net = Network::new(vec![Layer::Conv(sei_nn::Conv2d::zeros(1, 4, 3))]);
+        let err = quantize_network(&net, &calib, &QuantizeConfig::default(), Engine::single())
+            .unwrap_err();
+        assert!(matches!(err, SeiError::UnsupportedNetwork { .. }), "{err}");
+    }
+
+    #[test]
     fn quantization_preserves_most_accuracy() {
         // The Table 3 claim in miniature: accuracy loss under 1-bit
         // quantization is bounded (paper: <1 % on MNIST; our synthetic
         // task at small scale tolerates a wider but still small gap).
         let (net, train, test) = trained_network2();
         let float_err = error_rate(&net, &test);
-        let result = quantize_network(&net, &train.truncated(300), &QuantizeConfig::default());
+        let result = quantize_network(
+            &net,
+            &train.truncated(300),
+            &QuantizeConfig::default(),
+            Engine::new(2),
+        )
+        .unwrap();
         let qerr = error_rate_with(&test, |img| result.net.classify(img));
         assert!(
             qerr <= float_err + 0.15,
@@ -465,7 +567,7 @@ mod tests {
     fn thresholds_fall_in_search_range() {
         let (net, train, _) = trained_network2();
         let cfg = QuantizeConfig::default();
-        let result = quantize_network(&net, &train.truncated(200), &cfg);
+        let result = quantize_network(&net, &train.truncated(200), &cfg, Engine::single()).unwrap();
         assert_eq!(result.thresholds.len(), 2);
         for &t in &result.thresholds {
             // The coarse global scan may pick optima above thres_max, but
@@ -482,7 +584,7 @@ mod tests {
             search_step: 0.02,
             ..QuantizeConfig::default()
         };
-        let result = quantize_network(&net, &train.truncated(100), &cfg);
+        let result = quantize_network(&net, &train.truncated(100), &cfg, Engine::single()).unwrap();
         assert_eq!(result.search_curves.len(), 2);
         // 0..=0.2 in steps of 0.02 (11 fine candidates) plus the coarse
         // global scan 0.25..=1.0 (16 points), plus optional refinement.
@@ -499,7 +601,7 @@ mod tests {
             objective: SearchObjective::QuantizationError,
             ..QuantizeConfig::default()
         };
-        let result = quantize_network(&net, &train.truncated(200), &cfg);
+        let result = quantize_network(&net, &train.truncated(200), &cfg, Engine::single()).unwrap();
         let qerr = error_rate_with(&test, |img| result.net.classify(img));
         assert!(qerr < 0.9, "QE-objective quantization collapsed: {qerr}");
     }
@@ -507,7 +609,13 @@ mod tests {
     #[test]
     fn rescaling_divides_weights() {
         let (net, train, _) = trained_network2();
-        let result = quantize_network(&net, &train.truncated(100), &QuantizeConfig::default());
+        let result = quantize_network(
+            &net,
+            &train.truncated(100),
+            &QuantizeConfig::default(),
+            Engine::single(),
+        )
+        .unwrap();
         let (Layer::Conv(orig), QLayer::AnalogConv { conv: scaled, .. }) =
             (&net.layers()[0], &result.net.layers()[0])
         else {
@@ -522,7 +630,13 @@ mod tests {
     #[test]
     fn structure_mirrors_original_network() {
         let (net, train, _) = trained_network2();
-        let result = quantize_network(&net, &train.truncated(50), &QuantizeConfig::default());
+        let result = quantize_network(
+            &net,
+            &train.truncated(50),
+            &QuantizeConfig::default(),
+            Engine::single(),
+        )
+        .unwrap();
         let kinds: Vec<&'static str> = result
             .net
             .layers()
@@ -543,10 +657,58 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "calibration set must not be empty")]
     fn empty_calibration_rejected() {
         let net = paper::network2(0);
         let empty = Dataset::new(vec![], vec![]);
-        let _ = quantize_network(&net, &empty, &QuantizeConfig::default());
+        let err = quantize_network(&net, &empty, &QuantizeConfig::default(), Engine::single())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SeiError::EmptyDataset {
+                what: "calibration set"
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_range_rejected_up_front() {
+        let net = paper::network2(0);
+        let calib = SynthConfig::new(4, 1).generate();
+        let cfg = QuantizeConfig::default().with_range(0.2, 0.1);
+        let err = quantize_network(&net, &calib, &cfg, Engine::single()).unwrap_err();
+        assert!(matches!(
+            err,
+            SeiError::InvalidConfig {
+                config: "QuantizeConfig",
+                ..
+            }
+        ));
+
+        let cfg = QuantizeConfig::default().with_search_step(0.0);
+        assert!(cfg.validate().is_err());
+        let cfg = QuantizeConfig::default().with_search_step(f32::NAN);
+        assert!(cfg.validate().is_err());
+        assert!(QuantizeConfig::default()
+            .with_range(0.0, 0.1)
+            .with_objective(SearchObjective::Accuracy)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn quantization_is_thread_count_invariant() {
+        let (net, train, _) = trained_network2();
+        let calib = train.truncated(120);
+        let cfg = QuantizeConfig::default();
+        let reference = quantize_network(&net, &calib, &cfg, Engine::single()).unwrap();
+        for threads in [2, 7] {
+            let got = quantize_network(&net, &calib, &cfg, Engine::new(threads)).unwrap();
+            assert_eq!(got.thresholds, reference.thresholds, "threads={threads}");
+            assert_eq!(got.scales, reference.scales, "threads={threads}");
+            assert_eq!(
+                got.search_curves, reference.search_curves,
+                "threads={threads}"
+            );
+        }
     }
 }

@@ -30,6 +30,7 @@
 //! Quantize a freshly trained Network 2 and use the quantized net:
 //!
 //! ```
+//! use sei_engine::Engine;
 //! use sei_nn::{data::SynthConfig, paper, train::{Trainer, TrainConfig}};
 //! use sei_quantize::algorithm1::{quantize_network, QuantizeConfig};
 //!
@@ -37,7 +38,13 @@
 //! let mut net = paper::network2(42);
 //! Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() })
 //!     .fit(&mut net, &train);
-//! let result = quantize_network(&net, &train.truncated(100), &QuantizeConfig::default());
+//! let result = quantize_network(
+//!     &net,
+//!     &train.truncated(100),
+//!     &QuantizeConfig::default(),
+//!     Engine::from_env().unwrap(),
+//! )
+//! .unwrap();
 //! assert_eq!(result.thresholds.len(), 2); // conv1 and conv2 get thresholds
 //! let pred = result.net.classify(train.sample(0).0);
 //! assert!(pred < 10);
@@ -57,3 +64,4 @@ pub use bits::BitTensor;
 pub use distribution::{ActivationDistribution, DISTRIBUTION_BUCKETS};
 pub use multibit::{MultibitConfig, MultibitNetwork};
 pub use qnet::{QLayer, QuantizedNetwork};
+pub use sei_engine::{Engine, SeiError};

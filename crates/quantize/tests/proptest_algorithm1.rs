@@ -3,6 +3,7 @@
 //! weight quality.
 
 use proptest::prelude::*;
+use sei_engine::Engine;
 use sei_nn::data::SynthConfig;
 use sei_nn::paper;
 use sei_quantize::algorithm1::{quantize_network, QuantizeConfig, SearchObjective};
@@ -23,7 +24,7 @@ proptest! {
         };
         let net = paper::network2(seed);
         let calib = SynthConfig::new(40, seed).generate();
-        let result = quantize_network(&net, &calib, &cfg);
+        let result = quantize_network(&net, &calib, &cfg, Engine::new(2)).unwrap();
 
         prop_assert_eq!(result.thresholds.len(), 2);
         prop_assert_eq!(result.scales.len(), 2);
@@ -57,7 +58,8 @@ proptest! {
     fn classify_total_function(seed in 0u64..1000) {
         let net = paper::network2(seed);
         let calib = SynthConfig::new(30, seed).generate();
-        let result = quantize_network(&net, &calib, &QuantizeConfig::default());
+        let result = quantize_network(&net, &calib, &QuantizeConfig::default(), Engine::single())
+            .unwrap();
         for (img, _) in calib.iter().take(5) {
             prop_assert!(result.net.classify(img) < 10);
         }
@@ -75,7 +77,7 @@ proptest! {
                 search_step: 0.02,
                 ..QuantizeConfig::default()
             };
-            let result = quantize_network(&net, &calib, &cfg);
+            let result = quantize_network(&net, &calib, &cfg, Engine::single()).unwrap();
             prop_assert_eq!(result.search_curves.len(), 2);
             for c in &result.search_curves {
                 prop_assert!(c.points.iter().all(|(t, s)| t.is_finite() && s.is_finite()));

@@ -31,7 +31,9 @@
 //! let mut net = paper::network2(42);
 //! Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() })
 //!     .fit(&mut net, &train);
-//! let q = quantize_network(&net, &train.truncated(100), &QuantizeConfig::default());
+//! let engine = sei_quantize::Engine::single();
+//! let q = quantize_network(&net, &train.truncated(100), &QuantizeConfig::default(), engine)
+//!     .expect("valid quantize configuration");
 //!
 //! let snn = SpikingNetwork::from_quantized(&q.net, SnnConfig::default());
 //! let class = snn.classify(train.sample(0).0, 7);

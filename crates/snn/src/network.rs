@@ -280,7 +280,13 @@ mod tests {
             ..TrainConfig::default()
         })
         .fit(&mut net, &train);
-        let q = quantize_network(&net, &train.truncated(250), &QuantizeConfig::default());
+        let q = quantize_network(
+            &net,
+            &train.truncated(250),
+            &QuantizeConfig::default(),
+            sei_quantize::Engine::single(),
+        )
+        .unwrap();
         (q.net, test)
     }
 

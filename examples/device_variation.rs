@@ -6,7 +6,7 @@
 //! cargo run --release --example device_variation
 //! ```
 
-use sei::core::{AcceleratorBuilder, CrossbarEvalConfig, CrossbarNetwork};
+use sei::core::{AcceleratorBuilder, CrossbarEvalConfig, CrossbarNetwork, Engine};
 use sei::device::DeviceSpec;
 use sei::nn::data::SynthConfig;
 use sei::nn::paper;
@@ -25,7 +25,9 @@ fn main() {
     .fit(&mut net, &train);
 
     println!("building the SEI accelerator ...");
-    let acc = AcceleratorBuilder::new(net).build(&train.truncated(300));
+    let acc = AcceleratorBuilder::new(net)
+        .build(&train.truncated(300))
+        .expect("valid configuration");
     let software_err = acc.error_rate_split(&test);
     println!(
         "software (functional) split error: {:.2}%\n",
@@ -38,13 +40,13 @@ fn main() {
             seed,
             ..CrossbarEvalConfig::default()
         };
-        let mut xnet = CrossbarNetwork::new(
+        let xnet = CrossbarNetwork::new(
             &acc.quantized.net,
             &acc.split.net.specs(),
             acc.split.output_theta,
             &cfg,
         );
-        xnet.error_rate(&test)
+        xnet.error_rate(&test, Engine::available())
     };
 
     // --- programming-variation sweep (3 seeds each: chip-to-chip spread) ---

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use sei::core::AcceleratorBuilder;
+use sei::core::{AcceleratorBuilder, Engine};
 use sei::mapping::Structure;
 use sei::nn::data::SynthConfig;
 use sei::nn::paper;
@@ -36,7 +36,9 @@ fn main() {
     // 3. Build the accelerator: Algorithm 1 quantization + homogenized
     //    splitting + dynamic-threshold calibration.
     println!("\nquantizing and mapping ...");
-    let acc = AcceleratorBuilder::new(net).build(&train.truncated(300));
+    let acc = AcceleratorBuilder::new(net)
+        .build(&train.truncated(300))
+        .expect("valid configuration");
     println!(
         "  thresholds: {:?}  (searched over [0, 0.1])",
         acc.quantized.thresholds
@@ -56,10 +58,10 @@ fn main() {
 
     // 4. Device-level check: run the crossbar simulation with programming
     //    variation and read noise on a subset.
-    let mut xnet = acc.crossbar_network();
+    let xnet = acc.crossbar_network();
     println!(
         "  crossbar-sim err (4-bit devices, noisy): {:.2}%",
-        xnet.error_rate(&test.truncated(100)) * 100.0
+        xnet.error_rate(&test.truncated(100), Engine::available()) * 100.0
     );
 
     // 5. Cost: compare the three structures of the paper's Table 5.

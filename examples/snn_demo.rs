@@ -30,7 +30,13 @@ fn main() {
         ..TrainConfig::default()
     })
     .fit(&mut net, &train);
-    let q = quantize_network(&net, &train.truncated(300), &QuantizeConfig::default());
+    let q = quantize_network(
+        &net,
+        &train.truncated(300),
+        &QuantizeConfig::default(),
+        sei::core::Engine::available(),
+    )
+    .expect("valid quantize configuration");
     let q_err = error_rate_with(&test, |img| q.net.classify(img));
     println!("quantized (1-bit CNN) test error: {:.2}%\n", q_err * 100.0);
 

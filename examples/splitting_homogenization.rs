@@ -8,6 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sei::core::Engine;
 use sei::mapping::calibrate::{
     build_split_network, split_error_rate, PartitionStrategy, SplitBuildConfig,
 };
@@ -33,7 +34,14 @@ fn main() {
     .fit(&mut net, &train);
 
     println!("quantizing (Algorithm 1) ...");
-    let q = quantize_network(&net, &train.truncated(300), &QuantizeConfig::default());
+    let engine = Engine::available();
+    let q = quantize_network(
+        &net,
+        &train.truncated(300),
+        &QuantizeConfig::default(),
+        engine,
+    )
+    .expect("valid quantize configuration");
     let q_err = error_rate_with(&test, |img| q.net.classify(img));
     println!("  quantized (unsplit) error: {:.2}%\n", q_err * 100.0);
 
@@ -49,7 +57,7 @@ fn main() {
         let natural = homogenize::natural_order(wm.rows(), k);
         let mut rng = StdRng::seed_from_u64(0);
         let random = homogenize::random_order(wm.rows(), k, &mut rng);
-        let homog = homogenize::genetic(&wm, k, &GaConfig::default(), &mut rng);
+        let homog = homogenize::genetic(&wm, k, &GaConfig::default(), &mut rng, engine);
         println!("Equ. 10 distance of the FC matrix split into {k} parts:");
         println!(
             "  natural {:.4} | random {:.4} | homogenized {:.4} ({:.1}% reduction vs natural)",
@@ -71,7 +79,9 @@ fn main() {
             ..SplitBuildConfig::homogenized(constraints)
         },
         &calib,
-    );
+        engine,
+    )
+    .expect("valid split configuration");
     for (label, strategy, dynamic) in [
         ("natural order, static θ", PartitionStrategy::Natural, false),
         ("random order,  static θ", PartitionStrategy::Random, false),
@@ -95,8 +105,9 @@ fn main() {
         if dynamic {
             cfg = cfg.with_dynamic_threshold();
         }
-        let build = build_split_network(&q.net, &cfg, &calib);
-        let err = split_error_rate(&build.net, &test);
+        let build =
+            build_split_network(&q.net, &cfg, &calib, engine).expect("valid split configuration");
+        let err = split_error_rate(&build.net, &test, engine);
         let betas = if dynamic {
             format!("  betas {:?}", build.betas)
         } else {

@@ -66,7 +66,13 @@ fn main() {
             objective,
             ..QuantizeConfig::default()
         };
-        let result = quantize_network(&net, &train.truncated(300), &cfg);
+        let result = quantize_network(
+            &net,
+            &train.truncated(300),
+            &cfg,
+            sei::core::Engine::available(),
+        )
+        .expect("valid quantize configuration");
         let err = error_rate_with(&test, |img| result.net.classify(img));
         println!("{name}:");
         println!(

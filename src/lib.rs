@@ -30,7 +30,9 @@
 //!     .fit(&mut net, &train);
 //!
 //! // …then quantize, split and cost it.
-//! let acc = AcceleratorBuilder::new(net).build(&train.truncated(100));
+//! let acc = AcceleratorBuilder::new(net)
+//!     .build(&train.truncated(100))
+//!     .expect("valid configuration and non-empty calibration set");
 //! for summary in acc.summaries() {
 //!     println!("{:?}", summary);
 //! }
@@ -43,6 +45,7 @@ pub use sei_core as core;
 pub use sei_cost as cost;
 pub use sei_crossbar as crossbar;
 pub use sei_device as device;
+pub use sei_engine as engine;
 pub use sei_mapping as mapping;
 pub use sei_nn as nn;
 pub use sei_quantize as quantize;

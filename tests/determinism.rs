@@ -1,0 +1,120 @@
+//! Property tests for the execution engine's central contract: every
+//! chunk-parallel evaluation is **bit-identical at any thread count**.
+//!
+//! The engine guarantees this by fixing chunk boundaries independently of
+//! the worker count and seeding one RNG stream per chunk
+//! (`chunk_seed(seed, chunk_index)`), so the noise a sample sees depends
+//! only on its index — never on which thread happened to process it.
+//! These tests drive that contract end to end through the two stochastic
+//! evaluation paths (the SEI crossbar simulation and the split-network
+//! functional model) and through the Table 4 driver.
+
+use proptest::prelude::*;
+use sei::core::experiments::table4_column;
+use sei::core::{AcceleratorBuilder, Engine};
+use sei::mapping::calibrate::split_error_rate;
+use sei::mapping::DesignConstraints;
+use sei::nn::data::{Dataset, SynthConfig};
+use sei::nn::paper;
+use sei::nn::train::{TrainConfig, Trainer};
+use std::sync::OnceLock;
+
+/// One trained + quantized + split accelerator, built once for the whole
+/// property-test run (training dominates the cost; the properties only
+/// need its evaluation paths).
+fn fixture() -> &'static (sei::core::Accelerator, Dataset) {
+    static FIXTURE: OnceLock<(sei::core::Accelerator, Dataset)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let train = SynthConfig::new(700, 91).generate();
+        let test = SynthConfig::new(160, 92).generate();
+        let mut net = paper::network2(93);
+        Trainer::new(TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        })
+        .fit(&mut net, &train);
+        let acc = AcceleratorBuilder::new(net)
+            .with_seed(5)
+            .with_engine(Engine::single())
+            .build(&train.truncated(120))
+            .expect("fixture builds");
+        (acc, test)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The noisy crossbar simulation sees the same per-sample noise
+    /// stream regardless of the thread count and of the evaluated
+    /// subset's size.
+    #[test]
+    fn crossbar_error_rate_is_thread_count_invariant(
+        threads in 2usize..8,
+        len in 40usize..160,
+    ) {
+        let (acc, test) = fixture();
+        let subset = test.truncated(len);
+        let xnet = acc.crossbar_network();
+        let single = xnet.error_rate(&subset, Engine::single());
+        let multi = xnet.error_rate(&subset, Engine::new(threads));
+        prop_assert_eq!(single.to_bits(), multi.to_bits());
+    }
+
+    /// The deterministic split-network evaluation path chunks the same
+    /// way: identical bits at every thread count.
+    #[test]
+    fn split_error_rate_is_thread_count_invariant(threads in 2usize..8) {
+        let (acc, test) = fixture();
+        let single = split_error_rate(&acc.split.net, test, Engine::single());
+        let multi = split_error_rate(&acc.split.net, test, Engine::new(threads));
+        prop_assert_eq!(single.to_bits(), multi.to_bits());
+    }
+}
+
+/// The full Table 4 driver — homogenized build, dynamic-threshold build
+/// and the random-order splitting trials — returns an identical column
+/// for threads ∈ {1, 2, 7} at a fixed seed.
+#[test]
+fn table4_column_matches_across_thread_counts() {
+    let (acc, test) = fixture();
+    let train = SynthConfig::new(300, 94).generate();
+    let model = sei::core::experiments::TrainedModel {
+        which: sei::nn::paper::PaperNetwork::Network2,
+        net: acc.float_net.clone(),
+        float_error: 0.0,
+    };
+    let columns: Vec<_> = [1usize, 2, 7]
+        .iter()
+        .map(|&threads| {
+            table4_column(
+                &model,
+                &acc.quantized,
+                &train,
+                &test.truncated(80),
+                60,
+                256,
+                2,
+                9,
+                Engine::new(threads),
+            )
+            .expect("table4 column builds")
+        })
+        .collect();
+    assert_eq!(columns[0], columns[1]);
+    assert_eq!(columns[0], columns[2]);
+}
+
+/// `DesignConstraints` sanity for the fixture scale: the split network in
+/// the fixture actually exercises multi-crossbar layers (otherwise the
+/// properties above would not cover cross-chunk merging).
+#[test]
+fn fixture_actually_splits() {
+    let (acc, _) = fixture();
+    let specs = acc.split.net.specs();
+    assert!(
+        !specs.is_empty(),
+        "fixture accelerator has no split specs to exercise"
+    );
+    let _ = DesignConstraints::paper_default();
+}

@@ -1,7 +1,9 @@
 //! End-to-end integration tests: the full train → quantize → split →
 //! crossbar-simulate → cost pipeline across all workspace crates.
 
-use sei::core::{AcceleratorBuilder, CrossbarEvalConfig, CrossbarNetwork};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sei::core::{AcceleratorBuilder, CrossbarEvalConfig, CrossbarNetwork, Engine};
 use sei::mapping::{DesignConstraints, SplitNetwork, Structure};
 use sei::nn::data::SynthConfig;
 use sei::nn::paper;
@@ -30,7 +32,8 @@ fn full_pipeline_produces_consistent_accelerator() {
     let (net, train, test) = trained_network2(100);
     let acc = AcceleratorBuilder::new(net)
         .with_seed(1)
-        .build(&train.truncated(150));
+        .build(&train.truncated(150))
+        .unwrap();
 
     // Error chain: float is trained above chance; quantization and
     // splitting cost bounded amounts.
@@ -41,10 +44,11 @@ fn full_pipeline_produces_consistent_accelerator() {
     assert!(e_quant <= e_float + 0.3, "quantized error {e_quant}");
     assert!(e_split <= e_quant + 0.15, "split error {e_split}");
 
-    // Thresholds were searched in the configured range (the paper's 0–0.1
-    // extended to 0.2 for our data; see QuantizeConfig docs).
+    // Thresholds live in the normalized output range: the fine search
+    // covers the configured [0, 0.2] and the coarse robustness scan may
+    // settle above it, but never outside [0, 1] (see QuantizeConfig docs).
     for &t in &acc.quantized.thresholds {
-        assert!((0.0..=0.2 + 1e-6).contains(&t));
+        assert!((0.0..=1.0 + 1e-6).contains(&t), "threshold {t}");
     }
 
     // Cost reports: SEI wins on both axes.
@@ -61,7 +65,8 @@ fn crossbar_simulation_tracks_software_split_network() {
     let (net, train, test) = trained_network2(200);
     let acc = AcceleratorBuilder::new(net)
         .with_seed(2)
-        .build(&train.truncated(150));
+        .build(&train.truncated(150))
+        .unwrap();
 
     // Software (functional) split network vs ideal-device crossbar sim.
     let sw = SplitNetwork::new(
@@ -69,7 +74,7 @@ fn crossbar_simulation_tracks_software_split_network() {
         acc.split.net.specs(),
         acc.split.output_theta,
     );
-    let mut hw = CrossbarNetwork::new(
+    let hw = CrossbarNetwork::new(
         &acc.quantized.net,
         &acc.split.net.specs(),
         acc.split.output_theta,
@@ -77,8 +82,9 @@ fn crossbar_simulation_tracks_software_split_network() {
     );
     let subset = test.truncated(120);
     let mut agree = 0usize;
+    let mut rng = StdRng::seed_from_u64(7);
     for (img, _) in subset.iter() {
-        if sw.classify(img) == hw.classify(img) {
+        if sw.classify(img) == hw.classify_with(img, &mut rng) {
             agree += 1;
         }
     }
@@ -94,17 +100,18 @@ fn noisy_device_stays_near_ideal() {
     let (net, train, test) = trained_network2(300);
     let acc = AcceleratorBuilder::new(net)
         .with_seed(3)
-        .build(&train.truncated(120));
+        .build(&train.truncated(120))
+        .unwrap();
     let subset = test.truncated(120);
-    let mut ideal = CrossbarNetwork::new(
+    let ideal = CrossbarNetwork::new(
         &acc.quantized.net,
         &acc.split.net.specs(),
         acc.split.output_theta,
         &CrossbarEvalConfig::ideal(),
     );
-    let mut noisy = acc.crossbar_network();
-    let e_ideal = ideal.error_rate(&subset);
-    let e_noisy = noisy.error_rate(&subset);
+    let noisy = acc.crossbar_network();
+    let e_ideal = ideal.error_rate(&subset, Engine::new(2));
+    let e_noisy = noisy.error_rate(&subset, Engine::new(2));
     assert!(
         e_noisy <= e_ideal + 0.08,
         "device noise cost too much: ideal {e_ideal}, noisy {e_noisy}"
@@ -118,11 +125,13 @@ fn smaller_crossbar_constraint_changes_plan_not_function() {
     let acc512 = AcceleratorBuilder::new(net.clone())
         .with_constraints(DesignConstraints::paper_default())
         .with_seed(4)
-        .build(&calib);
+        .build(&calib)
+        .unwrap();
     let acc256 = AcceleratorBuilder::new(net)
         .with_constraints(DesignConstraints::paper_default().with_max_crossbar(256))
         .with_seed(4)
-        .build(&calib);
+        .build(&calib)
+        .unwrap();
 
     // More, smaller crossbars at 256.
     let plan512 = acc512.plan(Structure::Sei);
