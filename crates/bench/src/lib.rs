@@ -11,6 +11,7 @@
 //! | `table4` | Table 4 — splitting / homogenization / dynamic threshold |
 //! | `table5` | Table 5 — energy & area of the three structures |
 //! | `ablations` | extra studies: search objective, device bits, input-DAC share, classifier head, activation bits, GA vs exact |
+//! | `faults` | stuck-at fault campaign — accuracy vs. SAF rate, naive vs. mitigated mapping |
 //! | `timing` | latency / throughput / average power, replication sweep (§5.3) |
 //! | `diagnose` | accuracy-loss decomposition along the float → quantized → split → device pipeline |
 //!

@@ -221,6 +221,22 @@ impl Accelerator {
         )
     }
 
+    /// Like [`Accelerator::crossbar_network`] but with stuck-at fault
+    /// injection per `plan` — the entry point of fault campaigns.
+    pub fn crossbar_network_with_faults(&self, plan: &crate::FaultPlan) -> CrossbarNetwork {
+        let cfg = CrossbarEvalConfig {
+            seed: self.seed,
+            ..self.eval
+        };
+        CrossbarNetwork::new_with_faults(
+            &self.quantized.net,
+            &self.split.net.specs(),
+            self.split.output_theta,
+            &cfg,
+            plan,
+        )
+    }
+
     /// Layout plan for a structure.
     pub fn plan(&self, structure: Structure) -> DesignPlan {
         DesignPlan::plan(

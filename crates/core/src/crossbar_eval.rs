@@ -12,10 +12,12 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sei_crossbar::dac::Dac;
-use sei_crossbar::sei::{SeiConfig, SeiCrossbar};
+use sei_crossbar::sei::{FaultInjection, FaultStats, SeiConfig, SeiCrossbar};
 use sei_device::{DeviceSpec, ProgrammedCell, WriteVerify};
 use sei_engine::{chunk_seed, Engine, SeiError, DEFAULT_CHUNK};
+use sei_faults::{mix, EnduranceModel, FaultMap, FaultModel};
 use sei_mapping::evaluate::OutputHead;
+use sei_mapping::fault_aware::fault_aware_order;
 use sei_mapping::split::SplitSpec;
 use sei_nn::data::Dataset;
 use sei_nn::{Matrix, Tensor3};
@@ -131,6 +133,61 @@ impl CrossbarEvalConfig {
     }
 }
 
+/// A network-level fault-injection plan: every SEI crossbar part gets its
+/// own stuck-at fault map, deterministically derived from `fault_seed` and
+/// the part's (layer, part) coordinates, so a plan is reproducible
+/// independent of build order or thread count.
+///
+/// The DAC-driven first conv layer keeps its analog path and receives no
+/// stuck-at injection: its cells are programmed with the same write–verify
+/// variation but the SAF model targets the SEI arrays the paper's
+/// structure is built from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Per-cell stuck-at rates applied to every SEI part.
+    pub model: FaultModel,
+    /// Base seed for the per-part fault maps (independent of `cfg.seed`,
+    /// so fault topology and programming variation vary separately).
+    pub fault_seed: u64,
+    /// Fault-aware mitigation: within-part row remapping
+    /// ([`sei_mapping::fault_aware`]), fault-aware weight re-encoding and
+    /// spare-column remapping. Off = naive mapping where stuck cells
+    /// silently corrupt weights.
+    pub mitigate: bool,
+    /// Redundant spare columns per crossbar part (only used when
+    /// `mitigate` is set).
+    pub spare_columns: usize,
+    /// Optional endurance model turning write–verify pulse counts into
+    /// wear-out faults during programming.
+    pub endurance: Option<EnduranceModel>,
+}
+
+impl FaultPlan {
+    /// A naive plan: stuck-at faults at `total_rate` (split into SA0/SA1
+    /// at the literature ratio), no mitigation.
+    pub fn naive(total_rate: f64, fault_seed: u64) -> Self {
+        FaultPlan {
+            model: FaultModel::uniform(total_rate),
+            fault_seed,
+            mitigate: false,
+            spare_columns: 0,
+            endurance: None,
+        }
+    }
+
+    /// A mitigated plan: same fault model, with fault-aware remapping and
+    /// `spare_columns` redundant columns per part.
+    pub fn mitigated(total_rate: f64, fault_seed: u64, spare_columns: usize) -> Self {
+        FaultPlan {
+            model: FaultModel::uniform(total_rate),
+            fault_seed,
+            mitigate: true,
+            spare_columns,
+            endurance: None,
+        }
+    }
+}
+
 /// Geometry of a conv layer needed to iterate output positions.
 #[derive(Debug, Clone, Copy)]
 struct ConvGeom {
@@ -193,6 +250,9 @@ pub struct CrossbarNetwork {
     noise_seed: u64,
     /// Total programming pulses spent building all arrays.
     write_pulses: u64,
+    /// Aggregated fault bookkeeping over every SEI part (all zero when
+    /// built without a [`FaultPlan`]).
+    fault_stats: FaultStats,
 }
 
 /// Reconstructs a weight value the way the analog path would see it after
@@ -242,12 +302,39 @@ impl CrossbarNetwork {
         output_theta: Option<f32>,
         cfg: &CrossbarEvalConfig,
     ) -> Self {
+        Self::build(qnet, specs, output_theta, cfg, None)
+    }
+
+    /// Like [`CrossbarNetwork::new`] but with stuck-at fault injection per
+    /// `plan`: every SEI part gets a fault map derived from
+    /// `plan.fault_seed` and its (layer, part) position, optionally with
+    /// the full mitigation stack (row remap, fault-aware encoding, spare
+    /// columns). Without a plan the build — including its RNG stream — is
+    /// bit-identical to [`CrossbarNetwork::new`].
+    pub fn new_with_faults(
+        qnet: &QuantizedNetwork,
+        specs: &[Option<SplitSpec>],
+        output_theta: Option<f32>,
+        cfg: &CrossbarEvalConfig,
+        plan: &FaultPlan,
+    ) -> Self {
+        Self::build(qnet, specs, output_theta, cfg, Some(plan))
+    }
+
+    fn build(
+        qnet: &QuantizedNetwork,
+        specs: &[Option<SplitSpec>],
+        output_theta: Option<f32>,
+        cfg: &CrossbarEvalConfig,
+        plan: Option<&FaultPlan>,
+    ) -> Self {
         assert_eq!(specs.len(), qnet.layers().len(), "one spec slot per layer");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut write_pulses = 0u64;
+        let mut fault_stats = FaultStats::default();
         let mut layers = Vec::with_capacity(qnet.layers().len());
 
-        for (layer, spec) in qnet.layers().iter().zip(specs) {
+        for (l, (layer, spec)) in qnet.layers().iter().zip(specs).enumerate() {
             match layer {
                 QLayer::AnalogConv { conv, threshold } => {
                     assert!(spec.is_none(), "cannot split the DAC-driven input layer");
@@ -302,7 +389,7 @@ impl CrossbarNetwork {
                 }
                 QLayer::BinaryConv { conv, threshold } => {
                     let wm = conv.weight_matrix();
-                    let spec = spec
+                    let mut spec = spec
                         .clone()
                         .unwrap_or_else(|| SplitSpec::new(vec![(0..wm.rows()).collect()]));
                     let required = spec.vote.required(spec.part_count());
@@ -310,10 +397,13 @@ impl CrossbarNetwork {
                         &wm,
                         conv.bias(),
                         *threshold,
-                        &spec,
+                        &mut spec,
                         cfg,
                         &mut rng,
                         &mut write_pulses,
+                        plan,
+                        l,
+                        &mut fault_stats,
                     );
                     layers.push(XLayer::HiddenConv {
                         parts,
@@ -327,7 +417,7 @@ impl CrossbarNetwork {
                 }
                 QLayer::BinaryFc { linear, threshold } => {
                     let wm = linear.weight_matrix();
-                    let spec = spec
+                    let mut spec = spec
                         .clone()
                         .unwrap_or_else(|| SplitSpec::new(vec![(0..wm.rows()).collect()]));
                     let required = spec.vote.required(spec.part_count());
@@ -335,10 +425,13 @@ impl CrossbarNetwork {
                         &wm,
                         linear.bias(),
                         *threshold,
-                        &spec,
+                        &mut spec,
                         cfg,
                         &mut rng,
                         &mut write_pulses,
+                        plan,
+                        l,
+                        &mut fault_stats,
                     );
                     layers.push(XLayer::HiddenFc {
                         parts,
@@ -349,7 +442,7 @@ impl CrossbarNetwork {
                 QLayer::OutputFc { linear } => {
                     let wm = linear.weight_matrix();
                     let split = spec.is_some();
-                    let spec = spec
+                    let mut spec = spec
                         .clone()
                         .unwrap_or_else(|| SplitSpec::new(vec![(0..wm.rows()).collect()]));
                     let theta = if split && cfg.output_head == OutputHead::Popcount {
@@ -361,10 +454,13 @@ impl CrossbarNetwork {
                         &wm,
                         linear.bias(),
                         theta,
-                        &spec,
+                        &mut spec,
                         cfg,
                         &mut rng,
                         &mut write_pulses,
+                        plan,
+                        l,
+                        &mut fault_stats,
                     );
                     layers.push(XLayer::OutputFc {
                         parts,
@@ -384,12 +480,19 @@ impl CrossbarNetwork {
             layers,
             noise_seed: cfg.seed.wrapping_add(1),
             write_pulses,
+            fault_stats,
         }
     }
 
     /// Total programming pulses spent building all crossbars.
     pub fn write_pulses(&self) -> u64 {
         self.write_pulses
+    }
+
+    /// Aggregated fault bookkeeping over every SEI part (all zero when the
+    /// network was built without a [`FaultPlan`]).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
     }
 
     /// Classifies an image through the full analog pipeline, drawing read
@@ -541,19 +644,28 @@ impl CrossbarNetwork {
 
 /// Builds one SEI crossbar per partition, with the dynamic-threshold slope
 /// encoded in the reference column when β > 0.
+///
+/// With a [`FaultPlan`], part `k` of layer `layer` draws its fault map
+/// from `mix(mix(fault_seed, layer), k)`; a mitigating plan additionally
+/// reorders the part's rows in `spec` (fault-aware remap — the spec drives
+/// input-bit routing at compute time, so the reorder must be visible
+/// there) before programming around the surviving stuck cells.
+#[allow(clippy::too_many_arguments)]
 fn build_parts(
     wm: &Matrix,
     bias: &[f32],
     theta: f32,
-    spec: &SplitSpec,
+    spec: &mut SplitSpec,
     cfg: &CrossbarEvalConfig,
     rng: &mut StdRng,
     pulses: &mut u64,
+    plan: Option<&FaultPlan>,
+    layer: usize,
+    stats: &mut FaultStats,
 ) -> Vec<SeiCrossbar> {
     let mut parts = Vec::with_capacity(spec.part_count());
 
-    for (k, rows) in spec.partitions.iter().enumerate() {
-        let sub = wm.select_rows(rows);
+    for k in 0..spec.part_count() {
         let part_bias: Vec<f32> = bias.iter().map(|&b| spec.part_bias(b, k)).collect();
         // θ_k(ones) = corner + slope·ones — the corner cell stores the
         // constant part (incl. α scaling and the part's thermometer
@@ -563,7 +675,51 @@ fn build_parts(
             ref_row_value: slope,
             ..cfg.sei
         };
-        let xbar = SeiCrossbar::new(&cfg.device, &sub, &part_bias, corner, &part_cfg, rng);
+        let xbar = match plan {
+            None => {
+                let sub = wm.select_rows(&spec.partitions[k]);
+                SeiCrossbar::new(&cfg.device, &sub, &part_bias, corner, &part_cfg, rng)
+            }
+            Some(plan) => {
+                let (pr, pc) =
+                    part_cfg.physical_shape(spec.partitions[k].len(), wm.cols(), cfg.device.bits);
+                let spares = if plan.mitigate { plan.spare_columns } else { 0 };
+                let map = FaultMap::generate(
+                    pr,
+                    pc + spares,
+                    &plan.model,
+                    mix(mix(plan.fault_seed, layer as u64), k as u64),
+                );
+                if plan.mitigate {
+                    spec.partitions[k] = fault_aware_order(
+                        wm,
+                        &spec.partitions[k],
+                        &map,
+                        part_cfg.rows_per_input(cfg.device.bits),
+                        pc,
+                    );
+                }
+                let sub = wm.select_rows(&spec.partitions[k]);
+                let inj = FaultInjection {
+                    map: &map,
+                    compensate: plan.mitigate,
+                    spare_columns: spares,
+                    endurance: plan.endurance,
+                    endurance_seed: mix(mix(plan.fault_seed ^ 0x57EA_11FE, layer as u64), k as u64),
+                };
+                let x = SeiCrossbar::new_with_faults(
+                    &cfg.device,
+                    &sub,
+                    &part_bias,
+                    corner,
+                    &part_cfg,
+                    rng,
+                    &inj,
+                );
+                stats.accumulate(x.fault_stats());
+                x
+            }
+        };
         *pulses += xbar.write_pulses();
         parts.push(xbar);
     }

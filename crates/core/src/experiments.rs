@@ -6,10 +6,10 @@
 //! qualitative shape (who wins, by roughly what factor).
 
 use crate::accelerator::AcceleratorBuilder;
-use crate::crossbar_eval::CrossbarEvalConfig;
+use crate::crossbar_eval::{CrossbarEvalConfig, FaultPlan};
 use crate::scale::ExperimentScale;
 use sei_cost::{gops_per_joule, CostParams, CostReport};
-use sei_engine::{Engine, SeiError};
+use sei_engine::{chunk_seed, Engine, SeiError};
 use sei_mapping::calibrate::{
     build_split_network, split_error_rate, PartitionStrategy, SplitBuildConfig,
 };
@@ -560,6 +560,211 @@ pub fn device_bits_sweep(
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Fault campaign — accuracy vs. stuck-at fault rate, naive vs. mitigated
+// ---------------------------------------------------------------------------
+
+/// Configuration of a Monte-Carlo stuck-at fault campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultCampaignConfig {
+    /// Total stuck-at fault rates to sweep (fractions, e.g. `0.0..=0.20`).
+    pub rates: Vec<f64>,
+    /// Independent fault-map trials per rate.
+    pub trials: usize,
+    /// Test-subset size scored per trial.
+    pub eval_n: usize,
+    /// Spare columns per crossbar part in the mitigated arm.
+    pub spare_columns: usize,
+    /// Base seed for per-trial fault maps (trial `t` of rate index `i`
+    /// derives its map seed from `chunk_seed(seed, i·trials + t)`).
+    pub seed: u64,
+}
+
+impl Default for FaultCampaignConfig {
+    fn default() -> Self {
+        FaultCampaignConfig {
+            rates: vec![0.0, 0.01, 0.05, 0.10, 0.20],
+            trials: 3,
+            eval_n: 100,
+            spare_columns: 4,
+            seed: 77,
+        }
+    }
+}
+
+/// Aggregated Monte-Carlo results at one fault rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultCampaignPoint {
+    /// Total stuck-at fault rate.
+    pub rate: f64,
+    /// Per-trial error with naive mapping (faults silently corrupt).
+    pub naive_errors: Vec<f32>,
+    /// Per-trial error with the full mitigation stack (row remap,
+    /// fault-aware encoding, spare columns).
+    pub mitigated_errors: Vec<f32>,
+    /// Mean naive error over the trials.
+    pub naive_error: f32,
+    /// Mean mitigated error over the trials.
+    pub mitigated_error: f32,
+    /// Mean stuck cells per network build (used region, naive arm).
+    pub mean_fault_cells: f64,
+    /// Mean spare-column remaps per mitigated build.
+    pub mean_spare_remaps: f64,
+    /// Mean columns left unprotected per mitigated build (spares ran out).
+    pub mean_spare_shortfall: f64,
+}
+
+/// A completed fault campaign: accuracy-vs-fault-rate curves with and
+/// without mitigation, against the fault-free baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultCampaign {
+    /// The evaluated network.
+    pub network: PaperNetwork,
+    /// Fault-free crossbar-level error on the same subset.
+    pub baseline_error: f32,
+    /// One aggregated point per swept rate.
+    pub points: Vec<FaultCampaignPoint>,
+    /// Trials per rate.
+    pub trials: usize,
+    /// Test-subset size per trial.
+    pub eval_n: usize,
+    /// Spare columns in the mitigated arm.
+    pub spare_columns: usize,
+}
+
+impl FaultCampaign {
+    /// Fraction of the accuracy lost to faults at `rate` that the
+    /// mitigation stack recovers: `(naive − mitigated)/(naive − baseline)`.
+    /// `None` when the rate was not swept or faults cost nothing (no loss
+    /// to recover).
+    pub fn recovery_at(&self, rate: f64) -> Option<f64> {
+        let p = self.points.iter().find(|p| (p.rate - rate).abs() < 1e-12)?;
+        let lost = f64::from(p.naive_error) - f64::from(self.baseline_error);
+        if lost <= 1e-9 {
+            return None;
+        }
+        Some((f64::from(p.naive_error) - f64::from(p.mitigated_error)) / lost)
+    }
+}
+
+/// Runs the Monte-Carlo fault campaign for one network: for every swept
+/// rate, `trials` independent fault maps are drawn and the crossbar-level
+/// network is built and scored twice — naive mapping vs. the full
+/// mitigation stack — on the same faults-per-trial seed.
+///
+/// The (rate, trial) grid fans out flat on the context's engine; each
+/// trial derives its fault seed from its flat index and runs sequentially
+/// on its worker, so the campaign is bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Returns [`SeiError::MissingModel`] when `which` was not prepared,
+/// [`SeiError::InvalidConfig`] on an empty sweep, and propagates
+/// accelerator-build failures.
+pub fn fault_campaign(
+    ctx: &Context,
+    which: PaperNetwork,
+    cfg: &FaultCampaignConfig,
+) -> Result<FaultCampaign, SeiError> {
+    let _span = span!("fault_campaign");
+    for (field, ok) in [
+        ("rates", !cfg.rates.is_empty()),
+        ("trials", cfg.trials > 0),
+        ("eval_n", cfg.eval_n > 0),
+    ] {
+        if !ok {
+            return Err(SeiError::invalid_config(
+                "FaultCampaignConfig",
+                field,
+                "must be non-empty / at least 1",
+            ));
+        }
+    }
+    for &r in &cfg.rates {
+        if !(0.0..=1.0).contains(&r) {
+            return Err(SeiError::invalid_config(
+                "FaultCampaignConfig",
+                "rates",
+                format!("fault rate must be a probability, got {r}"),
+            ));
+        }
+    }
+    let model = ctx.model(which)?;
+    let engine = ctx.engine();
+    let acc = {
+        let _span = span!("build_accelerator");
+        AcceleratorBuilder::new(model.net.clone())
+            .with_seed(ctx.scale.seed)
+            .with_engine(engine)
+            .build(&ctx.calib())?
+    };
+    let subset = ctx.test.truncated(cfg.eval_n);
+    let baseline_error = acc.crossbar_network().error_rate(&subset, engine);
+    sei_info!(
+        "{}: fault campaign baseline error {baseline_error:.4} ({} rates × {} trials)",
+        which.name(),
+        cfg.rates.len(),
+        cfg.trials
+    );
+
+    // Flat (rate, trial) fan-out: each cell builds + scores both arms on
+    // its own worker with a per-cell fault seed, so the grid is
+    // bit-identical at any thread count.
+    let cells: Vec<(f32, f32, u64, u64, u64)> =
+        engine.map_indexed(cfg.rates.len() * cfg.trials, |i| {
+            let rate = cfg.rates[i / cfg.trials];
+            let fault_seed = chunk_seed(cfg.seed, i as u64);
+            let naive = acc.crossbar_network_with_faults(&FaultPlan::naive(rate, fault_seed));
+            let mitigated = acc.crossbar_network_with_faults(&FaultPlan::mitigated(
+                rate,
+                fault_seed,
+                cfg.spare_columns,
+            ));
+            let stats = *mitigated.fault_stats();
+            (
+                naive.error_rate(&subset, Engine::single()),
+                mitigated.error_rate(&subset, Engine::single()),
+                naive.fault_stats().fault_cells,
+                stats.spare_remaps,
+                stats.spare_shortfall,
+            )
+        });
+
+    let points = cfg
+        .rates
+        .iter()
+        .enumerate()
+        .map(|(ri, &rate)| {
+            let rows = &cells[ri * cfg.trials..(ri + 1) * cfg.trials];
+            let naive_errors: Vec<f32> = rows.iter().map(|r| r.0).collect();
+            let mitigated_errors: Vec<f32> = rows.iter().map(|r| r.1).collect();
+            let mean =
+                |v: &[f32]| (v.iter().map(|&x| f64::from(x)).sum::<f64>() / v.len() as f64) as f32;
+            let meanu =
+                |vals: Vec<u64>| vals.iter().map(|&x| x as f64).sum::<f64>() / vals.len() as f64;
+            FaultCampaignPoint {
+                rate,
+                naive_error: mean(&naive_errors),
+                mitigated_error: mean(&mitigated_errors),
+                naive_errors,
+                mitigated_errors,
+                mean_fault_cells: meanu(rows.iter().map(|r| r.2).collect()),
+                mean_spare_remaps: meanu(rows.iter().map(|r| r.3).collect()),
+                mean_spare_shortfall: meanu(rows.iter().map(|r| r.4).collect()),
+            }
+        })
+        .collect();
+
+    Ok(FaultCampaign {
+        network: which,
+        baseline_error,
+        points,
+        trials: cfg.trials,
+        eval_n: cfg.eval_n,
+        spare_columns: cfg.spare_columns,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -681,6 +886,52 @@ mod tests {
         assert!(col.random_max >= col.random_min);
         assert!(!col.distance_reductions.is_empty());
         assert!(col.homogenization <= col.random_max + 1e-6);
+    }
+
+    #[test]
+    fn fault_campaign_runs_and_orders_sanely() {
+        let ctx = tiny_ctx();
+        let cfg = FaultCampaignConfig {
+            rates: vec![0.0, 0.10],
+            trials: 2,
+            eval_n: 40,
+            spare_columns: 2,
+            seed: 5,
+        };
+        let camp = fault_campaign(&ctx, PaperNetwork::Network2, &cfg).unwrap();
+        assert_eq!(camp.points.len(), 2);
+        assert_eq!(camp.points[0].naive_errors.len(), 2);
+        // Zero rate injects nothing: both arms match the baseline.
+        let p0 = &camp.points[0];
+        assert_eq!(p0.mean_fault_cells, 0.0);
+        for &e in p0.naive_errors.iter().chain(&p0.mitigated_errors) {
+            assert_eq!(e.to_bits(), camp.baseline_error.to_bits());
+        }
+        // 10 % SAF must actually hit cells.
+        assert!(camp.points[1].mean_fault_cells > 0.0);
+    }
+
+    #[test]
+    fn fault_campaign_rejects_empty_sweep() {
+        let ctx = tiny_ctx();
+        let cfg = FaultCampaignConfig {
+            rates: vec![],
+            ..FaultCampaignConfig::default()
+        };
+        let err = fault_campaign(&ctx, PaperNetwork::Network2, &cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            SeiError::InvalidConfig {
+                config: "FaultCampaignConfig",
+                field: "rates",
+                ..
+            }
+        ));
+        let cfg = FaultCampaignConfig {
+            rates: vec![1.5],
+            ..FaultCampaignConfig::default()
+        };
+        assert!(fault_campaign(&ctx, PaperNetwork::Network2, &cfg).is_err());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::MAX_FABRICABLE_SIZE;
 use rand::rngs::StdRng;
 use rand::Rng;
 use sei_device::{DeviceSpec, IvCurve, ProgrammedCell, WriteVerify};
+use sei_faults::FaultMap;
 use sei_nn::Matrix;
 use sei_telemetry::counters::{self, Event};
 
@@ -40,21 +41,66 @@ impl CrossbarArray {
         strategy: WriteVerify,
         rng: &mut StdRng,
     ) -> Self {
+        Self::build(spec, targets, strategy, rng, None)
+    }
+
+    /// Like [`CrossbarArray::program`], but cells the fault map marks
+    /// stuck are pinned to `g_min` (SA0) or `g_max` (SA1) regardless of
+    /// their target and are skipped by the write–verify loop (no pulses,
+    /// no variation draws — the map comes from post-fabrication test).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `faults` does not have exactly the target matrix's
+    /// shape, or on the same size limit as [`CrossbarArray::program`].
+    pub fn program_with_faults(
+        spec: &DeviceSpec,
+        targets: &Matrix,
+        strategy: WriteVerify,
+        rng: &mut StdRng,
+        faults: &FaultMap,
+    ) -> Self {
+        Self::build(spec, targets, strategy, rng, Some(faults))
+    }
+
+    fn build(
+        spec: &DeviceSpec,
+        targets: &Matrix,
+        strategy: WriteVerify,
+        rng: &mut StdRng,
+        faults: Option<&FaultMap>,
+    ) -> Self {
         let (rows, cols) = (targets.rows(), targets.cols());
         assert!(
             rows <= MAX_FABRICABLE_SIZE && cols <= MAX_FABRICABLE_SIZE,
             "crossbar {rows}x{cols} exceeds the fabricable {MAX_FABRICABLE_SIZE} limit"
         );
+        if let Some(map) = faults {
+            assert!(
+                map.rows() == rows && map.cols() == cols,
+                "fault map {}x{} does not match crossbar {rows}x{cols}",
+                map.rows(),
+                map.cols()
+            );
+        }
         let mut conductances = Vec::with_capacity(rows * cols);
         let mut write_pulses = 0u64;
+        let mut pinned = 0u64;
         for r in 0..rows {
             for c in 0..cols {
+                if let Some(kind) = faults.and_then(|map| map.fault(r, c)) {
+                    pinned += 1;
+                    conductances
+                        .push(spec.g_min + kind.pinned_fraction() * (spec.g_max - spec.g_min));
+                    continue;
+                }
                 let out =
                     ProgrammedCell::program_with(spec, targets.get(r, c) as f64, strategy, rng);
                 write_pulses += u64::from(out.outcome.pulses);
                 conductances.push(out.cell.conductance());
             }
         }
+        counters::add(Event::FaultedCellsPinned, pinned);
         CrossbarArray {
             spec: *spec,
             rows,
@@ -191,6 +237,70 @@ mod tests {
         let targets = Matrix::from_vec(rows, cols, vec![frac; rows * cols]);
         let mut rng = StdRng::seed_from_u64(0);
         CrossbarArray::program(&spec, &targets, WriteVerify::Enabled, &mut rng)
+    }
+
+    #[test]
+    fn faulted_cells_pin_to_rail_conductances() {
+        let spec = DeviceSpec::ideal(4);
+        // 5/15 is exactly one of the ideal 4-bit device's 16 levels.
+        let frac = 5.0f32 / 15.0;
+        let targets = Matrix::from_vec(2, 2, vec![frac; 4]);
+        let mut map = sei_faults::FaultMap::empty(2, 2);
+        map.set_fault(0, 0, Some(sei_faults::FaultKind::StuckAtZero));
+        map.set_fault(1, 1, Some(sei_faults::FaultKind::StuckAtOne));
+        let mut rng = StdRng::seed_from_u64(0);
+        let arr = CrossbarArray::program_with_faults(
+            &spec,
+            &targets,
+            WriteVerify::Enabled,
+            &mut rng,
+            &map,
+        );
+        assert!((arr.conductance(0, 0) - spec.g_min).abs() < 1e-15);
+        assert!((arr.conductance(1, 1) - spec.g_max).abs() < 1e-15);
+        // Healthy cells still hit their targets on an ideal device.
+        let mid = spec.g_min + f64::from(frac) * (spec.g_max - spec.g_min);
+        assert!((arr.conductance(0, 1) - mid).abs() < 1e-12);
+        assert!((arr.conductance(1, 0) - mid).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fault_map_matches_plain_programming() {
+        let spec = DeviceSpec::default_4bit();
+        let targets = Matrix::from_vec(3, 3, vec![0.3; 9]);
+        let map = sei_faults::FaultMap::empty(3, 3);
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let plain = CrossbarArray::program(&spec, &targets, WriteVerify::Enabled, &mut rng_a);
+        let faulted = CrossbarArray::program_with_faults(
+            &spec,
+            &targets,
+            WriteVerify::Enabled,
+            &mut rng_b,
+            &map,
+        );
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(plain.conductance(r, c), faulted.conductance(r, c));
+            }
+        }
+        assert_eq!(plain.write_pulses(), faulted.write_pulses());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match crossbar")]
+    fn fault_map_shape_mismatch_panics() {
+        let spec = DeviceSpec::ideal(4);
+        let targets = Matrix::from_vec(2, 2, vec![0.5; 4]);
+        let map = sei_faults::FaultMap::empty(3, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = CrossbarArray::program_with_faults(
+            &spec,
+            &targets,
+            WriteVerify::Enabled,
+            &mut rng,
+            &map,
+        );
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub use dac::Dac;
 pub use decoder::{ComputeDecoder, DecoderKind};
 pub use ir_drop::IrDropModel;
 pub use merged::{MergedConfig, MergedCrossbar};
-pub use sei::{SeiConfig, SeiCrossbar, SeiMode};
+pub use sei::{FaultInjection, FaultStats, SeiConfig, SeiCrossbar, SeiMode};
 pub use senseamp::SenseAmp;
 
 /// Maximum crossbar dimension achievable by state-of-the-art fabrication,

@@ -44,8 +44,10 @@ use crate::MAX_FABRICABLE_SIZE;
 use rand::rngs::StdRng;
 use rand::Rng;
 use sei_device::{DeviceEnergy, DeviceSpec, ProgrammedCell, WriteVerify};
+use sei_faults::{mix, unit01, EnduranceModel, FaultKind, FaultMap};
 use sei_nn::Matrix;
 use sei_telemetry::counters::{self, Event};
+use sei_telemetry::sei_warn;
 use serde::{Deserialize, Serialize};
 
 /// How signed weights are realized on the crossbar (§4.1 vs §4.2).
@@ -95,6 +97,106 @@ impl SeiConfig {
             ref_row_value: 0.0,
         }
     }
+
+    /// Physical rows one logical (1-bit) input occupies on `device_bits`
+    /// devices: sign pairs × bit slices.
+    pub fn rows_per_input(&self, device_bits: u32) -> usize {
+        let n_slices = self.weight_bits.div_ceil(device_bits) as usize;
+        match self.mode {
+            SeiMode::SignedPorts => 2 * n_slices,
+            SeiMode::DynamicThreshold => n_slices,
+        }
+    }
+
+    /// The `(rows, cols)` physical footprint of an `inputs × kernels`
+    /// logical matrix **excluding spare columns**: one extra logical row
+    /// for bias/threshold, one extra column for the reference. Fault maps
+    /// for [`SeiCrossbar::new_with_faults`] must cover this shape plus the
+    /// requested spares.
+    pub fn physical_shape(
+        &self,
+        inputs: usize,
+        kernels: usize,
+        device_bits: u32,
+    ) -> (usize, usize) {
+        ((inputs + 1) * self.rows_per_input(device_bits), kernels + 1)
+    }
+}
+
+/// A fault-injection plan for one crossbar build.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultInjection<'a> {
+    /// Known (post-fabrication-test) stuck-at faults over the physical
+    /// array **including spare columns**: the map must be exactly
+    /// `physical_rows × (physical_cols + spare_columns)`.
+    pub map: &'a FaultMap,
+    /// Re-encode each weight's healthy cells to absorb the pinned cells'
+    /// contribution (fault-aware encoding). Off = naive programming where
+    /// faulted cells simply corrupt the stored value.
+    pub compensate: bool,
+    /// Redundant spare columns available for remapping fault-burdened
+    /// columns (reference column included). When spares run out the build
+    /// degrades gracefully: a telemetry warning and an accuracy hit,
+    /// never a panic.
+    pub spare_columns: usize,
+    /// Optional endurance model converting each cell's write–verify pulse
+    /// count into a wear-out failure probability.
+    pub endurance: Option<EnduranceModel>,
+    /// Seed for the order-independent per-cell wear-out draws.
+    pub endurance_seed: u64,
+}
+
+impl<'a> FaultInjection<'a> {
+    /// A plain stuck-at injection: no mitigation, no spares, no wear-out.
+    pub fn naive(map: &'a FaultMap) -> Self {
+        FaultInjection {
+            map,
+            compensate: false,
+            spare_columns: 0,
+            endurance: None,
+            endurance_seed: 0,
+        }
+    }
+
+    /// Stuck-at injection with fault-aware encoding and `spare_columns`
+    /// redundant columns.
+    pub fn mitigated(map: &'a FaultMap, spare_columns: usize) -> Self {
+        FaultInjection {
+            map,
+            compensate: true,
+            spare_columns,
+            endurance: None,
+            endurance_seed: 0,
+        }
+    }
+}
+
+/// Per-crossbar fault bookkeeping, for telemetry and campaign reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Faulted map cells inside the physical region the build actually
+    /// uses (after spare remapping).
+    pub fault_cells: u64,
+    /// Cells pinned by a known stuck-at fault (skipped by the
+    /// programmer — no pulses spent).
+    pub pinned_cells: u64,
+    /// Healthy cells that wore out during this programming pass.
+    pub wearout_cells: u64,
+    /// Kernel/reference columns remapped onto spares.
+    pub spare_remaps: u64,
+    /// Fault-burdened columns left unprotected because spares ran out.
+    pub spare_shortfall: u64,
+}
+
+impl FaultStats {
+    /// Element-wise accumulation (for network-level aggregation).
+    pub fn accumulate(&mut self, other: &FaultStats) {
+        self.fault_cells += other.fault_cells;
+        self.pinned_cells += other.pinned_cells;
+        self.wearout_cells += other.wearout_cells;
+        self.spare_remaps += other.spare_remaps;
+        self.spare_shortfall += other.spare_shortfall;
+    }
 }
 
 /// What gates a physical row's transmission gates during compute.
@@ -130,6 +232,44 @@ pub struct SeiCrossbar {
     write_pulses: u64,
     /// Mean-conductance read energy of one cell (joules), for telemetry.
     cell_read_energy: f64,
+    /// Fault bookkeeping (all zero when built without injection).
+    faults: FaultStats,
+}
+
+/// Greedy digit assignment over a weight's cells (physical-row order) so
+/// their signed contributions sum to `target` (in LSB-digit units), given
+/// that some cells are pinned by faults. Free cells are visited most
+/// significant first, positive sign before negative, which reproduces the
+/// standard slice decomposition exactly when nothing is pinned. When the
+/// target is unreachable (e.g. a high slice stuck full-on) the residual is
+/// simply left — a graceful accuracy hit, never a panic.
+fn compensated_digits(
+    target: i64,
+    pinned: &[Option<u32>],
+    descs: &[(i64, i64)],
+    dmax: u32,
+) -> Vec<u32> {
+    let mut digits: Vec<u32> = pinned.iter().map(|p| p.unwrap_or(0)).collect();
+    let mut remaining = target;
+    for (i, p) in pinned.iter().enumerate() {
+        if let Some(d) = p {
+            let (sgn, coeff) = descs[i];
+            remaining -= sgn * coeff * i64::from(*d);
+        }
+    }
+    let mut order: Vec<usize> = (0..descs.len()).filter(|&i| pinned[i].is_none()).collect();
+    // Most significant coefficient first; positive row before negative.
+    order.sort_by_key(|&i| (std::cmp::Reverse(descs[i].1), std::cmp::Reverse(descs[i].0)));
+    for i in order {
+        let (sgn, coeff) = descs[i];
+        let want = sgn * remaining;
+        if want > 0 {
+            let d = (want / coeff).min(i64::from(dmax));
+            digits[i] = d as u32;
+            remaining -= sgn * coeff * d;
+        }
+    }
+    digits
 }
 
 /// Base-`2^device_bits` digit decomposition of an unsigned code, most
@@ -164,6 +304,48 @@ impl SeiCrossbar {
         cfg: &SeiConfig,
         rng: &mut StdRng,
     ) -> Self {
+        Self::build(spec, weights, bias, threshold, cfg, rng, None)
+    }
+
+    /// Like [`SeiCrossbar::new`] but with hard-fault injection: cells the
+    /// map marks stuck read as `g_min`/`g_max` regardless of their target
+    /// and are skipped by the programmer (fault maps come from
+    /// post-fabrication test, so the write–verify loop knows them).
+    /// Depending on the plan, the build also re-encodes weights around
+    /// pinned cells, remaps burdened columns onto spares, and converts
+    /// write-pulse wear into additional stuck cells.
+    ///
+    /// The fault-free construction path of [`SeiCrossbar::new`] is
+    /// untouched: with no injection the RNG draw sequence is identical to
+    /// what it always was.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`SeiCrossbar::new`], or when the
+    /// fault map's shape is not exactly
+    /// `physical_rows × (physical_cols + spare_columns)` (see
+    /// [`SeiConfig::physical_shape`]).
+    pub fn new_with_faults(
+        spec: &DeviceSpec,
+        weights: &Matrix,
+        bias: &[f32],
+        threshold: f32,
+        cfg: &SeiConfig,
+        rng: &mut StdRng,
+        faults: &FaultInjection,
+    ) -> Self {
+        Self::build(spec, weights, bias, threshold, cfg, rng, Some(faults))
+    }
+
+    fn build(
+        spec: &DeviceSpec,
+        weights: &Matrix,
+        bias: &[f32],
+        threshold: f32,
+        cfg: &SeiConfig,
+        rng: &mut StdRng,
+        inj: Option<&FaultInjection>,
+    ) -> Self {
         let n = weights.rows();
         let m = weights.cols();
         assert_eq!(bias.len(), m, "one bias per kernel column");
@@ -172,10 +354,7 @@ impl SeiCrossbar {
             "weight_bits must be in 1..=16"
         );
         let n_slices = cfg.weight_bits.div_ceil(spec.bits);
-        let rows_per_input = match cfg.mode {
-            SeiMode::SignedPorts => 2 * n_slices as usize,
-            SeiMode::DynamicThreshold => n_slices as usize,
-        };
+        let rows_per_input = cfg.rows_per_input(spec.bits);
         let phys_rows = (n + 1) * rows_per_input; // +1 logical row for bias/threshold
         let phys_cols = m + 1; // +1 reference column
         assert!(
@@ -183,6 +362,74 @@ impl SeiCrossbar {
             "SEI crossbar {phys_rows}x{phys_cols} exceeds the fabricable \
              {MAX_FABRICABLE_SIZE} limit; split the matrix first"
         );
+
+        // Fault plan: spare-column remapping happens before any cell is
+        // programmed (the map is known from post-fab test).
+        let spares = inj.map_or(0, |i| i.spare_columns);
+        let total_cols = phys_cols + spares;
+        assert!(
+            total_cols <= MAX_FABRICABLE_SIZE,
+            "SEI crossbar with spares {phys_rows}x{total_cols} exceeds the \
+             fabricable {MAX_FABRICABLE_SIZE} limit"
+        );
+        let mut col_phys: Vec<usize> = (0..phys_cols).collect();
+        let mut stats = FaultStats::default();
+        if let Some(inj) = inj {
+            assert_eq!(
+                inj.map.rows(),
+                phys_rows,
+                "fault map rows must match the physical array"
+            );
+            assert_eq!(
+                inj.map.cols(),
+                total_cols,
+                "fault map cols must cover kernel + reference + spare columns"
+            );
+            if spares > 0 {
+                // Greedy: worst-burdened columns first, each taking the
+                // least-burdened remaining spare when that is an
+                // improvement. Runs out gracefully.
+                let mut order: Vec<usize> = (0..phys_cols).collect();
+                order.sort_by_key(|&c| std::cmp::Reverse(inj.map.column_burden(c)));
+                let mut free: Vec<usize> = (phys_cols..total_cols).collect();
+                for c in order {
+                    let burden = inj.map.column_burden(c);
+                    if burden == 0 {
+                        break;
+                    }
+                    if free.is_empty() {
+                        stats.spare_shortfall += 1;
+                        continue;
+                    }
+                    let (pos, &s) = free
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &s)| inj.map.column_burden(s))
+                        .expect("free spare list is non-empty");
+                    if inj.map.column_burden(s) < burden {
+                        col_phys[c] = s;
+                        free.remove(pos);
+                        stats.spare_remaps += 1;
+                    }
+                }
+                counters::add(Event::SpareColumnRemaps, stats.spare_remaps);
+                if stats.spare_shortfall > 0 {
+                    sei_warn!(
+                        "SEI crossbar spares exhausted: {} fault-burdened columns \
+                         left unprotected after {} remaps",
+                        stats.spare_shortfall,
+                        stats.spare_remaps
+                    );
+                }
+            }
+            for r in 0..phys_rows {
+                for &pc in &col_phys {
+                    if inj.map.fault(r, pc).is_some() {
+                        stats.fault_cells += 1;
+                    }
+                }
+            }
+        }
 
         let max_code = (1u64 << cfg.weight_bits) as f64 - 1.0;
         let frac_full = (spec.levels() - 1) as f64;
@@ -217,10 +464,13 @@ impl SeiCrossbar {
         let kappa = span * frac_full / max_code;
 
         let mut write_pulses = 0u64;
-        let mut program = |target_frac: f64, rng: &mut StdRng| -> f64 {
+        let mut program = |target_frac: f64, rng: &mut StdRng| -> (f64, u32) {
             let out = ProgrammedCell::program_with(spec, target_frac, cfg.write_verify, rng);
             write_pulses += u64::from(out.outcome.pulses);
-            (out.cell.conductance() - spec.g_min) / (spec.g_max - spec.g_min)
+            (
+                (out.cell.conductance() - spec.g_min) / (spec.g_max - spec.g_min),
+                out.outcome.pulses,
+            )
         };
 
         let encode_unsigned =
@@ -233,47 +483,126 @@ impl SeiCrossbar {
 
         let mut rows: Vec<PhysRow> = Vec::with_capacity(phys_rows);
 
-        // Column value for (logical row index or bias row) in each mode:
-        // returns the per-physical-row contributions over m kernel columns
-        // plus the reference column.
+        let n_sl = n_slices as usize;
+        let dmax = spec.levels() - 1;
+        // (sign, coefficient) of each of a logical row's physical cells,
+        // in physical-row order: + slices (MSB first) then − slices for
+        // SignedPorts, plain slices for DynamicThreshold.
+        let descs: Vec<(i64, i64)> = match cfg.mode {
+            SeiMode::SignedPorts => {
+                let mut d = Vec::with_capacity(2 * n_sl);
+                for sgn in [1i64, -1] {
+                    for s in 0..n_slices {
+                        d.push((sgn, 1i64 << (spec.bits * (n_slices - 1 - s))));
+                    }
+                }
+                d
+            }
+            SeiMode::DynamicThreshold => (0..n_slices)
+                .map(|s| (1i64, 1i64 << (spec.bits * (n_slices - 1 - s))))
+                .collect(),
+        };
+
+        // Standard slice decomposition of a signed digit-unit target onto
+        // the cells — digits land on the rows matching the target's sign.
+        let standard_digits = |target: i64| -> Vec<u32> {
+            let sl = slices(target.unsigned_abs() as u32, spec.bits, n_slices);
+            match cfg.mode {
+                SeiMode::SignedPorts => {
+                    let mut d = vec![0u32; 2 * n_sl];
+                    let base = if target < 0 { n_sl } else { 0 };
+                    for (s, &(_, digit)) in sl.iter().enumerate() {
+                        d[base + s] = digit;
+                    }
+                    d
+                }
+                SeiMode::DynamicThreshold => sl.iter().map(|&(_, digit)| digit).collect(),
+            }
+        };
+
+        // Builds one logical row (rows_per_input physical rows): first the
+        // per-column digit layout — standard, or re-encoded around pinned
+        // cells when compensating — then cell programming in the same
+        // (physical row, column) order the fault-free path always used.
         let mut build_logical_row = |gate: Gate,
                                      values: &dyn Fn(usize) -> f64, // kernel col -> value
                                      ref_value: f64,
                                      rng: &mut StdRng| {
-            match cfg.mode {
-                SeiMode::SignedPorts => {
-                    // 2 * n_slices physical rows: + slices then − slices.
-                    for sign in [1.0f64, -1.0] {
-                        for s in 0..n_slices {
-                            let mut contribs = Vec::with_capacity(m + 1);
-                            let mut coeff_of_slice = 0.0;
-                            for k in 0..=m {
-                                let v = if k < m { values(k) } else { ref_value };
-                                let (vsign, code) = encode_magnitude(v);
-                                let sl = slices(code, spec.bits, n_slices)[s as usize];
-                                coeff_of_slice = sl.0;
-                                let digit = if vsign == sign { sl.1 } else { 0 };
-                                let frac = program(f64::from(digit) / frac_full, rng);
-                                contribs.push(sign * sl.0 * frac);
+            let base_row = rows.len();
+            let col_digits: Vec<Vec<u32>> = (0..=m)
+                .map(|k| {
+                    let v = if k < m { values(k) } else { ref_value };
+                    let target: i64 = match cfg.mode {
+                        SeiMode::SignedPorts => {
+                            let (vsign, code) = encode_magnitude(v);
+                            if vsign < 0.0 {
+                                -i64::from(code)
+                            } else {
+                                i64::from(code)
                             }
-                            let _ = coeff_of_slice;
-                            rows.push(PhysRow { gate, contribs });
+                        }
+                        SeiMode::DynamicThreshold => i64::from(encode_unsigned(v)),
+                    };
+                    if inj.is_some_and(|i| i.compensate) {
+                        let pc = col_phys[k];
+                        let pinned: Vec<Option<u32>> = (0..rows_per_input)
+                            .map(|ci| {
+                                inj.and_then(|i| i.map.fault(base_row + ci, pc))
+                                    .map(|kind| match kind {
+                                        FaultKind::StuckAtZero => 0,
+                                        FaultKind::StuckAtOne => dmax,
+                                    })
+                            })
+                            .collect();
+                        if pinned.iter().any(Option::is_some) {
+                            return compensated_digits(target, &pinned, &descs, dmax);
                         }
                     }
-                }
-                SeiMode::DynamicThreshold => {
-                    for s in 0..n_slices {
-                        let mut contribs = Vec::with_capacity(m + 1);
-                        for k in 0..=m {
-                            let v = if k < m { values(k) } else { ref_value };
-                            let code = encode_unsigned(v);
-                            let sl = slices(code, spec.bits, n_slices)[s as usize];
-                            let frac = program(f64::from(sl.1) / frac_full, rng);
-                            contribs.push(sl.0 * frac);
+                    standard_digits(target)
+                })
+                .collect();
+
+            for (ci, &(sgn, coeff)) in descs.iter().enumerate() {
+                let phys_r = base_row + ci;
+                let mut contribs = Vec::with_capacity(m + 1);
+                for (k, digits) in col_digits.iter().enumerate() {
+                    let pc = col_phys[k];
+                    let frac = match inj.and_then(|i| i.map.fault(phys_r, pc)) {
+                        Some(kind) => {
+                            // Known stuck cell: the programmer skips it.
+                            stats.pinned_cells += 1;
+                            kind.pinned_fraction()
                         }
-                        rows.push(PhysRow { gate, contribs });
-                    }
+                        None => {
+                            let (frac, pulses) = program(f64::from(digits[ci]) / frac_full, rng);
+                            match inj.and_then(|i| i.endurance.map(|e| (e, i.endurance_seed))) {
+                                Some((endu, eseed)) => {
+                                    // Order-independent wear-out draw per
+                                    // physical cell.
+                                    let cell = (phys_r * total_cols + pc) as u64;
+                                    if unit01(mix(eseed, 2 * cell))
+                                        < endu.failure_probability(u64::from(pulses))
+                                    {
+                                        stats.wearout_cells += 1;
+                                        let kind = if unit01(mix(eseed, 2 * cell + 1))
+                                            < endu.sa0_fraction
+                                        {
+                                            FaultKind::StuckAtZero
+                                        } else {
+                                            FaultKind::StuckAtOne
+                                        };
+                                        kind.pinned_fraction()
+                                    } else {
+                                        frac
+                                    }
+                                }
+                                None => frac,
+                            }
+                        }
+                    };
+                    contribs.push(sgn as f64 * coeff as f64 * frac);
                 }
+                rows.push(PhysRow { gate, contribs });
             }
         };
 
@@ -305,6 +634,11 @@ impl SeiCrossbar {
             .map(|_| SenseAmp::with_mismatch(cfg.sa_offset_sigma, cfg.sa_noise_sigma, rng))
             .collect();
 
+        counters::add(
+            Event::FaultedCellsPinned,
+            stats.pinned_cells + stats.wearout_cells,
+        );
+
         SeiCrossbar {
             cfg: *cfg,
             logical_inputs: n,
@@ -316,7 +650,14 @@ impl SeiCrossbar {
             write_pulses,
             cell_read_energy: DeviceEnergy::from_spec(spec)
                 .read_energy(0.5 * (spec.g_min + spec.g_max)),
+            faults: stats,
         }
+    }
+
+    /// Fault bookkeeping for this crossbar (all zero when it was built
+    /// without injection).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.faults
     }
 
     /// Number of logical (1-bit) inputs.
@@ -688,5 +1029,243 @@ mod tests {
             let recon: u32 = sl.iter().map(|&(c, d)| c as u32 * d).sum();
             assert_eq!(recon, code);
         }
+    }
+
+    /// SignedPorts cell descriptors for 8-bit weights on 4-bit devices:
+    /// (+,16), (+,1), (−,16), (−,1) in physical-row order.
+    fn signed_descs() -> Vec<(i64, i64)> {
+        vec![(1, 16), (1, 1), (-1, 16), (-1, 1)]
+    }
+
+    #[test]
+    fn compensated_digits_match_standard_decomposition_when_fault_free() {
+        let descs = signed_descs();
+        for target in [0i64, 1, 200, -200, 255, -255, 17, -16] {
+            let got = compensated_digits(target, &[None; 4], &descs, 15);
+            let recon: i64 = got
+                .iter()
+                .zip(&descs)
+                .map(|(&d, &(sgn, coeff))| sgn * coeff * i64::from(d))
+                .sum();
+            assert_eq!(recon, target, "target {target} → digits {got:?}");
+        }
+    }
+
+    #[test]
+    fn compensated_digits_absorb_pinned_cells() {
+        let descs = signed_descs();
+        // pos-lo stuck full on (SA1 → digit 15) while encoding +128:
+        // the healthy cells rebalance to within one LSB of the target.
+        let pinned = [None, Some(15u32), None, None];
+        let got = compensated_digits(128, &pinned, &descs, 15);
+        assert_eq!(got[1], 15, "pinned digit must stay pinned");
+        let recon: i64 = got
+            .iter()
+            .zip(&descs)
+            .map(|(&d, &(sgn, coeff))| sgn * coeff * i64::from(d))
+            .sum();
+        assert!((recon - 128).abs() <= 1, "residual too large: {recon}");
+    }
+
+    #[test]
+    fn empty_fault_map_preserves_fault_free_build_exactly() {
+        let weights = Matrix::from_rows(&[&[0.5, -0.3][..], &[-0.25, 0.8][..]]);
+        let bias = [0.05, -0.1];
+        let spec = DeviceSpec::default_4bit(); // nontrivial RNG use
+        for mode in [SeiMode::SignedPorts, SeiMode::DynamicThreshold] {
+            let cfg = SeiConfig::new(mode);
+            let plain = SeiCrossbar::new(
+                &spec,
+                &weights,
+                &bias,
+                0.1,
+                &cfg,
+                &mut StdRng::seed_from_u64(11),
+            );
+            let (pr, pc) = cfg.physical_shape(2, 2, spec.bits);
+            let map = FaultMap::empty(pr, pc);
+            let injected = SeiCrossbar::new_with_faults(
+                &spec,
+                &weights,
+                &bias,
+                0.1,
+                &cfg,
+                &mut StdRng::seed_from_u64(11),
+                &FaultInjection::naive(&map),
+            );
+            // Same seed, same RNG stream → bit-identical analog state.
+            assert_eq!(
+                plain.ideal_margins(&[true, true]),
+                injected.ideal_margins(&[true, true]),
+                "{mode:?}"
+            );
+            assert_eq!(injected.fault_stats(), &FaultStats::default());
+        }
+    }
+
+    #[test]
+    fn compensation_recovers_stuck_cell_naive_does_not() {
+        // w = 0.25 with scale 0.5 → code 128 → digits (8, 0) on the
+        // positive rows. Pin pos-lo (physical row 1) SA1: naive keeps the
+        // +15-digit error; compensation re-encodes around it.
+        let weights = Matrix::from_rows(&[&[0.25][..], &[-0.5][..]]);
+        let bias = [0.0];
+        let cfg = SeiConfig::new(SeiMode::SignedPorts);
+        let spec = DeviceSpec::ideal(4);
+        let (pr, pc) = cfg.physical_shape(2, 1, spec.bits);
+        let mut map = FaultMap::empty(pr, pc);
+        map.set_fault(1, 0, Some(FaultKind::StuckAtOne));
+
+        let reference = SeiCrossbar::new(
+            &spec,
+            &weights,
+            &bias,
+            0.0,
+            &cfg,
+            &mut StdRng::seed_from_u64(21),
+        )
+        .ideal_margins(&[true, false])[0];
+        let naive = SeiCrossbar::new_with_faults(
+            &spec,
+            &weights,
+            &bias,
+            0.0,
+            &cfg,
+            &mut StdRng::seed_from_u64(21),
+            &FaultInjection::naive(&map),
+        );
+        let compensated = SeiCrossbar::new_with_faults(
+            &spec,
+            &weights,
+            &bias,
+            0.0,
+            &cfg,
+            &mut StdRng::seed_from_u64(21),
+            &FaultInjection {
+                compensate: true,
+                ..FaultInjection::naive(&map)
+            },
+        );
+        let err_naive = (naive.ideal_margins(&[true, false])[0] - reference).abs();
+        let err_comp = (compensated.ideal_margins(&[true, false])[0] - reference).abs();
+        assert!(
+            err_naive > 0.02,
+            "fault should visibly corrupt: {err_naive}"
+        );
+        assert!(err_comp < 0.01, "compensation residual: {err_comp}");
+        assert!(err_comp < err_naive / 3.0);
+        assert_eq!(naive.fault_stats().pinned_cells, 1);
+        assert_eq!(compensated.fault_stats().pinned_cells, 1);
+    }
+
+    #[test]
+    fn spare_column_remap_dodges_stuck_column() {
+        let weights = Matrix::from_rows(&[&[0.5][..], &[-0.25][..]]);
+        let bias = [0.1];
+        let cfg = SeiConfig::new(SeiMode::SignedPorts);
+        let spec = DeviceSpec::ideal(4);
+        let (pr, pc) = cfg.physical_shape(2, 1, spec.bits);
+        // Kernel column 0 is fully stuck; one healthy spare available.
+        let mut map = FaultMap::empty(pr, pc + 1);
+        for r in 0..pr {
+            map.set_fault(r, 0, Some(FaultKind::StuckAtOne));
+        }
+        let reference = SeiCrossbar::new(
+            &spec,
+            &weights,
+            &bias,
+            0.0,
+            &cfg,
+            &mut StdRng::seed_from_u64(31),
+        )
+        .ideal_margins(&[true, true])[0];
+        let mitigated = SeiCrossbar::new_with_faults(
+            &spec,
+            &weights,
+            &bias,
+            0.0,
+            &cfg,
+            &mut StdRng::seed_from_u64(31),
+            &FaultInjection::mitigated(&map, 1),
+        );
+        let stats = mitigated.fault_stats();
+        assert_eq!(stats.spare_remaps, 1);
+        assert_eq!(stats.spare_shortfall, 0);
+        assert_eq!(stats.pinned_cells, 0, "remapped off every stuck cell");
+        let margin = mitigated.ideal_margins(&[true, true])[0];
+        assert!(
+            (margin - reference).abs() < 0.01,
+            "remapped column should be clean: {margin} vs {reference}"
+        );
+    }
+
+    #[test]
+    fn spare_shortfall_degrades_gracefully() {
+        let weights = Matrix::from_rows(&[&[0.5, -0.25][..]]);
+        let cfg = SeiConfig::new(SeiMode::SignedPorts);
+        let spec = DeviceSpec::ideal(4);
+        let (pr, pc) = cfg.physical_shape(1, 2, spec.bits);
+        // Both kernel columns stuck, only one spare: one column remaps,
+        // the other limps along (warning + accuracy hit, no panic).
+        let mut map = FaultMap::empty(pr, pc + 1);
+        for r in 0..pr {
+            map.set_fault(r, 0, Some(FaultKind::StuckAtOne));
+            map.set_fault(r, 1, Some(FaultKind::StuckAtZero));
+        }
+        let xbar = SeiCrossbar::new_with_faults(
+            &spec,
+            &weights,
+            &[0.0, 0.0],
+            0.0,
+            &cfg,
+            &mut StdRng::seed_from_u64(41),
+            &FaultInjection::mitigated(&map, 1),
+        );
+        let stats = xbar.fault_stats();
+        assert_eq!(stats.spare_remaps, 1);
+        assert_eq!(stats.spare_shortfall, 1);
+        assert!(stats.pinned_cells > 0);
+    }
+
+    #[test]
+    fn endurance_wearout_creates_stuck_cells() {
+        let weights = Matrix::from_rows(&[&[0.5][..], &[-0.25][..]]);
+        let cfg = SeiConfig::new(SeiMode::SignedPorts);
+        let spec = DeviceSpec::default_4bit(); // real write–verify pulses
+        let (pr, pc) = cfg.physical_shape(2, 1, spec.bits);
+        let map = FaultMap::empty(pr, pc);
+        let xbar = SeiCrossbar::new_with_faults(
+            &spec,
+            &weights,
+            &[0.0],
+            0.0,
+            &cfg,
+            &mut StdRng::seed_from_u64(51),
+            &FaultInjection {
+                endurance: Some(EnduranceModel::with_scale(1.0)), // worn out
+                endurance_seed: 7,
+                ..FaultInjection::naive(&map)
+            },
+        );
+        assert!(
+            xbar.fault_stats().wearout_cells > 0,
+            "characteristic life of 1 pulse must wear cells out"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fault map rows")]
+    fn fault_map_shape_mismatch_panics() {
+        let weights = Matrix::from_rows(&[&[0.5][..]]);
+        let map = FaultMap::empty(3, 2); // wrong shape
+        let _ = SeiCrossbar::new_with_faults(
+            &DeviceSpec::ideal(4),
+            &weights,
+            &[0.0],
+            0.0,
+            &SeiConfig::new(SeiMode::SignedPorts),
+            &mut StdRng::seed_from_u64(61),
+            &FaultInjection::naive(&map),
+        );
     }
 }

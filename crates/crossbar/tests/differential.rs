@@ -1,0 +1,136 @@
+//! Differential tests: the crossbar implementations against plain f64
+//! reference arithmetic, and against each other.
+//!
+//! * [`SeiCrossbar::ideal_margins`] must reproduce the Equ. (5)→(6)
+//!   selected-weight sum `Σ_{j: in_j=1} w_jk + b_k − θ` up to 8-bit
+//!   weight quantization, in both sign modes;
+//! * the traditional merged design ([`MergedCrossbar`]) and the SEI
+//!   structure are two independent realizations of the same product — on
+//!   ideal devices with binary inputs they must agree up to their
+//!   respective converter/quantization error.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sei_crossbar::{MergedConfig, MergedCrossbar, SeiConfig, SeiCrossbar, SeiMode};
+use sei_device::DeviceSpec;
+use sei_nn::Matrix;
+
+/// Plain f64 reference for the selected-weight sums.
+fn reference_margins(weights: &Matrix, bias: &[f32], theta: f32, input: &[bool]) -> Vec<f64> {
+    (0..weights.cols())
+        .map(|k| {
+            let mut acc = f64::from(bias[k]) - f64::from(theta);
+            for (j, &on) in input.iter().enumerate() {
+                if on {
+                    acc += f64::from(weights.get(j, k));
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
+fn small_weights(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f32..1.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    /// `ideal_margins` vs the f64 reference, both modes, random inputs.
+    #[test]
+    fn sei_margins_match_f64_reference(
+        w in small_weights(5, 3),
+        bias in proptest::collection::vec(-0.5f32..0.5, 3),
+        theta in -0.5f32..0.5,
+        mask in 0usize..64,
+    ) {
+        // Bit 5 of the mask selects the sign mode; bits 0–4 the input.
+        let mode = if mask & 32 != 0 { SeiMode::SignedPorts } else { SeiMode::DynamicThreshold };
+        let mut rng = StdRng::seed_from_u64(7);
+        let xbar = SeiCrossbar::new(
+            &DeviceSpec::ideal(4),
+            &w,
+            &bias,
+            theta,
+            &SeiConfig::new(mode),
+            &mut rng,
+        );
+        let input: Vec<bool> = (0..5).map(|j| mask & (1 << j) != 0).collect();
+        let got = xbar.ideal_margins(&input);
+        let want = reference_margins(&w, &bias, theta, &input);
+        // Worst-case 8-bit quantization slack: half an LSB of the value
+        // span per encoded operand (weights + bias + threshold + the
+        // reference-column cells).
+        let span = w
+            .as_slice()
+            .iter()
+            .chain(&bias)
+            .map(|v| f64::from(v.abs()))
+            .fold(f64::from(theta.abs()), f64::max)
+            .max(1e-9);
+        let tol = span / 255.0 * (5 + 3) as f64;
+        for (k, (&g, &r)) in got.iter().zip(&want).enumerate() {
+            prop_assert!(
+                (g - r).abs() <= tol,
+                "{mode:?} col {k}: sei {g} vs reference {r} (tol {tol})"
+            );
+        }
+    }
+
+    /// The merged (traditional) design and SEI agree on binary inputs up
+    /// to converter quantization — Equ. (5) computed two independent ways.
+    #[test]
+    fn merged_and_sei_agree_on_binary_inputs(
+        w in small_weights(6, 2),
+        mask in 0usize..64,
+    ) {
+        let spec = DeviceSpec::ideal(4);
+        let mut rng = StdRng::seed_from_u64(11);
+        let merged = MergedCrossbar::new(&spec, &w, &MergedConfig::default(), &mut rng);
+        let sei = SeiCrossbar::new(
+            &spec,
+            &w,
+            &[0.0, 0.0],
+            0.0,
+            &SeiConfig::new(SeiMode::SignedPorts),
+            &mut rng,
+        );
+        let bits: Vec<bool> = (0..6).map(|j| mask & (1 << j) != 0).collect();
+        let x: Vec<f32> = bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        let merged_out = merged.matvec(&x, &mut rng);
+        let sei_out = sei.ideal_margins(&bits);
+        let want = reference_margins(&w, &[0.0, 0.0], 0.0, &bits);
+        let span = w
+            .as_slice()
+            .iter()
+            .map(|v| f64::from(v.abs()))
+            .fold(1e-9f64, f64::max);
+        // Merged pays 4 ADC conversions + DAC input quantization on top
+        // of the shared 8-bit weight codes; SEI only the weight codes.
+        let tol_sei = span / 255.0 * 8.0;
+        let tol_merged = span * (6.0 / 255.0 + 4.0 / 255.0) + span / 255.0 * 8.0;
+        for k in 0..2 {
+            prop_assert!(
+                (sei_out[k] - want[k]).abs() <= tol_sei,
+                "sei col {k}: {} vs {} (tol {tol_sei})",
+                sei_out[k],
+                want[k]
+            );
+            prop_assert!(
+                (f64::from(merged_out[k]) - want[k]).abs() <= tol_merged,
+                "merged col {k}: {} vs {} (tol {tol_merged})",
+                merged_out[k],
+                want[k]
+            );
+            prop_assert!(
+                (f64::from(merged_out[k]) - sei_out[k]).abs() <= tol_sei + tol_merged,
+                "merged col {k} {} vs sei {}",
+                merged_out[k],
+                sei_out[k]
+            );
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the first-order IR-drop model: attenuation is a
+//! bounded factor, the far corner is the worst cell of any array, and
+//! growing the array (or the device conductance) only makes it worse.
+
+use proptest::prelude::*;
+use sei_crossbar::IrDropModel;
+use sei_device::DeviceSpec;
+
+fn model() -> IrDropModel {
+    IrDropModel::from_spec(&DeviceSpec::default_4bit())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Attenuation is a physical voltage-divider factor in `(0, 1]`.
+    #[test]
+    fn attenuation_bounded(
+        rows in 1usize..1024,
+        cols in 1usize..1024,
+        rf in 0.0f64..1.0,
+        cf in 0.0f64..1.0,
+    ) {
+        let r = ((rows - 1) as f64 * rf) as usize;
+        let c = ((cols - 1) as f64 * cf) as usize;
+        let a = model().attenuation(r, c, rows, cols);
+        prop_assert!(a > 0.0 && a <= 1.0, "attenuation({r},{c}) = {a}");
+    }
+
+    /// The far corner bounds every cell: `worst_case` is a true lower
+    /// bound on the attenuation anywhere in the array.
+    #[test]
+    fn worst_case_bounds_every_cell(
+        rows in 1usize..512,
+        cols in 1usize..512,
+        rf in 0.0f64..1.0,
+        cf in 0.0f64..1.0,
+    ) {
+        let m = model();
+        let r = ((rows - 1) as f64 * rf) as usize;
+        let c = ((cols - 1) as f64 * cf) as usize;
+        let wc = m.worst_case(rows, cols);
+        prop_assert!(
+            wc <= m.attenuation(r, c, rows, cols) + 1e-15,
+            "worst_case {wc} above cell ({r},{c})"
+        );
+    }
+
+    /// Growing the array in either dimension never improves the worst
+    /// corner.
+    #[test]
+    fn worst_case_monotone_in_array_size(
+        rows in 1usize..512,
+        cols in 1usize..512,
+        dr in 0usize..512,
+        dc in 0usize..512,
+    ) {
+        let m = model();
+        prop_assert!(m.worst_case(rows + dr, cols + dc) <= m.worst_case(rows, cols));
+    }
+
+    /// A more conductive device loads the wires harder: attenuation is
+    /// monotone in the mean conductance.
+    #[test]
+    fn worst_case_monotone_in_conductance(
+        g in 1e-7f64..1e-4,
+        dg in 0.0f64..1e-4,
+    ) {
+        let lo = IrDropModel { wire_resistance: 2.5, mean_conductance: g };
+        let hi = IrDropModel { wire_resistance: 2.5, mean_conductance: g + dg };
+        prop_assert!(hi.worst_case(512, 512) <= lo.worst_case(512, 512));
+    }
+}

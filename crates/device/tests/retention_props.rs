@@ -1,0 +1,86 @@
+//! Property tests for the power-law retention model: the drift factor is
+//! a well-behaved attenuation (bounded, monotone in both elapsed time and
+//! drift exponent), aged conductances never leave the programming window,
+//! and the window-lifetime figure of merit inverts the drift law.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sei_device::{DeviceSpec, ProgrammedCell, RetentionModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `(t/t₀)^(−ν)` stays in `(0, 1]` for any positive time and
+    /// non-negative exponent.
+    #[test]
+    fn drift_factor_bounded(t in 1e-6f64..1e12, nu in 0.0f64..0.5) {
+        let m = RetentionModel::default();
+        let f = m.drift_factor(t, nu);
+        prop_assert!(f > 0.0 && f <= 1.0, "drift_factor({t}, {nu}) = {f}");
+    }
+
+    /// Conductance only decays: more shelf time never increases the
+    /// drift factor.
+    #[test]
+    fn drift_factor_monotone_in_time(
+        t in 1e-3f64..1e10,
+        dt in 1.0f64..1e10,
+        nu in 0.0f64..0.5,
+    ) {
+        let m = RetentionModel::default();
+        prop_assert!(
+            m.drift_factor(t + dt, nu) <= m.drift_factor(t, nu),
+            "drift grew from t={t} to t={}", t + dt
+        );
+    }
+
+    /// A leakier device (larger ν) never retains more than a tighter one.
+    #[test]
+    fn drift_factor_monotone_in_nu(
+        t in 1e-3f64..1e10,
+        nu in 0.0f64..0.4,
+        dnu in 0.0f64..0.1,
+    ) {
+        let m = RetentionModel::default();
+        prop_assert!(m.drift_factor(t, nu + dnu) <= m.drift_factor(t, nu));
+    }
+
+    /// Aged conductance stays inside `[g_min, fresh]` for any programmed
+    /// level and shelf time.
+    #[test]
+    fn aged_conductance_stays_in_window(
+        frac in 0.0f64..1.0,
+        t in 1e-3f64..1e10,
+        seed in 0u64..1000,
+    ) {
+        let spec = DeviceSpec::default_4bit();
+        let m = RetentionModel::default();
+        let cell = ProgrammedCell::ideal(&spec, frac);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = m.aged_conductance(&cell, &spec, t, &mut rng);
+        prop_assert!(
+            g >= spec.g_min - 1e-12 && g <= cell.conductance() + 1e-12,
+            "aged {g} outside [{}, {}]", spec.g_min, cell.conductance()
+        );
+    }
+
+    /// `time_to_window_fraction` inverts the drift law: evaluating the
+    /// drift factor at the returned time recovers the requested fraction.
+    #[test]
+    fn window_lifetime_inverts_drift(
+        fraction in 0.01f64..0.99,
+        // ν ≥ 0.01 keeps f^(−1/ν) finite in f64 for f ≥ 0.01; smaller
+        // exponents put the lifetime past 1e308 s, which is just "never".
+        nu_mean in 0.01f64..0.1,
+    ) {
+        let m = RetentionModel { t0: 1.0, nu_mean, nu_sigma: 0.0 };
+        let t = m.time_to_window_fraction(fraction);
+        prop_assert!(t.is_finite() && t > m.t0, "lifetime {t} not past t0");
+        let f = m.drift_factor(t, nu_mean);
+        prop_assert!(
+            (f - fraction).abs() <= 1e-9 * fraction.max(1e-9) + 1e-12,
+            "drift_factor at lifetime = {f}, wanted {fraction}"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Endurance wear-out: write-pulse counts → incremental failure
+//! probability.
+//!
+//! RRAM cell lifetime is conventionally Weibull-distributed in the number
+//! of set/reset cycles. A cell that arrives at programming time having
+//! already survived `prior_cycles` and then receives `p` write–verify
+//! pulses fails during programming with the **conditional** probability
+//!
+//! `P(fail) = 1 − exp(−(H(prior + p) − H(prior)))`,
+//!
+//! where `H(t) = (t / scale)^shape` is the Weibull cumulative hazard. This
+//! keeps the model consistent under accumulation: programming twice with
+//! `p₁` then `p₂` pulses gives the same total failure probability as once
+//! with `p₁ + p₂`.
+
+use serde::{Deserialize, Serialize};
+
+/// Weibull endurance model for wear-out faults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnduranceModel {
+    /// Weibull scale (characteristic life) in write pulses — the pulse
+    /// count by which ~63 % of cells have failed.
+    pub scale_pulses: f64,
+    /// Weibull shape. > 1 models wear-out (hazard grows with age);
+    /// typical filamentary-RRAM fits are 1.5–2.5.
+    pub shape: f64,
+    /// Pulses the cell has already survived before this programming pass
+    /// (prior use of the array).
+    pub prior_pulses: f64,
+    /// Share of wear-out failures that land stuck at `g_min` (the rest
+    /// stick at `g_max`). Endurance failures are predominantly stuck-open.
+    pub sa0_fraction: f64,
+}
+
+impl EnduranceModel {
+    /// A model with the given characteristic life (in pulses), wear-out
+    /// shape 2, a fresh array, and the stuck-open-dominant 0.8 SA0 share.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale_pulses > 0`.
+    #[must_use]
+    pub fn with_scale(scale_pulses: f64) -> Self {
+        assert!(scale_pulses > 0.0, "Weibull scale must be positive");
+        EnduranceModel {
+            scale_pulses,
+            shape: 2.0,
+            prior_pulses: 0.0,
+            sa0_fraction: 0.8,
+        }
+    }
+
+    /// The Weibull cumulative hazard `H(t) = (t / scale)^shape`.
+    fn hazard(&self, pulses: f64) -> f64 {
+        (pulses.max(0.0) / self.scale_pulses).powf(self.shape)
+    }
+
+    /// Probability that a cell fails while receiving `pulses` additional
+    /// write pulses, conditioned on having survived `prior_pulses`.
+    #[must_use]
+    pub fn failure_probability(&self, pulses: u64) -> f64 {
+        if pulses == 0 {
+            return 0.0;
+        }
+        let h0 = self.hazard(self.prior_pulses);
+        let h1 = self.hazard(self.prior_pulses + pulses as f64);
+        1.0 - (-(h1 - h0)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultKind;
+
+    #[test]
+    fn zero_pulses_never_fail() {
+        let m = EnduranceModel::with_scale(1e6);
+        assert_eq!(m.failure_probability(0), 0.0);
+    }
+
+    #[test]
+    fn probability_monotone_in_pulses() {
+        let m = EnduranceModel::with_scale(1e4);
+        let mut last = 0.0;
+        for pulses in [1u64, 10, 100, 1_000, 10_000, 100_000] {
+            let p = m.failure_probability(pulses);
+            assert!(p > last, "p({pulses}) = {p} not > {last}");
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+    }
+
+    #[test]
+    fn characteristic_life_fails_63_percent() {
+        let m = EnduranceModel::with_scale(1000.0);
+        let p = m.failure_probability(1000);
+        assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_hazard_accumulates() {
+        // Surviving p1 then failing within p2 must equal one p1+p2 pass.
+        let fresh = EnduranceModel::with_scale(5000.0);
+        let aged = EnduranceModel {
+            prior_pulses: 300.0,
+            ..fresh
+        };
+        let p_two_stage = fresh.failure_probability(300)
+            + (1.0 - fresh.failure_probability(300)) * aged.failure_probability(200);
+        let p_one_stage = fresh.failure_probability(500);
+        assert!((p_two_stage - p_one_stage).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wear_out_raises_hazard_for_aged_cells() {
+        let fresh = EnduranceModel::with_scale(1e4);
+        let aged = EnduranceModel {
+            prior_pulses: 9e3,
+            ..fresh
+        };
+        // shape > 1: the same pulse budget is riskier late in life.
+        assert!(aged.failure_probability(100) > fresh.failure_probability(100));
+    }
+
+    #[test]
+    fn sa0_fraction_maps_to_kind_split() {
+        let m = EnduranceModel::with_scale(1e5);
+        // The kind split is consumed by callers as: u < sa0_fraction → SA0.
+        let kind = |u: f64| {
+            if u < m.sa0_fraction {
+                FaultKind::StuckAtZero
+            } else {
+                FaultKind::StuckAtOne
+            }
+        };
+        assert_eq!(kind(0.1), FaultKind::StuckAtZero);
+        assert_eq!(kind(0.9), FaultKind::StuckAtOne);
+    }
+}

@@ -1,0 +1,81 @@
+//! Hard-fault models for RRAM crossbars: stuck-at fault maps and an
+//! endurance (wear-out) model.
+//!
+//! The SEI paper's accuracy results assume every cell is programmable; real
+//! arrays ship with **stuck-at faults** (SAF) — cells pinned at the
+//! low-conductance bound (`SA0`, stuck at `g_min`) or the high-conductance
+//! bound (`SA1`, stuck at `g_max`) — and accumulate more of them as
+//! write–verify pulses wear the filament out. This crate provides the data
+//! model the rest of the stack injects:
+//!
+//! * [`FaultKind`] / [`FaultModel`] — the two stuck-at classes with
+//!   independent per-cell rates;
+//! * [`FaultMap`] — a seeded, serializable per-cell map over a physical
+//!   array, generated row-major from one `StdRng` stream so a `(dims,
+//!   seed)` pair always reproduces the same map (the property the
+//!   Monte-Carlo fault campaign's determinism rests on);
+//! * [`EnduranceModel`] — a conditional-Weibull wear-out model that turns
+//!   the write-pulse count of a freshly programmed cell into a failure
+//!   probability, sampled via the order-independent [`mix`]/[`unit01`]
+//!   hash so results do not depend on programming order or thread count.
+//!
+//! Serialization uses the workspace's in-tree JSON (`sei-telemetry`), under
+//! the stable `sei-fault-map/v1` schema, because the workspace deliberately
+//! carries no `serde_json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod endurance;
+pub mod map;
+
+pub use endurance::EnduranceModel;
+pub use map::{FaultKind, FaultMap, FaultModel};
+
+/// Splitmix64-style stateless seed derivation: mixes an index into a seed
+/// producing an independent, well-distributed stream per `(seed, index)`
+/// pair. Used to derive per-layer / per-part / per-cell fault randomness
+/// without threading RNG state (so draws are order-independent).
+#[must_use]
+pub fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to a uniform `f64` in `[0, 1)` using the top 53 bits.
+#[must_use]
+pub fn unit01(hash: u64) -> f64 {
+    (hash >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_spreads() {
+        assert_eq!(mix(1, 2), mix(1, 2));
+        assert_ne!(mix(1, 2), mix(1, 3));
+        assert_ne!(mix(1, 2), mix(2, 2));
+        // Not the identity and not obviously correlated with the input.
+        assert_ne!(mix(0, 0), 0);
+    }
+
+    #[test]
+    fn unit01_in_range() {
+        for i in 0..1000u64 {
+            let u = unit01(mix(42, i));
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+        }
+    }
+
+    #[test]
+    fn unit01_roughly_uniform() {
+        let n = 10_000u64;
+        let mean: f64 = (0..n).map(|i| unit01(mix(7, i))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,386 @@
+//! Per-cell stuck-at fault maps over a physical crossbar.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sei_telemetry::json::{self, Value};
+use serde::{Deserialize, Serialize};
+
+/// The two stuck-at fault classes of an RRAM cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Stuck at the low-conductance bound (`g_min`): the cell reads as
+    /// fraction 0 regardless of its programmed target. The dominant class
+    /// for formation failures ("stuck open").
+    StuckAtZero,
+    /// Stuck at the high-conductance bound (`g_max`): the cell reads as
+    /// fraction 1 — a shorted filament.
+    StuckAtOne,
+}
+
+impl FaultKind {
+    /// The fraction-of-full-scale value a cell of this kind is pinned to.
+    #[must_use]
+    pub fn pinned_fraction(self) -> f64 {
+        match self {
+            FaultKind::StuckAtZero => 0.0,
+            FaultKind::StuckAtOne => 1.0,
+        }
+    }
+
+    /// Stable schema tag used in serialized maps.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            FaultKind::StuckAtZero => "sa0",
+            FaultKind::StuckAtOne => "sa1",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<FaultKind> {
+        match tag {
+            "sa0" => Some(FaultKind::StuckAtZero),
+            "sa1" => Some(FaultKind::StuckAtOne),
+            _ => None,
+        }
+    }
+}
+
+/// Independent per-cell stuck-at rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Probability that a cell is stuck at `g_min`.
+    pub sa0_rate: f64,
+    /// Probability that a cell is stuck at `g_max`.
+    pub sa1_rate: f64,
+}
+
+impl FaultModel {
+    /// A model with explicit per-class rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both rates are in `[0, 1]` and their sum is ≤ 1.
+    #[must_use]
+    pub fn new(sa0_rate: f64, sa1_rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&sa0_rate)
+                && (0.0..=1.0).contains(&sa1_rate)
+                && sa0_rate + sa1_rate <= 1.0,
+            "fault rates must be probabilities with sa0 + sa1 <= 1, \
+             got sa0 {sa0_rate}, sa1 {sa1_rate}"
+        );
+        FaultModel { sa0_rate, sa1_rate }
+    }
+
+    /// A model with a given **total** stuck-at rate, split between the
+    /// classes at the 9.04:1.75 SA0:SA1 ratio reported for fabricated
+    /// arrays (most faults are stuck open).
+    #[must_use]
+    pub fn uniform(total_rate: f64) -> Self {
+        let sa0_share = 9.04 / (9.04 + 1.75);
+        FaultModel::new(total_rate * sa0_share, total_rate * (1.0 - sa0_share))
+    }
+
+    /// Total per-cell fault probability.
+    #[must_use]
+    pub fn total_rate(&self) -> f64 {
+        self.sa0_rate + self.sa1_rate
+    }
+}
+
+/// A per-cell stuck-at fault map over a `rows × cols` physical array.
+///
+/// Cells are stored densely (one byte each); generation draws one uniform
+/// per cell in row-major order from a single seeded `StdRng`, so a `(rows,
+/// cols, model, seed)` tuple always produces the same map.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMap {
+    rows: usize,
+    cols: usize,
+    /// 0 = healthy, 1 = SA0, 2 = SA1; row-major.
+    cells: Vec<u8>,
+}
+
+const SCHEMA: &str = "sei-fault-map/v1";
+
+impl FaultMap {
+    /// An all-healthy map.
+    #[must_use]
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        FaultMap {
+            rows,
+            cols,
+            cells: vec![0; rows * cols],
+        }
+    }
+
+    /// Draws a map from independent per-cell rates, row-major from one
+    /// seeded stream.
+    #[must_use]
+    pub fn generate(rows: usize, cols: usize, model: &FaultModel, seed: u64) -> Self {
+        let mut map = FaultMap::empty(rows, cols);
+        if model.total_rate() == 0.0 {
+            return map;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for cell in &mut map.cells {
+            let u: f64 = rng.gen();
+            *cell = if u < model.sa0_rate {
+                1
+            } else if u < model.sa0_rate + model.sa1_rate {
+                2
+            } else {
+                0
+            };
+        }
+        map
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The fault (if any) at cell `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinates are out of bounds.
+    #[must_use]
+    pub fn fault(&self, r: usize, c: usize) -> Option<FaultKind> {
+        assert!(
+            r < self.rows && c < self.cols,
+            "fault map index out of bounds"
+        );
+        match self.cells[r * self.cols + c] {
+            1 => Some(FaultKind::StuckAtZero),
+            2 => Some(FaultKind::StuckAtOne),
+            _ => None,
+        }
+    }
+
+    /// Sets or clears the fault at cell `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinates are out of bounds.
+    pub fn set_fault(&mut self, r: usize, c: usize, kind: Option<FaultKind>) {
+        assert!(
+            r < self.rows && c < self.cols,
+            "fault map index out of bounds"
+        );
+        self.cells[r * self.cols + c] = match kind {
+            None => 0,
+            Some(FaultKind::StuckAtZero) => 1,
+            Some(FaultKind::StuckAtOne) => 2,
+        };
+    }
+
+    /// Total number of faulted cells.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.cells.iter().filter(|&&c| c != 0).count()
+    }
+
+    /// Fraction of faulted cells.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.cells.is_empty() {
+            0.0
+        } else {
+            self.count() as f64 / self.cells.len() as f64
+        }
+    }
+
+    /// Number of faulted cells in column `c` (all rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c` is out of bounds.
+    #[must_use]
+    pub fn column_burden(&self, c: usize) -> usize {
+        assert!(c < self.cols, "fault map column out of bounds");
+        (0..self.rows)
+            .filter(|&r| self.cells[r * self.cols + c] != 0)
+            .count()
+    }
+
+    /// Number of faulted cells in the row band `[r0, r1)` restricted to
+    /// columns `[0, cols_used)` — the burden of one logical slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the band or column limit is out of bounds.
+    #[must_use]
+    pub fn band_burden(&self, r0: usize, r1: usize, cols_used: usize) -> usize {
+        assert!(r0 <= r1 && r1 <= self.rows && cols_used <= self.cols);
+        (r0..r1)
+            .map(|r| {
+                self.cells[r * self.cols..r * self.cols + cols_used]
+                    .iter()
+                    .filter(|&&c| c != 0)
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Serializes to the `sei-fault-map/v1` JSON value: dimensions plus a
+    /// sparse `[row, col, "sa0"|"sa1"]` fault list.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut faults = Vec::new();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if let Some(kind) = self.fault(r, c) {
+                    faults.push(Value::Arr(vec![
+                        Value::UInt(r as u64),
+                        Value::UInt(c as u64),
+                        Value::Str(kind.tag().to_string()),
+                    ]));
+                }
+            }
+        }
+        let mut obj = Value::obj();
+        obj.set("schema", Value::Str(SCHEMA.to_string()))
+            .set("rows", Value::UInt(self.rows as u64))
+            .set("cols", Value::UInt(self.cols as u64))
+            .set("faults", Value::Arr(faults));
+        obj
+    }
+
+    /// Compact single-line JSON of [`FaultMap::to_json`].
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_json()
+    }
+
+    /// Parses a map from its `sei-fault-map/v1` JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem: malformed
+    /// JSON, wrong schema tag, missing dimensions, or an out-of-range
+    /// fault entry.
+    pub fn from_json_str(input: &str) -> Result<FaultMap, String> {
+        let value = json::parse(input).map_err(|e| format!("malformed JSON: {e:?}"))?;
+        FaultMap::from_json(&value)
+    }
+
+    /// Parses a map from an already-parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FaultMap::from_json_str`].
+    pub fn from_json(value: &Value) -> Result<FaultMap, String> {
+        let schema = value
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("missing schema tag")?;
+        if schema != SCHEMA {
+            return Err(format!("expected schema {SCHEMA}, got {schema}"));
+        }
+        let rows = value
+            .get("rows")
+            .and_then(Value::as_u64)
+            .ok_or("missing rows")? as usize;
+        let cols = value
+            .get("cols")
+            .and_then(Value::as_u64)
+            .ok_or("missing cols")? as usize;
+        let mut map = FaultMap::empty(rows, cols);
+        let faults = match value.get("faults") {
+            Some(Value::Arr(items)) => items,
+            _ => return Err("missing faults array".into()),
+        };
+        for entry in faults {
+            let fields = match entry {
+                Value::Arr(f) if f.len() == 3 => f,
+                _ => return Err("fault entry must be [row, col, kind]".into()),
+            };
+            let r = fields[0].as_u64().ok_or("fault row must be an integer")? as usize;
+            let c = fields[1].as_u64().ok_or("fault col must be an integer")? as usize;
+            let tag = fields[2].as_str().ok_or("fault kind must be a string")?;
+            let kind = FaultKind::from_tag(tag).ok_or_else(|| format!("unknown kind {tag}"))?;
+            if r >= rows || c >= cols {
+                return Err(format!("fault ({r}, {c}) outside {rows}x{cols} map"));
+            }
+            map.set_fault(r, c, Some(kind));
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let model = FaultModel::uniform(0.1);
+        let a = FaultMap::generate(40, 30, &model, 9);
+        let b = FaultMap::generate(40, 30, &model, 9);
+        let c = FaultMap::generate(40, 30, &model, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_rate_tracks_model() {
+        let model = FaultModel::uniform(0.1);
+        let map = FaultMap::generate(200, 200, &model, 1);
+        assert!((map.rate() - 0.1).abs() < 0.01, "rate {}", map.rate());
+    }
+
+    #[test]
+    fn zero_rate_generates_clean_map() {
+        let map = FaultMap::generate(16, 16, &FaultModel::uniform(0.0), 3);
+        assert_eq!(map.count(), 0);
+    }
+
+    #[test]
+    fn burdens_count_faults() {
+        let mut map = FaultMap::empty(4, 3);
+        map.set_fault(0, 1, Some(FaultKind::StuckAtZero));
+        map.set_fault(2, 1, Some(FaultKind::StuckAtOne));
+        map.set_fault(3, 2, Some(FaultKind::StuckAtOne));
+        assert_eq!(map.column_burden(0), 0);
+        assert_eq!(map.column_burden(1), 2);
+        assert_eq!(map.band_burden(0, 2, 3), 1);
+        assert_eq!(map.band_burden(0, 4, 2), 2); // col 2 excluded
+        assert_eq!(map.count(), 3);
+    }
+
+    #[test]
+    fn json_round_trip_by_hand() {
+        let mut map = FaultMap::empty(3, 5);
+        map.set_fault(1, 4, Some(FaultKind::StuckAtOne));
+        map.set_fault(2, 0, Some(FaultKind::StuckAtZero));
+        let text = map.to_json_string();
+        assert!(text.contains("sei-fault-map/v1"));
+        let back = FaultMap::from_json_str(&text).unwrap();
+        assert_eq!(map, back);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(FaultMap::from_json_str("{}").is_err());
+        assert!(FaultMap::from_json_str("not json").is_err());
+        let wrong = r#"{"schema":"sei-fault-map/v2","rows":1,"cols":1,"faults":[]}"#;
+        assert!(FaultMap::from_json_str(wrong).is_err());
+        let oob = r#"{"schema":"sei-fault-map/v1","rows":1,"cols":1,"faults":[[5,0,"sa0"]]}"#;
+        assert!(FaultMap::from_json_str(oob).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "sa0 + sa1")]
+    fn model_rejects_impossible_rates() {
+        let _ = FaultModel::new(0.8, 0.7);
+    }
+}

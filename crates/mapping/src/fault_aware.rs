@@ -1,0 +1,268 @@
+//! Fault-aware row remapping — steering high-magnitude weights away from
+//! faulted cells.
+//!
+//! # The extended objective
+//!
+//! Homogenization (Equ. 10, [`crate::homogenize`]) decides which rows form
+//! each partition by minimizing the total pairwise distance between the
+//! partitions' column-mean vectors. That objective depends only on
+//! partition *membership*: permuting rows **within** one part changes
+//! neither its column means nor Equ. 10 — but it does change which
+//! physical row band of the part's SEI crossbar each logical row lands
+//! on, and stuck-at faults live at fixed physical coordinates.
+//!
+//! We therefore add a second, subordinate objective over the free
+//! within-part permutation: minimize the *fault exposure*
+//!
+//! `exposure = Σ_slots burden(slot) · ‖w_row(slot)‖₁`
+//!
+//! where `burden(slot)` is the stuck-cell count of the physical row band
+//! the slot occupies (a logical input spans `rows_per_input` physical
+//! rows — sign pairs × bit slices) and `‖w‖₁` is the L1 norm of the
+//! weight row assigned there. A faulted cell under a near-zero weight
+//! costs almost nothing (its digits were mostly 0 anyway, and fault-aware
+//! encoding absorbs the residual); the same cell under a large weight
+//! destroys a full slice contribution. Sorting slots by ascending burden
+//! and rows by descending magnitude, then pairing them greedily, is
+//! exactly optimal for this product-form objective (rearrangement
+//! inequality) and leaves Equ. 10 mathematically unchanged.
+
+use crate::homogenize::Partition;
+use sei_faults::FaultMap;
+use sei_nn::Matrix;
+
+/// L1 norm of one weight row.
+fn row_l1(weights: &Matrix, r: usize) -> f64 {
+    weights.row(r).iter().map(|&w| f64::from(w.abs())).sum()
+}
+
+/// Stuck-cell burden of logical slot `slot` of a part's crossbar: faults
+/// in physical rows `[slot·rows_per_input, (slot+1)·rows_per_input)`
+/// over the first `cols_used` columns of `map`.
+fn slot_burden(map: &FaultMap, slot: usize, rows_per_input: usize, cols_used: usize) -> usize {
+    map.band_burden(
+        slot * rows_per_input,
+        (slot + 1) * rows_per_input,
+        cols_used,
+    )
+}
+
+/// Reorders one partition's rows so that high-L1-magnitude rows occupy
+/// the least fault-burdened physical row bands of the part's crossbar.
+///
+/// `part_rows` are the (global) row indices homogenization assigned to
+/// this part, in their current slot order: slot `i` of the crossbar holds
+/// `part_rows[i]` and spans `rows_per_input` physical rows. `map` is the
+/// part's fault map (physical coordinates, spare columns included);
+/// `cols_used` restricts burden counting to the columns the build will
+/// actually program (kernel + reference).
+///
+/// The result contains exactly the same row indices — only their order
+/// changes — so Equ. 10 and every split-calibration quantity
+/// ([`crate::split::SplitSpec`] thresholds, β compensation) are
+/// untouched.
+///
+/// # Panics
+///
+/// Panics if the map has fewer than `part_rows.len() · rows_per_input`
+/// physical rows.
+pub fn fault_aware_order(
+    weights: &Matrix,
+    part_rows: &[usize],
+    map: &FaultMap,
+    rows_per_input: usize,
+    cols_used: usize,
+) -> Vec<usize> {
+    let k = part_rows.len();
+    assert!(
+        map.rows() >= k * rows_per_input,
+        "fault map has {} physical rows, part needs {}",
+        map.rows(),
+        k * rows_per_input
+    );
+    let burdens: Vec<usize> = (0..k)
+        .map(|s| slot_burden(map, s, rows_per_input, cols_used))
+        .collect();
+    // A fault-free band is the common case; keep it a strict no-op.
+    if burdens.iter().all(|&b| b == 0) {
+        return part_rows.to_vec();
+    }
+    // Slots ascending by burden (stable on ties).
+    let mut slots: Vec<usize> = (0..k).collect();
+    slots.sort_by_key(|&s| burdens[s]);
+    // Rows descending by L1 magnitude (stable on ties).
+    let mut by_weight: Vec<usize> = (0..k).collect();
+    by_weight.sort_by(|&a, &b| {
+        row_l1(weights, part_rows[b])
+            .partial_cmp(&row_l1(weights, part_rows[a]))
+            .expect("finite weights")
+    });
+    let mut out = vec![0usize; k];
+    for (&slot, &ri) in slots.iter().zip(&by_weight) {
+        out[slot] = part_rows[ri];
+    }
+    out
+}
+
+/// The fault-exposure objective the remap minimizes:
+/// `Σ_slots burden(slot) · ‖w_{order[slot]}‖₁`, with `order[i]` the row
+/// occupying slot `i`. Diagnostic / test hook.
+pub fn fault_exposure(
+    weights: &Matrix,
+    order: &[usize],
+    map: &FaultMap,
+    rows_per_input: usize,
+    cols_used: usize,
+) -> f64 {
+    order
+        .iter()
+        .enumerate()
+        .map(|(slot, &r)| {
+            slot_burden(map, slot, rows_per_input, cols_used) as f64 * row_l1(weights, r)
+        })
+        .sum()
+}
+
+/// Applies [`fault_aware_order`] to every part of a partition, given one
+/// fault map per part. Parts and maps are zipped by index.
+///
+/// # Panics
+///
+/// Panics if `maps.len() != partition.len()` or on any per-part shape
+/// mismatch.
+pub fn fault_aware_partition(
+    weights: &Matrix,
+    partition: &Partition,
+    maps: &[FaultMap],
+    rows_per_input: usize,
+    cols_used: usize,
+) -> Partition {
+    assert_eq!(maps.len(), partition.len(), "one fault map per part");
+    partition
+        .iter()
+        .zip(maps)
+        .map(|(part, map)| fault_aware_order(weights, part, map, rows_per_input, cols_used))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homogenize::{mean_vector_distance, natural_order};
+    use sei_faults::FaultKind;
+
+    fn demo_matrix() -> Matrix {
+        Matrix::from_rows(&[
+            &[0.9, -0.8][..],   // heavy
+            &[0.1, 0.05][..],   // light
+            &[-0.7, 0.6][..],   // heavy
+            &[0.02, -0.01][..], // light
+        ])
+    }
+
+    #[test]
+    fn heavy_rows_avoid_faulted_bands() {
+        let w = demo_matrix();
+        let part: Vec<usize> = vec![0, 1, 2, 3];
+        // 4 slots × 4 physical rows; slots 0 and 2 are fault-ridden.
+        let mut map = FaultMap::empty(16, 3);
+        for r in 0..4 {
+            map.set_fault(r, 0, Some(FaultKind::StuckAtOne));
+            map.set_fault(8 + r, 1, Some(FaultKind::StuckAtZero));
+        }
+        let order = fault_aware_order(&w, &part, &map, 4, 3);
+        // Heavy rows 0 and 2 must land on the clean slots 1 and 3.
+        assert!(order[1] == 0 || order[1] == 2, "order {order:?}");
+        assert!(order[3] == 0 || order[3] == 2, "order {order:?}");
+        let before = fault_exposure(&w, &part, &map, 4, 3);
+        let after = fault_exposure(&w, &order, &map, 4, 3);
+        assert!(after < before, "exposure {before} → {after}");
+    }
+
+    #[test]
+    fn reorder_is_a_permutation_of_the_part() {
+        let w = demo_matrix();
+        let part: Vec<usize> = vec![3, 0, 2, 1];
+        let mut map = FaultMap::empty(16, 3);
+        map.set_fault(5, 1, Some(FaultKind::StuckAtOne));
+        let mut order = fault_aware_order(&w, &part, &map, 4, 3);
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fault_free_map_is_identity() {
+        let w = demo_matrix();
+        let part: Vec<usize> = vec![2, 0, 3, 1];
+        let map = FaultMap::empty(16, 3);
+        assert_eq!(fault_aware_order(&w, &part, &map, 4, 3), part);
+    }
+
+    #[test]
+    fn equ10_objective_is_invariant_under_within_part_reorder() {
+        let w = Matrix::from_rows(&[
+            &[0.9, -0.8][..],
+            &[0.1, 0.05][..],
+            &[-0.7, 0.6][..],
+            &[0.02, -0.01][..],
+            &[0.5, 0.5][..],
+            &[-0.4, 0.3][..],
+        ]);
+        let partition = natural_order(6, 2);
+        let mut map = FaultMap::empty(12, 3);
+        map.set_fault(0, 0, Some(FaultKind::StuckAtOne));
+        map.set_fault(4, 1, Some(FaultKind::StuckAtZero));
+        let maps = vec![map.clone(), map];
+        let remapped = fault_aware_partition(&w, &partition, &maps, 4, 3);
+        // Column means are order-invariant up to f32 summation rounding.
+        assert!(
+            (mean_vector_distance(&w, &partition) - mean_vector_distance(&w, &remapped)).abs()
+                < 1e-6
+        );
+        // Membership per part unchanged.
+        for (a, b) in partition.iter().zip(&remapped) {
+            let mut a = a.clone();
+            let mut b = b.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_small_instance() {
+        let w = demo_matrix();
+        let part: Vec<usize> = vec![0, 1, 2, 3];
+        let mut map = FaultMap::empty(16, 3);
+        // Distinct burdens: 3, 0, 1, 2 faults on slots 0..4.
+        for (slot, count) in [(0usize, 3usize), (2, 1), (3, 2)] {
+            for i in 0..count {
+                map.set_fault(slot * 4 + i, 0, Some(FaultKind::StuckAtOne));
+            }
+        }
+        let greedy = fault_aware_order(&w, &part, &map, 4, 3);
+        let greedy_cost = fault_exposure(&w, &greedy, &map, 4, 3);
+        // Exhaustive minimum over all 24 permutations.
+        let mut best = f64::INFINITY;
+        let perm = &mut [0usize, 1, 2, 3];
+        permutations(perm, 0, &mut |p| {
+            best = best.min(fault_exposure(&w, p, &map, 4, 3));
+        });
+        assert!(
+            (greedy_cost - best).abs() < 1e-12,
+            "{greedy_cost} vs {best}"
+        );
+    }
+
+    fn permutations(items: &mut [usize], k: usize, visit: &mut dyn FnMut(&[usize])) {
+        if k == items.len() {
+            visit(items);
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            permutations(items, k + 1, visit);
+            items.swap(k, i);
+        }
+    }
+}

@@ -22,7 +22,10 @@
 //!   the strength β line-searched on the training set;
 //! * [`layout`] — the layout planner that turns a network + structure into
 //!   exact component counts (crossbars, DACs, ADCs, SAs, merge adders) and
-//!   per-picture activation counts for `sei-cost`.
+//!   per-picture activation counts for `sei-cost`;
+//! * [`fault_aware`] — the within-part row remap that steers
+//!   high-magnitude weights away from stuck-at faults without disturbing
+//!   the Equ. 10 objective.
 //!
 //! # Example
 //!
@@ -55,6 +58,7 @@
 pub mod arch;
 pub mod calibrate;
 pub mod evaluate;
+pub mod fault_aware;
 pub mod homogenize;
 pub mod layout;
 pub mod split;

@@ -31,9 +31,15 @@ pub enum Event {
     WritePulses,
     /// Accumulated read/write energy, in femtojoules (reported as pJ).
     EnergyFemtojoules,
+    /// Cells pinned to `g_min`/`g_max` by a stuck-at or wear-out fault
+    /// instead of being programmed.
+    FaultedCellsPinned,
+    /// Kernel columns remapped onto redundant spare columns to dodge
+    /// fault clusters.
+    SpareColumnRemaps,
 }
 
-pub const EVENT_COUNT: usize = 7;
+pub const EVENT_COUNT: usize = 9;
 
 pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::CrossbarReadOps,
@@ -43,6 +49,8 @@ pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::DacConversions,
     Event::WritePulses,
     Event::EnergyFemtojoules,
+    Event::FaultedCellsPinned,
+    Event::SpareColumnRemaps,
 ];
 
 impl Event {
@@ -56,6 +64,8 @@ impl Event {
             Event::DacConversions => "dac_conversions",
             Event::WritePulses => "write_pulses",
             Event::EnergyFemtojoules => "energy_fj",
+            Event::FaultedCellsPinned => "faulted_cells_pinned",
+            Event::SpareColumnRemaps => "spare_column_remaps",
         }
     }
 }

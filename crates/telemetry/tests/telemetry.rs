@@ -165,7 +165,8 @@ fn ndjson_schema_snapshot() {
         "\"table5/training\":{\"calls\":1,\"total_ms\":1.0}},",
         "\"counters\":{\"crossbar_read_ops\":128,\"gate_switches\":4096,",
         "\"sense_amp_fires\":0,\"adc_conversions\":0,\"dac_conversions\":0,",
-        "\"write_pulses\":0,\"energy_fj\":1500,\"energy_pj\":1.5}}"
+        "\"write_pulses\":0,\"energy_fj\":1500,\"faulted_cells_pinned\":0,",
+        "\"spare_column_remaps\":0,\"energy_pj\":1.5}}"
     );
     assert_eq!(fixed_report().to_ndjson_line(), expected);
 }

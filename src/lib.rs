@@ -7,6 +7,7 @@
 //!
 //! * [`nn`] — CNN substrate (tensors, layers, training, synthetic MNIST);
 //! * [`device`] — behavioural RRAM device models;
+//! * [`faults`] — stuck-at fault maps and endurance wear-out models;
 //! * [`crossbar`] — crossbar arrays, peripherals and the SEI structure;
 //! * [`quantize`] — 1-bit quantization (Algorithm 1);
 //! * [`mapping`] — splitting, homogenization, dynamic thresholds, layout;
@@ -46,6 +47,7 @@ pub use sei_cost as cost;
 pub use sei_crossbar as crossbar;
 pub use sei_device as device;
 pub use sei_engine as engine;
+pub use sei_faults as faults;
 pub use sei_mapping as mapping;
 pub use sei_nn as nn;
 pub use sei_quantize as quantize;

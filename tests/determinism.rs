@@ -7,11 +7,14 @@
 //! only on its index — never on which thread happened to process it.
 //! These tests drive that contract end to end through the two stochastic
 //! evaluation paths (the SEI crossbar simulation and the split-network
-//! functional model) and through the Table 4 driver.
+//! functional model), through the Table 4 driver, and through the
+//! Monte-Carlo fault campaign (whose fault maps are seeded by sweep
+//! index, not by worker).
 
 use proptest::prelude::*;
-use sei::core::experiments::table4_column;
-use sei::core::{AcceleratorBuilder, Engine};
+use sei::core::experiments::{fault_campaign, prepare_context, table4_column, FaultCampaignConfig};
+use sei::core::{AcceleratorBuilder, Engine, ExperimentScale};
+use sei::faults::{FaultMap, FaultModel};
 use sei::mapping::calibrate::split_error_rate;
 use sei::mapping::DesignConstraints;
 use sei::nn::data::{Dataset, SynthConfig};
@@ -70,6 +73,49 @@ proptest! {
         let multi = split_error_rate(&acc.split.net, test, Engine::new(threads));
         prop_assert_eq!(single.to_bits(), multi.to_bits());
     }
+
+    /// Fault maps survive a JSON round trip exactly — the serialized
+    /// form is a faithful record of a campaign's fault realization.
+    #[test]
+    fn fault_map_json_round_trips(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        rate in 0.0f64..0.3,
+        seed in 0u64..10_000,
+    ) {
+        let map = FaultMap::generate(rows, cols, &FaultModel::uniform(rate), seed);
+        let parsed = FaultMap::from_json_str(&map.to_json_string())
+            .expect("serialized map parses back");
+        prop_assert_eq!(parsed, map);
+    }
+}
+
+/// The Monte-Carlo fault campaign — training, mapping, fault-map draws,
+/// mitigation and scoring — returns an identical result for
+/// `SEI_THREADS` ∈ {1, 4}: every trial derives its fault seed from its
+/// flat sweep index, never from the worker that ran it.
+#[test]
+fn fault_campaign_is_thread_count_invariant() {
+    let campaign_at = |threads: usize| {
+        let scale = ExperimentScale {
+            threads,
+            model_dir: std::env::temp_dir()
+                .join("sei-determinism-models")
+                .to_string_lossy()
+                .into_owned(),
+            ..ExperimentScale::tiny()
+        };
+        let ctx = prepare_context(scale, &[paper::PaperNetwork::Network2]).expect("context builds");
+        let cfg = FaultCampaignConfig {
+            rates: vec![0.0, 0.10],
+            trials: 2,
+            eval_n: 40,
+            spare_columns: 2,
+            seed: 5,
+        };
+        fault_campaign(&ctx, paper::PaperNetwork::Network2, &cfg).expect("campaign runs")
+    };
+    assert_eq!(campaign_at(1), campaign_at(4));
 }
 
 /// The full Table 4 driver — homogenized build, dynamic-threshold build

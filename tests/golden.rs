@@ -1,0 +1,222 @@
+//! Golden-trace regression tests.
+//!
+//! Each test re-runs one paper-table driver at a fixed smoke scale,
+//! serializes the numeric result to a canonical NDJSON value, and diffs
+//! it against the committed snapshot in `tests/golden/`. Every numeric
+//! field must stay within tolerance (`|got − want| ≤ max(0.02,
+//! 0.02·|want|)`) — loose enough to absorb cross-platform float noise,
+//! tight enough to catch a broken quantizer, splitter or evaluator.
+//!
+//! When a change legitimately moves the numbers (e.g. a better search),
+//! regenerate the snapshots and review the diff like any other code:
+//!
+//! ```text
+//! SEI_UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+
+use sei::core::experiments::{prepare_context, table1, table3, table4_column, Context};
+use sei::core::ExperimentScale;
+use sei::nn::paper::PaperNetwork;
+use sei::quantize::algorithm1::{quantize_network, QuantizeConfig};
+use sei::telemetry::json::{self, Value};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// One trained smoke-scale context shared by all golden tests (the
+/// snapshots are only meaningful at this exact scale and seed).
+fn ctx() -> &'static Context {
+    static CTX: OnceLock<Context> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let scale = ExperimentScale {
+            threads: 2,
+            model_dir: std::env::temp_dir()
+                .join("sei-golden-models")
+                .to_string_lossy()
+                .into_owned(),
+            ..ExperimentScale::tiny()
+        };
+        prepare_context(scale, &[PaperNetwork::Network2]).expect("golden context builds")
+    })
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.ndjson"))
+}
+
+/// Compares `got` against the committed snapshot, or rewrites the
+/// snapshot when `SEI_UPDATE_GOLDEN=1`.
+fn check_golden(name: &str, got: &Value) {
+    let path = golden_path(name);
+    if std::env::var("SEI_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create tests/golden");
+        std::fs::write(&path, format!("{}\n", got.to_json())).expect("write golden trace");
+        return;
+    }
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden trace {}: {e}\nregenerate with SEI_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    let want = json::parse(raw.trim()).expect("golden trace parses");
+    let mut diffs = Vec::new();
+    diff_value(name, &want, got, &mut diffs);
+    assert!(
+        diffs.is_empty(),
+        "golden trace '{name}' drifted ({} fields):\n{}\n\
+         if intentional, regenerate with SEI_UPDATE_GOLDEN=1 and commit",
+        diffs.len(),
+        diffs.join("\n")
+    );
+}
+
+/// Recursive structural diff: numbers within tolerance, everything else
+/// exact, same keys in the same order.
+fn diff_value(path: &str, want: &Value, got: &Value, diffs: &mut Vec<String>) {
+    if let (Some(w), Some(g)) = (want.as_f64(), got.as_f64()) {
+        let tol = 0.02f64.max(0.02 * w.abs());
+        if (g - w).abs() > tol {
+            diffs.push(format!("  {path}: got {g}, want {w} (tol {tol:.4})"));
+        }
+        return;
+    }
+    match (want, got) {
+        (Value::Arr(w), Value::Arr(g)) => {
+            if w.len() != g.len() {
+                diffs.push(format!("  {path}: length {} vs {}", g.len(), w.len()));
+                return;
+            }
+            for (i, (wi, gi)) in w.iter().zip(g).enumerate() {
+                diff_value(&format!("{path}[{i}]"), wi, gi, diffs);
+            }
+        }
+        (Value::Obj(w), Value::Obj(g)) => {
+            if w.len() != g.len() {
+                diffs.push(format!("  {path}: {} keys vs {}", g.len(), w.len()));
+                return;
+            }
+            for ((wk, wv), (gk, gv)) in w.iter().zip(g) {
+                if wk != gk {
+                    diffs.push(format!("  {path}: key '{gk}' where '{wk}' expected"));
+                    return;
+                }
+                diff_value(&format!("{path}.{wk}"), wv, gv, diffs);
+            }
+        }
+        (w, g) if w == g => {}
+        (w, g) => diffs.push(format!(
+            "  {path}: got {}, want {}",
+            g.to_json(),
+            w.to_json()
+        )),
+    }
+}
+
+#[test]
+fn golden_table1_distribution() {
+    let rows = table1(ctx()).expect("table1 runs");
+    let mut trace = Value::obj();
+    trace.set("experiment", Value::Str("table1".into()));
+    let nets: Vec<Value> = rows
+        .iter()
+        .map(|(which, dist)| {
+            let mut n = Value::obj();
+            n.set("network", Value::Str(which.name().into()));
+            n.set(
+                "all_layers",
+                Value::Arr(dist.all_layers.iter().map(|&f| Value::Float(f)).collect()),
+            );
+            let layers: Vec<Value> = dist
+                .layers
+                .iter()
+                .map(|l| {
+                    let mut lv = Value::obj();
+                    lv.set("ordinal", Value::UInt(l.ordinal as u64));
+                    lv.set(
+                        "buckets",
+                        Value::Arr(l.buckets.iter().map(|&f| Value::Float(f)).collect()),
+                    );
+                    lv.set("zero_fraction", Value::Float(l.zero_fraction));
+                    lv
+                })
+                .collect();
+            n.set("layers", Value::Arr(layers));
+            n
+        })
+        .collect();
+    trace.set("networks", Value::Arr(nets));
+    check_golden("table1", &trace);
+}
+
+#[test]
+fn golden_table3_quantization_error() {
+    let rows = table3(ctx(), &QuantizeConfig::default()).expect("table3 runs");
+    let mut trace = Value::obj();
+    trace.set("experiment", Value::Str("table3".into()));
+    let rvs: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            let mut rv = Value::obj();
+            rv.set("network", Value::Str(r.network.name().into()));
+            rv.set("before", Value::Float(f64::from(r.before)));
+            rv.set("after", Value::Float(f64::from(r.after)));
+            rv
+        })
+        .collect();
+    trace.set("rows", Value::Arr(rvs));
+    check_golden("table3", &trace);
+}
+
+#[test]
+fn golden_table4_splitting_ablation() {
+    let ctx = ctx();
+    let model = ctx.model(PaperNetwork::Network2).expect("model prepared");
+    let quantized = quantize_network(
+        &model.net,
+        &ctx.calib(),
+        &QuantizeConfig::default(),
+        ctx.engine(),
+    )
+    .expect("quantizes");
+    let col = table4_column(
+        model,
+        &quantized,
+        &ctx.train,
+        &ctx.test.truncated(80),
+        60,
+        256,
+        2,
+        9,
+        ctx.engine(),
+    )
+    .expect("table4 column builds");
+    let mut trace = Value::obj();
+    trace.set("experiment", Value::Str("table4".into()));
+    trace.set("max_crossbar", Value::UInt(col.max_crossbar as u64));
+    trace.set("original", Value::Float(f64::from(col.original)));
+    trace.set("quantized", Value::Float(f64::from(col.quantized)));
+    trace.set("random_min", Value::Float(f64::from(col.random_min)));
+    trace.set("random_max", Value::Float(f64::from(col.random_max)));
+    trace.set("random_orders", Value::UInt(col.random_orders as u64));
+    trace.set(
+        "homogenization",
+        Value::Float(f64::from(col.homogenization)),
+    );
+    trace.set(
+        "dynamic_threshold",
+        Value::Float(f64::from(col.dynamic_threshold)),
+    );
+    trace.set(
+        "distance_reductions",
+        Value::Arr(
+            col.distance_reductions
+                .iter()
+                .map(|&d| Value::Float(d))
+                .collect(),
+        ),
+    );
+    check_golden("table4", &trace);
+}
