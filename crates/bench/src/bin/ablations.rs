@@ -18,7 +18,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sei_bench::{banner, bench_init, emit_report, err_pct, new_report, ok_or_exit, pct};
+use sei_bench::{banner, err_pct, ok_or_exit, pct, BenchRun};
 use sei_core::experiments::{device_bits_sweep, prepare_context};
 use sei_cost::{CostParams, CostReport};
 use sei_mapping::homogenize::{self, GaConfig};
@@ -30,7 +30,8 @@ use sei_nn::Matrix;
 use sei_quantize::algorithm1::{quantize_network, QuantizeConfig, SearchObjective};
 
 fn main() {
-    let scale = bench_init();
+    let mut run = BenchRun::start("ablations");
+    let scale = run.scale().clone();
     banner("Ablations (design choices called out in DESIGN.md)");
     println!("(scale: {scale:?})\n");
 
@@ -189,7 +190,7 @@ fn main() {
         ga_total / exact_total.max(1e-12)
     );
 
-    let mut report = new_report("ablations", &scale);
+    let report = run.report();
     report.set_f64("float_error", f64::from(model.float_error));
     let device_rows: Vec<sei_telemetry::json::Value> = sweep
         .iter()
@@ -208,5 +209,5 @@ fn main() {
         sei_telemetry::json::Value::Arr(device_rows),
     );
     report.set_f64("ga_vs_exact_ratio", ga_total / exact_total.max(1e-12));
-    emit_report(&mut report);
+    run.finish();
 }

@@ -7,7 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sei_bench::{banner, bench_init, emit_report, env_or, new_report, ok_or_exit};
+use sei_bench::{banner, env_or, ok_or_exit, paper_network_arg, BenchRun};
 use sei_core::experiments::prepare_context;
 use sei_mapping::calibrate::{build_split_network, split_error_rate, SplitBuildConfig};
 use sei_mapping::homogenize::{genetic, natural_order, GaConfig};
@@ -19,12 +19,9 @@ use sei_quantize::algorithm1::{quantize_network, QuantizeConfig};
 use sei_quantize::qnet::QLayer;
 
 fn main() {
-    let scale = bench_init();
-    let which = match std::env::args().nth(1).as_deref() {
-        Some("network2") => PaperNetwork::Network2,
-        Some("network3") => PaperNetwork::Network3,
-        _ => PaperNetwork::Network1,
-    };
+    let mut run = BenchRun::start("diagnose");
+    let scale = run.scale().clone();
+    let which = paper_network_arg(PaperNetwork::Network1);
     banner(&format!("diagnose: {} at {scale:?}", which.name()));
 
     let ctx = ok_or_exit(prepare_context(scale.clone(), &[which]));
@@ -126,7 +123,7 @@ fn main() {
         q_err * 100.0
     );
 
-    let mut report = new_report("diagnose", &scale);
+    let report = run.report();
     report.set_str("network", which.name());
     report.set_f64("float_error", f64::from(model.float_error));
     report.set_f64("quantized_error", f64::from(q_err));
@@ -134,5 +131,5 @@ fn main() {
         "split_error",
         f64::from(split_error_rate(&full.net, &ctx.test, engine)),
     );
-    emit_report(&mut report);
+    run.finish();
 }

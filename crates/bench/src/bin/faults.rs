@@ -13,37 +13,19 @@
 //! `SEI_FAULT_TRIALS`, `SEI_FAULT_EVAL` (test-subset size per trial),
 //! `SEI_SPARE_COLS` (spare columns per crossbar part).
 
-use sei_bench::{banner, bench_init, emit_report, env_or, err_pct, new_report, ok_or_exit};
+use sei_bench::{banner, env_list_or, env_or, err_pct, ok_or_exit, BenchRun};
 use sei_core::experiments::{fault_campaign, prepare_context, FaultCampaignConfig};
 use sei_nn::paper::PaperNetwork;
 use sei_telemetry::json::Value;
 
-fn parse_rates(raw: &str) -> Vec<f64> {
-    raw.split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .map(|s| match s.parse::<f64>() {
-            Ok(v) => v,
-            Err(_) => {
-                eprintln!("error: SEI_FAULT_RATES: expected comma-separated fractions, got {s:?}");
-                std::process::exit(2);
-            }
-        })
-        .collect()
-}
-
 fn main() {
-    let scale = bench_init();
+    let mut run = BenchRun::start("faults");
+    let scale = run.scale().clone();
     banner("Fault campaign — accuracy vs. stuck-at fault rate");
     println!("(scale: {scale:?})\n");
 
-    let rates = parse_rates(&env_or(
-        "SEI_FAULT_RATES",
-        "comma-separated fractions",
-        "0,0.01,0.02,0.05,0.10,0.20".to_string(),
-    ));
     let cfg = FaultCampaignConfig {
-        rates,
+        rates: env_list_or("SEI_FAULT_RATES", "fractions", "0,0.01,0.02,0.05,0.10,0.20"),
         trials: env_or("SEI_FAULT_TRIALS", "positive integer", 3usize),
         eval_n: env_or("SEI_FAULT_EVAL", "positive integer", 100usize),
         spare_columns: env_or("SEI_SPARE_COLS", "non-negative integer", 4usize),
@@ -88,7 +70,7 @@ fn main() {
         None => println!("10% SAF cost no accuracy on this scale — nothing to recover"),
     }
 
-    let mut report = new_report("faults", &scale);
+    let report = run.report();
     report.set(
         "baseline_error",
         Value::Float(f64::from(camp.baseline_error)),
@@ -135,5 +117,5 @@ fn main() {
     if let Some(r) = camp.recovery_at(0.10) {
         report.set("recovery_at_10pct_saf", Value::Float(r));
     }
-    emit_report(&mut report);
+    run.finish();
 }

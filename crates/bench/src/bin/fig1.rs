@@ -5,7 +5,7 @@
 //! Paper claim: "ADCs and DACs cost more than 98% of the area and power
 //! consumption of RRAM-based CNN even if the crossbar size is 512×512."
 
-use sei_bench::{banner, bench_init, emit_report, new_report, ok_or_exit, pct};
+use sei_bench::{banner, ok_or_exit, pct, BenchRun};
 use sei_core::experiments::{fig1, prepare_context};
 use sei_cost::{ComponentClass, CostParams};
 use sei_mapping::DesignConstraints;
@@ -13,7 +13,8 @@ use sei_nn::paper::PaperNetwork;
 use sei_telemetry::json::Value;
 
 fn main() {
-    let scale = bench_init();
+    let mut run = BenchRun::start("fig1");
+    let scale = run.scale().clone();
     banner("Fig. 1 — power/area breakdown, Network 1, 8-bit data, DAC+ADC");
     println!("(scale: {scale:?})\n");
 
@@ -75,7 +76,6 @@ fn main() {
         pct(report.converter_area_fraction()),
     );
 
-    let mut run = new_report("fig1", &scale);
     let classes: Vec<Value> = ComponentClass::ALL
         .iter()
         .enumerate()
@@ -87,14 +87,14 @@ fn main() {
             v
         })
         .collect();
-    run.set("totals", Value::Arr(classes));
-    run.set(
+    run.report().set("totals", Value::Arr(classes));
+    run.report().set(
         "converter_energy_fraction",
         Value::Float(report.converter_energy_fraction()),
     );
-    run.set(
+    run.report().set(
         "converter_area_fraction",
         Value::Float(report.converter_area_fraction()),
     );
-    emit_report(&mut run);
+    run.finish();
 }

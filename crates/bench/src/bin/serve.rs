@@ -1,0 +1,186 @@
+//! Saturation benchmarking of the serving layer: sweeps offered load ×
+//! batch size × crossbar replication over the mapped SEI design and
+//! prints the saturation curves (goodput, tail latency, shed rate,
+//! energy per inference).
+//!
+//! ```sh
+//! cargo run --release -p sei-bench --bin serve [network1|network2|network3]
+//! ```
+//!
+//! Knobs: `SEI_SERVE_LOADS` (fractions of the saturation throughput),
+//! `SEI_SERVE_BATCH` (batch-former size limits), `SEI_SERVE_REPL`
+//! (replication factors), `SEI_SERVE_DURATION_MS` (arrival horizon),
+//! `SEI_SERVE_QUEUE` (admission-queue capacity), `SEI_SERVE_TIMEOUT_US`
+//! (batch-former wait bound), `SEI_SERVE_DEADLINE_US` (0 disables
+//! deadline shedding), `SEI_SERVE_FAULT_RATE` (stuck-at rate injected
+//! into the bottleneck stage tile; 0 disables).
+//!
+//! With `SEI_REPORT_JSON` set, each grid point appends one
+//! `sei-serve-report/v1` NDJSON line. Every field in those lines is a
+//! function of the virtual clock and the seed — no wall-clock times, no
+//! thread counts — so the file is byte-identical at any `SEI_THREADS`.
+
+use sei_bench::{banner, bench_init, env_list_or, env_or, ok_or_exit, paper_network_arg};
+use sei_cost::{CostParams, CostReport};
+use sei_engine::Engine;
+use sei_faults::{FaultMap, FaultModel};
+use sei_mapping::layout::DesignPlan;
+use sei_mapping::timing::{DesignTiming, TimingModel};
+use sei_mapping::{DesignConstraints, Structure};
+use sei_nn::paper;
+use sei_nn::paper::PaperNetwork;
+use sei_serve::{
+    run_sweep, BatchPolicy, LoadModel, ServeConfig, ServiceProfile, SweepCell, SweepPoint,
+    SERVE_SCHEMA,
+};
+use sei_telemetry::json::Value;
+use sei_telemetry::{sei_warn, RunReport};
+
+fn main() {
+    let scale = bench_init();
+    let which = paper_network_arg(PaperNetwork::Network1);
+
+    let loads: Vec<f64> = env_list_or("SEI_SERVE_LOADS", "load fractions", "0.2,0.5,0.8,1.2,2.0");
+    let batches: Vec<usize> = env_list_or("SEI_SERVE_BATCH", "batch sizes", "1,4,16");
+    let repls: Vec<usize> = env_list_or("SEI_SERVE_REPL", "replication factors", "1,4");
+    let duration_ms: u64 = env_or("SEI_SERVE_DURATION_MS", "an arrival horizon (ms)", 200);
+    let queue: usize = env_or("SEI_SERVE_QUEUE", "a queue capacity", 128);
+    let timeout_us: u64 = env_or("SEI_SERVE_TIMEOUT_US", "a batch timeout (µs)", 200);
+    let deadline_us: u64 = env_or("SEI_SERVE_DEADLINE_US", "a deadline (µs, 0 = none)", 0);
+    let fault_rate: f64 = env_or("SEI_SERVE_FAULT_RATE", "a stuck-at fraction", 0.0);
+    let seed = scale.seed;
+
+    banner(&format!(
+        "serving saturation sweep — {}, SEI structure",
+        which.name()
+    ));
+    println!(
+        "(loads {loads:?} × batch {batches:?} × replication {repls:?}; \
+         horizon {duration_ms} ms, queue {queue}, batch timeout {timeout_us} µs, \
+         deadline {deadline_us} µs, fault rate {fault_rate})\n"
+    );
+
+    let net = which.build(0);
+    let plan = DesignPlan::plan(
+        &net,
+        paper::INPUT_SHAPE,
+        Structure::Sei,
+        &DesignConstraints::paper_default(),
+    );
+    let cost = CostReport::analyze(&plan, &CostParams::default());
+
+    let mut cells = Vec::new();
+    for &replication in &repls {
+        let timing = DesignTiming::analyze(&plan, &TimingModel::default(), replication);
+        let mut profile = ServiceProfile::from_design(&timing, &cost);
+        if fault_rate > 0.0 {
+            // Degrade the bottleneck stage: the tile whose service time
+            // bounds throughput is also the one doing the most reads.
+            let slowest = profile
+                .stages
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.service_ns.total_cmp(&b.1.service_ns))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let map = FaultMap::generate(
+                512,
+                512,
+                &FaultModel::uniform(fault_rate),
+                seed.wrapping_add(replication as u64),
+            );
+            profile = profile.with_stage_fault(slowest, &map);
+        }
+        let saturation = profile.max_throughput_rps();
+        for &load_fraction in &loads {
+            for &batch_max in &batches {
+                cells.push(SweepCell {
+                    load_fraction,
+                    batch_max,
+                    replication,
+                    profile: profile.clone(),
+                    config: ServeConfig {
+                        load: LoadModel::Poisson {
+                            rate_rps: load_fraction * saturation,
+                        },
+                        batch: BatchPolicy {
+                            max_size: batch_max,
+                            timeout_ns: timeout_us.saturating_mul(1_000),
+                        },
+                        queue_capacity: queue,
+                        deadline_ns: deadline_us.saturating_mul(1_000),
+                        duration_ns: duration_ms.saturating_mul(1_000_000),
+                        seed,
+                    },
+                });
+            }
+        }
+    }
+
+    let engine = Engine::new(scale.threads);
+    let points = ok_or_exit(run_sweep(&engine, &cells));
+
+    for &replication in &repls {
+        for &batch_max in &batches {
+            println!(
+                "replication {replication}, batch ≤ {batch_max} (saturation {:.0} inf/s):",
+                points
+                    .iter()
+                    .find(|p| p.replication == replication && p.batch_max == batch_max)
+                    .map(|p| p.saturation_rps)
+                    .unwrap_or(0.0)
+            );
+            let header = format!(
+                "{:>6} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                "load", "offered/s", "goodput/s", "shed%", "p50 µs", "p99 µs", "queue pk", "µJ/inf"
+            );
+            println!("{header}");
+            for p in points
+                .iter()
+                .filter(|p| p.replication == replication && p.batch_max == batch_max)
+            {
+                println!(
+                    "{:>5.2}x {:>12.0} {:>12.0} {:>7.1}% {:>10.1} {:>10.1} {:>10} {:>10.2}",
+                    p.load_fraction,
+                    p.report.offered_rps,
+                    p.report.throughput_rps,
+                    p.report.shed_rate() * 100.0,
+                    p.report.latency.p50_ns as f64 / 1e3,
+                    p.report.latency.p99_ns as f64 / 1e3,
+                    p.report.peak_queue_depth,
+                    p.report.energy_per_inference_j() * 1e6,
+                );
+            }
+            println!();
+        }
+    }
+    println!(
+        "shape: below saturation goodput tracks offered load and nothing is\n\
+         shed; past it goodput pins to the slowest-stage bound, the queue\n\
+         fills, and admission control sheds the excess while p99 stays\n\
+         bounded by the queue depth instead of growing without limit."
+    );
+
+    for p in &points {
+        if let Err(e) = point_report(which, seed, p).emit_env() {
+            sei_warn!("failed to write serve report: {e}");
+        }
+    }
+}
+
+/// One `sei-serve-report/v1` NDJSON line for one grid point. Deliberately
+/// bypasses the shared `BenchRun` finalization: that path stamps
+/// wall-clock timings and the thread count, and serve report lines must
+/// stay byte-identical across `SEI_THREADS`.
+fn point_report(which: PaperNetwork, seed: u64, p: &SweepPoint) -> RunReport {
+    let mut r = RunReport::new("serve");
+    r.set("schema", Value::Str(SERVE_SCHEMA.to_string()));
+    r.set_str("network", which.name());
+    r.set_u64("seed", seed);
+    r.set_u64("replication", p.replication as u64);
+    r.set_u64("batch_max", p.batch_max as u64);
+    r.set_f64("load_fraction", p.load_fraction);
+    r.set_f64("saturation_rps", p.saturation_rps);
+    r.set("measures", p.report.to_json());
+    r
+}

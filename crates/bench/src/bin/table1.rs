@@ -7,13 +7,14 @@
 //! data contains more than 95% values around zero"; we analyze the trained
 //! Table 2 networks (see DESIGN.md §1 for the substitution).
 
-use sei_bench::{banner, bench_init, emit_report, new_report, ok_or_exit};
+use sei_bench::{banner, ok_or_exit, BenchRun};
 use sei_core::experiments::{prepare_context, table1};
 use sei_nn::paper::PaperNetwork;
 use sei_telemetry::json::Value;
 
 fn main() {
-    let scale = bench_init();
+    let mut run = BenchRun::start("table1");
+    let scale = run.scale().clone();
     banner("Table 1 — intermediate-data distribution (normalized, post-ReLU)");
     println!("(scale: {scale:?})\n");
 
@@ -51,7 +52,6 @@ fn main() {
     }
     println!("\nshape check: the 0-1/16 bucket dominates every layer (long-tail,\nthe premise of 1-bit quantization).");
 
-    let mut report = new_report("table1", &scale);
     let nets: Vec<Value> = results
         .iter()
         .map(|(which, dist)| {
@@ -79,6 +79,6 @@ fn main() {
             net
         })
         .collect();
-    report.set("networks", Value::Arr(nets));
-    emit_report(&mut report);
+    run.report().set("networks", Value::Arr(nets));
+    run.finish();
 }

@@ -6,16 +6,15 @@
 //! than one percentage point. Absolute errors differ on the synthetic
 //! dataset; the reproduced claim is the bounded quantization penalty.
 
-use sei_bench::{
-    banner, bench_init, emit_report, err_pct, new_report, ok_or_exit, paper_vs_measured,
-};
+use sei_bench::{banner, err_pct, ok_or_exit, paper_vs_measured, BenchRun};
 use sei_core::experiments::{prepare_context, table3};
 use sei_nn::paper::PaperNetwork;
 use sei_quantize::QuantizeConfig;
 use sei_telemetry::json::Value;
 
 fn main() {
-    let scale = bench_init();
+    let mut run = BenchRun::start("table3");
+    let scale = run.scale().clone();
     banner("Table 3 — error rate of the quantization method");
     println!("(scale: {scale:?})\n");
 
@@ -47,7 +46,6 @@ fn main() {
     }
     println!("shape check: every network keeps a small (≈1pp-scale) penalty.");
 
-    let mut report = new_report("table3", &scale);
     let report_rows: Vec<Value> = rows
         .iter()
         .map(|r| {
@@ -62,6 +60,6 @@ fn main() {
             row
         })
         .collect();
-    report.set("rows", Value::Arr(report_rows));
-    emit_report(&mut report);
+    run.report().set("rows", Value::Arr(report_rows));
+    run.finish();
 }

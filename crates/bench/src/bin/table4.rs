@@ -18,14 +18,15 @@
 //! `SEI_T4_ORDERS` sets the number of random orders sampled (default 25;
 //! the paper uses 500).
 
-use sei_bench::{banner, bench_init, emit_report, env_or, err_pct, new_report, ok_or_exit};
+use sei_bench::{banner, env_or, err_pct, ok_or_exit, BenchRun};
 use sei_core::experiments::{prepare_context, table4_column};
 use sei_nn::paper::PaperNetwork;
 use sei_quantize::algorithm1::{quantize_network, QuantizeConfig};
 use sei_telemetry::json::Value;
 
 fn main() {
-    let scale = bench_init();
+    let mut run = BenchRun::start("table4");
+    let scale = run.scale().clone();
     let orders: usize = env_or("SEI_T4_ORDERS", "an order count (usize)", 25);
     banner("Table 4 — error rate of the proposed methods on Network 1");
     println!("(scale: {scale:?}, random orders: {orders})\n");
@@ -91,7 +92,7 @@ fn main() {
         println!("  max {max}: per split layer {reductions:?}");
     }
 
-    let mut report = new_report("table4", &scale);
+    let report = run.report();
     report.set_u64("random_orders", orders as u64);
     let cols: Vec<Value> = columns
         .iter()
@@ -120,7 +121,7 @@ fn main() {
         })
         .collect();
     report.set("columns", Value::Arr(cols));
-    emit_report(&mut report);
+    run.finish();
     println!(
         "\nshape checks: random-order spread is wide; homogenization recovers\n\
          near-quantized accuracy; dynamic threshold recovers a little more."

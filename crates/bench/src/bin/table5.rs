@@ -26,14 +26,15 @@
 //! `SEI_T5_DEVICE_N` sets the subset size for the crossbar-level
 //! (device-noise) SEI accuracy simulation (default 100, 0 disables).
 
-use sei_bench::{banner, bench_init, emit_report, env_or, new_report, ok_or_exit};
+use sei_bench::{banner, env_or, ok_or_exit, BenchRun};
 use sei_core::experiments::{prepare_context, table5_block, table5_blocks};
 use sei_cost::{CostParams, FPGA_GOPS_PER_JOULE, GPU_K40_GOPS_PER_JOULE};
 use sei_nn::paper::PaperNetwork;
 use sei_telemetry::json::Value;
 
 fn main() {
-    let scale = bench_init();
+    let mut run = BenchRun::start("table5");
+    let scale = run.scale().clone();
     let device_n: usize = env_or("SEI_T5_DEVICE_N", "a sample count (usize)", 100);
     banner("Table 5 — result of proposed method using 4-bit RRAM devices");
     println!("(scale: {scale:?}, device-sim subset: {device_n})\n");
@@ -55,8 +56,7 @@ fn main() {
         "area-save%"
     );
     let mut sei_gops: Vec<(String, f64)> = Vec::new();
-    let mut report = new_report("table5", &scale);
-    report.set_u64("device_sim_n", device_n as u64);
+    run.report().set_u64("device_sim_n", device_n as u64);
     let mut report_rows: Vec<Value> = Vec::new();
     for (which, max) in table5_blocks() {
         println!("  [{} @ {max} ...]", which.name());
@@ -96,8 +96,8 @@ fn main() {
             }
         }
     }
-    report.set("rows", Value::Arr(report_rows));
-    emit_report(&mut report);
+    run.report().set("rows", Value::Arr(report_rows));
+    run.finish();
 
     println!("\n§5.3 energy efficiency (at paper Table 2 complexity):");
     for (label, g) in &sei_gops {

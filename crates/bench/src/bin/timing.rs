@@ -7,23 +7,23 @@
 //! cargo run --release -p sei-bench --bin timing [network1|network2|network3]
 //! ```
 
-use sei_bench::{banner, bench_init, emit_report, new_report};
+use sei_bench::{banner, paper_network_arg, BenchRun};
 use sei_cost::{CostParams, CostReport, PowerReport};
 use sei_mapping::layout::DesignPlan;
 use sei_mapping::timing::{DesignTiming, TimingModel};
 use sei_mapping::{DesignConstraints, Structure};
 use sei_nn::paper;
+use sei_nn::paper::PaperNetwork;
 use sei_telemetry::json::Value;
 
 fn main() {
-    let scale = bench_init();
-    let which = std::env::args().nth(1).unwrap_or_else(|| "network1".into());
-    let net = match which.as_str() {
-        "network2" => paper::network2(0),
-        "network3" => paper::network3(0),
-        _ => paper::network1(0),
-    };
-    banner(&format!("timing / power — {which}, 512x512 crossbars"));
+    let mut run = BenchRun::start("timing");
+    let which = paper_network_arg(PaperNetwork::Network1);
+    let net = which.build(0);
+    banner(&format!(
+        "timing / power — {}, 512x512 crossbars",
+        which.name()
+    ));
 
     let constraints = DesignConstraints::paper_default();
     let params = CostParams::default();
@@ -33,8 +33,8 @@ fn main() {
         "\n{:<18} {:>12} {:>12} {:>12} {:>12}",
         "structure", "latency µs", "pics/s", "avg power", "µJ/pic"
     );
-    let mut report = new_report("timing", &scale);
-    report.set_str("network", &which);
+    let report = run.report();
+    report.set_str("network", which.name());
     let mut structure_rows: Vec<Value> = Vec::new();
     for structure in Structure::ALL {
         let plan = DesignPlan::plan(&net, paper::INPUT_SHAPE, structure, &constraints);
@@ -85,5 +85,5 @@ fn main() {
          power at full rate) — the paper's energy-per-picture metric is the\n\
          replication-invariant quantity, which is why Table 5 reports it."
     );
-    emit_report(&mut report);
+    run.finish();
 }

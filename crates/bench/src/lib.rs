@@ -13,6 +13,7 @@
 //! | `ablations` | extra studies: search objective, device bits, input-DAC share, classifier head, activation bits, GA vs exact |
 //! | `faults` | stuck-at fault campaign — accuracy vs. SAF rate, naive vs. mitigated mapping |
 //! | `timing` | latency / throughput / average power, replication sweep (§5.3) |
+//! | `serve` | serving saturation sweep — offered load × batch × replication over the discrete-event scheduler |
 //! | `diagnose` | accuracy-loss decomposition along the float → quantized → split → device pipeline |
 //!
 //! Scale with `SEI_TRAIN_N` / `SEI_TEST_N` / `SEI_CALIB_N` / `SEI_EPOCHS`
@@ -20,6 +21,7 @@
 //! simulator's kernels live in `benches/kernels.rs`.
 
 use sei_core::{ExperimentScale, SeiError};
+use sei_nn::paper::PaperNetwork;
 use sei_telemetry::json::Value;
 use sei_telemetry::{sei_warn, RunReport};
 use std::fmt::Display;
@@ -71,9 +73,86 @@ pub fn env_or<T: FromStr>(name: &str, expected: &'static str, default: T) -> T {
     }
 }
 
+/// Strictly parses an optional comma-separated environment variable:
+/// unset → `default` (parsed the same way), any malformed element →
+/// process exit 2 with a clear message naming the element.
+pub fn env_list_or<T: FromStr>(name: &str, expected: &'static str, default: &str) -> Vec<T> {
+    let raw = env_or(name, "a comma-separated list", default.to_string());
+    raw.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| match s.parse::<T>() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("error: {name}: expected comma-separated {expected}, got {s:?}");
+                std::process::exit(2);
+            }
+        })
+        .collect()
+}
+
+/// Strictly parses the optional `[network1|network2|network3]` positional
+/// argument the network-parameterized binaries share: absent → `default`,
+/// anything unrecognized → process exit 2 (never a silent fallback).
+pub fn paper_network_arg(default: PaperNetwork) -> PaperNetwork {
+    match std::env::args().nth(1).as_deref() {
+        None => default,
+        Some("network1") => PaperNetwork::Network1,
+        Some("network2") => PaperNetwork::Network2,
+        Some("network3") => PaperNetwork::Network3,
+        Some(other) => {
+            eprintln!("error: unknown network {other:?} (expected network1|network2|network3)");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn exit_env_error(e: &dyn Display) -> ! {
     eprintln!("error: {e}");
     std::process::exit(2);
+}
+
+/// One regenerator run: scale + report, started and finished in one place.
+///
+/// Every binary follows the same lifecycle — init telemetry and scale,
+/// accumulate sections into a run report, finalize and emit it — so the
+/// lifecycle lives here instead of being restated in each `main`:
+///
+/// ```no_run
+/// let mut run = sei_bench::BenchRun::start("table9");
+/// let seed = run.scale().seed;
+/// run.report().set_u64("rows", 3);
+/// run.finish();
+/// ```
+pub struct BenchRun {
+    scale: ExperimentScale,
+    report: RunReport,
+}
+
+impl BenchRun {
+    /// Initializes telemetry + scale ([`bench_init`]) and opens a report
+    /// pre-filled with the shared seed/scale fields ([`new_report`]).
+    pub fn start(experiment: &str) -> BenchRun {
+        let scale = bench_init();
+        let report = new_report(experiment, &scale);
+        BenchRun { scale, report }
+    }
+
+    /// The experiment scale read from the environment.
+    pub fn scale(&self) -> &ExperimentScale {
+        &self.scale
+    }
+
+    /// The in-progress run report, for attaching sections.
+    pub fn report(&mut self) -> &mut RunReport {
+        &mut self.report
+    }
+
+    /// Finalizes the report (phase timings, counters, wall clock) and
+    /// appends it to `SEI_REPORT_JSON` when set ([`emit_report`]).
+    pub fn finish(mut self) {
+        emit_report(&mut self.report);
+    }
 }
 
 /// Starts a run report pre-filled with the seed and scale fields every
@@ -145,6 +224,14 @@ mod tests {
     #[test]
     fn ok_or_exit_passes_ok_through() {
         assert_eq!(ok_or_exit(Ok::<_, SeiError>(41)), 41);
+    }
+
+    #[test]
+    fn env_list_parses_defaults_and_trims() {
+        let rates: Vec<f64> = env_list_or("SEI_TEST_UNSET_LIST", "fractions", "0, 0.5 ,1.0,");
+        assert_eq!(rates, vec![0.0, 0.5, 1.0]);
+        let sizes: Vec<usize> = env_list_or("SEI_TEST_UNSET_LIST", "sizes", "1,2,4");
+        assert_eq!(sizes, vec![1, 2, 4]);
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Property test closing the §5.3 trade-off triangle: replication buys
+//! throughput, so average power at the replicated design's own pipelined
+//! rate is monotonically non-decreasing in the replication factor, while
+//! the per-picture energy (the Table 5 metric) stays invariant.
+
+use proptest::prelude::*;
+use sei_cost::{CostParams, CostReport, PowerReport};
+use sei_mapping::layout::DesignPlan;
+use sei_mapping::timing::{DesignTiming, TimingModel};
+use sei_mapping::{DesignConstraints, Structure};
+use sei_nn::paper;
+
+fn structure_strategy() -> impl Strategy<Value = Structure> {
+    (0usize..Structure::ALL.len()).prop_map(|i| Structure::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn replication_raises_full_rate_power_not_energy(
+        structure in structure_strategy(),
+        replication in 1usize..64,
+    ) {
+        let net = paper::network1(0);
+        let plan = DesignPlan::plan(
+            &net,
+            paper::INPUT_SHAPE,
+            structure,
+            &DesignConstraints::paper_default(),
+        );
+        let cost = CostReport::analyze(&plan, &CostParams::default());
+        let model = TimingModel::default();
+        let lo = DesignTiming::analyze(&plan, &model, replication);
+        let hi = DesignTiming::analyze(&plan, &model, replication + 1);
+        let p_lo = PowerReport::at_throughput(&cost, &lo);
+        let p_hi = PowerReport::at_throughput(&cost, &hi);
+        // Same per-picture energy driven at a ≥ rate ⇒ ≥ average power.
+        prop_assert!(p_hi.total_watts() >= p_lo.total_watts());
+        prop_assert!(p_hi.pictures_per_second >= p_lo.pictures_per_second);
+        // Power is exactly energy/picture × rate: the energy metric the
+        // paper reports is the replication-invariant one.
+        let energy_j = cost.total_energy_j();
+        prop_assert!(
+            (p_lo.total_watts() - energy_j * lo.throughput_pps()).abs()
+                <= 1e-9 * p_lo.total_watts().max(1.0)
+        );
+        prop_assert!(
+            (p_hi.total_watts() - energy_j * hi.throughput_pps()).abs()
+                <= 1e-9 * p_hi.total_watts().max(1.0)
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the §5.3 replication trade-off: raising the
+//! crossbar replication factor can only lower per-picture latency and
+//! raise throughput, at a proportional crossbar-area cost, and pipeline
+//! throughput always equals the slowest-stage bound.
+
+use proptest::prelude::*;
+use sei_mapping::layout::DesignPlan;
+use sei_mapping::timing::{DesignTiming, TimingModel};
+use sei_mapping::{DesignConstraints, Structure};
+use sei_nn::paper;
+
+fn plan(structure: Structure) -> DesignPlan {
+    let net = paper::network1(0);
+    DesignPlan::plan(
+        &net,
+        paper::INPUT_SHAPE,
+        structure,
+        &DesignConstraints::paper_default(),
+    )
+}
+
+fn structure_strategy() -> impl Strategy<Value = Structure> {
+    (0usize..Structure::ALL.len()).prop_map(|i| Structure::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// More replication never slows a layer down and never speeds the
+    /// pipeline past proportionality: latency is monotonically
+    /// non-increasing and throughput monotonically non-decreasing in the
+    /// replication factor, for every structure.
+    #[test]
+    fn replication_monotonicity(
+        structure in structure_strategy(),
+        replication in 1usize..64,
+    ) {
+        let p = plan(structure);
+        let model = TimingModel::default();
+        let lo = DesignTiming::analyze(&p, &model, replication);
+        let hi = DesignTiming::analyze(&p, &model, replication + 1);
+        prop_assert!(hi.latency_ns() <= lo.latency_ns());
+        prop_assert!(hi.throughput_pps() >= lo.throughput_pps());
+        for (l, h) in lo.layers.iter().zip(&hi.layers) {
+            prop_assert!(h.latency_ns <= l.latency_ns, "{}", l.name);
+            prop_assert!(h.cycles <= l.cycles);
+        }
+    }
+
+    /// The cycle count is exactly the ceiling division of the per-picture
+    /// compute count by the replication factor, and the crossbar-area
+    /// proxy (cells × replication) grows strictly with replication.
+    #[test]
+    fn cycles_and_area_follow_replication(
+        structure in structure_strategy(),
+        replication in 1usize..64,
+    ) {
+        let p = plan(structure);
+        let t = DesignTiming::analyze(&p, &TimingModel::default(), replication);
+        for (lp, lt) in p.layers.iter().zip(&t.layers) {
+            prop_assert_eq!(
+                lt.cycles,
+                lp.computes_per_picture.div_ceil(replication as u64)
+            );
+            prop_assert!((lt.latency_ns - lt.cycles as f64 * lt.cycle_ns).abs() < 1e-9);
+        }
+        let cells: u64 = p.layers.iter().map(|l| l.total_cells()).sum();
+        let area_proxy = cells * replication as u64;
+        let area_proxy_next = cells * (replication as u64 + 1);
+        prop_assert!(area_proxy_next > area_proxy);
+    }
+
+    /// Pipeline algebra: end-to-end latency is the sum of the stage
+    /// latencies and throughput is exactly the slowest-stage bound.
+    #[test]
+    fn throughput_is_slowest_stage_bound(
+        structure in structure_strategy(),
+        replication in 1usize..64,
+    ) {
+        let p = plan(structure);
+        let t = DesignTiming::analyze(&p, &TimingModel::default(), replication);
+        let sum: f64 = t.layers.iter().map(|l| l.latency_ns).sum();
+        let slowest = t.layers.iter().map(|l| l.latency_ns).fold(0.0f64, f64::max);
+        prop_assert!((t.latency_ns() - sum).abs() < 1e-9);
+        prop_assert!(slowest > 0.0);
+        prop_assert!((t.throughput_pps() - 1e9 / slowest).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,79 @@
+//! `sei-serve` — batched inference serving on the mapped SEI accelerator.
+//!
+//! The paper evaluates energy *per picture* in isolation; this crate asks
+//! what the accelerator does under *traffic*. It is a deterministic
+//! discrete-event simulation of an inference service with three layers:
+//!
+//! * a **request front-end** ([`load`], [`sim`]) — a seeded Poisson or
+//!   bursty load generator, a bounded admission queue with deadline-aware
+//!   load shedding and backpressure, and a batch former with size/timeout
+//!   policies;
+//! * a **tile scheduler** ([`sim`], [`profile`]) — batches flow through
+//!   the replicated layer-pipeline stages of a mapped design, whose
+//!   per-stage service times come from [`sei_mapping::timing`] and whose
+//!   per-inference energy comes from [`sei_cost`]; a stage tile carrying a
+//!   [`sei_faults::FaultMap`] serves at reduced accuracy (degraded
+//!   completions are counted separately);
+//! * a **measurement layer** ([`metrics`]) — virtual-clock latency
+//!   percentiles, queue-depth and stage-occupancy traces, and shed/admit
+//!   counters wired into the [`sei_telemetry`] counter registry
+//!   (`requests_admitted`, `requests_shed`, `batches_formed`,
+//!   `queue_depth_peak`).
+//!
+//! Everything runs on a virtual clock (integer nanoseconds) with
+//! splitmix64-derived randomness ([`sei_faults::mix`]), so a `(profile,
+//! config)` pair always produces bit-identical results; [`sweep`] fans a
+//! grid of simulations out over [`sei_engine::Engine`], and because each
+//! grid cell is simulated independently and results are reassembled in
+//! index order, a saturation sweep is byte-identical at any `SEI_THREADS`.
+//!
+//! # Example
+//!
+//! Serve a three-stage pipeline at 80 % of its saturation throughput:
+//!
+//! ```
+//! use sei_serve::load::LoadModel;
+//! use sei_serve::profile::{ServiceProfile, StageProfile};
+//! use sei_serve::sim::{simulate, BatchPolicy, ServeConfig};
+//!
+//! let profile = ServiceProfile::new(
+//!     vec![
+//!         StageProfile::new("conv1", 1000.0),
+//!         StageProfile::new("conv2", 400.0),
+//!         StageProfile::new("fc", 100.0),
+//!     ],
+//!     2.5e-6,
+//! );
+//! let cfg = ServeConfig {
+//!     load: LoadModel::Poisson {
+//!         rate_rps: 0.8 * profile.max_throughput_rps(),
+//!     },
+//!     batch: BatchPolicy { max_size: 4, timeout_ns: 10_000 },
+//!     queue_capacity: 64,
+//!     deadline_ns: 0,
+//!     duration_ns: 10_000_000,
+//!     seed: 7,
+//! };
+//! let report = simulate(&profile, &cfg).unwrap();
+//! assert!(report.completed > 0);
+//! assert_eq!(report.shed(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod load;
+pub mod metrics;
+pub mod profile;
+pub mod sim;
+pub mod sweep;
+
+pub use load::LoadModel;
+pub use metrics::{LatencyStats, ServeReport, StageStat};
+pub use profile::{ServiceProfile, StageFault, StageProfile};
+pub use sim::{simulate, BatchPolicy, ServeConfig};
+pub use sweep::{run_sweep, SweepCell, SweepPoint};
+
+/// Schema tag of the serving-layer NDJSON report emitted by the `serve`
+/// bench binary (one saturation sweep per line).
+pub const SERVE_SCHEMA: &str = "sei-serve-report/v1";

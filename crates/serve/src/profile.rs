@@ -1,0 +1,184 @@
+//! Service profile: what the mapped accelerator looks like to the
+//! serving layer.
+//!
+//! A [`ServiceProfile`] reduces a mapped design to the quantities the
+//! discrete-event scheduler needs: one pipeline stage per weighted layer
+//! with a per-inference service time (from
+//! [`sei_mapping::timing::DesignTiming`], which already folds in the
+//! crossbar replication factor), the per-inference energy (from
+//! [`sei_cost::CostReport`]), and optionally a stuck-at fault descriptor
+//! per stage tile ([`StageFault`], built from a [`sei_faults::FaultMap`])
+//! marking that tile as serving at reduced accuracy.
+
+use sei_cost::CostReport;
+use sei_faults::FaultMap;
+use sei_mapping::timing::DesignTiming;
+use serde::{Deserialize, Serialize};
+
+/// Stuck-at fault burden of one stage tile. A faulted tile still serves
+/// (the fault-aware mapping keeps it functional) but at reduced accuracy,
+/// so completions that passed through it are counted as degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageFault {
+    /// Cells pinned by stuck-at faults on this tile.
+    pub stuck_cells: u64,
+    /// Fraction of the tile's cells that are stuck.
+    pub stuck_fraction: f64,
+}
+
+impl StageFault {
+    /// Summarizes a generated fault map into a stage-tile descriptor.
+    pub fn from_map(map: &FaultMap) -> StageFault {
+        let cells = (map.rows() * map.cols()).max(1) as f64;
+        StageFault {
+            stuck_cells: map.count() as u64,
+            stuck_fraction: map.count() as f64 / cells,
+        }
+    }
+}
+
+/// One pipeline stage (a replicated layer tile group).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageProfile {
+    /// Layer display name ("Conv 1", …).
+    pub name: String,
+    /// Service time per inference at this stage (ns), replication
+    /// already applied.
+    pub service_ns: f64,
+    /// Crossbar replication factor behind this stage.
+    pub replication: usize,
+    /// Stuck-at fault burden of the tile, if it is fault-degraded.
+    pub fault: Option<StageFault>,
+}
+
+impl StageProfile {
+    /// A healthy stage with unit replication.
+    pub fn new(name: &str, service_ns: f64) -> StageProfile {
+        StageProfile {
+            name: name.to_string(),
+            service_ns,
+            replication: 1,
+            fault: None,
+        }
+    }
+}
+
+/// The mapped design as the serving layer sees it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceProfile {
+    /// Pipeline stages in network order.
+    pub stages: Vec<StageProfile>,
+    /// Energy per completed inference (J) — the Table 5 quantity.
+    pub energy_per_inference_j: f64,
+}
+
+impl ServiceProfile {
+    /// Builds a profile from explicit stages (tests, synthetic designs).
+    pub fn new(stages: Vec<StageProfile>, energy_per_inference_j: f64) -> ServiceProfile {
+        ServiceProfile {
+            stages,
+            energy_per_inference_j,
+        }
+    }
+
+    /// Derives the profile of a mapped design: stage service times from
+    /// the timing analysis (replication folded in), per-inference energy
+    /// from the cost report.
+    pub fn from_design(timing: &DesignTiming, cost: &CostReport) -> ServiceProfile {
+        let stages = timing
+            .layers
+            .iter()
+            .map(|l| StageProfile {
+                name: l.name.clone(),
+                service_ns: l.latency_ns,
+                replication: l.replication,
+                fault: None,
+            })
+            .collect();
+        ServiceProfile {
+            stages,
+            energy_per_inference_j: cost.total_energy_j(),
+        }
+    }
+
+    /// Marks stage `index` as served by a fault-degraded tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn with_stage_fault(mut self, index: usize, map: &FaultMap) -> ServiceProfile {
+        self.stages[index].fault = Some(StageFault::from_map(map));
+        self
+    }
+
+    /// Service time of the slowest stage (ns) — the pipeline bottleneck.
+    pub fn bottleneck_ns(&self) -> f64 {
+        self.stages
+            .iter()
+            .map(|s| s.service_ns)
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Sum of all stage service times (ns): the zero-load latency of a
+    /// single inference (pipeline fill).
+    pub fn pipeline_fill_ns(&self) -> f64 {
+        self.stages.iter().map(|s| s.service_ns).sum()
+    }
+
+    /// Saturation throughput (inferences/s): the slowest-stage bound,
+    /// matching [`DesignTiming::throughput_pps`].
+    pub fn max_throughput_rps(&self) -> f64 {
+        let b = self.bottleneck_ns();
+        if b <= 0.0 {
+            0.0
+        } else {
+            1e9 / b
+        }
+    }
+
+    /// Whether any stage tile is fault-degraded.
+    pub fn degraded(&self) -> bool {
+        self.stages.iter().any(|s| s.fault.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sei_faults::FaultModel;
+
+    fn three_stage() -> ServiceProfile {
+        ServiceProfile::new(
+            vec![
+                StageProfile::new("a", 1000.0),
+                StageProfile::new("b", 250.0),
+                StageProfile::new("c", 50.0),
+            ],
+            1e-6,
+        )
+    }
+
+    #[test]
+    fn bottleneck_and_fill() {
+        let p = three_stage();
+        assert_eq!(p.bottleneck_ns(), 1000.0);
+        assert_eq!(p.pipeline_fill_ns(), 1300.0);
+        assert!((p.max_throughput_rps() - 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fault_marks_stage_degraded() {
+        let map = FaultMap::generate(32, 32, &FaultModel::uniform(0.1), 9);
+        let p = three_stage().with_stage_fault(1, &map);
+        assert!(p.degraded());
+        let f = p.stages[1].fault.unwrap();
+        assert_eq!(f.stuck_cells as usize, map.count());
+        assert!(f.stuck_fraction > 0.0 && f.stuck_fraction < 1.0);
+    }
+
+    #[test]
+    fn empty_profile_has_zero_throughput() {
+        let p = ServiceProfile::new(vec![], 0.0);
+        assert_eq!(p.max_throughput_rps(), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Saturation sweeps: a grid of serving simulations fanned out over the
+//! deterministic engine.
+//!
+//! Each [`SweepCell`] is one independent simulation (offered load ×
+//! batch size × replication, each with its own [`ServiceProfile`] since
+//! replication changes the stage service times). Cells are simulated via
+//! [`sei_engine::Engine::map_indexed`], which reassembles results in cell
+//! order regardless of the thread count — so a sweep's output (and the
+//! NDJSON the `serve` binary renders from it) is byte-identical at any
+//! `SEI_THREADS`.
+
+use crate::metrics::ServeReport;
+use crate::profile::ServiceProfile;
+use crate::sim::{simulate, ServeConfig};
+use sei_engine::{Engine, SeiError};
+use serde::{Deserialize, Serialize};
+
+/// One grid point of a saturation sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Offered load as a fraction of the profile's saturation throughput
+    /// (recorded for reporting; the absolute rate lives in `config`).
+    pub load_fraction: f64,
+    /// Batch-former size limit (mirrors `config.batch.max_size`).
+    pub batch_max: usize,
+    /// Crossbar replication factor behind `profile`.
+    pub replication: usize,
+    /// The mapped design at this replication.
+    pub profile: ServiceProfile,
+    /// The serving configuration to simulate.
+    pub config: ServeConfig,
+}
+
+/// A simulated grid point: the cell's coordinates plus its measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Offered load as a fraction of saturation.
+    pub load_fraction: f64,
+    /// Batch-former size limit.
+    pub batch_max: usize,
+    /// Crossbar replication factor.
+    pub replication: usize,
+    /// Saturation throughput of the cell's profile (inferences/s).
+    pub saturation_rps: f64,
+    /// The run's measurements.
+    pub report: ServeReport,
+}
+
+/// Simulates every cell on the engine and returns points in cell order.
+///
+/// All configurations are validated up front so a malformed grid fails
+/// before any work is spawned.
+pub fn run_sweep(engine: &Engine, cells: &[SweepCell]) -> Result<Vec<SweepPoint>, SeiError> {
+    for cell in cells {
+        cell.config.validate()?;
+    }
+    let reports: Vec<Result<ServeReport, SeiError>> =
+        engine.map(cells, |cell| simulate(&cell.profile, &cell.config));
+    cells
+        .iter()
+        .zip(reports)
+        .map(|(cell, report)| {
+            Ok(SweepPoint {
+                load_fraction: cell.load_fraction,
+                batch_max: cell.batch_max,
+                replication: cell.replication,
+                saturation_rps: cell.profile.max_throughput_rps(),
+                report: report?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::LoadModel;
+    use crate::profile::StageProfile;
+    use crate::sim::BatchPolicy;
+
+    fn cells() -> Vec<SweepCell> {
+        let mut out = Vec::new();
+        for &load in &[0.5f64, 0.9, 1.5] {
+            for &batch in &[1usize, 8] {
+                let profile = ServiceProfile::new(
+                    vec![
+                        StageProfile::new("conv1", 800.0),
+                        StageProfile::new("fc", 200.0),
+                    ],
+                    1e-6,
+                );
+                let config = ServeConfig {
+                    load: LoadModel::Poisson {
+                        rate_rps: load * profile.max_throughput_rps(),
+                    },
+                    batch: BatchPolicy {
+                        max_size: batch,
+                        timeout_ns: 10_000,
+                    },
+                    queue_capacity: 64,
+                    deadline_ns: 0,
+                    duration_ns: 5_000_000,
+                    seed: 5,
+                };
+                out.push(SweepCell {
+                    load_fraction: load,
+                    batch_max: batch,
+                    replication: 1,
+                    profile,
+                    config,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let grid = cells();
+        let reference = run_sweep(&Engine::single(), &grid).unwrap();
+        for threads in [2, 7] {
+            let got = run_sweep(&Engine::new(threads), &grid).unwrap();
+            assert_eq!(got, reference, "threads={threads}");
+        }
+        assert_eq!(reference.len(), grid.len());
+    }
+
+    #[test]
+    fn sweep_rejects_bad_cell_before_running() {
+        let mut grid = cells();
+        grid[2].config.queue_capacity = 0;
+        assert!(run_sweep(&Engine::single(), &grid).is_err());
+    }
+
+    #[test]
+    fn overloaded_cells_shed_and_loaded_cells_queue() {
+        let points = run_sweep(&Engine::single(), &cells()).unwrap();
+        let p = |load: f64, batch: usize| -> &SweepPoint {
+            points
+                .iter()
+                .find(|p| p.load_fraction == load && p.batch_max == batch)
+                .unwrap()
+        };
+        assert_eq!(p(0.5, 8).report.shed(), 0);
+        assert!(p(1.5, 8).report.shed() > 0);
+        assert!(p(1.5, 8).report.latency.p99_ns > p(0.5, 8).report.latency.p99_ns);
+    }
+}

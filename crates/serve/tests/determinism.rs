@@ -1,0 +1,168 @@
+//! Integration tests: the serving layer driven by a real mapped design,
+//! the engine-invariance contract, and property-based conservation laws.
+
+use proptest::prelude::*;
+use sei_cost::{CostParams, CostReport};
+use sei_engine::Engine;
+use sei_mapping::layout::DesignPlan;
+use sei_mapping::timing::{DesignTiming, TimingModel};
+use sei_mapping::{DesignConstraints, Structure};
+use sei_nn::paper;
+use sei_serve::{
+    run_sweep, simulate, BatchPolicy, LoadModel, ServeConfig, ServiceProfile, SweepCell,
+};
+
+fn design_profile(replication: usize) -> ServiceProfile {
+    let net = paper::network1(0);
+    let plan = DesignPlan::plan(
+        &net,
+        paper::INPUT_SHAPE,
+        Structure::Sei,
+        &DesignConstraints::paper_default(),
+    );
+    let timing = DesignTiming::analyze(&plan, &TimingModel::default(), replication);
+    let cost = CostReport::analyze(&plan, &CostParams::default());
+    ServiceProfile::from_design(&timing, &cost)
+}
+
+#[test]
+fn profile_matches_timing_analysis() {
+    let net = paper::network1(0);
+    let plan = DesignPlan::plan(
+        &net,
+        paper::INPUT_SHAPE,
+        Structure::Sei,
+        &DesignConstraints::paper_default(),
+    );
+    let timing = DesignTiming::analyze(&plan, &TimingModel::default(), 4);
+    let cost = CostReport::analyze(&plan, &CostParams::default());
+    let profile = ServiceProfile::from_design(&timing, &cost);
+    assert_eq!(profile.stages.len(), timing.layers.len());
+    assert!((profile.max_throughput_rps() - timing.throughput_pps()).abs() < 1e-9);
+    assert!((profile.pipeline_fill_ns() - timing.latency_ns()).abs() < 1e-9);
+    assert!((profile.energy_per_inference_j - cost.total_energy_j()).abs() < 1e-18);
+}
+
+fn sweep_grid() -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for &replication in &[1usize, 4] {
+        let profile = design_profile(replication);
+        let saturation = profile.max_throughput_rps();
+        for &load in &[0.5f64, 1.5] {
+            for &batch_max in &[1usize, 4] {
+                cells.push(SweepCell {
+                    load_fraction: load,
+                    batch_max,
+                    replication,
+                    profile: profile.clone(),
+                    config: ServeConfig {
+                        load: LoadModel::Poisson {
+                            rate_rps: load * saturation,
+                        },
+                        batch: BatchPolicy {
+                            max_size: batch_max,
+                            timeout_ns: 200_000,
+                        },
+                        queue_capacity: 64,
+                        deadline_ns: 0,
+                        duration_ns: 400_000_000,
+                        seed: 21,
+                    },
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The acceptance contract of the serving subsystem: the whole sweep —
+/// including its JSON rendering — is bit-identical at any thread count.
+#[test]
+fn design_sweep_is_bit_identical_across_thread_counts() {
+    let grid = sweep_grid();
+    let reference = run_sweep(&Engine::single(), &grid).unwrap();
+    let reference_json: Vec<String> = reference
+        .iter()
+        .map(|p| p.report.to_json().to_json())
+        .collect();
+    for threads in [2, 4, 7] {
+        let got = run_sweep(&Engine::new(threads), &grid).unwrap();
+        assert_eq!(got, reference, "threads={threads}");
+        let got_json: Vec<String> = got.iter().map(|p| p.report.to_json().to_json()).collect();
+        assert_eq!(got_json, reference_json, "threads={threads}");
+    }
+}
+
+/// Past saturation the design sheds load instead of queueing without
+/// bound; below saturation it sheds nothing.
+#[test]
+fn design_saturation_behavior() {
+    let points = run_sweep(&Engine::single(), &sweep_grid()).unwrap();
+    for p in &points {
+        if p.load_fraction < 1.0 {
+            assert_eq!(p.report.shed(), 0, "{p:?}");
+        } else {
+            assert!(p.report.shed() > 0, "{p:?}");
+            // Goodput is capped by the slowest-stage bound (with a little
+            // headroom for the drain tail after the arrival horizon).
+            assert!(
+                p.report.throughput_rps < 1.1 * p.saturation_rps,
+                "goodput {} vs saturation {}",
+                p.report.throughput_rps,
+                p.saturation_rps
+            );
+        }
+    }
+    // Replication raises the saturation throughput, so the replicated
+    // design completes more work under identical overload.
+    let base = points
+        .iter()
+        .find(|p| p.replication == 1 && p.load_fraction == 1.5 && p.batch_max == 4)
+        .unwrap();
+    let repl = points
+        .iter()
+        .find(|p| p.replication == 4 && p.load_fraction == 1.5 && p.batch_max == 4)
+        .unwrap();
+    assert!(repl.saturation_rps > 3.0 * base.saturation_rps);
+    assert!(repl.report.completed > base.report.completed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conservation laws hold for any load/batch/queue configuration:
+    /// every arrival is admitted or shed, every admitted request
+    /// completes once the pipeline drains, and reruns are bit-identical.
+    #[test]
+    fn conservation_and_determinism(
+        seed in 0u64..1000,
+        load_mult in 0.1f64..2.5,
+        batch_max in 1usize..16,
+        capacity in 1usize..64,
+        timeout_us in 1u64..100,
+    ) {
+        let profile = design_profile(2);
+        let cfg = ServeConfig {
+            load: LoadModel::Poisson {
+                rate_rps: load_mult * profile.max_throughput_rps(),
+            },
+            batch: BatchPolicy {
+                max_size: batch_max,
+                timeout_ns: timeout_us * 1000,
+            },
+            queue_capacity: capacity,
+            deadline_ns: 0,
+            duration_ns: 50_000_000,
+            seed,
+        };
+        let r = simulate(&profile, &cfg).unwrap();
+        prop_assert_eq!(r.arrivals, r.admitted + r.shed_full + r.shed_deadline);
+        prop_assert_eq!(r.completed, r.admitted);
+        prop_assert!(r.peak_queue_depth as usize <= capacity);
+        prop_assert!(r.latency.p50_ns <= r.latency.p95_ns);
+        prop_assert!(r.latency.p95_ns <= r.latency.p99_ns);
+        prop_assert!(r.latency.p99_ns <= r.latency.max_ns);
+        let again = simulate(&profile, &cfg).unwrap();
+        prop_assert_eq!(r, again);
+    }
+}

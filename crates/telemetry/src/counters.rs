@@ -37,9 +37,18 @@ pub enum Event {
     /// Kernel columns remapped onto redundant spare columns to dodge
     /// fault clusters.
     SpareColumnRemaps,
+    /// Inference requests admitted into the serving queue.
+    RequestsAdmitted,
+    /// Inference requests shed (queue full or deadline unmeetable).
+    RequestsShed,
+    /// Batches dispatched onto the layer pipeline by the serving layer.
+    BatchesFormed,
+    /// Peak admission-queue depth observed (a high-water mark recorded
+    /// via [`record_max`], not an accumulating count).
+    QueueDepthPeak,
 }
 
-pub const EVENT_COUNT: usize = 9;
+pub const EVENT_COUNT: usize = 13;
 
 pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::CrossbarReadOps,
@@ -51,6 +60,10 @@ pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::EnergyFemtojoules,
     Event::FaultedCellsPinned,
     Event::SpareColumnRemaps,
+    Event::RequestsAdmitted,
+    Event::RequestsShed,
+    Event::BatchesFormed,
+    Event::QueueDepthPeak,
 ];
 
 impl Event {
@@ -66,6 +79,10 @@ impl Event {
             Event::EnergyFemtojoules => "energy_fj",
             Event::FaultedCellsPinned => "faulted_cells_pinned",
             Event::SpareColumnRemaps => "spare_column_remaps",
+            Event::RequestsAdmitted => "requests_admitted",
+            Event::RequestsShed => "requests_shed",
+            Event::BatchesFormed => "batches_formed",
+            Event::QueueDepthPeak => "queue_depth_peak",
         }
     }
 }
@@ -102,6 +119,16 @@ pub fn add_energy_joules(joules: f64) {
         if fj > 0.0 {
             COUNTERS[Event::EnergyFemtojoules as usize].fetch_add(fj as u64, Ordering::Relaxed);
         }
+    }
+}
+
+/// Raise `event` to at least `v` (a high-water mark, e.g. peak queue
+/// depth). Uses an atomic `fetch_max`, so concurrent recordings keep the
+/// true maximum regardless of ordering.
+#[inline(always)]
+pub fn record_max(event: Event, v: u64) {
+    if enabled() {
+        COUNTERS[event as usize].fetch_max(v, Ordering::Relaxed);
     }
 }
 

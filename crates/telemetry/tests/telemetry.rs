@@ -52,6 +52,15 @@ fn disabled_counters_do_not_move() {
 }
 
 #[test]
+fn record_max_keeps_high_water_mark() {
+    let _guard = ENABLE_LOCK.lock().unwrap();
+    counters::set_enabled(true);
+    counters::record_max(Event::QueueDepthPeak, 7);
+    counters::record_max(Event::QueueDepthPeak, 3);
+    assert!(counters::get(Event::QueueDepthPeak) >= 7);
+}
+
+#[test]
 fn span_nesting_records_hierarchical_paths_and_monotonic_times() {
     {
         let _outer = sei_telemetry::span!("test_outer");
@@ -109,6 +118,10 @@ fn fixed_report() -> RunReport {
     counters.values[Event::CrossbarReadOps as usize] = 128;
     counters.values[Event::GateSwitches as usize] = 4096;
     counters.values[Event::EnergyFemtojoules as usize] = 1500;
+    counters.values[Event::RequestsAdmitted as usize] = 900;
+    counters.values[Event::RequestsShed as usize] = 17;
+    counters.values[Event::BatchesFormed as usize] = 120;
+    counters.values[Event::QueueDepthPeak as usize] = 42;
 
     let mut report = RunReport::new("table5");
     report.set_u64("seed", 1);
@@ -140,6 +153,22 @@ fn ndjson_report_round_trips() {
             .and_then(Value::as_u64),
         Some(4096)
     );
+    // The serving-layer counters survive the round trip too.
+    for (key, want) in [
+        ("requests_admitted", 900),
+        ("requests_shed", 17),
+        ("batches_formed", 120),
+        ("queue_depth_peak", 42),
+    ] {
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get(key))
+                .and_then(Value::as_u64),
+            Some(want),
+            "{key}"
+        );
+    }
     assert_eq!(
         parsed
             .get("phases")
@@ -166,7 +195,9 @@ fn ndjson_schema_snapshot() {
         "\"counters\":{\"crossbar_read_ops\":128,\"gate_switches\":4096,",
         "\"sense_amp_fires\":0,\"adc_conversions\":0,\"dac_conversions\":0,",
         "\"write_pulses\":0,\"energy_fj\":1500,\"faulted_cells_pinned\":0,",
-        "\"spare_column_remaps\":0,\"energy_pj\":1.5}}"
+        "\"spare_column_remaps\":0,\"requests_admitted\":900,",
+        "\"requests_shed\":17,\"batches_formed\":120,",
+        "\"queue_depth_peak\":42,\"energy_pj\":1.5}}"
     );
     assert_eq!(fixed_report().to_ndjson_line(), expected);
 }

@@ -12,6 +12,8 @@
 //! * [`quantize`] — 1-bit quantization (Algorithm 1);
 //! * [`mapping`] — splitting, homogenization, dynamic thresholds, layout;
 //! * [`cost`] — area/power/energy model;
+//! * [`serve`] — batched inference serving: deterministic discrete-event
+//!   simulation of request admission, batching and tile scheduling;
 //! * [`core`] — the [`core::Accelerator`] builder and experiment drivers;
 //! * [`snn`] — the spiking-network extension (the paper's future-work
 //!   direction);
@@ -51,5 +53,6 @@ pub use sei_faults as faults;
 pub use sei_mapping as mapping;
 pub use sei_nn as nn;
 pub use sei_quantize as quantize;
+pub use sei_serve as serve;
 pub use sei_snn as snn;
 pub use sei_telemetry as telemetry;
