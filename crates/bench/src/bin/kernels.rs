@@ -1,0 +1,393 @@
+//! Microbenchmark of the sei-kernels read path: times the bit-packed
+//! sparsity-aware kernel (`SEI_KERNELS=packed`, the default) against the
+//! scalar escape hatch across input-sparsity levels and layer shapes, and
+//! records end-to-end wall-clock for `table3`, the mapped crossbar
+//! evaluation and the serve saturation sweep under both kernels.
+//!
+//! ```sh
+//! SEI_THREADS=1 cargo run --release -p sei-bench --bin kernels
+//! ```
+//!
+//! Writes a `sei-bench-kernels/v1` JSON record to `SEI_BENCH_JSON`
+//! (default `BENCH_kernels.json`); see EXPERIMENTS.md for the field
+//! reference. With `SEI_KERNELS_MIN_SPEEDUP` set, exits 1 when the mean
+//! packed-vs-scalar speedup on the 50%-sparsity microbench falls below
+//! the given factor (the CI `perf-smoke` gate). Every timed pair first
+//! re-checks bit-identity between the two kernels — a perf record of a
+//! wrong kernel is worthless.
+//!
+//! Knobs: `SEI_BENCH_READS` (reads per microbench point, default 2000),
+//! `SEI_BENCH_EVAL_N` (images for the mapped-eval stage, default 80),
+//! plus the usual `SEI_TRAIN_N`/`SEI_TEST_N`/`SEI_CALIB_N`/`SEI_EPOCHS`
+//! scale for the end-to-end stages.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sei_bench::{banner, env_or, ok_or_exit, BenchRun};
+use sei_core::experiments::{prepare_context, table3};
+use sei_core::AcceleratorBuilder;
+use sei_crossbar::{set_kernel_mode, KernelMode, ReadScratch, SeiConfig, SeiCrossbar, SeiMode};
+use sei_device::DeviceSpec;
+use sei_engine::Engine;
+use sei_nn::paper::PaperNetwork;
+use sei_nn::Matrix;
+use sei_quantize::QuantizeConfig;
+use sei_telemetry::json::Value;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Layer shapes representative of the paper networks' crossbars, all
+/// within the 512-row physical budget ((inputs+1)·rows_per_input ≤ 512).
+const SHAPES: [(&str, usize, usize, SeiMode); 3] = [
+    ("conv3x3x8", 72, 32, SeiMode::SignedPorts),
+    ("fc120", 120, 64, SeiMode::SignedPorts),
+    ("fc250", 250, 10, SeiMode::DynamicThreshold),
+];
+
+/// Zero-fraction of the input pattern; the paper argues ≥70% is typical
+/// for ReLU-sparse 1-bit activations.
+const SPARSITIES: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+/// Distinct patterns cycled during timing so the branch predictor can't
+/// memorize a single input.
+const PATTERNS: usize = 32;
+
+struct MicroPoint {
+    sparsity: f64,
+    /// Noise-free read (the kernel itself: gather + accumulate).
+    ideal_scalar_ns: f64,
+    ideal_packed_ns: f64,
+    /// Noisy read (kernel + the per-column gaussian noise model, which is
+    /// RNG-sequence-pinned and therefore identical work in both modes).
+    noisy_scalar_ns: f64,
+    noisy_packed_ns: f64,
+}
+
+fn main() {
+    let mut run = BenchRun::start("kernels");
+    let scale = run.scale().clone();
+    let reads: usize = env_or("SEI_BENCH_READS", "a read count (usize)", 2000);
+    let eval_n: usize = env_or("SEI_BENCH_EVAL_N", "an image count (usize)", 80);
+    let out_path: String = env_or(
+        "SEI_BENCH_JSON",
+        "an output path",
+        "BENCH_kernels.json".to_string(),
+    );
+    let min_speedup: f64 = env_or("SEI_KERNELS_MIN_SPEEDUP", "a speedup factor (f64)", 0.0);
+
+    banner("sei-kernels — packed vs scalar read path");
+    println!("(scale: {scale:?}; {reads} reads/point, {eval_n} eval images)\n");
+
+    // ── Microbench: per-read latency across shapes × sparsity ──────────
+    let spec = DeviceSpec::default_4bit();
+    let mut micro_rows: Vec<Value> = Vec::new();
+    let mut at_50 = Vec::new();
+    let mut at_70 = Vec::new();
+    println!(
+        "{:<12} {:>9} {:>13} {:>13} {:>8} {:>13} {:>13} {:>8}",
+        "layer",
+        "sparsity",
+        "ideal sc ns",
+        "ideal pk ns",
+        "kernel",
+        "noisy sc ns",
+        "noisy pk ns",
+        "read"
+    );
+    for &(name, inputs, cols, mode) in &SHAPES {
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xBE0C);
+        let wm = Matrix::from_vec(
+            inputs,
+            cols,
+            (0..inputs * cols)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect(),
+        );
+        let bias = vec![0.0f32; cols];
+        let xbar = SeiCrossbar::new(&spec, &wm, &bias, 0.05, &SeiConfig::new(mode), &mut rng);
+
+        let mut points = Vec::new();
+        for &sparsity in &SPARSITIES {
+            let mut prng = StdRng::seed_from_u64(scale.seed ^ sparsity.to_bits());
+            let patterns: Vec<Vec<bool>> = (0..PATTERNS)
+                .map(|_| (0..inputs).map(|_| prng.gen_bool(1.0 - sparsity)).collect())
+                .collect();
+            check_identity(&xbar, &patterns, scale.seed);
+            let p = MicroPoint {
+                sparsity,
+                ideal_scalar_ns: time_reads(&xbar, &patterns, reads, KernelMode::Scalar, 1, false),
+                ideal_packed_ns: time_reads(&xbar, &patterns, reads, KernelMode::Packed, 1, false),
+                noisy_scalar_ns: time_reads(&xbar, &patterns, reads, KernelMode::Scalar, 1, true),
+                noisy_packed_ns: time_reads(&xbar, &patterns, reads, KernelMode::Packed, 1, true),
+            };
+            let kernel_speedup = p.ideal_scalar_ns / p.ideal_packed_ns;
+            println!(
+                "{name:<12} {:>9} {:>13.1} {:>13.1} {:>7.2}x {:>13.1} {:>13.1} {:>7.2}x",
+                format!("{:.0}%", sparsity * 100.0),
+                p.ideal_scalar_ns,
+                p.ideal_packed_ns,
+                kernel_speedup,
+                p.noisy_scalar_ns,
+                p.noisy_packed_ns,
+                p.noisy_scalar_ns / p.noisy_packed_ns,
+            );
+            if sparsity == 0.5 {
+                at_50.push(kernel_speedup);
+            }
+            if sparsity == 0.7 {
+                at_70.push(kernel_speedup);
+            }
+            points.push(p);
+        }
+        micro_rows.push(micro_row(name, inputs, cols, mode, &points));
+    }
+    let speedup_50 = mean(&at_50);
+    let speedup_70 = mean(&at_70);
+    println!(
+        "\nmean kernel speedup: {speedup_50:.2}x @ 50% sparsity, {speedup_70:.2}x @ 70%\n\
+         (\"kernel\" = noise-free read; the noisy read adds the per-column\n\
+         gaussian model, whose cost is RNG-sequence-pinned in both modes)"
+    );
+
+    // ── End-to-end stages under each kernel ────────────────────────────
+    println!(
+        "\ntraining {} for the end-to-end stages ...",
+        PaperNetwork::Network2.name()
+    );
+    let ctx = ok_or_exit(prepare_context(scale.clone(), &[PaperNetwork::Network2]));
+    let acc = ok_or_exit(
+        AcceleratorBuilder::new(ctx.models[0].net.clone())
+            .with_seed(scale.seed)
+            .build(&ctx.calib()),
+    );
+    let xnet = acc.crossbar_network();
+    let subset = ctx.test.truncated(eval_n);
+
+    let mut table3_s = [0.0f64; 2];
+    let mut eval_s = [0.0f64; 2];
+    let mut serve_s = [0.0f64; 2];
+    for (i, mode) in [KernelMode::Scalar, KernelMode::Packed]
+        .into_iter()
+        .enumerate()
+    {
+        set_kernel_mode(mode);
+        let t = Instant::now();
+        let _ = black_box(ok_or_exit(table3(&ctx, &QuantizeConfig::default())));
+        table3_s[i] = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let _ = black_box(xnet.error_rate(&subset, Engine::new(scale.threads)));
+        eval_s[i] = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        serve_sweep(&scale);
+        serve_s[i] = t.elapsed().as_secs_f64();
+    }
+    set_kernel_mode(KernelMode::Packed);
+    println!(
+        "\n{:<22} {:>11} {:>11}",
+        "end-to-end (s)", "scalar", "packed"
+    );
+    for (label, pair) in [
+        ("table3", table3_s),
+        ("mapped crossbar eval", eval_s),
+        ("serve sweep", serve_s),
+    ] {
+        println!("{label:<22} {:>11.3} {:>11.3}", pair[0], pair[1]);
+    }
+    println!(
+        "\nnote: the serve sweep is a pure virtual-clock simulation with no\n\
+         crossbar reads, so its wall-clock is kernels-invariant by design\n\
+         (that is also why its NDJSON byte-diffs clean across kernels)."
+    );
+
+    // ── BENCH_kernels.json + run report ────────────────────────────────
+    let mut record = Value::obj();
+    record.set("schema", Value::Str("sei-bench-kernels/v1".to_string()));
+    record.set("seed", Value::UInt(scale.seed));
+    record.set("threads", Value::UInt(scale.threads as u64));
+    record.set("reads_per_point", Value::UInt(reads as u64));
+    record.set("micro", Value::Arr(micro_rows));
+    record.set("kernel_speedup_at_50pct_sparsity", Value::Float(speedup_50));
+    record.set("kernel_speedup_at_70pct_sparsity", Value::Float(speedup_70));
+    let mut e2e = Value::obj();
+    e2e.set("table3_s", mode_pair(table3_s));
+    let mut ev = mode_pair(eval_s);
+    ev.set("images", Value::UInt(subset.len() as u64));
+    e2e.set("crossbar_eval_s", ev);
+    let mut sv = mode_pair(serve_s);
+    sv.set(
+        "note",
+        Value::Str("virtual-clock DES; kernels-invariant".to_string()),
+    );
+    e2e.set("serve_sweep_s", sv);
+    record.set("end_to_end", e2e);
+
+    if let Err(e) = std::fs::write(&out_path, record.to_json() + "\n") {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path}");
+
+    run.report()
+        .set_f64("kernel_speedup_at_50pct_sparsity", speedup_50);
+    run.report()
+        .set_f64("kernel_speedup_at_70pct_sparsity", speedup_70);
+    run.finish();
+
+    if speedup_50 < min_speedup {
+        eprintln!(
+            "error: packed kernel speedup {speedup_50:.2}x at 50% sparsity \
+             is below the required {min_speedup:.2}x"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Asserts packed and scalar produce bit-identical noisy margins over
+/// `patterns` (same values, same RNG draw sequence).
+fn check_identity(xbar: &SeiCrossbar, patterns: &[Vec<bool>], seed: u64) {
+    let mut scratch = ReadScratch::new();
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    let mut rng_p = StdRng::seed_from_u64(seed ^ 0x1D);
+    let mut rng_s = StdRng::seed_from_u64(seed ^ 0x1D);
+    for p in patterns {
+        xbar.margins_into_with(p, &mut rng_p, &mut scratch, &mut a, KernelMode::Packed);
+        xbar.margins_into_with(p, &mut rng_s, &mut scratch, &mut b, KernelMode::Scalar);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "kernels diverged: {x} vs {y}");
+        }
+    }
+}
+
+/// Mean wall-clock nanoseconds per read over `reads` reads cycling
+/// through `patterns`, noisy or noise-free.
+fn time_reads(
+    xbar: &SeiCrossbar,
+    patterns: &[Vec<bool>],
+    reads: usize,
+    mode: KernelMode,
+    seed: u64,
+    noisy: bool,
+) -> f64 {
+    let mut scratch = ReadScratch::new();
+    let mut out = Vec::new();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7131E);
+    // Warm-up: grow scratch to steady state before the clock starts.
+    xbar.margins_into_with(&patterns[0], &mut rng, &mut scratch, &mut out, mode);
+    let t = Instant::now();
+    for i in 0..reads {
+        let input = &patterns[i % patterns.len()];
+        if noisy {
+            xbar.margins_into_with(input, &mut rng, &mut scratch, &mut out, mode);
+        } else {
+            xbar.ideal_margins_into_with(input, &mut scratch, &mut out, mode);
+        }
+        black_box(&out);
+    }
+    t.elapsed().as_secs_f64() * 1e9 / reads as f64
+}
+
+/// Runs a deliberately small serving sweep (one replication, one batch
+/// size, two loads) — just enough queueing work to time the stage.
+fn serve_sweep(scale: &sei_core::ExperimentScale) {
+    use sei_cost::{CostParams, CostReport};
+    use sei_mapping::layout::DesignPlan;
+    use sei_mapping::timing::{DesignTiming, TimingModel};
+    use sei_mapping::{DesignConstraints, Structure};
+    use sei_serve::{run_sweep, BatchPolicy, LoadModel, ServeConfig, ServiceProfile, SweepCell};
+
+    let net = PaperNetwork::Network1.build(0);
+    let plan = DesignPlan::plan(
+        &net,
+        sei_nn::paper::INPUT_SHAPE,
+        Structure::Sei,
+        &DesignConstraints::paper_default(),
+    );
+    let cost = CostReport::analyze(&plan, &CostParams::default());
+    let timing = DesignTiming::analyze(&plan, &TimingModel::default(), 1);
+    let profile = ServiceProfile::from_design(&timing, &cost);
+    let saturation = profile.max_throughput_rps();
+    let mut cells = Vec::new();
+    for &load_fraction in &[0.5f64, 0.8, 1.2, 2.0] {
+        for &batch_max in &[1usize, 4] {
+            cells.push(SweepCell {
+                load_fraction,
+                batch_max,
+                replication: 1,
+                profile: profile.clone(),
+                config: ServeConfig {
+                    load: LoadModel::Poisson {
+                        rate_rps: load_fraction * saturation,
+                    },
+                    batch: BatchPolicy {
+                        max_size: batch_max,
+                        timeout_ns: 200_000,
+                    },
+                    queue_capacity: 128,
+                    deadline_ns: 0,
+                    duration_ns: 400_000_000,
+                    seed: scale.seed,
+                },
+            });
+        }
+    }
+    black_box(ok_or_exit(run_sweep(&Engine::new(scale.threads), &cells)));
+}
+
+fn micro_row(
+    name: &str,
+    inputs: usize,
+    cols: usize,
+    mode: SeiMode,
+    points: &[MicroPoint],
+) -> Value {
+    let mut row = Value::obj();
+    row.set("layer", Value::Str(name.to_string()));
+    row.set("inputs", Value::UInt(inputs as u64));
+    row.set("cols", Value::UInt(cols as u64));
+    row.set(
+        "mode",
+        Value::Str(
+            match mode {
+                SeiMode::SignedPorts => "signed_ports",
+                SeiMode::DynamicThreshold => "dynamic_threshold",
+            }
+            .to_string(),
+        ),
+    );
+    let pts = points
+        .iter()
+        .map(|p| {
+            let mut v = Value::obj();
+            v.set("sparsity", Value::Float(p.sparsity));
+            v.set("ideal_scalar_ns_per_read", Value::Float(p.ideal_scalar_ns));
+            v.set("ideal_packed_ns_per_read", Value::Float(p.ideal_packed_ns));
+            v.set(
+                "kernel_speedup",
+                Value::Float(p.ideal_scalar_ns / p.ideal_packed_ns),
+            );
+            v.set("noisy_scalar_ns_per_read", Value::Float(p.noisy_scalar_ns));
+            v.set("noisy_packed_ns_per_read", Value::Float(p.noisy_packed_ns));
+            v.set(
+                "read_speedup",
+                Value::Float(p.noisy_scalar_ns / p.noisy_packed_ns),
+            );
+            v
+        })
+        .collect();
+    row.set("points", Value::Arr(pts));
+    row
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn mode_pair(pair: [f64; 2]) -> Value {
+    let mut v = Value::obj();
+    v.set("scalar", Value::Float(pair[0]));
+    v.set("packed", Value::Float(pair[1]));
+    v
+}

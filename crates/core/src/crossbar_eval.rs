@@ -12,6 +12,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sei_crossbar::dac::Dac;
+use sei_crossbar::kernels::ReadScratch;
 use sei_crossbar::sei::{FaultInjection, FaultStats, SeiConfig, SeiCrossbar};
 use sei_device::{DeviceSpec, ProgrammedCell, WriteVerify};
 use sei_engine::{chunk_seed, Engine, SeiError, DEFAULT_CHUNK};
@@ -253,6 +254,42 @@ pub struct CrossbarNetwork {
     /// Aggregated fault bookkeeping over every SEI part (all zero when
     /// built without a [`FaultPlan`]).
     fault_stats: FaultStats,
+}
+
+/// Reusable buffers for one evaluator thread's crossbar forward passes.
+///
+/// Holds the crossbar read scratch (column sums/variances, packed input
+/// words, batched telemetry — see [`sei_crossbar::kernels`]) plus the
+/// patch/input/vote staging vectors of the conv/FC drivers, so a
+/// steady-state forward pass performs no per-read heap allocation. One
+/// scratch serves any sequence of images through any layer shapes;
+/// batched telemetry flushes once per image
+/// ([`CrossbarNetwork::forward_scratch`]) and on drop.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// Crossbar read-path buffers and batched telemetry.
+    read: ReadScratch,
+    /// Binary conv patch (one bit per logical row of the layer).
+    patch: Vec<bool>,
+    /// DAC-converted analog patch for the first conv layer.
+    dac_patch: Vec<f64>,
+    /// Per-part routed input bits.
+    input: Vec<bool>,
+    /// Sense-amp fires returned by one part.
+    fires: Vec<bool>,
+    /// Per-column vote counts across parts.
+    counts: Vec<usize>,
+    /// Per-class margin totals (split ADC head).
+    totals: Vec<f64>,
+    /// Per-class margins of one part.
+    margins: Vec<f64>,
+}
+
+impl EvalScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        EvalScratch::default()
+    }
 }
 
 /// Reconstructs a weight value the way the analog path would see it after
@@ -497,13 +534,45 @@ impl CrossbarNetwork {
 
     /// Classifies an image through the full analog pipeline, drawing read
     /// noise from `rng`.
+    ///
+    /// Convenience wrapper over [`classify_scratch`](Self::classify_scratch)
+    /// that pays a scratch allocation per call.
     pub fn classify_with(&self, image: &Tensor3, rng: &mut StdRng) -> usize {
         self.forward_with(image, rng).argmax()
     }
 
+    /// Allocation-reusing [`classify_with`](Self::classify_with): hot loops
+    /// hold one [`EvalScratch`] per thread and classify any number of
+    /// images through it.
+    pub fn classify_scratch(
+        &self,
+        image: &Tensor3,
+        rng: &mut StdRng,
+        scratch: &mut EvalScratch,
+    ) -> usize {
+        self.forward_scratch(image, rng, scratch).argmax()
+    }
+
     /// Full forward pass to class scores (analog margins, or vote counts
     /// for a split output layer), drawing read noise from `rng`.
+    ///
+    /// Convenience wrapper over [`forward_scratch`](Self::forward_scratch)
+    /// that pays a scratch allocation per call.
     pub fn forward_with(&self, image: &Tensor3, rng: &mut StdRng) -> Tensor3 {
+        let mut scratch = EvalScratch::new();
+        self.forward_scratch(image, rng, &mut scratch)
+    }
+
+    /// Full forward pass reusing caller-owned buffers: no per-read heap
+    /// allocation in steady state, and the crossbar telemetry batched in
+    /// `scratch` is flushed to the global counters once, at the end of the
+    /// image.
+    pub fn forward_scratch(
+        &self,
+        image: &Tensor3,
+        rng: &mut StdRng,
+        scratch: &mut EvalScratch,
+    ) -> Tensor3 {
         enum V {
             A(Tensor3),
             B(BitTensor),
@@ -531,6 +600,7 @@ impl CrossbarNetwork {
                         *geom,
                         &img,
                         rng,
+                        &mut scratch.dac_patch,
                     );
                     V::B(bits)
                 }
@@ -543,7 +613,7 @@ impl CrossbarNetwork {
                     },
                     V::B(bits),
                 ) => V::B(hidden_conv_forward(
-                    parts, spec, *required, *geom, &bits, rng,
+                    parts, spec, *required, *geom, &bits, rng, scratch,
                 )),
                 (
                     XLayer::HiddenFc {
@@ -553,8 +623,8 @@ impl CrossbarNetwork {
                     },
                     V::B(bits),
                 ) => {
-                    let counts = fc_part_counts(parts, spec, bits.as_slice(), rng);
-                    let out: Vec<bool> = counts.iter().map(|&c| c >= *required).collect();
+                    fc_part_counts(parts, spec, bits.as_slice(), rng, scratch);
+                    let out: Vec<bool> = scratch.counts.iter().map(|&c| c >= *required).collect();
                     let n = out.len();
                     V::B(BitTensor::from_vec(n, 1, 1, out))
                 }
@@ -568,20 +638,27 @@ impl CrossbarNetwork {
                     V::B(bits),
                 ) => {
                     if *split && *head == OutputHead::Popcount {
-                        let counts = fc_part_counts(parts, spec, bits.as_slice(), rng);
+                        fc_part_counts(parts, spec, bits.as_slice(), rng, scratch);
                         V::A(Tensor3::from_flat(
-                            counts.iter().map(|&c| c as f32).collect(),
+                            scratch.counts.iter().map(|&c| c as f32).collect(),
                         ))
                     } else if *split {
                         // ADC head: digitize each part's margin and sum.
                         let m = parts[0].kernel_columns();
-                        let mut totals = vec![0.0f64; m];
+                        let EvalScratch {
+                            read,
+                            input,
+                            totals,
+                            margins,
+                            ..
+                        } = &mut *scratch;
+                        totals.clear();
+                        totals.resize(m, 0.0);
                         for (p, xbar) in parts.iter().enumerate() {
-                            let input: Vec<bool> = spec.partitions[p]
-                                .iter()
-                                .map(|&r| bits.get(r, 0, 0))
-                                .collect();
-                            for (t, v) in totals.iter_mut().zip(xbar.margins(&input, rng)) {
+                            input.clear();
+                            input.extend(spec.partitions[p].iter().map(|&r| bits.get(r, 0, 0)));
+                            xbar.margins_into(input, rng, read, margins);
+                            for (t, &v) in totals.iter_mut().zip(margins.iter()) {
                                 *t += v;
                             }
                         }
@@ -589,8 +666,8 @@ impl CrossbarNetwork {
                             totals.iter().map(|&t| t as f32).collect(),
                         ))
                     } else {
-                        let input: Vec<bool> = bits.as_slice().to_vec();
-                        let margins = parts[0].margins(&input, rng);
+                        let EvalScratch { read, margins, .. } = &mut *scratch;
+                        parts[0].margins_into(bits.as_slice(), rng, read, margins);
                         V::A(Tensor3::from_flat(
                             margins.iter().map(|&m| m as f32).collect(),
                         ))
@@ -605,6 +682,8 @@ impl CrossbarNetwork {
                 _ => panic!("value kind mismatch in crossbar network"),
             };
         }
+        // One telemetry flush per image instead of atomics per read.
+        scratch.read.flush();
         match v {
             V::A(t) => t,
             V::B(_) => panic!("network ended on a binary value"),
@@ -628,11 +707,16 @@ impl CrossbarNetwork {
             .map_chunks(data.images(), DEFAULT_CHUNK, |c, chunk| {
                 let base = c * DEFAULT_CHUNK;
                 let mut rng = StdRng::seed_from_u64(chunk_seed(self.noise_seed, c as u64));
+                // One scratch per chunk: buffer reuse is thread-local and
+                // leaves the per-chunk RNG streams untouched, so the result
+                // stays bit-identical at any thread count.
+                let mut scratch = EvalScratch::new();
                 chunk
                     .iter()
                     .enumerate()
                     .filter(|(i, img)| {
-                        self.classify_with(img, &mut rng) != labels[base + i] as usize
+                        self.classify_scratch(img, &mut rng, &mut scratch)
+                            != labels[base + i] as usize
                     })
                     .count()
             })
@@ -738,6 +822,7 @@ fn first_conv_forward(
     geom: ConvGeom,
     img: &Tensor3,
     rng: &mut StdRng,
+    patch: &mut Vec<f64>,
 ) -> BitTensor {
     use rand::Rng;
     let k = geom.kernel;
@@ -745,7 +830,8 @@ fn first_conv_forward(
     let (oh, ow) = (ih - k + 1, iw - k + 1);
     let m = recon.cols();
     let mut out = BitTensor::zeros(m, oh, ow);
-    let mut patch = vec![0.0f64; recon.rows()];
+    patch.clear();
+    patch.resize(recon.rows(), 0.0);
     for oy in 0..oh {
         for ox in 0..ow {
             let mut r = 0;
@@ -782,7 +868,7 @@ fn first_conv_forward(
 }
 
 /// Hidden conv: per output position, route the patch bits to each part's
-/// crossbar and vote.
+/// crossbar and vote. Staging buffers live in `scratch`.
 fn hidden_conv_forward(
     parts: &[SeiCrossbar],
     spec: &SplitSpec,
@@ -790,6 +876,7 @@ fn hidden_conv_forward(
     geom: ConvGeom,
     bits: &BitTensor,
     rng: &mut StdRng,
+    scratch: &mut EvalScratch,
 ) -> BitTensor {
     let k = geom.kernel;
     let (ih, iw) = (bits.height(), bits.width());
@@ -797,7 +884,16 @@ fn hidden_conv_forward(
     let m = parts[0].kernel_columns();
     let n: usize = spec.total_rows();
     let mut out = BitTensor::zeros(m, oh, ow);
-    let mut patch = vec![false; n];
+    let EvalScratch {
+        read,
+        patch,
+        input,
+        fires,
+        counts,
+        ..
+    } = scratch;
+    patch.clear();
+    patch.resize(n, false);
     for oy in 0..oh {
         for ox in 0..ow {
             let mut r = 0;
@@ -809,10 +905,13 @@ fn hidden_conv_forward(
                     }
                 }
             }
-            let mut counts = vec![0usize; m];
+            counts.clear();
+            counts.resize(m, 0);
             for (p, xbar) in parts.iter().enumerate() {
-                let input: Vec<bool> = spec.partitions[p].iter().map(|&row| patch[row]).collect();
-                for (c, fire) in xbar.forward(&input, rng).into_iter().enumerate() {
+                input.clear();
+                input.extend(spec.partitions[p].iter().map(|&row| patch[row]));
+                xbar.forward_into(input, rng, read, fires);
+                for (c, &fire) in fires.iter().enumerate() {
                     if fire {
                         counts[c] += 1;
                     }
@@ -826,24 +925,35 @@ fn hidden_conv_forward(
     out
 }
 
-/// FC: per part, route its rows' bits and count fires per column.
+/// FC: per part, route its rows' bits and count fires per column into
+/// `scratch.counts`.
 fn fc_part_counts(
     parts: &[SeiCrossbar],
     spec: &SplitSpec,
     bits: &[bool],
     rng: &mut StdRng,
-) -> Vec<usize> {
+    scratch: &mut EvalScratch,
+) {
     let m = parts[0].kernel_columns();
-    let mut counts = vec![0usize; m];
+    let EvalScratch {
+        read,
+        input,
+        fires,
+        counts,
+        ..
+    } = scratch;
+    counts.clear();
+    counts.resize(m, 0);
     for (p, xbar) in parts.iter().enumerate() {
-        let input: Vec<bool> = spec.partitions[p].iter().map(|&row| bits[row]).collect();
-        for (c, fire) in xbar.forward(&input, rng).into_iter().enumerate() {
+        input.clear();
+        input.extend(spec.partitions[p].iter().map(|&row| bits[row]));
+        xbar.forward_into(input, rng, read, fires);
+        for (c, &fire) in fires.iter().enumerate() {
             if fire {
                 counts[c] += 1;
             }
         }
     }
-    counts
 }
 
 #[cfg(test)]

@@ -54,7 +54,7 @@ pub mod scale;
 
 pub use accelerator::{Accelerator, AcceleratorBuilder, StructureSummary};
 pub use baseline_eval::{BaselineEvalConfig, BaselineNetwork};
-pub use crossbar_eval::{CrossbarEvalConfig, CrossbarNetwork, FaultPlan};
+pub use crossbar_eval::{CrossbarEvalConfig, CrossbarNetwork, EvalScratch, FaultPlan};
 pub use scale::ExperimentScale;
 pub use sei_engine as engine;
 pub use sei_engine::{Engine, SeiError};

@@ -1,0 +1,356 @@
+//! Bit-packed sparsity-aware compute kernels for the SEI read path.
+//!
+//! The paper's power argument is that 1-bit ReLU-sparse activations gate
+//! most crossbar rows *off* per read; this module makes the simulator's
+//! cost profile match. Three ingredients (see DESIGN.md §9):
+//!
+//! * **Flat packed row storage** ([`PackedRows`]) — every gated row's
+//!   per-column contributions live in one contiguous `Vec<f64>`, logical
+//!   input `j`'s `rows_per_input` physical rows at a fixed offset, with
+//!   the input-independent `Gate::AlwaysOn` bias/threshold rows split out
+//!   into a dedicated baseline block precomputed at build time. A read
+//!   only ever touches the rows whose input bit is set plus the baseline
+//!   block; no per-row gate matching, no `Vec<Vec<_>>` pointer chasing.
+//! * **Bit-packed activations** — the `&[bool]` input vector is packed
+//!   into `u64` words once per read; the active-row scan then walks set
+//!   bits with `trailing_zeros` (ascending bit order = ascending physical
+//!   row order, so the f64 summation order is unchanged).
+//! * **Reusable scratch** ([`ReadScratch`]) — column sums/variances, the
+//!   packed input words and batched telemetry accumulators live in a
+//!   caller-owned buffer, eliminating the per-read `vec!` allocations.
+//!
+//! # Determinism contract
+//!
+//! The packed path is **bit-identical** to the scalar path: within each
+//! column the f64 additions happen in the exact physical-row order of the
+//! original loop (active gated rows ascending, then the AlwaysOn rows),
+//! the variance accumulation matches term for term, and therefore the
+//! read-noise RNG draws the same sequence (a column draws iff its
+//! accumulated variance is positive, which is bit-identical). Golden
+//! traces and NDJSON reports do not change across kernel modes or thread
+//! counts. This is also why the AlwaysOn baseline is stored as *rows*
+//! rather than pre-summed totals: folding the baseline into one value per
+//! column would change f64 rounding.
+//!
+//! The original per-row scan is kept behind `SEI_KERNELS=scalar` as an
+//! escape hatch (and as the microbenchmark baseline).
+
+use sei_telemetry::counters::{self, Event};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which read-path implementation [`crate::sei::SeiCrossbar`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Bit-packed sparsity-aware gather over flat row storage (default).
+    Packed,
+    /// The original per-row scan — the `SEI_KERNELS=scalar` escape hatch
+    /// and the old-path baseline of the `kernels` microbenchmark.
+    Scalar,
+}
+
+const MODE_UNSET: u8 = 0;
+const MODE_PACKED: u8 = 1;
+const MODE_SCALAR: u8 = 2;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+
+/// The process-wide kernel mode, initialized from `SEI_KERNELS` on first
+/// use: unset or `packed` → [`KernelMode::Packed`], `scalar` →
+/// [`KernelMode::Scalar`], anything else → process exit 2 (the strict
+/// `SEI_*` contract — malformed values are never silently defaulted).
+#[inline]
+pub fn kernel_mode() -> KernelMode {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_PACKED => KernelMode::Packed,
+        MODE_SCALAR => KernelMode::Scalar,
+        _ => init_mode_from_env(),
+    }
+}
+
+#[cold]
+fn init_mode_from_env() -> KernelMode {
+    let mode = match std::env::var("SEI_KERNELS") {
+        Err(_) => KernelMode::Packed,
+        Ok(raw) => match raw.trim() {
+            "" | "packed" => KernelMode::Packed,
+            "scalar" => KernelMode::Scalar,
+            _ => {
+                eprintln!(
+                    "error: environment variable SEI_KERNELS: invalid value \
+                     {raw:?} (expected packed|scalar)"
+                );
+                std::process::exit(2);
+            }
+        },
+    };
+    set_kernel_mode(mode);
+    mode
+}
+
+/// Overrides the kernel mode for the rest of the process — used by the
+/// `kernels` microbenchmark to time both paths end-to-end in one run and
+/// by differential tests. Safe to flip at any point: both modes produce
+/// bit-identical results, so switching cannot perturb an experiment.
+pub fn set_kernel_mode(mode: KernelMode) {
+    let v = match mode {
+        KernelMode::Packed => MODE_PACKED,
+        KernelMode::Scalar => MODE_SCALAR,
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+/// Reusable per-evaluator buffers and batched telemetry for the SEI read
+/// path. One `ReadScratch` serves any number of crossbars of any shape —
+/// buffers are resized on use and the capacity high-water-marks.
+///
+/// Telemetry events accumulate locally and reach the global counters only
+/// on [`flush`](ReadScratch::flush) (evaluators call it once per image) or
+/// on drop, so the hot loop issues no atomic RMWs. Energy is rounded to
+/// integer femtojoules *per read* before accumulating — exactly what the
+/// unbatched path did — so totals are bit-identical to per-read flushing.
+#[derive(Debug, Default)]
+pub struct ReadScratch {
+    /// Per-column running sums (kernel columns then reference).
+    pub(crate) sums: Vec<f64>,
+    /// Per-column running variance sums (Σ c²) for the read-noise model.
+    pub(crate) vars: Vec<f64>,
+    /// Bit-packed input vector, one bit per logical input.
+    pub(crate) words: Vec<u64>,
+    read_ops: u64,
+    gate_switches: u64,
+    sense_fires: u64,
+    energy_fj: u64,
+}
+
+impl ReadScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        ReadScratch::default()
+    }
+
+    /// Records one read: `gated_on` transmission-gate switches and the
+    /// read energy (rounded to femtojoules now, matching the unbatched
+    /// accounting).
+    #[inline]
+    pub(crate) fn note_read(&mut self, gated_on: u64, energy_joules: f64) {
+        self.read_ops += 1;
+        self.gate_switches += gated_on;
+        let fj = (energy_joules * 1e15).round();
+        if fj > 0.0 {
+            self.energy_fj += fj as u64;
+        }
+    }
+
+    /// Records `n` sense-amplifier decisions.
+    #[inline]
+    pub(crate) fn note_sense_fires(&mut self, n: u64) {
+        self.sense_fires += n;
+    }
+
+    /// Flushes the batched events into the global telemetry counters and
+    /// zeroes the local accumulators. Evaluators call this once per image;
+    /// dropping the scratch flushes any remainder, so no events are lost.
+    pub fn flush(&mut self) {
+        if self.read_ops > 0 {
+            counters::add(Event::CrossbarReadOps, self.read_ops);
+            self.read_ops = 0;
+        }
+        if self.gate_switches > 0 {
+            counters::add(Event::GateSwitches, self.gate_switches);
+            self.gate_switches = 0;
+        }
+        if self.sense_fires > 0 {
+            counters::add(Event::SenseAmpFires, self.sense_fires);
+            self.sense_fires = 0;
+        }
+        if self.energy_fj > 0 {
+            counters::add(Event::EnergyFemtojoules, self.energy_fj);
+            self.energy_fj = 0;
+        }
+    }
+
+    /// Resets the column accumulators to `width` zeros.
+    #[inline]
+    pub(crate) fn reset_columns(&mut self, width: usize) {
+        self.sums.clear();
+        self.sums.resize(width, 0.0);
+        self.vars.clear();
+        self.vars.resize(width, 0.0);
+    }
+
+    /// Packs `input` into the word buffer; returns the number of set bits.
+    /// Branchless per bool (`b as u64` shifted into place), popcount per
+    /// word.
+    #[inline]
+    pub(crate) fn pack_input(&mut self, input: &[bool]) -> u64 {
+        self.words.clear();
+        let mut ones = 0u64;
+        for chunk in input.chunks(64) {
+            let mut word = 0u64;
+            for (bit, &b) in chunk.iter().enumerate() {
+                word |= (b as u64) << bit;
+            }
+            ones += u64::from(word.count_ones());
+            self.words.push(word);
+        }
+        ones
+    }
+}
+
+impl Drop for ReadScratch {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Flat packed storage of one crossbar's read path, precomputed at build
+/// time from the physical row list. `gated` holds the input-gated rows in
+/// physical-row-major order (logical input `j`'s `rows_per_input` rows at
+/// offset `j · rows_per_input · width`); `baseline` holds the trailing
+/// `Gate::AlwaysOn` bias/threshold rows, which every read accumulates
+/// last, row by row, preserving the scalar path's f64 summation order.
+#[derive(Debug, Clone)]
+pub(crate) struct PackedRows {
+    /// Physical column count (kernel columns + reference).
+    pub width: usize,
+    /// Physical rows per logical input.
+    pub rows_per_input: usize,
+    /// Gated-row contributions, `logical_inputs · rows_per_input · width`.
+    pub gated: Vec<f64>,
+    /// AlwaysOn-row contributions, `rows_per_input · width`.
+    pub baseline: Vec<f64>,
+}
+
+impl PackedRows {
+    /// Accumulates the active rows for the packed input words already in
+    /// `scratch.words` into `scratch.sums`/`scratch.vars`, in the exact
+    /// row order of the scalar scan: active gated rows ascending, then
+    /// the baseline rows.
+    #[inline]
+    pub(crate) fn accumulate(&self, scratch: &mut ReadScratch) {
+        let w = self.width;
+        let span = self.rows_per_input * w;
+        let ReadScratch {
+            sums, vars, words, ..
+        } = scratch;
+        for (wi, &word) in words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let j = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let block = &self.gated[j * span..(j + 1) * span];
+                accumulate_rows(block, w, sums, vars);
+            }
+        }
+        accumulate_rows(&self.baseline, w, sums, vars);
+    }
+
+    /// [`accumulate`](Self::accumulate) without the variance sums, for
+    /// reads that draw no noise (ideal margins, `read_sigma == 0`): the
+    /// variances only feed the noise model, so skipping them halves the
+    /// arithmetic without touching the f64 order of `sums`.
+    #[inline]
+    pub(crate) fn accumulate_sums_only(&self, scratch: &mut ReadScratch) {
+        let w = self.width;
+        let span = self.rows_per_input * w;
+        let ReadScratch { sums, words, .. } = scratch;
+        for (wi, &word) in words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let j = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let block = &self.gated[j * span..(j + 1) * span];
+                accumulate_rows_sums_only(block, w, sums);
+            }
+        }
+        accumulate_rows_sums_only(&self.baseline, w, sums);
+    }
+}
+
+/// Accumulates `block` (a whole number of `width`-wide rows) into the
+/// column sums and variance sums, row by row — the same per-column add
+/// order as iterating the rows individually. The zipped sub-slices carry
+/// the length equality into the inner loop so it compiles to straight
+/// vector code instead of per-element bounds checks.
+#[inline]
+fn accumulate_rows(block: &[f64], width: usize, sums: &mut [f64], vars: &mut [f64]) {
+    let sums = &mut sums[..width];
+    let vars = &mut vars[..width];
+    for row in block.chunks_exact(width) {
+        for ((s, v), &c) in sums.iter_mut().zip(vars.iter_mut()).zip(row) {
+            *s += c;
+            *v += c * c;
+        }
+    }
+}
+
+/// [`accumulate_rows`] for noise-free reads: column sums only.
+#[inline]
+fn accumulate_rows_sums_only(block: &[f64], width: usize, sums: &mut [f64]) {
+    let sums = &mut sums[..width];
+    for row in block.chunks_exact(width) {
+        for (s, &c) in sums.iter_mut().zip(row) {
+            *s += c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_input_counts_and_places_bits() {
+        let mut s = ReadScratch::new();
+        let mut input = vec![false; 130];
+        input[0] = true;
+        input[63] = true;
+        input[64] = true;
+        input[129] = true;
+        assert_eq!(s.pack_input(&input), 4);
+        assert_eq!(s.words.len(), 3);
+        assert_eq!(s.words[0], 1 | (1 << 63));
+        assert_eq!(s.words[1], 1);
+        assert_eq!(s.words[2], 1 << 1);
+    }
+
+    #[test]
+    fn flush_batches_counters_once() {
+        counters::reset();
+        let before = counters::get(Event::CrossbarReadOps);
+        let mut s = ReadScratch::new();
+        s.note_read(3, 1e-12);
+        s.note_read(2, 1e-12);
+        s.note_sense_fires(5);
+        s.flush();
+        assert_eq!(counters::get(Event::CrossbarReadOps), before + 2);
+        assert_eq!(counters::get(Event::GateSwitches), 5);
+        assert_eq!(counters::get(Event::SenseAmpFires), 5);
+        // Each read rounds to fJ independently: 2 × round(1e-12 J · 1e15).
+        assert_eq!(counters::get(Event::EnergyFemtojoules), 2000);
+        // Flushing is idempotent: accumulators were zeroed.
+        s.flush();
+        assert_eq!(counters::get(Event::CrossbarReadOps), before + 2);
+    }
+
+    #[test]
+    fn drop_flushes_remainder() {
+        counters::reset();
+        {
+            let mut s = ReadScratch::new();
+            s.note_read(1, 0.0);
+        }
+        assert_eq!(counters::get(Event::CrossbarReadOps), 1);
+    }
+
+    #[test]
+    fn accumulate_rows_matches_naive_order() {
+        let width = 3;
+        let block = [1.0, 2.0, 3.0, 0.5, 0.25, 0.125];
+        let mut sums = vec![0.0; width];
+        let mut vars = vec![0.0; width];
+        accumulate_rows(&block, width, &mut sums, &mut vars);
+        assert_eq!(sums, vec![1.5, 2.25, 3.125]);
+        assert_eq!(vars, vec![1.25, 4.0625, 9.015625]);
+    }
+}

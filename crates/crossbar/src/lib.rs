@@ -60,6 +60,7 @@ pub mod array;
 pub mod dac;
 pub mod decoder;
 pub mod ir_drop;
+pub mod kernels;
 pub mod merged;
 pub mod sei;
 pub mod senseamp;
@@ -69,6 +70,7 @@ pub use array::CrossbarArray;
 pub use dac::Dac;
 pub use decoder::{ComputeDecoder, DecoderKind};
 pub use ir_drop::IrDropModel;
+pub use kernels::{kernel_mode, set_kernel_mode, KernelMode, ReadScratch};
 pub use merged::{MergedConfig, MergedCrossbar};
 pub use sei::{FaultInjection, FaultStats, SeiConfig, SeiCrossbar, SeiMode};
 pub use senseamp::SenseAmp;

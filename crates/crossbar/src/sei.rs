@@ -39,6 +39,7 @@
 //! column has a cell on *every* row a kernel column has, gated identically.
 //! The comparison `I_k > I_ref` is therefore unchanged.
 
+use crate::kernels::{kernel_mode, KernelMode, PackedRows, ReadScratch};
 use crate::senseamp::SenseAmp;
 use crate::MAX_FABRICABLE_SIZE;
 use rand::rngs::StdRng;
@@ -225,6 +226,9 @@ pub struct SeiCrossbar {
     logical_inputs: usize,
     cols: usize,
     rows: Vec<PhysRow>,
+    /// Flat packed mirror of `rows` for the sparsity-aware read kernel
+    /// (gated rows + precomputed AlwaysOn baseline block).
+    packed: PackedRows,
     sas: Vec<SenseAmp>,
     /// Weight-units value of one fraction unit.
     kappa: f64,
@@ -639,11 +643,14 @@ impl SeiCrossbar {
             stats.pinned_cells + stats.wearout_cells,
         );
 
+        let packed = pack_rows(&rows, n, rows_per_input, m + 1);
+
         SeiCrossbar {
             cfg: *cfg,
             logical_inputs: n,
             cols: m,
             rows,
+            packed,
             sas,
             kappa,
             read_sigma: spec.read_sigma,
@@ -690,9 +697,10 @@ impl SeiCrossbar {
         &self.cfg
     }
 
-    /// Raw fraction-unit column sums (kernel columns then reference) for a
-    /// given input pattern, optionally with read noise.
-    fn sums(&self, input: &[bool], noise: Option<&mut StdRng>) -> Vec<f64> {
+    /// The original per-row scan: fresh vectors per read, gate matching
+    /// per physical row, immediate (atomic) telemetry — kept verbatim as
+    /// the `SEI_KERNELS=scalar` escape hatch and microbenchmark baseline.
+    fn sums_scalar(&self, input: &[bool], noise: Option<&mut StdRng>) -> Vec<f64> {
         assert_eq!(
             input.len(),
             self.logical_inputs,
@@ -737,15 +745,109 @@ impl SeiCrossbar {
         sums
     }
 
+    /// Raw fraction-unit column sums (kernel columns then reference) into
+    /// `scratch.sums`, optionally with read noise. Both kernel modes
+    /// accumulate in the same physical-row order and therefore produce
+    /// bit-identical sums and draw the same RNG sequence (see
+    /// [`crate::kernels`] for the determinism contract).
+    fn sums_into(
+        &self,
+        input: &[bool],
+        noise: Option<&mut StdRng>,
+        scratch: &mut ReadScratch,
+        mode: KernelMode,
+    ) {
+        match mode {
+            KernelMode::Scalar => {
+                let sums = self.sums_scalar(input, noise);
+                scratch.sums.clear();
+                scratch.sums.extend_from_slice(&sums);
+            }
+            KernelMode::Packed => {
+                assert_eq!(
+                    input.len(),
+                    self.logical_inputs,
+                    "one input bit per logical row"
+                );
+                let w = self.cols + 1;
+                scratch.reset_columns(w);
+                let ones = scratch.pack_input(input);
+                // The variance sums exist only to feed the noise model;
+                // noise-free reads skip them entirely.
+                if noise.is_some() && self.read_sigma > 0.0 {
+                    self.packed.accumulate(scratch);
+                } else {
+                    self.packed.accumulate_sums_only(scratch);
+                }
+                let rpi = self.packed.rows_per_input as u64;
+                let gated_on = ones * rpi;
+                let active_rows = gated_on + rpi;
+                scratch.note_read(
+                    gated_on,
+                    active_rows as f64 * w as f64 * self.cell_read_energy,
+                );
+                if let Some(rng) = noise {
+                    if self.read_sigma > 0.0 {
+                        for (s, &v) in scratch.sums.iter_mut().zip(&scratch.vars) {
+                            let std = self.read_sigma * v.sqrt();
+                            if std > 0.0 {
+                                *s += std * gaussian(rng);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Fires each kernel column's sense amplifier against the reference
     /// column — the complete compute operation of the structure.
+    ///
+    /// Convenience wrapper over [`SeiCrossbar::forward_into`] that pays a
+    /// scratch allocation per call; hot loops should hold a
+    /// [`ReadScratch`] and call the `_into` form.
     pub fn forward(&self, input: &[bool], rng: &mut StdRng) -> Vec<bool> {
-        let sums = self.sums(input, Some(rng));
-        let reference = sums[self.cols];
-        counters::add(Event::SenseAmpFires, self.cols as u64);
-        (0..self.cols)
-            .map(|k| self.sas[k].decide(sums[k], reference, rng))
-            .collect()
+        let mut scratch = ReadScratch::new();
+        let mut fires = Vec::with_capacity(self.cols);
+        self.forward_into(input, rng, &mut scratch, &mut fires);
+        fires
+    }
+
+    /// Allocation-free [`SeiCrossbar::forward`]: column fires land in
+    /// `fires` (cleared first), buffers live in `scratch`. Telemetry
+    /// batches into `scratch` (packed mode); call
+    /// [`ReadScratch::flush`] once per image.
+    pub fn forward_into(
+        &self,
+        input: &[bool],
+        rng: &mut StdRng,
+        scratch: &mut ReadScratch,
+        fires: &mut Vec<bool>,
+    ) {
+        self.forward_into_with(input, rng, scratch, fires, kernel_mode());
+    }
+
+    /// [`SeiCrossbar::forward_into`] with an explicit kernel mode — the
+    /// differential-test / microbenchmark hook.
+    pub fn forward_into_with(
+        &self,
+        input: &[bool],
+        rng: &mut StdRng,
+        scratch: &mut ReadScratch,
+        fires: &mut Vec<bool>,
+        mode: KernelMode,
+    ) {
+        self.sums_into(input, Some(rng), scratch, mode);
+        match mode {
+            KernelMode::Packed => scratch.note_sense_fires(self.cols as u64),
+            KernelMode::Scalar => counters::add(Event::SenseAmpFires, self.cols as u64),
+        }
+        let reference = scratch.sums[self.cols];
+        fires.clear();
+        fires.reserve(self.cols);
+        for k in 0..self.cols {
+            fires.push(self.sas[k].decide(scratch.sums[k], reference, rng));
+        }
     }
 
     /// Noise-free weighted sums per kernel column, converted back to weight
@@ -753,11 +855,32 @@ impl SeiCrossbar {
     /// programmed array this equals `Σ_{in_j=1} w_jk + b_k − θ` up to weight
     /// quantization, so `fires ⇔ value > 0`. Diagnostic / test hook.
     pub fn ideal_margins(&self, input: &[bool]) -> Vec<f64> {
-        let sums = self.sums(input, None);
-        let reference = sums[self.cols];
-        (0..self.cols)
-            .map(|k| (sums[k] - reference) * self.kappa)
-            .collect()
+        let mut scratch = ReadScratch::new();
+        let mut out = Vec::with_capacity(self.cols);
+        self.ideal_margins_into(input, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free [`SeiCrossbar::ideal_margins`].
+    pub fn ideal_margins_into(
+        &self,
+        input: &[bool],
+        scratch: &mut ReadScratch,
+        out: &mut Vec<f64>,
+    ) {
+        self.ideal_margins_into_with(input, scratch, out, kernel_mode());
+    }
+
+    /// [`SeiCrossbar::ideal_margins_into`] with an explicit kernel mode.
+    pub fn ideal_margins_into_with(
+        &self,
+        input: &[bool],
+        scratch: &mut ReadScratch,
+        out: &mut Vec<f64>,
+        mode: KernelMode,
+    ) {
+        self.sums_into(input, None, scratch, mode);
+        self.margins_from_sums(scratch, out);
     }
 
     /// Like [`SeiCrossbar::ideal_margins`] but with read noise applied —
@@ -765,11 +888,75 @@ impl SeiCrossbar {
     /// are consumed directly (one shared reference, no sense-amp
     /// thresholding).
     pub fn margins(&self, input: &[bool], rng: &mut StdRng) -> Vec<f64> {
-        let sums = self.sums(input, Some(rng));
-        let reference = sums[self.cols];
-        (0..self.cols)
-            .map(|k| (sums[k] - reference) * self.kappa)
-            .collect()
+        let mut scratch = ReadScratch::new();
+        let mut out = Vec::with_capacity(self.cols);
+        self.margins_into(input, rng, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free [`SeiCrossbar::margins`].
+    pub fn margins_into(
+        &self,
+        input: &[bool],
+        rng: &mut StdRng,
+        scratch: &mut ReadScratch,
+        out: &mut Vec<f64>,
+    ) {
+        self.margins_into_with(input, rng, scratch, out, kernel_mode());
+    }
+
+    /// [`SeiCrossbar::margins_into`] with an explicit kernel mode.
+    pub fn margins_into_with(
+        &self,
+        input: &[bool],
+        rng: &mut StdRng,
+        scratch: &mut ReadScratch,
+        out: &mut Vec<f64>,
+        mode: KernelMode,
+    ) {
+        self.sums_into(input, Some(rng), scratch, mode);
+        self.margins_from_sums(scratch, out);
+    }
+
+    /// Converts the column sums in `scratch` to weight-unit margins.
+    fn margins_from_sums(&self, scratch: &ReadScratch, out: &mut Vec<f64>) {
+        let reference = scratch.sums[self.cols];
+        out.clear();
+        out.reserve(self.cols);
+        for k in 0..self.cols {
+            out.push((scratch.sums[k] - reference) * self.kappa);
+        }
+    }
+}
+
+/// Builds the flat packed mirror of the physical row list, asserting the
+/// layout invariant the builder guarantees (logical input `j`'s rows are
+/// contiguous at `j · rows_per_input`, the AlwaysOn bias/threshold rows
+/// come last) so a future build-order change cannot silently desync the
+/// packed kernel.
+fn pack_rows(rows: &[PhysRow], inputs: usize, rows_per_input: usize, width: usize) -> PackedRows {
+    assert_eq!(rows.len(), (inputs + 1) * rows_per_input, "SEI row layout");
+    let mut gated = Vec::with_capacity(inputs * rows_per_input * width);
+    for (j, block) in rows[..inputs * rows_per_input]
+        .chunks_exact(rows_per_input)
+        .enumerate()
+    {
+        for row in block {
+            assert_eq!(row.gate, Gate::Input(j), "SEI row layout invariant");
+            assert_eq!(row.contribs.len(), width, "SEI row width invariant");
+            gated.extend_from_slice(&row.contribs);
+        }
+    }
+    let mut baseline = Vec::with_capacity(rows_per_input * width);
+    for row in &rows[inputs * rows_per_input..] {
+        assert_eq!(row.gate, Gate::AlwaysOn, "SEI row layout invariant");
+        baseline.extend_from_slice(&row.contribs);
+    }
+    PackedRows {
+        width,
+        rows_per_input,
+        gated,
+        baseline,
     }
 }
 

@@ -1,0 +1,111 @@
+//! Differential property tests for the compute kernels: the bit-packed
+//! sparsity-aware path (`SEI_KERNELS=packed`, the default) must be
+//! **bit-identical** to the scalar escape hatch across random weights,
+//! sparsity levels, SEI modes, fault maps and read-noise seeds — same
+//! column sums, same RNG draw sequence, same sense-amp fires.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sei_crossbar::{FaultInjection, KernelMode, ReadScratch, SeiConfig, SeiCrossbar, SeiMode};
+use sei_device::DeviceSpec;
+use sei_faults::{FaultMap, FaultModel};
+use sei_nn::Matrix;
+
+fn weights(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f32..1.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+/// Builds the crossbar under test: optionally fault-injected, on the
+/// noisy default 4-bit device so the read path draws gaussians.
+fn build(
+    wm: &Matrix,
+    bias: &[f32],
+    theta: f32,
+    mode: SeiMode,
+    build_seed: u64,
+    fault_rate: f64,
+) -> SeiCrossbar {
+    let spec = DeviceSpec::default_4bit();
+    let cfg = SeiConfig::new(mode);
+    let mut rng = StdRng::seed_from_u64(build_seed);
+    if fault_rate > 0.0 {
+        let (pr, pc) = cfg.physical_shape(wm.rows(), wm.cols(), spec.bits);
+        let map = FaultMap::generate(
+            pr,
+            pc,
+            &FaultModel::uniform(fault_rate),
+            build_seed ^ 0xFA17,
+        );
+        let inj = FaultInjection {
+            map: &map,
+            compensate: true,
+            spare_columns: 0,
+            endurance: None,
+            endurance_seed: 0,
+        };
+        SeiCrossbar::new_with_faults(&spec, wm, bias, theta, &cfg, &mut rng, &inj)
+    } else {
+        SeiCrossbar::new(&spec, wm, bias, theta, &cfg, &mut rng)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `ideal_margins`, `margins` and `forward` agree bit-for-bit between
+    /// the packed and scalar kernels, and noisy reads leave both RNGs in
+    /// the same state (same draw sequence).
+    #[test]
+    fn packed_kernel_bit_identical_to_scalar(
+        wm in weights(13, 4),
+        bias in proptest::collection::vec(-0.5f32..0.5, 4),
+        theta in -0.2f32..0.5f32,
+        density in 0.0f64..1.0,
+        pattern_seed in 0u64..1 << 48,
+        build_seed in 0u64..1 << 48,
+        noise_seed in 0u64..1 << 48,
+        signed in 0u8..2,
+        faulty in 0u8..2,
+    ) {
+        use rand::Rng;
+        let mode = if signed == 1 { SeiMode::SignedPorts } else { SeiMode::DynamicThreshold };
+        let fault_rate = if faulty == 1 { 0.05 } else { 0.0 };
+        let xbar = build(&wm, &bias, theta, mode, build_seed, fault_rate);
+
+        let mut pat_rng = StdRng::seed_from_u64(pattern_seed);
+        let input: Vec<bool> = (0..wm.rows()).map(|_| pat_rng.gen_bool(density)).collect();
+
+        let mut scratch = ReadScratch::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+
+        // Noise-free margins.
+        xbar.ideal_margins_into_with(&input, &mut scratch, &mut a, KernelMode::Packed);
+        xbar.ideal_margins_into_with(&input, &mut scratch, &mut b, KernelMode::Scalar);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "ideal margin {x} vs {y}");
+        }
+
+        // Noisy margins: identical values AND identical RNG consumption.
+        let mut rng_p = StdRng::seed_from_u64(noise_seed);
+        let mut rng_s = StdRng::seed_from_u64(noise_seed);
+        xbar.margins_into_with(&input, &mut rng_p, &mut scratch, &mut a, KernelMode::Packed);
+        xbar.margins_into_with(&input, &mut rng_s, &mut scratch, &mut b, KernelMode::Scalar);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "noisy margin {x} vs {y}");
+        }
+        prop_assert_eq!(rng_p.gen::<u64>(), rng_s.gen::<u64>(), "RNG streams diverged");
+
+        // Sense-amp fires.
+        let mut rng_p = StdRng::seed_from_u64(noise_seed ^ 1);
+        let mut rng_s = StdRng::seed_from_u64(noise_seed ^ 1);
+        let (mut fa, mut fb) = (Vec::new(), Vec::new());
+        xbar.forward_into_with(&input, &mut rng_p, &mut scratch, &mut fa, KernelMode::Packed);
+        xbar.forward_into_with(&input, &mut rng_s, &mut scratch, &mut fb, KernelMode::Scalar);
+        prop_assert_eq!(&fa, &fb);
+        prop_assert_eq!(rng_p.gen::<u64>(), rng_s.gen::<u64>(), "RNG streams diverged");
+    }
+
+}

@@ -1,0 +1,80 @@
+//! Telemetry totals must match between kernels: the batched packed-mode
+//! accounting (flushed once per image / on scratch drop) reports exactly
+//! the per-read event counts and femtojoule energy of the scalar path.
+//!
+//! Kept in its own test binary: it resets the process-global physical
+//! event counters, which would race with other tests' reads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sei_crossbar::{KernelMode, ReadScratch, SeiConfig, SeiCrossbar, SeiMode};
+use sei_device::DeviceSpec;
+use sei_nn::Matrix;
+use sei_telemetry::counters::{self, Event};
+
+const EVENTS: [Event; 4] = [
+    Event::CrossbarReadOps,
+    Event::GateSwitches,
+    Event::SenseAmpFires,
+    Event::EnergyFemtojoules,
+];
+
+fn totals_for(
+    xbar: &SeiCrossbar,
+    patterns: &[Vec<bool>],
+    mode: KernelMode,
+) -> ([u64; 4], Vec<bool>) {
+    counters::reset();
+    let mut fires = Vec::new();
+    {
+        let mut scratch = ReadScratch::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        for p in patterns {
+            xbar.forward_into_with(p, &mut rng, &mut scratch, &mut fires, mode);
+        }
+    } // drop flushes the packed batch
+    let mut out = [0u64; 4];
+    for (slot, ev) in out.iter_mut().zip(EVENTS) {
+        *slot = counters::get(ev);
+    }
+    (out, fires)
+}
+
+#[test]
+fn packed_telemetry_totals_match_scalar() {
+    let rows = 9;
+    let mut wrng = StdRng::seed_from_u64(3);
+    for (case, &(mode, density)) in [
+        (SeiMode::SignedPorts, 0.0),
+        (SeiMode::SignedPorts, 0.4),
+        (SeiMode::SignedPorts, 1.0),
+        (SeiMode::DynamicThreshold, 0.2),
+        (SeiMode::DynamicThreshold, 0.8),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let wm = Matrix::from_vec(
+            rows,
+            3,
+            (0..rows * 3)
+                .map(|_| wrng.gen_range(-1.0f32..1.0))
+                .collect(),
+        );
+        let spec = DeviceSpec::default_4bit();
+        let cfg = SeiConfig::new(mode);
+        let mut brng = StdRng::seed_from_u64(11 + case as u64);
+        let xbar = SeiCrossbar::new(&spec, &wm, &[0.0, 0.0, 0.0], 0.1, &cfg, &mut brng);
+
+        let mut prng = StdRng::seed_from_u64(17 + case as u64);
+        let patterns: Vec<Vec<bool>> = (0..4)
+            .map(|_| (0..rows).map(|_| prng.gen_bool(density)).collect())
+            .collect();
+
+        let (packed, fires_p) = totals_for(&xbar, &patterns, KernelMode::Packed);
+        let (scalar, fires_s) = totals_for(&xbar, &patterns, KernelMode::Scalar);
+        assert_eq!(packed, scalar, "case {case}: counter totals diverged");
+        assert_eq!(fires_p, fires_s, "case {case}: fires diverged");
+        assert!(packed[0] > 0, "case {case}: no reads counted");
+    }
+}

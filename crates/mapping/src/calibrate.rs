@@ -25,7 +25,7 @@
 //!    measured mean active-input counts `ē_k`).
 
 use crate::arch::DesignConstraints;
-use crate::evaluate::{OnesStats, OutputHead, SplitNetwork};
+use crate::evaluate::{OnesStats, OutputHead, SplitNetwork, SplitScratch};
 use crate::homogenize::{self, GaConfig, Partition};
 use crate::split::{SplitSpec, VoteRule};
 use rand::rngs::StdRng;
@@ -263,10 +263,13 @@ pub fn split_error_rate(net: &SplitNetwork, data: &Dataset, engine: Engine) -> f
     let errors: usize = engine
         .map_chunks(data.images(), DEFAULT_CHUNK, |c, chunk| {
             let base = c * DEFAULT_CHUNK;
+            let mut scratch = SplitScratch::new();
             chunk
                 .iter()
                 .enumerate()
-                .filter(|(i, img)| net.classify(img) != labels[base + i] as usize)
+                .filter(|(i, img)| {
+                    net.classify_scratch(img, &mut scratch) != labels[base + i] as usize
+                })
                 .count()
         })
         .into_iter()
@@ -444,12 +447,18 @@ pub fn build_split_network(
             let correct: usize = engine
                 .map_chunks(&prefix, DEFAULT_CHUNK, |c, chunk| {
                     let base = c * DEFAULT_CHUNK;
+                    let mut scratch = SplitScratch::new();
                     chunk
                         .iter()
                         .enumerate()
                         .filter(|(j, v)| {
                             let scores = net
-                                .forward_range((*v).clone(), layer_idx, net.len())
+                                .forward_range_scratch(
+                                    (*v).clone(),
+                                    layer_idx,
+                                    net.len(),
+                                    &mut scratch,
+                                )
                                 .expect_analog();
                             scores.argmax() == labels[base + j] as usize
                         })

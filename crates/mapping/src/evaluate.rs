@@ -58,6 +58,30 @@ impl OnesStats {
     }
 }
 
+/// Reusable buffers for split-network forward passes: the conv patch and
+/// the per-column part sums / vote counts, hoisted out of the per-position
+/// loops so a steady-state forward performs no per-patch heap allocation.
+/// One scratch serves any sequence of images; hold one per evaluation
+/// thread ([`SplitNetwork::classify_scratch`]).
+#[derive(Debug, Default)]
+pub struct SplitScratch {
+    /// Conv patch bits (one per weight-matrix row).
+    patch: Vec<bool>,
+    /// Per-column sums of one part.
+    sums: Vec<f32>,
+    /// Per-column vote counts across parts.
+    counts: Vec<usize>,
+    /// im2col buffer for unsplit analog conv layers.
+    cols: Matrix,
+}
+
+impl SplitScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        SplitScratch::default()
+    }
+}
+
 /// One layer of a split network.
 #[derive(Debug, Clone)]
 enum SLayer {
@@ -310,7 +334,7 @@ impl SplitNetwork {
     ) -> QValue {
         assert!(start <= end && end <= self.layers.len(), "bad layer range");
         assert_eq!(stats.len(), self.split_indices.len());
-        self.forward_internal(value, start, end, Some(stats))
+        self.forward_internal(value, start, end, Some(stats), &mut SplitScratch::new())
     }
 
     /// Number of layers.
@@ -326,8 +350,20 @@ impl SplitNetwork {
     /// Full forward pass to class scores. For a split output layer the
     /// scores are vote counts (integers as `f32`).
     pub fn forward(&self, image: &Tensor3) -> Tensor3 {
-        self.forward_internal(QValue::Analog(image.clone()), 0, self.layers.len(), None)
-            .expect_analog()
+        self.forward_scratch(image, &mut SplitScratch::new())
+    }
+
+    /// Allocation-reusing [`forward`](Self::forward): hot loops hold one
+    /// [`SplitScratch`] per thread.
+    pub fn forward_scratch(&self, image: &Tensor3, scratch: &mut SplitScratch) -> Tensor3 {
+        self.forward_internal(
+            QValue::Analog(image.clone()),
+            0,
+            self.layers.len(),
+            None,
+            scratch,
+        )
+        .expect_analog()
     }
 
     /// Forward pass that also accumulates active-input statistics per split
@@ -339,6 +375,7 @@ impl SplitNetwork {
             0,
             self.layers.len(),
             Some(stats),
+            &mut SplitScratch::new(),
         )
         .expect_analog()
     }
@@ -353,7 +390,20 @@ impl SplitNetwork {
     /// match layer `start`'s expectation.
     pub fn forward_range(&self, value: QValue, start: usize, end: usize) -> QValue {
         assert!(start <= end && end <= self.layers.len(), "bad layer range");
-        self.forward_internal(value, start, end, None)
+        self.forward_internal(value, start, end, None, &mut SplitScratch::new())
+    }
+
+    /// [`forward_range`](Self::forward_range) with caller-owned buffers —
+    /// the calibration searches re-run suffixes thousands of times.
+    pub fn forward_range_scratch(
+        &self,
+        value: QValue,
+        start: usize,
+        end: usize,
+        scratch: &mut SplitScratch,
+    ) -> QValue {
+        assert!(start <= end && end <= self.layers.len(), "bad layer range");
+        self.forward_internal(value, start, end, None, scratch)
     }
 
     fn forward_internal(
@@ -362,6 +412,7 @@ impl SplitNetwork {
         start: usize,
         end: usize,
         mut stats: Option<&mut [OnesStats]>,
+        scratch: &mut SplitScratch,
     ) -> QValue {
         let mut v = value;
         // Count split layers before `start` so stats stay aligned.
@@ -372,7 +423,7 @@ impl SplitNetwork {
             .count();
         for layer in &self.layers[start..end] {
             v = match layer {
-                SLayer::Plain(q) => QuantizedNetwork::forward_layer(q, v),
+                SLayer::Plain(q) => QuantizedNetwork::forward_layer_with(q, v, &mut scratch.cols),
                 SLayer::SplitConv {
                     wm,
                     bias,
@@ -391,6 +442,7 @@ impl SplitNetwork {
                         spec,
                         &bits,
                         stats.as_deref_mut().map(|s| &mut s[split_no]),
+                        scratch,
                     );
                     split_no += 1;
                     QValue::Bits(out)
@@ -450,6 +502,11 @@ impl SplitNetwork {
     pub fn classify(&self, image: &Tensor3) -> usize {
         self.forward(image).argmax()
     }
+
+    /// Allocation-reusing [`classify`](Self::classify).
+    pub fn classify_scratch(&self, image: &Tensor3, scratch: &mut SplitScratch) -> usize {
+        self.forward_scratch(image, scratch).argmax()
+    }
 }
 
 fn check_partition(spec: &SplitSpec, rows: usize) {
@@ -479,6 +536,7 @@ fn split_conv_forward(
     spec: &SplitSpec,
     bits: &BitTensor,
     mut stats: Option<&mut OnesStats>,
+    scratch: &mut SplitScratch,
 ) -> BitTensor {
     assert_eq!(bits.channels(), in_ch, "conv input channels");
     let k = kernel;
@@ -495,8 +553,16 @@ fn split_conv_forward(
         }
     }
 
-    let mut patch = vec![false; wm.rows()];
-    let mut sums = vec![0.0f32; m];
+    let SplitScratch {
+        patch,
+        sums,
+        counts,
+        ..
+    } = scratch;
+    patch.clear();
+    patch.resize(wm.rows(), false);
+    sums.clear();
+    sums.resize(m, 0.0);
     for oy in 0..oh {
         for ox in 0..ow {
             // Gather patch bits in weight-matrix row order (i, ky, kx).
@@ -509,7 +575,8 @@ fn split_conv_forward(
                     }
                 }
             }
-            let mut counts = vec![0usize; m];
+            counts.clear();
+            counts.resize(m, 0);
             for (p, part) in spec.partitions.iter().enumerate() {
                 sums.iter_mut().for_each(|s| *s = 0.0);
                 let mut ones = 0usize;
@@ -703,7 +770,17 @@ mod tests {
         );
         let wm = conv.weight_matrix();
         let spec = SplitSpec::new(natural_order(4, 1));
-        let split = split_conv_forward(&wm, conv.bias(), theta, 2, 1, &spec, &bits, None);
+        let split = split_conv_forward(
+            &wm,
+            conv.bias(),
+            theta,
+            2,
+            1,
+            &spec,
+            &bits,
+            None,
+            &mut SplitScratch::new(),
+        );
         let dense = sei_quantize::qnet::conv_binary_preact(&conv, &bits);
         let direct = BitTensor::threshold(&dense, theta);
         assert_eq!(split, direct);

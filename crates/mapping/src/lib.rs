@@ -65,6 +65,6 @@ pub mod split;
 pub mod timing;
 
 pub use arch::{DesignConstraints, Structure};
-pub use evaluate::{OutputHead, SplitNetwork};
+pub use evaluate::{OutputHead, SplitNetwork, SplitScratch};
 pub use sei_engine::{Engine, SeiError};
 pub use split::{SplitSpec, VoteRule};

@@ -154,9 +154,18 @@ impl Conv2d {
     /// Extracts sliding patches: one row per output position `(y, x)` in
     /// row-major order, one column per patch element `(i, ky, kx)`.
     pub fn im2col(&self, x: &Tensor3) -> Matrix {
+        let mut m = Matrix::zeros(0, 0);
+        self.im2col_into(x, &mut m);
+        m
+    }
+
+    /// [`im2col`](Self::im2col) into a caller-owned matrix, reusing its
+    /// buffer capacity — training and eval loops call this once per image,
+    /// so reuse removes the largest per-image allocation.
+    pub fn im2col_into(&self, x: &Tensor3, m: &mut Matrix) {
         let (oh, ow) = self.out_hw(x);
         let cols = self.matrix_rows();
-        let mut m = Matrix::zeros(oh * ow, cols);
+        m.resize(oh * ow, cols);
         for oy in 0..oh {
             for ox in 0..ow {
                 let row = m.row_mut(oy * ow + ox);
@@ -171,7 +180,6 @@ impl Conv2d {
                 }
             }
         }
-        m
     }
 
     /// Forward pass.
@@ -186,8 +194,16 @@ impl Conv2d {
     /// Forward pass that also returns the im2col patch matrix (reused by the
     /// backward pass).
     pub fn forward_with_cols(&self, x: &Tensor3) -> (Tensor3, Matrix) {
+        let mut cols = Matrix::zeros(0, 0);
+        let y = self.forward_with_cols_into(x, &mut cols);
+        (y, cols)
+    }
+
+    /// [`forward_with_cols`](Self::forward_with_cols) with a caller-owned
+    /// im2col buffer.
+    pub fn forward_with_cols_into(&self, x: &Tensor3, cols: &mut Matrix) -> Tensor3 {
         let (oh, ow) = self.out_hw(x);
-        let cols = self.im2col(x);
+        self.im2col_into(x, cols);
         let rows = self.matrix_rows();
         let mut y = Tensor3::zeros(self.out_ch, oh, ow);
         for pos in 0..oh * ow {
@@ -201,7 +217,7 @@ impl Conv2d {
                 y.set(o, pos / ow, pos % ow, acc);
             }
         }
-        (y, cols)
+        y
     }
 
     /// Backward pass given the input `x`, the cached im2col matrix and the

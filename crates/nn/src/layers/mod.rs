@@ -77,16 +77,37 @@ impl Layer {
     /// Runs the layer forward, additionally returning the cache needed by
     /// [`Layer::backward`].
     pub fn forward_train(&self, x: &Tensor3) -> (Tensor3, LayerCache) {
+        let mut cache = LayerCache::None;
+        let y = self.forward_train_into(x, &mut cache);
+        (y, cache)
+    }
+
+    /// [`forward_train`](Self::forward_train) writing the cache in place —
+    /// a conv layer reuses the buffer of an existing
+    /// [`LayerCache::Conv`] im2col matrix instead of allocating a fresh
+    /// one per image (the training loop holds the caches across
+    /// iterations).
+    pub fn forward_train_into(&self, x: &Tensor3, cache: &mut LayerCache) -> Tensor3 {
         match self {
             Layer::Conv(c) => {
-                let (y, cols) = c.forward_with_cols(x);
-                (y, LayerCache::Conv(cols))
+                if let LayerCache::Conv(cols) = cache {
+                    c.forward_with_cols_into(x, cols)
+                } else {
+                    let mut cols = crate::tensor::Matrix::zeros(0, 0);
+                    let y = c.forward_with_cols_into(x, &mut cols);
+                    *cache = LayerCache::Conv(cols);
+                    y
+                }
             }
             Layer::Pool(p) => {
                 let (y, argmax) = p.forward(x);
-                (y, LayerCache::Pool(argmax))
+                *cache = LayerCache::Pool(argmax);
+                y
             }
-            other => (other.forward(x), LayerCache::None),
+            other => {
+                *cache = LayerCache::None;
+                other.forward(x)
+            }
         }
     }
 

@@ -92,14 +92,27 @@ impl Network {
     pub fn forward_train(&self, x: &Tensor3) -> (Vec<Tensor3>, Vec<LayerCache>, Tensor3) {
         let mut inputs = Vec::with_capacity(self.layers.len());
         let mut caches = Vec::with_capacity(self.layers.len());
+        let out = self.forward_train_into(x, &mut inputs, &mut caches);
+        (inputs, caches, out)
+    }
+
+    /// [`forward_train`](Self::forward_train) into caller-owned buffers:
+    /// the training loop passes the same `inputs`/`caches` every image, so
+    /// conv im2col matrices are reused instead of reallocated.
+    pub fn forward_train_into(
+        &self,
+        x: &Tensor3,
+        inputs: &mut Vec<Tensor3>,
+        caches: &mut Vec<LayerCache>,
+    ) -> Tensor3 {
+        inputs.clear();
+        caches.resize_with(self.layers.len(), || LayerCache::None);
         let mut cur = x.clone();
-        for l in &self.layers {
+        for (l, cache) in self.layers.iter().zip(caches.iter_mut()) {
             inputs.push(cur.clone());
-            let (y, cache) = l.forward_train(&cur);
-            caches.push(cache);
-            cur = y;
+            cur = l.forward_train_into(&cur, cache);
         }
-        (inputs, caches, cur)
+        cur
     }
 
     /// Classifies an input by logit argmax.

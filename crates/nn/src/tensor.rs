@@ -204,7 +204,7 @@ impl Tensor3 {
 /// let y = m.matvec(&[1.0, 1.0]);
 /// assert_eq!(y, vec![3.0, 7.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -281,13 +281,24 @@ impl Matrix {
     }
 
     /// Borrows row `r` as a slice.
+    #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutably borrows row `r`.
+    #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Reshapes the matrix to `rows × cols`, reusing the existing buffer
+    /// capacity. Contents are reset to zero.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Borrows the underlying row-major buffer.
@@ -311,7 +322,12 @@ impl Matrix {
         for (r, out) in y.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0;
+            // Skip zero inputs, like `vecmat`: binary activations make
+            // most of them zero.
             for (a, b) in row.iter().zip(x) {
+                if *b == 0.0 {
+                    continue;
+                }
                 acc += a * b;
             }
             *out = acc;

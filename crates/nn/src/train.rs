@@ -122,6 +122,11 @@ impl Trainer {
         let mut lr = self.cfg.learning_rate;
         let mut stats = Vec::with_capacity(self.cfg.epochs);
 
+        // Reused across every image: per-layer inputs and caches (conv
+        // layers keep their im2col buffer alive between iterations).
+        let mut inputs = Vec::new();
+        let mut caches = Vec::new();
+
         for epoch in 0..self.cfg.epochs {
             order.shuffle(&mut rng);
             let mut loss_sum = 0.0f64;
@@ -147,7 +152,7 @@ impl Trainer {
 
                 for &i in batch {
                     let (img, label) = data.sample(i);
-                    let (inputs, caches, logits) = net.forward_train(img);
+                    let logits = net.forward_train_into(img, &mut inputs, &mut caches);
                     if logits.argmax() != label as usize {
                         errors += 1;
                     }

@@ -12,7 +12,7 @@
 //! agree under an ideal device (an integration test enforces this).
 
 use crate::bits::BitTensor;
-use sei_nn::{Conv2d, Linear, Tensor3};
+use sei_nn::{Conv2d, Linear, Matrix, Tensor3};
 use serde::{Deserialize, Serialize};
 
 /// One layer of a quantized network.
@@ -188,10 +188,18 @@ impl QuantizedNetwork {
 
     /// Runs one layer.
     pub fn forward_layer(layer: &QLayer, value: QValue) -> QValue {
+        Self::forward_layer_with(layer, value, &mut Matrix::zeros(0, 0))
+    }
+
+    /// Runs one layer, reusing `cols` as the im2col patch buffer of an
+    /// analog conv layer (all other layer kinds ignore it). Evaluation
+    /// loops hold one buffer per thread instead of allocating a patch
+    /// matrix per image.
+    pub fn forward_layer_with(layer: &QLayer, value: QValue, cols: &mut Matrix) -> QValue {
         match layer {
             QLayer::AnalogConv { conv, threshold } => {
                 let x = value.expect_analog();
-                let pre = conv.forward(&x);
+                let pre = conv.forward_with_cols_into(&x, cols);
                 QValue::Bits(BitTensor::threshold(&pre, *threshold))
             }
             QLayer::BinaryConv { conv, threshold } => {
@@ -229,9 +237,15 @@ impl QuantizedNetwork {
     /// Panics if the layer sequence produces a type mismatch (e.g. a binary
     /// layer receiving an analog value).
     pub fn forward(&self, image: &Tensor3) -> Tensor3 {
+        self.forward_scratch(image, &mut Matrix::zeros(0, 0))
+    }
+
+    /// [`forward`](Self::forward) with a caller-owned im2col buffer for
+    /// the analog input conv.
+    pub fn forward_scratch(&self, image: &Tensor3, cols: &mut Matrix) -> Tensor3 {
         let mut v = QValue::Analog(image.clone());
         for l in &self.layers {
-            v = Self::forward_layer(l, v);
+            v = Self::forward_layer_with(l, v, cols);
         }
         v.expect_analog()
     }
@@ -251,6 +265,11 @@ impl QuantizedNetwork {
     /// Classifies an image by score argmax.
     pub fn classify(&self, image: &Tensor3) -> usize {
         self.forward(image).argmax()
+    }
+
+    /// [`classify`](Self::classify) with a caller-owned im2col buffer.
+    pub fn classify_scratch(&self, image: &Tensor3, cols: &mut Matrix) -> usize {
+        self.forward_scratch(image, cols).argmax()
     }
 }
 
