@@ -321,6 +321,7 @@ fn serve_sweep(scale: &sei_core::ExperimentScale) {
                     load: LoadModel::Poisson {
                         rate_rps: load_fraction * saturation,
                     },
+                    classes: Default::default(),
                     batch: BatchPolicy {
                         max_size: batch_max,
                         timeout_ns: 200_000,

@@ -1,0 +1,304 @@
+//! Offline summarizer for NDJSON run reports: per-class latency
+//! percentiles of serve sweeps, the per-layer/per-tile attribution
+//! breakdown, and an A-vs-B regression diff between two report files.
+//!
+//! ```sh
+//! # one file: sorted percentile + attribution summary
+//! cargo run --release -p sei-bench --bin sei-trace-report -- a.ndjson
+//! # two files: B relative to A, % deltas on tails, throughput, energy
+//! cargo run --release -p sei-bench --bin sei-trace-report -- a.ndjson b.ndjson
+//! ```
+//!
+//! Exit codes: `2` for usage errors (wrong argument count), `1` for
+//! unreadable or unparseable report files — the same contract as the
+//! strict `SEI_*` environment parsing.
+
+use sei_telemetry::json::{parse, Value};
+use std::collections::BTreeMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [a] => {
+            let rows = load(a);
+            summarize_serve(&rows);
+            summarize_attribution(&rows);
+        }
+        [a, b] => {
+            let rows_a = load(a);
+            let rows_b = load(b);
+            diff_serve(&rows_a, &rows_b);
+            diff_attribution(&rows_a, &rows_b);
+        }
+        _ => {
+            eprintln!("usage: sei-trace-report <report.ndjson> [candidate.ndjson]");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Reads one NDJSON file into parsed rows; any IO or parse failure is
+/// fatal (exit 1) with a message naming the file and line.
+fn load(path: &str) -> Vec<Value> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut rows = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse(line) {
+            Ok(v) => rows.push(v),
+            Err(e) => {
+                eprintln!("error: {path}:{}: {e}", lineno + 1);
+                std::process::exit(1);
+            }
+        }
+    }
+    rows
+}
+
+/// Identity of one serve grid point, used to pair rows across files and
+/// to sort the summary deterministically.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct ServeKey {
+    network: String,
+    replication: u64,
+    batch_max: u64,
+    /// Load fraction ×1000, kept integral so the key is `Ord`.
+    load_millis: u64,
+}
+
+impl ServeKey {
+    fn label(&self) -> String {
+        format!(
+            "{} r{} b{} {:.2}x",
+            self.network,
+            self.replication,
+            self.batch_max,
+            self.load_millis as f64 / 1000.0
+        )
+    }
+}
+
+fn serve_rows(rows: &[Value]) -> Vec<(ServeKey, &Value)> {
+    let mut out: Vec<(ServeKey, &Value)> = rows
+        .iter()
+        .filter(|r| r.get("experiment").and_then(Value::as_str) == Some("serve"))
+        .filter_map(|r| {
+            let measures = r.get("measures")?;
+            let key = ServeKey {
+                network: r.get("network")?.as_str()?.to_string(),
+                replication: r.get("replication")?.as_u64()?,
+                batch_max: r.get("batch_max")?.as_u64()?,
+                load_millis: (r.get("load_fraction")?.as_f64()? * 1000.0).round() as u64,
+            };
+            Some((key, measures))
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn get_u64(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn get_f64(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+fn summarize_serve(rows: &[Value]) {
+    let serve = serve_rows(rows);
+    if serve.is_empty() {
+        println!("no serve rows");
+        return;
+    }
+    println!("request-class latency percentiles");
+    println!(
+        "{:<26} {:>12} {:>10} {:>8} {:>10} {:>10} {:>10}",
+        "grid point", "class", "completed", "shed%", "p50 µs", "p95 µs", "p99 µs"
+    );
+    for (key, measures) in &serve {
+        let classes = match measures.get("classes") {
+            Some(Value::Arr(items)) => items.as_slice(),
+            _ => &[],
+        };
+        for class in classes {
+            let arrivals = get_u64(class, "arrivals");
+            let shed_pct = if arrivals == 0 {
+                0.0
+            } else {
+                get_u64(class, "shed") as f64 / arrivals as f64 * 100.0
+            };
+            println!(
+                "{:<26} {:>12} {:>10} {:>7.1}% {:>10.1} {:>10.1} {:>10.1}",
+                key.label(),
+                class.get("name").and_then(Value::as_str).unwrap_or("?"),
+                get_u64(class, "completed"),
+                shed_pct,
+                get_u64(class, "p50_ns") as f64 / 1e3,
+                get_u64(class, "p95_ns") as f64 / 1e3,
+                get_u64(class, "p99_ns") as f64 / 1e3,
+            );
+        }
+        if let Some(hist) = measures.get("latency_hist") {
+            println!(
+                "{:<26} {:>12} {:>10} {:>8} {:>10.1} {:>10.1} {:>10.1}",
+                "",
+                "(log-bucket)",
+                get_u64(hist, "count"),
+                "",
+                get_u64(hist, "p50") as f64 / 1e3,
+                get_u64(hist, "p95") as f64 / 1e3,
+                get_u64(hist, "p99") as f64 / 1e3,
+            );
+        }
+    }
+    println!();
+}
+
+/// Per-scope totals summed over every report row carrying an
+/// `attribution` section, plus the per-stage (per-layer) read/energy
+/// accounting of serve rows — a pure serve sweep never runs the
+/// crossbar simulator, so its layer breakdown lives in the pipeline
+/// stages rather than the counter scopes.
+fn attribution_totals(rows: &[Value]) -> BTreeMap<String, (u64, u64, f64)> {
+    let mut totals: BTreeMap<String, (u64, u64, f64)> = BTreeMap::new();
+    for row in rows {
+        if let Some(Value::Obj(scopes)) = row.get("attribution") {
+            for (label, entry) in scopes {
+                let t = totals.entry(label.clone()).or_insert((0, 0, 0.0));
+                t.0 += get_u64(entry, "crossbar_read_ops");
+                t.1 += get_u64(entry, "noise_draws") + get_u64(entry, "dac_conversions");
+                t.2 += get_f64(entry, "energy_pj");
+            }
+        }
+        let Some(measures) = row.get("measures") else {
+            continue;
+        };
+        let Some(Value::Arr(stages)) = measures.get("stages") else {
+            continue;
+        };
+        for (i, stage) in stages.iter().enumerate() {
+            let name = stage.get("name").and_then(Value::as_str).unwrap_or("?");
+            let label = format!("serve.s{i:02}.{name}");
+            let t = totals.entry(label).or_insert((0, 0, 0.0));
+            t.0 += get_u64(stage, "reads");
+            t.2 += get_f64(stage, "energy_j") * 1e12;
+        }
+    }
+    totals
+}
+
+fn summarize_attribution(rows: &[Value]) {
+    let totals = attribution_totals(rows);
+    if totals.is_empty() {
+        println!("no attribution rows");
+        return;
+    }
+    let energy_total: f64 = totals.values().map(|t| t.2).sum();
+    println!("per-layer / per-tile attribution (label order = network order)");
+    println!(
+        "{:<20} {:>14} {:>14} {:>14} {:>8}",
+        "scope", "reads", "draws+dacs", "energy pJ", "share"
+    );
+    for (label, (reads, aux, energy_pj)) in &totals {
+        println!(
+            "{:<20} {:>14} {:>14} {:>14.1} {:>7.1}%",
+            label,
+            reads,
+            aux,
+            energy_pj,
+            if energy_total > 0.0 {
+                energy_pj / energy_total * 100.0
+            } else {
+                0.0
+            }
+        );
+    }
+    println!();
+}
+
+fn pct_delta(a: f64, b: f64) -> String {
+    if a == 0.0 {
+        if b == 0.0 {
+            "0.0%".to_string()
+        } else {
+            "new".to_string()
+        }
+    } else {
+        format!("{:+.1}%", (b - a) / a * 100.0)
+    }
+}
+
+fn diff_serve(rows_a: &[Value], rows_b: &[Value]) {
+    let a: BTreeMap<ServeKey, &Value> = serve_rows(rows_a).into_iter().collect();
+    let b: BTreeMap<ServeKey, &Value> = serve_rows(rows_b).into_iter().collect();
+    let shared: Vec<&ServeKey> = a.keys().filter(|k| b.contains_key(k)).collect();
+    if shared.is_empty() {
+        println!("no shared serve grid points to diff");
+    } else {
+        println!("serve regression diff (candidate vs baseline)");
+        println!(
+            "{:<26} {:>10} {:>10} {:>10} {:>12} {:>12}",
+            "grid point", "p50", "p95", "p99", "goodput", "J/inf"
+        );
+        for key in shared {
+            let (ma, mb) = (a[key], b[key]);
+            println!(
+                "{:<26} {:>10} {:>10} {:>10} {:>12} {:>12}",
+                key.label(),
+                pct_delta(get_u64(ma, "p50_ns") as f64, get_u64(mb, "p50_ns") as f64),
+                pct_delta(get_u64(ma, "p95_ns") as f64, get_u64(mb, "p95_ns") as f64),
+                pct_delta(get_u64(ma, "p99_ns") as f64, get_u64(mb, "p99_ns") as f64),
+                pct_delta(get_f64(ma, "throughput_rps"), get_f64(mb, "throughput_rps")),
+                pct_delta(
+                    get_f64(ma, "energy_per_inference_j"),
+                    get_f64(mb, "energy_per_inference_j"),
+                ),
+            );
+        }
+    }
+    let only = |x: &BTreeMap<ServeKey, &Value>, y: &BTreeMap<ServeKey, &Value>| -> Vec<String> {
+        x.keys()
+            .filter(|k| !y.contains_key(k))
+            .map(ServeKey::label)
+            .collect()
+    };
+    for (name, missing) in [("baseline", only(&a, &b)), ("candidate", only(&b, &a))] {
+        if !missing.is_empty() {
+            println!("grid points only in {name}: {}", missing.join(", "));
+        }
+    }
+    println!();
+}
+
+fn diff_attribution(rows_a: &[Value], rows_b: &[Value]) {
+    let a = attribution_totals(rows_a);
+    let b = attribution_totals(rows_b);
+    if a.is_empty() && b.is_empty() {
+        println!("no attribution rows to diff");
+        return;
+    }
+    println!("attribution diff (candidate vs baseline)");
+    println!("{:<20} {:>12} {:>12}", "scope", "reads", "energy");
+    let labels: std::collections::BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+    let zero = (0u64, 0u64, 0.0f64);
+    for label in labels {
+        let ta = a.get(label).unwrap_or(&zero);
+        let tb = b.get(label).unwrap_or(&zero);
+        println!(
+            "{:<20} {:>12} {:>12}",
+            label,
+            pct_delta(ta.0 as f64, tb.0 as f64),
+            pct_delta(ta.2, tb.2),
+        );
+    }
+    println!();
+}

@@ -13,7 +13,11 @@
 //! `SEI_SERVE_QUEUE` (admission-queue capacity), `SEI_SERVE_TIMEOUT_US`
 //! (batch-former wait bound), `SEI_SERVE_DEADLINE_US` (0 disables
 //! deadline shedding), `SEI_SERVE_FAULT_RATE` (stuck-at rate injected
-//! into the bottleneck stage tile; 0 disables).
+//! into the bottleneck stage tile; 0 disables), `SEI_SERVE_CLASSES`
+//! (`name:weight,…` traffic mix; each grid point then reports per-class
+//! percentiles). With `SEI_TRACE=path.json` set, the sweep's span tree
+//! is written as a Chrome trace-event file (load it in `chrome://tracing`
+//! or Perfetto).
 //!
 //! With `SEI_REPORT_JSON` set, each grid point appends one
 //! `sei-serve-report/v1` NDJSON line. Every field in those lines is a
@@ -30,8 +34,8 @@ use sei_mapping::{DesignConstraints, Structure};
 use sei_nn::paper;
 use sei_nn::paper::PaperNetwork;
 use sei_serve::{
-    run_sweep, BatchPolicy, LoadModel, ServeConfig, ServiceProfile, SweepCell, SweepPoint,
-    SERVE_SCHEMA,
+    run_sweep, BatchPolicy, ClassMix, LoadModel, ServeConfig, ServiceProfile, SweepCell,
+    SweepPoint, SERVE_SCHEMA,
 };
 use sei_telemetry::json::Value;
 use sei_telemetry::{sei_warn, RunReport};
@@ -48,6 +52,11 @@ fn main() {
     let timeout_us: u64 = env_or("SEI_SERVE_TIMEOUT_US", "a batch timeout (µs)", 200);
     let deadline_us: u64 = env_or("SEI_SERVE_DEADLINE_US", "a deadline (µs, 0 = none)", 0);
     let fault_rate: f64 = env_or("SEI_SERVE_FAULT_RATE", "a stuck-at fraction", 0.0);
+    let classes: ClassMix = env_or(
+        "SEI_SERVE_CLASSES",
+        "a name:weight,... traffic mix",
+        ClassMix::default(),
+    );
     let seed = scale.seed;
 
     banner(&format!(
@@ -103,6 +112,7 @@ fn main() {
                         load: LoadModel::Poisson {
                             rate_rps: load_fraction * saturation,
                         },
+                        classes: classes.clone(),
                         batch: BatchPolicy {
                             max_size: batch_max,
                             timeout_ns: timeout_us.saturating_mul(1_000),
@@ -161,10 +171,45 @@ fn main() {
          bounded by the queue depth instead of growing without limit."
     );
 
+    if classes.len() > 1 {
+        banner("per-class tail latency (replication 1, largest batch)");
+        let batch_max = batches.iter().copied().max().unwrap_or(1);
+        println!(
+            "{:>6} {:>12} {:>10} {:>8} {:>10} {:>10} {:>10}",
+            "load", "class", "arrivals", "shed%", "p50 µs", "p95 µs", "p99 µs"
+        );
+        for p in points
+            .iter()
+            .filter(|p| p.replication == repls[0] && p.batch_max == batch_max)
+        {
+            for c in &p.report.classes {
+                let shed_pct = if c.arrivals == 0 {
+                    0.0
+                } else {
+                    c.shed as f64 / c.arrivals as f64 * 100.0
+                };
+                println!(
+                    "{:>5.2}x {:>12} {:>10} {:>7.1}% {:>10.1} {:>10.1} {:>10.1}",
+                    p.load_fraction,
+                    c.name,
+                    c.arrivals,
+                    shed_pct,
+                    c.latency.p50_ns as f64 / 1e3,
+                    c.latency.p95_ns as f64 / 1e3,
+                    c.latency.p99_ns as f64 / 1e3,
+                );
+            }
+        }
+        println!();
+    }
+
     for p in &points {
         if let Err(e) = point_report(which, seed, p).emit_env() {
             sei_warn!("failed to write serve report: {e}");
         }
+    }
+    if let Err(e) = sei_telemetry::trace::write_env() {
+        sei_warn!("failed to write trace: {e}");
     }
 }
 

@@ -183,6 +183,9 @@ pub fn emit_report(report: &mut RunReport) {
         Ok(_) => {}
         Err(e) => sei_warn!("failed to write run report: {e}"),
     }
+    if let Err(e) = sei_telemetry::trace::write_env() {
+        sei_warn!("failed to write trace: {e}");
+    }
 }
 
 /// Formats a fraction as a percent with two decimals.

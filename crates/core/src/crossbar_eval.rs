@@ -24,6 +24,9 @@ use sei_nn::data::Dataset;
 use sei_nn::{Matrix, Tensor3};
 use sei_quantize::bits::BitTensor;
 use sei_quantize::qnet::{QLayer, QuantizedNetwork};
+use sei_telemetry::attr::{self, ScopeId};
+use sei_telemetry::counters::{self, Event};
+use sei_telemetry::trace;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the crossbar-level simulation.
@@ -208,6 +211,8 @@ enum XLayer {
         dac: Dac,
         read_sigma: f64,
         geom: ConvGeom,
+        /// Attribution scope of the (single-tile) DAC layer.
+        scope: ScopeId,
     },
     /// Hidden conv on SEI crossbars (possibly split).
     HiddenConv {
@@ -215,12 +220,16 @@ enum XLayer {
         spec: SplitSpec,
         required: usize,
         geom: ConvGeom,
+        /// Attribution scope per part (tile).
+        scopes: Vec<ScopeId>,
     },
     /// Hidden FC on SEI crossbars (possibly split).
     HiddenFc {
         parts: Vec<SeiCrossbar>,
         spec: SplitSpec,
         required: usize,
+        /// Attribution scope per part (tile).
+        scopes: Vec<ScopeId>,
     },
     /// Output FC: analog margins (unsplit), ADC-summed part margins or
     /// vote counts (split, depending on the head).
@@ -229,6 +238,8 @@ enum XLayer {
         spec: SplitSpec,
         split: bool,
         head: OutputHead,
+        /// Attribution scope per part (tile).
+        scopes: Vec<ScopeId>,
     },
     /// OR pooling.
     PoolOr { size: usize },
@@ -247,6 +258,8 @@ enum XLayer {
 #[derive(Debug)]
 pub struct CrossbarNetwork {
     layers: Vec<XLayer>,
+    /// Per-layer display names (`l03.conv`, …) for trace scopes.
+    layer_names: Vec<String>,
     /// Base seed for per-chunk read-noise streams.
     noise_seed: u64,
     /// Total programming pulses spent building all arrays.
@@ -290,6 +303,27 @@ impl EvalScratch {
     pub fn new() -> Self {
         EvalScratch::default()
     }
+}
+
+/// Per-layer attribution/trace label, `l{layer:02}.{kind}` — zero-padded
+/// so the label-sorted breakdown lists layers in network order.
+fn layer_label(layer: usize, qlayer: &QLayer) -> String {
+    let kind = match qlayer {
+        QLayer::AnalogConv { .. } => "dac_conv",
+        QLayer::BinaryConv { .. } => "conv",
+        QLayer::BinaryFc { .. } => "fc",
+        QLayer::OutputFc { .. } => "out",
+        QLayer::PoolOr { .. } => "pool",
+        QLayer::Flatten => "flatten",
+    };
+    format!("l{layer:02}.{kind}")
+}
+
+/// Interns one attribution scope per tile: `{label}/t{tile:02}`.
+fn tile_scopes(label: &str, count: usize) -> Vec<ScopeId> {
+    (0..count)
+        .map(|k| attr::scope(&format!("{label}/t{k:02}")))
+        .collect()
 }
 
 /// Reconstructs a weight value the way the analog path would see it after
@@ -370,8 +404,10 @@ impl CrossbarNetwork {
         let mut write_pulses = 0u64;
         let mut fault_stats = FaultStats::default();
         let mut layers = Vec::with_capacity(qnet.layers().len());
+        let mut layer_names = Vec::with_capacity(qnet.layers().len());
 
         for (l, (layer, spec)) in qnet.layers().iter().zip(specs).enumerate() {
+            layer_names.push(layer_label(l, layer));
             match layer {
                 QLayer::AnalogConv { conv, threshold } => {
                     assert!(spec.is_none(), "cannot split the DAC-driven input layer");
@@ -422,6 +458,7 @@ impl CrossbarNetwork {
                             in_ch: conv.in_channels(),
                             kernel: conv.kernel(),
                         },
+                        scope: tile_scopes(layer_names.last().unwrap(), 1)[0],
                     });
                 }
                 QLayer::BinaryConv { conv, threshold } => {
@@ -442,6 +479,7 @@ impl CrossbarNetwork {
                         l,
                         &mut fault_stats,
                     );
+                    let scopes = tile_scopes(layer_names.last().unwrap(), parts.len());
                     layers.push(XLayer::HiddenConv {
                         parts,
                         spec,
@@ -450,6 +488,7 @@ impl CrossbarNetwork {
                             in_ch: conv.in_channels(),
                             kernel: conv.kernel(),
                         },
+                        scopes,
                     });
                 }
                 QLayer::BinaryFc { linear, threshold } => {
@@ -470,10 +509,12 @@ impl CrossbarNetwork {
                         l,
                         &mut fault_stats,
                     );
+                    let scopes = tile_scopes(layer_names.last().unwrap(), parts.len());
                     layers.push(XLayer::HiddenFc {
                         parts,
                         spec,
                         required,
+                        scopes,
                     });
                 }
                 QLayer::OutputFc { linear } => {
@@ -499,11 +540,13 @@ impl CrossbarNetwork {
                         l,
                         &mut fault_stats,
                     );
+                    let scopes = tile_scopes(layer_names.last().unwrap(), parts.len());
                     layers.push(XLayer::OutputFc {
                         parts,
                         spec,
                         split,
                         head: cfg.output_head,
+                        scopes,
                     });
                 }
                 QLayer::PoolOr { size } => layers.push(XLayer::PoolOr { size: *size }),
@@ -515,6 +558,7 @@ impl CrossbarNetwork {
         // fresh per-chunk streams derived from `noise_seed`.
         CrossbarNetwork {
             layers,
+            layer_names,
             noise_seed: cfg.seed.wrapping_add(1),
             write_pulses,
             fault_stats,
@@ -578,7 +622,8 @@ impl CrossbarNetwork {
             B(BitTensor),
         }
         let mut v = V::A(image.clone());
-        for layer in &self.layers {
+        for (li, layer) in self.layers.iter().enumerate() {
+            let _trace = trace::scope("layer", || self.layer_names[li].clone());
             v = match (layer, v) {
                 (
                     XLayer::FirstConv {
@@ -588,6 +633,7 @@ impl CrossbarNetwork {
                         dac,
                         read_sigma,
                         geom,
+                        scope,
                     },
                     V::A(img),
                 ) => {
@@ -598,6 +644,7 @@ impl CrossbarNetwork {
                         dac,
                         *read_sigma,
                         *geom,
+                        *scope,
                         &img,
                         rng,
                         &mut scratch.dac_patch,
@@ -610,20 +657,22 @@ impl CrossbarNetwork {
                         spec,
                         required,
                         geom,
+                        scopes,
                     },
                     V::B(bits),
                 ) => V::B(hidden_conv_forward(
-                    parts, spec, *required, *geom, &bits, rng, scratch,
+                    parts, spec, *required, *geom, scopes, &bits, rng, scratch,
                 )),
                 (
                     XLayer::HiddenFc {
                         parts,
                         spec,
                         required,
+                        scopes,
                     },
                     V::B(bits),
                 ) => {
-                    fc_part_counts(parts, spec, bits.as_slice(), rng, scratch);
+                    fc_part_counts(parts, spec, scopes, bits.as_slice(), rng, scratch);
                     let out: Vec<bool> = scratch.counts.iter().map(|&c| c >= *required).collect();
                     let n = out.len();
                     V::B(BitTensor::from_vec(n, 1, 1, out))
@@ -634,11 +683,12 @@ impl CrossbarNetwork {
                         spec,
                         split,
                         head,
+                        scopes,
                     },
                     V::B(bits),
                 ) => {
                     if *split && *head == OutputHead::Popcount {
-                        fc_part_counts(parts, spec, bits.as_slice(), rng, scratch);
+                        fc_part_counts(parts, spec, scopes, bits.as_slice(), rng, scratch);
                         V::A(Tensor3::from_flat(
                             scratch.counts.iter().map(|&c| c as f32).collect(),
                         ))
@@ -655,6 +705,7 @@ impl CrossbarNetwork {
                         totals.clear();
                         totals.resize(m, 0.0);
                         for (p, xbar) in parts.iter().enumerate() {
+                            read.set_scope(scopes[p]);
                             input.clear();
                             input.extend(spec.partitions[p].iter().map(|&r| bits.get(r, 0, 0)));
                             xbar.margins_into(input, rng, read, margins);
@@ -667,6 +718,7 @@ impl CrossbarNetwork {
                         ))
                     } else {
                         let EvalScratch { read, margins, .. } = &mut *scratch;
+                        read.set_scope(scopes[0]);
                         parts[0].margins_into(bits.as_slice(), rng, read, margins);
                         V::A(Tensor3::from_flat(
                             margins.iter().map(|&m| m as f32).collect(),
@@ -812,6 +864,8 @@ fn build_parts(
 
 /// First (input) layer: DAC-quantized pixels through the reconstructed
 /// analog matrix, aggregated column read noise, threshold firing.
+/// Telemetry (DAC conversions, noise draws) batches locally and flushes
+/// once per call — this layer runs once per image.
 #[allow(clippy::too_many_arguments)]
 fn first_conv_forward(
     recon: &Matrix,
@@ -820,6 +874,7 @@ fn first_conv_forward(
     dac: &Dac,
     read_sigma: f64,
     geom: ConvGeom,
+    scope: ScopeId,
     img: &Tensor3,
     rng: &mut StdRng,
     patch: &mut Vec<f64>,
@@ -832,6 +887,7 @@ fn first_conv_forward(
     let mut out = BitTensor::zeros(m, oh, ow);
     patch.clear();
     patch.resize(recon.rows(), 0.0);
+    let mut noise_draws = 0u64;
     for oy in 0..oh {
         for ox in 0..ow {
             let mut r = 0;
@@ -859,21 +915,34 @@ fn first_conv_forward(
                     let u2: f64 = rng.gen_range(0.0..1.0);
                     let g = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
                     acc += read_sigma * var.sqrt() * g;
+                    noise_draws += 1;
                 }
                 out.set(c, oy, ox, acc > f64::from(threshold));
             }
         }
     }
+    let dac_conversions = (oh * ow * recon.rows()) as u64;
+    counters::add(Event::DacConversions, dac_conversions);
+    counters::add(Event::NoiseDraws, noise_draws);
+    attr::add_many(
+        scope,
+        &[
+            (Event::DacConversions, dac_conversions),
+            (Event::NoiseDraws, noise_draws),
+        ],
+    );
     out
 }
 
 /// Hidden conv: per output position, route the patch bits to each part's
 /// crossbar and vote. Staging buffers live in `scratch`.
+#[allow(clippy::too_many_arguments)]
 fn hidden_conv_forward(
     parts: &[SeiCrossbar],
     spec: &SplitSpec,
     required: usize,
     geom: ConvGeom,
+    scopes: &[ScopeId],
     bits: &BitTensor,
     rng: &mut StdRng,
     scratch: &mut EvalScratch,
@@ -908,6 +977,7 @@ fn hidden_conv_forward(
             counts.clear();
             counts.resize(m, 0);
             for (p, xbar) in parts.iter().enumerate() {
+                read.set_scope(scopes[p]);
                 input.clear();
                 input.extend(spec.partitions[p].iter().map(|&row| patch[row]));
                 xbar.forward_into(input, rng, read, fires);
@@ -930,6 +1000,7 @@ fn hidden_conv_forward(
 fn fc_part_counts(
     parts: &[SeiCrossbar],
     spec: &SplitSpec,
+    scopes: &[ScopeId],
     bits: &[bool],
     rng: &mut StdRng,
     scratch: &mut EvalScratch,
@@ -945,6 +1016,7 @@ fn fc_part_counts(
     counts.clear();
     counts.resize(m, 0);
     for (p, xbar) in parts.iter().enumerate() {
+        read.set_scope(scopes[p]);
         input.clear();
         input.extend(spec.partitions[p].iter().map(|&row| bits[row]));
         xbar.forward_into(input, rng, read, fires);

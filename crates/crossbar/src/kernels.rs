@@ -35,6 +35,7 @@
 //! The original per-row scan is kept behind `SEI_KERNELS=scalar` as an
 //! escape hatch (and as the microbenchmark baseline).
 
+use sei_telemetry::attr::{self, ScopeId};
 use sei_telemetry::counters::{self, Event};
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -99,6 +100,27 @@ pub fn set_kernel_mode(mode: KernelMode) {
     MODE.store(v, Ordering::Relaxed);
 }
 
+/// Per-scope batch of read-path events, mirrored into the attribution
+/// registry on flush.
+#[derive(Debug, Default, Clone, Copy)]
+struct ScopedAcc {
+    read_ops: u64,
+    gate_switches: u64,
+    sense_fires: u64,
+    energy_fj: u64,
+    noise_draws: u64,
+}
+
+impl ScopedAcc {
+    fn is_zero(&self) -> bool {
+        self.read_ops == 0
+            && self.gate_switches == 0
+            && self.sense_fires == 0
+            && self.energy_fj == 0
+            && self.noise_draws == 0
+    }
+}
+
 /// Reusable per-evaluator buffers and batched telemetry for the SEI read
 /// path. One `ReadScratch` serves any number of crossbars of any shape —
 /// buffers are resized on use and the capacity high-water-marks.
@@ -108,6 +130,12 @@ pub fn set_kernel_mode(mode: KernelMode) {
 /// on drop, so the hot loop issues no atomic RMWs. Energy is rounded to
 /// integer femtojoules *per read* before accumulating — exactly what the
 /// unbatched path did — so totals are bit-identical to per-read flushing.
+///
+/// When the caller tags an attribution scope via
+/// [`set_scope`](ReadScratch::set_scope) (evaluators tag each layer/tile
+/// before its reads), the same events also accumulate into a small
+/// per-scope table, flushed into [`sei_telemetry::attr`] alongside the
+/// global counters — one registry lock per flush, not per event.
 #[derive(Debug, Default)]
 pub struct ReadScratch {
     /// Per-column running sums (kernel columns then reference).
@@ -120,12 +148,42 @@ pub struct ReadScratch {
     gate_switches: u64,
     sense_fires: u64,
     energy_fj: u64,
+    noise_draws: u64,
+    /// Index into `scoped` of the scope now receiving events, if any.
+    scope_idx: Option<usize>,
+    /// Per-scope accumulators (a handful of layers × tiles; linear scan).
+    scoped: Vec<(ScopeId, ScopedAcc)>,
 }
 
 impl ReadScratch {
     /// An empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         ReadScratch::default()
+    }
+
+    /// Routes subsequent events to attribution scope `scope` (in addition
+    /// to the global counters) until the next call. Cheap when the scope
+    /// is unchanged: one compare.
+    #[inline]
+    pub fn set_scope(&mut self, scope: ScopeId) {
+        if let Some(idx) = self.scope_idx {
+            if self.scoped[idx].0 == scope {
+                return;
+            }
+        }
+        let idx = match self.scoped.iter().position(|(s, _)| *s == scope) {
+            Some(idx) => idx,
+            None => {
+                self.scoped.push((scope, ScopedAcc::default()));
+                self.scoped.len() - 1
+            }
+        };
+        self.scope_idx = Some(idx);
+    }
+
+    #[inline]
+    fn scoped_acc(&mut self) -> Option<&mut ScopedAcc> {
+        self.scope_idx.map(|idx| &mut self.scoped[idx].1)
     }
 
     /// Records one read: `gated_on` transmission-gate switches and the
@@ -136,8 +194,12 @@ impl ReadScratch {
         self.read_ops += 1;
         self.gate_switches += gated_on;
         let fj = (energy_joules * 1e15).round();
-        if fj > 0.0 {
-            self.energy_fj += fj as u64;
+        let fj = if fj > 0.0 { fj as u64 } else { 0 };
+        self.energy_fj += fj;
+        if let Some(acc) = self.scoped_acc() {
+            acc.read_ops += 1;
+            acc.gate_switches += gated_on;
+            acc.energy_fj += fj;
         }
     }
 
@@ -145,11 +207,24 @@ impl ReadScratch {
     #[inline]
     pub(crate) fn note_sense_fires(&mut self, n: u64) {
         self.sense_fires += n;
+        if let Some(acc) = self.scoped_acc() {
+            acc.sense_fires += n;
+        }
     }
 
-    /// Flushes the batched events into the global telemetry counters and
-    /// zeroes the local accumulators. Evaluators call this once per image;
-    /// dropping the scratch flushes any remainder, so no events are lost.
+    /// Records `n` Gaussian read-noise draws.
+    #[inline]
+    pub(crate) fn note_noise_draws(&mut self, n: u64) {
+        self.noise_draws += n;
+        if let Some(acc) = self.scoped_acc() {
+            acc.noise_draws += n;
+        }
+    }
+
+    /// Flushes the batched events into the global telemetry counters (and
+    /// any scoped batches into the attribution registry) and zeroes the
+    /// local accumulators. Evaluators call this once per image; dropping
+    /// the scratch flushes any remainder, so no events are lost.
     pub fn flush(&mut self) {
         if self.read_ops > 0 {
             counters::add(Event::CrossbarReadOps, self.read_ops);
@@ -166,6 +241,26 @@ impl ReadScratch {
         if self.energy_fj > 0 {
             counters::add(Event::EnergyFemtojoules, self.energy_fj);
             self.energy_fj = 0;
+        }
+        if self.noise_draws > 0 {
+            counters::add(Event::NoiseDraws, self.noise_draws);
+            self.noise_draws = 0;
+        }
+        for (scope, acc) in &mut self.scoped {
+            if acc.is_zero() {
+                continue;
+            }
+            attr::add_many(
+                *scope,
+                &[
+                    (Event::CrossbarReadOps, acc.read_ops),
+                    (Event::GateSwitches, acc.gate_switches),
+                    (Event::SenseAmpFires, acc.sense_fires),
+                    (Event::EnergyFemtojoules, acc.energy_fj),
+                    (Event::NoiseDraws, acc.noise_draws),
+                ],
+            );
+            *acc = ScopedAcc::default();
         }
     }
 

@@ -698,9 +698,16 @@ impl SeiCrossbar {
     }
 
     /// The original per-row scan: fresh vectors per read, gate matching
-    /// per physical row, immediate (atomic) telemetry — kept verbatim as
-    /// the `SEI_KERNELS=scalar` escape hatch and microbenchmark baseline.
-    fn sums_scalar(&self, input: &[bool], noise: Option<&mut StdRng>) -> Vec<f64> {
+    /// per physical row — kept as the `SEI_KERNELS=scalar` escape hatch
+    /// and microbenchmark baseline. Telemetry batches into `scratch` like
+    /// the packed path (rounded to fJ per read, so totals are
+    /// bit-identical to the old immediate accounting).
+    fn sums_scalar(
+        &self,
+        input: &[bool],
+        noise: Option<&mut StdRng>,
+        scratch: &mut ReadScratch,
+    ) -> Vec<f64> {
         assert_eq!(
             input.len(),
             self.logical_inputs,
@@ -729,17 +736,21 @@ impl SeiCrossbar {
         }
         // Batched per read: one op, `gated_on` transmission-gate switches,
         // and mean-conductance read energy over the active cells.
-        counters::add(Event::CrossbarReadOps, 1);
-        counters::add(Event::GateSwitches, gated_on);
-        counters::add_energy_joules(active_rows as f64 * w as f64 * self.cell_read_energy);
+        scratch.note_read(
+            gated_on,
+            active_rows as f64 * w as f64 * self.cell_read_energy,
+        );
         if let Some(rng) = noise {
             if self.read_sigma > 0.0 {
+                let mut draws = 0u64;
                 for (s, &v) in sums.iter_mut().zip(&vars) {
                     let std = self.read_sigma * v.sqrt();
                     if std > 0.0 {
                         *s += std * gaussian(rng);
+                        draws += 1;
                     }
                 }
+                scratch.note_noise_draws(draws);
             }
         }
         sums
@@ -759,7 +770,7 @@ impl SeiCrossbar {
     ) {
         match mode {
             KernelMode::Scalar => {
-                let sums = self.sums_scalar(input, noise);
+                let sums = self.sums_scalar(input, noise, scratch);
                 scratch.sums.clear();
                 scratch.sums.extend_from_slice(&sums);
             }
@@ -788,12 +799,19 @@ impl SeiCrossbar {
                 );
                 if let Some(rng) = noise {
                     if self.read_sigma > 0.0 {
-                        for (s, &v) in scratch.sums.iter_mut().zip(&scratch.vars) {
-                            let std = self.read_sigma * v.sqrt();
-                            if std > 0.0 {
-                                *s += std * gaussian(rng);
+                        let mut draws = 0u64;
+                        // The borrow of sums/vars ends before noting draws.
+                        {
+                            let ReadScratch { sums, vars, .. } = scratch;
+                            for (s, &v) in sums.iter_mut().zip(vars.iter()) {
+                                let std = self.read_sigma * v.sqrt();
+                                if std > 0.0 {
+                                    *s += std * gaussian(rng);
+                                    draws += 1;
+                                }
                             }
                         }
+                        scratch.note_noise_draws(draws);
                     }
                 }
             }
@@ -838,10 +856,7 @@ impl SeiCrossbar {
         mode: KernelMode,
     ) {
         self.sums_into(input, Some(rng), scratch, mode);
-        match mode {
-            KernelMode::Packed => scratch.note_sense_fires(self.cols as u64),
-            KernelMode::Scalar => counters::add(Event::SenseAmpFires, self.cols as u64),
-        }
+        scratch.note_sense_fires(self.cols as u64);
         let reference = scratch.sums[self.cols];
         fires.clear();
         fires.reserve(self.cols);

@@ -421,7 +421,16 @@ impl SplitNetwork {
             .iter()
             .take_while(|&&i| i < start)
             .count();
-        for layer in &self.layers[start..end] {
+        for (off, layer) in self.layers[start..end].iter().enumerate() {
+            let _trace = sei_telemetry::trace::scope("layer", || {
+                let kind = match layer {
+                    SLayer::Plain(_) => "plain",
+                    SLayer::SplitConv { .. } => "conv",
+                    SLayer::SplitFc { output: true, .. } => "out",
+                    SLayer::SplitFc { .. } => "fc",
+                };
+                format!("split.l{:02}.{kind}", start + off)
+            });
             v = match layer {
                 SLayer::Plain(q) => QuantizedNetwork::forward_layer_with(q, v, &mut scratch.cols),
                 SLayer::SplitConv {

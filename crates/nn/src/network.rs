@@ -68,7 +68,9 @@ impl Network {
     /// Inference forward pass through all layers.
     pub fn forward(&self, x: &Tensor3) -> Tensor3 {
         let mut cur = x.clone();
-        for l in &self.layers {
+        for (i, l) in self.layers.iter().enumerate() {
+            let _trace =
+                sei_telemetry::trace::scope("layer", || format!("nn.l{i:02}.{}", l.kind_name()));
             cur = l.forward(&cur);
         }
         cur

@@ -15,9 +15,11 @@
 //!   [`sei_faults::FaultMap`] serves at reduced accuracy (degraded
 //!   completions are counted separately);
 //! * a **measurement layer** ([`metrics`]) — virtual-clock latency
-//!   percentiles, queue-depth and stage-occupancy traces, and shed/admit
-//!   counters wired into the [`sei_telemetry`] counter registry
-//!   (`requests_admitted`, `requests_shed`, `batches_formed`,
+//!   percentiles (globally, per request class of a seeded [`ClassMix`],
+//!   and as log-bucket [`sei_telemetry::hist`] histograms), queue-depth
+//!   and stage-occupancy traces with per-stage read/energy attribution,
+//!   and shed/admit counters wired into the [`sei_telemetry`] counter
+//!   registry (`requests_admitted`, `requests_shed`, `batches_formed`,
 //!   `queue_depth_peak`).
 //!
 //! Everything runs on a virtual clock (integer nanoseconds) with
@@ -48,6 +50,7 @@
 //!     load: LoadModel::Poisson {
 //!         rate_rps: 0.8 * profile.max_throughput_rps(),
 //!     },
+//!     classes: Default::default(),
 //!     batch: BatchPolicy { max_size: 4, timeout_ns: 10_000 },
 //!     queue_capacity: 64,
 //!     deadline_ns: 0,
@@ -68,8 +71,8 @@ pub mod profile;
 pub mod sim;
 pub mod sweep;
 
-pub use load::LoadModel;
-pub use metrics::{LatencyStats, ServeReport, StageStat};
+pub use load::{ClassMix, ClassSpec, LoadModel};
+pub use metrics::{ClassStat, HistSummary, LatencyStats, ServeReport, StageStat};
 pub use profile::{ServiceProfile, StageFault, StageProfile};
 pub use sim::{simulate, BatchPolicy, ServeConfig};
 pub use sweep::{run_sweep, SweepCell, SweepPoint};

@@ -7,6 +7,7 @@
 //! [`ServeReport::to_json`] renders the run as one insertion-ordered
 //! [`Value`] object for the `sei-serve-report/v1` NDJSON rows.
 
+use sei_telemetry::hist::Histogram;
 use sei_telemetry::json::Value;
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +52,71 @@ impl LatencyStats {
     }
 }
 
+/// Per-request-class measurements of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassStat {
+    /// Class name (from the configured [`crate::load::ClassMix`]).
+    pub name: String,
+    /// Arrivals assigned to this class.
+    pub arrivals: u64,
+    /// Arrivals of this class shed (backpressure + deadline).
+    pub shed: u64,
+    /// Completions of this class.
+    pub completed: u64,
+    /// Exact nearest-rank latency percentiles over this class's
+    /// completions.
+    pub latency: LatencyStats,
+}
+
+/// Byte-stable rendering of a [`Histogram`]: count, log-bucket
+/// percentiles, and the sparse non-empty buckets as `(lower bound,
+/// count)` pairs. Rebuilding a histogram from `buckets` reproduces the
+/// same buckets and quantiles, so the summary is lossless at bucket
+/// resolution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct HistSummary {
+    /// Recorded samples.
+    pub count: u64,
+    /// Median (bucket lower bound).
+    pub p50: u64,
+    /// 95th percentile (bucket lower bound).
+    pub p95: u64,
+    /// 99th percentile (bucket lower bound).
+    pub p99: u64,
+    /// `(bucket lower bound, count)` for every non-empty bucket.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSummary {
+    /// Summarizes a histogram.
+    pub fn from_hist(h: &Histogram) -> HistSummary {
+        HistSummary {
+            count: h.count(),
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+            buckets: h.nonzero_buckets(),
+        }
+    }
+
+    /// Renders the summary as an insertion-ordered JSON object with
+    /// `buckets` as an array of `[lower_bound, count]` pairs.
+    pub fn to_json(&self) -> Value {
+        let mut o = Value::obj();
+        o.set("count", Value::UInt(self.count));
+        o.set("p50", Value::UInt(self.p50));
+        o.set("p95", Value::UInt(self.p95));
+        o.set("p99", Value::UInt(self.p99));
+        let buckets = self
+            .buckets
+            .iter()
+            .map(|&(lo, n)| Value::Arr(vec![Value::UInt(lo), Value::UInt(n)]))
+            .collect();
+        o.set("buckets", Value::Arr(buckets));
+        o
+    }
+}
+
 /// Utilization of one pipeline stage over the run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StageStat {
@@ -60,6 +126,16 @@ pub struct StageStat {
     pub busy_ns: u64,
     /// Busy time over run time, in `[0, 1]`.
     pub occupancy: f64,
+    /// Crossbar replication factor behind the stage.
+    #[serde(default)]
+    pub replication: u64,
+    /// Crossbar reads performed by this stage over the run (per-inference
+    /// reads × completions).
+    #[serde(default)]
+    pub reads: u64,
+    /// Energy attributed to this stage over the run (J).
+    #[serde(default)]
+    pub energy_j: f64,
 }
 
 /// Everything one serving simulation measured.
@@ -94,8 +170,18 @@ pub struct ServeReport {
     pub peak_queue_depth: u64,
     /// Time-weighted mean queue depth.
     pub mean_queue_depth: f64,
-    /// Per-stage utilization.
+    /// Per-stage utilization and run-level read/energy attribution.
     pub stages: Vec<StageStat>,
+    /// Per-request-class arrivals/shed/completions and exact latency
+    /// percentiles, in mix declaration order.
+    #[serde(default)]
+    pub classes: Vec<ClassStat>,
+    /// Log-bucket completion-latency histogram (ns).
+    #[serde(default)]
+    pub latency_hist: HistSummary,
+    /// Log-bucket formed-batch-size histogram.
+    #[serde(default)]
+    pub batch_hist: HistSummary,
     /// Total inference energy spent (J): completions × energy/inference.
     pub energy_j: f64,
     /// Goodput: completions per second of virtual run time.
@@ -164,10 +250,33 @@ impl ServeReport {
                 so.set("name", Value::Str(s.name.clone()));
                 so.set("busy_ns", Value::UInt(s.busy_ns));
                 so.set("occupancy", Value::Float(s.occupancy));
+                so.set("replication", Value::UInt(s.replication));
+                so.set("reads", Value::UInt(s.reads));
+                so.set("energy_j", Value::Float(s.energy_j));
                 so
             })
             .collect();
         o.set("stages", Value::Arr(stages));
+        let classes = self
+            .classes
+            .iter()
+            .map(|c| {
+                let mut co = Value::obj();
+                co.set("name", Value::Str(c.name.clone()));
+                co.set("arrivals", Value::UInt(c.arrivals));
+                co.set("shed", Value::UInt(c.shed));
+                co.set("completed", Value::UInt(c.completed));
+                co.set("p50_ns", Value::UInt(c.latency.p50_ns));
+                co.set("p95_ns", Value::UInt(c.latency.p95_ns));
+                co.set("p99_ns", Value::UInt(c.latency.p99_ns));
+                co.set("max_ns", Value::UInt(c.latency.max_ns));
+                co.set("mean_latency_ns", Value::Float(c.latency.mean_ns));
+                co
+            })
+            .collect();
+        o.set("classes", Value::Arr(classes));
+        o.set("latency_hist", self.latency_hist.to_json());
+        o.set("batch_hist", self.batch_hist.to_json());
         o
     }
 }
@@ -219,7 +328,19 @@ mod tests {
                 name: "conv1".into(),
                 busy_ns: 900_000,
                 occupancy: 0.9,
+                replication: 2,
+                reads: 1800,
+                energy_j: 4e-6,
             }],
+            classes: vec![ClassStat {
+                name: "all".into(),
+                arrivals: 10,
+                shed: 1,
+                completed: 9,
+                latency: LatencyStats::default(),
+            }],
+            latency_hist: HistSummary::default(),
+            batch_hist: HistSummary::default(),
             energy_j: 9e-6,
             throughput_rps: 8181.8,
         };
@@ -228,7 +349,29 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.contains("\"shed_full\":1"), "{a}");
         assert!(a.contains("\"peak_queue_depth\":4"), "{a}");
+        assert!(a.contains("\"replication\":2"), "{a}");
+        assert!(a.contains("\"classes\":[{\"name\":\"all\""), "{a}");
+        assert!(a.contains("\"latency_hist\":{\"count\":0"), "{a}");
         assert!((report.shed_rate() - 0.1).abs() < 1e-12);
         assert!((report.energy_per_inference_j() - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn hist_summary_is_lossless_at_bucket_resolution() {
+        let mut h = Histogram::new();
+        for v in [5u64, 5, 90, 1200, 1200, 1200, 700_000] {
+            h.record(v);
+        }
+        let s = HistSummary::from_hist(&h);
+        assert_eq!(s.count, 7);
+        let mut rebuilt = Histogram::new();
+        for &(lo, n) in &s.buckets {
+            rebuilt.record_n(lo, n);
+        }
+        let r = HistSummary::from_hist(&rebuilt);
+        assert_eq!((r.p50, r.p95, r.p99), (s.p50, s.p95, s.p99));
+        let json = s.to_json().to_json();
+        assert!(json.starts_with("{\"count\":7,\"p50\":"), "{json}");
+        assert!(json.contains("\"buckets\":[["), "{json}");
     }
 }

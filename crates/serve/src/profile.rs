@@ -47,17 +47,29 @@ pub struct StageProfile {
     pub service_ns: f64,
     /// Crossbar replication factor behind this stage.
     pub replication: usize,
+    /// Crossbar read (compute) operations per inference across the
+    /// stage's replicated tiles — `cycles × replication` of the timing
+    /// analysis, so it is replication-invariant for a fixed layer.
+    #[serde(default)]
+    pub reads: u64,
+    /// Energy per inference attributable to this stage (J), from the
+    /// layer's cost breakdown.
+    #[serde(default)]
+    pub energy_j: f64,
     /// Stuck-at fault burden of the tile, if it is fault-degraded.
     pub fault: Option<StageFault>,
 }
 
 impl StageProfile {
-    /// A healthy stage with unit replication.
+    /// A healthy stage with unit replication and no attributed
+    /// reads/energy (synthetic profiles, tests).
     pub fn new(name: &str, service_ns: f64) -> StageProfile {
         StageProfile {
             name: name.to_string(),
             service_ns,
             replication: 1,
+            reads: 0,
+            energy_j: 0.0,
             fault: None,
         }
     }
@@ -83,15 +95,19 @@ impl ServiceProfile {
 
     /// Derives the profile of a mapped design: stage service times from
     /// the timing analysis (replication folded in), per-inference energy
-    /// from the cost report.
+    /// from the cost report — both in total and attributed per stage,
+    /// since timing and cost analyze the same plan layer-by-layer.
     pub fn from_design(timing: &DesignTiming, cost: &CostReport) -> ServiceProfile {
         let stages = timing
             .layers
             .iter()
-            .map(|l| StageProfile {
+            .zip(&cost.layers)
+            .map(|(l, c)| StageProfile {
                 name: l.name.clone(),
                 service_ns: l.latency_ns,
                 replication: l.replication,
+                reads: l.cycles.saturating_mul(l.replication as u64),
+                energy_j: c.total_energy(),
                 fault: None,
             })
             .collect();

@@ -29,11 +29,13 @@
 //! stream, and no wall-clock or thread-dependent quantity enters the
 //! state, so `simulate` is a pure function of `(profile, config)`.
 
-use crate::load::{ArrivalGen, LoadModel};
-use crate::metrics::{LatencyStats, ServeReport, StageStat};
+use crate::load::{ArrivalGen, ClassMix, LoadModel};
+use crate::metrics::{ClassStat, HistSummary, LatencyStats, ServeReport, StageStat};
 use crate::profile::ServiceProfile;
 use sei_engine::SeiError;
 use sei_telemetry::counters::{self, Event};
+use sei_telemetry::hist::Histogram;
+use sei_telemetry::trace;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -48,10 +50,14 @@ pub struct BatchPolicy {
 }
 
 /// Configuration of one serving run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeConfig {
     /// Offered-load model.
     pub load: LoadModel,
+    /// Request-class mix; arrivals are assigned classes by a stateless
+    /// seeded draw and reported per class. Defaults to one class `all`.
+    #[serde(default)]
+    pub classes: ClassMix,
     /// Batch-formation policy.
     pub batch: BatchPolicy,
     /// Admission-queue capacity (requests beyond it are shed).
@@ -88,6 +94,9 @@ impl ServeConfig {
                 "duration_ns",
                 "must be positive",
             ));
+        }
+        if let Err(msg) = self.classes.check() {
+            return Err(SeiError::invalid_config("ServeConfig", "classes", msg));
         }
         let min_rate = self.load.min_rps();
         if !(min_rate > 0.0 && min_rate.is_finite()) {
@@ -152,10 +161,10 @@ const EV_ARRIVAL: u64 = 0;
 const EV_TIMER: u64 = 1;
 const EV_STAGE_BASE: u64 = 2;
 
-/// A batch in flight: the arrival times of its requests plus whether it
-/// has traversed any fault-degraded stage so far.
+/// A batch in flight: the `(arrival time, class)` of its requests plus
+/// whether it has traversed any fault-degraded stage so far.
 struct Batch {
-    arrivals: Vec<u64>,
+    arrivals: Vec<(u64, u16)>,
     degraded: bool,
 }
 
@@ -171,7 +180,7 @@ struct Sim<'a> {
     heap: BinaryHeap<Reverse<(u64, u64, u64)>>,
     seq: u64,
     gen: ArrivalGen,
-    queue: VecDeque<u64>,
+    queue: VecDeque<(u64, u16)>,
     slots: Vec<Slot>,
     busy_ns: Vec<u64>,
     inflight: u64,
@@ -189,6 +198,12 @@ struct Sim<'a> {
     depth_area: f64,
     last_depth_at: u64,
     end_ns: u64,
+    // per-class and distribution measurement
+    class_arrivals: Vec<u64>,
+    class_shed: Vec<u64>,
+    class_latencies: Vec<Vec<u64>>,
+    latency_hist: Histogram,
+    batch_hist: Histogram,
 }
 
 impl<'a> Sim<'a> {
@@ -217,6 +232,11 @@ impl<'a> Sim<'a> {
             depth_area: 0.0,
             last_depth_at: 0,
             end_ns: 0,
+            class_arrivals: vec![0; cfg.classes.len()],
+            class_shed: vec![0; cfg.classes.len()],
+            class_latencies: vec![Vec::new(); cfg.classes.len()],
+            latency_hist: Histogram::new(),
+            batch_hist: Histogram::new(),
         }
     }
 
@@ -249,16 +269,22 @@ impl<'a> Sim<'a> {
     }
 
     fn on_arrival(&mut self, now: u64) {
+        // Class is a pure function of (seed, arrival index): the stream
+        // is identical whatever the thread count or event interleaving.
+        let class = self.cfg.classes.pick(self.cfg.seed, self.arrivals);
         self.arrivals += 1;
+        self.class_arrivals[class as usize] += 1;
         if self.queue.len() >= self.cfg.queue_capacity {
             self.shed_full += 1;
+            self.class_shed[class as usize] += 1;
         } else if self.cfg.deadline_ns > 0
             && self.predicted_latency_ns() > self.cfg.deadline_ns as f64
         {
             self.shed_deadline += 1;
+            self.class_shed[class as usize] += 1;
         } else {
             self.note_depth(now);
-            self.queue.push_back(now);
+            self.queue.push_back((now, class));
             self.peak_depth = self.peak_depth.max(self.queue.len() as u64);
             self.push(now.saturating_add(self.cfg.batch.timeout_ns), EV_TIMER);
             self.admitted += 1;
@@ -276,16 +302,17 @@ impl<'a> Sim<'a> {
         if self.slots[0].batch.is_some() || self.queue.is_empty() {
             return;
         }
-        let oldest_wait = now - *self.queue.front().expect("queue is non-empty");
+        let oldest_wait = now - self.queue.front().expect("queue is non-empty").0;
         if self.queue.len() < self.cfg.batch.max_size && oldest_wait < self.cfg.batch.timeout_ns {
             return;
         }
         let take = self.queue.len().min(self.cfg.batch.max_size);
         self.note_depth(now);
-        let arrivals: Vec<u64> = self.queue.drain(..take).collect();
+        let arrivals: Vec<(u64, u16)> = self.queue.drain(..take).collect();
         self.inflight += take as u64;
         self.batches += 1;
         self.batch_items += take as u64;
+        self.batch_hist.record(take as u64);
         let svc = self.service_ns(0, take);
         self.busy_ns[0] += svc;
         self.slots[0] = Slot {
@@ -311,8 +338,11 @@ impl<'a> Sim<'a> {
                 let batch = self.slots[s].batch.take().expect("done slot holds a batch");
                 self.slots[s].done = false;
                 let n = batch.arrivals.len() as u64;
-                for a in &batch.arrivals {
-                    self.latencies.push(now - *a);
+                for &(a, class) in &batch.arrivals {
+                    let latency = now - a;
+                    self.latencies.push(latency);
+                    self.latency_hist.record(latency);
+                    self.class_latencies[class as usize].push(latency);
                 }
                 self.completed += n;
                 self.inflight -= n;
@@ -367,6 +397,25 @@ impl<'a> Sim<'a> {
                 name: p.name.clone(),
                 busy_ns: busy,
                 occupancy: busy as f64 / end.max(1) as f64,
+                replication: p.replication as u64,
+                reads: p.reads.saturating_mul(self.completed),
+                energy_j: p.energy_j * self.completed as f64,
+            })
+            .collect();
+        let classes = self
+            .cfg
+            .classes
+            .classes
+            .iter()
+            .zip(&self.class_arrivals)
+            .zip(&self.class_shed)
+            .zip(&mut self.class_latencies)
+            .map(|(((spec, &arrivals), &shed), latencies)| ClassStat {
+                name: spec.name.clone(),
+                arrivals,
+                shed,
+                completed: latencies.len() as u64,
+                latency: LatencyStats::compute(latencies),
             })
             .collect();
         let shed = self.shed_full + self.shed_deadline;
@@ -396,6 +445,9 @@ impl<'a> Sim<'a> {
             peak_queue_depth: self.peak_depth,
             mean_queue_depth: self.depth_area / end.max(1) as f64,
             stages,
+            classes,
+            latency_hist: HistSummary::from_hist(&self.latency_hist),
+            batch_hist: HistSummary::from_hist(&self.batch_hist),
             energy_j,
             throughput_rps: self.completed as f64 / (end.max(1) as f64 / 1e9),
         }
@@ -408,6 +460,14 @@ impl<'a> Sim<'a> {
 /// Pure in `(profile, cfg)`: bit-identical on every call, at any thread
 /// count, because all state lives on the virtual clock.
 pub fn simulate(profile: &ServiceProfile, cfg: &ServeConfig) -> Result<ServeReport, SeiError> {
+    let _trace = trace::scope("serve", || {
+        format!(
+            "simulate rps={:.0} batch={} seed={}",
+            cfg.load.mean_rps(),
+            cfg.batch.max_size,
+            cfg.seed
+        )
+    });
     cfg.validate()?;
     validate_profile(profile)?;
     let mut sim = Sim::new(profile, cfg);
@@ -438,6 +498,7 @@ mod tests {
             load: LoadModel::Poisson {
                 rate_rps: rate_mult * 1e6,
             },
+            classes: ClassMix::default(),
             batch: BatchPolicy {
                 max_size: 8,
                 timeout_ns: 20_000,
@@ -566,6 +627,61 @@ mod tests {
             "bottleneck stage must be busiest: {:?}",
             r.stages
         );
+    }
+
+    #[test]
+    fn class_mix_partitions_every_counter() {
+        let p = profile();
+        let mut cfg = config(1.4); // overload so shedding engages
+        cfg.classes = "interactive:3,batch:1".parse().unwrap();
+        let r = simulate(&p, &cfg).unwrap();
+        assert_eq!(r.classes.len(), 2);
+        assert_eq!(r.classes[0].name, "interactive");
+        // Class counters partition the global ones exactly.
+        assert_eq!(
+            r.classes.iter().map(|c| c.arrivals).sum::<u64>(),
+            r.arrivals
+        );
+        assert_eq!(r.classes.iter().map(|c| c.shed).sum::<u64>(), r.shed());
+        assert_eq!(
+            r.classes.iter().map(|c| c.completed).sum::<u64>(),
+            r.completed
+        );
+        // The 3:1 mix shows up in the assignment.
+        let frac = r.classes[0].arrivals as f64 / r.arrivals as f64;
+        assert!((frac - 0.75).abs() < 0.05, "interactive fraction {frac}");
+        // Classes share the queue, so their percentiles are comparable.
+        assert!(r
+            .classes
+            .iter()
+            .all(|c| c.latency.p99_ns <= r.latency.max_ns));
+        // Single-class runs report the default class without a draw and
+        // match the global stats exactly.
+        let plain = simulate(&p, &config(1.4)).unwrap();
+        assert_eq!(plain.classes.len(), 1);
+        assert_eq!(plain.classes[0].latency, plain.latency);
+        // The classed run's global measurements are identical to the
+        // unclassed run's: class assignment must not perturb the sim.
+        assert_eq!(plain.latency, r.latency);
+        assert_eq!(plain.completed, r.completed);
+    }
+
+    #[test]
+    fn histograms_match_exact_stats() {
+        let p = profile();
+        let r = simulate(&p, &config(0.9)).unwrap();
+        assert_eq!(r.latency_hist.count, r.completed);
+        assert_eq!(r.batch_hist.count, r.batches);
+        // Log-bucket percentiles are lower bounds within 12.5% of exact.
+        assert!(r.latency_hist.p50 <= r.latency.p50_ns);
+        assert!(r.latency_hist.p50 as f64 >= r.latency.p50_ns as f64 * 0.875 - 1.0);
+        assert!(r.latency_hist.p99 <= r.latency.p99_ns);
+        let batch_total: u64 = r.batch_hist.buckets.iter().map(|&(_, n)| n).sum();
+        assert_eq!(batch_total, r.batches);
+        // Invalid mixes are rejected up front.
+        let mut bad = config(0.9);
+        bad.classes = ClassMix { classes: vec![] };
+        assert!(simulate(&p, &bad).is_err());
     }
 
     #[test]

@@ -93,6 +93,7 @@ mod tests {
                     load: LoadModel::Poisson {
                         rate_rps: load * profile.max_throughput_rps(),
                     },
+                    classes: Default::default(),
                     batch: BatchPolicy {
                         max_size: batch,
                         timeout_ns: 10_000,

@@ -41,6 +41,20 @@ fn profile_matches_timing_analysis() {
     assert!((profile.max_throughput_rps() - timing.throughput_pps()).abs() < 1e-9);
     assert!((profile.pipeline_fill_ns() - timing.latency_ns()).abs() < 1e-9);
     assert!((profile.energy_per_inference_j - cost.total_energy_j()).abs() < 1e-18);
+    // Per-stage attribution: reads come from the timing cycles with the
+    // replication factor folded back out, energy from the per-layer cost
+    // rows (which sum to the total minus the input-fetch share).
+    for (stage, layer) in profile.stages.iter().zip(&timing.layers) {
+        assert_eq!(stage.reads, layer.cycles * layer.replication as u64);
+        assert!(stage.reads > 0, "{stage:?}");
+        assert!(stage.energy_j > 0.0, "{stage:?}");
+    }
+    let per_stage: f64 = profile.stages.iter().map(|s| s.energy_j).sum();
+    assert!(
+        per_stage <= profile.energy_per_inference_j,
+        "stage energies {per_stage} exceed total {}",
+        profile.energy_per_inference_j
+    );
 }
 
 fn sweep_grid() -> Vec<SweepCell> {
@@ -59,6 +73,7 @@ fn sweep_grid() -> Vec<SweepCell> {
                         load: LoadModel::Poisson {
                             rate_rps: load * saturation,
                         },
+                        classes: "interactive:4,batch:1".parse().unwrap(),
                         batch: BatchPolicy {
                             max_size: batch_max,
                             timeout_ns: 200_000,
@@ -146,6 +161,7 @@ proptest! {
             load: LoadModel::Poisson {
                 rate_rps: load_mult * profile.max_throughput_rps(),
             },
+            classes: "a:2,b:1".parse().unwrap(),
             batch: BatchPolicy {
                 max_size: batch_max,
                 timeout_ns: timeout_us * 1000,
@@ -159,6 +175,16 @@ proptest! {
         prop_assert_eq!(r.arrivals, r.admitted + r.shed_full + r.shed_deadline);
         prop_assert_eq!(r.completed, r.admitted);
         prop_assert!(r.peak_queue_depth as usize <= capacity);
+        // Conservation holds per class too, and the class rows partition
+        // the global counters.
+        prop_assert_eq!(r.classes.iter().map(|c| c.arrivals).sum::<u64>(), r.arrivals);
+        prop_assert_eq!(r.classes.iter().map(|c| c.shed).sum::<u64>(), r.shed());
+        prop_assert_eq!(r.classes.iter().map(|c| c.completed).sum::<u64>(), r.completed);
+        for c in &r.classes {
+            prop_assert_eq!(c.arrivals, c.shed + c.completed);
+        }
+        prop_assert_eq!(r.latency_hist.count, r.completed);
+        prop_assert_eq!(r.batch_hist.count, r.batches);
         prop_assert!(r.latency.p50_ns <= r.latency.p95_ns);
         prop_assert!(r.latency.p95_ns <= r.latency.p99_ns);
         prop_assert!(r.latency.p99_ns <= r.latency.max_ns);

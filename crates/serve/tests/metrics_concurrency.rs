@@ -1,0 +1,120 @@
+//! Concurrency contract of the max-merged serve counters.
+//!
+//! `queue_depth_peak` is written with `counters::record_max`, a CAS loop
+//! over concurrently simulated sweep cells. Max-merge is commutative and
+//! associative, so the recorded peak must be exactly the max over the
+//! cells' individual peaks — at any thread count, under any
+//! interleaving. This lives in its own integration-test binary so the
+//! process-global counter registry is not raced by unrelated tests.
+
+use sei_engine::Engine;
+use sei_serve::{
+    run_sweep, BatchPolicy, LoadModel, ServeConfig, ServiceProfile, StageProfile, SweepCell,
+};
+use sei_telemetry::counters::{self, Event};
+use std::sync::Mutex;
+
+/// Both tests mutate the process-global counter registry; serialize them.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// A grid whose cells reach visibly different queue peaks: overload
+/// fractions climb well past saturation at several queue capacities.
+fn grid() -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for &load in &[0.5f64, 1.3, 2.0, 3.0] {
+        for &capacity in &[8usize, 32, 128] {
+            let profile = ServiceProfile::new(
+                vec![
+                    StageProfile::new("conv", 900.0),
+                    StageProfile::new("fc", 300.0),
+                ],
+                1e-6,
+            );
+            let config = ServeConfig {
+                load: LoadModel::Poisson {
+                    rate_rps: load * profile.max_throughput_rps(),
+                },
+                classes: Default::default(),
+                batch: BatchPolicy {
+                    max_size: 4,
+                    timeout_ns: 50_000,
+                },
+                queue_capacity: capacity,
+                deadline_ns: 0,
+                duration_ns: 10_000_000,
+                seed: 17,
+            };
+            cells.push(SweepCell {
+                load_fraction: load,
+                batch_max: 4,
+                replication: 1,
+                profile,
+                config,
+            });
+        }
+    }
+    cells
+}
+
+#[test]
+fn queue_depth_peak_is_thread_invariant() {
+    let _guard = LOCK.lock().unwrap();
+    let grid = grid();
+    let mut recorded = Vec::new();
+    for threads in [1usize, 4, 7] {
+        counters::set_enabled(true);
+        counters::reset();
+        let points = run_sweep(&Engine::new(threads), &grid).unwrap();
+        let peak = counters::get(Event::QueueDepthPeak);
+        // The global counter is exactly the max over per-cell peaks…
+        let expected = points
+            .iter()
+            .map(|p| p.report.peak_queue_depth)
+            .max()
+            .unwrap();
+        assert_eq!(peak, expected, "threads={threads}");
+        recorded.push(peak);
+        // …and the additive counters are exactly the per-cell sums, even
+        // though cells on different engine threads interleave their adds.
+        assert_eq!(
+            counters::get(Event::RequestsAdmitted),
+            points.iter().map(|p| p.report.admitted).sum::<u64>(),
+            "threads={threads}"
+        );
+        assert_eq!(
+            counters::get(Event::BatchesFormed),
+            points.iter().map(|p| p.report.batches).sum::<u64>(),
+            "threads={threads}"
+        );
+    }
+    // Deep queues actually engaged: the peak saturates the largest bound.
+    assert_eq!(recorded[0], 128);
+    assert!(recorded.windows(2).all(|w| w[0] == w[1]), "{recorded:?}");
+    counters::reset();
+    counters::set_enabled(false);
+}
+
+#[test]
+fn record_max_survives_raw_thread_contention() {
+    let _guard = LOCK.lock().unwrap();
+    counters::set_enabled(true);
+    counters::reset();
+    let mut expected = 0;
+    for t in 0..8u64 {
+        for i in 0..10_000u64 {
+            expected = expected.max((i * 37 + t * 13) % 4999);
+        }
+    }
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            s.spawn(move || {
+                for i in 0..10_000u64 {
+                    counters::record_max(Event::QueueDepthPeak, (i * 37 + t * 13) % 4999);
+                }
+            });
+        }
+    });
+    assert_eq!(counters::get(Event::QueueDepthPeak), expected);
+    counters::reset();
+    counters::set_enabled(false);
+}

@@ -1,0 +1,173 @@
+//! Attribution scopes: per-layer / per-tile buckets for physical-event
+//! counters.
+//!
+//! The global [`counters`](crate::counters) registry answers "how much
+//! energy did this run spend" but not "which layer spent it". Attribution
+//! scopes add that second axis: a scope is an interned label (e.g.
+//! `"l02.conv/t01"` — layer 2, tile 1) and each scope owns a private
+//! vector of the same events the global registry tracks. Hot paths do
+//! *not* touch this registry per event — they accumulate locally (see
+//! `ReadScratch` in `sei-crossbar`) and flush one batch per scope per
+//! image, so the cost is one mutex acquisition per image, off the inner
+//! loops.
+//!
+//! The breakdown is reported sorted by label, so the NDJSON section is
+//! deterministic regardless of scope-creation or flush order.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::counters::{Event, Snapshot, EVENT_COUNT};
+use crate::json::Value;
+
+/// A dense handle to an interned attribution scope. Copy it into hot
+/// structs; the label lives in the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ScopeId(u32);
+
+impl ScopeId {
+    /// The registry index of this scope.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Default)]
+struct AttrRegistry {
+    labels: Vec<String>,
+    index: BTreeMap<String, u32>,
+    buckets: Vec<[u64; EVENT_COUNT]>,
+}
+
+static REGISTRY: Mutex<AttrRegistry> = Mutex::new(AttrRegistry {
+    labels: Vec::new(),
+    index: BTreeMap::new(),
+    buckets: Vec::new(),
+});
+
+/// Intern `label`, returning a stable [`ScopeId`]. Repeated calls with
+/// the same label return the same id.
+pub fn scope(label: &str) -> ScopeId {
+    let mut reg = REGISTRY.lock().unwrap();
+    if let Some(&id) = reg.index.get(label) {
+        return ScopeId(id);
+    }
+    let id = reg.labels.len() as u32;
+    reg.labels.push(label.to_string());
+    reg.index.insert(label.to_string(), id);
+    reg.buckets.push([0; EVENT_COUNT]);
+    ScopeId(id)
+}
+
+/// Add a batch of event counts to one scope. One lock acquisition per
+/// call — call sites batch per image, not per event. No-op when the
+/// global counter registry is disabled, mirroring `counters::add`.
+pub fn add_many(scope: ScopeId, entries: &[(Event, u64)]) {
+    if !crate::counters::enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock().unwrap();
+    let bucket = &mut reg.buckets[scope.index()];
+    for &(event, n) in entries {
+        bucket[event as usize] += n;
+    }
+}
+
+/// All scopes with their accumulated counters, sorted by label. The sort
+/// makes the breakdown independent of interning and flush order.
+pub fn breakdown() -> Vec<(String, Snapshot)> {
+    let reg = REGISTRY.lock().unwrap();
+    let mut out: Vec<(String, Snapshot)> = reg
+        .labels
+        .iter()
+        .zip(&reg.buckets)
+        .map(|(label, bucket)| (label.clone(), Snapshot { values: *bucket }))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Render a breakdown as a JSON object keyed by scope label. Only
+/// non-zero counters are emitted per scope (plus derived `energy_pj`
+/// when energy was recorded), keeping report lines compact while staying
+/// deterministic: which keys appear depends only on the counts.
+pub fn breakdown_to_value(rows: &[(String, Snapshot)]) -> Value {
+    let mut obj = Value::obj();
+    for (label, snap) in rows {
+        let mut entry = Value::obj();
+        for event in crate::counters::ALL_EVENTS {
+            let v = snap.get(event);
+            if v > 0 {
+                entry.set(event.name(), Value::UInt(v));
+            }
+        }
+        if snap.get(Event::EnergyFemtojoules) > 0 {
+            entry.set("energy_pj", Value::Float(snap.energy_pj()));
+        }
+        obj.set(label, entry);
+    }
+    obj
+}
+
+/// Drop every scope and its counts (between experiments / in tests).
+/// Outstanding [`ScopeId`]s become invalid.
+pub fn reset() {
+    let mut reg = REGISTRY.lock().unwrap();
+    reg.labels.clear();
+    reg.index.clear();
+    reg.buckets.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scope tests share the process-global registry; serialize them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn interning_is_stable_and_breakdown_sorted() {
+        let _guard = LOCK.lock().unwrap();
+        reset();
+        crate::counters::set_enabled(true);
+        let b = scope("l01.fc/t00");
+        let a = scope("l00.conv/t00");
+        assert_eq!(scope("l01.fc/t00"), b);
+        add_many(a, &[(Event::CrossbarReadOps, 5), (Event::GateSwitches, 40)]);
+        add_many(b, &[(Event::CrossbarReadOps, 2)]);
+        add_many(a, &[(Event::CrossbarReadOps, 1)]);
+        let rows = breakdown();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "l00.conv/t00");
+        assert_eq!(rows[0].1.get(Event::CrossbarReadOps), 6);
+        assert_eq!(rows[0].1.get(Event::GateSwitches), 40);
+        assert_eq!(rows[1].0, "l01.fc/t00");
+        assert_eq!(rows[1].1.get(Event::CrossbarReadOps), 2);
+        reset();
+    }
+
+    #[test]
+    fn breakdown_value_elides_zero_counters() {
+        let _guard = LOCK.lock().unwrap();
+        reset();
+        crate::counters::set_enabled(true);
+        let s = scope("l00.conv/t00");
+        add_many(
+            s,
+            &[
+                (Event::CrossbarReadOps, 3),
+                (Event::EnergyFemtojoules, 1500),
+            ],
+        );
+        let v = breakdown_to_value(&breakdown());
+        let entry = v.get("l00.conv/t00").unwrap();
+        assert_eq!(
+            entry.get("crossbar_read_ops").and_then(Value::as_u64),
+            Some(3)
+        );
+        assert_eq!(entry.get("energy_fj").and_then(Value::as_u64), Some(1500));
+        assert_eq!(entry.get("energy_pj").and_then(Value::as_f64), Some(1.5));
+        assert!(entry.get("gate_switches").is_none());
+        reset();
+    }
+}

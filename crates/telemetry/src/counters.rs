@@ -31,6 +31,9 @@ pub enum Event {
     WritePulses,
     /// Accumulated read/write energy, in femtojoules (reported as pJ).
     EnergyFemtojoules,
+    /// Gaussian read-noise samples drawn on sensed column currents (the
+    /// stochastic work item 2 of the roadmap wants attributed).
+    NoiseDraws,
     /// Cells pinned to `g_min`/`g_max` by a stuck-at or wear-out fault
     /// instead of being programmed.
     FaultedCellsPinned,
@@ -48,7 +51,7 @@ pub enum Event {
     QueueDepthPeak,
 }
 
-pub const EVENT_COUNT: usize = 13;
+pub const EVENT_COUNT: usize = 14;
 
 pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::CrossbarReadOps,
@@ -58,6 +61,7 @@ pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::DacConversions,
     Event::WritePulses,
     Event::EnergyFemtojoules,
+    Event::NoiseDraws,
     Event::FaultedCellsPinned,
     Event::SpareColumnRemaps,
     Event::RequestsAdmitted,
@@ -77,6 +81,7 @@ impl Event {
             Event::DacConversions => "dac_conversions",
             Event::WritePulses => "write_pulses",
             Event::EnergyFemtojoules => "energy_fj",
+            Event::NoiseDraws => "noise_draws",
             Event::FaultedCellsPinned => "faulted_cells_pinned",
             Event::SpareColumnRemaps => "spare_column_remaps",
             Event::RequestsAdmitted => "requests_admitted",

@@ -1,0 +1,272 @@
+//! Fixed-bucket log-scale histograms with deterministic merge.
+//!
+//! Latency and size distributions in the serving layer need true
+//! percentiles, not means, and they must survive the engine's
+//! chunk-parallel execution bit-identically: per-chunk histograms are
+//! merged by elementwise `u64` addition, which is associative and
+//! commutative, so any merge order yields the same buckets and the same
+//! quantiles.
+//!
+//! The bucket layout is HDR-style base-2: values below 8 get exact unit
+//! buckets; every octave above that is split into 8 sub-buckets (3
+//! significant bits), bounding the relative quantization error at 12.5%
+//! while covering the whole `u64` range in [`BUCKETS`] slots. Quantiles
+//! are reported as the *lower bound* of the bucket containing the
+//! nearest-rank sample, so they are integers and byte-stable in reports.
+
+/// Significant bits kept per octave (8 sub-buckets per power of two).
+const SUB_BITS: u32 = 3;
+
+/// Total number of buckets needed to cover all of `u64`.
+pub const BUCKETS: usize = 496;
+
+/// Index of the bucket containing `v`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < (1 << SUB_BITS) {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    let sub = (v >> (exp - SUB_BITS)) & ((1 << SUB_BITS) - 1);
+    (((exp - SUB_BITS + 1) << SUB_BITS) | sub as u32) as usize
+}
+
+/// Smallest value that lands in bucket `idx` (the reported quantile
+/// value). Inverse of [`bucket_index`] on bucket boundaries:
+/// `bucket_index(lower_bound(i)) == i` for every valid `i`.
+#[inline]
+pub fn lower_bound(idx: usize) -> u64 {
+    if idx < (1 << SUB_BITS) {
+        return idx as u64;
+    }
+    let group = (idx >> SUB_BITS) as u32;
+    let sub = (idx & ((1 << SUB_BITS) - 1)) as u64;
+    ((1 << SUB_BITS) + sub) << (group - 1)
+}
+
+/// A log-scale histogram over `u64` samples (latencies in ns, batch
+/// sizes, queue depths).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` identical samples.
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(v)] += n;
+        self.count += n;
+        self.sum += v as u128 * n as u128;
+    }
+
+    /// Merge another histogram into this one. Elementwise addition, so
+    /// merging any permutation of per-chunk histograms is bit-identical.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (exact).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean of recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile for `p` in `[0, 1]`: the lower bound of the
+    /// bucket holding the sample of rank `ceil(p * count)`. Returns 0 for
+    /// an empty histogram.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return lower_bound(idx);
+            }
+        }
+        lower_bound(BUCKETS - 1)
+    }
+
+    /// Sparse view: `(bucket lower bound, count)` for every non-empty
+    /// bucket, in ascending value order. Because a bucket's lower bound
+    /// maps back into the same bucket, a histogram rebuilt with
+    /// `record_n` over these pairs has identical buckets and quantiles.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (lower_bound(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_inverts_lower_bound() {
+        for idx in 0..BUCKETS {
+            assert_eq!(bucket_index(lower_bound(idx)), idx, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut prev = 0;
+        for &v in &[
+            0u64,
+            1,
+            7,
+            8,
+            9,
+            15,
+            16,
+            17,
+            100,
+            1_000,
+            1_000_000,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKETS, "v {v} -> idx {idx}");
+            assert!(idx >= prev, "v {v} not monotone");
+            assert!(lower_bound(idx) <= v, "v {v} below its bucket");
+            prev = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for &v in &[9u64, 100, 12_345, 999_999_999, u64::MAX / 3] {
+            let lo = lower_bound(bucket_index(v));
+            let err = (v - lo) as f64 / v as f64;
+            assert!(err <= 0.125, "v {v}: rel err {err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 1000);
+        }
+        assert_eq!(h.count(), 100);
+        // Rank 50 sample is 50_000; its bucket lower bound is <= 50_000.
+        let p50 = h.quantile(0.50);
+        assert!(p50 <= 50_000 && p50 > 40_000, "{p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 <= 99_000 && p99 > 90_000, "{p99}");
+        assert!(h.quantile(1.0) >= p99);
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        h.record_n(3, 10);
+        h.record_n(5, 10);
+        assert_eq!(h.quantile(0.25), 3);
+        assert_eq!(h.quantile(0.75), 5);
+        assert_eq!(h.mean(), 4.0);
+    }
+
+    /// Deterministic mirror of the merge-order proptest in
+    /// `tests/hist.rs`: a fixed set of per-chunk histograms merged in
+    /// several fixed orders must agree exactly.
+    #[test]
+    fn merge_is_order_invariant() {
+        let chunks: Vec<Histogram> = (0..5)
+            .map(|c| {
+                let mut h = Histogram::new();
+                for i in 0..200u64 {
+                    // Spread across many octaves.
+                    h.record((i + 1) * (c + 1) * 37 % 1_000_000 + 1);
+                }
+                h
+            })
+            .collect();
+        let orders: [[usize; 5]; 3] = [[0, 1, 2, 3, 4], [4, 3, 2, 1, 0], [2, 0, 4, 1, 3]];
+        let merged: Vec<Histogram> = orders
+            .iter()
+            .map(|order| {
+                let mut acc = Histogram::new();
+                for &i in order {
+                    acc.merge(&chunks[i]);
+                }
+                acc
+            })
+            .collect();
+        assert_eq!(merged[0], merged[1]);
+        assert_eq!(merged[0], merged[2]);
+        for p in [0.5, 0.95, 0.99] {
+            assert_eq!(merged[0].quantile(p), merged[1].quantile(p));
+            assert_eq!(merged[0].quantile(p), merged[2].quantile(p));
+        }
+    }
+
+    #[test]
+    fn nonzero_buckets_round_trip() {
+        let mut h = Histogram::new();
+        for &v in &[0u64, 1, 7, 8, 100, 5_000, 123_456_789] {
+            h.record_n(v, 3);
+        }
+        let mut rebuilt = Histogram::new();
+        for (lo, n) in h.nonzero_buckets() {
+            rebuilt.record_n(lo, n);
+        }
+        assert_eq!(rebuilt.counts, h.counts);
+        for p in [0.5, 0.95, 0.99] {
+            assert_eq!(rebuilt.quantile(p), h.quantile(p));
+        }
+    }
+}

@@ -3,8 +3,8 @@
 //! The paper's headline claims are aggregate physical counts (energy per
 //! read, ADC conversions saved, SEI gate switches driven by 1-bit
 //! activations), so the simulator needs a measurement layer that is cheap
-//! enough to live on the hot paths it measures. This crate provides four
-//! pieces, all dependency-free:
+//! enough to live on the hot paths it measures. This crate provides
+//! several pieces, all dependency-free:
 //!
 //! * [`counters`] — a fixed registry of typed physical-event counters
 //!   (crossbar reads, transmission-gate switches, ADC/DAC conversions,
@@ -20,27 +20,43 @@
 //!   macros and a [`log::Heartbeat`] helper for long-running search loops.
 //! * [`report`] — an NDJSON run-report emitter (`SEI_REPORT_JSON=path`)
 //!   backed by the hand-rolled [`json`] module, capturing scale, seeds,
-//!   per-layer error decomposition, phase timings, and physical counters
-//!   as one machine-readable line per experiment.
+//!   per-layer error decomposition, phase timings, physical counters, and
+//!   the attribution breakdown as one machine-readable line per
+//!   experiment.
+//! * [`trace`] — hierarchical trace capture (`SEI_TRACE=path.json`)
+//!   exported as Chrome trace-event JSON, with a deterministic
+//!   virtual-time mode (`SEI_TRACE_CLOCK=virtual`).
+//! * [`hist`] — fixed-bucket log-scale histograms whose merge is
+//!   order-invariant, so chunk-parallel percentile collection stays
+//!   bit-identical.
+//! * [`attr`] — attribution scopes bucketing the physical-event counters
+//!   per network layer and per tile.
 //!
 //! [`env`] rounds things out with strict `SEI_*` environment parsing that
 //! rejects malformed values with a clear error instead of silently falling
 //! back to defaults.
 
+pub mod attr;
 pub mod counters;
 pub mod env;
+pub mod hist;
 pub mod json;
 pub mod log;
 pub mod report;
 pub mod span;
+pub mod trace;
 
+pub use attr::ScopeId;
 pub use counters::Event;
 pub use env::EnvError;
+pub use hist::Histogram;
 pub use log::{Heartbeat, Level};
 pub use report::RunReport;
 
 /// Validates telemetry-related environment up front: `SEI_LOG` must be a
-/// known level and `SEI_REPORT_JSON`, when set, must be non-empty.
+/// known level, `SEI_REPORT_JSON` and `SEI_TRACE`, when set, must be
+/// non-empty, and `SEI_TRACE_CLOCK` must name a known clock. A valid
+/// `SEI_TRACE` also arms trace capture.
 ///
 /// Binaries should call this first so a typo like `SEI_LOG=verbose` fails
 /// loudly at startup instead of deep inside a run. Library code that never
@@ -49,5 +65,6 @@ pub use report::RunReport;
 pub fn init_from_env() -> Result<(), EnvError> {
     log::init_level_from_env()?;
     report::report_path_from_env()?;
+    trace::init_from_env()?;
     Ok(())
 }

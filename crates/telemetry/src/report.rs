@@ -12,6 +12,7 @@
 
 use std::io::Write;
 
+use crate::attr;
 use crate::counters::{self, Snapshot, ALL_EVENTS};
 use crate::env::{parse_var, EnvError};
 use crate::json::Value;
@@ -52,11 +53,18 @@ impl RunReport {
         self.set(key, Value::Str(v.to_string()))
     }
 
-    /// Attach the live span registry and counter registry.
+    /// Attach the live span registry, counter registry, and — when any
+    /// attribution scopes were recorded — the per-scope breakdown table.
     pub fn finalize(&mut self) -> &mut RunReport {
         let phases = span::phase_timings();
         let counters = counters::snapshot();
-        self.finalize_with(&phases, &counters)
+        self.finalize_with(&phases, &counters);
+        let rows = attr::breakdown();
+        if !rows.is_empty() {
+            self.root
+                .set("attribution", attr::breakdown_to_value(&rows));
+        }
+        self
     }
 
     /// Deterministic variant of [`finalize`](Self::finalize) for tests.

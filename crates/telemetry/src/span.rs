@@ -33,6 +33,9 @@ thread_local! {
 pub struct SpanGuard {
     path: String,
     start: Instant,
+    /// Trace-clock start, captured only when trace capture is armed so
+    /// the disabled-mode cost stays one relaxed load.
+    trace_start: Option<u64>,
 }
 
 impl SpanGuard {
@@ -42,9 +45,11 @@ impl SpanGuard {
             s.push(name);
             s.join("/")
         });
+        let trace_start = crate::trace::enabled().then(crate::trace::now_ns);
         SpanGuard {
             path,
             start: Instant::now(),
+            trace_start,
         }
     }
 }
@@ -55,6 +60,9 @@ impl Drop for SpanGuard {
         STACK.with(|s| {
             s.borrow_mut().pop();
         });
+        if let Some(ts) = self.trace_start {
+            crate::trace::record(self.path.clone(), "phase", ts);
+        }
         let mut reg = REGISTRY.lock().unwrap();
         let stat = reg.entry(std::mem::take(&mut self.path)).or_default();
         stat.calls += 1;

@@ -1,0 +1,276 @@
+//! Hierarchical trace capture with Chrome trace-event export.
+//!
+//! When `SEI_TRACE=path.json` is set, every span (and any explicit
+//! [`scope`] on the kernel paths) records a *complete* event (`ph:"X"`)
+//! with a start timestamp and duration; [`write_env`] serializes the
+//! buffer as Chrome trace-event JSON loadable in `chrome://tracing` or
+//! Perfetto. Parent/child structure comes for free: nested spans emit
+//! nested time ranges on the same thread track, which the viewers render
+//! hierarchically.
+//!
+//! Two clocks are available via `SEI_TRACE_CLOCK`:
+//!
+//! * `wall` (default) — monotonic nanoseconds since the first trace
+//!   event, for real profiling.
+//! * `virtual` — a deterministic global tick incremented on every clock
+//!   read. Single-threaded runs produce byte-identical traces across
+//!   invocations, which is what the trace smoke test pins down.
+//!
+//! Tracing is off by default; a disabled [`scope`] call is one relaxed
+//! atomic load, and the name closure is never evaluated.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::env::{parse_lookup, parse_var, EnvError};
+use crate::json::Value;
+
+/// Which clock stamps trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Clock {
+    /// Monotonic wall clock, zeroed at the first event.
+    #[default]
+    Wall,
+    /// Deterministic tick: each read advances a global counter.
+    Virtual,
+}
+
+impl std::str::FromStr for Clock {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Clock, ()> {
+        match s {
+            "wall" => Ok(Clock::Wall),
+            "virtual" => Ok(Clock::Virtual),
+            _ => Err(()),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TraceEvent {
+    name: String,
+    cat: &'static str,
+    ts_ns: u64,
+    dur_ns: u64,
+    tid: u32,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static VIRTUAL_CLOCK: AtomicBool = AtomicBool::new(false);
+static VIRTUAL_NOW: AtomicU64 = AtomicU64::new(0);
+static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    static TID: Cell<u32> = const { Cell::new(0) };
+}
+
+fn tid() -> u32 {
+    TID.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+/// Whether trace capture is active. One relaxed load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn trace capture on or off.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Select the trace clock.
+pub fn set_clock(clock: Clock) {
+    VIRTUAL_CLOCK.store(clock == Clock::Virtual, Ordering::Relaxed);
+}
+
+/// Current trace timestamp in nanoseconds. In virtual mode every read
+/// advances the global tick, so timestamps are deterministic on a single
+/// thread.
+pub fn now_ns() -> u64 {
+    if VIRTUAL_CLOCK.load(Ordering::Relaxed) {
+        VIRTUAL_NOW.fetch_add(1, Ordering::Relaxed)
+    } else {
+        let epoch = *EPOCH.get_or_init(Instant::now);
+        epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// Record a complete event that started at `start_ns` and ends now.
+pub fn record(name: String, cat: &'static str, start_ns: u64) {
+    let dur_ns = now_ns().saturating_sub(start_ns);
+    let event = TraceEvent {
+        name,
+        cat,
+        ts_ns: start_ns,
+        dur_ns,
+        tid: tid(),
+    };
+    EVENTS.lock().unwrap().push(event);
+}
+
+/// RAII guard for an explicitly traced region (kernel paths, request
+/// classes). Dropping it records the event.
+pub struct TraceGuard {
+    name: String,
+    cat: &'static str,
+    start_ns: u64,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        record(std::mem::take(&mut self.name), self.cat, self.start_ns);
+    }
+}
+
+/// Open a traced region under category `cat`. Returns `None` — without
+/// evaluating the name closure — when tracing is disabled, so hot paths
+/// pay one relaxed load and a branch.
+#[inline]
+pub fn scope(cat: &'static str, name: impl FnOnce() -> String) -> Option<TraceGuard> {
+    if !enabled() {
+        return None;
+    }
+    Some(TraceGuard {
+        name: name(),
+        cat,
+        start_ns: now_ns(),
+    })
+}
+
+/// Number of buffered events (for smoke checks).
+pub fn event_count() -> usize {
+    EVENTS.lock().unwrap().len()
+}
+
+/// Drop all buffered events and rewind the virtual clock.
+pub fn reset() {
+    EVENTS.lock().unwrap().clear();
+    VIRTUAL_NOW.store(0, Ordering::Relaxed);
+}
+
+/// The buffered events as a Chrome trace-event JSON document:
+/// `{"traceEvents":[{name, cat, ph:"X", ts, dur, pid, tid}, ...]}` with
+/// timestamps in microseconds, as the trace viewers expect.
+pub fn to_value() -> Value {
+    let events = EVENTS.lock().unwrap();
+    let arr: Vec<Value> = events
+        .iter()
+        .map(|e| {
+            let mut obj = Value::obj();
+            obj.set("name", Value::Str(e.name.clone()));
+            obj.set("cat", Value::Str(e.cat.to_string()));
+            obj.set("ph", Value::Str("X".to_string()));
+            obj.set("ts", Value::Float(e.ts_ns as f64 / 1e3));
+            obj.set("dur", Value::Float(e.dur_ns as f64 / 1e3));
+            obj.set("pid", Value::UInt(1));
+            obj.set("tid", Value::UInt(e.tid as u64));
+            obj
+        })
+        .collect();
+    let mut root = Value::obj();
+    root.set("traceEvents", Value::Arr(arr));
+    root
+}
+
+/// Write the buffered events to `path` as Chrome trace-event JSON.
+pub fn write_to(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, to_value().to_json())
+}
+
+/// Write the trace to the file named by `SEI_TRACE`, if set. Returns
+/// `Ok(true)` when a file was written.
+pub fn write_env() -> Result<bool, Box<dyn std::error::Error>> {
+    match trace_path_from_env()? {
+        None => Ok(false),
+        Some(path) => {
+            write_to(&path)?;
+            Ok(true)
+        }
+    }
+}
+
+/// Read and validate `SEI_TRACE`. Unset → `None`; set but empty → error
+/// (almost certainly a shell quoting mistake).
+pub fn trace_path_from_env() -> Result<Option<String>, EnvError> {
+    trace_path_from_lookup(|n| std::env::var(n).ok())
+}
+
+/// Lookup-injectable core of [`trace_path_from_env`], for tests.
+pub fn trace_path_from_lookup(
+    get: impl Fn(&str) -> Option<String>,
+) -> Result<Option<String>, EnvError> {
+    match parse_lookup::<String>(get, "SEI_TRACE", "a writable file path")? {
+        Some(p) if p.trim().is_empty() => {
+            Err(EnvError::new("SEI_TRACE", &p, "a non-empty file path"))
+        }
+        other => Ok(other),
+    }
+}
+
+/// Read and validate `SEI_TRACE_CLOCK` (`wall` | `virtual`, default
+/// `wall`).
+pub fn trace_clock_from_env() -> Result<Clock, EnvError> {
+    Ok(parse_var::<Clock>("SEI_TRACE_CLOCK", "\"wall\" or \"virtual\"")?.unwrap_or_default())
+}
+
+/// Lookup-injectable core of [`trace_clock_from_env`], for tests.
+pub fn trace_clock_from_lookup(get: impl Fn(&str) -> Option<String>) -> Result<Clock, EnvError> {
+    Ok(
+        parse_lookup::<Clock>(get, "SEI_TRACE_CLOCK", "\"wall\" or \"virtual\"")?
+            .unwrap_or_default(),
+    )
+}
+
+/// Validate the trace environment and arm capture when `SEI_TRACE` is
+/// set. Called from [`crate::init_from_env`].
+pub fn init_from_env() -> Result<(), EnvError> {
+    let path = trace_path_from_env()?;
+    set_clock(trace_clock_from_env()?);
+    if path.is_some() {
+        set_enabled(true);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_path_rejects_empty() {
+        let err = trace_path_from_lookup(|_| Some("  ".to_string())).unwrap_err();
+        assert!(err.to_string().contains("SEI_TRACE"), "{err}");
+        assert_eq!(trace_path_from_lookup(|_| None).unwrap(), None);
+        assert_eq!(
+            trace_path_from_lookup(|_| Some("t.json".to_string())).unwrap(),
+            Some("t.json".to_string())
+        );
+    }
+
+    #[test]
+    fn trace_clock_parses_strictly() {
+        assert_eq!(trace_clock_from_lookup(|_| None).unwrap(), Clock::Wall);
+        assert_eq!(
+            trace_clock_from_lookup(|_| Some("virtual".to_string())).unwrap(),
+            Clock::Virtual
+        );
+        assert_eq!(
+            trace_clock_from_lookup(|_| Some(" wall ".to_string())).unwrap(),
+            Clock::Wall
+        );
+        let err = trace_clock_from_lookup(|_| Some("cpu".to_string())).unwrap_err();
+        assert!(err.to_string().contains("SEI_TRACE_CLOCK"), "{err}");
+        assert!(err.to_string().contains("cpu"), "{err}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for histogram determinism: merging per-chunk
+//! histograms in any order must yield identical buckets and identical
+//! p50/p95/p99 — the contract the chunk-parallel serve sweep relies on
+//! for byte-identical reports at any `SEI_THREADS`.
+
+use proptest::prelude::*;
+use sei_telemetry::hist::{bucket_index, lower_bound, Histogram, BUCKETS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any partition of any sample set, merged in any order, agrees
+    /// exactly with the sequentially built histogram.
+    #[test]
+    fn merge_order_is_irrelevant(
+        samples in prop::collection::vec(0u64..u64::MAX, 1..400),
+        chunk_count in 1usize..8,
+        order in prop::collection::vec(0usize..usize::MAX, 8),
+    ) {
+        // Sequential reference.
+        let mut reference = Histogram::new();
+        for &s in &samples {
+            reference.record(s);
+        }
+
+        // Partition round-robin into chunks.
+        let mut chunks = vec![Histogram::new(); chunk_count];
+        for (i, &s) in samples.iter().enumerate() {
+            chunks[i % chunk_count].record(s);
+        }
+
+        // Merge in a permutation derived from the random order keys.
+        let mut indices: Vec<usize> = (0..chunk_count).collect();
+        indices.sort_by_key(|&i| order[i % order.len()].wrapping_mul(i + 1));
+        let mut merged = Histogram::new();
+        for &i in &indices {
+            merged.merge(&chunks[i]);
+        }
+
+        prop_assert_eq!(&merged, &reference);
+        prop_assert_eq!(merged.count(), samples.len() as u64);
+        for p in [0.50, 0.95, 0.99] {
+            prop_assert_eq!(merged.quantile(p), reference.quantile(p));
+        }
+    }
+
+    /// Quantiles bound their nearest-rank sample from below within one
+    /// bucket, and are monotone in p.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        samples in prop::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        let mut h = Histogram::new();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut prev = 0;
+        for p in [0.50, 0.95, 0.99, 1.0] {
+            let q = h.quantile(p);
+            prop_assert!(q >= prev);
+            prev = q;
+            // The reported value is the lower bound of the bucket holding
+            // the nearest-rank sample.
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            prop_assert_eq!(q, lower_bound(bucket_index(exact)));
+        }
+    }
+
+    /// Every u64 maps into a valid bucket whose lower bound round-trips.
+    #[test]
+    fn bucket_layout_is_consistent(v in any::<u64>()) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < BUCKETS);
+        prop_assert!(lower_bound(idx) <= v);
+        prop_assert_eq!(bucket_index(lower_bound(idx)), idx);
+    }
+}

@@ -194,7 +194,8 @@ fn ndjson_schema_snapshot() {
         "\"table5/training\":{\"calls\":1,\"total_ms\":1.0}},",
         "\"counters\":{\"crossbar_read_ops\":128,\"gate_switches\":4096,",
         "\"sense_amp_fires\":0,\"adc_conversions\":0,\"dac_conversions\":0,",
-        "\"write_pulses\":0,\"energy_fj\":1500,\"faulted_cells_pinned\":0,",
+        "\"write_pulses\":0,\"energy_fj\":1500,\"noise_draws\":0,",
+        "\"faulted_cells_pinned\":0,",
         "\"spare_column_remaps\":0,\"requests_admitted\":900,",
         "\"requests_shed\":17,\"batches_formed\":120,",
         "\"queue_depth_peak\":42,\"energy_pj\":1.5}}"
