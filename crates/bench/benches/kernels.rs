@@ -10,7 +10,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sei_crossbar::{CrossbarArray, SeiConfig, SeiCrossbar, SeiMode};
+use sei_crossbar::{CrossbarArray, NoiseCtx, SeiConfig, SeiCrossbar, SeiMode};
+use sei_device::NoiseKey;
 use sei_device::{DeviceSpec, WriteVerify};
 use sei_mapping::homogenize::{genetic, greedy_lpt, GaConfig};
 use sei_nn::{Conv2d, Matrix};
@@ -40,8 +41,9 @@ fn bench_crossbar_mvm(c: &mut Criterion) {
         }
         let arr = CrossbarArray::program(&spec, &targets, WriteVerify::Disabled, &mut rng);
         let volts: Vec<f64> = (0..size).map(|i| 0.2 * ((i % 3) as f64) / 2.0).collect();
+        let ctx = NoiseCtx::keyed(NoiseKey::new(9));
         group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
-            b.iter(|| arr.column_currents(&volts, &mut rng))
+            b.iter(|| arr.column_currents(&volts, ctx))
         });
     }
     group.finish();
@@ -63,10 +65,11 @@ fn bench_sei_forward(c: &mut Criterion) {
             &mut rng,
         );
         let input: Vec<bool> = (0..n).map(|i| i % 7 == 0).collect();
+        let ctx = NoiseCtx::keyed(NoiseKey::new(9));
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{n}x{m}")),
             &n,
-            |b, _| b.iter(|| xbar.forward(&input, &mut rng)),
+            |b, _| b.iter(|| xbar.forward(&input, ctx)),
         );
     }
     group.finish();

@@ -1,6 +1,7 @@
 //! Offline summarizer for NDJSON run reports: per-class latency
 //! percentiles of serve sweeps, the per-layer/per-tile attribution
-//! breakdown, and an A-vs-B regression diff between two report files.
+//! breakdown, the kernels microbench `noisy_over_ideal` ratios, and an
+//! A-vs-B regression diff between two report files.
 //!
 //! ```sh
 //! # one file: sorted percentile + attribution summary
@@ -23,12 +24,14 @@ fn main() {
             let rows = load(a);
             summarize_serve(&rows);
             summarize_attribution(&rows);
+            summarize_kernels(&rows);
         }
         [a, b] => {
             let rows_a = load(a);
             let rows_b = load(b);
             diff_serve(&rows_a, &rows_b);
             diff_attribution(&rows_a, &rows_b);
+            diff_kernels(&rows_a, &rows_b);
         }
         _ => {
             eprintln!("usage: sei-trace-report <report.ndjson> [candidate.ndjson]");
@@ -220,6 +223,122 @@ fn summarize_attribution(rows: &[Value]) {
             } else {
                 0.0
             }
+        );
+    }
+    println!();
+}
+
+/// Identity of one kernels-microbench point: layer shape × sparsity
+/// (×1000, kept integral so the key is `Ord`).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct KernelKey {
+    layer: String,
+    sparsity_millis: u64,
+}
+
+impl KernelKey {
+    fn label(&self) -> String {
+        format!("{} @{:.0}%", self.layer, self.sparsity_millis as f64 / 10.0)
+    }
+}
+
+/// Extracts the per-point objects of `sei-bench-kernels/v2` records
+/// (each carries `noisy_over_ideal_*` per backend and `read_speedup`).
+fn kernel_points(rows: &[Value]) -> Vec<(KernelKey, &Value)> {
+    let mut out: Vec<(KernelKey, &Value)> = Vec::new();
+    for row in rows {
+        let schema = row.get("schema").and_then(Value::as_str).unwrap_or("");
+        if !schema.starts_with("sei-bench-kernels/") {
+            continue;
+        }
+        let Some(Value::Arr(micro)) = row.get("micro") else {
+            continue;
+        };
+        for layer_row in micro {
+            let layer = layer_row
+                .get("layer")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string();
+            let Some(Value::Arr(points)) = layer_row.get("points") else {
+                continue;
+            };
+            for point in points {
+                let sparsity = get_f64(point, "sparsity");
+                out.push((
+                    KernelKey {
+                        layer: layer.clone(),
+                        sparsity_millis: (sparsity * 1000.0).round() as u64,
+                    },
+                    point,
+                ));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+const KERNEL_BACKENDS: [&str; 3] = ["scalar", "packed", "simd"];
+
+fn summarize_kernels(rows: &[Value]) {
+    let points = kernel_points(rows);
+    if points.is_empty() {
+        println!("no kernels rows");
+        return;
+    }
+    println!("kernels microbench: noisy-read cost over ideal (lower is better)");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12}",
+        "point", "n/i scalar", "n/i packed", "n/i simd", "read x"
+    );
+    for (key, point) in &points {
+        println!(
+            "{:<22} {:>12.2} {:>12.2} {:>12.2} {:>11.2}x",
+            key.label(),
+            get_f64(point, "noisy_over_ideal_scalar"),
+            get_f64(point, "noisy_over_ideal_packed"),
+            get_f64(point, "noisy_over_ideal_simd"),
+            get_f64(point, "read_speedup"),
+        );
+    }
+    println!();
+}
+
+fn diff_kernels(rows_a: &[Value], rows_b: &[Value]) {
+    let a: BTreeMap<KernelKey, &Value> = kernel_points(rows_a).into_iter().collect();
+    let b: BTreeMap<KernelKey, &Value> = kernel_points(rows_b).into_iter().collect();
+    if a.is_empty() && b.is_empty() {
+        println!("no kernels rows to diff");
+        return;
+    }
+    let shared: Vec<&KernelKey> = a.keys().filter(|k| b.contains_key(k)).collect();
+    if shared.is_empty() {
+        println!("no shared kernels points to diff");
+        println!();
+        return;
+    }
+    println!("kernels noisy_over_ideal diff (candidate vs baseline)");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12}",
+        "point", "n/i scalar", "n/i packed", "n/i simd", "read x"
+    );
+    for key in shared {
+        let (pa, pb) = (a[key], b[key]);
+        let cols: Vec<String> = KERNEL_BACKENDS
+            .iter()
+            .map(|m| {
+                let field = format!("noisy_over_ideal_{m}");
+                pct_delta(get_f64(pa, &field), get_f64(pb, &field))
+            })
+            .collect();
+        println!(
+            "{:<22} {:>12} {:>12} {:>12} {:>12}",
+            key.label(),
+            cols[0],
+            cols[1],
+            cols[2],
+            pct_delta(get_f64(pa, "read_speedup"), get_f64(pb, "read_speedup")),
         );
     }
     println!();

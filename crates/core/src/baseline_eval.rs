@@ -10,9 +10,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sei_crossbar::kernels::NoiseCtx;
 use sei_crossbar::merged::{MergedConfig, MergedCrossbar};
-use sei_device::DeviceSpec;
-use sei_engine::{chunk_seed, Engine, SeiError, DEFAULT_CHUNK};
+use sei_device::{DeviceSpec, NoiseKey};
+use sei_engine::{Engine, SeiError, DEFAULT_CHUNK};
 use sei_nn::data::Dataset;
 use sei_nn::{Layer, MaxPool2d, Network, Tensor3};
 use serde::{Deserialize, Serialize};
@@ -100,6 +101,8 @@ enum BLayer {
         act_scale: f32,
         /// Conv geometry (`None` for FC).
         conv: Option<(usize, usize)>, // (in_ch, kernel)
+        /// Counter-based noise key of this layer's crossbar tile.
+        tile: NoiseKey,
     },
     Relu,
     Pool(usize),
@@ -109,14 +112,13 @@ enum BLayer {
 /// A float CNN realized on the traditional merged-crossbar structure.
 ///
 /// As with [`crate::CrossbarNetwork`], programming variation is frozen at
-/// build time and read noise comes from a caller-provided RNG, so the
-/// network is shareable across threads and
-/// [`error_rate`](Self::error_rate) is bit-identical at any thread count.
+/// build time and read noise comes from the counter-based stream keyed
+/// by `(seed, layer, image, position, …)`, so the network is shareable
+/// across threads and [`error_rate`](Self::error_rate) is bit-identical
+/// at any thread count or chunking by construction.
 #[derive(Debug)]
 pub struct BaselineNetwork {
     layers: Vec<BLayer>,
-    /// Base seed for per-chunk read-noise streams.
-    noise_seed: u64,
 }
 
 impl BaselineNetwork {
@@ -130,6 +132,7 @@ impl BaselineNetwork {
     pub fn new(net: &Network, calib: &Dataset, cfg: &BaselineEvalConfig) -> Self {
         assert!(!calib.is_empty(), "calibration set must not be empty");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let root = NoiseKey::new(cfg.seed.wrapping_add(1));
 
         // Per-layer input maxima from float activations.
         let mut act_max: Vec<f32> = vec![0.0; net.len()];
@@ -155,6 +158,7 @@ impl BaselineNetwork {
                     bias: c.bias().to_vec(),
                     act_scale: act_max[i].max(1e-6),
                     conv: Some((c.in_channels(), c.kernel())),
+                    tile: root.tile(i as u64),
                 },
                 Layer::Linear(l) => BLayer::Weighted {
                     xbar: MergedCrossbar::new(
@@ -166,6 +170,7 @@ impl BaselineNetwork {
                     bias: l.bias().to_vec(),
                     act_scale: act_max[i].max(1e-6),
                     conv: None,
+                    tile: root.tile(i as u64),
                 },
                 Layer::Relu => BLayer::Relu,
                 Layer::Pool(p) => BLayer::Pool(p.size()),
@@ -174,16 +179,14 @@ impl BaselineNetwork {
             .collect();
 
         // `rng` ends here: programming variation is committed; reads use
-        // fresh per-chunk streams derived from `noise_seed`.
-        BaselineNetwork {
-            layers,
-            noise_seed: cfg.seed.wrapping_add(1),
-        }
+        // the counter-based per-tile streams rooted at `seed + 1`.
+        BaselineNetwork { layers }
     }
 
-    /// Forward pass to class scores through the analog baseline, drawing
-    /// read noise from `rng`.
-    pub fn forward_with(&self, image: &Tensor3, rng: &mut StdRng) -> Tensor3 {
+    /// Forward pass to class scores through the analog baseline. Read
+    /// noise is a pure function of `(build seed, layer, image_index,
+    /// position)` — same index, same noise, on any thread.
+    pub fn forward_with(&self, image: &Tensor3, image_index: u64) -> Tensor3 {
         let mut cur = image.clone();
         for layer in &self.layers {
             cur = match layer {
@@ -192,11 +195,16 @@ impl BaselineNetwork {
                     bias,
                     act_scale,
                     conv,
+                    tile,
                 } => match conv {
-                    Some((in_ch, k)) => conv_forward(xbar, bias, *act_scale, *in_ch, *k, &cur, rng),
+                    Some((in_ch, k)) => {
+                        let ctx = NoiseCtx::keyed(*tile).image(image_index);
+                        conv_forward(xbar, bias, *act_scale, *in_ch, *k, &cur, ctx)
+                    }
                     None => {
+                        let ctx = NoiseCtx::keyed(*tile).image(image_index);
                         let x: Vec<f32> = cur.as_slice().iter().map(|&v| v / act_scale).collect();
-                        let mut y = xbar.matvec(&x, rng);
+                        let mut y = xbar.matvec(&x, ctx);
                         for (o, b) in y.iter_mut().zip(bias) {
                             *o = *o * act_scale + b;
                         }
@@ -215,13 +223,14 @@ impl BaselineNetwork {
         cur
     }
 
-    /// Classifies an image, drawing read noise from `rng`.
-    pub fn classify_with(&self, image: &Tensor3, rng: &mut StdRng) -> usize {
-        self.forward_with(image, rng).argmax()
+    /// Classifies an image; `image_index` keys its read-noise stream.
+    pub fn classify_with(&self, image: &Tensor3, image_index: u64) -> usize {
+        self.forward_with(image, image_index).argmax()
     }
 
     /// Error rate over a dataset (one stochastic pass, parallelized over
-    /// fixed-size chunks with per-chunk noise streams).
+    /// fixed-size chunks; noise is keyed per image by its global dataset
+    /// index).
     ///
     /// # Panics
     ///
@@ -232,12 +241,11 @@ impl BaselineNetwork {
         let errors: usize = engine
             .map_chunks(data.images(), DEFAULT_CHUNK, |c, chunk| {
                 let base = c * DEFAULT_CHUNK;
-                let mut rng = StdRng::seed_from_u64(chunk_seed(self.noise_seed, c as u64));
                 chunk
                     .iter()
                     .enumerate()
                     .filter(|(i, img)| {
-                        self.classify_with(img, &mut rng) != labels[base + i] as usize
+                        self.classify_with(img, (base + i) as u64) != labels[base + i] as usize
                     })
                     .count()
             })
@@ -248,7 +256,9 @@ impl BaselineNetwork {
 }
 
 /// Conv layer on the merged crossbar: per position, gather the patch,
-/// normalize for the DAC, matvec, rescale and add bias digitally.
+/// normalize for the DAC, matvec, rescale and add bias digitally. Each
+/// output position advances the `read` counter of `ctx`.
+#[allow(clippy::too_many_arguments)]
 fn conv_forward(
     xbar: &MergedCrossbar,
     bias: &[f32],
@@ -256,7 +266,7 @@ fn conv_forward(
     in_ch: usize,
     k: usize,
     x: &Tensor3,
-    rng: &mut StdRng,
+    ctx: NoiseCtx,
 ) -> Tensor3 {
     let (ih, iw) = (x.height(), x.width());
     let (oh, ow) = (ih - k + 1, iw - k + 1);
@@ -274,7 +284,7 @@ fn conv_forward(
                     }
                 }
             }
-            let y = xbar.matvec(&patch, rng);
+            let y = xbar.matvec(&patch, ctx.read((oy * ow + ox) as u64));
             for (c, (&v, &b)) in y.iter().zip(bias).enumerate() {
                 out.set(c, oy, ox, v * act_scale + b);
             }

@@ -8,14 +8,25 @@
 //! per compute. The first (input) layer keeps its DAC-driven analog path
 //! (§3.2) and is modelled by a reconstructed weight matrix whose entries
 //! carry the same per-cell programming variation as an SEI row pair.
+//!
+//! # Noise determinism
+//!
+//! Programming variation draws from a sequential `StdRng` seeded by
+//! `cfg.seed` (build order is fixed, so this is reproducible). Read and
+//! sense-amp noise come from the counter-based stream
+//! ([`sei_device::NoiseKey`]): every crossbar part owns a tile key
+//! derived from `(cfg.seed + 1, layer, part)` at build time, and each
+//! read derives `tile.image(index).read(position)` — a pure function of
+//! coordinates, so results are bit-identical at any thread count, batch
+//! shape or kernel backend.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sei_crossbar::dac::Dac;
-use sei_crossbar::kernels::ReadScratch;
+use sei_crossbar::kernels::{KernelConfig, KernelMode, NoiseCtx, ReadScratch};
 use sei_crossbar::sei::{FaultInjection, FaultStats, SeiConfig, SeiCrossbar};
-use sei_device::{DeviceSpec, ProgrammedCell, WriteVerify};
-use sei_engine::{chunk_seed, Engine, SeiError, DEFAULT_CHUNK};
+use sei_device::{DeviceSpec, NoiseKey, ProgrammedCell, WriteVerify};
+use sei_engine::{Engine, SeiError, DEFAULT_CHUNK};
 use sei_faults::{mix, EnduranceModel, FaultMap, FaultModel};
 use sei_mapping::evaluate::OutputHead;
 use sei_mapping::fault_aware::fault_aware_order;
@@ -40,6 +51,11 @@ pub struct CrossbarEvalConfig {
     pub output_head: OutputHead,
     /// Seed for programming variation and read noise.
     pub seed: u64,
+    /// Kernel-backend selection for the SEI read path. Defaults to
+    /// deferring to the process-wide `SEI_KERNELS` default; pin one with
+    /// [`with_kernel_backend`](Self::with_kernel_backend).
+    #[serde(default)]
+    pub kernels: KernelConfig,
 }
 
 impl Default for CrossbarEvalConfig {
@@ -49,6 +65,7 @@ impl Default for CrossbarEvalConfig {
             sei: SeiConfig::new(sei_crossbar::SeiMode::SignedPorts),
             output_head: OutputHead::Adc,
             seed: 0,
+            kernels: KernelConfig::new(),
         }
     }
 }
@@ -84,6 +101,14 @@ impl CrossbarEvalConfig {
     /// Sets the variation/noise seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Pins the kernel backend for this evaluation, overriding the
+    /// process-wide `SEI_KERNELS` default. All backends are bit-identical;
+    /// this selects the implementation, not the semantics.
+    pub fn with_kernel_backend(mut self, mode: KernelMode) -> Self {
+        self.kernels = self.kernels.with_backend(mode);
         self
     }
 
@@ -213,6 +238,8 @@ enum XLayer {
         geom: ConvGeom,
         /// Attribution scope of the (single-tile) DAC layer.
         scope: ScopeId,
+        /// Noise tile key of the (single-tile) DAC layer.
+        tile: NoiseKey,
     },
     /// Hidden conv on SEI crossbars (possibly split).
     HiddenConv {
@@ -222,6 +249,8 @@ enum XLayer {
         geom: ConvGeom,
         /// Attribution scope per part (tile).
         scopes: Vec<ScopeId>,
+        /// Noise tile key per part.
+        tiles: Vec<NoiseKey>,
     },
     /// Hidden FC on SEI crossbars (possibly split).
     HiddenFc {
@@ -230,6 +259,8 @@ enum XLayer {
         required: usize,
         /// Attribution scope per part (tile).
         scopes: Vec<ScopeId>,
+        /// Noise tile key per part.
+        tiles: Vec<NoiseKey>,
     },
     /// Output FC: analog margins (unsplit), ADC-summed part margins or
     /// vote counts (split, depending on the head).
@@ -240,6 +271,8 @@ enum XLayer {
         head: OutputHead,
         /// Attribution scope per part (tile).
         scopes: Vec<ScopeId>,
+        /// Noise tile key per part.
+        tiles: Vec<NoiseKey>,
     },
     /// OR pooling.
     PoolOr { size: usize },
@@ -249,19 +282,19 @@ enum XLayer {
 
 /// A quantized network realized on simulated crossbars.
 ///
-/// Programming variation is frozen at build time; read noise is drawn from
-/// an explicit caller-provided RNG ([`forward_with`](Self::forward_with)),
-/// which keeps the network shareable across threads.
-/// [`error_rate`](Self::error_rate) derives one independent noise stream
-/// per work chunk from the build seed, so its result is bit-identical at
-/// any thread count.
+/// Programming variation is frozen at build time; read and sense-amp
+/// noise are pure functions of `(seed, layer, part, image, position)`
+/// via the counter-based stream, which keeps the network shareable
+/// across threads: [`forward_with`](Self::forward_with) takes the image
+/// index, not an RNG, and [`error_rate`](Self::error_rate) is
+/// bit-identical at any thread count by construction.
 #[derive(Debug)]
 pub struct CrossbarNetwork {
     layers: Vec<XLayer>,
     /// Per-layer display names (`l03.conv`, …) for trace scopes.
     layer_names: Vec<String>,
-    /// Base seed for per-chunk read-noise streams.
-    noise_seed: u64,
+    /// Resolved kernel backend for every SEI read.
+    mode: KernelMode,
     /// Total programming pulses spent building all arrays.
     write_pulses: u64,
     /// Aggregated fault bookkeeping over every SEI part (all zero when
@@ -282,8 +315,6 @@ pub struct CrossbarNetwork {
 pub struct EvalScratch {
     /// Crossbar read-path buffers and batched telemetry.
     read: ReadScratch,
-    /// Binary conv patch (one bit per logical row of the layer).
-    patch: Vec<bool>,
     /// DAC-converted analog patch for the first conv layer.
     dac_patch: Vec<f64>,
     /// Per-part routed input bits.
@@ -292,6 +323,14 @@ pub struct EvalScratch {
     fires: Vec<bool>,
     /// Per-column vote counts across parts.
     counts: Vec<usize>,
+    /// Flat im2col patches of a conv layer (positions × logical rows).
+    patches: Vec<bool>,
+    /// Flat routed inputs of one part's batched read (positions × rows).
+    batch_input: Vec<bool>,
+    /// Per-position noise contexts of a batched conv read.
+    ctxs: Vec<NoiseCtx>,
+    /// Flat fires of one part's batched read (positions × columns).
+    batch_fires: Vec<bool>,
     /// Per-class margin totals (split ADC head).
     totals: Vec<f64>,
     /// Per-class margins of one part.
@@ -401,6 +440,10 @@ impl CrossbarNetwork {
     ) -> Self {
         assert_eq!(specs.len(), qnet.layers().len(), "one spec slot per layer");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // Root of the counter-based read/SA noise stream; every part gets
+        // its own `(layer, part)` tile key so streams never collide.
+        let root = NoiseKey::new(cfg.seed.wrapping_add(1));
+        let tile_key = |l: usize, k: usize| root.tile(((l as u64) << 32) | k as u64);
         let mut write_pulses = 0u64;
         let mut fault_stats = FaultStats::default();
         let mut layers = Vec::with_capacity(qnet.layers().len());
@@ -459,6 +502,7 @@ impl CrossbarNetwork {
                             kernel: conv.kernel(),
                         },
                         scope: tile_scopes(layer_names.last().unwrap(), 1)[0],
+                        tile: tile_key(l, 0),
                     });
                 }
                 QLayer::BinaryConv { conv, threshold } => {
@@ -480,6 +524,7 @@ impl CrossbarNetwork {
                         &mut fault_stats,
                     );
                     let scopes = tile_scopes(layer_names.last().unwrap(), parts.len());
+                    let tiles = (0..parts.len()).map(|k| tile_key(l, k)).collect();
                     layers.push(XLayer::HiddenConv {
                         parts,
                         spec,
@@ -489,6 +534,7 @@ impl CrossbarNetwork {
                             kernel: conv.kernel(),
                         },
                         scopes,
+                        tiles,
                     });
                 }
                 QLayer::BinaryFc { linear, threshold } => {
@@ -510,11 +556,13 @@ impl CrossbarNetwork {
                         &mut fault_stats,
                     );
                     let scopes = tile_scopes(layer_names.last().unwrap(), parts.len());
+                    let tiles = (0..parts.len()).map(|k| tile_key(l, k)).collect();
                     layers.push(XLayer::HiddenFc {
                         parts,
                         spec,
                         required,
                         scopes,
+                        tiles,
                     });
                 }
                 QLayer::OutputFc { linear } => {
@@ -541,12 +589,14 @@ impl CrossbarNetwork {
                         &mut fault_stats,
                     );
                     let scopes = tile_scopes(layer_names.last().unwrap(), parts.len());
+                    let tiles = (0..parts.len()).map(|k| tile_key(l, k)).collect();
                     layers.push(XLayer::OutputFc {
                         parts,
                         spec,
                         split,
                         head: cfg.output_head,
                         scopes,
+                        tiles,
                     });
                 }
                 QLayer::PoolOr { size } => layers.push(XLayer::PoolOr { size: *size }),
@@ -555,11 +605,11 @@ impl CrossbarNetwork {
         }
 
         // `rng` ends here: programming variation is committed; reads use
-        // fresh per-chunk streams derived from `noise_seed`.
+        // the counter-based streams rooted at the per-part tile keys.
         CrossbarNetwork {
             layers,
             layer_names,
-            noise_seed: cfg.seed.wrapping_add(1),
+            mode: cfg.kernels.resolve(),
             write_pulses,
             fault_stats,
         }
@@ -576,13 +626,15 @@ impl CrossbarNetwork {
         &self.fault_stats
     }
 
-    /// Classifies an image through the full analog pipeline, drawing read
-    /// noise from `rng`.
+    /// Classifies an image through the full analog pipeline. `image_index`
+    /// keys the noise stream: evaluating the same image under the same
+    /// index reproduces the read bit-for-bit, and distinct indices draw
+    /// independent noise.
     ///
     /// Convenience wrapper over [`classify_scratch`](Self::classify_scratch)
     /// that pays a scratch allocation per call.
-    pub fn classify_with(&self, image: &Tensor3, rng: &mut StdRng) -> usize {
-        self.forward_with(image, rng).argmax()
+    pub fn classify_with(&self, image: &Tensor3, image_index: u64) -> usize {
+        self.forward_with(image, image_index).argmax()
     }
 
     /// Allocation-reusing [`classify_with`](Self::classify_with): hot loops
@@ -591,20 +643,47 @@ impl CrossbarNetwork {
     pub fn classify_scratch(
         &self,
         image: &Tensor3,
-        rng: &mut StdRng,
+        image_index: u64,
         scratch: &mut EvalScratch,
     ) -> usize {
-        self.forward_scratch(image, rng, scratch).argmax()
+        self.forward_scratch(image, image_index, scratch).argmax()
+    }
+
+    /// Classifies a batch of images through one reused scratch, keying
+    /// image `i`'s noise stream by `base_index + i` — the batched read
+    /// entry point for serving layers that form request batches.
+    ///
+    /// Inside each image, the hidden conv layers already batch all
+    /// output positions through one [`SeiCrossbar::forward_batch_into`]
+    /// call per part, amortizing gate scanning and noise setup; this
+    /// wrapper extends the same buffer reuse across the whole batch.
+    /// Because every noise draw is a pure function of
+    /// `(seed, tile, image index, read, lane)`, the predictions are
+    /// bit-identical whether images arrive one at a time, batched, or
+    /// split across threads — a batch former never changes results.
+    ///
+    /// [`SeiCrossbar::forward_batch_into`]: sei_crossbar::SeiCrossbar::forward_batch_into
+    pub fn classify_batch_scratch(
+        &self,
+        images: &[Tensor3],
+        base_index: u64,
+        scratch: &mut EvalScratch,
+    ) -> Vec<usize> {
+        images
+            .iter()
+            .enumerate()
+            .map(|(i, img)| self.classify_scratch(img, base_index + i as u64, scratch))
+            .collect()
     }
 
     /// Full forward pass to class scores (analog margins, or vote counts
-    /// for a split output layer), drawing read noise from `rng`.
+    /// for a split output layer) under the noise stream of `image_index`.
     ///
     /// Convenience wrapper over [`forward_scratch`](Self::forward_scratch)
     /// that pays a scratch allocation per call.
-    pub fn forward_with(&self, image: &Tensor3, rng: &mut StdRng) -> Tensor3 {
+    pub fn forward_with(&self, image: &Tensor3, image_index: u64) -> Tensor3 {
         let mut scratch = EvalScratch::new();
-        self.forward_scratch(image, rng, &mut scratch)
+        self.forward_scratch(image, image_index, &mut scratch)
     }
 
     /// Full forward pass reusing caller-owned buffers: no per-read heap
@@ -614,7 +693,7 @@ impl CrossbarNetwork {
     pub fn forward_scratch(
         &self,
         image: &Tensor3,
-        rng: &mut StdRng,
+        image_index: u64,
         scratch: &mut EvalScratch,
     ) -> Tensor3 {
         enum V {
@@ -634,6 +713,7 @@ impl CrossbarNetwork {
                         read_sigma,
                         geom,
                         scope,
+                        tile,
                     },
                     V::A(img),
                 ) => {
@@ -645,8 +725,8 @@ impl CrossbarNetwork {
                         *read_sigma,
                         *geom,
                         *scope,
+                        tile.image(image_index),
                         &img,
-                        rng,
                         &mut scratch.dac_patch,
                     );
                     V::B(bits)
@@ -658,10 +738,19 @@ impl CrossbarNetwork {
                         required,
                         geom,
                         scopes,
+                        tiles,
                     },
                     V::B(bits),
                 ) => V::B(hidden_conv_forward(
-                    parts, spec, *required, *geom, scopes, &bits, rng, scratch,
+                    parts,
+                    spec,
+                    *required,
+                    *geom,
+                    scopes,
+                    tiles,
+                    image_index,
+                    &bits,
+                    scratch,
                 )),
                 (
                     XLayer::HiddenFc {
@@ -669,10 +758,20 @@ impl CrossbarNetwork {
                         spec,
                         required,
                         scopes,
+                        tiles,
                     },
                     V::B(bits),
                 ) => {
-                    fc_part_counts(parts, spec, scopes, bits.as_slice(), rng, scratch);
+                    fc_part_counts(
+                        parts,
+                        spec,
+                        scopes,
+                        tiles,
+                        image_index,
+                        bits.as_slice(),
+                        self.mode,
+                        scratch,
+                    );
                     let out: Vec<bool> = scratch.counts.iter().map(|&c| c >= *required).collect();
                     let n = out.len();
                     V::B(BitTensor::from_vec(n, 1, 1, out))
@@ -684,11 +783,21 @@ impl CrossbarNetwork {
                         split,
                         head,
                         scopes,
+                        tiles,
                     },
                     V::B(bits),
                 ) => {
                     if *split && *head == OutputHead::Popcount {
-                        fc_part_counts(parts, spec, scopes, bits.as_slice(), rng, scratch);
+                        fc_part_counts(
+                            parts,
+                            spec,
+                            scopes,
+                            tiles,
+                            image_index,
+                            bits.as_slice(),
+                            self.mode,
+                            scratch,
+                        );
                         V::A(Tensor3::from_flat(
                             scratch.counts.iter().map(|&c| c as f32).collect(),
                         ))
@@ -708,7 +817,8 @@ impl CrossbarNetwork {
                             read.set_scope(scopes[p]);
                             input.clear();
                             input.extend(spec.partitions[p].iter().map(|&r| bits.get(r, 0, 0)));
-                            xbar.margins_into(input, rng, read, margins);
+                            let ctx = NoiseCtx::keyed(tiles[p]).image(image_index);
+                            xbar.margins_into_with(input, ctx, read, margins, self.mode);
                             for (t, &v) in totals.iter_mut().zip(margins.iter()) {
                                 *t += v;
                             }
@@ -719,7 +829,8 @@ impl CrossbarNetwork {
                     } else {
                         let EvalScratch { read, margins, .. } = &mut *scratch;
                         read.set_scope(scopes[0]);
-                        parts[0].margins_into(bits.as_slice(), rng, read, margins);
+                        let ctx = NoiseCtx::keyed(tiles[0]).image(image_index);
+                        parts[0].margins_into_with(bits.as_slice(), ctx, read, margins, self.mode);
                         V::A(Tensor3::from_flat(
                             margins.iter().map(|&m| m as f32).collect(),
                         ))
@@ -745,9 +856,9 @@ impl CrossbarNetwork {
     /// Error rate over a dataset (one stochastic pass, parallelized over
     /// fixed-size chunks).
     ///
-    /// Each chunk draws read noise from its own stream seeded by
-    /// [`chunk_seed`] of the build seed, so the result does not depend on
-    /// `engine`'s thread count.
+    /// Every image's noise stream is keyed by its global dataset index,
+    /// so the result is bit-identical at any thread count or chunking —
+    /// no per-chunk RNG bookkeeping required.
     ///
     /// # Panics
     ///
@@ -758,16 +869,15 @@ impl CrossbarNetwork {
         let errors: usize = engine
             .map_chunks(data.images(), DEFAULT_CHUNK, |c, chunk| {
                 let base = c * DEFAULT_CHUNK;
-                let mut rng = StdRng::seed_from_u64(chunk_seed(self.noise_seed, c as u64));
                 // One scratch per chunk: buffer reuse is thread-local and
-                // leaves the per-chunk RNG streams untouched, so the result
-                // stays bit-identical at any thread count.
+                // noise is keyed per image, so the result stays
+                // bit-identical at any thread count.
                 let mut scratch = EvalScratch::new();
                 chunk
                     .iter()
                     .enumerate()
                     .filter(|(i, img)| {
-                        self.classify_scratch(img, &mut rng, &mut scratch)
+                        self.classify_scratch(img, (base + i) as u64, &mut scratch)
                             != labels[base + i] as usize
                     })
                     .count()
@@ -866,6 +976,11 @@ fn build_parts(
 /// analog matrix, aggregated column read noise, threshold firing.
 /// Telemetry (DAC conversions, noise draws) batches locally and flushes
 /// once per call — this layer runs once per image.
+///
+/// Read noise comes from the counter-based stream: `key` is already the
+/// layer tile key derived for this image, each output position advances
+/// the `read` counter and each column is one gaussian lane, so the noise
+/// is a pure function of `(seed, layer, image, position, column)`.
 #[allow(clippy::too_many_arguments)]
 fn first_conv_forward(
     recon: &Matrix,
@@ -875,11 +990,10 @@ fn first_conv_forward(
     read_sigma: f64,
     geom: ConvGeom,
     scope: ScopeId,
+    key: NoiseKey,
     img: &Tensor3,
-    rng: &mut StdRng,
     patch: &mut Vec<f64>,
 ) -> BitTensor {
-    use rand::Rng;
     let k = geom.kernel;
     let (ih, iw) = (img.height(), img.width());
     let (oh, ow) = (ih - k + 1, iw - k + 1);
@@ -899,6 +1013,7 @@ fn first_conv_forward(
                     }
                 }
             }
+            let pos_key = key.read((oy * ow + ox) as u64);
             for (c, &b) in bias.iter().enumerate().take(m) {
                 let mut acc = f64::from(b);
                 let mut var = 0.0f64;
@@ -911,10 +1026,7 @@ fn first_conv_forward(
                     var += contrib * contrib;
                 }
                 if read_sigma > 0.0 && var > 0.0 {
-                    let u1: f64 = rng.gen_range(1e-12..1.0);
-                    let u2: f64 = rng.gen_range(0.0..1.0);
-                    let g = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-                    acc += read_sigma * var.sqrt() * g;
+                    acc += read_sigma * var.sqrt() * pos_key.gaussian(c as u64);
                     noise_draws += 1;
                 }
                 out.set(c, oy, ox, acc > f64::from(threshold));
@@ -934,8 +1046,13 @@ fn first_conv_forward(
     out
 }
 
-/// Hidden conv: per output position, route the patch bits to each part's
-/// crossbar and vote. Staging buffers live in `scratch`.
+/// Hidden conv: im2col every output position once, then run each part as
+/// a single image-batched read over all positions (gate scanning and
+/// noise setup amortize across the batch). Each position is one `read`
+/// counter step of the part's tile key, so the part-major iteration
+/// order is observationally identical to the old position-major loop —
+/// noise draws are order-free by construction. Staging buffers live in
+/// `scratch`.
 #[allow(clippy::too_many_arguments)]
 fn hidden_conv_forward(
     parts: &[SeiCrossbar],
@@ -943,66 +1060,89 @@ fn hidden_conv_forward(
     required: usize,
     geom: ConvGeom,
     scopes: &[ScopeId],
+    tiles: &[NoiseKey],
+    image_index: u64,
     bits: &BitTensor,
-    rng: &mut StdRng,
     scratch: &mut EvalScratch,
 ) -> BitTensor {
     let k = geom.kernel;
     let (ih, iw) = (bits.height(), bits.width());
     let (oh, ow) = (ih - k + 1, iw - k + 1);
+    let positions = oh * ow;
     let m = parts[0].kernel_columns();
     let n: usize = spec.total_rows();
     let mut out = BitTensor::zeros(m, oh, ow);
     let EvalScratch {
         read,
-        patch,
-        input,
-        fires,
         counts,
+        patches,
+        batch_input,
+        ctxs,
+        batch_fires,
         ..
     } = scratch;
-    patch.clear();
-    patch.resize(n, false);
+    // im2col: all output positions' patches, position-major.
+    patches.clear();
+    patches.resize(positions * n, false);
     for oy in 0..oh {
         for ox in 0..ow {
+            let base = (oy * ow + ox) * n;
             let mut r = 0;
             for i in 0..geom.in_ch {
                 for ky in 0..k {
                     for kx in 0..k {
-                        patch[r] = bits.get(i, oy + ky, ox + kx);
+                        patches[base + r] = bits.get(i, oy + ky, ox + kx);
                         r += 1;
                     }
                 }
             }
-            counts.clear();
-            counts.resize(m, 0);
-            for (p, xbar) in parts.iter().enumerate() {
-                read.set_scope(scopes[p]);
-                input.clear();
-                input.extend(spec.partitions[p].iter().map(|&row| patch[row]));
-                xbar.forward_into(input, rng, read, fires);
-                for (c, &fire) in fires.iter().enumerate() {
-                    if fire {
-                        counts[c] += 1;
-                    }
+        }
+    }
+    counts.clear();
+    counts.resize(positions * m, 0);
+    for (p, xbar) in parts.iter().enumerate() {
+        read.set_scope(scopes[p]);
+        let rows = spec.partitions[p].len();
+        batch_input.clear();
+        batch_input.reserve(rows * positions);
+        for pos in 0..positions {
+            let patch = &patches[pos * n..(pos + 1) * n];
+            batch_input.extend(spec.partitions[p].iter().map(|&row| patch[row]));
+        }
+        let part_ctx = NoiseCtx::keyed(tiles[p]).image(image_index);
+        ctxs.clear();
+        ctxs.extend((0..positions).map(|pos| part_ctx.read(pos as u64)));
+        xbar.forward_batch_into(batch_input, ctxs, read, batch_fires);
+        for pos in 0..positions {
+            let fired = &batch_fires[pos * m..(pos + 1) * m];
+            let row = &mut counts[pos * m..(pos + 1) * m];
+            for (slot, &fire) in row.iter_mut().zip(fired) {
+                if fire {
+                    *slot += 1;
                 }
             }
-            for (c, &cnt) in counts.iter().enumerate() {
-                out.set(c, oy, ox, cnt >= required);
-            }
+        }
+    }
+    for pos in 0..positions {
+        let (oy, ox) = (pos / ow, pos % ow);
+        for (c, &cnt) in counts[pos * m..(pos + 1) * m].iter().enumerate() {
+            out.set(c, oy, ox, cnt >= required);
         }
     }
     out
 }
 
 /// FC: per part, route its rows' bits and count fires per column into
-/// `scratch.counts`.
+/// `scratch.counts`, reading with the network's resolved kernel backend.
+#[allow(clippy::too_many_arguments)]
 fn fc_part_counts(
     parts: &[SeiCrossbar],
     spec: &SplitSpec,
     scopes: &[ScopeId],
+    tiles: &[NoiseKey],
+    image_index: u64,
     bits: &[bool],
-    rng: &mut StdRng,
+    mode: KernelMode,
     scratch: &mut EvalScratch,
 ) {
     let m = parts[0].kernel_columns();
@@ -1019,7 +1159,8 @@ fn fc_part_counts(
         read.set_scope(scopes[p]);
         input.clear();
         input.extend(spec.partitions[p].iter().map(|&row| bits[row]));
-        xbar.forward_into(input, rng, read, fires);
+        let ctx = NoiseCtx::keyed(tiles[p]).image(image_index);
+        xbar.forward_into_with(input, ctx, read, fires, mode);
         for (c, &fire) in fires.iter().enumerate() {
             if fire {
                 counts[c] += 1;
@@ -1091,9 +1232,8 @@ mod tests {
             "software {sw_err} vs ideal crossbar {hw_err}"
         );
         let mut agree = 0usize;
-        let mut rng = StdRng::seed_from_u64(77);
-        for (img, _) in test.iter() {
-            if sw.classify(img) == xnet.classify_with(img, &mut rng) {
+        for (i, (img, _)) in test.iter().enumerate() {
+            if sw.classify(img) == xnet.classify_with(img, i as u64) {
                 agree += 1;
             }
         }

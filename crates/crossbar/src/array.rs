@@ -6,9 +6,9 @@
 //! independent per-cell noise, see [`CrossbarArray::column_currents`]).
 
 use crate::ir_drop::IrDropModel;
+use crate::kernels::{self, NoiseCtx};
 use crate::MAX_FABRICABLE_SIZE;
 use rand::rngs::StdRng;
-use rand::Rng;
 use sei_device::{DeviceSpec, IvCurve, ProgrammedCell, WriteVerify};
 use sei_faults::FaultMap;
 use sei_nn::Matrix;
@@ -159,12 +159,16 @@ impl CrossbarArray {
     /// Per-cell Gaussian read noise with relative sigma `σ` is aggregated to
     /// a per-column Gaussian with variance `σ² · Σ_j (g_kj · v_j)²`; this is
     /// exactly the distribution of the sum of independent per-cell noises,
-    /// computed ~`rows`× faster.
+    /// computed ~`rows`× faster. The draw for column `k` is the pure
+    /// function `ctx.key().gaussian(k)` of the read's noise context —
+    /// order-free and thread-invariant; an ideal context reads
+    /// noiselessly. Callers evaluating many reads derive a distinct
+    /// context per read (see [`NoiseCtx`]).
     ///
     /// # Panics
     ///
     /// Panics if `voltages.len() != rows`.
-    pub fn column_currents(&self, voltages: &[f64], rng: &mut StdRng) -> Vec<f64> {
+    pub fn column_currents(&self, voltages: &[f64], ctx: NoiseCtx) -> Vec<f64> {
         assert_eq!(voltages.len(), self.rows, "one voltage per row required");
         let mut currents = vec![0.0f64; self.cols];
         let mut variances = vec![0.0f64; self.cols];
@@ -190,11 +194,8 @@ impl CrossbarArray {
         counters::add(Event::CrossbarReadOps, 1);
         counters::add_energy_joules(self.spec.read_pulse * power);
         if self.spec.read_sigma > 0.0 {
-            for (i, cur) in currents.iter_mut().enumerate() {
-                let std = self.spec.read_sigma * variances[i].sqrt();
-                if std > 0.0 {
-                    *cur += std * gaussian(rng);
-                }
+            if let Some(key) = ctx.key() {
+                kernels::apply_column_noise(key, self.spec.read_sigma, &mut currents, &variances);
             }
         }
         currents
@@ -219,12 +220,6 @@ impl CrossbarArray {
         }
         currents
     }
-}
-
-fn gaussian(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(1e-12..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
 #[cfg(test)]
@@ -349,15 +344,22 @@ mod tests {
         let arr = CrossbarArray::program(&spec, &targets, WriteVerify::Enabled, &mut rng);
         let volts = vec![0.2; 16];
         let ideal = arr.ideal_column_currents(&volts)[0];
-        let n = 3000;
+        let root = NoiseCtx::keyed(sei_device::NoiseKey::new(3));
+        let n = 3000u64;
         let mean: f64 = (0..n)
-            .map(|_| arr.column_currents(&volts, &mut rng)[0])
+            .map(|i| arr.column_currents(&volts, root.read(i))[0])
             .sum::<f64>()
             / n as f64;
         assert!(
             ((mean - ideal) / ideal).abs() < 0.01,
             "mean {mean} vs ideal {ideal}"
         );
+        // Same context → same draw (purity); ideal context → no noise.
+        assert_eq!(
+            arr.column_currents(&volts, root.read(7)),
+            arr.column_currents(&volts, root.read(7))
+        );
+        assert_eq!(arr.column_currents(&volts, NoiseCtx::ideal()), vec![ideal]);
     }
 
     #[test]

@@ -1,103 +1,593 @@
-//! Bit-packed sparsity-aware compute kernels for the SEI read path.
+//! Kernel backends for the SEI read path: bit-packed sparsity-aware
+//! compute, SIMD-width register accumulation, and the counter-based
+//! read-noise stream.
 //!
 //! The paper's power argument is that 1-bit ReLU-sparse activations gate
 //! most crossbar rows *off* per read; this module makes the simulator's
-//! cost profile match. Three ingredients (see DESIGN.md §9):
+//! cost profile match. The read path is structured behind a small
+//! [`KernelBackend`] trait with three interchangeable implementations
+//! (see DESIGN.md §9 and §11):
 //!
-//! * **Flat packed row storage** ([`PackedRows`]) — every gated row's
-//!   per-column contributions live in one contiguous `Vec<f64>`, logical
-//!   input `j`'s `rows_per_input` physical rows at a fixed offset, with
-//!   the input-independent `Gate::AlwaysOn` bias/threshold rows split out
-//!   into a dedicated baseline block precomputed at build time. A read
-//!   only ever touches the rows whose input bit is set plus the baseline
-//!   block; no per-row gate matching, no `Vec<Vec<_>>` pointer chasing.
-//! * **Bit-packed activations** — the `&[bool]` input vector is packed
-//!   into `u64` words once per read; the active-row scan then walks set
-//!   bits with `trailing_zeros` (ascending bit order = ascending physical
-//!   row order, so the f64 summation order is unchanged).
-//! * **Reusable scratch** ([`ReadScratch`]) — column sums/variances, the
-//!   packed input words and batched telemetry accumulators live in a
-//!   caller-owned buffer, eliminating the per-read `vec!` allocations.
+//! * [`KernelMode::Scalar`] — the original per-row scan: fresh vectors
+//!   per read, gate matching per physical row, unconditional variance
+//!   accumulation. Kept as the microbenchmark baseline and the
+//!   `SEI_KERNELS=scalar` escape hatch.
+//! * [`KernelMode::Packed`] — flat packed row storage ([`PackedRows`]):
+//!   every gated row's per-column contributions live in one contiguous
+//!   `Vec<f64>`, logical input `j`'s `rows_per_input` physical rows at a
+//!   fixed offset, with the input-independent `Gate::AlwaysOn`
+//!   bias/threshold rows split out into a dedicated baseline block. The
+//!   `&[bool]` input is bit-packed into `u64` words once per read and the
+//!   active-row scan walks set bits with `trailing_zeros`. Row-major:
+//!   one streaming pass over the active weights.
+//! * [`KernelMode::Simd`] — column-blocked register accumulation: the
+//!   active logical inputs are decoded once into an index list, then each
+//!   block of [`SIMD_LANES`] columns accumulates sums in fixed-size local
+//!   arrays (explicit lanes the compiler keeps in vector registers),
+//!   storing each column once instead of once per row. Arrays wider than
+//!   [`SIMD_MAX_BLOCK_WIDTH`] columns fall back to the row-major packed
+//!   pass, which is memory-optimal there.
+//!
+//! What closes the noisy-read gap is the noise-stream v3 redefinition
+//! (see `sei_device::NOISE_STREAM_VERSION`): the canonical per-column
+//! variance is a sum of *per-block partials* (`Σ c²` over each logical
+//! input's rows, precomputed at pack time into
+//! [`PackedRows::gated_vars`]/[`PackedRows::baseline_vars`]), so the
+//! packed and simd backends gather one cache-resident row per active
+//! input instead of recomputing `c·c` for every cell on every read, and
+//! the per-column Gaussian draw is a transcendental-free counter hash
+//! ([`NoiseKey::gaussian`]).
 //!
 //! # Determinism contract
 //!
-//! The packed path is **bit-identical** to the scalar path: within each
-//! column the f64 additions happen in the exact physical-row order of the
-//! original loop (active gated rows ascending, then the AlwaysOn rows),
-//! the variance accumulation matches term for term, and therefore the
-//! read-noise RNG draws the same sequence (a column draws iff its
-//! accumulated variance is positive, which is bit-identical). Golden
-//! traces and NDJSON reports do not change across kernel modes or thread
-//! counts. This is also why the AlwaysOn baseline is stored as *rows*
-//! rather than pre-summed totals: folding the baseline into one value per
-//! column would change f64 rounding.
+//! All backends are **bit-identical**: within each column the f64 sum
+//! additions happen in the exact physical-row order of the original loop
+//! (active gated rows ascending, then the AlwaysOn rows), and the
+//! variance additions happen in the same *block* order — one partial per
+//! active input, baseline last. The scalar backend recomputes each
+//! block's partial from scratch per read (same operations, same order as
+//! pack time, hence the same bits); the packed/simd backends gather the
+//! precomputed partial. Read noise is no longer drawn from a sequential
+//! RNG at all: a [`NoiseCtx`] carries a [`sei_device::NoiseKey`] and
+//! column `k`'s draw is the pure function `key.gaussian(k)` —
+//! order-free, so reads can be reordered, batched or split across
+//! threads without perturbing a single bit (DESIGN.md §11). Golden
+//! traces and NDJSON reports do not change across kernel backends or
+//! thread counts. This is also why the AlwaysOn baseline *sums* are
+//! stored as rows rather than pre-summed totals: folding the baseline
+//! into one value per column would change f64 rounding.
 //!
-//! The original per-row scan is kept behind `SEI_KERNELS=scalar` as an
-//! escape hatch (and as the microbenchmark baseline).
+//! # Batched reads
+//!
+//! [`PackedRows::accumulate_batch`] evaluates one crossbar over a whole
+//! image batch, loading each active logical input's weight block once and
+//! applying it to every image whose bit is set — amortizing the gate scan
+//! and the weight traffic across the batch the serve batch former
+//! produces. Per-image column sums are bit-identical to sequential reads
+//! because each image's adds still happen in ascending-`j`-then-baseline
+//! order, and the keyed noise makes the draw order irrelevant.
 
+use sei_device::NoiseKey;
 use sei_telemetry::attr::{self, ScopeId};
 use sei_telemetry::counters::{self, Event};
+use sei_telemetry::env::{parse_var, EnvError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Which read-path implementation [`crate::sei::SeiCrossbar`] uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
 pub enum KernelMode {
     /// Bit-packed sparsity-aware gather over flat row storage (default).
     Packed,
     /// The original per-row scan — the `SEI_KERNELS=scalar` escape hatch
     /// and the old-path baseline of the `kernels` microbenchmark.
     Scalar,
+    /// Column-blocked explicit-lane register accumulation over the packed
+    /// storage — the fast path for noisy reads (`SEI_KERNELS=simd`).
+    Simd,
+}
+
+impl KernelMode {
+    /// All backends, in the order benches and CI matrices iterate them.
+    pub const ALL: [KernelMode; 3] = [KernelMode::Scalar, KernelMode::Packed, KernelMode::Simd];
+
+    /// The backend implementation for this mode.
+    pub fn backend(self) -> &'static dyn KernelBackend {
+        match self {
+            KernelMode::Scalar => &ScalarBackend,
+            KernelMode::Packed => &PackedBackend,
+            KernelMode::Simd => &SimdBackend,
+        }
+    }
+}
+
+impl fmt::Display for KernelMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.backend().name())
+    }
+}
+
+impl FromStr for KernelMode {
+    type Err = ();
+
+    /// Parses a `SEI_KERNELS` value; the empty string selects the
+    /// default (`packed`).
+    fn from_str(s: &str) -> Result<Self, ()> {
+        match s {
+            "" | "packed" => Ok(KernelMode::Packed),
+            "scalar" => Ok(KernelMode::Scalar),
+            "simd" => Ok(KernelMode::Simd),
+            _ => Err(()),
+        }
+    }
+}
+
+/// The expected-form string for `SEI_KERNELS` error messages.
+const KERNELS_EXPECTED: &str = "packed|scalar|simd";
+
+/// Typed kernel-backend selection for library callers (PR-2 config
+/// style): bins resolve the environment once ([`KernelConfig::from_env`])
+/// and hand the value down; `None` defers to the process-wide default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    #[serde(default)]
+    backend: Option<KernelMode>,
+}
+
+impl KernelConfig {
+    /// A config that defers to the process-wide `SEI_KERNELS` default.
+    pub fn new() -> Self {
+        KernelConfig::default()
+    }
+
+    /// Pins an explicit backend, overriding the env default — this is how
+    /// tests exercise backends side-by-side in one process.
+    #[must_use]
+    pub fn with_backend(mut self, mode: KernelMode) -> Self {
+        self.backend = Some(mode);
+        self
+    }
+
+    /// The pinned backend, if any.
+    pub fn backend(&self) -> Option<KernelMode> {
+        self.backend
+    }
+
+    /// Reads `SEI_KERNELS` from the environment (strict `SEI_*`
+    /// contract: malformed values are an error, never a silent default).
+    pub fn from_env() -> Result<Self, EnvError> {
+        Ok(KernelConfig {
+            backend: parse_var("SEI_KERNELS", KERNELS_EXPECTED)?,
+        })
+    }
+
+    /// Checks the configuration for consistency (always valid today; kept
+    /// for signature parity with the other `*Config` types).
+    pub fn validate(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// The effective mode: the pinned backend or the process default.
+    pub fn resolve(&self) -> KernelMode {
+        self.backend.unwrap_or_else(kernel_mode)
+    }
 }
 
 const MODE_UNSET: u8 = 0;
 const MODE_PACKED: u8 = 1;
 const MODE_SCALAR: u8 = 2;
+const MODE_SIMD: u8 = 3;
 
 static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
 
-/// The process-wide kernel mode, initialized from `SEI_KERNELS` on first
-/// use: unset or `packed` → [`KernelMode::Packed`], `scalar` →
-/// [`KernelMode::Scalar`], anything else → process exit 2 (the strict
-/// `SEI_*` contract — malformed values are never silently defaulted).
+/// The process-wide default kernel mode, initialized from `SEI_KERNELS`
+/// on first use: unset or `packed` → [`KernelMode::Packed`], `scalar` →
+/// [`KernelMode::Scalar`], `simd` → [`KernelMode::Simd`], anything else →
+/// process exit 2 (the strict `SEI_*` contract — malformed values are
+/// never silently defaulted). Per-evaluation selection via
+/// [`KernelConfig::with_backend`] overrides this without touching it.
 #[inline]
 pub fn kernel_mode() -> KernelMode {
     match MODE.load(Ordering::Relaxed) {
         MODE_PACKED => KernelMode::Packed,
         MODE_SCALAR => KernelMode::Scalar,
+        MODE_SIMD => KernelMode::Simd,
         _ => init_mode_from_env(),
     }
 }
 
 #[cold]
 fn init_mode_from_env() -> KernelMode {
-    let mode = match std::env::var("SEI_KERNELS") {
-        Err(_) => KernelMode::Packed,
-        Ok(raw) => match raw.trim() {
-            "" | "packed" => KernelMode::Packed,
-            "scalar" => KernelMode::Scalar,
-            _ => {
-                eprintln!(
-                    "error: environment variable SEI_KERNELS: invalid value \
-                     {raw:?} (expected packed|scalar)"
-                );
-                std::process::exit(2);
-            }
-        },
-    };
-    set_kernel_mode(mode);
-    mode
+    match parse_var::<KernelMode>("SEI_KERNELS", KERNELS_EXPECTED) {
+        Ok(mode) => {
+            let mode = mode.unwrap_or(KernelMode::Packed);
+            set_kernel_mode(mode);
+            mode
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
-/// Overrides the kernel mode for the rest of the process — used by the
-/// `kernels` microbenchmark to time both paths end-to-end in one run and
-/// by differential tests. Safe to flip at any point: both modes produce
+/// Overrides the process-wide default kernel mode — used by the
+/// `kernels` microbenchmark to time all paths end-to-end in one run and
+/// by differential tests. Safe to flip at any point: all backends produce
 /// bit-identical results, so switching cannot perturb an experiment.
 pub fn set_kernel_mode(mode: KernelMode) {
     let v = match mode {
         KernelMode::Packed => MODE_PACKED,
         KernelMode::Scalar => MODE_SCALAR,
+        KernelMode::Simd => MODE_SIMD,
     };
     MODE.store(v, Ordering::Relaxed);
+}
+
+/// Read-noise context of one crossbar read: either ideal (no noise) or
+/// keyed into the counter-based noise stream (see
+/// [`sei_device::NoiseKey`] and DESIGN.md §11).
+///
+/// A `NoiseCtx` is a cheap `Copy` value; evaluators derive one per
+/// `(tile, image, read)` with the chainable [`tile`](NoiseCtx::tile) /
+/// [`image`](NoiseCtx::image) / [`read`](NoiseCtx::read) helpers (no-ops
+/// on the ideal context). Within one read of a `width`-column array,
+/// lanes `[0, width)` of the key carry the per-column read noise and
+/// lanes `[width, 2·width)` the sense-amp decision noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoiseCtx {
+    key: Option<NoiseKey>,
+}
+
+impl NoiseCtx {
+    /// The noise-free context: no draws anywhere on the read path.
+    pub fn ideal() -> NoiseCtx {
+        NoiseCtx { key: None }
+    }
+
+    /// A context keyed into the counter-based stream.
+    pub fn keyed(key: NoiseKey) -> NoiseCtx {
+        NoiseCtx { key: Some(key) }
+    }
+
+    /// The underlying key, if this context is noisy.
+    pub fn key(self) -> Option<NoiseKey> {
+        self.key
+    }
+
+    /// Whether this context draws noise.
+    pub fn is_noisy(self) -> bool {
+        self.key.is_some()
+    }
+
+    /// Derives the per-tile child context (identity when ideal).
+    #[must_use]
+    pub fn tile(self, tile: u64) -> NoiseCtx {
+        NoiseCtx {
+            key: self.key.map(|k| k.tile(tile)),
+        }
+    }
+
+    /// Derives the per-image child context (identity when ideal).
+    #[must_use]
+    pub fn image(self, image: u64) -> NoiseCtx {
+        NoiseCtx {
+            key: self.key.map(|k| k.image(image)),
+        }
+    }
+
+    /// Derives the per-read child context (identity when ideal).
+    #[must_use]
+    pub fn read(self, read: u64) -> NoiseCtx {
+        NoiseCtx {
+            key: self.key.map(|k| k.read(read)),
+        }
+    }
+}
+
+/// What gates a physical row's transmission gates during compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) enum Gate {
+    /// Gated by logical input bit `j` (SEI decoder).
+    Input(usize),
+    /// Always on (bias / threshold rows).
+    AlwaysOn,
+}
+
+/// One physical crossbar row: its gate source and the precomputed
+/// contribution (`coeff · programmed-fraction`) of each cell, kernel
+/// columns first, reference column last.
+#[derive(Debug, Clone)]
+pub(crate) struct PhysRow {
+    pub(crate) gate: Gate,
+    pub(crate) contribs: Vec<f64>,
+}
+
+/// Read-only view of one crossbar's row storage handed to a
+/// [`KernelBackend`]: the physical row list (the scalar baseline's
+/// pointer-chasing layout) and its flat packed mirror.
+pub struct ReadView<'a> {
+    pub(crate) rows: &'a [PhysRow],
+    pub(crate) packed: &'a PackedRows,
+}
+
+/// One interchangeable implementation of the SEI read path's accumulate
+/// step. Every backend must produce bit-identical `scratch.sums` (and
+/// `scratch.vars` when `want_vars`) — the per-column f64 add order is
+/// part of the contract (see the module docs). Noise application and
+/// telemetry accounting are shared code in [`crate::sei`], outside the
+/// backend.
+pub trait KernelBackend: Sync {
+    /// Stable lowercase name, matching the `SEI_KERNELS` value.
+    fn name(&self) -> &'static str;
+
+    /// Accumulates the active rows for `input` into `scratch.sums` (and
+    /// `scratch.vars` when `want_vars` — a backend may also fill `vars`
+    /// when it is not wanted, but must fill it when it is), preserving
+    /// the canonical per-column add order. Returns the number of
+    /// gated-on logical inputs.
+    fn accumulate(
+        &self,
+        view: ReadView<'_>,
+        input: &[bool],
+        scratch: &mut ReadScratch,
+        want_vars: bool,
+    ) -> u64;
+}
+
+/// The original per-row scan, kept cost-faithful as the microbenchmark
+/// baseline: fresh vectors per read, gate matching per physical row,
+/// unconditional variance accumulation. The variance partial of each
+/// block is recomputed from scratch into a temporary and then added —
+/// the same operations in the same order as the pack-time
+/// precomputation, so the result is bit-identical to the gathered
+/// [`PackedRows::gated_vars`] rows.
+pub struct ScalarBackend;
+
+impl KernelBackend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn accumulate(
+        &self,
+        view: ReadView<'_>,
+        input: &[bool],
+        scratch: &mut ReadScratch,
+        _want_vars: bool,
+    ) -> u64 {
+        let w = view.packed.width;
+        let rpi = view.packed.rows_per_input.max(1);
+        let mut sums = vec![0.0f64; w];
+        let mut vars = vec![0.0f64; w];
+        let mut tmp = vec![0.0f64; w];
+        for block in view.rows.chunks(rpi) {
+            match block[0].gate {
+                Gate::Input(j) => {
+                    if !input[j] {
+                        continue;
+                    }
+                }
+                Gate::AlwaysOn => {}
+            }
+            tmp.fill(0.0);
+            for row in block {
+                debug_assert_eq!(row.gate, block[0].gate, "SEI row layout invariant");
+                for ((s, t), &c) in sums.iter_mut().zip(tmp.iter_mut()).zip(&row.contribs) {
+                    *s += c;
+                    *t += c * c;
+                }
+            }
+            for (v, &t) in vars.iter_mut().zip(&tmp) {
+                *v += t;
+            }
+        }
+        let mut ones = 0u64;
+        for &b in input {
+            ones += u64::from(b);
+        }
+        scratch.sums.clear();
+        scratch.sums.extend_from_slice(&sums);
+        scratch.vars.clear();
+        scratch.vars.extend_from_slice(&vars);
+        ones
+    }
+}
+
+/// The row-major bit-packed gather over [`PackedRows`] (PR-5).
+pub struct PackedBackend;
+
+impl KernelBackend for PackedBackend {
+    fn name(&self) -> &'static str {
+        "packed"
+    }
+
+    fn accumulate(
+        &self,
+        view: ReadView<'_>,
+        input: &[bool],
+        scratch: &mut ReadScratch,
+        want_vars: bool,
+    ) -> u64 {
+        let p = view.packed;
+        scratch.reset_columns(p.width);
+        let ones = scratch.pack_input(input);
+        // The variance sums only feed the noise model; noise-free reads
+        // skip them entirely.
+        if want_vars {
+            p.accumulate(scratch);
+        } else {
+            p.accumulate_sums_only(scratch);
+        }
+        ones
+    }
+}
+
+/// Explicit vector lanes per column block — two AVX2 registers (or four
+/// SSE2 registers) of f64; the portable fallback simply unrolls by
+/// this. Eight lanes halve the number of row sweeps versus four at
+/// the cost of a little register pressure, which measures faster on
+/// every bench shape now that the variance lanes are a per-block
+/// partial gather rather than per-cell multiplies.
+pub const SIMD_LANES: usize = 8;
+
+/// Widest array the column-blocked path handles before falling back to
+/// the row-major packed pass: beyond this the repeated row sweeps (one
+/// per column block) cost more memory traffic than the register
+/// residency saves. Covers every fabricable SEI layer in the paper's
+/// networks (widest is the 64+1-column fc120).
+pub const SIMD_MAX_BLOCK_WIDTH: usize = 72;
+
+/// Column-blocked register accumulation (see module docs): sums and
+/// variances for [`SIMD_LANES`] columns at a time live in fixed-size
+/// local arrays across the whole row sweep and are stored exactly once.
+pub struct SimdBackend;
+
+impl KernelBackend for SimdBackend {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn accumulate(
+        &self,
+        view: ReadView<'_>,
+        input: &[bool],
+        scratch: &mut ReadScratch,
+        want_vars: bool,
+    ) -> u64 {
+        let p = view.packed;
+        scratch.reset_columns(p.width);
+        let ones = scratch.pack_input(input);
+        if p.width > SIMD_MAX_BLOCK_WIDTH {
+            // Wide arrays: the row-major streaming pass is memory-optimal.
+            if want_vars {
+                p.accumulate(scratch);
+            } else {
+                p.accumulate_sums_only(scratch);
+            }
+            return ones;
+        }
+        scratch.decode_active();
+        let ReadScratch {
+            sums, vars, active, ..
+        } = scratch;
+        if want_vars {
+            accumulate_blocked::<true>(p, active, sums, vars);
+        } else {
+            accumulate_blocked::<false>(p, active, sums, vars);
+        }
+        ones
+    }
+}
+
+/// The column-blocked accumulate: for each block of [`SIMD_LANES`]
+/// columns, sweep the active gated rows then the baseline rows once,
+/// keeping the block's sums in fixed-size locals. When `VARS`, the
+/// variance lanes add one precomputed [`PackedRows::gated_vars`] partial
+/// per active input (plus the baseline partial) instead of touching the
+/// cells at all. Per-column add order is identical to the row-major
+/// pass — only the interleaving *across* columns differs, which f64
+/// addition cannot observe.
+fn accumulate_blocked<const VARS: bool>(
+    p: &PackedRows,
+    active: &[u32],
+    sums: &mut [f64],
+    vars: &mut [f64],
+) {
+    let w = p.width;
+    let span = p.rows_per_input * w;
+    let mut k = 0usize;
+    while k + SIMD_LANES <= w {
+        let mut s = [0.0f64; SIMD_LANES];
+        let mut v = [0.0f64; SIMD_LANES];
+        for &j in active {
+            let j = j as usize;
+            let block = &p.gated[j * span..(j + 1) * span];
+            for row in block.chunks_exact(w) {
+                let cells: &[f64; SIMD_LANES] =
+                    row[k..k + SIMD_LANES].try_into().expect("lane slice");
+                for l in 0..SIMD_LANES {
+                    s[l] += cells[l];
+                }
+            }
+            if VARS {
+                let part: &[f64; SIMD_LANES] = p.gated_vars[j * w + k..j * w + k + SIMD_LANES]
+                    .try_into()
+                    .expect("lane slice");
+                for l in 0..SIMD_LANES {
+                    v[l] += part[l];
+                }
+            }
+        }
+        for row in p.baseline.chunks_exact(w) {
+            let cells: &[f64; SIMD_LANES] = row[k..k + SIMD_LANES].try_into().expect("lane slice");
+            for l in 0..SIMD_LANES {
+                s[l] += cells[l];
+            }
+        }
+        if VARS {
+            let part: &[f64; SIMD_LANES] = p.baseline_vars[k..k + SIMD_LANES]
+                .try_into()
+                .expect("lane slice");
+            for l in 0..SIMD_LANES {
+                v[l] += part[l];
+            }
+        }
+        sums[k..k + SIMD_LANES].copy_from_slice(&s);
+        if VARS {
+            vars[k..k + SIMD_LANES].copy_from_slice(&v);
+        }
+        k += SIMD_LANES;
+    }
+    // Remainder columns, one register pair each.
+    while k < w {
+        let mut s = 0.0f64;
+        let mut v = 0.0f64;
+        for &j in active {
+            let j = j as usize;
+            let block = &p.gated[j * span..(j + 1) * span];
+            for row in block.chunks_exact(w) {
+                s += row[k];
+            }
+            if VARS {
+                v += p.gated_vars[j * w + k];
+            }
+        }
+        for row in p.baseline.chunks_exact(w) {
+            s += row[k];
+        }
+        if VARS {
+            v += p.baseline_vars[k];
+        }
+        sums[k] = s;
+        if VARS {
+            vars[k] = v;
+        }
+        k += 1;
+    }
+}
+
+/// Applies counter-keyed Gaussian read noise to the column sums: column
+/// `k` with positive accumulated variance receives
+/// `sigma · sqrt(vars[k]) · key.gaussian(k)`. The draw is the
+/// transcendental-free popcount-CLT hash (`NoiseKey::gaussian`), a few
+/// integer mixes per column. Returns the number of draws. This is the
+/// single shared noise-application step for every backend and for
+/// batched reads — the draw for a column is a pure function of
+/// `(key, k)`, so evaluation order is irrelevant.
+pub(crate) fn apply_column_noise(key: NoiseKey, sigma: f64, sums: &mut [f64], vars: &[f64]) -> u64 {
+    debug_assert_eq!(sums.len(), vars.len());
+    let mut draws = 0u64;
+    for (k, (s, &v)) in sums.iter_mut().zip(vars).enumerate() {
+        if v > 0.0 {
+            *s += sigma * v.sqrt() * key.gaussian(k as u64);
+            draws += 1;
+        }
+    }
+    draws
 }
 
 /// Per-scope batch of read-path events, mirrored into the attribution
@@ -144,6 +634,16 @@ pub struct ReadScratch {
     pub(crate) vars: Vec<f64>,
     /// Bit-packed input vector, one bit per logical input.
     pub(crate) words: Vec<u64>,
+    /// Decoded active logical-input indices (simd backend).
+    pub(crate) active: Vec<u32>,
+    /// Batched reads: per-image packed input words, image-major.
+    pub(crate) batch_words: Vec<u64>,
+    /// Batched reads: per-image set-bit counts.
+    pub(crate) batch_ones: Vec<u64>,
+    /// Batched reads: per-image column sums, image-major.
+    pub(crate) batch_sums: Vec<f64>,
+    /// Batched reads: per-image column variance sums, image-major.
+    pub(crate) batch_vars: Vec<f64>,
     read_ops: u64,
     gate_switches: u64,
     sense_fires: u64,
@@ -290,6 +790,56 @@ impl ReadScratch {
         }
         ones
     }
+
+    /// Decodes the packed words into the active-index list (ascending).
+    #[inline]
+    pub(crate) fn decode_active(&mut self) {
+        self.active.clear();
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                self.active.push((wi * 64) as u32 + bits.trailing_zeros());
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Packs a flattened image batch (`images × logical` bools) into the
+    /// batch word buffer and per-image ones counts; returns the number of
+    /// images.
+    pub(crate) fn pack_batch(&mut self, inputs: &[bool], logical: usize) -> usize {
+        assert!(logical > 0, "batched read needs at least one input");
+        assert_eq!(
+            inputs.len() % logical,
+            0,
+            "batch length must be a whole number of images"
+        );
+        let n = inputs.len() / logical;
+        self.batch_words.clear();
+        self.batch_ones.clear();
+        for img in inputs.chunks_exact(logical) {
+            let mut ones = 0u64;
+            for chunk in img.chunks(64) {
+                let mut word = 0u64;
+                for (bit, &b) in chunk.iter().enumerate() {
+                    word |= (b as u64) << bit;
+                }
+                ones += u64::from(word.count_ones());
+                self.batch_words.push(word);
+            }
+            self.batch_ones.push(ones);
+        }
+        n
+    }
+
+    /// Resets the batch column accumulators to `images × width` zeros.
+    #[inline]
+    pub(crate) fn reset_batch_columns(&mut self, images: usize, width: usize) {
+        self.batch_sums.clear();
+        self.batch_sums.resize(images * width, 0.0);
+        self.batch_vars.clear();
+        self.batch_vars.resize(images * width, 0.0);
+    }
 }
 
 impl Drop for ReadScratch {
@@ -314,13 +864,54 @@ pub(crate) struct PackedRows {
     pub gated: Vec<f64>,
     /// AlwaysOn-row contributions, `rows_per_input · width`.
     pub baseline: Vec<f64>,
+    /// Per-block variance partials, `logical_inputs · width`: row `j`
+    /// holds `Σ c²` over input `j`'s physical rows, accumulated in row
+    /// order at pack time. The noisy read path adds one of these rows
+    /// per active input instead of recomputing `c·c` per cell — this is
+    /// the canonical variance definition as of noise-stream v3.
+    pub gated_vars: Vec<f64>,
+    /// Variance partial of the AlwaysOn baseline block, `width`.
+    pub baseline_vars: Vec<f64>,
 }
 
 impl PackedRows {
+    /// Builds the packed storage from the flat row contributions,
+    /// precomputing the per-block variance partials the noisy read path
+    /// gathers. Every constructor goes through here so the partials can
+    /// never desync from the rows.
+    pub(crate) fn from_parts(
+        width: usize,
+        rows_per_input: usize,
+        gated: Vec<f64>,
+        baseline: Vec<f64>,
+    ) -> Self {
+        let span = rows_per_input * width;
+        let logical = if span == 0 { 0 } else { gated.len() / span };
+        let mut gated_vars = vec![0.0f64; logical * width];
+        for j in 0..logical {
+            var_partial(
+                &gated[j * span..(j + 1) * span],
+                width,
+                &mut gated_vars[j * width..(j + 1) * width],
+            );
+        }
+        let mut baseline_vars = vec![0.0f64; width];
+        var_partial(&baseline, width, &mut baseline_vars);
+        Self {
+            width,
+            rows_per_input,
+            gated,
+            baseline,
+            gated_vars,
+            baseline_vars,
+        }
+    }
+
     /// Accumulates the active rows for the packed input words already in
     /// `scratch.words` into `scratch.sums`/`scratch.vars`, in the exact
     /// row order of the scalar scan: active gated rows ascending, then
-    /// the baseline rows.
+    /// the baseline rows. Sums stream over the cells; variances add one
+    /// precomputed partial row per active block.
     #[inline]
     pub(crate) fn accumulate(&self, scratch: &mut ReadScratch) {
         let w = self.width;
@@ -334,10 +925,12 @@ impl PackedRows {
                 let j = wi * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let block = &self.gated[j * span..(j + 1) * span];
-                accumulate_rows(block, w, sums, vars);
+                accumulate_rows_sums_only(block, w, sums);
+                add_var_row(&self.gated_vars[j * w..(j + 1) * w], vars);
             }
         }
-        accumulate_rows(&self.baseline, w, sums, vars);
+        accumulate_rows_sums_only(&self.baseline, w, sums);
+        add_var_row(&self.baseline_vars, vars);
     }
 
     /// [`accumulate`](Self::accumulate) without the variance sums, for
@@ -360,26 +953,65 @@ impl PackedRows {
         }
         accumulate_rows_sums_only(&self.baseline, w, sums);
     }
-}
 
-/// Accumulates `block` (a whole number of `width`-wide rows) into the
-/// column sums and variance sums, row by row — the same per-column add
-/// order as iterating the rows individually. The zipped sub-slices carry
-/// the length equality into the inner loop so it compiles to straight
-/// vector code instead of per-element bounds checks.
-#[inline]
-fn accumulate_rows(block: &[f64], width: usize, sums: &mut [f64], vars: &mut [f64]) {
-    let sums = &mut sums[..width];
-    let vars = &mut vars[..width];
-    for row in block.chunks_exact(width) {
-        for ((s, v), &c) in sums.iter_mut().zip(vars.iter_mut()).zip(row) {
-            *s += c;
-            *v += c * c;
+    /// Accumulates a whole image batch (packed into `scratch.batch_words`
+    /// by [`ReadScratch::pack_batch`]) into
+    /// `scratch.batch_sums`/`batch_vars`. Each active logical input's
+    /// weight block is loaded once and applied to every image whose bit
+    /// is set, amortizing the weight traffic across the batch. Per-image
+    /// sums are bit-identical to sequential single-image reads: each
+    /// image's adds still happen in ascending-`j`-then-baseline order.
+    pub(crate) fn accumulate_batch(
+        &self,
+        images: usize,
+        logical: usize,
+        scratch: &mut ReadScratch,
+        want_vars: bool,
+    ) {
+        let w = self.width;
+        let span = self.rows_per_input * w;
+        let words_per_image = logical.div_ceil(64);
+        let ReadScratch {
+            batch_sums,
+            batch_vars,
+            batch_words,
+            ..
+        } = scratch;
+        debug_assert_eq!(batch_words.len(), images * words_per_image);
+        debug_assert_eq!(batch_sums.len(), images * w);
+        for j in 0..logical {
+            let (wi, bit) = (j / 64, j % 64);
+            let mask = 1u64 << bit;
+            let block = &self.gated[j * span..(j + 1) * span];
+            for i in 0..images {
+                if batch_words[i * words_per_image + wi] & mask == 0 {
+                    continue;
+                }
+                let sums = &mut batch_sums[i * w..(i + 1) * w];
+                accumulate_rows_sums_only(block, w, sums);
+                if want_vars {
+                    add_var_row(
+                        &self.gated_vars[j * w..(j + 1) * w],
+                        &mut batch_vars[i * w..(i + 1) * w],
+                    );
+                }
+            }
+        }
+        for i in 0..images {
+            let sums = &mut batch_sums[i * w..(i + 1) * w];
+            accumulate_rows_sums_only(&self.baseline, w, sums);
+            if want_vars {
+                add_var_row(&self.baseline_vars, &mut batch_vars[i * w..(i + 1) * w]);
+            }
         }
     }
 }
 
-/// [`accumulate_rows`] for noise-free reads: column sums only.
+/// Accumulates `block` (a whole number of `width`-wide rows) into the
+/// column sums, row by row — the same per-column add order as iterating
+/// the rows individually. The zipped sub-slices carry the length
+/// equality into the inner loop so it compiles to straight vector code
+/// instead of per-element bounds checks.
 #[inline]
 fn accumulate_rows_sums_only(block: &[f64], width: usize, sums: &mut [f64]) {
     let sums = &mut sums[..width];
@@ -387,6 +1019,32 @@ fn accumulate_rows_sums_only(block: &[f64], width: usize, sums: &mut [f64]) {
         for (s, &c) in sums.iter_mut().zip(row) {
             *s += c;
         }
+    }
+}
+
+/// Computes one block's canonical variance partial into `out` (assumed
+/// zeroed): `out[k] = Σ c²` over the block's rows, accumulated row by
+/// row. The scalar backend repeats exactly these operations per read, so
+/// its per-block temporary is bit-identical to the stored partial.
+#[inline]
+fn var_partial(block: &[f64], width: usize, out: &mut [f64]) {
+    if width == 0 {
+        return;
+    }
+    let out = &mut out[..width];
+    for row in block.chunks_exact(width) {
+        for (o, &c) in out.iter_mut().zip(row) {
+            *o += c * c;
+        }
+    }
+}
+
+/// Adds one precomputed variance-partial row into the running
+/// per-column variance sums.
+#[inline]
+fn add_var_row(partial: &[f64], vars: &mut [f64]) {
+    for (v, &p) in vars.iter_mut().zip(partial) {
+        *v += p;
     }
 }
 
@@ -407,6 +1065,8 @@ mod tests {
         assert_eq!(s.words[0], 1 | (1 << 63));
         assert_eq!(s.words[1], 1);
         assert_eq!(s.words[2], 1 << 1);
+        s.decode_active();
+        assert_eq!(s.active, vec![0, 63, 64, 129]);
     }
 
     #[test]
@@ -443,9 +1103,163 @@ mod tests {
         let width = 3;
         let block = [1.0, 2.0, 3.0, 0.5, 0.25, 0.125];
         let mut sums = vec![0.0; width];
-        let mut vars = vec![0.0; width];
-        accumulate_rows(&block, width, &mut sums, &mut vars);
+        accumulate_rows_sums_only(&block, width, &mut sums);
         assert_eq!(sums, vec![1.5, 2.25, 3.125]);
+        let mut vars = vec![0.0; width];
+        var_partial(&block, width, &mut vars);
         assert_eq!(vars, vec![1.25, 4.0625, 9.015625]);
+    }
+
+    #[test]
+    fn from_parts_precomputes_block_partials() {
+        let p = toy_packed();
+        assert_eq!(p.gated_vars.len(), 3 * p.width);
+        assert_eq!(p.baseline_vars.len(), p.width);
+        let span = p.rows_per_input * p.width;
+        for j in 0..3 {
+            let mut expect = vec![0.0; p.width];
+            var_partial(&p.gated[j * span..(j + 1) * span], p.width, &mut expect);
+            assert_eq!(&p.gated_vars[j * p.width..(j + 1) * p.width], &expect[..]);
+        }
+        let mut expect = vec![0.0; p.width];
+        var_partial(&p.baseline, p.width, &mut expect);
+        assert_eq!(p.baseline_vars, expect);
+    }
+
+    /// A hand-built packed layout: 3 logical inputs × 2 rows each over
+    /// `SIMD_LANES + 3` columns (so the blocked path exercises both a
+    /// full lane block and a remainder), plus 2 baseline rows.
+    fn toy_packed() -> PackedRows {
+        let w = SIMD_LANES + 3;
+        let mut gated = Vec::new();
+        for r in 0..6 {
+            for c in 0..w {
+                let sign = if r % 2 == 0 { 1.0 } else { -1.0 };
+                gated.push(((r * w + c) as f64).mul_add(0.125, 0.1) * sign);
+            }
+        }
+        let mut baseline = Vec::new();
+        for r in 0..2 {
+            for c in 0..w {
+                baseline.push(0.01 * (r * w + c) as f64 - 0.02);
+            }
+        }
+        PackedRows::from_parts(w, 2, gated, baseline)
+    }
+
+    #[test]
+    fn blocked_accumulate_is_bit_identical_to_row_major() {
+        let p = toy_packed();
+        for mask in 0..8usize {
+            let input: Vec<bool> = (0..3).map(|j| mask & (1 << j) != 0).collect();
+            let mut a = ReadScratch::new();
+            a.reset_columns(p.width);
+            a.pack_input(&input);
+            p.accumulate(&mut a);
+
+            let mut b = ReadScratch::new();
+            b.reset_columns(p.width);
+            b.pack_input(&input);
+            b.decode_active();
+            {
+                let ReadScratch {
+                    sums, vars, active, ..
+                } = &mut b;
+                accumulate_blocked::<true>(&p, active, sums, vars);
+            }
+            for k in 0..p.width {
+                assert_eq!(a.sums[k].to_bits(), b.sums[k].to_bits(), "sums col {k}");
+                assert_eq!(a.vars[k].to_bits(), b.vars[k].to_bits(), "vars col {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_accumulate_is_bit_identical_to_sequential() {
+        let p = toy_packed();
+        let inputs = [
+            [true, false, true],
+            [false, false, false],
+            [true, true, true],
+            [false, true, false],
+        ];
+        let flat: Vec<bool> = inputs.iter().flatten().copied().collect();
+        let mut s = ReadScratch::new();
+        let n = s.pack_batch(&flat, 3);
+        assert_eq!(n, 4);
+        assert_eq!(s.batch_ones, vec![2, 0, 3, 1]);
+        s.reset_batch_columns(n, p.width);
+        p.accumulate_batch(n, 3, &mut s, true);
+        for (i, input) in inputs.iter().enumerate() {
+            let mut seq = ReadScratch::new();
+            seq.reset_columns(p.width);
+            seq.pack_input(&input[..]);
+            p.accumulate(&mut seq);
+            for k in 0..p.width {
+                assert_eq!(
+                    seq.sums[k].to_bits(),
+                    s.batch_sums[i * p.width + k].to_bits(),
+                    "image {i} col {k}"
+                );
+                assert_eq!(
+                    seq.vars[k].to_bits(),
+                    s.batch_vars[i * p.width + k].to_bits(),
+                    "image {i} vars col {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_column_noise_matches_per_lane_draws() {
+        let key = NoiseKey::new(3).tile(1).image(2).read(0);
+        let vars = [1.0, 0.0, 0.25, 4.0, 0.09];
+        let mut sums = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let draws = apply_column_noise(key, 0.1, &mut sums, &vars);
+        assert_eq!(draws, 4); // column 1 has zero variance
+        for (k, (&s, &v)) in sums.iter().zip(&vars).enumerate() {
+            let expect = 10.0 * (k + 1) as f64
+                + if v > 0.0 {
+                    0.1 * v.sqrt() * key.gaussian(k as u64)
+                } else {
+                    0.0
+                };
+            assert_eq!(s.to_bits(), expect.to_bits(), "col {k}");
+        }
+    }
+
+    #[test]
+    fn kernel_mode_parses_and_prints() {
+        assert_eq!("packed".parse(), Ok(KernelMode::Packed));
+        assert_eq!("scalar".parse(), Ok(KernelMode::Scalar));
+        assert_eq!("simd".parse(), Ok(KernelMode::Simd));
+        assert_eq!("".parse(), Ok(KernelMode::Packed));
+        assert!("vector".parse::<KernelMode>().is_err());
+        for mode in KernelMode::ALL {
+            assert_eq!(mode.to_string(), mode.backend().name());
+            assert_eq!(mode.to_string().parse(), Ok(mode));
+        }
+    }
+
+    #[test]
+    fn kernel_config_pins_and_defers() {
+        let cfg = KernelConfig::new();
+        assert_eq!(cfg.backend(), None);
+        assert!(cfg.validate().is_ok());
+        let pinned = cfg.with_backend(KernelMode::Simd);
+        assert_eq!(pinned.backend(), Some(KernelMode::Simd));
+        assert_eq!(pinned.resolve(), KernelMode::Simd);
+    }
+
+    #[test]
+    fn noise_ctx_derivations_match_key_chain() {
+        assert!(!NoiseCtx::ideal().is_noisy());
+        assert_eq!(NoiseCtx::ideal().tile(1).image(2).read(3).key(), None);
+        let root = NoiseKey::new(5);
+        let ctx = NoiseCtx::keyed(root).tile(1).image(2).read(3);
+        assert_eq!(
+            ctx.key().map(NoiseKey::raw),
+            Some(root.tile(1).image(2).read(3).raw())
+        );
     }
 }

@@ -30,6 +30,7 @@
 //! 4-bit devices:
 //!
 //! ```
+//! use sei_crossbar::kernels::NoiseCtx;
 //! use sei_crossbar::sei::{SeiConfig, SeiCrossbar, SeiMode};
 //! use sei_device::DeviceSpec;
 //! use sei_nn::Matrix;
@@ -46,11 +47,25 @@
 //!     &SeiConfig::new(SeiMode::SignedPorts),
 //!     &mut rng,
 //! );
+//! // Reads take a noise context; an ideal device needs no key.
 //! // inputs {1, 0, 1}: 0.5 + 0.75 = 1.25 > 0.4 → fires
-//! assert_eq!(xbar.forward(&[true, false, true], &mut rng), vec![true]);
+//! assert_eq!(xbar.forward(&[true, false, true], NoiseCtx::ideal()), vec![true]);
 //! // inputs {0, 1, 0}: −0.25 < 0.4 → does not fire
-//! assert_eq!(xbar.forward(&[false, true, false], &mut rng), vec![false]);
+//! assert_eq!(xbar.forward(&[false, true, false], NoiseCtx::ideal()), vec![false]);
 //! ```
+//!
+//! # Kernel backends and the noise determinism contract
+//!
+//! The SEI read path is pluggable behind [`kernels::KernelBackend`]:
+//! `scalar` (reference), `packed` (bit-packed gates), and `simd`
+//! (column-blocked explicit-lane accumulation). All backends are
+//! bit-identical: read and sense-amp noise come from a counter-based
+//! stream ([`sei_device::NoiseKey`]) that is a pure function of
+//! `(seed, tile, image, read, lane)`, never from call order, so the
+//! backend choice, batching, and thread count cannot change results.
+//! Select a backend per evaluation with
+//! [`kernels::KernelConfig::with_backend`] or process-wide via the
+//! `SEI_KERNELS` environment variable (bins only).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -70,7 +85,10 @@ pub use array::CrossbarArray;
 pub use dac::Dac;
 pub use decoder::{ComputeDecoder, DecoderKind};
 pub use ir_drop::IrDropModel;
-pub use kernels::{kernel_mode, set_kernel_mode, KernelMode, ReadScratch};
+pub use kernels::{
+    kernel_mode, set_kernel_mode, KernelBackend, KernelConfig, KernelMode, NoiseCtx, PackedBackend,
+    ReadScratch, ReadView, ScalarBackend, SimdBackend,
+};
 pub use merged::{MergedConfig, MergedCrossbar};
 pub use sei::{FaultInjection, FaultStats, SeiConfig, SeiCrossbar, SeiMode};
 pub use senseamp::SenseAmp;

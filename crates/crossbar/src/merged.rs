@@ -17,6 +17,7 @@
 use crate::adc::Adc;
 use crate::array::CrossbarArray;
 use crate::dac::Dac;
+use crate::kernels::NoiseCtx;
 use rand::rngs::StdRng;
 use sei_device::{DeviceSpec, WriteVerify};
 use sei_nn::Matrix;
@@ -198,10 +199,15 @@ impl MergedCrossbar {
     /// digitization, digital shift-and-add merge. Returns reconstructed
     /// weight-unit outputs `≈ Wᵀ·x`.
     ///
+    /// `ctx` is this matvec's noise context (derive one per evaluation
+    /// site — e.g. per image and output position); each physical copy
+    /// reads under its own `ctx.tile(chunk·4 + copy)` sub-key so the four
+    /// sign/precision copies draw independent read noise.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len()` does not match the matrix rows.
-    pub fn matvec(&self, x: &[f32], rng: &mut StdRng) -> Vec<f32> {
+    pub fn matvec(&self, x: &[f32], ctx: NoiseCtx) -> Vec<f32> {
         assert_eq!(x.len(), self.rows, "one activation per row");
         // One DAC conversion per logical row; each crossbar copy digitizes
         // every kernel column (the read ops themselves are counted inside
@@ -218,11 +224,12 @@ impl MergedCrossbar {
 
         // Per chunk and copy: analog currents → ADC codes → digital merge.
         let mut merged = vec![0.0f64; self.cols];
-        for chunk in &self.chunks {
+        for (ci, chunk) in self.chunks.iter().enumerate() {
             let chunk_volts = &volts[chunk.start..chunk.start + chunk.rows];
             let volt_sum: f64 = chunk_volts.iter().sum();
-            for (coeff, sign, array) in &chunk.copies {
-                let currents = array.column_currents(chunk_volts, rng);
+            for (cp, (coeff, sign, array)) in chunk.copies.iter().enumerate() {
+                let copy_ctx = ctx.tile((ci * 4 + cp) as u64);
+                let currents = array.column_currents(chunk_volts, copy_ctx);
                 for (c, &i) in currents.iter().enumerate() {
                     let digitized = chunk.adc.reconstruct(i);
                     // Digital offset subtraction: the g_min baseline current
@@ -306,7 +313,7 @@ mod tests {
         assert_eq!(xbar.copy_count(), 8);
         // Chunked matvec still tracks the true product.
         let x: Vec<f32> = (0..1024).map(|i| ((i % 5) as f32) / 5.0).collect();
-        let y = xbar.matvec(&x, &mut rng);
+        let y = xbar.matvec(&x, NoiseCtx::ideal());
         for (c, &yc) in y.iter().enumerate() {
             let expect: f32 = (0..1024).map(|r| tall.get(r, c) * x[r]).sum();
             let scale: f32 = (0..1024).map(|r| tall.get(r, c).abs()).sum();
@@ -331,7 +338,7 @@ mod tests {
             &mut rng,
         );
         let x: Vec<f32> = (0..8).map(|i| (i as f32) / 8.0).collect();
-        let y = xbar.matvec(&x, &mut rng);
+        let y = xbar.matvec(&x, NoiseCtx::ideal());
         let scale = w.as_slice().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
         for (c, &yc) in y.iter().enumerate() {
             let mut expect = 0.0f32;
@@ -363,7 +370,7 @@ mod tests {
                 },
                 &mut rng,
             );
-            let y = xbar.matvec(&x, &mut rng);
+            let y = xbar.matvec(&x, NoiseCtx::ideal());
             y.iter()
                 .zip(&truth)
                 .map(|(a, b)| (a - b) * (a - b))
@@ -388,7 +395,7 @@ mod tests {
             &MergedConfig::default(),
             &mut rng,
         );
-        let y = xbar.matvec(&[0.0; 5], &mut rng);
+        let y = xbar.matvec(&[0.0; 5], NoiseCtx::ideal());
         for &v in &y {
             assert!(v.abs() < 1e-3, "output {v} for zero input");
         }

@@ -39,11 +39,12 @@
 //! column has a cell on *every* row a kernel column has, gated identically.
 //! The comparison `I_k > I_ref` is therefore unchanged.
 
-use crate::kernels::{kernel_mode, KernelMode, PackedRows, ReadScratch};
+use crate::kernels::{
+    self, kernel_mode, Gate, KernelMode, NoiseCtx, PackedRows, PhysRow, ReadScratch, ReadView,
+};
 use crate::senseamp::SenseAmp;
 use crate::MAX_FABRICABLE_SIZE;
 use rand::rngs::StdRng;
-use rand::Rng;
 use sei_device::{DeviceEnergy, DeviceSpec, ProgrammedCell, WriteVerify};
 use sei_faults::{mix, unit01, EnduranceModel, FaultKind, FaultMap};
 use sei_nn::Matrix;
@@ -198,24 +199,6 @@ impl FaultStats {
         self.spare_remaps += other.spare_remaps;
         self.spare_shortfall += other.spare_shortfall;
     }
-}
-
-/// What gates a physical row's transmission gates during compute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-enum Gate {
-    /// Gated by logical input bit `j` (SEI decoder).
-    Input(usize),
-    /// Always on (bias / threshold rows).
-    AlwaysOn,
-}
-
-/// One physical crossbar row: its gate source and the precomputed
-/// contribution (`coeff · programmed-fraction`) of each cell, kernel
-/// columns first, reference column last.
-#[derive(Debug, Clone)]
-struct PhysRow {
-    gate: Gate,
-    contribs: Vec<f64>,
 }
 
 /// A programmed SEI crossbar holding one weight matrix slice, its biases
@@ -697,171 +680,174 @@ impl SeiCrossbar {
         &self.cfg
     }
 
-    /// The original per-row scan: fresh vectors per read, gate matching
-    /// per physical row — kept as the `SEI_KERNELS=scalar` escape hatch
-    /// and microbenchmark baseline. Telemetry batches into `scratch` like
-    /// the packed path (rounded to fJ per read, so totals are
-    /// bit-identical to the old immediate accounting).
-    fn sums_scalar(
+    /// Raw fraction-unit column sums (kernel columns then reference) into
+    /// `scratch.sums`, with counter-keyed read noise when `ctx` is noisy.
+    /// Every backend accumulates in the same per-column physical-row
+    /// order and therefore produces bit-identical sums; the noise draw
+    /// for column `k` is the pure function `key.gaussian(k)` of the
+    /// context's key (see [`crate::kernels`] for the determinism
+    /// contract).
+    fn sums_into(
         &self,
         input: &[bool],
-        noise: Option<&mut StdRng>,
+        ctx: NoiseCtx,
         scratch: &mut ReadScratch,
-    ) -> Vec<f64> {
+        mode: KernelMode,
+    ) {
         assert_eq!(
             input.len(),
             self.logical_inputs,
             "one input bit per logical row"
         );
-        let w = self.cols + 1;
-        let mut sums = vec![0.0f64; w];
-        let mut vars = vec![0.0f64; w];
-        let mut gated_on = 0u64;
-        let mut active_rows = 0u64;
-        for row in &self.rows {
-            match row.gate {
-                Gate::Input(j) => {
-                    if !input[j] {
-                        continue;
-                    }
-                    gated_on += 1;
-                }
-                Gate::AlwaysOn => {}
-            }
-            active_rows += 1;
-            for (k, &c) in row.contribs.iter().enumerate() {
-                sums[k] += c;
-                vars[k] += c * c;
-            }
-        }
+        let want_vars = ctx.is_noisy() && self.read_sigma > 0.0;
+        let view = ReadView {
+            rows: &self.rows,
+            packed: &self.packed,
+        };
+        let ones = mode.backend().accumulate(view, input, scratch, want_vars);
         // Batched per read: one op, `gated_on` transmission-gate switches,
         // and mean-conductance read energy over the active cells.
+        let rpi = self.packed.rows_per_input as u64;
+        let gated_on = ones * rpi;
+        let active_rows = gated_on + rpi;
+        let w = self.cols + 1;
         scratch.note_read(
             gated_on,
             active_rows as f64 * w as f64 * self.cell_read_energy,
         );
-        if let Some(rng) = noise {
-            if self.read_sigma > 0.0 {
-                let mut draws = 0u64;
-                for (s, &v) in sums.iter_mut().zip(&vars) {
-                    let std = self.read_sigma * v.sqrt();
-                    if std > 0.0 {
-                        *s += std * gaussian(rng);
-                        draws += 1;
-                    }
-                }
-                scratch.note_noise_draws(draws);
-            }
-        }
-        sums
-    }
-
-    /// Raw fraction-unit column sums (kernel columns then reference) into
-    /// `scratch.sums`, optionally with read noise. Both kernel modes
-    /// accumulate in the same physical-row order and therefore produce
-    /// bit-identical sums and draw the same RNG sequence (see
-    /// [`crate::kernels`] for the determinism contract).
-    fn sums_into(
-        &self,
-        input: &[bool],
-        noise: Option<&mut StdRng>,
-        scratch: &mut ReadScratch,
-        mode: KernelMode,
-    ) {
-        match mode {
-            KernelMode::Scalar => {
-                let sums = self.sums_scalar(input, noise, scratch);
-                scratch.sums.clear();
-                scratch.sums.extend_from_slice(&sums);
-            }
-            KernelMode::Packed => {
-                assert_eq!(
-                    input.len(),
-                    self.logical_inputs,
-                    "one input bit per logical row"
-                );
-                let w = self.cols + 1;
-                scratch.reset_columns(w);
-                let ones = scratch.pack_input(input);
-                // The variance sums exist only to feed the noise model;
-                // noise-free reads skip them entirely.
-                if noise.is_some() && self.read_sigma > 0.0 {
-                    self.packed.accumulate(scratch);
-                } else {
-                    self.packed.accumulate_sums_only(scratch);
-                }
-                let rpi = self.packed.rows_per_input as u64;
-                let gated_on = ones * rpi;
-                let active_rows = gated_on + rpi;
-                scratch.note_read(
-                    gated_on,
-                    active_rows as f64 * w as f64 * self.cell_read_energy,
-                );
-                if let Some(rng) = noise {
-                    if self.read_sigma > 0.0 {
-                        let mut draws = 0u64;
-                        // The borrow of sums/vars ends before noting draws.
-                        {
-                            let ReadScratch { sums, vars, .. } = scratch;
-                            for (s, &v) in sums.iter_mut().zip(vars.iter()) {
-                                let std = self.read_sigma * v.sqrt();
-                                if std > 0.0 {
-                                    *s += std * gaussian(rng);
-                                    draws += 1;
-                                }
-                            }
-                        }
-                        scratch.note_noise_draws(draws);
-                    }
-                }
-            }
+        if want_vars {
+            let key = ctx.key().expect("noisy context carries a key");
+            // The borrow of sums/vars ends before noting draws.
+            let draws = {
+                let ReadScratch { sums, vars, .. } = scratch;
+                kernels::apply_column_noise(key, self.read_sigma, sums, vars)
+            };
+            scratch.note_noise_draws(draws);
         }
     }
 
     /// Fires each kernel column's sense amplifier against the reference
-    /// column — the complete compute operation of the structure.
+    /// column — the complete compute operation of the structure. When
+    /// `ctx` is noisy, per-column read noise uses key lanes `[0, width)`
+    /// and per-column sense-amp decision noise lanes `[width, 2·width)`;
+    /// an ideal context draws nothing.
     ///
     /// Convenience wrapper over [`SeiCrossbar::forward_into`] that pays a
     /// scratch allocation per call; hot loops should hold a
     /// [`ReadScratch`] and call the `_into` form.
-    pub fn forward(&self, input: &[bool], rng: &mut StdRng) -> Vec<bool> {
+    pub fn forward(&self, input: &[bool], ctx: NoiseCtx) -> Vec<bool> {
         let mut scratch = ReadScratch::new();
         let mut fires = Vec::with_capacity(self.cols);
-        self.forward_into(input, rng, &mut scratch, &mut fires);
+        self.forward_into(input, ctx, &mut scratch, &mut fires);
         fires
     }
 
     /// Allocation-free [`SeiCrossbar::forward`]: column fires land in
     /// `fires` (cleared first), buffers live in `scratch`. Telemetry
-    /// batches into `scratch` (packed mode); call
-    /// [`ReadScratch::flush`] once per image.
+    /// batches into `scratch`; call [`ReadScratch::flush`] once per
+    /// image.
     pub fn forward_into(
         &self,
         input: &[bool],
-        rng: &mut StdRng,
+        ctx: NoiseCtx,
         scratch: &mut ReadScratch,
         fires: &mut Vec<bool>,
     ) {
-        self.forward_into_with(input, rng, scratch, fires, kernel_mode());
+        self.forward_into_with(input, ctx, scratch, fires, kernel_mode());
     }
 
-    /// [`SeiCrossbar::forward_into`] with an explicit kernel mode — the
-    /// differential-test / microbenchmark hook.
+    /// [`SeiCrossbar::forward_into`] with an explicit kernel backend —
+    /// the differential-test / microbenchmark hook.
     pub fn forward_into_with(
         &self,
         input: &[bool],
-        rng: &mut StdRng,
+        ctx: NoiseCtx,
         scratch: &mut ReadScratch,
         fires: &mut Vec<bool>,
         mode: KernelMode,
     ) {
-        self.sums_into(input, Some(rng), scratch, mode);
+        self.sums_into(input, ctx, scratch, mode);
         scratch.note_sense_fires(self.cols as u64);
         let reference = scratch.sums[self.cols];
+        let w = self.cols + 1;
         fires.clear();
         fires.reserve(self.cols);
         for k in 0..self.cols {
-            fires.push(self.sas[k].decide(scratch.sums[k], reference, rng));
+            fires.push(self.sas[k].decide_keyed(
+                scratch.sums[k],
+                reference,
+                ctx.key(),
+                (w + k) as u64,
+            ));
+        }
+    }
+
+    /// Batched [`SeiCrossbar::forward_into`]: evaluates a whole image
+    /// batch (`inputs` is image-major, `images × logical_inputs` bools;
+    /// one [`NoiseCtx`] per image) in a single pass over the packed
+    /// weights — each active logical input's rows are loaded once and
+    /// applied to every image whose bit is set, amortizing gate scanning
+    /// and weight traffic across the batch the serve batch former
+    /// produces. Fires land flattened image-major in `fires`.
+    ///
+    /// Bit-identical to calling `forward_into` per image with the same
+    /// contexts (the counter-keyed noise is order-free), and always uses
+    /// the packed layout regardless of the process kernel mode — the
+    /// batched traversal *is* the packed kernel's batch form.
+    pub fn forward_batch_into(
+        &self,
+        inputs: &[bool],
+        ctxs: &[NoiseCtx],
+        scratch: &mut ReadScratch,
+        fires: &mut Vec<bool>,
+    ) {
+        let logical = self.logical_inputs;
+        let images = scratch.pack_batch(inputs, logical);
+        assert_eq!(ctxs.len(), images, "one noise context per image");
+        let w = self.cols + 1;
+        scratch.reset_batch_columns(images, w);
+        let want_vars = self.read_sigma > 0.0 && ctxs.iter().any(|c| c.is_noisy());
+        self.packed
+            .accumulate_batch(images, logical, scratch, want_vars);
+        let rpi = self.packed.rows_per_input as u64;
+        fires.clear();
+        fires.reserve(images * self.cols);
+        for (i, ctx) in ctxs.iter().enumerate() {
+            let gated_on = scratch.batch_ones[i] * rpi;
+            let active_rows = gated_on + rpi;
+            scratch.note_read(
+                gated_on,
+                active_rows as f64 * w as f64 * self.cell_read_energy,
+            );
+            if self.read_sigma > 0.0 {
+                if let Some(key) = ctx.key() {
+                    let draws = {
+                        let ReadScratch {
+                            batch_sums,
+                            batch_vars,
+                            ..
+                        } = scratch;
+                        kernels::apply_column_noise(
+                            key,
+                            self.read_sigma,
+                            &mut batch_sums[i * w..(i + 1) * w],
+                            &batch_vars[i * w..(i + 1) * w],
+                        )
+                    };
+                    scratch.note_noise_draws(draws);
+                }
+            }
+            scratch.note_sense_fires(self.cols as u64);
+            let base = i * w;
+            let reference = scratch.batch_sums[base + self.cols];
+            for k in 0..self.cols {
+                fires.push(self.sas[k].decide_keyed(
+                    scratch.batch_sums[base + k],
+                    reference,
+                    ctx.key(),
+                    (w + k) as u64,
+                ));
+            }
         }
     }
 
@@ -894,7 +880,7 @@ impl SeiCrossbar {
         out: &mut Vec<f64>,
         mode: KernelMode,
     ) {
-        self.sums_into(input, None, scratch, mode);
+        self.sums_into(input, NoiseCtx::ideal(), scratch, mode);
         self.margins_from_sums(scratch, out);
     }
 
@@ -902,10 +888,10 @@ impl SeiCrossbar {
     /// the analog readout path used when an *output* layer's class margins
     /// are consumed directly (one shared reference, no sense-amp
     /// thresholding).
-    pub fn margins(&self, input: &[bool], rng: &mut StdRng) -> Vec<f64> {
+    pub fn margins(&self, input: &[bool], ctx: NoiseCtx) -> Vec<f64> {
         let mut scratch = ReadScratch::new();
         let mut out = Vec::with_capacity(self.cols);
-        self.margins_into(input, rng, &mut scratch, &mut out);
+        self.margins_into(input, ctx, &mut scratch, &mut out);
         out
     }
 
@@ -913,23 +899,23 @@ impl SeiCrossbar {
     pub fn margins_into(
         &self,
         input: &[bool],
-        rng: &mut StdRng,
+        ctx: NoiseCtx,
         scratch: &mut ReadScratch,
         out: &mut Vec<f64>,
     ) {
-        self.margins_into_with(input, rng, scratch, out, kernel_mode());
+        self.margins_into_with(input, ctx, scratch, out, kernel_mode());
     }
 
-    /// [`SeiCrossbar::margins_into`] with an explicit kernel mode.
+    /// [`SeiCrossbar::margins_into`] with an explicit kernel backend.
     pub fn margins_into_with(
         &self,
         input: &[bool],
-        rng: &mut StdRng,
+        ctx: NoiseCtx,
         scratch: &mut ReadScratch,
         out: &mut Vec<f64>,
         mode: KernelMode,
     ) {
-        self.sums_into(input, Some(rng), scratch, mode);
+        self.sums_into(input, ctx, scratch, mode);
         self.margins_from_sums(scratch, out);
     }
 
@@ -967,18 +953,7 @@ fn pack_rows(rows: &[PhysRow], inputs: usize, rows_per_input: usize, width: usiz
         assert_eq!(row.gate, Gate::AlwaysOn, "SEI row layout invariant");
         baseline.extend_from_slice(&row.contribs);
     }
-    PackedRows {
-        width,
-        rows_per_input,
-        gated,
-        baseline,
-    }
-}
-
-fn gaussian(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(1e-12..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    PackedRows::from_parts(width, rows_per_input, gated, baseline)
 }
 
 #[cfg(test)]
@@ -1010,9 +985,8 @@ mod tests {
         bias: &[f32],
         theta: f32,
         input: &[bool],
-        rng: &mut StdRng,
     ) {
-        let fires = xbar.forward(input, rng);
+        let fires = xbar.forward(input, NoiseCtx::ideal());
         let margins = direct_margins(weights, bias, theta, input);
         // Worst-case quantization slack: half an LSB per active operand.
         let scale = weights
@@ -1058,7 +1032,7 @@ mod tests {
             &mut rng,
         );
         for input in all_patterns(4) {
-            assert_matches_direct(&xbar, &weights, &bias, theta, &input, &mut rng);
+            assert_matches_direct(&xbar, &weights, &bias, theta, &input);
         }
     }
 
@@ -1082,7 +1056,7 @@ mod tests {
             &mut rng,
         );
         for input in all_patterns(4) {
-            assert_matches_direct(&xbar, &weights, &bias, theta, &input, &mut rng);
+            assert_matches_direct(&xbar, &weights, &bias, theta, &input);
         }
     }
 
@@ -1156,7 +1130,7 @@ mod tests {
             &mut rng,
         );
         // bias 0.5 > θ 0.2 even with no input selected
-        assert_eq!(xbar.forward(&[false], &mut rng), vec![true]);
+        assert_eq!(xbar.forward(&[false], NoiseCtx::ideal()), vec![true]);
     }
 
     #[test]
@@ -1172,14 +1146,51 @@ mod tests {
             &SeiConfig::new(SeiMode::SignedPorts),
             &mut rng,
         );
-        // 2.0 vs θ=0.5 is a wide margin; noise should not flip it.
-        for _ in 0..50 {
-            assert_eq!(xbar.forward(&[true, true], &mut rng), vec![true]);
+        // 2.0 vs θ=0.5 is a wide margin; noise should not flip it. Each
+        // trial gets an independent counter-keyed noise context.
+        let root = NoiseCtx::keyed(sei_device::NoiseKey::new(6));
+        for t in 0..50 {
+            assert_eq!(xbar.forward(&[true, true], root.image(t)), vec![true]);
         }
         // 0 active inputs: 0 < 0.5, also wide.
-        for _ in 0..50 {
-            assert_eq!(xbar.forward(&[false, false], &mut rng), vec![false]);
+        for t in 50..100 {
+            assert_eq!(xbar.forward(&[false, false], root.image(t)), vec![false]);
         }
+    }
+
+    #[test]
+    fn batched_forward_matches_sequential_bit_for_bit() {
+        let weights = Matrix::from_rows(&[&[0.5, -0.3][..], &[-0.25, 0.8][..], &[0.75, 0.1][..]]);
+        let spec = DeviceSpec::default_4bit(); // read noise + variation
+        let cfg = SeiConfig {
+            sa_noise_sigma: 0.005,
+            ..SeiConfig::new(SeiMode::SignedPorts)
+        };
+        let mut rng = StdRng::seed_from_u64(12);
+        let xbar = SeiCrossbar::new(&spec, &weights, &[0.05, -0.1], 0.1, &cfg, &mut rng);
+        let root = NoiseCtx::keyed(sei_device::NoiseKey::new(77).tile(3));
+        let batch: Vec<Vec<bool>> = all_patterns(3).collect();
+        let flat: Vec<bool> = batch.iter().flatten().copied().collect();
+        // Mix noisy and ideal contexts within one batch.
+        let ctxs: Vec<NoiseCtx> = (0..batch.len() as u64)
+            .map(|i| {
+                if i == 2 {
+                    NoiseCtx::ideal()
+                } else {
+                    root.image(i)
+                }
+            })
+            .collect();
+        let mut scratch = ReadScratch::new();
+        let mut batched = Vec::new();
+        xbar.forward_batch_into(&flat, &ctxs, &mut scratch, &mut batched);
+        let mut sequential = Vec::new();
+        let mut fires = Vec::new();
+        for (input, &ctx) in batch.iter().zip(&ctxs) {
+            xbar.forward_into(input, ctx, &mut scratch, &mut fires);
+            sequential.extend_from_slice(&fires);
+        }
+        assert_eq!(batched, sequential);
     }
 
     #[test]

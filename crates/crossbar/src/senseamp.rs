@@ -9,6 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use sei_device::NoiseKey;
 use serde::{Deserialize, Serialize};
 
 /// A sense amplifier comparing a column current against a reference current.
@@ -49,12 +50,32 @@ impl SenseAmp {
     }
 
     /// Compares `current` against `reference`; returns `true` when the
-    /// column fires.
+    /// column fires. Decision noise is drawn sequentially from `rng`.
     pub fn decide(&self, current: f64, reference: f64, rng: &mut StdRng) -> bool {
         let noise = if self.noise_sigma > 0.0 {
             self.noise_sigma * gaussian(rng)
         } else {
             0.0
+        };
+        current + self.offset + noise > reference
+    }
+
+    /// [`SenseAmp::decide`] with counter-keyed decision noise: the draw is
+    /// the pure function `key.gaussian(lane)` of `(key, lane)`, so
+    /// decisions are order-free and thread-invariant (the SEI read path
+    /// assigns each column a dedicated lane). `None` — or a zero noise
+    /// sigma — decides noiselessly; the frozen static offset always
+    /// applies.
+    pub fn decide_keyed(
+        &self,
+        current: f64,
+        reference: f64,
+        key: Option<NoiseKey>,
+        lane: u64,
+    ) -> bool {
+        let noise = match key {
+            Some(key) if self.noise_sigma > 0.0 => self.noise_sigma * key.gaussian(lane),
+            _ => 0.0,
         };
         current + self.offset + noise > reference
     }
@@ -114,5 +135,26 @@ mod tests {
         // Exactly-at-threshold with symmetric noise → about half fire.
         let rate = fires as f64 / n as f64;
         assert!((rate - 0.5).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn keyed_decision_noise_flips_borderline_cases_and_is_pure() {
+        let sa = SenseAmp {
+            offset: 0.0,
+            noise_sigma: 1e-6,
+        };
+        let key = NoiseKey::new(9);
+        let n = 2000u64;
+        let fires = (0..n)
+            .filter(|&lane| sa.decide_keyed(1e-3, 1e-3, Some(key), lane))
+            .count();
+        let rate = fires as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.05, "rate {rate}");
+        // Same (key, lane) → same decision; no key → noiseless.
+        assert_eq!(
+            sa.decide_keyed(1e-3, 1e-3, Some(key), 7),
+            sa.decide_keyed(1e-3, 1e-3, Some(key), 7)
+        );
+        assert!(!sa.decide_keyed(1e-3, 1e-3, None, 7));
     }
 }

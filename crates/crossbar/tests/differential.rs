@@ -12,7 +12,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sei_crossbar::{MergedConfig, MergedCrossbar, SeiConfig, SeiCrossbar, SeiMode};
+use sei_crossbar::{MergedConfig, MergedCrossbar, NoiseCtx, SeiConfig, SeiCrossbar, SeiMode};
 use sei_device::DeviceSpec;
 use sei_nn::Matrix;
 
@@ -100,7 +100,7 @@ proptest! {
         );
         let bits: Vec<bool> = (0..6).map(|j| mask & (1 << j) != 0).collect();
         let x: Vec<f32> = bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
-        let merged_out = merged.matvec(&x, &mut rng);
+        let merged_out = merged.matvec(&x, NoiseCtx::ideal());
         let sei_out = sei.ideal_margins(&bits);
         let want = reference_margins(&w, &[0.0, 0.0], 0.0, &bits);
         let span = w

@@ -1,14 +1,23 @@
-//! Differential property tests for the compute kernels: the bit-packed
-//! sparsity-aware path (`SEI_KERNELS=packed`, the default) must be
-//! **bit-identical** to the scalar escape hatch across random weights,
-//! sparsity levels, SEI modes, fault maps and read-noise seeds — same
-//! column sums, same RNG draw sequence, same sense-amp fires.
+//! Differential property tests for the compute kernels: every backend
+//! (`scalar`, `packed`, `simd`) must be **bit-identical** to every other
+//! across random weights, sparsity levels, SEI modes, fault maps and
+//! noise keys — same column sums, same sense-amp fires. With the
+//! counter-based noise stream this holds by construction (draws are pure
+//! functions of `(key, lane)`, never of evaluation order), and these
+//! tests pin the construction down:
+//!
+//! * pairwise backend equivalence on ideal margins, noisy margins and
+//!   forward fires;
+//! * batched reads bit-identical to the sequential loop;
+//! * noise draws permutation-invariant across lane / image orders.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sei_crossbar::{FaultInjection, KernelMode, ReadScratch, SeiConfig, SeiCrossbar, SeiMode};
-use sei_device::DeviceSpec;
+use sei_crossbar::{
+    FaultInjection, KernelMode, NoiseCtx, ReadScratch, SeiConfig, SeiCrossbar, SeiMode,
+};
+use sei_device::{DeviceSpec, NoiseKey};
 use sei_faults::{FaultMap, FaultModel};
 use sei_nn::Matrix;
 
@@ -54,11 +63,10 @@ fn build(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// `ideal_margins`, `margins` and `forward` agree bit-for-bit between
-    /// the packed and scalar kernels, and noisy reads leave both RNGs in
-    /// the same state (same draw sequence).
+    /// `ideal_margins`, `margins` and `forward` agree bit-for-bit across
+    /// all three kernel backends under the same noise context.
     #[test]
-    fn packed_kernel_bit_identical_to_scalar(
+    fn kernels_bit_identical_pairwise(
         wm in weights(13, 4),
         bias in proptest::collection::vec(-0.5f32..0.5, 4),
         theta in -0.2f32..0.5f32,
@@ -76,36 +84,141 @@ proptest! {
 
         let mut pat_rng = StdRng::seed_from_u64(pattern_seed);
         let input: Vec<bool> = (0..wm.rows()).map(|_| pat_rng.gen_bool(density)).collect();
+        let ctx = NoiseCtx::keyed(NoiseKey::new(noise_seed)).tile(7).image(3);
 
         let mut scratch = ReadScratch::new();
         let (mut a, mut b) = (Vec::new(), Vec::new());
-
-        // Noise-free margins.
-        xbar.ideal_margins_into_with(&input, &mut scratch, &mut a, KernelMode::Packed);
-        xbar.ideal_margins_into_with(&input, &mut scratch, &mut b, KernelMode::Scalar);
-        prop_assert_eq!(a.len(), b.len());
-        for (x, y) in a.iter().zip(&b) {
-            prop_assert_eq!(x.to_bits(), y.to_bits(), "ideal margin {x} vs {y}");
-        }
-
-        // Noisy margins: identical values AND identical RNG consumption.
-        let mut rng_p = StdRng::seed_from_u64(noise_seed);
-        let mut rng_s = StdRng::seed_from_u64(noise_seed);
-        xbar.margins_into_with(&input, &mut rng_p, &mut scratch, &mut a, KernelMode::Packed);
-        xbar.margins_into_with(&input, &mut rng_s, &mut scratch, &mut b, KernelMode::Scalar);
-        for (x, y) in a.iter().zip(&b) {
-            prop_assert_eq!(x.to_bits(), y.to_bits(), "noisy margin {x} vs {y}");
-        }
-        prop_assert_eq!(rng_p.gen::<u64>(), rng_s.gen::<u64>(), "RNG streams diverged");
-
-        // Sense-amp fires.
-        let mut rng_p = StdRng::seed_from_u64(noise_seed ^ 1);
-        let mut rng_s = StdRng::seed_from_u64(noise_seed ^ 1);
+        let (mut na, mut nb) = (Vec::new(), Vec::new());
         let (mut fa, mut fb) = (Vec::new(), Vec::new());
-        xbar.forward_into_with(&input, &mut rng_p, &mut scratch, &mut fa, KernelMode::Packed);
-        xbar.forward_into_with(&input, &mut rng_s, &mut scratch, &mut fb, KernelMode::Scalar);
-        prop_assert_eq!(&fa, &fb);
-        prop_assert_eq!(rng_p.gen::<u64>(), rng_s.gen::<u64>(), "RNG streams diverged");
+
+        let reference = KernelMode::Packed;
+        xbar.ideal_margins_into_with(&input, &mut scratch, &mut a, reference);
+        xbar.margins_into_with(&input, ctx, &mut scratch, &mut na, reference);
+        xbar.forward_into_with(&input, ctx, &mut scratch, &mut fa, reference);
+
+        for other in KernelMode::ALL {
+            if other == reference {
+                continue;
+            }
+            xbar.ideal_margins_into_with(&input, &mut scratch, &mut b, other);
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "{other}: ideal margin {x} vs {y}");
+            }
+
+            xbar.margins_into_with(&input, ctx, &mut scratch, &mut nb, other);
+            for (x, y) in na.iter().zip(&nb) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "{other}: noisy margin {x} vs {y}");
+            }
+
+            xbar.forward_into_with(&input, ctx, &mut scratch, &mut fb, other);
+            prop_assert_eq!(&fa, &fb, "{} vs {}: fires diverged", reference, other);
+        }
     }
 
+    /// Batched reads are bit-identical to the sequential per-image loop
+    /// for every backend (the batched path always packs, so this also
+    /// cross-checks packing against the scalar reference).
+    #[test]
+    fn batched_forward_matches_sequential(
+        wm in weights(11, 3),
+        density in 0.0f64..1.0,
+        pattern_seed in 0u64..1 << 48,
+        build_seed in 0u64..1 << 48,
+        noise_seed in 0u64..1 << 48,
+        batch in 1usize..6,
+        signed in 0u8..2,
+    ) {
+        use rand::Rng;
+        let mode = if signed == 1 { SeiMode::SignedPorts } else { SeiMode::DynamicThreshold };
+        let xbar = build(&wm, &[0.1, -0.1, 0.0], 0.05, mode, build_seed, 0.0);
+
+        let rows = wm.rows();
+        let mut pat_rng = StdRng::seed_from_u64(pattern_seed);
+        let inputs: Vec<bool> = (0..rows * batch).map(|_| pat_rng.gen_bool(density)).collect();
+        let root = NoiseCtx::keyed(NoiseKey::new(noise_seed)).tile(2);
+        let ctxs: Vec<NoiseCtx> = (0..batch).map(|i| root.image(i as u64)).collect();
+
+        let mut scratch = ReadScratch::new();
+        let mut batched = Vec::new();
+        xbar.forward_batch_into(&inputs, &ctxs, &mut scratch, &mut batched);
+
+        let mut sequential = Vec::new();
+        let mut one = Vec::new();
+        for (i, ctx) in ctxs.iter().enumerate() {
+            xbar.forward_into(&inputs[i * rows..(i + 1) * rows], *ctx, &mut scratch, &mut one);
+            sequential.extend_from_slice(&one);
+        }
+        prop_assert_eq!(&batched, &sequential);
+    }
+
+    /// The counter-based noise draw is a pure function of its key: lane
+    /// draws are invariant under any evaluation order, and derived keys
+    /// commute with the order the derivation steps are observed in.
+    #[test]
+    fn noise_draws_are_permutation_invariant(
+        seed in proptest::arbitrary::any::<u64>(),
+        tile in proptest::arbitrary::any::<u64>(),
+        image in proptest::arbitrary::any::<u64>(),
+        lanes in proptest::collection::vec(0u64..4096, 1..64),
+    ) {
+        let key = NoiseKey::new(seed).tile(tile).image(image);
+
+        // Forward order, reverse order, and interleaved-with-other-keys
+        // order all see the same value per lane.
+        let forward: Vec<u64> = lanes.iter().map(|&l| key.gaussian(l).to_bits()).collect();
+        let reverse: Vec<u64> = lanes
+            .iter()
+            .rev()
+            .map(|&l| key.gaussian(l).to_bits())
+            .collect();
+        let mut reversed_back = reverse.clone();
+        reversed_back.reverse();
+        prop_assert_eq!(&forward, &reversed_back);
+
+        let interleaved: Vec<u64> = lanes
+            .iter()
+            .map(|&l| {
+                // An unrelated draw in between must not disturb the stream.
+                let _ = key.image(image ^ 1).gaussian(l);
+                key.gaussian(l).to_bits()
+            })
+            .collect();
+        prop_assert_eq!(&forward, &interleaved);
+
+        // Uniform draws likewise.
+        let u1: Vec<u64> = lanes.iter().map(|&l| key.uniform(l).to_bits()).collect();
+        let mut u2: Vec<u64> = lanes
+            .iter()
+            .rev()
+            .map(|&l| key.uniform(l).to_bits())
+            .collect();
+        u2.reverse();
+        prop_assert_eq!(&u1, &u2);
+    }
+
+    /// Reads under the same context are reproducible no matter how many
+    /// other reads happen in between — the whole-crossbar analogue of the
+    /// per-lane purity above, covering sense-amp noise too.
+    #[test]
+    fn whole_read_is_pure_function_of_context(
+        wm in weights(9, 3),
+        density in 0.0f64..1.0,
+        pattern_seed in 0u64..1 << 48,
+        noise_seed in 0u64..1 << 48,
+    ) {
+        use rand::Rng;
+        let xbar = build(&wm, &[0.0, 0.0, 0.0], 0.1, SeiMode::SignedPorts, 5, 0.0);
+        let mut pat_rng = StdRng::seed_from_u64(pattern_seed);
+        let input: Vec<bool> = (0..wm.rows()).map(|_| pat_rng.gen_bool(density)).collect();
+        let other: Vec<bool> = (0..wm.rows()).map(|_| pat_rng.gen_bool(0.5)).collect();
+
+        let ctx = NoiseCtx::keyed(NoiseKey::new(noise_seed)).read(9);
+        let first = xbar.forward(&input, ctx);
+        // Unrelated reads (different contexts) in between.
+        let _ = xbar.forward(&other, ctx.image(1));
+        let _ = xbar.margins(&other, ctx.image(2));
+        let again = xbar.forward(&input, ctx);
+        prop_assert_eq!(first, again);
+    }
 }

@@ -1,39 +1,64 @@
-//! Telemetry totals must match between kernels: the batched packed-mode
-//! accounting (flushed once per image / on scratch drop) reports exactly
-//! the per-read event counts and femtojoule energy of the scalar path.
+//! Telemetry totals must match between kernels: the batched accounting
+//! (flushed once per image / on scratch drop) reports exactly the same
+//! per-read event counts and femtojoule energy for every backend, and
+//! the image-batched read path for a whole batch.
 //!
 //! Kept in its own test binary: it resets the process-global physical
 //! event counters, which would race with other tests' reads.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sei_crossbar::{KernelMode, ReadScratch, SeiConfig, SeiCrossbar, SeiMode};
-use sei_device::DeviceSpec;
+use sei_crossbar::{KernelMode, NoiseCtx, ReadScratch, SeiConfig, SeiCrossbar, SeiMode};
+use sei_device::{DeviceSpec, NoiseKey};
 use sei_nn::Matrix;
 use sei_telemetry::counters::{self, Event};
 
-const EVENTS: [Event; 4] = [
+const EVENTS: [Event; 5] = [
     Event::CrossbarReadOps,
     Event::GateSwitches,
     Event::SenseAmpFires,
     Event::EnergyFemtojoules,
+    Event::NoiseDraws,
 ];
 
 fn totals_for(
     xbar: &SeiCrossbar,
     patterns: &[Vec<bool>],
     mode: KernelMode,
-) -> ([u64; 4], Vec<bool>) {
+) -> ([u64; 5], Vec<bool>) {
     counters::reset();
+    let root = NoiseCtx::keyed(NoiseKey::new(99)).tile(1);
     let mut fires = Vec::new();
     {
         let mut scratch = ReadScratch::new();
-        let mut rng = StdRng::seed_from_u64(99);
-        for p in patterns {
-            xbar.forward_into_with(p, &mut rng, &mut scratch, &mut fires, mode);
+        let mut one = Vec::new();
+        for (i, p) in patterns.iter().enumerate() {
+            xbar.forward_into_with(p, root.image(i as u64), &mut scratch, &mut one, mode);
+            fires.extend_from_slice(&one);
         }
-    } // drop flushes the packed batch
-    let mut out = [0u64; 4];
+    } // drop flushes the batched counters
+    let mut out = [0u64; 5];
+    for (slot, ev) in out.iter_mut().zip(EVENTS) {
+        *slot = counters::get(ev);
+    }
+    (out, fires)
+}
+
+fn batched_totals_for(xbar: &SeiCrossbar, patterns: &[Vec<bool>]) -> ([u64; 5], Vec<bool>) {
+    counters::reset();
+    let root = NoiseCtx::keyed(NoiseKey::new(99)).tile(1);
+    let rows = patterns[0].len();
+    let mut flat = Vec::with_capacity(rows * patterns.len());
+    for p in patterns {
+        flat.extend_from_slice(p);
+    }
+    let ctxs: Vec<NoiseCtx> = (0..patterns.len()).map(|i| root.image(i as u64)).collect();
+    let mut fires = Vec::new();
+    {
+        let mut scratch = ReadScratch::new();
+        xbar.forward_batch_into(&flat, &ctxs, &mut scratch, &mut fires);
+    }
+    let mut out = [0u64; 5];
     for (slot, ev) in out.iter_mut().zip(EVENTS) {
         *slot = counters::get(ev);
     }
@@ -41,7 +66,7 @@ fn totals_for(
 }
 
 #[test]
-fn packed_telemetry_totals_match_scalar() {
+fn telemetry_totals_match_across_backends() {
     let rows = 9;
     let mut wrng = StdRng::seed_from_u64(3);
     for (case, &(mode, density)) in [
@@ -72,9 +97,20 @@ fn packed_telemetry_totals_match_scalar() {
             .collect();
 
         let (packed, fires_p) = totals_for(&xbar, &patterns, KernelMode::Packed);
-        let (scalar, fires_s) = totals_for(&xbar, &patterns, KernelMode::Scalar);
-        assert_eq!(packed, scalar, "case {case}: counter totals diverged");
-        assert_eq!(fires_p, fires_s, "case {case}: fires diverged");
+        for other in [KernelMode::Scalar, KernelMode::Simd] {
+            let (totals, fires) = totals_for(&xbar, &patterns, other);
+            assert_eq!(
+                packed, totals,
+                "case {case}: {other} counter totals diverged"
+            );
+            assert_eq!(fires_p, fires, "case {case}: {other} fires diverged");
+        }
+        let (batched, fires_b) = batched_totals_for(&xbar, &patterns);
+        assert_eq!(
+            packed, batched,
+            "case {case}: batched counter totals diverged"
+        );
+        assert_eq!(fires_p, fires_b, "case {case}: batched fires diverged");
         assert!(packed[0] > 0, "case {case}: no reads counted");
     }
 }

@@ -1,14 +1,195 @@
 //! Read-time noise: cycle-to-cycle Gaussian noise and random telegraph
-//! noise (RTN).
+//! noise (RTN), plus the **counter-based draw API** the read kernels use.
 //!
 //! The paper cites RTN in AlOx/WOy devices \[8\] as one of the reasons a
 //! fully-analog bufferless CNN pipeline is impractical; here RTN appears as
 //! an occasional discrete conductance excursion during reads.
+//!
+//! # Counter-based noise stream
+//!
+//! Read-path noise draws are **pure functions of a key**, not samples from
+//! a stateful RNG: a [`NoiseKey`] is derived along the chain
+//! `seed → tile → image → read`, and [`NoiseKey::gaussian`] hashes
+//! `(key, lane)` through splitmix64 finalizers into a transcendental-free
+//! CLT normal draw (popcount of 128 hashed bits plus uniform dither).
+//! This makes every draw order-free — reads can be reordered, batched, or
+//! split across threads and each `(key, lane)` still yields the same bits,
+//! so thread-count invariance holds *by construction* rather than by
+//! careful sequencing (DESIGN.md §11). The canonical stream is versioned
+//! by [`NOISE_STREAM_VERSION`]; changing any constant below redefines the
+//! stream and requires regenerating the golden traces.
 
 use crate::spec::DeviceSpec;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Version of the canonical counter-based noise stream. Bumped whenever
+/// the key derivation or the draw function changes; golden traces record
+/// results under one specific version.
+///
+/// v3 replaced the Box–Muller Gaussian with the CLT draw (see
+/// [`NoiseKey::gaussian`]) and redefined the canonical per-column
+/// variance as a sum of per-input-block partials (see
+/// `sei_crossbar::kernels`).
+pub const NOISE_STREAM_VERSION: u32 = 3;
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+// Domain-separation constants: each derivation step and the draw itself
+// hash through a distinct domain so `tile(0).image(1)` can never collide
+// with `tile(1).image(0)` or with a lane draw.
+const DOMAIN_ROOT: u64 = 0x5E1_0001;
+const DOMAIN_TILE: u64 = 0x5E1_0002;
+const DOMAIN_IMAGE: u64 = 0x5E1_0003;
+const DOMAIN_READ: u64 = 0x5E1_0004;
+const DOMAIN_GAUSS: u64 = 0x5E1_0005;
+const DOMAIN_UNIFORM: u64 = 0x5E1_0006;
+
+/// A key into the counter-based noise stream (see module docs).
+///
+/// Keys are cheap `Copy` values; deriving a child key costs two
+/// `mix64` rounds. The derivation chain used by the simulator is
+/// `NoiseKey::new(noise_seed).tile(t).image(i).read(r)`, and per-column
+/// draws use `gaussian(lane)` on the resulting read key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NoiseKey(u64);
+
+impl NoiseKey {
+    /// Root key of a noise stream.
+    pub fn new(seed: u64) -> NoiseKey {
+        NoiseKey(mix64(seed ^ DOMAIN_ROOT))
+    }
+
+    #[inline]
+    fn derive(self, domain: u64, index: u64) -> NoiseKey {
+        NoiseKey(mix64(self.0 ^ mix64(index ^ domain)))
+    }
+
+    /// Child key for one crossbar tile (a `(layer, part)` slot).
+    #[must_use]
+    pub fn tile(self, tile: u64) -> NoiseKey {
+        self.derive(DOMAIN_TILE, tile)
+    }
+
+    /// Child key for one dataset image (its global index).
+    #[must_use]
+    pub fn image(self, image: u64) -> NoiseKey {
+        self.derive(DOMAIN_IMAGE, image)
+    }
+
+    /// Child key for one read of a tile within an image (the conv output
+    /// position index; `0` for the single read of an FC layer).
+    #[must_use]
+    pub fn read(self, read: u64) -> NoiseKey {
+        self.derive(DOMAIN_READ, read)
+    }
+
+    /// The raw key bits (diagnostics and tests).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// A uniform draw in `[0, 1)`, a pure function of `(key, lane)`.
+    #[inline]
+    pub fn uniform(self, lane: u64) -> f64 {
+        let h = mix64(self.0 ^ mix64(lane ^ DOMAIN_UNIFORM));
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A standard-normal draw, a pure function of `(key, lane)`.
+    ///
+    /// This is a **CLT draw**, not Box–Muller: the sum of 128 hashed
+    /// Bernoulli bits (`Binomial(128, ½)`, variance 32) plus an
+    /// independent uniform dither of one quantization step, scaled to
+    /// unit variance. Binomial(128) is within an excess kurtosis of
+    /// −1/64 of a true normal and the dither removes the 0.177 σ
+    /// quantization, so the distribution is continuous and
+    /// indistinguishable from `N(0, 1)` for device-noise purposes,
+    /// while the cost is three `mix64` rounds and two popcounts — no
+    /// transcendentals. That is what lets noisy reads run at nearly
+    /// ideal-read speed (the draw is also exactly zero-mean and
+    /// unit-variance by construction). Tails truncate at ±11.3 σ.
+    #[inline]
+    pub fn gaussian(self, lane: u64) -> f64 {
+        // 1 / sqrt(32 + 1/12): binomial variance plus dither variance.
+        const NORM: f64 = 0.176_546_965_900_949_9;
+        let h1 = mix64(self.0 ^ mix64(lane ^ DOMAIN_GAUSS));
+        let h2 = mix64(h1 ^ DOMAIN_GAUSS);
+        let pop = i64::from(h1.count_ones() + h2.count_ones()) - 64;
+        // Dither from a third hash so it is independent of the popcounts.
+        let h3 = mix64(h2 ^ DOMAIN_GAUSS);
+        let dither = (h3 >> 11) as f64 * (1.0 / (1u64 << 53) as f64) - 0.5;
+        (pop as f64 + dither) * NORM
+    }
+
+    /// Two standard-normal draws: lanes `2p` and `2p + 1` of
+    /// [`NoiseKey::gaussian`]. Kept for callers that consume lanes in
+    /// pairs; since v3 each lane is an independent draw and the pair
+    /// form carries no cost advantage.
+    #[inline]
+    pub fn gaussian_pair(self, pair: u64) -> (f64, f64) {
+        (self.gaussian(2 * pair), self.gaussian(2 * pair + 1))
+    }
+}
+
+/// Typed read-noise configuration for library callers: bins resolve the
+/// environment once and hand the values down (PR-2 config style).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Seed of the counter-based noise stream.
+    pub seed: u64,
+    /// Relative sigma of per-read Gaussian noise.
+    pub sigma: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            seed: 0,
+            sigma: 0.0,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// Sets the stream seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the Gaussian read-noise sigma.
+    #[must_use]
+    pub fn with_sigma(mut self, sigma: f64) -> Self {
+        self.sigma = sigma;
+        self
+    }
+
+    /// Checks the configuration for physical consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.sigma.is_finite() && self.sigma >= 0.0) {
+            return Err(format!(
+                "NoiseConfig.sigma must be finite and non-negative, got {}",
+                self.sigma
+            ));
+        }
+        Ok(())
+    }
+
+    /// Root key of the configured stream.
+    pub fn root(&self) -> NoiseKey {
+        NoiseKey::new(self.seed)
+    }
+}
 
 /// Read-noise model: multiplicative Gaussian plus two-sided RTN events.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -95,6 +276,73 @@ mod tests {
             .count();
         let rate = events as f64 / n as f64;
         assert!((rate - 0.1).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn counter_draw_is_pure_in_its_key() {
+        let key = NoiseKey::new(7).tile(3).image(11).read(2);
+        for lane in 0..16u64 {
+            let again = NoiseKey::new(7).tile(3).image(11).read(2);
+            assert_eq!(key.gaussian(lane).to_bits(), again.gaussian(lane).to_bits());
+            assert_eq!(key.uniform(lane).to_bits(), again.uniform(lane).to_bits());
+        }
+    }
+
+    #[test]
+    fn gaussian_lanes_are_the_pair_halves() {
+        let key = NoiseKey::new(9).tile(0).image(5).read(1);
+        for p in 0..8u64 {
+            let (c, s) = key.gaussian_pair(p);
+            assert_eq!(key.gaussian(2 * p).to_bits(), c.to_bits());
+            assert_eq!(key.gaussian(2 * p + 1).to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn derivation_steps_are_domain_separated() {
+        let root = NoiseKey::new(1);
+        // Swapping indices across derivation levels must change the key.
+        assert_ne!(root.tile(0).image(1).raw(), root.tile(1).image(0).raw());
+        assert_ne!(root.tile(2).raw(), root.image(2).raw());
+        assert_ne!(root.image(2).raw(), root.read(2).raw());
+    }
+
+    #[test]
+    fn counter_gaussian_is_standard_normal() {
+        let key = NoiseKey::new(123).tile(1).image(1).read(0);
+        let n = 40_000u64;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for lane in 0..n {
+            let g = key.gaussian(lane);
+            sum += g;
+            sq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn counter_uniform_stays_in_unit_interval() {
+        let key = NoiseKey::new(55);
+        for lane in 0..10_000u64 {
+            let u = key.uniform(lane);
+            assert!((0.0..1.0).contains(&u), "uniform {u}");
+        }
+    }
+
+    #[test]
+    fn noise_config_validates() {
+        assert!(NoiseConfig::default().validate().is_ok());
+        let cfg = NoiseConfig::default().with_seed(3).with_sigma(0.05);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.root().raw(), NoiseKey::new(3).raw());
+        assert!(NoiseConfig::default().with_sigma(-1.0).validate().is_err());
+        assert!(NoiseConfig::default()
+            .with_sigma(f64::NAN)
+            .validate()
+            .is_err());
     }
 
     #[test]

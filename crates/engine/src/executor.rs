@@ -6,11 +6,27 @@
 //! depend only on the *item count* (and, for chunked methods, the chunk
 //! size) — never on the thread count. Threads pull unit indices from a
 //! shared atomic counter, compute results locally, and the results are
-//! re-assembled **in unit-index order** before being returned. Any
-//! randomness a unit needs is drawn from a per-chunk RNG seeded by
-//! [`chunk_seed`]`(seed, chunk_index)`, not from a stream shared across
-//! units. Consequently the returned `Vec` is bit-for-bit identical for
-//! any `threads >= 1`.
+//! re-assembled **in unit-index order** before being returned.
+//! Consequently the returned `Vec` is bit-for-bit identical for any
+//! `threads >= 1`.
+//!
+//! # Two randomness schemes
+//!
+//! Work distributed through the engine obtains randomness one of two
+//! ways, and the choice decides how strong the determinism is:
+//!
+//! * **Sequential streams, chunk-keyed** — a per-chunk RNG seeded by
+//!   [`chunk_seed`]`(seed, chunk_index)`. Results are thread-count
+//!   invariant, but *chunk-size dependent*: re-chunking the same work
+//!   re-deals which draws each item sees. Used where a stateful RNG is
+//!   the natural model (fault-map generation, GA populations).
+//! * **Counter-based streams, item-keyed** — each item derives its draws
+//!   as a pure function of a stable key (e.g. the crossbar read path's
+//!   `sei_device::NoiseKey`, keyed by `(seed, tile, image, read, lane)`).
+//!   Results are invariant to thread count, chunk size, and evaluation
+//!   order alike, so chunking becomes purely a scheduling concern. The
+//!   crossbar evaluators key noise by global dataset index this way and
+//!   need no per-chunk RNG bookkeeping at all.
 
 use sei_telemetry::env::{parse_lookup, EnvError};
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -516,6 +516,23 @@ impl SplitNetwork {
     pub fn classify_scratch(&self, image: &Tensor3, scratch: &mut SplitScratch) -> usize {
         self.forward_scratch(image, scratch).argmax()
     }
+
+    /// Classifies a batch of images through one reused scratch — the
+    /// functional-model counterpart of the crossbar simulator's batched
+    /// read entry. The split network is deterministic (no device noise),
+    /// so batching is purely a buffer-reuse optimization here; it exists
+    /// so serving-layer code can drive both models through the same
+    /// batch-shaped interface.
+    pub fn classify_batch_scratch(
+        &self,
+        images: &[Tensor3],
+        scratch: &mut SplitScratch,
+    ) -> Vec<usize> {
+        images
+            .iter()
+            .map(|img| self.classify_scratch(img, scratch))
+            .collect()
+    }
 }
 
 fn check_partition(spec: &SplitSpec, rows: usize) {

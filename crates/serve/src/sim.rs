@@ -28,6 +28,17 @@
 //! `(time, push sequence)`, arrivals come from the stateless splitmix64
 //! stream, and no wall-clock or thread-dependent quantity enters the
 //! state, so `simulate` is a pure function of `(profile, config)`.
+//!
+//! # Relation to the batched read path
+//!
+//! This simulator models *timing* only — no crossbar reads happen here,
+//! so its NDJSON output is invariant to the `SEI_KERNELS` backend by
+//! construction. The functional counterpart of the batch former is
+//! `CrossbarNetwork::classify_batch_scratch` in `sei-core`: because read
+//! noise is a pure function of `(seed, tile, image index, read)`, a
+//! batch former may group requests any way it likes without changing any
+//! prediction — the accuracy and timing models stay independently
+//! composable.
 
 use crate::load::{ArrivalGen, ClassMix, LoadModel};
 use crate::metrics::{ClassStat, HistSummary, LatencyStats, ServeReport, StageStat};

@@ -61,12 +61,7 @@ static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
 /// Parse `SEI_LOG` and fix the level. Returns a clear error (instead of a
 /// silent default) when the value is malformed.
 pub fn init_level_from_env() -> Result<Level, EnvError> {
-    let level = match std::env::var("SEI_LOG") {
-        Ok(raw) => raw
-            .parse::<Level>()
-            .map_err(|()| EnvError::new("SEI_LOG", &raw, "one of error|warn|info|debug"))?,
-        Err(_) => Level::Warn,
-    };
+    let level = crate::env::parse_var_or("SEI_LOG", "one of error|warn|info|debug", Level::Warn)?;
     set_level(level);
     Ok(level)
 }

@@ -9,7 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sei::crossbar::{SeiConfig, SeiCrossbar, SeiMode};
+use sei::crossbar::{NoiseCtx, SeiConfig, SeiCrossbar, SeiMode};
 use sei::device::DeviceSpec;
 use sei::nn::Matrix;
 
@@ -70,7 +70,7 @@ fn main() {
     for mask in 0..8u32 {
         let input: Vec<bool> = (0..3).map(|j| mask & (1 << j) != 0).collect();
         let margins = xbar.ideal_margins(&input);
-        let fires = xbar.forward(&input, &mut rng);
+        let fires = xbar.forward(&input, NoiseCtx::ideal());
         // Direct Equ. (4) computation for comparison.
         let direct: Vec<f32> = (0..2)
             .map(|k| {

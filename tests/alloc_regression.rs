@@ -17,9 +17,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sei::core::{AcceleratorBuilder, EvalScratch};
+use sei::crossbar::{NoiseCtx, ReadScratch, SeiConfig, SeiCrossbar, SeiMode};
+use sei::device::{DeviceSpec, NoiseKey};
 use sei::nn::data::SynthConfig;
 use sei::nn::paper;
 use sei::nn::train::{TrainConfig, Trainer};
+use sei::nn::Matrix;
 use sei::telemetry::counters::{self, Event};
 
 /// Counts every allocation (and growth realloc) passed to the system
@@ -75,16 +78,16 @@ fn mapped_forward_does_not_allocate_per_read() {
     let hw = acc.crossbar_network();
 
     let (img, _) = train.sample(0);
-    let mut rng = StdRng::seed_from_u64(9);
     let mut scratch = EvalScratch::new();
 
     // Warm-up: grows every scratch buffer to its steady-state capacity.
-    let warm = hw.classify_scratch(img, &mut rng, &mut scratch);
+    let warm = hw.classify_scratch(img, 0, &mut scratch);
 
-    // Measured pass: same shapes, reused scratch.
+    // Measured pass: same shapes, reused scratch. A different image
+    // index keys a different noise stream, so this is not a cache replay.
     counters::reset();
     let before = allocs();
-    let steady = hw.classify_scratch(img, &mut rng, &mut scratch);
+    let steady = hw.classify_scratch(img, 1, &mut scratch);
     let after = allocs();
     let reads = counters::get(Event::CrossbarReadOps);
 
@@ -108,5 +111,46 @@ fn mapped_forward_does_not_allocate_per_read() {
     assert!(
         per_image <= 64,
         "forward allocated {per_image} times (budget 64, {reads} reads)"
+    );
+}
+
+#[test]
+fn batched_read_does_not_allocate_per_read() {
+    // The image-batched crossbar read path (`forward_batch_into`) must
+    // stay allocation-free once its scratch and output buffers are warm:
+    // noise setup, gate routing and accumulation all reuse `ReadScratch`.
+    use rand::Rng;
+    let rows = 48;
+    let cols = 12;
+    let batch = 16;
+    let mut rng = StdRng::seed_from_u64(13);
+    let wm = Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect(),
+    );
+    let spec = DeviceSpec::default_4bit();
+    let cfg = SeiConfig::new(SeiMode::SignedPorts);
+    let xbar = SeiCrossbar::new(&spec, &wm, &vec![0.0; cols], 0.1, &cfg, &mut rng);
+
+    let inputs: Vec<bool> = (0..rows * batch).map(|_| rng.gen_bool(0.6)).collect();
+    let root = NoiseCtx::keyed(NoiseKey::new(3)).tile(1);
+    let ctxs: Vec<NoiseCtx> = (0..batch).map(|i| root.image(i as u64)).collect();
+
+    let mut scratch = ReadScratch::new();
+    let mut fires = Vec::new();
+    // Warm-up sizes every buffer.
+    xbar.forward_batch_into(&inputs, &ctxs, &mut scratch, &mut fires);
+
+    let before = allocs();
+    xbar.forward_batch_into(&inputs, &ctxs, &mut scratch, &mut fires);
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "warm batched read allocated {} times",
+        after - before
     );
 }

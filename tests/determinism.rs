@@ -1,15 +1,18 @@
 //! Property tests for the execution engine's central contract: every
 //! chunk-parallel evaluation is **bit-identical at any thread count**.
 //!
-//! The engine guarantees this by fixing chunk boundaries independently of
-//! the worker count and seeding one RNG stream per chunk
-//! (`chunk_seed(seed, chunk_index)`), so the noise a sample sees depends
-//! only on its index — never on which thread happened to process it.
-//! These tests drive that contract end to end through the two stochastic
-//! evaluation paths (the SEI crossbar simulation and the split-network
-//! functional model), through the Table 4 driver, and through the
-//! Monte-Carlo fault campaign (whose fault maps are seeded by sweep
-//! index, not by worker).
+//! Two mechanisms uphold the contract (see `sei_engine::executor`'s
+//! module docs). Read noise is counter-based: every draw is a pure
+//! function of a `NoiseKey` derived from `(seed, tile, image index)`,
+//! so crossbar evaluation is invariant to thread count, chunk size and
+//! evaluation order by construction. Build-time randomness (fault maps,
+//! GA populations) still uses sequential per-chunk RNG streams seeded by
+//! `chunk_seed(seed, chunk_index)`, with chunk boundaries fixed
+//! independently of the worker count. These tests drive both mechanisms
+//! end to end through the two stochastic evaluation paths (the SEI
+//! crossbar simulation and the split-network functional model), through
+//! the Table 4 driver, and through the Monte-Carlo fault campaign (whose
+//! fault maps are seeded by sweep index, not by worker).
 
 use proptest::prelude::*;
 use sei::core::experiments::{fault_campaign, prepare_context, table4_column, FaultCampaignConfig};

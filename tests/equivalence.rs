@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sei::crossbar::{SeiConfig, SeiCrossbar, SeiMode};
+use sei::crossbar::{NoiseCtx, SeiConfig, SeiCrossbar, SeiMode};
 use sei::device::DeviceSpec;
 use sei::nn::{Matrix, MaxPool2d, Tensor3};
 use sei::quantize::BitTensor;
@@ -41,7 +41,7 @@ proptest! {
             &mut rng,
         );
         let input: Vec<bool> = (0..5).map(|j| pattern & (1 << j) != 0).collect();
-        let fires = xbar.forward(&input, &mut rng);
+        let fires = xbar.forward(&input, NoiseCtx::ideal());
         let scale = weights
             .as_slice()
             .iter()

@@ -120,6 +120,10 @@ fn golden_table1_distribution() {
     let rows = table1(ctx()).expect("table1 runs");
     let mut trace = Value::obj();
     trace.set("experiment", Value::Str("table1".into()));
+    trace.set(
+        "noise_stream_version",
+        Value::UInt(u64::from(sei::device::NOISE_STREAM_VERSION)),
+    );
     let nets: Vec<Value> = rows
         .iter()
         .map(|(which, dist)| {
@@ -156,6 +160,10 @@ fn golden_table3_quantization_error() {
     let rows = table3(ctx(), &QuantizeConfig::default()).expect("table3 runs");
     let mut trace = Value::obj();
     trace.set("experiment", Value::Str("table3".into()));
+    trace.set(
+        "noise_stream_version",
+        Value::UInt(u64::from(sei::device::NOISE_STREAM_VERSION)),
+    );
     let rvs: Vec<Value> = rows
         .iter()
         .map(|r| {
@@ -195,6 +203,10 @@ fn golden_table4_splitting_ablation() {
     .expect("table4 column builds");
     let mut trace = Value::obj();
     trace.set("experiment", Value::Str("table4".into()));
+    trace.set(
+        "noise_stream_version",
+        Value::UInt(u64::from(sei::device::NOISE_STREAM_VERSION)),
+    );
     trace.set("max_crossbar", Value::UInt(col.max_crossbar as u64));
     trace.set("original", Value::Float(f64::from(col.original)));
     trace.set("quantized", Value::Float(f64::from(col.quantized)));
