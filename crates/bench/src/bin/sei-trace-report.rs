@@ -23,6 +23,7 @@ fn main() {
         [a] => {
             let rows = load(a);
             summarize_serve(&rows);
+            summarize_fleet(&rows);
             summarize_attribution(&rows);
             summarize_kernels(&rows);
         }
@@ -30,6 +31,7 @@ fn main() {
             let rows_a = load(a);
             let rows_b = load(b);
             diff_serve(&rows_a, &rows_b);
+            diff_fleet(&rows_a, &rows_b);
             diff_attribution(&rows_a, &rows_b);
             diff_kernels(&rows_a, &rows_b);
         }
@@ -223,6 +225,139 @@ fn summarize_attribution(rows: &[Value]) {
             } else {
                 0.0
             }
+        );
+    }
+    println!();
+}
+
+/// Identity of one tenant of one fleet grid point (`sei-serve-fleet/v1`
+/// rows), used to pair tenants across files and sort deterministically.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct FleetKey {
+    network: String,
+    /// Load fraction ×1000, kept integral so the key is `Ord`.
+    load_millis: u64,
+    tenant: String,
+}
+
+impl FleetKey {
+    fn label(&self) -> String {
+        format!(
+            "{} {:.2}x {}",
+            self.network,
+            self.load_millis as f64 / 1000.0,
+            self.tenant
+        )
+    }
+}
+
+/// Extracts `(key, tenant object)` pairs from `sei-serve-fleet/v1` rows.
+fn fleet_tenants(rows: &[Value]) -> Vec<(FleetKey, &Value)> {
+    let mut out: Vec<(FleetKey, &Value)> = Vec::new();
+    for row in rows {
+        if row.get("schema").and_then(Value::as_str) != Some("sei-serve-fleet/v1") {
+            continue;
+        }
+        let network = row
+            .get("network")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let load_millis = (get_f64(row, "load_fraction") * 1000.0).round() as u64;
+        let Some(Value::Arr(tenants)) = row.get("fleet").and_then(|f| f.get("tenants")) else {
+            continue;
+        };
+        for tenant in tenants {
+            out.push((
+                FleetKey {
+                    network: network.clone(),
+                    load_millis,
+                    tenant: tenant
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                },
+                tenant,
+            ));
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn summarize_fleet(rows: &[Value]) {
+    let tenants = fleet_tenants(rows);
+    if tenants.is_empty() {
+        println!("no fleet rows");
+        return;
+    }
+    println!("fleet per-tenant outcome (shed%, evictions, tails, goodput)");
+    println!(
+        "{:<30} {:>4} {:>10} {:>8} {:>8} {:>10} {:>10} {:>12}",
+        "tenant point", "pri", "arrivals", "shed%", "evicted", "p50 µs", "p99 µs", "goodput/s"
+    );
+    for (key, tenant) in &tenants {
+        let report = tenant.get("report");
+        let arrivals = report.map_or(0, |r| get_u64(r, "arrivals"));
+        let shed = report.map_or(0, |r| get_u64(r, "shed_full") + get_u64(r, "shed_deadline"));
+        let shed_pct = if arrivals == 0 {
+            0.0
+        } else {
+            shed as f64 / arrivals as f64 * 100.0
+        };
+        println!(
+            "{:<30} {:>4} {:>10} {:>7.1}% {:>8} {:>10.1} {:>10.1} {:>12.0}",
+            key.label(),
+            get_u64(tenant, "priority"),
+            arrivals,
+            shed_pct,
+            get_u64(tenant, "evicted"),
+            report.map_or(0.0, |r| get_u64(r, "p50_ns") as f64 / 1e3),
+            report.map_or(0.0, |r| get_u64(r, "p99_ns") as f64 / 1e3),
+            report.map_or(0.0, |r| get_f64(r, "throughput_rps")),
+        );
+    }
+    println!();
+}
+
+fn diff_fleet(rows_a: &[Value], rows_b: &[Value]) {
+    let a: BTreeMap<FleetKey, &Value> = fleet_tenants(rows_a).into_iter().collect();
+    let b: BTreeMap<FleetKey, &Value> = fleet_tenants(rows_b).into_iter().collect();
+    if a.is_empty() && b.is_empty() {
+        println!("no fleet rows to diff");
+        return;
+    }
+    let shared: Vec<&FleetKey> = a.keys().filter(|k| b.contains_key(k)).collect();
+    if shared.is_empty() {
+        println!("no shared fleet tenants to diff");
+        println!();
+        return;
+    }
+    println!("fleet per-tenant diff (candidate vs baseline)");
+    println!(
+        "{:<30} {:>10} {:>10} {:>12} {:>12}",
+        "tenant point", "p50", "p99", "goodput", "evicted"
+    );
+    for key in shared {
+        let (ta, tb) = (a[key], b[key]);
+        let (ra, rb) = (ta.get("report"), tb.get("report"));
+        println!(
+            "{:<30} {:>10} {:>10} {:>12} {:>12}",
+            key.label(),
+            pct_delta(
+                ra.map_or(0.0, |r| get_u64(r, "p50_ns") as f64),
+                rb.map_or(0.0, |r| get_u64(r, "p50_ns") as f64),
+            ),
+            pct_delta(
+                ra.map_or(0.0, |r| get_u64(r, "p99_ns") as f64),
+                rb.map_or(0.0, |r| get_u64(r, "p99_ns") as f64),
+            ),
+            pct_delta(
+                ra.map_or(0.0, |r| get_f64(r, "throughput_rps")),
+                rb.map_or(0.0, |r| get_f64(r, "throughput_rps")),
+            ),
+            pct_delta(get_u64(ta, "evicted") as f64, get_u64(tb, "evicted") as f64,),
         );
     }
     println!();

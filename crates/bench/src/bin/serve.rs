@@ -19,10 +19,25 @@
 //! is written as a Chrome trace-event file (load it in `chrome://tracing`
 //! or Perfetto).
 //!
+//! **Fleet mode**: setting `SEI_SERVE_TENANTS`
+//! (`name:priority:weight[:burst_mult[:rate_frac[:bucket]]],…`) switches
+//! the binary to the multi-tenant fleet scheduler — the listed tenants
+//! share one tile pool and one admission plane, each load point runs
+//! `sei_serve::simulate_fleet` instead of the solo sweep, and the tables
+//! report per-tenant shed/eviction/tail-latency plus per-priority-class
+//! goodput. Fleet knobs: `SEI_SERVE_AUTOSCALE` (`off` or
+//! `up:down:sustain:interval_us[:max_repl]` backlog-driven replication
+//! autoscaling), `SEI_SERVE_POOL` (tile-pool size, 0 = exactly the
+//! initial demand), `SEI_SERVE_FLEET_QUEUE` (shared fleet-wide queue
+//! bound, 0 = per-tenant bounds only), `SEI_SERVE_BURST` (shared
+//! burst-token budget rate-limited tenants may borrow from). All fleet
+//! knobs parse strictly: a malformed value exits with code 2.
+//!
 //! With `SEI_REPORT_JSON` set, each grid point appends one
-//! `sei-serve-report/v1` NDJSON line. Every field in those lines is a
-//! function of the virtual clock and the seed — no wall-clock times, no
-//! thread counts — so the file is byte-identical at any `SEI_THREADS`.
+//! `sei-serve-report/v1` (solo) or `sei-serve-fleet/v1` (fleet mode)
+//! NDJSON line. Every field in those lines is a function of the virtual
+//! clock and the seed — no wall-clock times, no thread counts — so the
+//! file is byte-identical at any `SEI_THREADS`.
 
 use sei_bench::{banner, bench_init, env_list_or, env_or, ok_or_exit, paper_network_arg};
 use sei_cost::{CostParams, CostReport};
@@ -34,8 +49,9 @@ use sei_mapping::{DesignConstraints, Structure};
 use sei_nn::paper;
 use sei_nn::paper::PaperNetwork;
 use sei_serve::{
-    run_sweep, BatchPolicy, ClassMix, LoadModel, ServeConfig, ServiceProfile, SweepCell,
-    SweepPoint, SERVE_SCHEMA,
+    run_fleet_sweep, run_sweep, tenant_load_model, AutoscalePolicy, BatchPolicy, ClassMix,
+    FleetCell, FleetConfig, FleetMix, FleetPoint, LoadModel, ServeConfig, ServiceProfile,
+    SweepCell, SweepPoint, TenantSpec, FLEET_SCHEMA, SERVE_SCHEMA,
 };
 use sei_telemetry::json::Value;
 use sei_telemetry::{sei_warn, RunReport};
@@ -57,7 +73,44 @@ fn main() {
         "a name:weight,... traffic mix",
         ClassMix::default(),
     );
+    let fleet_mix: FleetMix = env_or(
+        "SEI_SERVE_TENANTS",
+        "a name:priority:weight[:burst_mult[:rate_frac[:bucket]]],... tenant list",
+        FleetMix::default(),
+    );
+    let autoscale: AutoscalePolicy = env_or(
+        "SEI_SERVE_AUTOSCALE",
+        "`off` or up:down:sustain:interval_us[:max_repl]",
+        AutoscalePolicy::default(),
+    );
+    let pool_tiles: usize = env_or("SEI_SERVE_POOL", "a tile-pool size (0 = auto)", 0);
+    let fleet_queue: usize = env_or(
+        "SEI_SERVE_FLEET_QUEUE",
+        "a shared fleet queue bound (0 = off)",
+        0,
+    );
+    let burst_budget: f64 = env_or("SEI_SERVE_BURST", "a shared burst-token budget", 0.0);
     let seed = scale.seed;
+
+    if !fleet_mix.is_empty() {
+        let fleet = FleetKnobs {
+            mix: fleet_mix,
+            autoscale,
+            pool_tiles,
+            shared_queue_capacity: fleet_queue,
+            burst_budget,
+            loads: &loads,
+            batch_max: batches.iter().copied().max().unwrap_or(1),
+            duration_ms,
+            queue,
+            timeout_us,
+            deadline_us,
+            classes: &classes,
+            seed,
+        };
+        run_fleet_mode(&scale, which, &fleet);
+        return;
+    }
 
     banner(&format!(
         "serving saturation sweep — {}, SEI structure",
@@ -211,6 +264,184 @@ fn main() {
     if let Err(e) = sei_telemetry::trace::write_env() {
         sei_warn!("failed to write trace: {e}");
     }
+}
+
+/// Everything the fleet path needs from the environment, bundled so the
+/// solo path stays untouched when fleet mode is off.
+struct FleetKnobs<'a> {
+    mix: FleetMix,
+    autoscale: AutoscalePolicy,
+    pool_tiles: usize,
+    shared_queue_capacity: usize,
+    burst_budget: f64,
+    loads: &'a [f64],
+    batch_max: usize,
+    duration_ms: u64,
+    queue: usize,
+    timeout_us: u64,
+    deadline_us: u64,
+    classes: &'a ClassMix,
+    seed: u64,
+}
+
+/// Fleet mode: the `SEI_SERVE_TENANTS` tenants share one mapped design's
+/// tile pool; each load point is one `simulate_fleet` run at that
+/// fraction of the design's saturation throughput, split across tenants
+/// by weight.
+fn run_fleet_mode(scale: &sei_core::ExperimentScale, which: PaperNetwork, k: &FleetKnobs) {
+    banner(&format!(
+        "fleet scheduler sweep — {}, {} tenants sharing one tile pool",
+        which.name(),
+        k.mix.tenants.len()
+    ));
+    println!(
+        "(loads {:?}; horizon {} ms, per-tenant queue {}, shared queue {}, \
+         pool {} tiles, burst budget {}, autoscale {})\n",
+        k.loads,
+        k.duration_ms,
+        k.queue,
+        k.shared_queue_capacity,
+        k.pool_tiles,
+        k.burst_budget,
+        if k.autoscale.enabled { "on" } else { "off" },
+    );
+
+    let net = which.build(0);
+    let plan = DesignPlan::plan(
+        &net,
+        paper::INPUT_SHAPE,
+        Structure::Sei,
+        &DesignConstraints::paper_default(),
+    );
+    let timing = DesignTiming::analyze(&plan, &TimingModel::default(), 1);
+    let cost = CostReport::analyze(&plan, &CostParams::default());
+    let profile = ServiceProfile::from_design(&timing, &cost);
+    let saturation = profile.max_throughput_rps();
+    let duration_ns = k.duration_ms.saturating_mul(1_000_000);
+    let total_weight: f64 = k.mix.tenants.iter().map(|t| t.weight).sum();
+
+    let cells: Vec<FleetCell> = k
+        .loads
+        .iter()
+        .map(|&load_fraction| {
+            let offered = load_fraction * saturation;
+            let tenants = k
+                .mix
+                .tenants
+                .iter()
+                .enumerate()
+                .map(|(i, arg)| {
+                    let spec = TenantSpec::new(
+                        &arg.name,
+                        arg.priority,
+                        profile.clone(),
+                        ServeConfig {
+                            load: tenant_load_model(arg, total_weight, offered, duration_ns),
+                            classes: k.classes.clone(),
+                            batch: BatchPolicy {
+                                max_size: k.batch_max,
+                                timeout_ns: k.timeout_us.saturating_mul(1_000),
+                            },
+                            queue_capacity: k.queue,
+                            deadline_ns: k.deadline_us.saturating_mul(1_000),
+                            duration_ns,
+                            seed: k.seed.wrapping_add(i as u64),
+                        },
+                    );
+                    if arg.rate_frac.is_finite() {
+                        let mean = offered * arg.weight / total_weight;
+                        spec.with_rate_limit(arg.rate_frac * mean, arg.bucket)
+                    } else {
+                        spec
+                    }
+                })
+                .collect();
+            FleetCell {
+                label: format!("{load_fraction:.2}x"),
+                load_fraction,
+                config: FleetConfig {
+                    tenants,
+                    pool_tiles: k.pool_tiles,
+                    tile_burdens: Vec::new(),
+                    shared_queue_capacity: k.shared_queue_capacity,
+                    burst_budget: k.burst_budget,
+                    autoscale: k.autoscale,
+                    check_invariants: false,
+                },
+            }
+        })
+        .collect();
+
+    let engine = Engine::new(scale.threads);
+    let points = ok_or_exit(run_fleet_sweep(&engine, &cells));
+
+    println!(
+        "{:>6} {:>12} {:>4} {:>10} {:>8} {:>8} {:>10} {:>10} {:>12}",
+        "load", "tenant", "pri", "arrivals", "shed%", "evicted", "p50 µs", "p99 µs", "goodput/s"
+    );
+    for p in &points {
+        for t in &p.report.tenants {
+            let shed_pct = if t.report.arrivals == 0 {
+                0.0
+            } else {
+                t.report.shed() as f64 / t.report.arrivals as f64 * 100.0
+            };
+            println!(
+                "{:>5.2}x {:>12} {:>4} {:>10} {:>7.1}% {:>8} {:>10.1} {:>10.1} {:>12.0}",
+                p.load_fraction,
+                t.name,
+                t.priority,
+                t.report.arrivals,
+                shed_pct,
+                t.evicted,
+                t.report.latency.p50_ns as f64 / 1e3,
+                t.report.latency.p99_ns as f64 / 1e3,
+                t.report.throughput_rps,
+            );
+        }
+        println!(
+            "       fleet: tiles {}/{}, scale ups {} downs {}, tokens borrowed {}",
+            p.report.tiles_owned,
+            p.report.pool_tiles,
+            p.report.scale_ups,
+            p.report.scale_downs,
+            p.report.burst_borrowed,
+        );
+    }
+    println!(
+        "\nshape: under overload the shared admission plane evicts the\n\
+         lowest-priority tenant's newest requests first, so the most\n\
+         important tenant's tail latency and goodput stay close to its\n\
+         solo baseline while the batch tier absorbs the shedding."
+    );
+
+    for p in &points {
+        if let Err(e) = fleet_point_report(which, k.seed, saturation, p).emit_env() {
+            sei_warn!("failed to write fleet report: {e}");
+        }
+    }
+    if let Err(e) = sei_telemetry::trace::write_env() {
+        sei_warn!("failed to write trace: {e}");
+    }
+}
+
+/// One `sei-serve-fleet/v1` NDJSON line for one fleet grid point. Like
+/// [`point_report`], bypasses `BenchRun` so the line stays byte-identical
+/// across `SEI_THREADS`.
+fn fleet_point_report(
+    which: PaperNetwork,
+    seed: u64,
+    saturation: f64,
+    p: &FleetPoint,
+) -> RunReport {
+    let mut r = RunReport::new("serve-fleet");
+    r.set("schema", Value::Str(FLEET_SCHEMA.to_string()));
+    r.set_str("network", which.name());
+    r.set_u64("seed", seed);
+    r.set_f64("load_fraction", p.load_fraction);
+    r.set_f64("saturation_rps", saturation);
+    r.set("fleet", p.report.to_json());
+    r
 }
 
 /// One `sei-serve-report/v1` NDJSON line for one grid point. Deliberately

@@ -51,6 +51,20 @@ pub fn unit01(hash: u64) -> f64 {
     (hash >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// Indices of `burdens` sorted ascending by `(burden, index)` — the
+/// least-burdened-first assignment order of the fault-aware remapping
+/// (`sei-mapping`'s rearrangement argument: give the most work to the
+/// least-faulted resource). The serving fleet's tile pool uses it to pick
+/// which physical tiles a tenant acquires, so tenants land on the
+/// healthiest free tiles first and the choice is deterministic (stable
+/// index tie-break, no RNG).
+#[must_use]
+pub fn burden_order(burdens: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..burdens.len()).collect();
+    order.sort_by_key(|&i| (burdens[i], i));
+    order
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +84,14 @@ mod tests {
             let u = unit01(mix(42, i));
             assert!((0.0..1.0).contains(&u), "u = {u}");
         }
+    }
+
+    #[test]
+    fn burden_order_is_ascending_and_stable() {
+        assert_eq!(burden_order(&[5, 1, 3, 1, 0]), vec![4, 1, 3, 2, 0]);
+        assert_eq!(burden_order(&[]), Vec::<usize>::new());
+        // Equal burdens keep index order (deterministic tie-break).
+        assert_eq!(burden_order(&[2, 2, 2]), vec![0, 1, 2]);
     }
 
     #[test]

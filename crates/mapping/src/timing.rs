@@ -108,6 +108,18 @@ impl DesignTiming {
     }
 }
 
+/// Sequential compute cycles per picture when `computes` kernel
+/// evaluations are spread over `replication` crossbar copies — the
+/// paper's §5.3 buffer/replication trade-off, `ceil(computes /
+/// replication)`. Shared with the serving fleet's autoscaler, which
+/// rescales a stage's service time when it grants or reclaims tile
+/// replicas at run time: both must round identically or the autoscaled
+/// rate would drift from what [`DesignTiming::analyze`] predicts.
+#[must_use]
+pub fn replicated_cycles(computes: u64, replication: usize) -> u64 {
+    computes.div_ceil(replication.max(1) as u64)
+}
+
 fn layer_timing(l: &LayerPlan, model: &TimingModel, replication: usize) -> LayerTiming {
     // Conversion path per cycle: DAC settle overlaps the read; ADC
     // conversions within a cycle happen once per column batch (the
@@ -126,7 +138,7 @@ fn layer_timing(l: &LayerPlan, model: &TimingModel, replication: usize) -> Layer
     if l.merge_adders + l.vote_units > 0 {
         cycle_ns += model.digital_ns;
     }
-    let cycles = l.computes_per_picture.div_ceil(replication as u64);
+    let cycles = replicated_cycles(l.computes_per_picture, replication);
     LayerTiming {
         name: l.name.clone(),
         replication,
@@ -196,5 +208,20 @@ mod tests {
     #[should_panic(expected = "replication must be positive")]
     fn zero_replication_rejected() {
         let _ = timing(Structure::Sei, 0);
+    }
+
+    #[test]
+    fn replicated_cycles_rounds_up_and_is_exact_at_base() {
+        assert_eq!(replicated_cycles(576, 1), 576);
+        assert_eq!(replicated_cycles(576, 4), 144);
+        assert_eq!(replicated_cycles(577, 4), 145);
+        assert_eq!(replicated_cycles(1, 8), 1);
+        // `reads = cycles × replication` of a profile built at base
+        // replication R recovers those cycles exactly: the autoscaler's
+        // rescaling identity.
+        for r in 1..6usize {
+            let cycles = replicated_cycles(576, r);
+            assert_eq!(replicated_cycles(cycles * r as u64, r), cycles);
+        }
     }
 }

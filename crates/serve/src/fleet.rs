@@ -1,0 +1,1646 @@
+//! Fleet scheduling: several mapped models sharing one simulated tile
+//! pool, with per-priority-class admission and backlog-driven autoscaling.
+//!
+//! The solo serving layer ([`crate::sim`]) maps one network onto one
+//! private set of tiles. A production accelerator is decided at the
+//! fleet/array-utilization level: many models, adversarial traffic mixes,
+//! one pool of physical crossbar tiles. This module adds that layer:
+//!
+//! * a **tile-ownership layer** ([`TilePool`]) between [`ServiceProfile`]
+//!   and the pipelined scheduler — every tenant owns an exclusive,
+//!   pool-relative set of [`TileHandle`]s (never two owners per tile),
+//!   acquired least-burdened-first via [`sei_faults::burden_order`], the
+//!   same rearrangement argument the fault-aware remapping uses;
+//! * **per-tenant admission queues** with [`Sim`]'s solo backpressure and
+//!   deadline shedding, plus two fleet-level controls: a per-tenant
+//!   **token bucket** whose empty buckets may borrow from a shared burst
+//!   budget (bounded — borrowing never exceeds [`FleetConfig::burst_budget`],
+//!   and refill overflow repays the pool), and a shared queue capacity
+//!   with **shed-low-priority-first** overload behaviour — an arrival of a
+//!   higher-priority tenant evicts the newest queued request of the
+//!   lowest-priority tenant instead of being shed itself;
+//! * a **backlog-driven autoscaler** ([`AutoscalePolicy`]): sampled at a
+//!   fixed virtual-clock interval, a tenant whose queue depth stays above
+//!   `up_depth` for `sustain` consecutive ticks acquires one more
+//!   replication worth of tiles (service times rescaled through
+//!   [`sei_mapping::timing::replicated_cycles`], the same rounding the
+//!   design-time analysis uses), and scales back down only when idle —
+//!   queue at or below `down_depth` **and** nothing in flight — so
+//!   scale-down can never strand an in-flight batch.
+//!
+//! # Determinism and the degenerate guarantee
+//!
+//! The fleet runs every tenant's event heap on the shared virtual clock
+//! and always picks the globally earliest event, ordered by `(time,
+//! tenant index)`; within one tenant events keep their solo `(time, seq)`
+//! order. For a single tenant with fleet controls disabled
+//! ([`FleetConfig::solo`]) the merge is the identity, so the tenant's
+//! [`ServeReport`] is **byte-for-byte identical** to [`crate::simulate`]
+//! on the same `(profile, config)` — the golden-trace anchor that lets
+//! every fleet feature ride on the already-verified solo scheduler.
+//! Nothing here reads the wall clock, thread count, or kernel backend, so
+//! [`run_fleet_sweep`] output is byte-identical at any `SEI_THREADS` /
+//! `SEI_KERNELS`.
+
+use crate::load::LoadModel;
+use crate::metrics::{LatencyStats, ServeReport};
+use crate::profile::{ServiceProfile, StageProfile};
+use crate::sim::{validate_profile, AdmitDecision, ServeConfig, Sim, EV_ARRIVAL};
+use sei_engine::{Engine, SeiError};
+use sei_faults::burden_order;
+use sei_mapping::timing::replicated_cycles;
+use sei_telemetry::counters::{self, Event};
+use sei_telemetry::json::Value;
+use sei_telemetry::trace;
+use serde::{Deserialize, Serialize};
+use std::str::FromStr;
+
+/// Pool-relative handle of one physical crossbar tile. Tenants address
+/// tiles only through handles the pool granted them — there are no
+/// absolute tile indices in the serving layer any more, so remapping a
+/// tenant onto different physical tiles never invalidates its profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TileHandle(pub u32);
+
+/// The shared pool of physical tiles with exclusive per-tenant ownership.
+///
+/// Acquisition is deterministic and fault-aware: free tiles are granted
+/// in ascending `(stuck-cell burden, index)` order so tenants land on the
+/// healthiest available silicon first (the rearrangement-inequality
+/// argument of `sei_mapping::fault_aware`, applied at pool granularity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TilePool {
+    /// `owner[t]` is the tenant index owning tile `t`, if any.
+    owner: Vec<Option<u16>>,
+    /// Stuck-cell burden per tile (all zero for a healthy pool).
+    burden: Vec<u64>,
+    /// Low-water mark of the free-tile count over the pool's lifetime.
+    min_free: usize,
+}
+
+impl TilePool {
+    /// A healthy pool of `total` tiles.
+    #[must_use]
+    pub fn new(total: usize) -> TilePool {
+        TilePool::with_burdens(vec![0; total])
+    }
+
+    /// A pool whose tiles carry the given stuck-cell burdens.
+    #[must_use]
+    pub fn with_burdens(burden: Vec<u64>) -> TilePool {
+        let total = burden.len();
+        TilePool {
+            owner: vec![None; total],
+            burden,
+            min_free: total,
+        }
+    }
+
+    /// Total tiles in the pool.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Currently unowned tiles.
+    #[must_use]
+    pub fn free_count(&self) -> usize {
+        self.owner.iter().filter(|o| o.is_none()).count()
+    }
+
+    /// Fewest free tiles ever observed (capacity headroom of the run).
+    #[must_use]
+    pub fn min_free(&self) -> usize {
+        self.min_free
+    }
+
+    /// Owner of a tile, if any.
+    #[must_use]
+    pub fn owner(&self, tile: TileHandle) -> Option<u16> {
+        self.owner.get(tile.0 as usize).copied().flatten()
+    }
+
+    /// Grants `n` free tiles to `tenant`, least-burdened first, or `None`
+    /// (changing nothing) when fewer than `n` tiles are free. Returned
+    /// handles are sorted ascending.
+    pub fn acquire(&mut self, tenant: u16, n: usize) -> Option<Vec<TileHandle>> {
+        let free: Vec<usize> = (0..self.owner.len())
+            .filter(|&t| self.owner[t].is_none())
+            .collect();
+        if free.len() < n {
+            return None;
+        }
+        let burdens: Vec<u64> = free.iter().map(|&t| self.burden[t]).collect();
+        let mut handles: Vec<TileHandle> = burden_order(&burdens)
+            .into_iter()
+            .take(n)
+            .map(|i| TileHandle(free[i] as u32))
+            .collect();
+        for h in &handles {
+            self.owner[h.0 as usize] = Some(tenant);
+        }
+        handles.sort_unstable();
+        self.min_free = self.min_free.min(self.free_count());
+        Some(handles)
+    }
+
+    /// Returns tiles to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any handle is not owned by `tenant` — releasing someone
+    /// else's tile is a scheduler bug, never a recoverable condition.
+    pub fn release(&mut self, tenant: u16, handles: &[TileHandle]) {
+        for h in handles {
+            assert_eq!(
+                self.owner[h.0 as usize],
+                Some(tenant),
+                "tile {h:?} released by tenant {tenant} but owned by {:?}",
+                self.owner[h.0 as usize]
+            );
+            self.owner[h.0 as usize] = None;
+        }
+    }
+}
+
+/// One model (tenant) of the fleet: its mapped profile, its solo serving
+/// configuration, its priority class, and its token-bucket rate limit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Tenant name (unique within a fleet).
+    pub name: String,
+    /// Priority class: lower value = more important. The overload path
+    /// sheds strictly-lower-priority (higher-value) tenants first.
+    pub priority: u8,
+    /// The tenant's mapped design.
+    pub profile: ServiceProfile,
+    /// The tenant's own arrival process, batching, queue and deadline.
+    pub config: ServeConfig,
+    /// Token-bucket refill rate (tokens/s). `f64::INFINITY` disables rate
+    /// limiting for this tenant.
+    pub rate_rps: f64,
+    /// Token-bucket capacity (its private burst allowance). Ignored when
+    /// `rate_rps` is infinite.
+    pub bucket: f64,
+}
+
+impl TenantSpec {
+    /// A tenant without rate limiting.
+    #[must_use]
+    pub fn new(name: &str, priority: u8, profile: ServiceProfile, config: ServeConfig) -> Self {
+        TenantSpec {
+            name: name.to_string(),
+            priority,
+            profile,
+            config,
+            rate_rps: f64::INFINITY,
+            bucket: 0.0,
+        }
+    }
+
+    /// Adds a token-bucket rate limit (refill `rate_rps`, capacity
+    /// `bucket`, bucket starts full).
+    #[must_use]
+    pub fn with_rate_limit(mut self, rate_rps: f64, bucket: f64) -> Self {
+        self.rate_rps = rate_rps;
+        self.bucket = bucket;
+        self
+    }
+}
+
+/// Backlog-driven replication autoscaling policy, sampled on a fixed
+/// virtual-clock tick. Disabled by default (and in [`FleetConfig::solo`],
+/// where no tick events are scheduled at all — the degenerate-equality
+/// guarantee depends on that).
+///
+/// Parses from the `SEI_SERVE_AUTOSCALE` knob: `off`, or
+/// `up:down:sustain:interval_us[:max_repl]` (e.g. `12:1:3:500:4` — scale
+/// up after 3 consecutive 500 µs ticks with ≥ 12 queued, scale down after
+/// 3 idle ticks with ≤ 1 queued and nothing in flight, cap at 4×).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoscalePolicy {
+    /// Whether autoscaling runs at all.
+    pub enabled: bool,
+    /// Queue depth at or above which a tick counts toward scale-up.
+    pub up_depth: usize,
+    /// Queue depth at or below which an idle tick counts toward
+    /// scale-down (the tenant must also have nothing in flight).
+    pub down_depth: usize,
+    /// Consecutive qualifying ticks required before acting.
+    pub sustain: u32,
+    /// Sampling interval (virtual ns).
+    pub interval_ns: u64,
+    /// Replication ceiling per tenant. The floor is each tenant's initial
+    /// replication — the fleet never takes away provisioned capacity.
+    pub max_replication: usize,
+}
+
+impl Default for AutoscalePolicy {
+    fn default() -> Self {
+        AutoscalePolicy {
+            enabled: false,
+            up_depth: 16,
+            down_depth: 1,
+            sustain: 3,
+            interval_ns: 500_000,
+            max_replication: 8,
+        }
+    }
+}
+
+impl FromStr for AutoscalePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.trim() == "off" {
+            return Ok(AutoscalePolicy::default());
+        }
+        let parts: Vec<&str> = s.split(':').collect();
+        if !(parts.len() == 4 || parts.len() == 5) {
+            return Err(format!(
+                "autoscale spec {s:?} must be `off` or `up:down:sustain:interval_us[:max_repl]`"
+            ));
+        }
+        let field = |i: usize, what: &str| -> Result<u64, String> {
+            parts[i].trim().parse::<u64>().map_err(|_| {
+                format!(
+                    "autoscale {what} {:?} is not a non-negative integer",
+                    parts[i]
+                )
+            })
+        };
+        let up = field(0, "up_depth")?;
+        let down = field(1, "down_depth")?;
+        let sustain = field(2, "sustain")?;
+        let interval_us = field(3, "interval_us")?;
+        let max_repl = if parts.len() == 5 {
+            field(4, "max_repl")?
+        } else {
+            8
+        };
+        if up == 0 {
+            return Err("autoscale up_depth must be at least 1".to_string());
+        }
+        if down >= up {
+            return Err(format!(
+                "autoscale down_depth ({down}) must be below up_depth ({up})"
+            ));
+        }
+        if sustain == 0 {
+            return Err("autoscale sustain must be at least 1".to_string());
+        }
+        if interval_us == 0 {
+            return Err("autoscale interval_us must be at least 1".to_string());
+        }
+        if max_repl == 0 {
+            return Err("autoscale max_repl must be at least 1".to_string());
+        }
+        Ok(AutoscalePolicy {
+            enabled: true,
+            up_depth: up as usize,
+            down_depth: down as usize,
+            sustain: sustain as u32,
+            interval_ns: interval_us * 1_000,
+            max_replication: max_repl as usize,
+        })
+    }
+}
+
+/// One tenant of the `SEI_SERVE_TENANTS` knob:
+/// `name:priority:weight[:burst_mult[:rate_frac[:bucket]]]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTenantArg {
+    /// Tenant name.
+    pub name: String,
+    /// Priority class (lower = more important).
+    pub priority: u8,
+    /// Share of the fleet's offered load (normalized over all tenants).
+    pub weight: f64,
+    /// Burstiness: 1 = steady Poisson; up to 4 = periodic bursts at
+    /// `burst_mult ×` the tenant's mean rate (mean preserved).
+    pub burst_mult: f64,
+    /// Token-bucket refill as a fraction of the tenant's offered rate
+    /// (`inf` = unlimited).
+    pub rate_frac: f64,
+    /// Token-bucket capacity in tokens.
+    pub bucket: f64,
+}
+
+/// The parsed `SEI_SERVE_TENANTS` env knob: a comma-separated tenant
+/// list. The default (unset) is empty — fleet mode off. Malformed values
+/// fail `FromStr`, which the bench harness turns into exit code 2
+/// (`sei_telemetry::env` conventions).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FleetMix {
+    /// Tenants in declaration order (tenant 0 first).
+    pub tenants: Vec<FleetTenantArg>,
+}
+
+impl FleetMix {
+    /// Whether fleet mode is off (no tenants configured).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+}
+
+impl FromStr for FleetMix {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut tenants = Vec::new();
+        for entry in s.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                return Err(format!("empty tenant entry in {s:?}"));
+            }
+            let parts: Vec<&str> = entry.split(':').collect();
+            if !(3..=6).contains(&parts.len()) {
+                return Err(format!(
+                    "tenant entry {entry:?} must be `name:priority:weight[:burst_mult[:rate_frac[:bucket]]]`"
+                ));
+            }
+            let name = parts[0].trim();
+            if name.is_empty() {
+                return Err(format!("tenant entry {entry:?} has an empty name"));
+            }
+            let priority: u8 = parts[1]
+                .trim()
+                .parse()
+                .map_err(|_| format!("tenant {name:?} priority {:?} is not a u8", parts[1]))?;
+            let weight: f64 = parts[2]
+                .trim()
+                .parse()
+                .map_err(|_| format!("tenant {name:?} weight {:?} is not a number", parts[2]))?;
+            if !(weight > 0.0 && weight.is_finite()) {
+                return Err(format!(
+                    "tenant {name:?} weight must be positive and finite, got {weight}"
+                ));
+            }
+            let burst_mult: f64 = match parts.get(3) {
+                None => 1.0,
+                Some(v) => v
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("tenant {name:?} burst_mult {v:?} is not a number"))?,
+            };
+            if !(1.0..=4.0).contains(&burst_mult) {
+                return Err(format!(
+                    "tenant {name:?} burst_mult must be in [1, 4], got {burst_mult}"
+                ));
+            }
+            let rate_frac: f64 = match parts.get(4) {
+                None => f64::INFINITY,
+                Some(v) if v.trim() == "inf" => f64::INFINITY,
+                Some(v) => v.trim().parse().map_err(|_| {
+                    format!("tenant {name:?} rate_frac {v:?} is not a number or `inf`")
+                })?,
+            };
+            if rate_frac.is_nan() || rate_frac <= 0.0 {
+                return Err(format!(
+                    "tenant {name:?} rate_frac must be positive, got {rate_frac}"
+                ));
+            }
+            let bucket: f64 = match parts.get(5) {
+                None => 32.0,
+                Some(v) => v
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("tenant {name:?} bucket {v:?} is not a number"))?,
+            };
+            if !(bucket >= 1.0 && bucket.is_finite()) {
+                return Err(format!(
+                    "tenant {name:?} bucket must be at least 1, got {bucket}"
+                ));
+            }
+            if tenants.iter().any(|t: &FleetTenantArg| t.name == name) {
+                return Err(format!("duplicate tenant name {name:?}"));
+            }
+            tenants.push(FleetTenantArg {
+                name: name.to_string(),
+                priority,
+                weight,
+                burst_mult,
+                rate_frac,
+                bucket,
+            });
+        }
+        Ok(FleetMix { tenants })
+    }
+}
+
+/// Configuration of one fleet simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// The models sharing the pool, in tenant-index order.
+    pub tenants: Vec<TenantSpec>,
+    /// Physical tiles in the pool; `0` sizes the pool to exactly the
+    /// tenants' initial demand (no autoscale headroom).
+    pub pool_tiles: usize,
+    /// Optional per-tile stuck-cell burdens (length `pool_tiles`; empty =
+    /// healthy pool). Acquisition prefers low-burden tiles.
+    #[serde(default)]
+    pub tile_burdens: Vec<u64>,
+    /// Fleet-wide queued-request ceiling across all tenants; `0` disables
+    /// the shared constraint (and with it priority eviction).
+    pub shared_queue_capacity: usize,
+    /// Shared burst budget: tokens a rate-limited tenant with an empty
+    /// bucket may borrow. Borrowing never exceeds this; refill overflow
+    /// repays the pool. `0` disables borrowing.
+    pub burst_budget: f64,
+    /// Replication autoscaling policy.
+    pub autoscale: AutoscalePolicy,
+    /// Check scheduler invariants (conservation, exclusive tile
+    /// ownership, shed ordering, burst bounds) after every event,
+    /// panicking on violation. For property tests; off in production
+    /// sweeps.
+    #[serde(default)]
+    pub check_invariants: bool,
+}
+
+impl FleetConfig {
+    /// The degenerate single-tenant fleet: every fleet-level control
+    /// disabled, so the tenant's report is byte-identical to
+    /// [`crate::simulate`] on the same `(profile, config)`.
+    #[must_use]
+    pub fn solo(spec: TenantSpec) -> FleetConfig {
+        FleetConfig {
+            tenants: vec![spec],
+            pool_tiles: 0,
+            tile_burdens: Vec::new(),
+            shared_queue_capacity: 0,
+            burst_budget: 0.0,
+            autoscale: AutoscalePolicy::default(),
+            check_invariants: false,
+        }
+    }
+
+    /// Initial replication of one tenant: its profile's uniform stage
+    /// replication factor.
+    fn initial_replication(spec: &TenantSpec) -> usize {
+        spec.profile
+            .stages
+            .first()
+            .map_or(1, |s| s.replication.max(1))
+    }
+
+    /// Tiles a tenant needs at replication `r`: one tile per stage per
+    /// replica (the profile's pool-relative demand).
+    fn tile_demand(spec: &TenantSpec, r: usize) -> usize {
+        spec.profile.tile_demand(r)
+    }
+
+    /// Total tiles the fleet needs at initial replication.
+    fn initial_demand(&self) -> usize {
+        self.tenants
+            .iter()
+            .map(|t| Self::tile_demand(t, Self::initial_replication(t)))
+            .sum()
+    }
+
+    /// Effective pool size (auto-sized to initial demand when 0).
+    fn effective_pool_tiles(&self) -> usize {
+        if self.pool_tiles == 0 {
+            self.initial_demand()
+        } else {
+            self.pool_tiles
+        }
+    }
+
+    /// Checks the configuration, in the workspace's strict-config style.
+    pub fn validate(&self) -> Result<(), SeiError> {
+        if self.tenants.is_empty() {
+            return Err(SeiError::invalid_config(
+                "FleetConfig",
+                "tenants",
+                "must have at least one tenant",
+            ));
+        }
+        for (i, t) in self.tenants.iter().enumerate() {
+            if t.name.is_empty() {
+                return Err(SeiError::invalid_config(
+                    "FleetConfig",
+                    "tenants.name",
+                    format!("tenant {i} has an empty name"),
+                ));
+            }
+            if self.tenants[..i].iter().any(|u| u.name == t.name) {
+                return Err(SeiError::invalid_config(
+                    "FleetConfig",
+                    "tenants.name",
+                    format!("duplicate tenant name {:?}", t.name),
+                ));
+            }
+            t.config.validate()?;
+            validate_profile(&t.profile)?;
+            if t.rate_rps.is_nan() || t.rate_rps <= 0.0 {
+                return Err(SeiError::invalid_config(
+                    "FleetConfig",
+                    "tenants.rate_rps",
+                    format!("tenant {:?} rate must be positive (or infinite)", t.name),
+                ));
+            }
+            if t.rate_rps.is_finite() && !(t.bucket >= 1.0 && t.bucket.is_finite()) {
+                return Err(SeiError::invalid_config(
+                    "FleetConfig",
+                    "tenants.bucket",
+                    format!(
+                        "tenant {:?} bucket must be at least 1 token, got {}",
+                        t.name, t.bucket
+                    ),
+                ));
+            }
+            if self.autoscale.enabled {
+                let r0 = Self::initial_replication(t);
+                if t.profile.stages.iter().any(|s| s.replication.max(1) != r0) {
+                    return Err(SeiError::invalid_config(
+                        "FleetConfig",
+                        "tenants.profile",
+                        format!(
+                            "tenant {:?} has non-uniform stage replication; autoscaling requires a uniform factor",
+                            t.name
+                        ),
+                    ));
+                }
+            }
+        }
+        if !self.tile_burdens.is_empty() && self.tile_burdens.len() != self.effective_pool_tiles() {
+            return Err(SeiError::invalid_config(
+                "FleetConfig",
+                "tile_burdens",
+                format!(
+                    "got {} burdens for a {}-tile pool",
+                    self.tile_burdens.len(),
+                    self.effective_pool_tiles()
+                ),
+            ));
+        }
+        if self.effective_pool_tiles() < self.initial_demand() {
+            return Err(SeiError::invalid_config(
+                "FleetConfig",
+                "pool_tiles",
+                format!(
+                    "pool of {} tiles cannot seat the initial demand of {}",
+                    self.effective_pool_tiles(),
+                    self.initial_demand()
+                ),
+            ));
+        }
+        if !(self.burst_budget >= 0.0 && self.burst_budget.is_finite()) {
+            return Err(SeiError::invalid_config(
+                "FleetConfig",
+                "burst_budget",
+                format!("must be finite and non-negative, got {}", self.burst_budget),
+            ));
+        }
+        if self.autoscale.enabled {
+            let a = &self.autoscale;
+            if a.up_depth == 0 || a.down_depth >= a.up_depth || a.sustain == 0 || a.interval_ns == 0
+            {
+                return Err(SeiError::invalid_config(
+                    "FleetConfig",
+                    "autoscale",
+                    format!("inconsistent policy {a:?}"),
+                ));
+            }
+            if a.max_replication == 0 {
+                return Err(SeiError::invalid_config(
+                    "FleetConfig",
+                    "autoscale.max_replication",
+                    "must be at least 1",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-tenant fleet-level measurements (on top of the tenant's own
+/// [`ServeReport`], which stays exactly what the solo scheduler would
+/// report).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Priority class.
+    pub priority: u8,
+    /// Replication at the start of the run.
+    pub replication_initial: u64,
+    /// Replication when the run ended.
+    pub replication_final: u64,
+    /// Highest replication reached.
+    pub replication_peak: u64,
+    /// Pool-relative tile handles owned at the end of the run (sorted).
+    pub tiles: Vec<u32>,
+    /// Autoscale-up events.
+    pub scale_ups: u64,
+    /// Autoscale-down events.
+    pub scale_downs: u64,
+    /// Tokens borrowed from the shared burst budget.
+    pub borrowed_tokens: u64,
+    /// Arrivals shed by the token-bucket rate limiter (counted inside the
+    /// tenant report's `shed_full` as backpressure).
+    pub shed_rate_limited: u64,
+    /// Own arrivals shed because the shared queue was full and no
+    /// lower-priority victim existed.
+    pub shed_fleet_full: u64,
+    /// Queued requests evicted in favour of higher-priority arrivals
+    /// (also folded into the tenant report's `shed_full`).
+    pub evicted: u64,
+    /// The tenant's own serving measurements — byte-identical to a solo
+    /// run whenever no fleet-level control touched this tenant.
+    pub report: ServeReport,
+}
+
+/// Aggregate measurements of one priority class across all its tenants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetClassStat {
+    /// Priority value (lower = more important).
+    pub priority: u8,
+    /// Tenants in this class.
+    pub tenants: u64,
+    /// Total arrivals across the class.
+    pub arrivals: u64,
+    /// Total admissions.
+    pub admitted: u64,
+    /// Total sheds (all reasons, evictions included).
+    pub shed: u64,
+    /// Total completions.
+    pub completed: u64,
+    /// Class goodput: completions per second of fleet virtual time.
+    pub goodput_rps: f64,
+    /// Exact latency percentiles over the class's merged completions.
+    pub latency: LatencyStats,
+}
+
+/// Everything one fleet simulation measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Arrival horizon (virtual ns).
+    pub duration_ns: u64,
+    /// Virtual time of the last event across all tenants.
+    pub end_ns: u64,
+    /// Pool size (tiles).
+    pub pool_tiles: u64,
+    /// Tiles owned at the end of the run.
+    pub tiles_owned: u64,
+    /// Fewest free tiles observed (headroom low-water mark).
+    pub free_tiles_min: u64,
+    /// Configured shared burst budget (tokens).
+    pub burst_budget: f64,
+    /// Tokens borrowed from the shared budget across the run.
+    pub burst_borrowed: u64,
+    /// Tokens repaid into the budget by refill overflow.
+    pub burst_repaid: f64,
+    /// Budget remaining at the end of the run.
+    pub burst_pool_final: f64,
+    /// Total autoscale-up events.
+    pub scale_ups: u64,
+    /// Total autoscale-down events.
+    pub scale_downs: u64,
+    /// Per-tenant measurements, in tenant-index order.
+    pub tenants: Vec<TenantReport>,
+    /// Per-priority-class aggregates, ascending by priority value.
+    pub classes: Vec<FleetClassStat>,
+}
+
+impl FleetReport {
+    /// Total requests evicted across the fleet.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.tenants.iter().map(|t| t.evicted).sum()
+    }
+
+    /// Renders the report as one insertion-ordered JSON object for
+    /// `sei-serve-fleet/v1` NDJSON rows. Every value is a pure function
+    /// of the virtual clock, so the rendering is byte-stable.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut o = Value::obj();
+        o.set("duration_ns", Value::UInt(self.duration_ns));
+        o.set("end_ns", Value::UInt(self.end_ns));
+        o.set("pool_tiles", Value::UInt(self.pool_tiles));
+        o.set("tiles_owned", Value::UInt(self.tiles_owned));
+        o.set("free_tiles_min", Value::UInt(self.free_tiles_min));
+        o.set("burst_budget", Value::Float(self.burst_budget));
+        o.set("burst_borrowed", Value::UInt(self.burst_borrowed));
+        o.set("burst_repaid", Value::Float(self.burst_repaid));
+        o.set("burst_pool_final", Value::Float(self.burst_pool_final));
+        o.set("scale_ups", Value::UInt(self.scale_ups));
+        o.set("scale_downs", Value::UInt(self.scale_downs));
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| {
+                let mut to = Value::obj();
+                to.set("name", Value::Str(t.name.clone()));
+                to.set("priority", Value::UInt(u64::from(t.priority)));
+                to.set("replication_initial", Value::UInt(t.replication_initial));
+                to.set("replication_final", Value::UInt(t.replication_final));
+                to.set("replication_peak", Value::UInt(t.replication_peak));
+                to.set(
+                    "tiles",
+                    Value::Arr(t.tiles.iter().map(|&h| Value::UInt(u64::from(h))).collect()),
+                );
+                to.set("scale_ups", Value::UInt(t.scale_ups));
+                to.set("scale_downs", Value::UInt(t.scale_downs));
+                to.set("borrowed_tokens", Value::UInt(t.borrowed_tokens));
+                to.set("shed_rate_limited", Value::UInt(t.shed_rate_limited));
+                to.set("shed_fleet_full", Value::UInt(t.shed_fleet_full));
+                to.set("evicted", Value::UInt(t.evicted));
+                to.set("report", t.report.to_json());
+                to
+            })
+            .collect();
+        o.set("tenants", Value::Arr(tenants));
+        let classes = self
+            .classes
+            .iter()
+            .map(|c| {
+                let mut co = Value::obj();
+                co.set("priority", Value::UInt(u64::from(c.priority)));
+                co.set("tenants", Value::UInt(c.tenants));
+                co.set("arrivals", Value::UInt(c.arrivals));
+                co.set("admitted", Value::UInt(c.admitted));
+                co.set("shed", Value::UInt(c.shed));
+                co.set("completed", Value::UInt(c.completed));
+                co.set("goodput_rps", Value::Float(c.goodput_rps));
+                co.set("p50_ns", Value::UInt(c.latency.p50_ns));
+                co.set("p95_ns", Value::UInt(c.latency.p95_ns));
+                co.set("p99_ns", Value::UInt(c.latency.p99_ns));
+                co.set("max_ns", Value::UInt(c.latency.max_ns));
+                co.set("mean_latency_ns", Value::Float(c.latency.mean_ns));
+                co
+            })
+            .collect();
+        o.set("classes", Value::Arr(classes));
+        o
+    }
+}
+
+/// Effective service time of `stage` at replication `r`: exact profile
+/// value at the profile's own replication; otherwise rescaled through the
+/// design-time cycle math ([`replicated_cycles`]) when the stage carries
+/// read attribution, or proportionally for synthetic profiles.
+fn scaled_service_ns(stage: &StageProfile, r: usize) -> f64 {
+    let base = stage.replication.max(1);
+    if r == base {
+        return stage.service_ns;
+    }
+    if stage.reads > 0 {
+        let base_cycles = replicated_cycles(stage.reads, base);
+        let cycle_ns = stage.service_ns / base_cycles as f64;
+        replicated_cycles(stage.reads, r) as f64 * cycle_ns
+    } else {
+        stage.service_ns * base as f64 / r as f64
+    }
+}
+
+/// Mutable fleet-level state of one tenant.
+struct TenantState {
+    replication: usize,
+    replication_initial: usize,
+    replication_peak: usize,
+    tiles: Vec<TileHandle>,
+    tokens: f64,
+    last_refill_ns: u64,
+    borrowed: u64,
+    shed_rate_limited: u64,
+    shed_fleet_full: u64,
+    evicted: u64,
+    scale_ups: u64,
+    scale_downs: u64,
+    high_streak: u32,
+    low_streak: u32,
+}
+
+struct FleetSim<'a> {
+    cfg: &'a FleetConfig,
+    sims: Vec<Sim<'a>>,
+    tenants: Vec<TenantState>,
+    pool: TilePool,
+    burst_pool: f64,
+    burst_borrowed: u64,
+    burst_repaid: f64,
+    next_tick_ns: u64,
+    horizon_ns: u64,
+}
+
+impl<'a> FleetSim<'a> {
+    fn new(cfg: &'a FleetConfig) -> Result<FleetSim<'a>, SeiError> {
+        cfg.validate()?;
+        let mut pool = if cfg.tile_burdens.is_empty() {
+            TilePool::new(cfg.effective_pool_tiles())
+        } else {
+            TilePool::with_burdens(cfg.tile_burdens.clone())
+        };
+        let mut sims = Vec::with_capacity(cfg.tenants.len());
+        let mut tenants = Vec::with_capacity(cfg.tenants.len());
+        for (i, spec) in cfg.tenants.iter().enumerate() {
+            let r0 = FleetConfig::initial_replication(spec);
+            let demand = FleetConfig::tile_demand(spec, r0);
+            let tiles = pool
+                .acquire(i as u16, demand)
+                .expect("validate() guaranteed the pool seats the initial demand");
+            sims.push(Sim::new(&spec.profile, &spec.config));
+            tenants.push(TenantState {
+                replication: r0,
+                replication_initial: r0,
+                replication_peak: r0,
+                tiles,
+                tokens: if spec.rate_rps.is_finite() {
+                    spec.bucket
+                } else {
+                    0.0
+                },
+                last_refill_ns: 0,
+                borrowed: 0,
+                shed_rate_limited: 0,
+                shed_fleet_full: 0,
+                evicted: 0,
+                scale_ups: 0,
+                scale_downs: 0,
+                high_streak: 0,
+                low_streak: 0,
+            });
+        }
+        let horizon_ns = cfg
+            .tenants
+            .iter()
+            .map(|t| t.config.duration_ns)
+            .max()
+            .unwrap_or(0);
+        Ok(FleetSim {
+            cfg,
+            sims,
+            tenants,
+            pool,
+            burst_pool: cfg.burst_budget,
+            burst_borrowed: 0,
+            burst_repaid: 0.0,
+            next_tick_ns: cfg.autoscale.interval_ns,
+            horizon_ns,
+        })
+    }
+
+    fn total_queued(&self) -> usize {
+        self.sims.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Refills tenant `i`'s bucket up to `now`; overflow repays the
+    /// shared burst pool (bounded by the budget).
+    fn refill(&mut self, i: usize, now: u64) {
+        let spec = &self.cfg.tenants[i];
+        if !spec.rate_rps.is_finite() {
+            return;
+        }
+        let st = &mut self.tenants[i];
+        let dt = now.saturating_sub(st.last_refill_ns);
+        st.last_refill_ns = now;
+        if dt == 0 {
+            return;
+        }
+        let refill = spec.rate_rps * dt as f64 * 1e-9;
+        let new = st.tokens + refill;
+        if new > spec.bucket {
+            let spill = new - spec.bucket;
+            st.tokens = spec.bucket;
+            let repay = spill.min(self.cfg.burst_budget - self.burst_pool).max(0.0);
+            self.burst_pool += repay;
+            self.burst_repaid += repay;
+        } else {
+            st.tokens = new;
+        }
+    }
+
+    /// Spends one admission token for tenant `i`, borrowing from the
+    /// shared budget when its own bucket is empty. `true` when the
+    /// arrival may proceed.
+    fn take_token(&mut self, i: usize, now: u64) -> bool {
+        if !self.cfg.tenants[i].rate_rps.is_finite() {
+            return true;
+        }
+        self.refill(i, now);
+        let st = &mut self.tenants[i];
+        if st.tokens >= 1.0 {
+            st.tokens -= 1.0;
+            true
+        } else if self.burst_pool >= 1.0 {
+            self.burst_pool -= 1.0;
+            st.borrowed += 1;
+            self.burst_borrowed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The lowest-importance tenant (highest priority value, then highest
+    /// index) with a non-empty queue and strictly lower priority than the
+    /// arriving tenant — the eviction victim, if any.
+    fn pick_victim(&self, arriving: usize) -> Option<usize> {
+        let arriving_priority = self.cfg.tenants[arriving].priority;
+        (0..self.sims.len())
+            .filter(|&j| {
+                self.cfg.tenants[j].priority > arriving_priority && !self.sims[j].queue.is_empty()
+            })
+            .max_by_key(|&j| (self.cfg.tenants[j].priority, j))
+    }
+
+    /// Fleet admission: the solo decision, then the token bucket, then
+    /// the shared queue capacity with shed-low-priority-first eviction.
+    fn fleet_arrival(&mut self, i: usize, now: u64) {
+        let class = self.sims[i].next_arrival_class();
+        let mut decision = self.sims[i].default_admission();
+        if decision == AdmitDecision::Admit && !self.take_token(i, now) {
+            self.tenants[i].shed_rate_limited += 1;
+            decision = AdmitDecision::ShedFull;
+        }
+        if decision == AdmitDecision::Admit
+            && self.cfg.shared_queue_capacity > 0
+            && self.total_queued() >= self.cfg.shared_queue_capacity
+        {
+            if let Some(v) = self.pick_victim(i) {
+                self.sims[v].evict_newest(now);
+                self.tenants[v].evicted += 1;
+                counters::add(Event::RequestsEvicted, 1);
+            } else {
+                if self.cfg.check_invariants {
+                    // Shed ordering: a request is only ever shed at the
+                    // shared-capacity gate when no strictly-lower-priority
+                    // tenant had anything queued to evict.
+                    let p = self.cfg.tenants[i].priority;
+                    for j in 0..self.sims.len() {
+                        assert!(
+                            self.cfg.tenants[j].priority <= p || self.sims[j].queue.is_empty(),
+                            "shed ordering violated: tenant {i} (priority {p}) shed while \
+                             lower-priority tenant {j} had queued requests"
+                        );
+                    }
+                }
+                self.tenants[i].shed_fleet_full += 1;
+                decision = AdmitDecision::ShedFull;
+            }
+        }
+        self.sims[i].finish_arrival(now, class, decision);
+    }
+
+    /// Rescales tenant `i`'s stage service times to its current
+    /// replication.
+    fn rescale(&mut self, i: usize) {
+        let r = self.tenants[i].replication;
+        let spec = self.cfg.tenants.get(i).expect("tenant index in range");
+        for (s, stage) in spec.profile.stages.iter().enumerate() {
+            self.sims[i].set_stage_service_ns(s, scaled_service_ns(stage, r));
+        }
+    }
+
+    /// One autoscaler sampling tick: per tenant, track sustained backlog
+    /// and sustained idleness, scale up when backlog persists and tiles
+    /// are free, scale down only when idle with nothing in flight.
+    fn autoscale_tick(&mut self, now: u64) {
+        let policy = self.cfg.autoscale;
+        for i in 0..self.sims.len() {
+            let depth = self.sims[i].queue.len();
+            let inflight = self.sims[i].inflight;
+            let busy = depth >= policy.up_depth;
+            let idle = depth <= policy.down_depth && inflight == 0;
+            {
+                let st = &mut self.tenants[i];
+                st.high_streak = if busy { st.high_streak + 1 } else { 0 };
+                st.low_streak = if idle { st.low_streak + 1 } else { 0 };
+            }
+            let stages = self.cfg.tenants[i].profile.stages.len();
+            if self.tenants[i].high_streak >= policy.sustain
+                && self.tenants[i].replication < policy.max_replication
+            {
+                if let Some(mut granted) = self.pool.acquire(i as u16, stages) {
+                    let st = &mut self.tenants[i];
+                    st.tiles.append(&mut granted);
+                    st.tiles.sort_unstable();
+                    st.replication += 1;
+                    st.replication_peak = st.replication_peak.max(st.replication);
+                    st.scale_ups += 1;
+                    st.high_streak = 0;
+                    st.low_streak = 0;
+                    counters::add(Event::FleetScaleUps, 1);
+                    self.rescale(i);
+                }
+            } else if self.tenants[i].low_streak >= policy.sustain
+                && self.tenants[i].replication > self.tenants[i].replication_initial
+            {
+                debug_assert_eq!(self.sims[i].inflight, 0);
+                // Release the most-burdened owned tiles first, keeping
+                // the tenant on the healthiest silicon it holds.
+                let mut tiles = std::mem::take(&mut self.tenants[i].tiles);
+                tiles.sort_by_key(|h| (self.pool.burden[h.0 as usize], h.0));
+                let released: Vec<TileHandle> = tiles.split_off(tiles.len() - stages);
+                self.tenants[i].tiles = tiles;
+                let st = &mut self.tenants[i];
+                st.replication -= 1;
+                st.scale_downs += 1;
+                st.low_streak = 0;
+                self.pool.release(i as u16, &released);
+                counters::add(Event::FleetScaleDowns, 1);
+                self.rescale(i);
+            }
+        }
+        let _ = now;
+    }
+
+    /// Full-state invariant check (enabled by
+    /// [`FleetConfig::check_invariants`]): request conservation per
+    /// tenant at the current virtual tick, exclusive tile ownership,
+    /// burst-budget bounds, and replication bounds.
+    fn check(&self) {
+        for (i, sim) in self.sims.iter().enumerate() {
+            assert_eq!(
+                sim.arrivals,
+                sim.admitted + sim.shed_full + sim.shed_deadline,
+                "tenant {i}: arrivals must equal admitted + shed"
+            );
+            assert_eq!(
+                sim.admitted,
+                sim.completed + sim.queue.len() as u64 + sim.inflight,
+                "tenant {i}: admitted must equal completed + queued + in-flight"
+            );
+            let st = &self.tenants[i];
+            assert!(
+                st.replication >= st.replication_initial
+                    && (!self.cfg.autoscale.enabled
+                        || st.replication <= self.cfg.autoscale.max_replication),
+                "tenant {i}: replication {} out of bounds",
+                st.replication
+            );
+            assert_eq!(
+                st.tiles.len(),
+                FleetConfig::tile_demand(&self.cfg.tenants[i], st.replication),
+                "tenant {i}: owned tiles must match replication demand"
+            );
+            for h in &st.tiles {
+                assert_eq!(
+                    self.pool.owner(*h),
+                    Some(i as u16),
+                    "tenant {i}: pool disagrees about ownership of {h:?}"
+                );
+            }
+        }
+        let owned: usize = self.tenants.iter().map(|t| t.tiles.len()).sum();
+        assert_eq!(
+            owned + self.pool.free_count(),
+            self.pool.total(),
+            "tiles must be exactly partitioned into owned + free"
+        );
+        assert!(
+            self.burst_pool >= 0.0 && self.burst_pool <= self.cfg.burst_budget + 1e-9,
+            "burst pool {} outside [0, {}]",
+            self.burst_pool,
+            self.cfg.burst_budget
+        );
+    }
+
+    fn run(&mut self) {
+        for sim in &mut self.sims {
+            sim.prime();
+        }
+        loop {
+            // Earliest tenant event, ordered by (time, tenant index);
+            // within a tenant the heap already orders by (time, seq).
+            let next_event: Option<(u64, usize)> = self
+                .sims
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.peek_key().map(|(t, _)| (t, i)))
+                .min();
+            let next_tick = if self.cfg.autoscale.enabled && self.next_tick_ns <= self.horizon_ns {
+                Some(self.next_tick_ns)
+            } else {
+                None
+            };
+            // Ticks fire before same-timestamp tenant events: the
+            // autoscaler samples the state *before* the instant's work.
+            let tick_first = match (next_tick, next_event) {
+                (Some(tick), Some((t, _))) => tick <= t,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if tick_first {
+                let t = self.next_tick_ns;
+                self.next_tick_ns += self.cfg.autoscale.interval_ns;
+                self.autoscale_tick(t);
+            } else {
+                let (_, i) = next_event.expect("an event exists on this branch");
+                let (time, code) = self.sims[i].pop_event().expect("peeked event exists");
+                if code == EV_ARRIVAL {
+                    self.fleet_arrival(i, time);
+                } else {
+                    self.sims[i].dispatch(time, code);
+                }
+            }
+            if self.cfg.check_invariants {
+                self.check();
+            }
+        }
+    }
+
+    fn finish(self) -> FleetReport {
+        let FleetSim {
+            cfg,
+            sims,
+            tenants,
+            pool,
+            burst_pool,
+            burst_borrowed,
+            burst_repaid,
+            ..
+        } = self;
+        // Merge per-priority completion latencies before the per-tenant
+        // reports consume (and sort) the raw vectors.
+        let mut priorities: Vec<u8> = cfg.tenants.iter().map(|t| t.priority).collect();
+        priorities.sort_unstable();
+        priorities.dedup();
+        let mut class_latencies: Vec<Vec<u64>> = vec![Vec::new(); priorities.len()];
+        for (spec, sim) in cfg.tenants.iter().zip(&sims) {
+            let k = priorities
+                .iter()
+                .position(|&p| p == spec.priority)
+                .expect("priority is in the deduped list");
+            class_latencies[k].extend_from_slice(&sim.latencies);
+        }
+        let mut class_stats: Vec<FleetClassStat> = priorities
+            .iter()
+            .map(|&p| FleetClassStat {
+                priority: p,
+                tenants: 0,
+                arrivals: 0,
+                admitted: 0,
+                shed: 0,
+                completed: 0,
+                goodput_rps: 0.0,
+                latency: LatencyStats::default(),
+            })
+            .collect();
+        let mut tenant_reports = Vec::with_capacity(sims.len());
+        for ((spec, st), sim) in cfg.tenants.iter().zip(tenants).zip(sims) {
+            let report = sim.into_report();
+            let k = priorities
+                .iter()
+                .position(|&p| p == spec.priority)
+                .expect("priority is in the deduped list");
+            class_stats[k].tenants += 1;
+            class_stats[k].arrivals += report.arrivals;
+            class_stats[k].admitted += report.admitted;
+            class_stats[k].shed += report.shed();
+            class_stats[k].completed += report.completed;
+            tenant_reports.push(TenantReport {
+                name: spec.name.clone(),
+                priority: spec.priority,
+                replication_initial: st.replication_initial as u64,
+                replication_final: st.replication as u64,
+                replication_peak: st.replication_peak as u64,
+                tiles: st.tiles.iter().map(|h| h.0).collect(),
+                scale_ups: st.scale_ups,
+                scale_downs: st.scale_downs,
+                borrowed_tokens: st.borrowed,
+                shed_rate_limited: st.shed_rate_limited,
+                shed_fleet_full: st.shed_fleet_full,
+                evicted: st.evicted,
+                report,
+            });
+        }
+        let end_ns = tenant_reports
+            .iter()
+            .map(|t| t.report.end_ns)
+            .max()
+            .unwrap_or(0);
+        let end_s = end_ns.max(1) as f64 / 1e9;
+        for (k, stat) in class_stats.iter_mut().enumerate() {
+            stat.latency = LatencyStats::compute(&mut class_latencies[k]);
+            stat.goodput_rps = stat.completed as f64 / end_s;
+        }
+        let duration_ns = cfg
+            .tenants
+            .iter()
+            .map(|t| t.config.duration_ns)
+            .max()
+            .unwrap_or(0);
+        FleetReport {
+            duration_ns,
+            end_ns,
+            pool_tiles: pool.total() as u64,
+            tiles_owned: tenant_reports.iter().map(|t| t.tiles.len() as u64).sum(),
+            free_tiles_min: pool.min_free() as u64,
+            burst_budget: cfg.burst_budget,
+            burst_borrowed,
+            burst_repaid,
+            burst_pool_final: burst_pool,
+            scale_ups: tenant_reports.iter().map(|t| t.scale_ups).sum(),
+            scale_downs: tenant_reports.iter().map(|t| t.scale_downs).sum(),
+            tenants: tenant_reports,
+            classes: class_stats,
+        }
+    }
+}
+
+/// Runs one fleet simulation to completion (arrival horizon plus drain)
+/// and returns its measurements.
+///
+/// Pure in `cfg`: bit-identical on every call, at any thread count and
+/// under any kernel backend, because all state lives on the virtual
+/// clock.
+pub fn simulate_fleet(cfg: &FleetConfig) -> Result<FleetReport, SeiError> {
+    let _trace = trace::scope("serve", || {
+        format!(
+            "fleet tenants={} pool={} autoscale={}",
+            cfg.tenants.len(),
+            cfg.effective_pool_tiles(),
+            cfg.autoscale.enabled
+        )
+    });
+    let mut fleet = FleetSim::new(cfg)?;
+    fleet.run();
+    Ok(fleet.finish())
+}
+
+/// One grid point of a fleet saturation sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetCell {
+    /// Display label of the point (e.g. the load fraction).
+    pub label: String,
+    /// Offered fleet load as a fraction of one tenant's saturation
+    /// (recorded for reporting; absolute rates live in the configs).
+    pub load_fraction: f64,
+    /// The fleet configuration to simulate.
+    pub config: FleetConfig,
+}
+
+/// A simulated fleet grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetPoint {
+    /// The cell's label.
+    pub label: String,
+    /// Offered fleet load fraction.
+    pub load_fraction: f64,
+    /// The run's measurements.
+    pub report: FleetReport,
+}
+
+/// Simulates every fleet cell on the engine and returns points in cell
+/// order — byte-identical at any `SEI_THREADS`, like [`crate::run_sweep`].
+///
+/// All configurations are validated up front so a malformed grid fails
+/// before any work is spawned.
+pub fn run_fleet_sweep(engine: &Engine, cells: &[FleetCell]) -> Result<Vec<FleetPoint>, SeiError> {
+    for cell in cells {
+        cell.config.validate()?;
+    }
+    let reports: Vec<Result<FleetReport, SeiError>> =
+        engine.map(cells, |cell| simulate_fleet(&cell.config));
+    cells
+        .iter()
+        .zip(reports)
+        .map(|(cell, report)| {
+            Ok(FleetPoint {
+                label: cell.label.clone(),
+                load_fraction: cell.load_fraction,
+                report: report?,
+            })
+        })
+        .collect()
+}
+
+/// Builds the per-tenant load model of one fleet grid point from a
+/// [`FleetTenantArg`]: `weight / total_weight` of the offered rate,
+/// steady Poisson at `burst_mult == 1`, otherwise periodic bursts at
+/// `burst_mult ×` the mean with the mean preserved (bursts cover a
+/// quarter of each period, eight periods per horizon).
+#[must_use]
+pub fn tenant_load_model(
+    arg: &FleetTenantArg,
+    total_weight: f64,
+    offered_rps: f64,
+    duration_ns: u64,
+) -> LoadModel {
+    let mean = offered_rps * arg.weight / total_weight;
+    if arg.burst_mult <= 1.0 {
+        return LoadModel::Poisson { rate_rps: mean };
+    }
+    let burst_fraction = 0.25;
+    let burst_rps = arg.burst_mult * mean;
+    // Solve mean = fraction·burst + (1-fraction)·base for the base rate;
+    // burst_mult ≤ 4 (enforced at parse) keeps it positive.
+    let base_rps = (mean - burst_fraction * burst_rps) / (1.0 - burst_fraction);
+    LoadModel::Burst {
+        base_rps,
+        burst_rps,
+        period_ns: (duration_ns / 8).max(1),
+        burst_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::ClassMix;
+    use crate::sim::{simulate, BatchPolicy};
+
+    fn profile() -> ServiceProfile {
+        ServiceProfile::new(
+            vec![
+                StageProfile::new("conv1", 1000.0),
+                StageProfile::new("conv2", 400.0),
+                StageProfile::new("fc", 100.0),
+            ],
+            2.5e-6,
+        )
+    }
+
+    fn config(rate_mult: f64, seed: u64) -> ServeConfig {
+        ServeConfig {
+            load: LoadModel::Poisson {
+                rate_rps: rate_mult * 1e6,
+            },
+            classes: ClassMix::default(),
+            batch: BatchPolicy {
+                max_size: 8,
+                timeout_ns: 20_000,
+            },
+            queue_capacity: 128,
+            deadline_ns: 0,
+            duration_ns: 10_000_000,
+            seed,
+        }
+    }
+
+    #[test]
+    fn tile_pool_grants_least_burdened_first_and_owns_exclusively() {
+        let mut pool = TilePool::with_burdens(vec![9, 0, 5, 0, 2]);
+        let a = pool.acquire(0, 3).unwrap();
+        assert_eq!(a, vec![TileHandle(1), TileHandle(3), TileHandle(4)]);
+        let b = pool.acquire(1, 2).unwrap();
+        assert_eq!(b, vec![TileHandle(0), TileHandle(2)]);
+        assert!(pool.acquire(2, 1).is_none(), "pool exhausted");
+        for h in &a {
+            assert_eq!(pool.owner(*h), Some(0));
+        }
+        pool.release(1, &b);
+        assert_eq!(pool.free_count(), 2);
+        assert_eq!(pool.min_free(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "released by tenant")]
+    fn releasing_someone_elses_tile_panics() {
+        let mut pool = TilePool::new(2);
+        let a = pool.acquire(0, 1).unwrap();
+        pool.release(1, &a);
+    }
+
+    #[test]
+    fn degenerate_fleet_reproduces_solo_simulation_exactly() {
+        let p = profile();
+        let cfg = config(1.3, 17); // overload: shedding engages
+        let solo = simulate(&p, &cfg).unwrap();
+        let fleet = simulate_fleet(&FleetConfig::solo(TenantSpec::new("only", 0, p, cfg))).unwrap();
+        assert_eq!(fleet.tenants.len(), 1);
+        assert_eq!(fleet.tenants[0].report, solo);
+        assert_eq!(
+            fleet.tenants[0].report.to_json().to_json(),
+            solo.to_json().to_json(),
+            "degenerate fleet must render byte-identical NDJSON"
+        );
+        assert_eq!(fleet.tenants[0].evicted, 0);
+        assert_eq!(fleet.tenants[0].shed_rate_limited, 0);
+        assert_eq!(fleet.pool_tiles, 3, "auto-sized to 3 stages × 1 replica");
+    }
+
+    #[test]
+    fn fleet_mix_parses_and_rejects() {
+        let mix: FleetMix = "interactive:0:3,batch:1:1:4:1.2:16".parse().unwrap();
+        assert_eq!(mix.tenants.len(), 2);
+        assert_eq!(mix.tenants[0].name, "interactive");
+        assert_eq!(mix.tenants[0].priority, 0);
+        assert!((mix.tenants[0].weight - 3.0).abs() < 1e-12);
+        assert!(mix.tenants[0].rate_frac.is_infinite());
+        assert!((mix.tenants[1].burst_mult - 4.0).abs() < 1e-12);
+        assert!((mix.tenants[1].rate_frac - 1.2).abs() < 1e-12);
+        assert!((mix.tenants[1].bucket - 16.0).abs() < 1e-12);
+        for bad in [
+            "",
+            "a",
+            "a:0",
+            "a:x:1",
+            "a:0:0",
+            "a:0:-1",
+            "a:0:nan",
+            "a:0:1:0.5",
+            "a:0:1:9",
+            "a:0:1:1:0",
+            "a:0:1:1:inf:0.5",
+            "a:0:1,a:1:1",
+            "a:0:1,,b:1:1",
+            "a:0:1:1:1:1:1",
+        ] {
+            assert!(bad.parse::<FleetMix>().is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn autoscale_policy_parses_and_rejects() {
+        let off: AutoscalePolicy = "off".parse().unwrap();
+        assert!(!off.enabled);
+        let on: AutoscalePolicy = "12:1:3:500:4".parse().unwrap();
+        assert!(on.enabled);
+        assert_eq!(on.up_depth, 12);
+        assert_eq!(on.down_depth, 1);
+        assert_eq!(on.sustain, 3);
+        assert_eq!(on.interval_ns, 500_000);
+        assert_eq!(on.max_replication, 4);
+        let four: AutoscalePolicy = "8:2:2:100".parse().unwrap();
+        assert_eq!(four.max_replication, 8, "default ceiling");
+        for bad in [
+            "",
+            "on",
+            "1:2:3",
+            "0:0:3:500",
+            "4:4:3:500",
+            "4:1:0:500",
+            "4:1:3:0",
+            "4:1:3:500:0",
+            "x:1:3:500",
+            "4:1:3:500:4:9",
+        ] {
+            assert!(
+                bad.parse::<AutoscalePolicy>().is_err(),
+                "{bad:?} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_service_is_exact_at_base_and_uses_design_rounding() {
+        // A design-derived stage: 576 computes at base replication 2 →
+        // 288 cycles, reads = 576.
+        let stage = StageProfile {
+            name: "conv".into(),
+            service_ns: 288.0 * 110.0,
+            replication: 2,
+            reads: 576,
+            energy_j: 0.0,
+            fault: None,
+        };
+        assert_eq!(scaled_service_ns(&stage, 2), 288.0 * 110.0);
+        assert_eq!(scaled_service_ns(&stage, 4), 144.0 * 110.0);
+        assert_eq!(scaled_service_ns(&stage, 5), 116.0 * 110.0, "ceil rounding");
+        // Synthetic stage (no read attribution): proportional scaling.
+        let synth = StageProfile::new("s", 1000.0);
+        assert_eq!(scaled_service_ns(&synth, 1), 1000.0);
+        assert_eq!(scaled_service_ns(&synth, 4), 250.0);
+    }
+
+    #[test]
+    fn fleet_config_validation_rejects_bad_setups() {
+        let p = profile();
+        let ok = FleetConfig::solo(TenantSpec::new("a", 0, p.clone(), config(0.5, 1)));
+        assert!(ok.validate().is_ok());
+        let mut dup = ok.clone();
+        dup.tenants.push(dup.tenants[0].clone());
+        assert!(dup.validate().is_err(), "duplicate name");
+        let mut small = ok.clone();
+        small.pool_tiles = 2; // 3 stages need 3 tiles
+        assert!(small.validate().is_err(), "pool too small");
+        let mut burdens = ok.clone();
+        burdens.tile_burdens = vec![1, 2];
+        assert!(burdens.validate().is_err(), "burden length mismatch");
+        let mut rate = ok.clone();
+        rate.tenants[0].rate_rps = 0.0;
+        assert!(rate.validate().is_err(), "zero rate");
+        let mut bucket = ok.clone();
+        bucket.tenants[0].rate_rps = 100.0;
+        bucket.tenants[0].bucket = 0.0;
+        assert!(bucket.validate().is_err(), "empty bucket with finite rate");
+        let mut empty = ok;
+        empty.tenants.clear();
+        assert!(empty.validate().is_err(), "no tenants");
+    }
+
+    #[test]
+    fn token_bucket_limits_admissions_and_borrowing_is_bounded() {
+        let p = profile();
+        // Offered ~0.8 rps × 1e6 over 10 ms ≈ 8000 arrivals; the bucket
+        // allows 100 + 10 ms × 2e5/s = 2100 of its own tokens plus at
+        // most the 50-token shared budget.
+        let spec = TenantSpec::new("limited", 0, p, config(0.8, 23)).with_rate_limit(2e5, 100.0);
+        let mut cfg = FleetConfig::solo(spec);
+        cfg.burst_budget = 50.0;
+        cfg.check_invariants = true;
+        let r = simulate_fleet(&cfg).unwrap();
+        let t = &r.tenants[0];
+        assert!(t.shed_rate_limited > 0, "rate limiter must engage: {t:?}");
+        assert!(
+            t.report.admitted as f64 <= 100.0 + 2100.0 + 50.0 + 1.0,
+            "admitted {} exceeds bucket + refill + budget",
+            t.report.admitted
+        );
+        assert_eq!(r.burst_borrowed, t.borrowed_tokens);
+        assert!(r.burst_borrowed as f64 <= 50.0 + r.burst_repaid + 1e-9);
+        assert!(r.burst_pool_final >= 0.0 && r.burst_pool_final <= 50.0);
+        // Rate-limit sheds are folded into the tenant's backpressure
+        // count, so its own conservation law still holds.
+        assert_eq!(
+            t.report.arrivals,
+            t.report.admitted + t.report.shed_full + t.report.shed_deadline
+        );
+    }
+
+    #[test]
+    fn overload_sheds_low_priority_first() {
+        let p = profile();
+        // High-priority steady tenant at 40% of saturation; low-priority
+        // tenant at 120% — together well past capacity of the shared
+        // queue.
+        let hp = TenantSpec::new("interactive", 0, p.clone(), config(0.4, 7));
+        let lp = TenantSpec::new("batch", 1, p.clone(), config(1.2, 8));
+        let mut cfg = FleetConfig {
+            tenants: vec![hp, lp],
+            pool_tiles: 0,
+            tile_burdens: Vec::new(),
+            shared_queue_capacity: 48,
+            burst_budget: 0.0,
+            autoscale: AutoscalePolicy::default(),
+            check_invariants: true,
+        };
+        let r = simulate_fleet(&cfg).unwrap();
+        let hp_r = &r.tenants[0];
+        let lp_r = &r.tenants[1];
+        assert_eq!(hp_r.evicted, 0, "high priority is never evicted");
+        assert!(
+            lp_r.evicted > 0 || lp_r.report.shed() > 0,
+            "low priority absorbs the overload: {lp_r:?}"
+        );
+        assert!(r.evicted() == lp_r.evicted);
+        // The high-priority tenant's own view matches its solo run.
+        cfg.tenants.truncate(1);
+        cfg.shared_queue_capacity = 0;
+        let solo = simulate_fleet(&cfg).unwrap();
+        let solo_hp = &solo.tenants[0].report;
+        assert!(
+            hp_r.report.latency.p99_ns as f64 <= solo_hp.latency.p99_ns as f64 * 1.10,
+            "fleet p99 {} vs solo p99 {}",
+            hp_r.report.latency.p99_ns,
+            solo_hp.latency.p99_ns
+        );
+        assert!(
+            hp_r.report.throughput_rps >= solo_hp.throughput_rps * 0.90,
+            "fleet goodput {} vs solo {}",
+            hp_r.report.throughput_rps,
+            solo_hp.throughput_rps
+        );
+    }
+
+    #[test]
+    fn autoscaler_scales_up_under_backlog_and_back_down_when_idle() {
+        let p = profile();
+        // Bursty load: a heavy burst then quiet — forces scale-up then
+        // scale-down within one horizon.
+        let mut c = config(0.0, 31);
+        c.load = LoadModel::Burst {
+            base_rps: 0.05e6,
+            burst_rps: 2.5e6,
+            period_ns: 5_000_000,
+            burst_fraction: 0.3,
+        };
+        let spec = TenantSpec::new("bursty", 0, p, c);
+        let mut cfg = FleetConfig::solo(spec);
+        cfg.pool_tiles = 12; // headroom for 4× replication of 3 stages
+        cfg.autoscale = "8:1:2:200:4".parse().unwrap();
+        cfg.check_invariants = true;
+        let r = simulate_fleet(&cfg).unwrap();
+        let t = &r.tenants[0];
+        assert!(t.scale_ups > 0, "backlog must trigger scale-up: {t:?}");
+        assert!(
+            t.replication_peak > t.replication_initial,
+            "peak {} vs initial {}",
+            t.replication_peak,
+            t.replication_initial
+        );
+        assert!(t.scale_downs > 0, "idle gaps must scale back down: {t:?}");
+        // Scale-down never strands work: everything admitted completes.
+        assert_eq!(t.report.completed, t.report.admitted);
+        assert_eq!(r.scale_ups, t.scale_ups);
+    }
+
+    #[test]
+    fn fleet_report_json_is_stable_and_tagged() {
+        let p = profile();
+        let cfg = FleetConfig::solo(TenantSpec::new("only", 2, p, config(0.5, 3)));
+        let r = simulate_fleet(&cfg).unwrap();
+        let a = r.to_json().to_json();
+        let b = simulate_fleet(&cfg).unwrap().to_json().to_json();
+        assert_eq!(a, b, "bit-identical across calls");
+        assert!(a.contains("\"tenants\":[{\"name\":\"only\""), "{a}");
+        assert!(a.contains("\"classes\":[{\"priority\":2"), "{a}");
+        assert!(a.contains("\"pool_tiles\":3"), "{a}");
+    }
+}

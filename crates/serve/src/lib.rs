@@ -65,12 +65,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod load;
 pub mod metrics;
 pub mod profile;
 pub mod sim;
 pub mod sweep;
 
+pub use fleet::{
+    run_fleet_sweep, simulate_fleet, tenant_load_model, AutoscalePolicy, FleetCell, FleetClassStat,
+    FleetConfig, FleetMix, FleetPoint, FleetReport, FleetTenantArg, TenantReport, TenantSpec,
+    TileHandle, TilePool,
+};
 pub use load::{ClassMix, ClassSpec, LoadModel};
 pub use metrics::{ClassStat, HistSummary, LatencyStats, ServeReport, StageStat};
 pub use profile::{ServiceProfile, StageFault, StageProfile};
@@ -80,3 +86,7 @@ pub use sweep::{run_sweep, SweepCell, SweepPoint};
 /// Schema tag of the serving-layer NDJSON report emitted by the `serve`
 /// bench binary (one saturation sweep per line).
 pub const SERVE_SCHEMA: &str = "sei-serve-report/v1";
+
+/// Schema tag of the fleet-scheduler NDJSON report (one multi-tenant
+/// sweep point per line).
+pub const FLEET_SCHEMA: &str = "sei-serve-fleet/v1";

@@ -9,6 +9,18 @@
 //! [`sei_cost::CostReport`]), and optionally a stuck-at fault descriptor
 //! per stage tile ([`StageFault`], built from a [`sei_faults::FaultMap`])
 //! marking that tile as serving at reduced accuracy.
+//!
+//! # Tile identity is pool-relative
+//!
+//! A profile never names physical tiles. Stage indices are positions in
+//! the tenant's own pipeline, and the number of physical tiles a profile
+//! occupies is a *demand* ([`ServiceProfile::tile_demand`]: one tile per
+//! stage per replica) that the fleet layer satisfies from a shared
+//! [`crate::fleet::TilePool`], returning opaque pool-relative
+//! [`crate::fleet::TileHandle`]s. The same profile can therefore be
+//! mapped by several tenants at once, each on a disjoint tile set, and a
+//! tenant's tiles can move (autoscaling, fault remap) without the
+//! profile changing.
 
 use sei_cost::CostReport;
 use sei_faults::FaultMap;
@@ -156,6 +168,14 @@ impl ServiceProfile {
     pub fn degraded(&self) -> bool {
         self.stages.iter().any(|s| s.fault.is_some())
     }
+
+    /// Physical tiles this profile occupies at crossbar replication
+    /// `replication`: one tile per stage per replica. This is the demand
+    /// a fleet tenant places on the shared tile pool — the profile holds
+    /// no physical tile identities of its own (see the module docs).
+    pub fn tile_demand(&self, replication: usize) -> usize {
+        self.stages.len() * replication.max(1)
+    }
 }
 
 #[cfg(test)]
@@ -196,5 +216,15 @@ mod tests {
     fn empty_profile_has_zero_throughput() {
         let p = ServiceProfile::new(vec![], 0.0);
         assert_eq!(p.max_throughput_rps(), 0.0);
+    }
+
+    #[test]
+    fn tile_demand_is_stages_times_replicas() {
+        let p = three_stage();
+        assert_eq!(p.tile_demand(1), 3);
+        assert_eq!(p.tile_demand(4), 12);
+        // Replication 0 is treated as the degenerate single replica so a
+        // mapped profile always demands at least its stage count.
+        assert_eq!(p.tile_demand(0), 3);
     }
 }

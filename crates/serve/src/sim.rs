@@ -142,7 +142,7 @@ impl ServeConfig {
     }
 }
 
-fn validate_profile(profile: &ServiceProfile) -> Result<(), SeiError> {
+pub(crate) fn validate_profile(profile: &ServiceProfile) -> Result<(), SeiError> {
     if profile.stages.is_empty() {
         return Err(SeiError::invalid_config(
             "ServiceProfile",
@@ -168,9 +168,26 @@ fn validate_profile(profile: &ServiceProfile) -> Result<(), SeiError> {
 /// Event kinds, encoded as an ordered integer so heap entries are plain
 /// `(time, seq, code)` tuples: `0` arrival, `1` batch timer, `2 + s`
 /// stage-`s` completion.
-const EV_ARRIVAL: u64 = 0;
+pub(crate) const EV_ARRIVAL: u64 = 0;
 const EV_TIMER: u64 = 1;
 const EV_STAGE_BASE: u64 = 2;
+
+/// Outcome of the admission decision for one arrival. The fleet layer
+/// ([`crate::fleet`]) computes extra shed reasons (token-bucket rate
+/// limiting, shared-pool overload) but funnels them all through
+/// [`Sim::finish_arrival`] so per-tenant accounting stays identical to
+/// the solo path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AdmitDecision {
+    /// Enqueue the request.
+    Admit,
+    /// Shed: queue full (or a fleet-level backpressure reason — rate
+    /// limit, shared-pool overload — which the fleet reports separately
+    /// but which counts as backpressure here).
+    ShedFull,
+    /// Shed: predicted completion misses the configured deadline.
+    ShedDeadline,
+}
 
 /// A batch in flight: the `(arrival time, class)` of its requests plus
 /// whether it has traversed any fault-degraded stage so far.
@@ -185,26 +202,34 @@ struct Slot {
     done: bool,
 }
 
-struct Sim<'a> {
+/// One tenant's simulation state. Private to the crate: [`simulate`]
+/// drives it solo; [`crate::fleet`] drives several at once by merging
+/// their event heaps on `(time, tenant index, seq)`, which for a single
+/// tenant reduces exactly to the solo `(time, seq)` order — the basis of
+/// the degenerate byte-equality guarantee.
+pub(crate) struct Sim<'a> {
     profile: &'a ServiceProfile,
     cfg: &'a ServeConfig,
     heap: BinaryHeap<Reverse<(u64, u64, u64)>>,
     seq: u64,
     gen: ArrivalGen,
-    queue: VecDeque<(u64, u16)>,
+    pub(crate) queue: VecDeque<(u64, u16)>,
     slots: Vec<Slot>,
     busy_ns: Vec<u64>,
-    inflight: u64,
+    /// Effective per-stage service time (ns). Seeded from the profile;
+    /// the fleet's autoscaler rescales it when replication changes.
+    stage_service_ns: Vec<f64>,
+    pub(crate) inflight: u64,
     // measurement
-    arrivals: u64,
-    admitted: u64,
-    shed_full: u64,
-    shed_deadline: u64,
-    completed: u64,
+    pub(crate) arrivals: u64,
+    pub(crate) admitted: u64,
+    pub(crate) shed_full: u64,
+    pub(crate) shed_deadline: u64,
+    pub(crate) completed: u64,
     degraded: u64,
     batches: u64,
     batch_items: u64,
-    latencies: Vec<u64>,
+    pub(crate) latencies: Vec<u64>,
     peak_depth: u64,
     depth_area: f64,
     last_depth_at: u64,
@@ -218,7 +243,7 @@ struct Sim<'a> {
 }
 
 impl<'a> Sim<'a> {
-    fn new(profile: &'a ServiceProfile, cfg: &'a ServeConfig) -> Sim<'a> {
+    pub(crate) fn new(profile: &'a ServiceProfile, cfg: &'a ServeConfig) -> Sim<'a> {
         let n = profile.stages.len();
         Sim {
             profile,
@@ -229,6 +254,7 @@ impl<'a> Sim<'a> {
             queue: VecDeque::new(),
             slots: (0..n).map(|_| Slot::default()).collect(),
             busy_ns: vec![0; n],
+            stage_service_ns: profile.stages.iter().map(|s| s.service_ns).collect(),
             inflight: 0,
             arrivals: 0,
             admitted: 0,
@@ -266,45 +292,106 @@ impl<'a> Sim<'a> {
     /// Batch service time at stage `s` for `n` inferences: the replicated
     /// tiles process the batch back-to-back.
     fn service_ns(&self, s: usize, n: usize) -> u64 {
-        (self.profile.stages[s].service_ns * n as f64)
-            .ceil()
-            .max(1.0) as u64
+        (self.stage_service_ns[s] * n as f64).ceil().max(1.0) as u64
+    }
+
+    /// Overrides one stage's effective service time (autoscaler changing
+    /// the replication factor). Batches already occupying the stage keep
+    /// their scheduled completion time; the new rate applies from the
+    /// next dispatch on.
+    pub(crate) fn set_stage_service_ns(&mut self, s: usize, service_ns: f64) {
+        self.stage_service_ns[s] = service_ns;
     }
 
     /// Predicted completion latency of a request admitted now: everything
     /// ahead of it (queued + in flight) drains at the bottleneck rate,
-    /// then it traverses the pipeline once itself.
+    /// then it traverses the pipeline once itself. Uses the *effective*
+    /// stage times so autoscaled tenants predict with their current rate
+    /// (identical to the profile's when nothing rescaled).
     fn predicted_latency_ns(&self) -> f64 {
-        (self.queue.len() as u64 + self.inflight) as f64 * self.profile.bottleneck_ns()
-            + self.profile.pipeline_fill_ns()
+        let bottleneck = self.stage_service_ns.iter().copied().fold(0.0f64, f64::max);
+        let fill: f64 = self.stage_service_ns.iter().sum();
+        (self.queue.len() as u64 + self.inflight) as f64 * bottleneck + fill
     }
 
-    fn on_arrival(&mut self, now: u64) {
-        // Class is a pure function of (seed, arrival index): the stream
-        // is identical whatever the thread count or event interleaving.
+    /// Draws the class of the next arrival and counts it. A pure function
+    /// of `(seed, arrival index)`: the stream is identical whatever the
+    /// thread count or event interleaving.
+    pub(crate) fn next_arrival_class(&mut self) -> u16 {
         let class = self.cfg.classes.pick(self.cfg.seed, self.arrivals);
         self.arrivals += 1;
         self.class_arrivals[class as usize] += 1;
+        class
+    }
+
+    /// The solo admission decision: backpressure on a full queue, then
+    /// deadline feasibility. The fleet layer may downgrade an `Admit` for
+    /// its own reasons (rate limit, shared-pool overload) before calling
+    /// [`Sim::finish_arrival`].
+    pub(crate) fn default_admission(&self) -> AdmitDecision {
         if self.queue.len() >= self.cfg.queue_capacity {
-            self.shed_full += 1;
-            self.class_shed[class as usize] += 1;
+            AdmitDecision::ShedFull
         } else if self.cfg.deadline_ns > 0
             && self.predicted_latency_ns() > self.cfg.deadline_ns as f64
         {
-            self.shed_deadline += 1;
-            self.class_shed[class as usize] += 1;
+            AdmitDecision::ShedDeadline
         } else {
-            self.note_depth(now);
-            self.queue.push_back((now, class));
-            self.peak_depth = self.peak_depth.max(self.queue.len() as u64);
-            self.push(now.saturating_add(self.cfg.batch.timeout_ns), EV_TIMER);
-            self.admitted += 1;
+            AdmitDecision::Admit
+        }
+    }
+
+    /// Applies an admission decision, schedules the next arrival, and
+    /// gives the batch former a chance. Together with
+    /// [`Sim::next_arrival_class`] and [`Sim::default_admission`] this is
+    /// exactly the solo arrival handler, split so the fleet can interpose
+    /// its own admission control between the draw and the commit.
+    pub(crate) fn finish_arrival(&mut self, now: u64, class: u16, decision: AdmitDecision) {
+        match decision {
+            AdmitDecision::ShedFull => {
+                self.shed_full += 1;
+                self.class_shed[class as usize] += 1;
+            }
+            AdmitDecision::ShedDeadline => {
+                self.shed_deadline += 1;
+                self.class_shed[class as usize] += 1;
+            }
+            AdmitDecision::Admit => {
+                self.note_depth(now);
+                self.queue.push_back((now, class));
+                self.peak_depth = self.peak_depth.max(self.queue.len() as u64);
+                self.push(now.saturating_add(self.cfg.batch.timeout_ns), EV_TIMER);
+                self.admitted += 1;
+            }
         }
         let next = self.gen.next_arrival_ns();
         if next <= self.cfg.duration_ns {
             self.push(next, EV_ARRIVAL);
         }
         self.try_form(now);
+    }
+
+    fn on_arrival(&mut self, now: u64) {
+        let class = self.next_arrival_class();
+        let decision = self.default_admission();
+        self.finish_arrival(now, class, decision);
+    }
+
+    /// Removes the newest queued request (fleet overload eviction in
+    /// favour of a higher-priority arrival). The victim is retroactively
+    /// reclassified as backpressure-shed — it never received service — so
+    /// the tenant's own conservation laws (`arrivals = admitted + shed`,
+    /// `completed = admitted` after drain) keep holding. Any batch timer
+    /// it scheduled stays in the heap and fires as a harmless no-op.
+    pub(crate) fn evict_newest(&mut self, now: u64) -> Option<(u64, u16)> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        self.note_depth(now);
+        let (at, class) = self.queue.pop_back().expect("queue is non-empty");
+        self.admitted -= 1;
+        self.shed_full += 1;
+        self.class_shed[class as usize] += 1;
+        Some((at, class))
     }
 
     /// Dispatches the head of the queue onto stage 0 when the formation
@@ -376,26 +463,52 @@ impl<'a> Sim<'a> {
         self.try_form(now);
     }
 
-    fn run(&mut self) {
+    /// Schedules the first arrival (if any falls inside the horizon).
+    pub(crate) fn prime(&mut self) {
         let first = self.gen.next_arrival_ns();
         if first <= self.cfg.duration_ns {
             self.push(first, EV_ARRIVAL);
         }
-        while let Some(Reverse((time, _, code))) = self.heap.pop() {
+    }
+
+    /// `(time, seq)` of the next pending event, if any. The fleet merges
+    /// tenant heaps on `(time, tenant index)`; `seq` breaks no
+    /// cross-tenant ties but documents the within-tenant order.
+    pub(crate) fn peek_key(&self) -> Option<(u64, u64)> {
+        self.heap.peek().map(|Reverse((t, s, _))| (*t, *s))
+    }
+
+    /// Pops the next event and advances the virtual end-of-run clock.
+    pub(crate) fn pop_event(&mut self) -> Option<(u64, u64)> {
+        self.heap.pop().map(|Reverse((time, _, code))| {
             self.end_ns = self.end_ns.max(time);
-            match code {
-                EV_ARRIVAL => self.on_arrival(time),
-                EV_TIMER => self.try_form(time),
-                _ => {
-                    let s = (code - EV_STAGE_BASE) as usize;
-                    self.slots[s].done = true;
-                    self.advance(time);
-                }
+            (time, code)
+        })
+    }
+
+    /// Handles one popped event. Arrivals run the *solo* admission path;
+    /// the fleet intercepts `EV_ARRIVAL` before calling this and drives
+    /// the split handlers itself.
+    pub(crate) fn dispatch(&mut self, time: u64, code: u64) {
+        match code {
+            EV_ARRIVAL => self.on_arrival(time),
+            EV_TIMER => self.try_form(time),
+            _ => {
+                let s = (code - EV_STAGE_BASE) as usize;
+                self.slots[s].done = true;
+                self.advance(time);
             }
         }
     }
 
-    fn into_report(mut self) -> ServeReport {
+    fn run(&mut self) {
+        self.prime();
+        while let Some((time, code)) = self.pop_event() {
+            self.dispatch(time, code);
+        }
+    }
+
+    pub(crate) fn into_report(mut self) -> ServeReport {
         let end = self.end_ns.max(self.cfg.duration_ns);
         self.note_depth(end);
         let latency = LatencyStats::compute(&mut self.latencies);

@@ -9,7 +9,8 @@ use sei_mapping::timing::{DesignTiming, TimingModel};
 use sei_mapping::{DesignConstraints, Structure};
 use sei_nn::paper;
 use sei_serve::{
-    run_sweep, simulate, BatchPolicy, LoadModel, ServeConfig, ServiceProfile, SweepCell,
+    run_fleet_sweep, run_sweep, simulate, AutoscalePolicy, BatchPolicy, FleetCell, FleetConfig,
+    LoadModel, ServeConfig, ServiceProfile, SweepCell, TenantSpec,
 };
 
 fn design_profile(replication: usize) -> ServiceProfile {
@@ -140,6 +141,84 @@ fn design_saturation_behavior() {
         .unwrap();
     assert!(repl.saturation_rps > 3.0 * base.saturation_rps);
     assert!(repl.report.completed > base.report.completed);
+}
+
+fn fleet_grid() -> Vec<FleetCell> {
+    let profile = design_profile(2);
+    let saturation = profile.max_throughput_rps();
+    let mut cells = Vec::new();
+    for &(label, lp_load, autoscale) in &[
+        ("steady", 0.6f64, false),
+        ("overload", 1.6, false),
+        ("overload-autoscale", 1.6, true),
+    ] {
+        let mk = |name: &str, priority: u8, load: f64, seed: u64| {
+            TenantSpec::new(
+                name,
+                priority,
+                profile.clone(),
+                ServeConfig {
+                    load: LoadModel::Poisson {
+                        rate_rps: load * saturation,
+                    },
+                    classes: "interactive:4,batch:1".parse().unwrap(),
+                    batch: BatchPolicy {
+                        max_size: 4,
+                        timeout_ns: 200_000,
+                    },
+                    queue_capacity: 64,
+                    deadline_ns: 0,
+                    duration_ns: 200_000_000,
+                    seed,
+                },
+            )
+        };
+        cells.push(FleetCell {
+            label: label.to_string(),
+            load_fraction: 0.4 + lp_load,
+            config: FleetConfig {
+                tenants: vec![mk("interactive", 0, 0.4, 21), mk("batch", 1, lp_load, 22)],
+                pool_tiles: if autoscale { 24 } else { 0 },
+                tile_burdens: Vec::new(),
+                shared_queue_capacity: 96,
+                burst_budget: 16.0,
+                autoscale: if autoscale {
+                    "8:1:2:500:3".parse().unwrap()
+                } else {
+                    AutoscalePolicy::default()
+                },
+                check_invariants: false,
+            },
+        });
+    }
+    cells
+}
+
+/// The fleet acceptance contract: a multi-tenant classed sweep —
+/// including its `sei-serve-fleet/v1` JSON rendering — is bit-identical
+/// at any thread count.
+#[test]
+fn fleet_sweep_is_bit_identical_across_thread_counts() {
+    let grid = fleet_grid();
+    let reference = run_fleet_sweep(&Engine::single(), &grid).unwrap();
+    let reference_json: Vec<String> = reference
+        .iter()
+        .map(|p| p.report.to_json().to_json())
+        .collect();
+    for threads in [2, 4, 7] {
+        let got = run_fleet_sweep(&Engine::new(threads), &grid).unwrap();
+        assert_eq!(got, reference, "threads={threads}");
+        let got_json: Vec<String> = got.iter().map(|p| p.report.to_json().to_json()).collect();
+        assert_eq!(got_json, reference_json, "threads={threads}");
+    }
+    // The adversarial mix behaves as designed: under overload the
+    // low-priority tenant absorbs the shedding and the high-priority
+    // tenant keeps its goodput.
+    let overload = &reference[1].report;
+    assert!(overload.tenants[1].evicted > 0 || overload.tenants[1].report.shed() > 0);
+    assert_eq!(overload.tenants[0].evicted, 0);
+    let autoscaled = &reference[2].report;
+    assert!(autoscaled.scale_ups > 0, "{autoscaled:?}");
 }
 
 proptest! {

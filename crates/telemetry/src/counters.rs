@@ -49,9 +49,16 @@ pub enum Event {
     /// Peak admission-queue depth observed (a high-water mark recorded
     /// via [`record_max`], not an accumulating count).
     QueueDepthPeak,
+    /// Queued requests of a lower-priority tenant evicted by the fleet
+    /// scheduler to make room for a higher-priority arrival.
+    RequestsEvicted,
+    /// Fleet autoscaler replication increases (tiles acquired).
+    FleetScaleUps,
+    /// Fleet autoscaler replication decreases (tiles released).
+    FleetScaleDowns,
 }
 
-pub const EVENT_COUNT: usize = 14;
+pub const EVENT_COUNT: usize = 17;
 
 pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::CrossbarReadOps,
@@ -68,6 +75,9 @@ pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::RequestsShed,
     Event::BatchesFormed,
     Event::QueueDepthPeak,
+    Event::RequestsEvicted,
+    Event::FleetScaleUps,
+    Event::FleetScaleDowns,
 ];
 
 impl Event {
@@ -88,6 +98,9 @@ impl Event {
             Event::RequestsShed => "requests_shed",
             Event::BatchesFormed => "batches_formed",
             Event::QueueDepthPeak => "queue_depth_peak",
+            Event::RequestsEvicted => "requests_evicted",
+            Event::FleetScaleUps => "fleet_scale_ups",
+            Event::FleetScaleDowns => "fleet_scale_downs",
         }
     }
 }

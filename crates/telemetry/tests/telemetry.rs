@@ -198,7 +198,8 @@ fn ndjson_schema_snapshot() {
         "\"faulted_cells_pinned\":0,",
         "\"spare_column_remaps\":0,\"requests_admitted\":900,",
         "\"requests_shed\":17,\"batches_formed\":120,",
-        "\"queue_depth_peak\":42,\"energy_pj\":1.5}}"
+        "\"queue_depth_peak\":42,\"requests_evicted\":0,",
+        "\"fleet_scale_ups\":0,\"fleet_scale_downs\":0,\"energy_pj\":1.5}}"
     );
     assert_eq!(fixed_report().to_ndjson_line(), expected);
 }

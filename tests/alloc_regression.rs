@@ -23,6 +23,10 @@ use sei::nn::data::SynthConfig;
 use sei::nn::paper;
 use sei::nn::train::{TrainConfig, Trainer};
 use sei::nn::Matrix;
+use sei::serve::{
+    simulate_fleet, BatchPolicy, FleetConfig, LoadModel, ServeConfig, ServiceProfile, StageProfile,
+    TenantSpec,
+};
 use sei::telemetry::counters::{self, Event};
 
 /// Counts every allocation (and growth realloc) passed to the system
@@ -111,6 +115,82 @@ fn mapped_forward_does_not_allocate_per_read() {
     assert!(
         per_image <= 64,
         "forward allocated {per_image} times (budget 64, {reads} reads)"
+    );
+}
+
+#[test]
+fn fleet_simulation_allocates_per_request_not_per_event() {
+    // The fleet scheduler runs millions of virtual-clock events per
+    // second of simulated traffic; its heap traffic must scale with the
+    // *requests and batches* it processes (queue entries, latency
+    // samples, batch member lists), never with the event count itself —
+    // an allocation inside the event dispatch loop (e.g. cloning tenant
+    // state per tick) would blow this budget immediately.
+    let profile = ServiceProfile::new(
+        vec![
+            StageProfile::new("conv1", 1000.0),
+            StageProfile::new("conv2", 400.0),
+            StageProfile::new("fc", 100.0),
+        ],
+        2.5e-6,
+    );
+    let tenant = |name: &str, priority: u8, load_mult: f64, seed: u64| {
+        TenantSpec::new(
+            name,
+            priority,
+            profile.clone(),
+            ServeConfig {
+                load: LoadModel::Poisson {
+                    rate_rps: load_mult * 1e6,
+                },
+                classes: "interactive:3,batch:1".parse().unwrap(),
+                batch: BatchPolicy {
+                    max_size: 8,
+                    timeout_ns: 20_000,
+                },
+                queue_capacity: 64,
+                deadline_ns: 0,
+                duration_ns: 20_000_000,
+                seed,
+            },
+        )
+    };
+    let cfg = FleetConfig {
+        tenants: vec![tenant("hp", 0, 0.5, 61), tenant("lp", 1, 1.3, 62)],
+        pool_tiles: 0,
+        tile_burdens: Vec::new(),
+        shared_queue_capacity: 64,
+        burst_budget: 8.0,
+        autoscale: Default::default(),
+        check_invariants: false,
+    };
+    // Warm-up run: pages in lazy statics (counter registry, class-mix
+    // parse) so the measured pass sees only the simulation's own heap
+    // traffic.
+    let warm = simulate_fleet(&cfg).unwrap();
+
+    let before = allocs();
+    let r = simulate_fleet(&cfg).unwrap();
+    let after = allocs();
+    assert_eq!(r, warm, "fleet simulation must be deterministic");
+
+    let work: u64 = r
+        .tenants
+        .iter()
+        .map(|t| t.report.arrivals + t.report.batches)
+        .sum();
+    let per_run = after - before;
+    assert!(
+        work > 1_000,
+        "fleet too small to be meaningful: {work} units"
+    );
+    // Generous per-request budget: queue/heap growth is amortized, each
+    // batch owns one member list, each completion one latency sample.
+    // Only a per-event allocation can push the ratio past this.
+    assert!(
+        per_run <= 16 * work + 4_096,
+        "fleet run allocated {per_run} times over {work} requests+batches: \
+         per-event allocations are back"
     );
 }
 

@@ -17,12 +17,17 @@
 use proptest::prelude::*;
 use sei::core::experiments::{fault_campaign, prepare_context, table4_column, FaultCampaignConfig};
 use sei::core::{AcceleratorBuilder, Engine, ExperimentScale};
+use sei::crossbar::{set_kernel_mode, KernelMode};
 use sei::faults::{FaultMap, FaultModel};
 use sei::mapping::calibrate::split_error_rate;
 use sei::mapping::DesignConstraints;
 use sei::nn::data::{Dataset, SynthConfig};
 use sei::nn::paper;
 use sei::nn::train::{TrainConfig, Trainer};
+use sei::serve::{
+    run_fleet_sweep, BatchPolicy, FleetCell, FleetConfig, LoadModel, ServeConfig, ServiceProfile,
+    StageProfile, TenantSpec,
+};
 use std::sync::OnceLock;
 
 /// One trained + quantized + split accelerator, built once for the whole
@@ -152,6 +157,82 @@ fn table4_column_matches_across_thread_counts() {
         .collect();
     assert_eq!(columns[0], columns[1]);
     assert_eq!(columns[0], columns[2]);
+}
+
+/// The multi-tenant fleet scheduler's NDJSON is byte-identical across
+/// `SEI_THREADS` ∈ {1, 4} × `SEI_KERNELS` ∈ {scalar, packed, simd}: the
+/// simulation runs entirely on the virtual clock and performs no crossbar
+/// reads, so both axes are invariant by construction — this test pins
+/// that contract with the kernel mode actually switched process-wide
+/// (the CI `smoke-fleet` job repeats the same matrix on the bench binary
+/// through the environment).
+#[test]
+fn fleet_sweep_is_invariant_across_threads_and_kernels() {
+    let profile = ServiceProfile::new(
+        vec![
+            StageProfile::new("conv1", 1000.0),
+            StageProfile::new("conv2", 400.0),
+            StageProfile::new("fc", 100.0),
+        ],
+        2.5e-6,
+    );
+    let tenant = |name: &str, priority: u8, load_mult: f64, seed: u64| {
+        TenantSpec::new(
+            name,
+            priority,
+            profile.clone(),
+            ServeConfig {
+                load: LoadModel::Poisson {
+                    rate_rps: load_mult * 1e6,
+                },
+                classes: "interactive:3,batch:1".parse().unwrap(),
+                batch: BatchPolicy {
+                    max_size: 8,
+                    timeout_ns: 20_000,
+                },
+                queue_capacity: 64,
+                deadline_ns: 0,
+                duration_ns: 20_000_000,
+                seed,
+            },
+        )
+    };
+    let grid: Vec<FleetCell> = [0.8f64, 1.8]
+        .iter()
+        .map(|&load| FleetCell {
+            label: format!("load-{load}"),
+            load_fraction: load,
+            config: FleetConfig {
+                tenants: vec![
+                    tenant("interactive", 0, 0.4 * load, 51),
+                    tenant("batch", 1, 0.6 * load, 52),
+                ],
+                pool_tiles: 0,
+                tile_burdens: Vec::new(),
+                shared_queue_capacity: 64,
+                burst_budget: 8.0,
+                autoscale: Default::default(),
+                check_invariants: false,
+            },
+        })
+        .collect();
+    let reference: Vec<String> = run_fleet_sweep(&Engine::single(), &grid)
+        .unwrap()
+        .iter()
+        .map(|p| p.report.to_json().to_json())
+        .collect();
+    for threads in [1usize, 4] {
+        for mode in KernelMode::ALL {
+            set_kernel_mode(mode);
+            let got: Vec<String> = run_fleet_sweep(&Engine::new(threads), &grid)
+                .unwrap()
+                .iter()
+                .map(|p| p.report.to_json().to_json())
+                .collect();
+            assert_eq!(got, reference, "threads={threads} kernels={mode}");
+        }
+    }
+    set_kernel_mode(KernelMode::Packed);
 }
 
 /// `DesignConstraints` sanity for the fixture scale: the split network in

@@ -18,6 +18,10 @@ use sei::core::experiments::{prepare_context, table1, table3, table4_column, Con
 use sei::core::ExperimentScale;
 use sei::nn::paper::PaperNetwork;
 use sei::quantize::algorithm1::{quantize_network, QuantizeConfig};
+use sei::serve::{
+    simulate, simulate_fleet, BatchPolicy, FleetConfig, LoadModel, ServeConfig, ServiceProfile,
+    StageProfile, TenantSpec,
+};
 use sei::telemetry::json::{self, Value};
 use std::path::PathBuf;
 use std::sync::OnceLock;
@@ -113,6 +117,105 @@ fn diff_value(path: &str, want: &Value, got: &Value, diffs: &mut Vec<String>) {
             w.to_json()
         )),
     }
+}
+
+/// Compares `got` against the committed snapshot **byte-for-byte** — no
+/// numeric tolerance. Used for virtual-clock simulations, whose output
+/// is a pure function of the config with no float noise to absorb.
+fn check_golden_exact(name: &str, got: &Value) {
+    let path = golden_path(name);
+    let rendered = format!("{}\n", got.to_json());
+    if std::env::var("SEI_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create tests/golden");
+        std::fs::write(&path, rendered).expect("write golden trace");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden trace {}: {e}\nregenerate with SEI_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, want,
+        "golden trace '{name}' must match byte-for-byte \
+         (a virtual-clock simulation has no tolerance to hide behind);\n\
+         if intentional, regenerate with SEI_UPDATE_GOLDEN=1 and commit"
+    );
+}
+
+fn fleet_profile() -> ServiceProfile {
+    ServiceProfile::new(
+        vec![
+            StageProfile::new("conv1", 1000.0),
+            StageProfile::new("conv2", 400.0),
+            StageProfile::new("fc", 100.0),
+        ],
+        2.5e-6,
+    )
+}
+
+fn fleet_tenant(name: &str, priority: u8, load_mult: f64, seed: u64) -> TenantSpec {
+    TenantSpec::new(
+        name,
+        priority,
+        fleet_profile(),
+        ServeConfig {
+            load: LoadModel::Poisson {
+                rate_rps: load_mult * 1e6,
+            },
+            classes: "interactive:3,batch:1".parse().expect("mix parses"),
+            batch: BatchPolicy {
+                max_size: 8,
+                timeout_ns: 20_000,
+            },
+            queue_capacity: 64,
+            deadline_ns: 0,
+            duration_ns: 20_000_000,
+            seed,
+        },
+    )
+}
+
+/// The `sei-serve-fleet/v1` golden: a two-tenant adversarial mix with a
+/// rate-limited low-priority tenant, a shared queue bound, a burdened
+/// tile pool and autoscaling enabled — every fleet feature pinned
+/// byte-for-byte in one NDJSON row.
+#[test]
+fn golden_serve_fleet_is_byte_exact() {
+    let cfg = FleetConfig {
+        tenants: vec![
+            fleet_tenant("interactive", 0, 0.4, 31),
+            fleet_tenant("batch", 1, 1.4, 32).with_rate_limit(1.0e6, 32.0),
+        ],
+        pool_tiles: 12,
+        tile_burdens: vec![0, 7, 0, 3, 0, 1, 9, 0, 2, 0, 5, 0],
+        shared_queue_capacity: 80,
+        burst_budget: 16.0,
+        autoscale: "10:1:3:500:2".parse().expect("policy parses"),
+        check_invariants: true,
+    };
+    let report = simulate_fleet(&cfg).expect("fleet simulates");
+    let mut row = Value::obj();
+    row.set("schema", Value::Str(sei::serve::FLEET_SCHEMA.into()));
+    row.set("fleet", report.to_json());
+    check_golden_exact("serve_fleet", &row);
+}
+
+/// Degenerate equivalence at the golden anchor: a single-tenant fleet
+/// with every fleet control disabled renders the tenant's report with
+/// exactly the bytes the solo `sei-serve-report/v1` path produces.
+#[test]
+fn golden_fleet_degenerate_matches_solo_bytes() {
+    let spec = fleet_tenant("only", 0, 1.3, 31);
+    let solo = simulate(&spec.profile, &spec.config).expect("solo simulates");
+    let fleet = simulate_fleet(&FleetConfig::solo(spec)).expect("fleet simulates");
+    assert_eq!(
+        fleet.tenants[0].report.to_json().to_json(),
+        solo.to_json().to_json(),
+        "degenerate fleet NDJSON must be byte-identical to the solo path"
+    );
 }
 
 #[test]
