@@ -14,6 +14,7 @@
 //! | `faults` | stuck-at fault campaign — accuracy vs. SAF rate, naive vs. mitigated mapping |
 //! | `timing` | latency / throughput / average power, replication sweep (§5.3) |
 //! | `serve` | serving saturation sweep — offered load × batch × replication over the discrete-event scheduler |
+//! | `lifecycle` | update-under-load sweep — reprogramming strategy × update count over the serving simulation |
 //! | `diagnose` | accuracy-loss decomposition along the float → quantized → split → device pipeline |
 //!
 //! Scale with `SEI_TRAIN_N` / `SEI_TEST_N` / `SEI_CALIB_N` / `SEI_EPOCHS`

@@ -20,6 +20,18 @@
 //! | digital merge op | 30 fJ | 8–16-bit add at 45–65 nm |
 //! | buffer access / bit | 10 pJ | register-file/SRAM incl. control |
 //! | input fetch / bit | 80 pJ | off-chip/weight-buffer mix per \[20\] |
+//! | crossbar row write–verify pass (latency) | 176 µs | RRAM write–verify per array row (MNSIM-derived figures) |
+//! | crossbar row write–verify pass (energy) | 676 nJ | RRAM write–verify per array row (same source) |
+//!
+//! The two **write** constants cost reprogramming a mapped model on live
+//! tiles (the `sei-lifecycle` subsystem); reads never pay them. They are
+//! taken from the MNSIM-style RRAM latency/power model excerpted in the
+//! repo's `SNIPPETS.md` (snippet 3), whose RRAM branch charges
+//! `write_latency = 1.76e-4 s` and `write_energy = 6.76e-7 J` per array
+//! row of write–verify programming (the ReRAM-CMOS branch in the same
+//! snippet is ~340× faster at `5.12e-7 s` / `2.2e-9 J` per row; we keep
+//! the conservative RRAM figures, which also make update windows visible
+//! at serving timescales).
 //!
 //! Area constants are calibrated the same way (8-bit SAR ADC ≈ 0.01 mm²,
 //! DAC ≈ 0.003 mm², offset-trimmed SA ≈ 0.003 mm², ~10 µm² per crossbar
@@ -46,6 +58,14 @@ pub struct CostParams {
     pub buffer_bit_energy: f64,
     /// Energy per input-picture bit fetched from memory (J).
     pub input_fetch_bit_energy: f64,
+    /// Latency of one write–verify programming pass over one crossbar row
+    /// (s). Provenance: SNIPPETS.md snippet 3, RRAM branch
+    /// (`write_latency = 1.76e-4` s per row).
+    pub row_write_latency_s: f64,
+    /// Energy of one write–verify programming pass over one crossbar row
+    /// (J). Provenance: SNIPPETS.md snippet 3, RRAM branch
+    /// (`write_energy = 6.76e-7` J per row).
+    pub row_write_energy: f64,
 
     /// Area of one 8-bit DAC (µm²).
     pub dac_area: f64,
@@ -76,6 +96,8 @@ impl Default for CostParams {
             or_gate_energy: 1e-15,
             buffer_bit_energy: 10e-12,
             input_fetch_bit_energy: 80e-12,
+            row_write_latency_s: 1.76e-4,
+            row_write_energy: 6.76e-7,
 
             dac_area: 3_000.0,
             adc_area: 10_000.0,
@@ -121,6 +143,8 @@ mod tests {
             p.or_gate_energy,
             p.buffer_bit_energy,
             p.input_fetch_bit_energy,
+            p.row_write_latency_s,
+            p.row_write_energy,
             p.dac_area,
             p.adc_area,
             p.cell_area,
@@ -141,6 +165,17 @@ mod tests {
         let p = CostParams::default();
         assert!(p.adc_energy / p.cell_read_energy > 1e4);
         assert!(p.dac_energy / p.cell_read_energy > 1e4);
+    }
+
+    #[test]
+    fn writes_dominate_reads() {
+        // The asymmetry the lifecycle scheduler exists to manage: one
+        // row write–verify pass costs ~9 orders of magnitude more than
+        // a cell read and takes ~176 µs — long enough that reprogramming
+        // a mapped model is visible at serving timescales.
+        let p = CostParams::default();
+        assert!(p.row_write_energy / p.cell_read_energy > 1e8);
+        assert!(p.row_write_latency_s > 1e-5);
     }
 
     #[test]

@@ -66,6 +66,24 @@ impl EnduranceModel {
         let h1 = self.hazard(self.prior_pulses + pulses as f64);
         1.0 - (-(h1 - h0)).exp()
     }
+
+    /// Inverse of [`failure_probability`](Self::failure_probability): the
+    /// largest additional pulse budget whose conditional failure
+    /// probability stays at or below `p`. This is how the lifecycle
+    /// scheduler turns an endurance model into a per-tile **write
+    /// budget**: solve `H(prior + x) − H(prior) = −ln(1 − p)` for `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is in `[0, 1)` — a budget at certainty of
+    /// failure is unbounded.
+    #[must_use]
+    pub fn pulse_budget(&self, p: f64) -> u64 {
+        assert!((0.0..1.0).contains(&p), "probability must be in [0, 1)");
+        let target = self.hazard(self.prior_pulses) - (1.0 - p).ln();
+        let pulses = self.scale_pulses * target.powf(1.0 / self.shape) - self.prior_pulses;
+        pulses.max(0.0).floor() as u64
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +139,25 @@ mod tests {
         };
         // shape > 1: the same pulse budget is riskier late in life.
         assert!(aged.failure_probability(100) > fresh.failure_probability(100));
+    }
+
+    #[test]
+    fn pulse_budget_inverts_failure_probability() {
+        let m = EnduranceModel::with_scale(1e6);
+        for p in [0.001, 0.01, 0.1, 0.5] {
+            let budget = m.pulse_budget(p);
+            assert!(budget > 0, "budget at p={p}");
+            // The budget is safe (≤ p) and tight (one more pulse exceeds p).
+            assert!(m.failure_probability(budget) <= p + 1e-12);
+            assert!(m.failure_probability(budget + 1) > p);
+        }
+        // Aged arrays get smaller residual budgets.
+        let aged = EnduranceModel {
+            prior_pulses: 5e5,
+            ..m
+        };
+        assert!(aged.pulse_budget(0.01) < m.pulse_budget(0.01));
+        assert_eq!(m.pulse_budget(0.0), 0);
     }
 
     #[test]

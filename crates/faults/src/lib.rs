@@ -17,7 +17,10 @@
 //! * [`EnduranceModel`] — a conditional-Weibull wear-out model that turns
 //!   the write-pulse count of a freshly programmed cell into a failure
 //!   probability, sampled via the order-independent [`mix`]/[`unit01`]
-//!   hash so results do not depend on programming order or thread count.
+//!   hash so results do not depend on programming order or thread count;
+//! * [`WearLedger`] — cumulative per-tile write-wear accounting against a
+//!   budget derived from the endurance model, the bookkeeping the
+//!   lifecycle scheduler's wear-aware tile rotation runs on.
 //!
 //! Serialization uses the workspace's in-tree JSON (`sei-telemetry`), under
 //! the stable `sei-fault-map/v1` schema, because the workspace deliberately
@@ -28,9 +31,11 @@
 
 pub mod endurance;
 pub mod map;
+pub mod wear;
 
 pub use endurance::EnduranceModel;
 pub use map::{FaultKind, FaultMap, FaultModel};
+pub use wear::WearLedger;
 
 /// Splitmix64-style stateless seed derivation: mixes an index into a seed
 /// producing an independent, well-distributed stream per `(seed, index)`

@@ -1,0 +1,173 @@
+//! Write-wear accounting: cumulative per-tile write counts against an
+//! endurance budget.
+//!
+//! The endurance model ([`crate::EnduranceModel`]) answers "what is the
+//! failure probability of `p` more pulses?"; the serving stack needs the
+//! dual bookkeeping question: "how many row-write passes has each live
+//! tile absorbed, and which tile should the next reprogram land on?" A
+//! [`WearLedger`] tracks exactly that — cumulative writes per tile, a
+//! budget derived from the endurance model (or given directly), and the
+//! wear-ordering queries the lifecycle scheduler's rotation policy uses.
+//!
+//! Everything here is plain integer arithmetic on state the caller
+//! mutates explicitly: no RNG, no clock, no interior mutability — so a
+//! ledger evolves identically whatever thread count or event
+//! interleaving drives it (the same determinism contract as
+//! [`crate::mix`]).
+
+use crate::EnduranceModel;
+
+/// Cumulative write-wear per tile, against a shared per-tile budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WearLedger {
+    writes: Vec<u64>,
+    budget: u64,
+}
+
+impl WearLedger {
+    /// A fresh ledger over `tiles` tiles with the given per-tile write
+    /// budget (row-write passes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `budget` is zero — a zero budget would mark every
+    /// tile exhausted before its first write, which is always a
+    /// configuration bug.
+    #[must_use]
+    pub fn new(tiles: usize, budget: u64) -> WearLedger {
+        assert!(budget > 0, "write budget must be positive");
+        WearLedger {
+            writes: vec![0; tiles],
+            budget,
+        }
+    }
+
+    /// A ledger whose budget is the endurance model's largest pulse
+    /// count with failure probability at most `max_failure_probability`
+    /// (see [`EnduranceModel::pulse_budget`]), floored at one pulse.
+    #[must_use]
+    pub fn from_endurance(
+        tiles: usize,
+        model: &EnduranceModel,
+        max_failure_probability: f64,
+    ) -> WearLedger {
+        WearLedger::new(tiles, model.pulse_budget(max_failure_probability).max(1))
+    }
+
+    /// Number of tiles tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Whether the ledger tracks no tiles.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// The shared per-tile write budget.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Records `pulses` row-write passes on `tile`, returning its new
+    /// cumulative count. Saturating: a tile past its budget keeps
+    /// counting (the caller decides whether to rotate or keep burning).
+    pub fn record(&mut self, tile: usize, pulses: u64) -> u64 {
+        let w = &mut self.writes[tile];
+        *w = w.saturating_add(pulses);
+        *w
+    }
+
+    /// Cumulative writes on one tile.
+    #[must_use]
+    pub fn writes(&self, tile: usize) -> u64 {
+        self.writes[tile]
+    }
+
+    /// Cumulative writes across all tiles.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.writes.iter().sum()
+    }
+
+    /// Budget remaining on one tile (zero once exhausted).
+    #[must_use]
+    pub fn remaining(&self, tile: usize) -> u64 {
+        self.budget.saturating_sub(self.writes[tile])
+    }
+
+    /// Fraction of the budget consumed on one tile (may exceed 1 when
+    /// the caller kept writing past exhaustion).
+    #[must_use]
+    pub fn wear_fraction(&self, tile: usize) -> f64 {
+        self.writes[tile] as f64 / self.budget as f64
+    }
+
+    /// Whether one tile has consumed its whole budget.
+    #[must_use]
+    pub fn exhausted(&self, tile: usize) -> bool {
+        self.writes[tile] >= self.budget
+    }
+
+    /// Number of tiles that have consumed their whole budget.
+    #[must_use]
+    pub fn exhausted_count(&self) -> u64 {
+        self.writes.iter().filter(|&&w| w >= self.budget).count() as u64
+    }
+
+    /// Highest cumulative write count over all tiles (zero when empty).
+    #[must_use]
+    pub fn max_writes(&self) -> u64 {
+        self.writes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The per-tile write counts, in tile order (the burden vector the
+    /// rotation policy feeds to [`crate::burden_order`]).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_and_budget_tracks() {
+        let mut l = WearLedger::new(3, 100);
+        assert_eq!(l.record(1, 40), 40);
+        assert_eq!(l.record(1, 70), 110);
+        assert_eq!(l.writes(0), 0);
+        assert_eq!(l.writes(1), 110);
+        assert_eq!(l.total_writes(), 110);
+        assert_eq!(l.remaining(1), 0);
+        assert_eq!(l.remaining(0), 100);
+        assert!(l.exhausted(1));
+        assert!(!l.exhausted(2));
+        assert_eq!(l.exhausted_count(), 1);
+        assert_eq!(l.max_writes(), 110);
+        assert!((l.wear_fraction(1) - 1.1).abs() < 1e-12);
+        assert_eq!(l.counts(), &[0, 110, 0]);
+    }
+
+    #[test]
+    fn endurance_budget_matches_model_inverse() {
+        let m = EnduranceModel::with_scale(1e6);
+        let l = WearLedger::from_endurance(4, &m, 0.01);
+        assert_eq!(l.budget(), m.pulse_budget(0.01));
+        // A model so fragile the inverse rounds to zero still yields a
+        // usable (one-pulse) ledger.
+        let fragile = EnduranceModel::with_scale(1e-3);
+        assert_eq!(WearLedger::from_endurance(1, &fragile, 0.001).budget(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_budget_is_rejected() {
+        let _ = WearLedger::new(1, 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! `sei-lifecycle` — live reprogramming of mapped networks on serving
+//! tiles.
+//!
+//! The SEI paper programs an array once and measures inference; a
+//! production accelerator must also *re*program — new fine-tunes, wear
+//! leveling, remapping around failed tiles — while traffic is being
+//! served. This crate schedules those write pulses inside the
+//! deterministic serving simulation:
+//!
+//! * a **write-pulse scheduler** ([`sched`]) — scheduled weight updates
+//!   become per-stage reprogramming windows interleaved with live
+//!   traffic through [`sei_serve::SimDriver`], costed per row from the
+//!   [`sei_cost::CostParams`] write constants (`1.76e-4 s` / `6.76e-7 J`
+//!   per row write–verify pass);
+//! * two **update strategies** ([`plan`]) — `drained` quiesces one tile
+//!   replica at a time (or the whole stage when unreplicated) and
+//!   reprograms it offline; `inplace` interleaves row writes between
+//!   reads at a configured duty cycle, trading tail latency for
+//!   availability;
+//! * **endurance budgets and wear-aware rotation** — every window
+//!   charges its tile in a [`sei_faults::WearLedger`] whose budget comes
+//!   from [`sei_faults::EnduranceModel::pulse_budget`]; a tile crossing
+//!   the rotation threshold is evacuated to the least-burdened free
+//!   spare mid-run, never to a spare more worn than itself;
+//! * a **measurement layer** ([`report`]) — per-window start/end/energy
+//!   records, rotation records, capacity-weighted availability over the
+//!   arrival horizon, and the underlying serving report, all rendered
+//!   in one fixed key order.
+//!
+//! Everything runs on the serving simulation's integer virtual clock
+//! with lifecycle actions ordered by `(time, seq)` and acting first on
+//! ties, so a `(profile, serve config, lifecycle config)` triple always
+//! produces bit-identical results; with no updates scheduled the output
+//! is byte-for-byte the plain [`sei_serve::simulate`] report.
+//!
+//! # Example
+//!
+//! Reprogram 16 rows per stage, four times, on a drained pipeline:
+//!
+//! ```
+//! use sei_lifecycle::{simulate_lifecycle, LifecycleConfig, UpdatePlan, UpdateStrategy};
+//! use sei_serve::load::LoadModel;
+//! use sei_serve::profile::{ServiceProfile, StageProfile};
+//! use sei_serve::sim::{BatchPolicy, ServeConfig};
+//!
+//! let profile = ServiceProfile::new(
+//!     vec![
+//!         StageProfile::new("conv1", 1000.0),
+//!         StageProfile::new("conv2", 400.0),
+//!     ],
+//!     2.5e-6,
+//! );
+//! let cfg = ServeConfig {
+//!     load: LoadModel::Poisson { rate_rps: 5e5 },
+//!     classes: Default::default(),
+//!     batch: BatchPolicy { max_size: 4, timeout_ns: 10_000 },
+//!     queue_capacity: 64,
+//!     deadline_ns: 0,
+//!     duration_ns: 10_000_000,
+//!     seed: 7,
+//! };
+//! let lc = LifecycleConfig {
+//!     strategy: UpdateStrategy::Drained,
+//!     plan: UpdatePlan::uniform(2, 16),
+//!     update_interval_ns: 2_000_000,
+//!     updates: 4,
+//!     budget: 1_000_000,
+//!     ..LifecycleConfig::none(2)
+//! };
+//! let report = simulate_lifecycle(&profile, &cfg, &lc).unwrap();
+//! assert_eq!(report.updates_applied, 8); // 4 updates × 2 stages
+//! assert!(report.availability <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod report;
+pub mod sched;
+
+pub use plan::{DutyCycle, RotateThreshold, UpdatePlan, UpdateStrategy, WriteCost};
+pub use report::{LifecycleReport, RotationRecord, UpdateRecord};
+pub use sched::{
+    run_lifecycle_sweep, simulate_lifecycle, LifecycleCell, LifecycleConfig, LifecyclePoint,
+};
+
+/// Schema tag of the lifecycle NDJSON report emitted by the `lifecycle`
+/// bench binary (one strategy × update-count grid point per line).
+pub const LIFECYCLE_SCHEMA: &str = "sei-lifecycle-report/v1";

@@ -1,0 +1,283 @@
+//! What an update writes and what each row-write costs.
+//!
+//! An [`UpdatePlan`] names, per pipeline stage, how many crossbar rows a
+//! weight update rewrites (a new fine-tune of one layer touches its own
+//! rows only; a full redeploy rewrites every row). The [`WriteCost`]
+//! prices one row write–verify pass from [`sei_cost::CostParams`] — the
+//! snippet-derived `1.76e-4 s` / `6.76e-7 J` per-row constants — and the
+//! strategy/knob newtypes ([`UpdateStrategy`], [`DutyCycle`],
+//! [`RotateThreshold`]) parse strictly so a malformed `SEI_LIFECYCLE_*`
+//! value is rejected with a clear message instead of silently defaulted.
+
+use sei_cost::CostParams;
+use std::fmt;
+use std::str::FromStr;
+
+/// How the scheduler applies a weight update to a live stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateStrategy {
+    /// Quiesce one replica of the stage tile group at a time, reprogram
+    /// it offline, rejoin it. The stage keeps serving on the remaining
+    /// replicas at rescaled service time; an unreplicated stage has no
+    /// remaining replica, so the whole stage blocks for the window.
+    Drained,
+    /// Interleave row write–verify pulses between reads at a configured
+    /// duty cycle. The stage never stops serving, but every read during
+    /// the window is slowed by the stolen write slots.
+    InPlace,
+}
+
+impl UpdateStrategy {
+    /// Stable lowercase name used in reports and knob values.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            UpdateStrategy::Drained => "drained",
+            UpdateStrategy::InPlace => "inplace",
+        }
+    }
+}
+
+impl fmt::Display for UpdateStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for UpdateStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<UpdateStrategy, String> {
+        match s.trim() {
+            "drained" => Ok(UpdateStrategy::Drained),
+            "inplace" | "in-place" => Ok(UpdateStrategy::InPlace),
+            other => Err(format!(
+                "unknown update strategy {other:?} (expected `drained` or `inplace`)"
+            )),
+        }
+    }
+}
+
+/// Fraction of a stage's time the in-place strategy steals for write
+/// pulses. Strictly inside `(0, 1)`: zero would never finish a window
+/// and one would starve reads entirely (that is what `drained` is for).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyCycle(f64);
+
+impl DutyCycle {
+    /// A validated duty cycle.
+    ///
+    /// # Errors
+    ///
+    /// Rejects values outside the open interval `(0, 1)` and non-finite
+    /// values.
+    pub fn new(fraction: f64) -> Result<DutyCycle, String> {
+        if fraction.is_finite() && fraction > 0.0 && fraction < 1.0 {
+            Ok(DutyCycle(fraction))
+        } else {
+            Err(format!(
+                "duty cycle must be a fraction strictly between 0 and 1, got {fraction}"
+            ))
+        }
+    }
+
+    /// The write-slot fraction.
+    #[must_use]
+    pub fn fraction(self) -> f64 {
+        self.0
+    }
+}
+
+impl FromStr for DutyCycle {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<DutyCycle, String> {
+        let v: f64 = s
+            .trim()
+            .parse()
+            .map_err(|_| format!("duty cycle must be a number, got {s:?}"))?;
+        DutyCycle::new(v)
+    }
+}
+
+/// Wear fraction of the endurance budget at which a stage's tile group
+/// is rotated to a spare. In `(0, 1]`: one means "rotate only when the
+/// budget is fully spent".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RotateThreshold(f64);
+
+impl RotateThreshold {
+    /// A validated rotation threshold.
+    ///
+    /// # Errors
+    ///
+    /// Rejects values outside `(0, 1]` and non-finite values.
+    pub fn new(fraction: f64) -> Result<RotateThreshold, String> {
+        if fraction.is_finite() && fraction > 0.0 && fraction <= 1.0 {
+            Ok(RotateThreshold(fraction))
+        } else {
+            Err(format!(
+                "rotation threshold must be in (0, 1], got {fraction}"
+            ))
+        }
+    }
+
+    /// The wear fraction that triggers rotation.
+    #[must_use]
+    pub fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// The write count on a tile at which rotation triggers, for a given
+    /// per-tile budget (at least one write).
+    #[must_use]
+    pub fn trigger_writes(self, budget: u64) -> u64 {
+        ((self.0 * budget as f64).ceil() as u64).max(1)
+    }
+}
+
+impl Default for RotateThreshold {
+    /// Rotate at 80 % of the endurance budget — early enough that the
+    /// evacuation copy itself fits in the remaining headroom.
+    fn default() -> RotateThreshold {
+        RotateThreshold(0.8)
+    }
+}
+
+impl FromStr for RotateThreshold {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<RotateThreshold, String> {
+        let v: f64 = s
+            .trim()
+            .parse()
+            .map_err(|_| format!("rotation threshold must be a number, got {s:?}"))?;
+        RotateThreshold::new(v)
+    }
+}
+
+/// Rows rewritten per pipeline stage by one weight update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdatePlan {
+    /// Crossbar rows rewritten at stage `s` per update (per replica —
+    /// the scheduler multiplies by the stage's replication, since every
+    /// replica must carry the new weights).
+    pub stage_rows: Vec<u64>,
+}
+
+impl UpdatePlan {
+    /// A plan that rewrites the same `rows` on each of `stages` stages.
+    #[must_use]
+    pub fn uniform(stages: usize, rows: u64) -> UpdatePlan {
+        UpdatePlan {
+            stage_rows: vec![rows; stages],
+        }
+    }
+
+    /// Total rows per update across stages (per replica).
+    #[must_use]
+    pub fn total_rows(&self) -> u64 {
+        self.stage_rows.iter().sum()
+    }
+
+    /// Whether the plan writes nothing (no stages, or all-zero rows).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stage_rows.iter().all(|&r| r == 0)
+    }
+}
+
+/// Price of one crossbar row write–verify pass, on the simulation's
+/// integer virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteCost {
+    /// Latency of one row write–verify pass (ns, ≥ 1).
+    pub row_latency_ns: u64,
+    /// Energy of one row write–verify pass (J).
+    pub row_energy_j: f64,
+}
+
+impl WriteCost {
+    /// Prices a row write from the cost model's write constants
+    /// ([`CostParams::row_write_latency_s`] /
+    /// [`CostParams::row_write_energy`]), rounding the latency to the
+    /// integer-nanosecond virtual clock (floored at 1 ns so a window
+    /// always advances time).
+    #[must_use]
+    pub fn from_params(p: &CostParams) -> WriteCost {
+        WriteCost {
+            row_latency_ns: ((p.row_write_latency_s * 1e9).round() as u64).max(1),
+            row_energy_j: p.row_write_energy,
+        }
+    }
+}
+
+impl Default for WriteCost {
+    fn default() -> WriteCost {
+        WriteCost::from_params(&CostParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_parses_strictly() {
+        assert_eq!(
+            "drained".parse::<UpdateStrategy>(),
+            Ok(UpdateStrategy::Drained)
+        );
+        assert_eq!(
+            " inplace ".parse::<UpdateStrategy>(),
+            Ok(UpdateStrategy::InPlace)
+        );
+        assert_eq!(
+            "in-place".parse::<UpdateStrategy>(),
+            Ok(UpdateStrategy::InPlace)
+        );
+        assert!("DRAINED".parse::<UpdateStrategy>().is_err());
+        assert!("offline".parse::<UpdateStrategy>().is_err());
+        assert_eq!(UpdateStrategy::Drained.to_string(), "drained");
+        assert_eq!(UpdateStrategy::InPlace.to_string(), "inplace");
+    }
+
+    #[test]
+    fn duty_cycle_bounds() {
+        assert!(DutyCycle::new(0.5).is_ok());
+        assert!(DutyCycle::new(0.0).is_err());
+        assert!(DutyCycle::new(1.0).is_err());
+        assert!(DutyCycle::new(f64::NAN).is_err());
+        assert!("0.25".parse::<DutyCycle>().is_ok());
+        assert!("zero".parse::<DutyCycle>().is_err());
+    }
+
+    #[test]
+    fn rotate_threshold_bounds_and_trigger() {
+        assert!(RotateThreshold::new(1.0).is_ok());
+        assert!(RotateThreshold::new(0.0).is_err());
+        assert!(RotateThreshold::new(1.1).is_err());
+        let t = RotateThreshold::new(0.8).unwrap();
+        assert_eq!(t.trigger_writes(100), 80);
+        assert_eq!(t.trigger_writes(1), 1);
+        // Ceil: 0.8 × 101 = 80.8 → 81, never rounding below the fraction.
+        assert_eq!(t.trigger_writes(101), 81);
+    }
+
+    #[test]
+    fn write_cost_matches_snippet_constants() {
+        let c = WriteCost::default();
+        // 1.76e-4 s → 176 000 ns exactly; reads are ~5 orders cheaper.
+        assert_eq!(c.row_latency_ns, 176_000);
+        assert!((c.row_energy_j - 6.76e-7).abs() < 1e-18);
+    }
+
+    #[test]
+    fn plan_totals() {
+        let p = UpdatePlan::uniform(3, 8);
+        assert_eq!(p.total_rows(), 24);
+        assert!(!p.is_empty());
+        assert!(UpdatePlan::uniform(3, 0).is_empty());
+        assert!(UpdatePlan { stage_rows: vec![] }.is_empty());
+    }
+}

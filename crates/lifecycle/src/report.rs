@@ -1,0 +1,163 @@
+//! Lifecycle run measurements and their canonical NDJSON rendering.
+//!
+//! Every field is a pure function of `(profile, serve config, lifecycle
+//! config)` on the virtual clock — no wall-clock times, no thread counts
+//! — and [`LifecycleReport::to_json`] emits keys in one fixed order, so
+//! a rendered report is byte-identical across `SEI_THREADS` /
+//! `SEI_KERNELS` and can be pinned exactly by golden tests.
+
+use sei_serve::ServeReport;
+use sei_telemetry::json::Value;
+
+/// One completed reprogramming window (a scheduled update on a stage, or
+/// the evacuation copy a rotation appended).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateRecord {
+    /// Pipeline stage the window reprogrammed.
+    pub stage: usize,
+    /// Whether this window was a rotation's evacuation copy rather than
+    /// a scheduled update.
+    pub copy: bool,
+    /// Index of the scheduled update that produced it (copies inherit
+    /// the index of the update whose wear triggered the rotation).
+    pub index: u32,
+    /// Pool tile the writes landed on.
+    pub tile: u32,
+    /// Virtual time the window started occupying its stage (ns).
+    pub start_ns: u64,
+    /// Virtual time the window completed (ns).
+    pub end_ns: u64,
+    /// Physical row write–verify passes applied (per-replica rows ×
+    /// replication).
+    pub rows: u64,
+    /// Serving capacity lost while the window ran: 1 for a full quiesce,
+    /// `1/r` for one drained replica of `r`, the duty cycle in place.
+    pub capacity_loss: f64,
+    /// Write energy of the window (J).
+    pub energy_j: f64,
+}
+
+impl UpdateRecord {
+    /// Canonical JSON object (fixed key order).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut o = Value::obj();
+        o.set("stage", Value::UInt(self.stage as u64));
+        o.set("copy", Value::Bool(self.copy));
+        o.set("index", Value::UInt(u64::from(self.index)));
+        o.set("tile", Value::UInt(u64::from(self.tile)));
+        o.set("start_ns", Value::UInt(self.start_ns));
+        o.set("end_ns", Value::UInt(self.end_ns));
+        o.set("rows", Value::UInt(self.rows));
+        o.set("capacity_loss", Value::Float(self.capacity_loss));
+        o.set("energy_j", Value::Float(self.energy_j));
+        o
+    }
+}
+
+/// One wear-triggered tile rotation: a stage's tile group evacuated to
+/// the least-burdened spare.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RotationRecord {
+    /// Stage whose tile group moved.
+    pub stage: usize,
+    /// Virtual time of the rotation decision (ns).
+    pub at_ns: u64,
+    /// Tile evacuated (wear at or past the rotation threshold).
+    pub from_tile: u32,
+    /// Spare tile the stage moved onto.
+    pub to_tile: u32,
+    /// Cumulative writes on the evacuated tile at rotation time.
+    pub from_writes: u64,
+    /// Cumulative writes on the target tile at rotation time (never
+    /// more than `from_writes` — the scheduler skips the rotation
+    /// otherwise).
+    pub to_writes: u64,
+}
+
+impl RotationRecord {
+    /// Canonical JSON object (fixed key order).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut o = Value::obj();
+        o.set("stage", Value::UInt(self.stage as u64));
+        o.set("at_ns", Value::UInt(self.at_ns));
+        o.set("from_tile", Value::UInt(u64::from(self.from_tile)));
+        o.set("to_tile", Value::UInt(u64::from(self.to_tile)));
+        o.set("from_writes", Value::UInt(self.from_writes));
+        o.set("to_writes", Value::UInt(self.to_writes));
+        o
+    }
+}
+
+/// Measurements of one lifecycle run: the serving report of the
+/// underlying simulation plus everything the reprogramming scheduler
+/// did to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifecycleReport {
+    /// Update strategy name (`"drained"` / `"inplace"`).
+    pub strategy: String,
+    /// Scheduled (non-copy) windows completed.
+    pub updates_applied: u64,
+    /// Evacuation-copy windows completed.
+    pub copies: u64,
+    /// Rotations performed.
+    pub rotations_done: u64,
+    /// Rotations skipped because no spare had burden at or below the
+    /// evacuee's (or no spare was free).
+    pub rotations_skipped: u64,
+    /// Physical row write–verify passes across all windows.
+    pub total_writes: u64,
+    /// Write energy across all windows (J).
+    pub write_energy_j: f64,
+    /// Summed window durations (ns) — reprogramming occupancy, whatever
+    /// the strategy.
+    pub maintenance_ns: u64,
+    /// Capacity-weighted serving availability over the arrival horizon:
+    /// `1 − Σ(capacity_loss × window ∩ horizon) / horizon`, clamped to
+    /// `[0, 1]`.
+    pub availability: f64,
+    /// Per-tile endurance budget the wear accounting ran against.
+    pub budget: u64,
+    /// Cumulative writes per pool tile (stage tiles then spares).
+    pub wear: Vec<u64>,
+    /// Every completed window, in completion order.
+    pub updates: Vec<UpdateRecord>,
+    /// Every rotation, in decision order.
+    pub rotations: Vec<RotationRecord>,
+    /// The underlying serving run (schema-identical to the solo serve
+    /// path; byte-equal to it when no update was scheduled).
+    pub serve: ServeReport,
+}
+
+impl LifecycleReport {
+    /// Canonical JSON object (fixed key order).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut o = Value::obj();
+        o.set("strategy", Value::Str(self.strategy.clone()));
+        o.set("updates_applied", Value::UInt(self.updates_applied));
+        o.set("copies", Value::UInt(self.copies));
+        o.set("rotations_done", Value::UInt(self.rotations_done));
+        o.set("rotations_skipped", Value::UInt(self.rotations_skipped));
+        o.set("total_writes", Value::UInt(self.total_writes));
+        o.set("write_energy_j", Value::Float(self.write_energy_j));
+        o.set("maintenance_ns", Value::UInt(self.maintenance_ns));
+        o.set("availability", Value::Float(self.availability));
+        o.set("budget", Value::UInt(self.budget));
+        o.set(
+            "wear",
+            Value::Arr(self.wear.iter().map(|&w| Value::UInt(w)).collect()),
+        );
+        o.set(
+            "updates",
+            Value::Arr(self.updates.iter().map(UpdateRecord::to_json).collect()),
+        );
+        o.set(
+            "rotations",
+            Value::Arr(self.rotations.iter().map(RotationRecord::to_json).collect()),
+        );
+        o.set("serve", self.serve.to_json());
+        o
+    }
+}

@@ -1,0 +1,589 @@
+//! The write-pulse scheduler: reprogramming windows interleaved with a
+//! live serving simulation.
+//!
+//! [`simulate_lifecycle`] opens a solo serving run through
+//! [`sei_serve::SimDriver`] and merges two deterministic event streams
+//! on the shared virtual clock: the simulation's own events, and the
+//! lifecycle action heap (window begins/ends, ordered by `(time, seq)`
+//! with lifecycle acting first on ties — the same tick-before-events
+//! order the fleet autoscaler uses). Every scheduled update opens one
+//! **window** per stage with nonzero planned rows; the strategy decides
+//! what a window does to traffic:
+//!
+//! * **drained**, replication ≥ 2 — replicas are reprogrammed one at a
+//!   time; the stage keeps serving on `r − 1` replicas at the exact
+//!   autoscaler rescaling ([`scaled_service_ns`]) for the whole window
+//!   (`rows × replication` sequential row writes), losing `1/r` of its
+//!   capacity;
+//! * **drained**, replication 1 — there is no second replica, so the
+//!   window is an exclusive maintenance occupancy of the stage slot
+//!   (upstream batches queue behind it exactly as behind a slow batch),
+//!   losing the full stage for `rows` row-write latencies;
+//! * **in-place** — row writes interleave with reads at duty cycle `d`:
+//!   the stage never stops serving, reads slow by `1/(1 − d)`, and the
+//!   window stretches to `rows × latency / d` (replicas are written in
+//!   parallel, each interleaving its own copy).
+//!
+//! Windows on one stage never overlap: a window arriving while another
+//! is active queues behind it (FIFO), so service rescaling composes
+//! trivially and the wear accounting sees completions in a deterministic
+//! order. At each window's completion the scheduler batches its
+//! telemetry (one `writes` / `write_energy_fj` add per window, never per
+//! pulse), charges the stage's tile in the [`WearLedger`], and — when
+//! cumulative writes cross the rotation threshold — evacuates the tile
+//! to the least-burdened free spare ([`TilePool::acquire`] is
+//! burden-ordered), skipping the rotation if even the best spare is more
+//! worn than the evacuee, and otherwise appending an evacuation-copy
+//! window that rewrites the stage's planned rows on the new tile.
+//!
+//! Determinism: every quantity above is a function of `(profile, serve
+//! config, lifecycle config)` on the integer virtual clock. With no
+//! updates scheduled the action heap stays empty, the loop degenerates
+//! to exactly the `simulate` event loop, and the serving report is
+//! **byte-for-byte** the solo report.
+
+use crate::plan::{DutyCycle, RotateThreshold, UpdatePlan, UpdateStrategy, WriteCost};
+use crate::report::{LifecycleReport, RotationRecord, UpdateRecord};
+use sei_engine::{Engine, SeiError};
+use sei_faults::WearLedger;
+use sei_serve::{scaled_service_ns, ServeConfig, ServiceProfile, SimDriver, TileHandle, TilePool};
+use sei_telemetry::counters::{self, Event};
+use sei_telemetry::trace;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Configuration of the lifecycle scheduler for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifecycleConfig {
+    /// How windows are applied to live stages.
+    pub strategy: UpdateStrategy,
+    /// Write-slot fraction of the in-place strategy (ignored by
+    /// `drained`).
+    pub duty: DutyCycle,
+    /// Rows rewritten per stage (per replica) by each scheduled update.
+    pub plan: UpdatePlan,
+    /// Virtual time between scheduled updates; the first lands at this
+    /// offset (ns).
+    pub update_interval_ns: u64,
+    /// Number of scheduled updates (0 = none: the run must reproduce
+    /// the plain serving output byte-for-byte).
+    pub updates: u32,
+    /// Price of one row write–verify pass.
+    pub write_cost: WriteCost,
+    /// Per-tile endurance budget (row-write passes), e.g. from
+    /// [`sei_faults::EnduranceModel::pulse_budget`].
+    pub budget: u64,
+    /// Wear fraction of the budget at which a tile is rotated out.
+    pub rotate_threshold: RotateThreshold,
+    /// Spare tiles available for rotation beyond the one-per-stage
+    /// working set.
+    pub spares: usize,
+}
+
+impl LifecycleConfig {
+    /// A quiet configuration: no updates scheduled, defaults everywhere
+    /// else. Useful as the baseline of a sweep.
+    #[must_use]
+    pub fn none(stages: usize) -> LifecycleConfig {
+        LifecycleConfig {
+            strategy: UpdateStrategy::Drained,
+            duty: DutyCycle::new(0.2).expect("0.2 is a valid duty cycle"),
+            plan: UpdatePlan::uniform(stages, 0),
+            update_interval_ns: 1,
+            updates: 0,
+            write_cost: WriteCost::default(),
+            budget: 1,
+            rotate_threshold: RotateThreshold::default(),
+            spares: 0,
+        }
+    }
+
+    /// Validates the configuration against a profile's stage count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeiError::InvalidConfig`] when the plan's stage count
+    /// does not match the profile, the update interval is zero while
+    /// updates are scheduled, or the endurance budget is zero.
+    pub fn validate(&self, stages: usize) -> Result<(), SeiError> {
+        if self.budget == 0 {
+            return Err(SeiError::invalid_config(
+                "LifecycleConfig",
+                "budget",
+                "endurance budget must be positive",
+            ));
+        }
+        if self.updates > 0 && !self.plan.is_empty() {
+            if self.plan.stage_rows.len() != stages {
+                return Err(SeiError::invalid_config(
+                    "LifecycleConfig",
+                    "plan.stage_rows",
+                    format!(
+                        "plan covers {} stages but the profile has {stages}",
+                        self.plan.stage_rows.len()
+                    ),
+                ));
+            }
+            if self.update_interval_ns == 0 {
+                return Err(SeiError::invalid_config(
+                    "LifecycleConfig",
+                    "update_interval_ns",
+                    "must be positive when updates are scheduled",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One reprogramming window request: which stage, how many per-replica
+/// rows, and whether it is a rotation's evacuation copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Window {
+    stage: usize,
+    rows: u64,
+    index: u32,
+    copy: bool,
+}
+
+/// A lifecycle action on the virtual clock. `Ord` by `(time, seq)` —
+/// `seq` is unique per push, so heap order is total and deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Action {
+    time: u64,
+    seq: u64,
+    kind: ActionKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum ActionKind {
+    /// A window request lands on its stage's queue.
+    Begin(Window),
+    /// A non-maintenance window completes (maintenance completions are
+    /// observed from the simulation's own event stream instead).
+    End { stage: usize },
+}
+
+/// A window currently occupying a stage.
+struct ActiveWindow {
+    window: Window,
+    /// For maintenance windows this is the *request* time; the actual
+    /// start is derived from the completion time minus the duration.
+    start_ns: u64,
+    duration_ns: u64,
+    capacity_loss: f64,
+    /// Service time to restore at the end (drained-replica and in-place
+    /// windows rescale the stage; maintenance occupancy does not).
+    restore_service_ns: Option<f64>,
+    maintenance: bool,
+    physical_rows: u64,
+}
+
+struct LifecycleSim<'a, 'p> {
+    driver: SimDriver<'p>,
+    profile: &'p ServiceProfile,
+    lc: &'a LifecycleConfig,
+    horizon_ns: u64,
+    heap: BinaryHeap<Reverse<Action>>,
+    seq: u64,
+    pending: Vec<VecDeque<Window>>,
+    active: Vec<Option<ActiveWindow>>,
+    maint_seen: Vec<u64>,
+    pool: TilePool,
+    stage_tiles: Vec<TileHandle>,
+    ledger: WearLedger,
+    trigger_writes: u64,
+    updates_applied: u64,
+    copies: u64,
+    rotations_skipped: u64,
+    total_writes: u64,
+    write_energy_j: f64,
+    maintenance_ns: u64,
+    loss_ns: f64,
+    records: Vec<UpdateRecord>,
+    rotations: Vec<RotationRecord>,
+}
+
+impl<'a, 'p> LifecycleSim<'a, 'p> {
+    fn new(
+        driver: SimDriver<'p>,
+        profile: &'p ServiceProfile,
+        cfg: &ServeConfig,
+        lc: &'a LifecycleConfig,
+    ) -> LifecycleSim<'a, 'p> {
+        let stages = profile.stages.len();
+        let mut pool = TilePool::new(stages + lc.spares);
+        let stage_tiles = pool
+            .acquire(0, stages)
+            .expect("pool sized to cover one tile per stage");
+        LifecycleSim {
+            driver,
+            profile,
+            lc,
+            horizon_ns: cfg.duration_ns,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            pending: (0..stages).map(|_| VecDeque::new()).collect(),
+            active: (0..stages).map(|_| None).collect(),
+            maint_seen: vec![0; stages],
+            pool,
+            stage_tiles,
+            ledger: WearLedger::new(stages + lc.spares, lc.budget),
+            trigger_writes: lc.rotate_threshold.trigger_writes(lc.budget),
+            updates_applied: 0,
+            copies: 0,
+            rotations_skipped: 0,
+            total_writes: 0,
+            write_energy_j: 0.0,
+            maintenance_ns: 0,
+            loss_ns: 0.0,
+            records: Vec::new(),
+            rotations: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, time: u64, kind: ActionKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Action { time, seq, kind }));
+    }
+
+    fn schedule_updates(&mut self) {
+        if self.lc.plan.is_empty() {
+            return;
+        }
+        for k in 1..=self.lc.updates {
+            let time = u64::from(k).saturating_mul(self.lc.update_interval_ns);
+            for (stage, &rows) in self.lc.plan.stage_rows.iter().enumerate() {
+                if rows > 0 {
+                    self.push(
+                        time,
+                        ActionKind::Begin(Window {
+                            stage,
+                            rows,
+                            index: k,
+                            copy: false,
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Merge loop: lifecycle actions act first on virtual-time ties, so
+    /// the interleaving (and thus every downstream byte) is a pure
+    /// function of the configs. Windows finish even after traffic
+    /// drains — reprogramming does not stop when arrivals do.
+    fn run(&mut self) {
+        self.schedule_updates();
+        loop {
+            let next_action = self.heap.peek().map(|Reverse(a)| a.time);
+            match (next_action, self.driver.peek_time()) {
+                (Some(ta), Some(te)) if ta <= te => self.next_action(),
+                (Some(_), None) => self.next_action(),
+                (_, Some(_)) => {
+                    if let Some(t) = self.driver.step() {
+                        self.poll_maintenance(t);
+                    }
+                }
+                (None, None) => break,
+            }
+        }
+    }
+
+    fn next_action(&mut self) {
+        let Reverse(action) = self.heap.pop().expect("peeked before pop");
+        match action.kind {
+            ActionKind::Begin(w) => {
+                self.pending[w.stage].push_back(w);
+                self.try_start(w.stage, action.time);
+            }
+            ActionKind::End { stage } => self.finish(stage, action.time),
+        }
+    }
+
+    /// Starts the stage's next queued window if none is active.
+    fn try_start(&mut self, stage: usize, now: u64) {
+        if self.active[stage].is_some() {
+            return;
+        }
+        let Some(w) = self.pending[stage].pop_front() else {
+            return;
+        };
+        let r = self.profile.stages[stage].replication.max(1);
+        let physical_rows = w.rows.saturating_mul(r as u64);
+        let row_ns = self.lc.write_cost.row_latency_ns;
+        let aw = match self.lc.strategy {
+            UpdateStrategy::Drained if r >= 2 => {
+                // Replicas reprogram one at a time; the survivors carry
+                // the load at the autoscaler's exact (r − 1) rescaling.
+                let duration_ns = physical_rows.saturating_mul(row_ns).max(1);
+                let orig = self.driver.stage_service_ns(stage);
+                self.driver.set_stage_service_ns(
+                    stage,
+                    scaled_service_ns(&self.profile.stages[stage], r - 1),
+                );
+                self.push(now.saturating_add(duration_ns), ActionKind::End { stage });
+                ActiveWindow {
+                    window: w,
+                    start_ns: now,
+                    duration_ns,
+                    capacity_loss: 1.0 / r as f64,
+                    restore_service_ns: Some(orig),
+                    maintenance: false,
+                    physical_rows,
+                }
+            }
+            UpdateStrategy::Drained => {
+                // Single replica: exclusive occupancy of the stage slot.
+                // Completion arrives through the simulation's own event
+                // stream (the start may wait behind an occupying batch).
+                let duration_ns = physical_rows.saturating_mul(row_ns).max(1);
+                self.driver.request_maintenance(stage, duration_ns, now);
+                ActiveWindow {
+                    window: w,
+                    start_ns: now,
+                    duration_ns,
+                    capacity_loss: 1.0,
+                    restore_service_ns: None,
+                    maintenance: true,
+                    physical_rows,
+                }
+            }
+            UpdateStrategy::InPlace => {
+                // Writes steal duty-cycle slots; replicas interleave
+                // their own copies in parallel, so the wall time scales
+                // with the per-replica rows.
+                let d = self.lc.duty.fraction();
+                let write_ns = w.rows.saturating_mul(row_ns);
+                let duration_ns = ((write_ns as f64 / d).ceil() as u64).max(1);
+                let orig = self.driver.stage_service_ns(stage);
+                self.driver.set_stage_service_ns(stage, orig / (1.0 - d));
+                self.push(now.saturating_add(duration_ns), ActionKind::End { stage });
+                ActiveWindow {
+                    window: w,
+                    start_ns: now,
+                    duration_ns,
+                    capacity_loss: d,
+                    restore_service_ns: Some(orig),
+                    maintenance: false,
+                    physical_rows,
+                }
+            }
+        };
+        self.active[stage] = Some(aw);
+    }
+
+    /// Detects drained-single-replica completions in the simulation's
+    /// event stream after each step.
+    fn poll_maintenance(&mut self, now: u64) {
+        for stage in 0..self.maint_seen.len() {
+            let done = self.driver.maintenance_completed(stage);
+            if done > self.maint_seen[stage] {
+                self.maint_seen[stage] = done;
+                self.finish(stage, now);
+            }
+        }
+    }
+
+    /// Completes the active window on `stage`: restores service, charges
+    /// wear and telemetry (one batched add per window), records the
+    /// update, and checks rotation.
+    fn finish(&mut self, stage: usize, now: u64) {
+        let aw = self.active[stage]
+            .take()
+            .expect("window end without an active window");
+        if let Some(orig) = aw.restore_service_ns {
+            self.driver.set_stage_service_ns(stage, orig);
+        }
+        // A maintenance window runs contiguously for its whole duration
+        // ending now; the other kinds started exactly at start_ns.
+        let start_ns = if aw.maintenance {
+            now.saturating_sub(aw.duration_ns)
+        } else {
+            aw.start_ns
+        };
+        let tile = self.stage_tiles[stage];
+        self.ledger.record(tile.0 as usize, aw.physical_rows);
+        self.pool.add_burden(tile, aw.physical_rows);
+        let energy_j = aw.physical_rows as f64 * self.lc.write_cost.row_energy_j;
+        counters::add(Event::Writes, aw.physical_rows);
+        counters::add_write_energy_joules(energy_j);
+        self.total_writes += aw.physical_rows;
+        self.write_energy_j += energy_j;
+        self.maintenance_ns += aw.duration_ns;
+        let clipped_start = start_ns.min(self.horizon_ns);
+        let clipped_end = now.min(self.horizon_ns);
+        self.loss_ns += aw.capacity_loss * (clipped_end - clipped_start) as f64;
+        if aw.window.copy {
+            self.copies += 1;
+        } else {
+            self.updates_applied += 1;
+        }
+        self.records.push(UpdateRecord {
+            stage,
+            copy: aw.window.copy,
+            index: aw.window.index,
+            tile: tile.0,
+            start_ns,
+            end_ns: now,
+            rows: aw.physical_rows,
+            capacity_loss: aw.capacity_loss,
+            energy_j,
+        });
+        // Scheduled updates check wear; evacuation copies never trigger
+        // a further rotation (the copy's own wear is re-examined at the
+        // stage's next scheduled update, which bounds the cascade).
+        if !aw.window.copy && self.ledger.writes(tile.0 as usize) >= self.trigger_writes {
+            self.try_rotate(stage, aw.window, now);
+        }
+        self.try_start(stage, now);
+    }
+
+    /// Evacuates `stage`'s tile to the least-burdened free spare, unless
+    /// even that spare is more worn than the evacuee (then rotating
+    /// would burn a healthier-than-nothing principle: skip and keep
+    /// burning the current tile).
+    fn try_rotate(&mut self, stage: usize, trigger: Window, now: u64) {
+        let evacuee = self.stage_tiles[stage];
+        let Some(candidates) = self.pool.acquire(0, 1) else {
+            self.rotations_skipped += 1;
+            return;
+        };
+        let target = candidates[0];
+        if self.pool.burden(target) > self.pool.burden(evacuee) {
+            self.pool.release(0, &candidates);
+            self.rotations_skipped += 1;
+            return;
+        }
+        self.rotations.push(RotationRecord {
+            stage,
+            at_ns: now,
+            from_tile: evacuee.0,
+            to_tile: target.0,
+            from_writes: self.ledger.writes(evacuee.0 as usize),
+            to_writes: self.ledger.writes(target.0 as usize),
+        });
+        self.stage_tiles[stage] = target;
+        self.pool.release(0, &[evacuee]);
+        // The new tile must be programmed with the stage's current
+        // weights before it serves alone: append an evacuation copy of
+        // the stage's planned row footprint, back-to-back.
+        self.push(
+            now,
+            ActionKind::Begin(Window {
+                stage,
+                rows: trigger.rows,
+                index: trigger.index,
+                copy: true,
+            }),
+        );
+    }
+
+    fn into_report(self, strategy: UpdateStrategy, budget: u64) -> LifecycleReport {
+        let availability = if self.horizon_ns == 0 {
+            1.0
+        } else {
+            (1.0 - self.loss_ns / self.horizon_ns as f64).clamp(0.0, 1.0)
+        };
+        LifecycleReport {
+            strategy: strategy.name().to_string(),
+            updates_applied: self.updates_applied,
+            copies: self.copies,
+            rotations_done: self.rotations.len() as u64,
+            rotations_skipped: self.rotations_skipped,
+            total_writes: self.total_writes,
+            write_energy_j: self.write_energy_j,
+            maintenance_ns: self.maintenance_ns,
+            availability,
+            budget,
+            wear: self.ledger.counts().to_vec(),
+            updates: self.records,
+            rotations: self.rotations,
+            serve: self.driver.into_report(),
+        }
+    }
+}
+
+/// Runs one serving simulation with the lifecycle scheduler attached.
+///
+/// With `lc.updates == 0` (or an all-zero plan) the scheduler never
+/// perturbs the run and the embedded serving report is byte-identical
+/// to [`sei_serve::simulate`] on the same `(profile, cfg)`.
+///
+/// # Errors
+///
+/// Propagates serving-config validation errors and rejects inconsistent
+/// lifecycle configurations (see [`LifecycleConfig::validate`]).
+pub fn simulate_lifecycle(
+    profile: &ServiceProfile,
+    cfg: &ServeConfig,
+    lc: &LifecycleConfig,
+) -> Result<LifecycleReport, SeiError> {
+    let _trace = trace::scope("lifecycle", || {
+        format!(
+            "simulate strategy={} updates={} rows={}",
+            lc.strategy,
+            lc.updates,
+            lc.plan.total_rows()
+        )
+    });
+    lc.validate(profile.stages.len())?;
+    let driver = SimDriver::new(profile, cfg)?;
+    let mut sim = LifecycleSim::new(driver, profile, cfg, lc);
+    sim.run();
+    Ok(sim.into_report(lc.strategy, lc.budget))
+}
+
+/// One grid point of a lifecycle sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifecycleCell {
+    /// Display label (strategy × update count, etc.).
+    pub label: String,
+    /// The mapped design under traffic.
+    pub profile: ServiceProfile,
+    /// The serving configuration.
+    pub config: ServeConfig,
+    /// The lifecycle schedule applied on top.
+    pub lifecycle: LifecycleConfig,
+}
+
+/// A simulated lifecycle grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifecyclePoint {
+    /// The cell's display label.
+    pub label: String,
+    /// Its measurements.
+    pub report: LifecycleReport,
+}
+
+/// Simulates every cell on the engine, returning points in cell order —
+/// the reassembly is index-ordered, so the sweep (and any NDJSON
+/// rendered from it) is byte-identical at any `SEI_THREADS`.
+///
+/// # Errors
+///
+/// All configurations are validated up front so a malformed grid fails
+/// before any work is spawned.
+pub fn run_lifecycle_sweep(
+    engine: &Engine,
+    cells: &[LifecycleCell],
+) -> Result<Vec<LifecyclePoint>, SeiError> {
+    for cell in cells {
+        cell.config.validate()?;
+        cell.lifecycle.validate(cell.profile.stages.len())?;
+    }
+    let reports: Vec<Result<LifecycleReport, SeiError>> = engine.map(cells, |cell| {
+        simulate_lifecycle(&cell.profile, &cell.config, &cell.lifecycle)
+    });
+    cells
+        .iter()
+        .zip(reports)
+        .map(|(cell, report)| {
+            Ok(LifecyclePoint {
+                label: cell.label.clone(),
+                report: report?,
+            })
+        })
+        .collect()
+}

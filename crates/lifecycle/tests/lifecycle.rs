@@ -1,0 +1,410 @@
+//! Integration tests for the lifecycle scheduler: strict knob parsing,
+//! no-update byte equality with the plain serving path, conservation and
+//! rotation properties, and thread-count invariance of the sweep.
+
+use proptest::prelude::*;
+use sei_engine::{Engine, SeiError};
+use sei_lifecycle::{
+    run_lifecycle_sweep, simulate_lifecycle, DutyCycle, LifecycleCell, LifecycleConfig,
+    RotateThreshold, UpdatePlan, UpdateStrategy,
+};
+use sei_serve::{
+    simulate, BatchPolicy, ClassMix, LoadModel, ServeConfig, ServiceProfile, StageProfile,
+};
+use sei_telemetry::env::parse_lookup;
+
+fn env_of<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+    move |name| {
+        pairs
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.to_string())
+    }
+}
+
+/// Three-stage pipeline with a 1 µs bottleneck (saturation 1e6 inf/s).
+fn profile() -> ServiceProfile {
+    ServiceProfile::new(
+        vec![
+            StageProfile::new("conv1", 1000.0),
+            StageProfile::new("conv2", 400.0),
+            StageProfile::new("fc", 100.0),
+        ],
+        2.5e-6,
+    )
+}
+
+/// The same pipeline with every stage replicated `r`× (service times
+/// kept, so `drained` exercises the replica-rescaling path).
+fn replicated_profile(r: usize) -> ServiceProfile {
+    let mut p = profile();
+    for s in &mut p.stages {
+        s.replication = r;
+    }
+    p
+}
+
+fn config(rate_mult: f64, seed: u64) -> ServeConfig {
+    ServeConfig {
+        load: LoadModel::Poisson {
+            rate_rps: rate_mult * 1e6,
+        },
+        classes: ClassMix::default(),
+        batch: BatchPolicy {
+            max_size: 8,
+            timeout_ns: 20_000,
+        },
+        queue_capacity: 64,
+        deadline_ns: 0,
+        duration_ns: 20_000_000,
+        seed,
+    }
+}
+
+fn lc(strategy: UpdateStrategy, stages: usize, rows: u64, updates: u32) -> LifecycleConfig {
+    LifecycleConfig {
+        strategy,
+        plan: UpdatePlan::uniform(stages, rows),
+        update_interval_ns: 2_000_000,
+        updates,
+        budget: 1_000_000_000,
+        ..LifecycleConfig::none(stages)
+    }
+}
+
+// --- strict `SEI_LIFECYCLE_*` knob parsing (the bench binary's env
+// --- convention: unset → default, malformed → error, never silently
+// --- replaced; the binary turns the error into exit code 2).
+
+#[test]
+fn strategy_knob_parses_strictly() {
+    let got: Option<UpdateStrategy> = parse_lookup(
+        env_of(&[("SEI_LIFECYCLE_STRATEGY", "drained")]),
+        "SEI_LIFECYCLE_STRATEGY",
+        "`drained` or `inplace`",
+    )
+    .unwrap();
+    assert_eq!(got, Some(UpdateStrategy::Drained));
+    let unset: Option<UpdateStrategy> =
+        parse_lookup(env_of(&[]), "SEI_LIFECYCLE_STRATEGY", "a strategy").unwrap();
+    assert_eq!(unset, None);
+    let err = parse_lookup::<UpdateStrategy>(
+        env_of(&[("SEI_LIFECYCLE_STRATEGY", "offline")]),
+        "SEI_LIFECYCLE_STRATEGY",
+        "`drained` or `inplace`",
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("SEI_LIFECYCLE_STRATEGY"), "{msg}");
+    assert!(msg.contains("offline"), "{msg}");
+}
+
+#[test]
+fn duty_cycle_knob_parses_strictly() {
+    let got: Option<DutyCycle> = parse_lookup(
+        env_of(&[("SEI_LIFECYCLE_DUTY", "0.25")]),
+        "SEI_LIFECYCLE_DUTY",
+        "a fraction in (0, 1)",
+    )
+    .unwrap();
+    assert!((got.unwrap().fraction() - 0.25).abs() < 1e-12);
+    for bad in ["0", "1", "1.5", "-0.1", "lots", "NaN"] {
+        let err = parse_lookup::<DutyCycle>(
+            env_of(&[("SEI_LIFECYCLE_DUTY", bad)]),
+            "SEI_LIFECYCLE_DUTY",
+            "a fraction in (0, 1)",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("SEI_LIFECYCLE_DUTY"), "{bad}");
+    }
+}
+
+#[test]
+fn rotate_threshold_knob_parses_strictly() {
+    let got: Option<RotateThreshold> = parse_lookup(
+        env_of(&[("SEI_LIFECYCLE_ROTATE", "1.0")]),
+        "SEI_LIFECYCLE_ROTATE",
+        "a fraction in (0, 1]",
+    )
+    .unwrap();
+    assert!((got.unwrap().fraction() - 1.0).abs() < 1e-12);
+    for bad in ["0", "1.01", "threshold", ""] {
+        let err = parse_lookup::<RotateThreshold>(
+            env_of(&[("SEI_LIFECYCLE_ROTATE", bad)]),
+            "SEI_LIFECYCLE_ROTATE",
+            "a fraction in (0, 1]",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("SEI_LIFECYCLE_ROTATE"), "{bad}");
+    }
+}
+
+#[test]
+fn numeric_knobs_parse_strictly() {
+    // Endurance budget, update count, interval, rows, spares: plain
+    // unsigned integers through the same strict path.
+    for (var, val) in [
+        ("SEI_LIFECYCLE_BUDGET", "100000"),
+        ("SEI_LIFECYCLE_UPDATES", "4"),
+        ("SEI_LIFECYCLE_INTERVAL_MS", "20"),
+        ("SEI_LIFECYCLE_ROWS", "64"),
+        ("SEI_LIFECYCLE_SPARES", "2"),
+    ] {
+        let got: Option<u64> = parse_lookup(env_of(&[(var, val)]), var, "an integer").unwrap();
+        assert_eq!(got, Some(val.parse().unwrap()), "{var}");
+        let err = parse_lookup::<u64>(env_of(&[(var, "many")]), var, "an integer").unwrap_err();
+        assert!(err.to_string().contains(var), "{var}");
+    }
+}
+
+// --- configuration validation
+
+#[test]
+fn validation_rejects_inconsistent_configs() {
+    let p = profile();
+    let mismatched = lc(UpdateStrategy::Drained, 2, 8, 1);
+    assert!(matches!(
+        simulate_lifecycle(&p, &config(0.5, 1), &mismatched),
+        Err(SeiError::InvalidConfig { .. })
+    ));
+    let zero_interval = LifecycleConfig {
+        update_interval_ns: 0,
+        ..lc(UpdateStrategy::Drained, 3, 8, 1)
+    };
+    assert!(matches!(
+        simulate_lifecycle(&p, &config(0.5, 1), &zero_interval),
+        Err(SeiError::InvalidConfig { .. })
+    ));
+    let zero_budget = LifecycleConfig {
+        budget: 0,
+        ..lc(UpdateStrategy::Drained, 3, 8, 1)
+    };
+    assert!(matches!(
+        simulate_lifecycle(&p, &config(0.5, 1), &zero_budget),
+        Err(SeiError::InvalidConfig { .. })
+    ));
+}
+
+// --- the no-perturbation contract
+
+#[test]
+fn no_update_run_is_byte_identical_to_plain_serve() {
+    let p = profile();
+    for seed in [3u64, 31, 77] {
+        let cfg = config(1.3, seed);
+        let solo = simulate(&p, &cfg).expect("solo simulates");
+        let quiet =
+            simulate_lifecycle(&p, &cfg, &LifecycleConfig::none(3)).expect("lifecycle simulates");
+        assert_eq!(
+            quiet.serve.to_json().to_json(),
+            solo.to_json().to_json(),
+            "no-update lifecycle NDJSON must be byte-identical to the solo path (seed {seed})"
+        );
+        assert_eq!(quiet.total_writes, 0);
+        assert_eq!(quiet.availability, 1.0);
+    }
+}
+
+#[test]
+fn zero_rows_plan_is_also_inert() {
+    let p = profile();
+    let cfg = config(0.8, 5);
+    let solo = simulate(&p, &cfg).unwrap();
+    let quiet = simulate_lifecycle(&p, &cfg, &lc(UpdateStrategy::InPlace, 3, 0, 4)).unwrap();
+    assert_eq!(quiet.serve, solo);
+    assert_eq!(quiet.updates_applied, 0);
+}
+
+// --- update mechanics
+
+#[test]
+fn drained_unreplicated_updates_block_and_cost() {
+    let p = profile();
+    let cfg = config(0.8, 9);
+    let r = simulate_lifecycle(&p, &cfg, &lc(UpdateStrategy::Drained, 3, 4, 2)).unwrap();
+    assert_eq!(r.updates_applied, 6, "2 updates × 3 stages");
+    assert_eq!(r.total_writes, 2 * 3 * 4);
+    // 24 rows × 176 µs × 6.76e-7 J/row.
+    assert!((r.write_energy_j - 24.0 * 6.76e-7).abs() < 1e-12);
+    assert!(r.availability < 1.0, "maintenance windows cost capacity");
+    assert!(r.maintenance_ns >= 24 * 176_000);
+    // The blocked pipeline must still conserve requests.
+    assert_eq!(r.serve.completed + r.serve.shed(), r.serve.arrivals);
+}
+
+#[test]
+fn drained_replicated_keeps_serving_at_rescaled_rate() {
+    let p = replicated_profile(2);
+    let cfg = config(0.5, 11);
+    let r = simulate_lifecycle(&p, &cfg, &lc(UpdateStrategy::Drained, 3, 4, 2)).unwrap();
+    assert_eq!(r.updates_applied, 6);
+    // Each window writes rows × replication physical rows.
+    assert_eq!(r.total_writes, 2 * 3 * 4 * 2);
+    for u in &r.updates {
+        assert!((u.capacity_loss - 0.5).abs() < 1e-12, "1/r of 2 replicas");
+    }
+}
+
+#[test]
+fn inplace_updates_never_block_but_slow_reads() {
+    let p = profile();
+    let cfg = config(0.8, 13);
+    let baseline = simulate_lifecycle(&p, &cfg, &LifecycleConfig::none(3)).unwrap();
+    let busy = simulate_lifecycle(&p, &cfg, &lc(UpdateStrategy::InPlace, 3, 64, 4)).unwrap();
+    assert_eq!(busy.updates_applied, 12);
+    assert!(
+        busy.serve.latency.p99_ns >= baseline.serve.latency.p99_ns,
+        "write duty cycle must not improve tail latency"
+    );
+    // Duty 0.2 → each window stretches the write time 5×.
+    let wt = 64 * 176_000;
+    for u in &busy.updates {
+        assert_eq!(u.end_ns - u.start_ns, (wt as f64 / 0.2).ceil() as u64);
+    }
+}
+
+// --- wear and rotation
+
+#[test]
+fn wear_rotation_moves_to_least_burdened_spare() {
+    let p = profile();
+    let cfg = config(0.5, 17);
+    let mut c = lc(UpdateStrategy::InPlace, 3, 10, 4);
+    c.budget = 25; // threshold 0.8 → rotate at 20 writes: after update 2.
+    c.spares = 2;
+    let r = simulate_lifecycle(&p, &cfg, &c).unwrap();
+    assert!(r.rotations_done > 0, "wear must trigger rotation");
+    assert!(r.copies > 0, "each rotation appends an evacuation copy");
+    for rot in &r.rotations {
+        assert!(
+            rot.to_writes <= rot.from_writes,
+            "rotation must never target a tile more worn than the evacuee"
+        );
+    }
+    // Wear vector covers stage tiles + spares and sums to total writes.
+    assert_eq!(r.wear.len(), 3 + 2);
+    assert_eq!(r.wear.iter().sum::<u64>(), r.total_writes);
+}
+
+#[test]
+fn no_spares_means_rotations_skip_not_crash() {
+    let p = profile();
+    let mut c = lc(UpdateStrategy::InPlace, 3, 10, 4);
+    c.budget = 25;
+    c.spares = 0;
+    let r = simulate_lifecycle(&p, &config(0.5, 19), &c).unwrap();
+    assert_eq!(r.rotations_done, 0);
+    assert!(r.rotations_skipped > 0);
+    assert_eq!(r.copies, 0);
+}
+
+// --- sweep determinism
+
+#[test]
+fn sweep_is_thread_count_invariant() {
+    let p = profile();
+    let cells: Vec<LifecycleCell> = [
+        (UpdateStrategy::Drained, 0u32),
+        (UpdateStrategy::Drained, 3),
+        (UpdateStrategy::InPlace, 3),
+    ]
+    .iter()
+    .map(|&(strategy, updates)| LifecycleCell {
+        label: format!("{strategy}-{updates}"),
+        profile: p.clone(),
+        config: config(1.1, 23),
+        lifecycle: lc(strategy, 3, 16, updates),
+    })
+    .collect();
+    let reference = run_lifecycle_sweep(&Engine::single(), &cells).unwrap();
+    for threads in [2, 4, 7] {
+        let got = run_lifecycle_sweep(&Engine::new(threads), &cells).unwrap();
+        assert_eq!(got, reference, "threads={threads}");
+    }
+    assert_eq!(reference.len(), cells.len());
+}
+
+// --- properties
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (a) The same plan writes the same number of physical rows
+    /// whatever the strategy: drained and in-place differ in *when* and
+    /// *how* pulses interleave with traffic, never in how many land.
+    /// Single-stage pipeline so rotation decisions (which add copy
+    /// writes) are strategy-independent too.
+    #[test]
+    fn writes_conserved_across_strategies(
+        rows in 1u64..120,
+        updates in 1u32..5,
+        seed in 0u64..500,
+        budget in 1u64..5_000,
+    ) {
+        let p = ServiceProfile::new(vec![StageProfile::new("only", 800.0)], 1e-6);
+        let mk = |strategy| {
+            let mut c = lc(strategy, 1, rows, updates);
+            c.budget = budget;
+            c.spares = 2;
+            c
+        };
+        let cfg = config(0.6, seed);
+        let drained = simulate_lifecycle(&p, &cfg, &mk(UpdateStrategy::Drained)).unwrap();
+        let inplace = simulate_lifecycle(&p, &cfg, &mk(UpdateStrategy::InPlace)).unwrap();
+        prop_assert_eq!(drained.total_writes, inplace.total_writes);
+        prop_assert_eq!(drained.rotations_done, inplace.rotations_done);
+        prop_assert!(drained.total_writes >= u64::from(updates) * rows);
+    }
+
+    /// (b) Rotation never moves a stage onto a tile more worn than the
+    /// one it is leaving, for any budget/threshold/spare combination.
+    #[test]
+    fn rotation_targets_are_never_more_worn(
+        rows in 1u64..60,
+        updates in 1u32..6,
+        budget in 1u64..200,
+        spares in 0usize..4,
+        seed in 0u64..500,
+    ) {
+        let p = profile();
+        let mut c = lc(UpdateStrategy::InPlace, 3, rows, updates);
+        c.budget = budget;
+        c.spares = spares;
+        let r = simulate_lifecycle(&p, &config(0.7, seed), &c).unwrap();
+        for rot in &r.rotations {
+            prop_assert!(rot.to_writes <= rot.from_writes);
+        }
+        prop_assert_eq!(r.wear.iter().sum::<u64>(), r.total_writes);
+    }
+
+    /// (c) Availability is a probability and degrades monotonically as
+    /// updates are scheduled more often; goodput never improves under
+    /// more reprogramming.
+    #[test]
+    fn availability_and_goodput_monotone_in_update_frequency(
+        seed in 0u64..200,
+        rows in 32u64..128,
+    ) {
+        let p = profile();
+        let cfg = config(1.5, seed); // overloaded: lost capacity shows up as shed
+        let mut last_avail = f64::INFINITY;
+        let mut last_goodput = f64::INFINITY;
+        for updates in [0u32, 1, 2, 4] {
+            let r = simulate_lifecycle(&p, &cfg, &lc(UpdateStrategy::Drained, 3, rows, updates))
+                .unwrap();
+            prop_assert!(r.availability <= 1.0 && r.availability >= 0.0);
+            prop_assert!(
+                r.availability <= last_avail,
+                "availability rose from {} to {} at {} updates",
+                last_avail, r.availability, updates
+            );
+            prop_assert!(
+                r.serve.throughput_rps <= last_goodput,
+                "goodput rose from {} to {} at {} updates",
+                last_goodput, r.serve.throughput_rps, updates
+            );
+            last_avail = r.availability;
+            last_goodput = r.serve.throughput_rps;
+        }
+    }
+}

@@ -120,6 +120,31 @@ impl TilePool {
         self.owner.get(tile.0 as usize).copied().flatten()
     }
 
+    /// Current burden of one tile: its initial stuck-cell burden plus
+    /// any write-wear recorded via [`TilePool::add_burden`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the handle is out of range (a handle this pool never
+    /// granted).
+    #[must_use]
+    pub fn burden(&self, tile: TileHandle) -> u64 {
+        self.burden[tile.0 as usize]
+    }
+
+    /// Adds `delta` to one tile's burden. The lifecycle scheduler calls
+    /// this as write-wear accrues, so subsequent [`TilePool::acquire`]
+    /// calls (least-burdened first) and rotation-target choices see wear
+    /// and stuck cells through one ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the handle is out of range.
+    pub fn add_burden(&mut self, tile: TileHandle, delta: u64) {
+        let b = &mut self.burden[tile.0 as usize];
+        *b = b.saturating_add(delta);
+    }
+
     /// Grants `n` free tiles to `tenant`, least-burdened first, or `None`
     /// (changing nothing) when fewer than `n` tiles are free. Returned
     /// handles are sorted ascending.
@@ -781,8 +806,11 @@ impl FleetReport {
 /// Effective service time of `stage` at replication `r`: exact profile
 /// value at the profile's own replication; otherwise rescaled through the
 /// design-time cycle math ([`replicated_cycles`]) when the stage carries
-/// read attribution, or proportionally for synthetic profiles.
-fn scaled_service_ns(stage: &StageProfile, r: usize) -> f64 {
+/// read attribution, or proportionally for synthetic profiles. Public
+/// because the lifecycle scheduler's drained strategy must rescale a
+/// stage with exactly the autoscaler's rounding when it takes one
+/// replica out of service.
+pub fn scaled_service_ns(stage: &StageProfile, r: usize) -> f64 {
     let base = stage.replication.max(1);
     if r == base {
         return stage.service_ns;

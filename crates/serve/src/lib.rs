@@ -73,14 +73,14 @@ pub mod sim;
 pub mod sweep;
 
 pub use fleet::{
-    run_fleet_sweep, simulate_fleet, tenant_load_model, AutoscalePolicy, FleetCell, FleetClassStat,
-    FleetConfig, FleetMix, FleetPoint, FleetReport, FleetTenantArg, TenantReport, TenantSpec,
-    TileHandle, TilePool,
+    run_fleet_sweep, scaled_service_ns, simulate_fleet, tenant_load_model, AutoscalePolicy,
+    FleetCell, FleetClassStat, FleetConfig, FleetMix, FleetPoint, FleetReport, FleetTenantArg,
+    TenantReport, TenantSpec, TileHandle, TilePool,
 };
 pub use load::{ClassMix, ClassSpec, LoadModel};
 pub use metrics::{ClassStat, HistSummary, LatencyStats, ServeReport, StageStat};
 pub use profile::{ServiceProfile, StageFault, StageProfile};
-pub use sim::{simulate, BatchPolicy, ServeConfig};
+pub use sim::{simulate, BatchPolicy, ServeConfig, SimDriver};
 pub use sweep::{run_sweep, SweepCell, SweepPoint};
 
 /// Schema tag of the serving-layer NDJSON report emitted by the `serve`

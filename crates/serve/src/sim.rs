@@ -167,7 +167,9 @@ pub(crate) fn validate_profile(profile: &ServiceProfile) -> Result<(), SeiError>
 
 /// Event kinds, encoded as an ordered integer so heap entries are plain
 /// `(time, seq, code)` tuples: `0` arrival, `1` batch timer, `2 + s`
-/// stage-`s` completion.
+/// stage-`s` completion, and `2 + n + s` (for an `n`-stage profile)
+/// completion of a maintenance window occupying stage `s` (lifecycle
+/// reprogramming; see [`SimDriver::request_maintenance`]).
 pub(crate) const EV_ARRIVAL: u64 = 0;
 const EV_TIMER: u64 = 1;
 const EV_STAGE_BASE: u64 = 2;
@@ -230,6 +232,12 @@ pub(crate) struct Sim<'a> {
     batches: u64,
     batch_items: u64,
     pub(crate) latencies: Vec<u64>,
+    // lifecycle maintenance (all empty/false unless a `SimDriver` caller
+    // requests windows — the no-update path never touches them)
+    maint_active: Vec<bool>,
+    maint_pending: Vec<VecDeque<u64>>,
+    maint_busy_ns: Vec<u64>,
+    maint_done: Vec<u64>,
     peak_depth: u64,
     depth_area: f64,
     last_depth_at: u64,
@@ -265,6 +273,10 @@ impl<'a> Sim<'a> {
             batches: 0,
             batch_items: 0,
             latencies: Vec::new(),
+            maint_active: vec![false; n],
+            maint_pending: (0..n).map(|_| VecDeque::new()).collect(),
+            maint_busy_ns: vec![0; n],
+            maint_done: vec![0; n],
             peak_depth: 0,
             depth_area: 0.0,
             last_depth_at: 0,
@@ -397,7 +409,7 @@ impl<'a> Sim<'a> {
     /// Dispatches the head of the queue onto stage 0 when the formation
     /// policy allows it.
     fn try_form(&mut self, now: u64) {
-        if self.slots[0].batch.is_some() || self.queue.is_empty() {
+        if self.slots[0].batch.is_some() || self.maint_active[0] || self.queue.is_empty() {
             return;
         }
         let oldest_wait = now - self.queue.front().expect("queue is non-empty").0;
@@ -447,7 +459,8 @@ impl<'a> Sim<'a> {
                 if batch.degraded {
                     self.degraded += n;
                 }
-            } else if self.slots[s + 1].batch.is_none() {
+                self.start_pending_maint(s, now);
+            } else if self.slots[s + 1].batch.is_none() && !self.maint_active[s + 1] {
                 let mut batch = self.slots[s].batch.take().expect("done slot holds a batch");
                 self.slots[s].done = false;
                 batch.degraded |= self.profile.stages[s + 1].fault.is_some();
@@ -458,9 +471,44 @@ impl<'a> Sim<'a> {
                     done: false,
                 };
                 self.push(now.saturating_add(svc), EV_STAGE_BASE + (s as u64 + 1));
+                self.start_pending_maint(s, now);
             }
         }
         self.try_form(now);
+    }
+
+    /// Occupies stage `s` with the oldest pending maintenance window if
+    /// the slot is free. Maintenance takes priority over upstream batches
+    /// waiting to move in — a quiesced tile must not keep serving.
+    fn start_pending_maint(&mut self, s: usize, now: u64) {
+        if self.maint_active[s] || self.slots[s].batch.is_some() {
+            return;
+        }
+        if let Some(duration) = self.maint_pending[s].pop_front() {
+            let duration = duration.max(1);
+            self.maint_active[s] = true;
+            self.maint_busy_ns[s] += duration;
+            let n = self.slots.len() as u64;
+            self.push(now.saturating_add(duration), EV_STAGE_BASE + n + s as u64);
+        }
+    }
+
+    /// Queues a maintenance window of `duration_ns` on stage `s`,
+    /// starting it immediately when the stage is idle. While a window is
+    /// active the stage serves nothing: upstream batches block in place
+    /// (head-of-line), exactly as behind a slow batch.
+    pub(crate) fn request_maintenance(&mut self, s: usize, duration_ns: u64, now: u64) {
+        self.maint_pending[s].push_back(duration_ns);
+        self.start_pending_maint(s, now);
+    }
+
+    /// Completes the active maintenance window on stage `s`: the stage
+    /// first continues with any queued maintenance, then resumes serving.
+    fn finish_maintenance(&mut self, s: usize, now: u64) {
+        self.maint_active[s] = false;
+        self.maint_done[s] += 1;
+        self.start_pending_maint(s, now);
+        self.advance(now);
     }
 
     /// Schedules the first arrival (if any falls inside the horizon).
@@ -495,8 +543,13 @@ impl<'a> Sim<'a> {
             EV_TIMER => self.try_form(time),
             _ => {
                 let s = (code - EV_STAGE_BASE) as usize;
-                self.slots[s].done = true;
-                self.advance(time);
+                let n = self.slots.len();
+                if s < n {
+                    self.slots[s].done = true;
+                    self.advance(time);
+                } else {
+                    self.finish_maintenance(s - n, time);
+                }
             }
         }
     }
@@ -597,6 +650,122 @@ pub fn simulate(profile: &ServiceProfile, cfg: &ServeConfig) -> Result<ServeRepo
     let mut sim = Sim::new(profile, cfg);
     sim.run();
     Ok(sim.into_report())
+}
+
+/// A solo serving simulation opened for **event-by-event external
+/// stepping** — the seam the lifecycle subsystem (`sei-lifecycle`)
+/// drives to interleave reprogramming with live traffic.
+///
+/// The contract mirrors the fleet's degenerate guarantee: a driver that
+/// only calls [`step`](SimDriver::step) until exhaustion replays exactly
+/// the loop inside [`simulate`] (prime, pop, dispatch), so its
+/// [`into_report`](SimDriver::into_report) is **byte-for-byte identical**
+/// to the solo path on the same `(profile, config)`. External callers
+/// perturb the run only through two explicit, virtual-clock-pure hooks:
+///
+/// * [`set_stage_service_ns`](SimDriver::set_stage_service_ns) — rescale
+///   a stage's effective service time (a drained replica or an in-place
+///   write duty cycle), applied from the next dispatch on;
+/// * [`request_maintenance`](SimDriver::request_maintenance) — occupy a
+///   stage exclusively for a window (full quiesce of an unreplicated
+///   tile), with upstream head-of-line blocking exactly as behind a slow
+///   batch.
+///
+/// Both hooks schedule all their effects on the simulation's own event
+/// heap, so determinism (and thread/kernel invariance) is preserved by
+/// construction: no wall-clock or thread-dependent quantity can enter.
+pub struct SimDriver<'a> {
+    sim: Sim<'a>,
+}
+
+impl<'a> SimDriver<'a> {
+    /// Validates the configuration and opens a primed simulation (the
+    /// first arrival is already scheduled).
+    pub fn new(profile: &'a ServiceProfile, cfg: &'a ServeConfig) -> Result<SimDriver<'a>, SeiError> {
+        cfg.validate()?;
+        validate_profile(profile)?;
+        let mut sim = Sim::new(profile, cfg);
+        sim.prime();
+        Ok(SimDriver { sim })
+    }
+
+    /// Number of pipeline stages.
+    pub fn stages(&self) -> usize {
+        self.sim.slots.len()
+    }
+
+    /// Virtual time of the next pending event, if any. An external
+    /// scheduler compares this against its own wake times and acts
+    /// first on ties (the same tick-before-events order the fleet's
+    /// autoscaler uses).
+    pub fn peek_time(&self) -> Option<u64> {
+        self.sim.peek_key().map(|(t, _)| t)
+    }
+
+    /// Pops and handles the next event, returning its virtual time.
+    /// `None` once the simulation has drained.
+    pub fn step(&mut self) -> Option<u64> {
+        let (time, code) = self.sim.pop_event()?;
+        self.sim.dispatch(time, code);
+        Some(time)
+    }
+
+    /// Current effective service time (ns) of stage `s`.
+    pub fn stage_service_ns(&self, s: usize) -> f64 {
+        self.sim.stage_service_ns[s]
+    }
+
+    /// Overrides stage `s`'s effective service time from the next
+    /// dispatch on (in-flight batches keep their completion times).
+    pub fn set_stage_service_ns(&mut self, s: usize, service_ns: f64) {
+        self.sim.set_stage_service_ns(s, service_ns);
+    }
+
+    /// Queues an exclusive maintenance window of `duration_ns` on stage
+    /// `s`, starting at the caller's current virtual time `now` if the
+    /// stage is idle, else as soon as it next frees. `now` must not
+    /// precede the last stepped event's time.
+    pub fn request_maintenance(&mut self, s: usize, duration_ns: u64, now: u64) {
+        self.sim.request_maintenance(s, duration_ns, now);
+    }
+
+    /// Whether a maintenance window currently occupies stage `s`.
+    pub fn maintenance_active(&self, s: usize) -> bool {
+        self.sim.maint_active[s]
+    }
+
+    /// Maintenance windows completed on stage `s` so far — the signal an
+    /// external scheduler polls after each [`step`](SimDriver::step) to
+    /// learn when a quiesce-reprogram window actually finished (its start
+    /// may have been delayed by an occupying batch).
+    pub fn maintenance_completed(&self, s: usize) -> u64 {
+        self.sim.maint_done[s]
+    }
+
+    /// Total virtual time stage `s` has spent (or is committed to spend)
+    /// in maintenance windows.
+    pub fn maintenance_busy_ns(&self, s: usize) -> u64 {
+        self.sim.maint_busy_ns[s]
+    }
+
+    /// Requests currently queued for admission.
+    pub fn queue_len(&self) -> usize {
+        self.sim.queue.len()
+    }
+
+    /// Requests admitted but not yet completed.
+    pub fn inflight(&self) -> u64 {
+        self.sim.inflight
+    }
+
+    /// Finalizes the run into the standard serving report. The report
+    /// schema is unchanged by maintenance: stage `busy_ns`/`occupancy`
+    /// count *serving* time only, so the no-update path stays byte-equal
+    /// to [`simulate`]; update-attributable measures live in the caller's
+    /// own (lifecycle) report.
+    pub fn into_report(self) -> ServeReport {
+        self.sim.into_report()
+    }
 }
 
 #[cfg(test)]

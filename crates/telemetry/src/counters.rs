@@ -56,9 +56,18 @@ pub enum Event {
     FleetScaleUps,
     /// Fleet autoscaler replication decreases (tiles released).
     FleetScaleDowns,
+    /// Row write–verify passes applied to *live* tiles by the lifecycle
+    /// reprogramming scheduler (distinct from [`Event::WritePulses`],
+    /// which counts per-cell pulses during offline array programming).
+    Writes,
+    /// Accumulated lifecycle write energy, in femtojoules (reported also
+    /// as joules under `write_energy_j`). Kept separate from
+    /// [`Event::EnergyFemtojoules`] so update energy is attributable
+    /// against read/serving energy.
+    WriteEnergyFemtojoules,
 }
 
-pub const EVENT_COUNT: usize = 17;
+pub const EVENT_COUNT: usize = 19;
 
 pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::CrossbarReadOps,
@@ -78,6 +87,8 @@ pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::RequestsEvicted,
     Event::FleetScaleUps,
     Event::FleetScaleDowns,
+    Event::Writes,
+    Event::WriteEnergyFemtojoules,
 ];
 
 impl Event {
@@ -101,6 +112,8 @@ impl Event {
             Event::RequestsEvicted => "requests_evicted",
             Event::FleetScaleUps => "fleet_scale_ups",
             Event::FleetScaleDowns => "fleet_scale_downs",
+            Event::Writes => "writes",
+            Event::WriteEnergyFemtojoules => "write_energy_fj",
         }
     }
 }
@@ -136,6 +149,20 @@ pub fn add_energy_joules(joules: f64) {
         let fj = (joules * 1e15).round();
         if fj > 0.0 {
             COUNTERS[Event::EnergyFemtojoules as usize].fetch_add(fj as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Accumulate lifecycle *write* energy given in joules (integer
+/// femtojoules internally, like [`add_energy_joules`]). Call sites batch
+/// per update, never per pulse.
+#[inline(always)]
+pub fn add_write_energy_joules(joules: f64) {
+    if enabled() {
+        let fj = (joules * 1e15).round();
+        if fj > 0.0 {
+            COUNTERS[Event::WriteEnergyFemtojoules as usize]
+                .fetch_add(fj as u64, Ordering::Relaxed);
         }
     }
 }
@@ -176,6 +203,11 @@ impl Snapshot {
     /// Accumulated energy in picojoules.
     pub fn energy_pj(&self) -> f64 {
         self.get(Event::EnergyFemtojoules) as f64 / 1e3
+    }
+
+    /// Accumulated lifecycle write energy in joules.
+    pub fn write_energy_j(&self) -> f64 {
+        self.get(Event::WriteEnergyFemtojoules) as f64 / 1e15
     }
 
     /// Counter-wise difference `self - earlier` (saturating), for

@@ -87,6 +87,7 @@ impl RunReport {
             counter_obj.set(event.name(), Value::UInt(counters.get(event)));
         }
         counter_obj.set("energy_pj", Value::Float(counters.energy_pj()));
+        counter_obj.set("write_energy_j", Value::Float(counters.write_energy_j()));
         self.root.set("counters", counter_obj);
         self
     }

@@ -199,7 +199,9 @@ fn ndjson_schema_snapshot() {
         "\"spare_column_remaps\":0,\"requests_admitted\":900,",
         "\"requests_shed\":17,\"batches_formed\":120,",
         "\"queue_depth_peak\":42,\"requests_evicted\":0,",
-        "\"fleet_scale_ups\":0,\"fleet_scale_downs\":0,\"energy_pj\":1.5}}"
+        "\"fleet_scale_ups\":0,\"fleet_scale_downs\":0,",
+        "\"writes\":0,\"write_energy_fj\":0,",
+        "\"energy_pj\":1.5,\"write_energy_j\":0.0}}"
     );
     assert_eq!(fixed_report().to_ndjson_line(), expected);
 }

@@ -14,6 +14,9 @@
 //! * [`cost`] — area/power/energy model;
 //! * [`serve`] — batched inference serving: deterministic discrete-event
 //!   simulation of request admission, batching and tile scheduling;
+//! * [`lifecycle`] — live reprogramming of mapped networks: write-pulse
+//!   scheduling, endurance budgets and wear-aware tile rotation inside
+//!   the serving simulation;
 //! * [`core`] — the [`core::Accelerator`] builder and experiment drivers;
 //! * [`snn`] — the spiking-network extension (the paper's future-work
 //!   direction);
@@ -50,6 +53,7 @@ pub use sei_crossbar as crossbar;
 pub use sei_device as device;
 pub use sei_engine as engine;
 pub use sei_faults as faults;
+pub use sei_lifecycle as lifecycle;
 pub use sei_mapping as mapping;
 pub use sei_nn as nn;
 pub use sei_quantize as quantize;

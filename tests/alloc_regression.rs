@@ -19,6 +19,7 @@ use rand::SeedableRng;
 use sei::core::{AcceleratorBuilder, EvalScratch};
 use sei::crossbar::{NoiseCtx, ReadScratch, SeiConfig, SeiCrossbar, SeiMode};
 use sei::device::{DeviceSpec, NoiseKey};
+use sei::lifecycle::{simulate_lifecycle, LifecycleConfig, UpdatePlan, UpdateStrategy};
 use sei::nn::data::SynthConfig;
 use sei::nn::paper;
 use sei::nn::train::{TrainConfig, Trainer};
@@ -191,6 +192,72 @@ fn fleet_simulation_allocates_per_request_not_per_event() {
         per_run <= 16 * work + 4_096,
         "fleet run allocated {per_run} times over {work} requests+batches: \
          per-event allocations are back"
+    );
+}
+
+#[test]
+fn lifecycle_simulation_allocates_per_update_not_per_pulse() {
+    // A reprogramming window covers thousands of row-write pulses, but
+    // the lifecycle scheduler models the window as two events (begin /
+    // end) and flushes its write counters once per window. Heap traffic
+    // must therefore scale with requests + batches + applied updates —
+    // never with the pulse count. Rewriting 4096 rows per stage makes a
+    // per-pulse allocation (or per-pulse counter flush buffering) blow
+    // the budget by three orders of magnitude.
+    let profile = ServiceProfile::new(
+        vec![
+            StageProfile::new("conv1", 1000.0),
+            StageProfile::new("conv2", 400.0),
+            StageProfile::new("fc", 100.0),
+        ],
+        2.5e-6,
+    );
+    let cfg = ServeConfig {
+        load: LoadModel::Poisson { rate_rps: 1.0e6 },
+        classes: "interactive:3,batch:1".parse().unwrap(),
+        batch: BatchPolicy {
+            max_size: 8,
+            timeout_ns: 20_000,
+        },
+        queue_capacity: 64,
+        deadline_ns: 0,
+        duration_ns: 20_000_000,
+        seed: 71,
+    };
+    let lc = LifecycleConfig {
+        strategy: UpdateStrategy::InPlace,
+        plan: UpdatePlan::uniform(3, 4_096),
+        update_interval_ns: 5_000_000,
+        updates: 3,
+        spares: 1,
+        ..LifecycleConfig::none(3)
+    };
+    // Warm-up run pages in lazy statics (counter registry, class-mix
+    // parse) so the measured pass sees only the simulation's own heap
+    // traffic.
+    let warm = simulate_lifecycle(&profile, &cfg, &lc).unwrap();
+
+    let before = allocs();
+    let r = simulate_lifecycle(&profile, &cfg, &lc).unwrap();
+    let after = allocs();
+    assert_eq!(r, warm, "lifecycle simulation must be deterministic");
+
+    let work = r.serve.arrivals + r.serve.batches + r.updates_applied + r.copies;
+    let per_run = after - before;
+    assert!(
+        r.total_writes > 10_000,
+        "plan too small to be meaningful: {} row writes",
+        r.total_writes
+    );
+    assert!(work > 1_000, "run too small to be meaningful: {work} units");
+    // Same shape as the fleet budget: queue/heap growth amortized, one
+    // record per applied update, one latency sample per completion. Only
+    // a per-pulse (or per-event) allocation can push the ratio past this.
+    assert!(
+        per_run <= 16 * work + 4_096,
+        "lifecycle run allocated {per_run} times over {work} work units \
+         ({} row writes): per-pulse allocations are back",
+        r.total_writes
     );
 }
 

@@ -16,6 +16,9 @@
 
 use sei::core::experiments::{prepare_context, table1, table3, table4_column, Context};
 use sei::core::ExperimentScale;
+use sei::lifecycle::{
+    simulate_lifecycle, LifecycleConfig, UpdatePlan, UpdateStrategy, LIFECYCLE_SCHEMA,
+};
 use sei::nn::paper::PaperNetwork;
 use sei::quantize::algorithm1::{quantize_network, QuantizeConfig};
 use sei::serve::{
@@ -215,6 +218,60 @@ fn golden_fleet_degenerate_matches_solo_bytes() {
         fleet.tenants[0].report.to_json().to_json(),
         solo.to_json().to_json(),
         "degenerate fleet NDJSON must be byte-identical to the solo path"
+    );
+}
+
+/// The `sei-lifecycle-report/v1` golden: both update strategies on the
+/// fleet anchor profile under overload, with an endurance budget tight
+/// enough to force a wear rotation (and its evacuation copy) mid-run —
+/// the whole lifecycle feature set pinned byte-for-byte in one NDJSON
+/// row.
+#[test]
+fn golden_serve_lifecycle_is_byte_exact() {
+    let profile = fleet_profile();
+    let cfg = fleet_tenant("anchor", 0, 1.3, 31).config;
+    let lc = |strategy| LifecycleConfig {
+        strategy,
+        plan: UpdatePlan::uniform(3, 8),
+        update_interval_ns: 4_000_000,
+        updates: 3,
+        budget: 20, // rotate at 16 writes: the second update triggers it
+        spares: 2,
+        ..LifecycleConfig::none(3)
+    };
+    let drained =
+        simulate_lifecycle(&profile, &cfg, &lc(UpdateStrategy::Drained)).expect("drained runs");
+    let inplace =
+        simulate_lifecycle(&profile, &cfg, &lc(UpdateStrategy::InPlace)).expect("inplace runs");
+    assert!(drained.rotations_done > 0, "golden must pin a rotation");
+    assert!(inplace.rotations_done > 0, "golden must pin a rotation");
+    // All nine scheduled windows (3 updates x 3 stages) complete under
+    // both strategies; evacuation copies add rotation-dependent writes
+    // on top of the 72-row plan.
+    assert_eq!(drained.updates_applied, 9);
+    assert_eq!(inplace.updates_applied, 9);
+    assert!(drained.total_writes >= 72 && inplace.total_writes >= 72);
+    let mut row = Value::obj();
+    row.set("schema", Value::Str(LIFECYCLE_SCHEMA.into()));
+    row.set("drained", drained.to_json());
+    row.set("inplace", inplace.to_json());
+    check_golden_exact("serve_lifecycle", &row);
+}
+
+/// Degenerate equivalence at the golden anchor: a lifecycle run with no
+/// updates scheduled renders its serving report with exactly the bytes
+/// the solo `sei-serve-report/v1` path produces (the same anchor config
+/// the fleet degenerate test pins).
+#[test]
+fn golden_lifecycle_no_update_matches_solo_bytes() {
+    let spec = fleet_tenant("only", 0, 1.3, 31);
+    let solo = simulate(&spec.profile, &spec.config).expect("solo simulates");
+    let quiet = simulate_lifecycle(&spec.profile, &spec.config, &LifecycleConfig::none(3))
+        .expect("lifecycle simulates");
+    assert_eq!(
+        quiet.serve.to_json().to_json(),
+        solo.to_json().to_json(),
+        "no-update lifecycle NDJSON must be byte-identical to the solo path"
     );
 }
 
