@@ -9,18 +9,25 @@
 //! SEI_THREADS=1 cargo run --release -p sei-bench --bin kernels
 //! ```
 //!
-//! Writes a `sei-bench-kernels/v2` JSON record to `SEI_BENCH_JSON`
+//! Writes a `sei-bench-kernels/v3` JSON record to `SEI_BENCH_JSON`
 //! (default `BENCH_kernels.json`); see EXPERIMENTS.md for the field
 //! reference. Each point carries a `noisy_over_ideal` ratio per backend:
 //! with the counter-based noise stream the noisy read vectorizes like
 //! the ideal one, so this ratio is the figure of merit the v2 schema
-//! exists to track (`sei-trace-report` diffs it A-vs-B). With
+//! was introduced to track (`sei-trace-report` diffs it A-vs-B). v3
+//! adds the activation-estimator ablation (`estimator` stage): fire-path
+//! reads timed with `SEI_ESTIMATOR` off/prescan/running per backend on
+//! shapes with a controlled fraction of dead (provably sub-threshold)
+//! kernel columns, plus the measured column skip rate. With
 //! `SEI_KERNELS_MIN_SPEEDUP` set, exits 1 when the mean **noisy-read**
 //! speedup of the best vectorized backend over scalar, averaged over
 //! the 50% and 70% sparsity points, falls below the given factor (the
-//! CI `perf-smoke` gate). Every timed
-//! point first re-checks bit-identity across all three backends — a perf
-//! record of a wrong kernel is worthless.
+//! CI `perf-smoke` gate); `SEI_ESTIMATOR_MIN_SPEEDUP` gates the mean
+//! prescan-vs-off forward speedup over the same sparsity band, and
+//! `SEI_ESTIMATOR_MIN_SKIP` the 70%-sparsity column skip rate. Every
+//! timed point first re-checks bit-identity across all three backends
+//! (and, in the estimator stage, across all three estimator modes) — a
+//! perf record of a wrong kernel is worthless.
 //!
 //! Knobs: `SEI_BENCH_READS` (reads per microbench point, default 2000),
 //! `SEI_BENCH_EVAL_N` (images for the mapped-eval stage, default 80),
@@ -33,13 +40,15 @@ use sei_bench::{banner, env_or, ok_or_exit, BenchRun};
 use sei_core::experiments::{prepare_context, table3};
 use sei_core::AcceleratorBuilder;
 use sei_crossbar::{
-    set_kernel_mode, KernelMode, NoiseCtx, ReadScratch, SeiConfig, SeiCrossbar, SeiMode,
+    set_kernel_mode, EstimatorMode, KernelMode, NoiseCtx, ReadScratch, SeiConfig, SeiCrossbar,
+    SeiMode,
 };
 use sei_device::{DeviceSpec, NoiseKey};
 use sei_engine::Engine;
 use sei_nn::paper::PaperNetwork;
 use sei_nn::Matrix;
 use sei_quantize::QuantizeConfig;
+use sei_telemetry::counters::{self, Event};
 use sei_telemetry::json::Value;
 use std::hint::black_box;
 use std::time::Instant;
@@ -64,6 +73,36 @@ const PATTERNS: usize = 32;
 /// Backends under test, scalar first (the speedup reference).
 const MODES: [KernelMode; 3] = [KernelMode::Scalar, KernelMode::Packed, KernelMode::Simd];
 
+/// Shapes for the activation-estimator ablation: (`name`, inputs, cols,
+/// dead-column fraction). The dead columns get strictly negative
+/// weights so the prescan bound proves them sub-threshold for every
+/// input — by a margin that clears the worst-case noise bound, so the
+/// prescan classifies them without evaluating any draws. They sit
+/// contiguously at the front of the column axis so the skip mask covers
+/// whole SIMD blocks, mirroring how a mapper would place a dead kernel
+/// group. The live tail keeps symmetric weights and fires normally.
+const EST_SHAPES: [(&str, usize, usize, f64); 2] =
+    [("conv72x64", 72, 64, 0.75), ("fc120x64", 120, 64, 0.75)];
+
+/// Fire threshold of the estimator-ablation crossbars (weight units):
+/// large enough that a dead column's noise-free margin clears the
+/// worst-case noise bound, small enough that live columns still fire on
+/// a meaningful fraction of patterns.
+const EST_THETA: f32 = 2.0;
+
+struct EstPoint {
+    sparsity: f64,
+    /// Noisy fire-path read (`forward`) with the estimator off, per
+    /// backend in `MODES` order.
+    off_ns: [f64; 3],
+    /// Same read with `SEI_ESTIMATOR=prescan` / `=running`.
+    prescan_ns: [f64; 3],
+    running_ns: [f64; 3],
+    /// Fraction of sense-amp columns the prescan proved sub-threshold
+    /// (measured from the telemetry skip counters, not assumed).
+    col_skip_rate: f64,
+}
+
 struct MicroPoint {
     sparsity: f64,
     /// Noise-free read (the kernel itself: gather + accumulate), per
@@ -87,6 +126,12 @@ fn main() {
         "BENCH_kernels.json".to_string(),
     );
     let min_speedup: f64 = env_or("SEI_KERNELS_MIN_SPEEDUP", "a speedup factor (f64)", 0.0);
+    let min_est_speedup: f64 = env_or("SEI_ESTIMATOR_MIN_SPEEDUP", "a speedup factor (f64)", 0.0);
+    let min_est_skip: f64 = env_or(
+        "SEI_ESTIMATOR_MIN_SKIP",
+        "a column skip fraction (f64)",
+        0.0,
+    );
 
     banner("sei-kernels — scalar vs packed vs simd read path");
     println!("(scale: {scale:?}; {reads} reads/point, {eval_n} eval images)\n");
@@ -180,6 +225,113 @@ fn main() {
          like the ideal one — `noisy_over_ideal` per point tracks the gap)"
     );
 
+    // ── Estimator ablation: fire-path reads off/prescan/running ────────
+    println!(
+        "\nestimator ablation (fire path, noisy, {:.0}% dead columns):",
+        EST_SHAPES[0].3 * 100.0
+    );
+    println!(
+        "{:<12} {:>9} {:>11} {:>11} {:>11} {:>9} {:>9} {:>7}",
+        "layer", "sparsity", "off best", "prescan", "running", "presc x", "run x", "skip"
+    );
+    let mut est_rows: Vec<Value> = Vec::new();
+    let mut est_50 = Vec::new();
+    let mut est_70 = Vec::new();
+    let mut skip_70 = Vec::new();
+    for &(name, inputs, cols, dead_frac) in &EST_SHAPES {
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xE57);
+        let dead = ((cols as f64) * dead_frac).round() as usize;
+        let wm = Matrix::from_vec(
+            inputs,
+            cols,
+            (0..inputs * cols)
+                .map(|i| {
+                    if i % cols < dead {
+                        rng.gen_range(-1.0f32..-0.4)
+                    } else {
+                        rng.gen_range(-1.0f32..1.0)
+                    }
+                })
+                .collect(),
+        );
+        let bias = vec![0.0f32; cols];
+        let xbar = SeiCrossbar::new(
+            &spec,
+            &wm,
+            &bias,
+            EST_THETA,
+            &SeiConfig::new(SeiMode::SignedPorts),
+            &mut rng,
+        );
+        let mut points = Vec::new();
+        for &sparsity in &SPARSITIES {
+            let mut prng = StdRng::seed_from_u64(scale.seed ^ sparsity.to_bits() ^ 0xE57);
+            let patterns: Vec<Vec<bool>> = (0..PATTERNS)
+                .map(|_| (0..inputs).map(|_| prng.gen_bool(1.0 - sparsity)).collect())
+                .collect();
+            check_estimator_identity(&xbar, &patterns, scale.seed);
+            let mut p = EstPoint {
+                sparsity,
+                off_ns: [0.0; 3],
+                prescan_ns: [0.0; 3],
+                running_ns: [0.0; 3],
+                col_skip_rate: measure_skip_rate(&xbar, &patterns, scale.seed),
+            };
+            for (i, m) in MODES.into_iter().enumerate() {
+                p.off_ns[i] =
+                    time_forward(&xbar, &patterns, reads, m, EstimatorMode::Off, scale.seed);
+                p.prescan_ns[i] = time_forward(
+                    &xbar,
+                    &patterns,
+                    reads,
+                    m,
+                    EstimatorMode::Prescan,
+                    scale.seed,
+                );
+                p.running_ns[i] = time_forward(
+                    &xbar,
+                    &patterns,
+                    reads,
+                    m,
+                    EstimatorMode::Running,
+                    scale.seed,
+                );
+            }
+            let presc = best_of(&p.off_ns) / best_of(&p.prescan_ns);
+            let runn = best_of(&p.off_ns) / best_of(&p.running_ns);
+            println!(
+                "{name:<12} {:>9} {:>11.1} {:>11.1} {:>11.1} {:>8.2}x {:>8.2}x {:>6.0}%",
+                format!("{:.0}%", sparsity * 100.0),
+                best_of(&p.off_ns),
+                best_of(&p.prescan_ns),
+                best_of(&p.running_ns),
+                presc,
+                runn,
+                p.col_skip_rate * 100.0,
+            );
+            if sparsity == 0.5 {
+                est_50.push(presc);
+            }
+            if sparsity == 0.7 {
+                est_70.push(presc);
+                skip_70.push(p.col_skip_rate);
+            }
+            points.push(p);
+        }
+        est_rows.push(est_row(name, inputs, cols, dead, &points));
+    }
+    let est_speedup_50 = mean(&est_50);
+    let est_speedup_70 = mean(&est_70);
+    let est_skip_70 = mean(&skip_70);
+    println!(
+        "\nmean estimator speedup (prescan vs off, best backend): \
+         {est_speedup_50:.2}x @ 50% sparsity, {est_speedup_70:.2}x @ 70%\n\
+         mean column skip rate @ 70% sparsity: {:.0}%\n\
+         (skipped columns are bit-exact — the prescan only forces columns\n\
+         whose upper bound already proves the sense amp cannot fire)",
+        est_skip_70 * 100.0
+    );
+
     // ── End-to-end stages under each kernel ────────────────────────────
     println!(
         "\ntraining {} for the end-to-end stages ...",
@@ -234,11 +386,12 @@ fn main() {
 
     // ── BENCH_kernels.json + run report ────────────────────────────────
     let mut record = Value::obj();
-    record.set("schema", Value::Str("sei-bench-kernels/v2".to_string()));
+    record.set("schema", Value::Str("sei-bench-kernels/v3".to_string()));
     record.set("seed", Value::UInt(scale.seed));
     record.set("threads", Value::UInt(scale.threads as u64));
     record.set("reads_per_point", Value::UInt(reads as u64));
     record.set("micro", Value::Arr(micro_rows));
+    record.set("estimator", Value::Arr(est_rows));
     record.set("kernel_speedup_at_50pct_sparsity", Value::Float(speedup_50));
     record.set("kernel_speedup_at_70pct_sparsity", Value::Float(speedup_70));
     record.set(
@@ -248,6 +401,18 @@ fn main() {
     record.set(
         "noisy_speedup_at_70pct_sparsity",
         Value::Float(noisy_speedup_70),
+    );
+    record.set(
+        "estimator_speedup_at_50pct_sparsity",
+        Value::Float(est_speedup_50),
+    );
+    record.set(
+        "estimator_speedup_at_70pct_sparsity",
+        Value::Float(est_speedup_70),
+    );
+    record.set(
+        "estimator_col_skip_at_70pct_sparsity",
+        Value::Float(est_skip_70),
     );
     let mut e2e = Value::obj();
     e2e.set("table3_s", mode_triple(table3_s));
@@ -276,6 +441,12 @@ fn main() {
         .set_f64("noisy_speedup_at_50pct_sparsity", noisy_speedup_50);
     run.report()
         .set_f64("noisy_speedup_at_70pct_sparsity", noisy_speedup_70);
+    run.report()
+        .set_f64("estimator_speedup_at_50pct_sparsity", est_speedup_50);
+    run.report()
+        .set_f64("estimator_speedup_at_70pct_sparsity", est_speedup_70);
+    run.report()
+        .set_f64("estimator_col_skip_at_70pct_sparsity", est_skip_70);
     run.finish();
 
     // Gate on the mean over the paper's 50–70% ReLU-sparsity band: the
@@ -289,11 +460,162 @@ fn main() {
         );
         std::process::exit(1);
     }
+    let est_band = (est_speedup_50 + est_speedup_70) / 2.0;
+    if est_band < min_est_speedup {
+        eprintln!(
+            "error: estimator prescan speedup {est_band:.2}x (mean over \
+             50-70% sparsity) is below the required {min_est_speedup:.2}x"
+        );
+        std::process::exit(1);
+    }
+    if est_skip_70 < min_est_skip {
+        eprintln!(
+            "error: estimator column skip rate {:.0}% at 70% sparsity is \
+             below the required {:.0}%",
+            est_skip_70 * 100.0,
+            min_est_skip * 100.0
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Noisy ns/read of the fastest vectorized backend (packed or simd).
 fn best_vectorized_noisy(p: &MicroPoint) -> f64 {
     p.noisy_ns[1].min(p.noisy_ns[2])
+}
+
+/// Fastest backend of a per-`MODES` timing triple.
+fn best_of(ns: &[f64; 3]) -> f64 {
+    ns.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Asserts the fire vector is bit-identical across every kernel backend
+/// × estimator mode combination under the same noise context — the
+/// estimator's whole contract is that a skipped column decides exactly
+/// what the full read would have decided.
+fn check_estimator_identity(xbar: &SeiCrossbar, patterns: &[Vec<bool>], seed: u64) {
+    let mut scratch = ReadScratch::new();
+    let (mut want, mut got) = (Vec::new(), Vec::new());
+    let root = NoiseCtx::keyed(NoiseKey::new(seed ^ 0xE571));
+    for (i, p) in patterns.iter().enumerate() {
+        let ctx = root.image(i as u64);
+        xbar.forward_into_opts(
+            p,
+            ctx,
+            &mut scratch,
+            &mut want,
+            KernelMode::Packed,
+            EstimatorMode::Off,
+        );
+        for mode in MODES {
+            for est in EstimatorMode::ALL {
+                xbar.forward_into_opts(p, ctx, &mut scratch, &mut got, mode, est);
+                assert_eq!(want, got, "{mode}/{est} diverged from packed/off");
+            }
+        }
+    }
+}
+
+/// Mean wall-clock nanoseconds per noisy fire-path read (`forward`)
+/// under the given estimator mode.
+fn time_forward(
+    xbar: &SeiCrossbar,
+    patterns: &[Vec<bool>],
+    reads: usize,
+    mode: KernelMode,
+    est: EstimatorMode,
+    seed: u64,
+) -> f64 {
+    let mut scratch = ReadScratch::new();
+    let mut fires = Vec::new();
+    let root = NoiseCtx::keyed(NoiseKey::new(seed ^ 0xE571));
+    // Warm-up: grow scratch to steady state before the clock starts.
+    xbar.forward_into_opts(&patterns[0], root, &mut scratch, &mut fires, mode, est);
+    let t = Instant::now();
+    for i in 0..reads {
+        let input = &patterns[i % patterns.len()];
+        xbar.forward_into_opts(
+            input,
+            root.image(i as u64),
+            &mut scratch,
+            &mut fires,
+            mode,
+            est,
+        );
+        black_box(&fires);
+    }
+    t.elapsed().as_secs_f64() * 1e9 / reads as f64
+}
+
+/// Measures the prescan column skip rate over one pass of `patterns`
+/// from the telemetry counter delta (columns skipped vs sense-amp
+/// decisions actually taken).
+fn measure_skip_rate(xbar: &SeiCrossbar, patterns: &[Vec<bool>], seed: u64) -> f64 {
+    let was = counters::enabled();
+    counters::set_enabled(true);
+    let before = counters::snapshot();
+    {
+        let mut scratch = ReadScratch::new();
+        let mut fires = Vec::new();
+        let root = NoiseCtx::keyed(NoiseKey::new(seed ^ 0xE571));
+        for (i, p) in patterns.iter().enumerate() {
+            xbar.forward_into_opts(
+                p,
+                root.image(i as u64),
+                &mut scratch,
+                &mut fires,
+                KernelMode::Packed,
+                EstimatorMode::Prescan,
+            );
+        }
+        // scratch drops here, flushing any batched tile counters.
+    }
+    let delta = counters::snapshot().delta_since(&before);
+    counters::set_enabled(was);
+    let skipped = delta.get(Event::ColumnsSkipped);
+    let sensed = delta.get(Event::SenseAmpFires);
+    skipped as f64 / (skipped + sensed).max(1) as f64
+}
+
+fn est_row(name: &str, inputs: usize, cols: usize, dead: usize, points: &[EstPoint]) -> Value {
+    let mut row = Value::obj();
+    row.set("layer", Value::Str(name.to_string()));
+    row.set("inputs", Value::UInt(inputs as u64));
+    row.set("cols", Value::UInt(cols as u64));
+    row.set("dead_cols", Value::UInt(dead as u64));
+    let pts = points
+        .iter()
+        .map(|p| {
+            let mut v = Value::obj();
+            v.set("sparsity", Value::Float(p.sparsity));
+            for (i, m) in MODES.into_iter().enumerate() {
+                v.set(
+                    &format!("fwd_off_{m}_ns_per_read"),
+                    Value::Float(p.off_ns[i]),
+                );
+                v.set(
+                    &format!("fwd_prescan_{m}_ns_per_read"),
+                    Value::Float(p.prescan_ns[i]),
+                );
+                v.set(
+                    &format!("fwd_running_{m}_ns_per_read"),
+                    Value::Float(p.running_ns[i]),
+                );
+            }
+            v.set(
+                "estimator_speedup",
+                Value::Float(best_of(&p.off_ns) / best_of(&p.prescan_ns)),
+            );
+            v.set(
+                "running_speedup",
+                Value::Float(best_of(&p.off_ns) / best_of(&p.running_ns)),
+            );
+            v.set("col_skip_rate", Value::Float(p.col_skip_rate));
+            v
+        })
+        .collect();
+    row.set("points", Value::Arr(pts));
+    row
 }
 
 /// Asserts all backends produce bit-identical noisy margins over

@@ -168,20 +168,40 @@ fn summarize_serve(rows: &[Value]) {
     println!();
 }
 
+/// Per-scope counter totals of one attribution label.
+#[derive(Clone, Copy, Default)]
+struct ScopeTotals {
+    reads: u64,
+    /// Noise draws + DAC conversions.
+    aux: u64,
+    energy_pj: f64,
+    /// Estimator accounting: sub-matrix (cell) reads the prescan elided
+    /// and the read energy they would have cost, plus the column counts
+    /// the skip *rate* is defined over (skipped vs actually sensed).
+    reads_skipped: u64,
+    energy_saved_pj: f64,
+    cols_skipped: u64,
+    cols_sensed: u64,
+}
+
 /// Per-scope totals summed over every report row carrying an
 /// `attribution` section, plus the per-stage (per-layer) read/energy
 /// accounting of serve rows — a pure serve sweep never runs the
 /// crossbar simulator, so its layer breakdown lives in the pipeline
 /// stages rather than the counter scopes.
-fn attribution_totals(rows: &[Value]) -> BTreeMap<String, (u64, u64, f64)> {
-    let mut totals: BTreeMap<String, (u64, u64, f64)> = BTreeMap::new();
+fn attribution_totals(rows: &[Value]) -> BTreeMap<String, ScopeTotals> {
+    let mut totals: BTreeMap<String, ScopeTotals> = BTreeMap::new();
     for row in rows {
         if let Some(Value::Obj(scopes)) = row.get("attribution") {
             for (label, entry) in scopes {
-                let t = totals.entry(label.clone()).or_insert((0, 0, 0.0));
-                t.0 += get_u64(entry, "crossbar_read_ops");
-                t.1 += get_u64(entry, "noise_draws") + get_u64(entry, "dac_conversions");
-                t.2 += get_f64(entry, "energy_pj");
+                let t = totals.entry(label.clone()).or_default();
+                t.reads += get_u64(entry, "crossbar_read_ops");
+                t.aux += get_u64(entry, "noise_draws") + get_u64(entry, "dac_conversions");
+                t.energy_pj += get_f64(entry, "energy_pj");
+                t.reads_skipped += get_u64(entry, "reads_skipped");
+                t.energy_saved_pj += get_u64(entry, "energy_saved_fj") as f64 / 1e3;
+                t.cols_skipped += get_u64(entry, "columns_skipped");
+                t.cols_sensed += get_u64(entry, "sense_amp_fires");
             }
         }
         let Some(measures) = row.get("measures") else {
@@ -193,9 +213,9 @@ fn attribution_totals(rows: &[Value]) -> BTreeMap<String, (u64, u64, f64)> {
         for (i, stage) in stages.iter().enumerate() {
             let name = stage.get("name").and_then(Value::as_str).unwrap_or("?");
             let label = format!("serve.s{i:02}.{name}");
-            let t = totals.entry(label).or_insert((0, 0, 0.0));
-            t.0 += get_u64(stage, "reads");
-            t.2 += get_f64(stage, "energy_j") * 1e12;
+            let t = totals.entry(label).or_default();
+            t.reads += get_u64(stage, "reads");
+            t.energy_pj += get_f64(stage, "energy_j") * 1e12;
         }
     }
     totals
@@ -207,24 +227,40 @@ fn summarize_attribution(rows: &[Value]) {
         println!("no attribution rows");
         return;
     }
-    let energy_total: f64 = totals.values().map(|t| t.2).sum();
+    let energy_total: f64 = totals.values().map(|t| t.energy_pj).sum();
+    let any_skips = totals.values().any(|t| t.reads_skipped > 0);
     println!("per-layer / per-tile attribution (label order = network order)");
     println!(
-        "{:<20} {:>14} {:>14} {:>14} {:>8}",
-        "scope", "reads", "draws+dacs", "energy pJ", "share"
+        "{:<20} {:>14} {:>14} {:>14} {:>8} {:>12} {:>10}",
+        "scope", "reads", "draws+dacs", "energy pJ", "share", "est-skipped", "saved pJ"
     );
-    for (label, (reads, aux, energy_pj)) in &totals {
+    for (label, t) in &totals {
         println!(
-            "{:<20} {:>14} {:>14} {:>14.1} {:>7.1}%",
+            "{:<20} {:>14} {:>14} {:>14.1} {:>7.1}% {:>12} {:>10.1}",
             label,
-            reads,
-            aux,
-            energy_pj,
+            t.reads,
+            t.aux,
+            t.energy_pj,
             if energy_total > 0.0 {
-                energy_pj / energy_total * 100.0
+                t.energy_pj / energy_total * 100.0
             } else {
                 0.0
-            }
+            },
+            t.reads_skipped,
+            t.energy_saved_pj,
+        );
+    }
+    if any_skips {
+        let skipped: u64 = totals.values().map(|t| t.cols_skipped).sum();
+        let sensed: u64 = totals.values().map(|t| t.cols_sensed).sum();
+        let cells: u64 = totals.values().map(|t| t.reads_skipped).sum();
+        let saved: f64 = totals.values().map(|t| t.energy_saved_pj).sum();
+        println!(
+            "estimator: {skipped} of {} columns skipped ({:.1}%, {cells} cell reads \
+             elided), {saved:.1} pJ read energy saved ({:.1}% of spent)",
+            skipped + sensed,
+            skipped as f64 / (skipped + sensed).max(1) as f64 * 100.0,
+            saved / (saved + energy_total).max(f64::MIN_POSITIVE) * 100.0,
         );
     }
     println!();
@@ -416,6 +452,44 @@ fn kernel_points(rows: &[Value]) -> Vec<(KernelKey, &Value)> {
 
 const KERNEL_BACKENDS: [&str; 3] = ["scalar", "packed", "simd"];
 
+/// Extracts the per-point objects of the `estimator` ablation stage
+/// (`sei-bench-kernels/v3`): each carries `estimator_speedup`,
+/// `running_speedup` and the measured `col_skip_rate`.
+fn estimator_points(rows: &[Value]) -> Vec<(KernelKey, &Value)> {
+    let mut out: Vec<(KernelKey, &Value)> = Vec::new();
+    for row in rows {
+        let schema = row.get("schema").and_then(Value::as_str).unwrap_or("");
+        if !schema.starts_with("sei-bench-kernels/") {
+            continue;
+        }
+        let Some(Value::Arr(est)) = row.get("estimator") else {
+            continue;
+        };
+        for layer_row in est {
+            let layer = layer_row
+                .get("layer")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string();
+            let Some(Value::Arr(points)) = layer_row.get("points") else {
+                continue;
+            };
+            for point in points {
+                let sparsity = get_f64(point, "sparsity");
+                out.push((
+                    KernelKey {
+                        layer: layer.clone(),
+                        sparsity_millis: (sparsity * 1000.0).round() as u64,
+                    },
+                    point,
+                ));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
 fn summarize_kernels(rows: &[Value]) {
     let points = kernel_points(rows);
     if points.is_empty() {
@@ -435,6 +509,25 @@ fn summarize_kernels(rows: &[Value]) {
             get_f64(point, "noisy_over_ideal_packed"),
             get_f64(point, "noisy_over_ideal_simd"),
             get_f64(point, "read_speedup"),
+        );
+    }
+    println!();
+    let est = estimator_points(rows);
+    if est.is_empty() {
+        return;
+    }
+    println!("estimator ablation: prescan/running fire-path speedup vs off");
+    println!(
+        "{:<22} {:>12} {:>12} {:>10}",
+        "point", "prescan x", "running x", "col skip"
+    );
+    for (key, point) in &est {
+        println!(
+            "{:<22} {:>11.2}x {:>11.2}x {:>9.1}%",
+            key.label(),
+            get_f64(point, "estimator_speedup"),
+            get_f64(point, "running_speedup"),
+            get_f64(point, "col_skip_rate") * 100.0,
         );
     }
     println!();
@@ -474,6 +567,34 @@ fn diff_kernels(rows_a: &[Value], rows_b: &[Value]) {
             cols[1],
             cols[2],
             pct_delta(get_f64(pa, "read_speedup"), get_f64(pb, "read_speedup")),
+        );
+    }
+    println!();
+    let ea: BTreeMap<KernelKey, &Value> = estimator_points(rows_a).into_iter().collect();
+    let eb: BTreeMap<KernelKey, &Value> = estimator_points(rows_b).into_iter().collect();
+    let shared: Vec<&KernelKey> = ea.keys().filter(|k| eb.contains_key(k)).collect();
+    if shared.is_empty() {
+        return;
+    }
+    println!("estimator ablation diff (candidate vs baseline)");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "point", "prescan x", "running x", "col skip"
+    );
+    for key in shared {
+        let (pa, pb) = (ea[key], eb[key]);
+        println!(
+            "{:<22} {:>12} {:>12} {:>12}",
+            key.label(),
+            pct_delta(
+                get_f64(pa, "estimator_speedup"),
+                get_f64(pb, "estimator_speedup"),
+            ),
+            pct_delta(
+                get_f64(pa, "running_speedup"),
+                get_f64(pb, "running_speedup"),
+            ),
+            pct_delta(get_f64(pa, "col_skip_rate"), get_f64(pb, "col_skip_rate")),
         );
     }
     println!();
@@ -541,17 +662,22 @@ fn diff_attribution(rows_a: &[Value], rows_b: &[Value]) {
         return;
     }
     println!("attribution diff (candidate vs baseline)");
-    println!("{:<20} {:>12} {:>12}", "scope", "reads", "energy");
+    println!(
+        "{:<20} {:>12} {:>12} {:>12} {:>12}",
+        "scope", "reads", "energy", "est-skipped", "saved"
+    );
     let labels: std::collections::BTreeSet<&String> = a.keys().chain(b.keys()).collect();
-    let zero = (0u64, 0u64, 0.0f64);
+    let zero = ScopeTotals::default();
     for label in labels {
         let ta = a.get(label).unwrap_or(&zero);
         let tb = b.get(label).unwrap_or(&zero);
         println!(
-            "{:<20} {:>12} {:>12}",
+            "{:<20} {:>12} {:>12} {:>12} {:>12}",
             label,
-            pct_delta(ta.0 as f64, tb.0 as f64),
-            pct_delta(ta.2, tb.2),
+            pct_delta(ta.reads as f64, tb.reads as f64),
+            pct_delta(ta.energy_pj, tb.energy_pj),
+            pct_delta(ta.reads_skipped as f64, tb.reads_skipped as f64),
+            pct_delta(ta.energy_saved_pj, tb.energy_saved_pj),
         );
     }
     println!();

@@ -76,6 +76,19 @@ fn main() {
             row.set("energy_saving_pct", Value::Float(r.energy_saving_pct));
             row.set("area_saving_pct", Value::Float(r.area_saving_pct));
             row.set("gops_per_j", Value::Float(r.gops_per_j));
+            // The estimated-skip energy row (SEI + device eval only):
+            // the measured `SEI_ESTIMATOR` skip rate priced into the
+            // RRAM read-energy class.
+            for (key, v) in [
+                ("est_col_skip_frac", r.est_col_skip_frac),
+                ("est_energy_uj", r.est_energy_uj),
+                ("est_energy_saving_pct", r.est_energy_saving_pct),
+            ] {
+                match v {
+                    Some(v) => row.set(key, Value::Float(v)),
+                    None => row.set(key, Value::Null),
+                };
+            }
             report_rows.push(row);
             println!(
                 "{:<11} {:>4} {:<16} {:>7} {:>8.2}% {:>11} {:>8.2} {:>8.2} {:>10.2}",
@@ -91,6 +104,24 @@ fn main() {
                 r.energy_saving_pct,
                 r.area_saving_pct,
             );
+            if let (Some(frac), Some(uj), Some(pct)) = (
+                r.est_col_skip_frac,
+                r.est_energy_uj,
+                r.est_energy_saving_pct,
+            ) {
+                println!(
+                    "{:<11} {:>4} {:<16} {:>7} {:>9} {:>11} {:>8.2} {:>8.2} {:>10}",
+                    "",
+                    "",
+                    "  + estimator",
+                    "",
+                    format!("{:.0}% skip", frac * 100.0),
+                    "(=)",
+                    uj,
+                    pct,
+                    "-",
+                );
+            }
             if r.structure == sei_mapping::Structure::Sei {
                 sei_gops.push((format!("{} @{}", r.network.name(), max), r.gops_per_j));
             }

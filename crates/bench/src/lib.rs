@@ -43,6 +43,12 @@ pub fn bench_init() -> ExperimentScale {
     if let Err(e) = sei_telemetry::init_from_env() {
         exit_env_error(&e);
     }
+    // Resolve the lazy backend knobs eagerly: a malformed SEI_KERNELS
+    // or SEI_ESTIMATOR must abort at startup with the standard message,
+    // not minutes in at the first crossbar read — or never, in a bin
+    // that performs no reads at all.
+    let _ = sei_crossbar::kernel_mode();
+    let _ = sei_crossbar::estimator_mode();
     match ExperimentScale::from_env() {
         Ok(scale) => scale,
         Err(e) => exit_env_error(&e),

@@ -221,6 +221,28 @@ impl Accelerator {
         )
     }
 
+    /// Like [`Accelerator::crossbar_network`] but with the activation
+    /// estimator pinned to `mode` (DESIGN.md §14) — the entry point for
+    /// estimator skip-rate measurements. Fires, and therefore accuracy,
+    /// are bit-identical to [`Accelerator::crossbar_network`]; only the
+    /// skip telemetry and wall clock differ.
+    pub fn crossbar_network_with_estimator(
+        &self,
+        mode: sei_crossbar::EstimatorMode,
+    ) -> CrossbarNetwork {
+        let cfg = CrossbarEvalConfig {
+            seed: self.seed,
+            ..self.eval
+        }
+        .with_estimator(mode);
+        CrossbarNetwork::new(
+            &self.quantized.net,
+            &self.split.net.specs(),
+            self.split.output_theta,
+            &cfg,
+        )
+    }
+
     /// Like [`Accelerator::crossbar_network`] but with stuck-at fault
     /// injection per `plan` — the entry point of fault campaigns.
     pub fn crossbar_network_with_faults(&self, plan: &crate::FaultPlan) -> CrossbarNetwork {

@@ -25,6 +25,7 @@ use rand::SeedableRng;
 use sei_crossbar::dac::Dac;
 use sei_crossbar::kernels::{KernelConfig, KernelMode, NoiseCtx, ReadScratch};
 use sei_crossbar::sei::{FaultInjection, FaultStats, SeiConfig, SeiCrossbar};
+use sei_crossbar::{EstimatorConfig, EstimatorMode};
 use sei_device::{DeviceSpec, NoiseKey, ProgrammedCell, WriteVerify};
 use sei_engine::{Engine, SeiError, DEFAULT_CHUNK};
 use sei_faults::{mix, EnduranceModel, FaultMap, FaultModel};
@@ -56,6 +57,13 @@ pub struct CrossbarEvalConfig {
     /// [`with_kernel_backend`](Self::with_kernel_backend).
     #[serde(default)]
     pub kernels: KernelConfig,
+    /// Activation-estimator selection for the SEI read path (DESIGN.md
+    /// §14). Defaults to deferring to the process-wide `SEI_ESTIMATOR`
+    /// default; pin one with [`with_estimator`](Self::with_estimator).
+    /// Fires are bit-identical in every mode, so this only changes which
+    /// sub-matrix reads are skipped (and the telemetry that counts them).
+    #[serde(default)]
+    pub estimator: EstimatorConfig,
 }
 
 impl Default for CrossbarEvalConfig {
@@ -66,6 +74,7 @@ impl Default for CrossbarEvalConfig {
             output_head: OutputHead::Adc,
             seed: 0,
             kernels: KernelConfig::new(),
+            estimator: EstimatorConfig::new(),
         }
     }
 }
@@ -109,6 +118,15 @@ impl CrossbarEvalConfig {
     /// this selects the implementation, not the semantics.
     pub fn with_kernel_backend(mut self, mode: KernelMode) -> Self {
         self.kernels = self.kernels.with_backend(mode);
+        self
+    }
+
+    /// Pins the activation-estimator mode for this evaluation, overriding
+    /// the process-wide `SEI_ESTIMATOR` default. Fires (and therefore
+    /// accuracy) are bit-identical in every mode; this selects how much
+    /// read work the bound may prove skippable.
+    pub fn with_estimator(mut self, mode: EstimatorMode) -> Self {
+        self.estimator = self.estimator.with_mode(mode);
         self
     }
 
@@ -157,6 +175,9 @@ impl CrossbarEvalConfig {
                 "sei.ref_row_value",
                 format!("must be finite, got {}", self.sei.ref_row_value),
             );
+        }
+        if let Err(reason) = self.estimator.validate() {
+            return bad("estimator", reason);
         }
         Ok(())
     }
@@ -295,6 +316,8 @@ pub struct CrossbarNetwork {
     layer_names: Vec<String>,
     /// Resolved kernel backend for every SEI read.
     mode: KernelMode,
+    /// Resolved activation-estimator mode for every SEI read.
+    est: EstimatorMode,
     /// Total programming pulses spent building all arrays.
     write_pulses: u64,
     /// Aggregated fault bookkeeping over every SEI part (all zero when
@@ -610,6 +633,7 @@ impl CrossbarNetwork {
             layers,
             layer_names,
             mode: cfg.kernels.resolve(),
+            est: cfg.estimator.resolve(),
             write_pulses,
             fault_stats,
         }
@@ -750,6 +774,8 @@ impl CrossbarNetwork {
                     tiles,
                     image_index,
                     &bits,
+                    self.mode,
+                    self.est,
                     scratch,
                 )),
                 (
@@ -770,6 +796,7 @@ impl CrossbarNetwork {
                         image_index,
                         bits.as_slice(),
                         self.mode,
+                        self.est,
                         scratch,
                     );
                     let out: Vec<bool> = scratch.counts.iter().map(|&c| c >= *required).collect();
@@ -796,6 +823,7 @@ impl CrossbarNetwork {
                             image_index,
                             bits.as_slice(),
                             self.mode,
+                            self.est,
                             scratch,
                         );
                         V::A(Tensor3::from_flat(
@@ -1063,6 +1091,8 @@ fn hidden_conv_forward(
     tiles: &[NoiseKey],
     image_index: u64,
     bits: &BitTensor,
+    mode: KernelMode,
+    est: EstimatorMode,
     scratch: &mut EvalScratch,
 ) -> BitTensor {
     let k = geom.kernel;
@@ -1112,7 +1142,7 @@ fn hidden_conv_forward(
         let part_ctx = NoiseCtx::keyed(tiles[p]).image(image_index);
         ctxs.clear();
         ctxs.extend((0..positions).map(|pos| part_ctx.read(pos as u64)));
-        xbar.forward_batch_into(batch_input, ctxs, read, batch_fires);
+        xbar.forward_batch_into_opts(batch_input, ctxs, read, batch_fires, mode, est);
         for pos in 0..positions {
             let fired = &batch_fires[pos * m..(pos + 1) * m];
             let row = &mut counts[pos * m..(pos + 1) * m];
@@ -1143,6 +1173,7 @@ fn fc_part_counts(
     image_index: u64,
     bits: &[bool],
     mode: KernelMode,
+    est: EstimatorMode,
     scratch: &mut EvalScratch,
 ) {
     let m = parts[0].kernel_columns();
@@ -1160,7 +1191,7 @@ fn fc_part_counts(
         input.clear();
         input.extend(spec.partitions[p].iter().map(|&row| bits[row]));
         let ctx = NoiseCtx::keyed(tiles[p]).image(image_index);
-        xbar.forward_into_with(input, ctx, read, fires, mode);
+        xbar.forward_into_opts(input, ctx, read, fires, mode, est);
         for (c, &fire) in fires.iter().enumerate() {
             if fire {
                 counts[c] += 1;
@@ -1283,6 +1314,37 @@ mod tests {
         let e7 = xnet.error_rate(&subset, Engine::new(7));
         assert_eq!(e1.to_bits(), e2.to_bits());
         assert_eq!(e1.to_bits(), e7.to_bits());
+    }
+
+    /// The estimator acceptance bar at network level: with it on (either
+    /// mode), every forward pass produces bit-identical class scores to
+    /// the estimator-off evaluation — the skipped sub-matrix reads are
+    /// provably non-firing, so post-ReLU activations cannot differ.
+    #[test]
+    fn estimator_preserves_forward_scores_bit_for_bit() {
+        let (qnet, specs, theta, _, test) = quantized_net2();
+        let subset = test.truncated(30);
+        let off = CrossbarNetwork::new(&qnet, &specs, theta, &CrossbarEvalConfig::default());
+        for est in [EstimatorMode::Prescan, EstimatorMode::Running] {
+            let on = CrossbarNetwork::new(
+                &qnet,
+                &specs,
+                theta,
+                &CrossbarEvalConfig::default().with_estimator(est),
+            );
+            let mut s_off = EvalScratch::new();
+            let mut s_on = EvalScratch::new();
+            for (i, (img, _)) in subset.iter().enumerate() {
+                let want = off.forward_scratch(img, i as u64, &mut s_off);
+                let got = on.forward_scratch(img, i as u64, &mut s_on);
+                let same = want
+                    .as_slice()
+                    .iter()
+                    .zip(got.as_slice())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "{est:?} image {i}: {want:?} vs {got:?}");
+            }
+        }
     }
 
     #[test]

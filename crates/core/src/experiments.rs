@@ -9,6 +9,7 @@ use crate::accelerator::AcceleratorBuilder;
 use crate::crossbar_eval::{CrossbarEvalConfig, FaultPlan};
 use crate::scale::ExperimentScale;
 use sei_cost::{gops_per_joule, CostParams, CostReport};
+use sei_crossbar::EstimatorMode;
 use sei_engine::{chunk_seed, Engine, SeiError};
 use sei_mapping::calibrate::{
     build_split_network, split_error_rate, PartitionStrategy, SplitBuildConfig,
@@ -22,6 +23,7 @@ use sei_nn::train::{TrainConfig, Trainer};
 use sei_nn::Network;
 use sei_quantize::algorithm1::{quantize_network, QuantizationResult, QuantizeConfig};
 use sei_quantize::distribution::ActivationDistribution;
+use sei_telemetry::counters::{self, Event};
 use sei_telemetry::{sei_debug, sei_info, span};
 use serde::{Deserialize, Serialize};
 
@@ -406,6 +408,22 @@ pub struct Table5Row {
     pub area_saving_pct: f64,
     /// GOPs/J at the paper's Table 2 complexity.
     pub gops_per_j: f64,
+    /// Fraction of SEI kernel columns the activation estimator proved
+    /// skippable during the device eval (SEI rows with device eval only).
+    pub est_col_skip_frac: Option<f64>,
+    /// Energy per picture (µJ) with the measured estimator read saving
+    /// priced into the RRAM class — the estimated-skip energy row.
+    pub est_energy_uj: Option<f64>,
+    /// Energy saving vs. the DAC+ADC row with the estimator on (%).
+    pub est_energy_saving_pct: Option<f64>,
+}
+
+/// Skip rates measured during one estimator-on device evaluation:
+/// the fraction of kernel columns proven skippable, and the fraction of
+/// crossbar read energy those skips saved.
+struct EstMeasure {
+    col_skip_frac: f64,
+    read_saving_frac: f64,
 }
 
 /// Which (network, max crossbar) blocks Table 5 evaluates: all three
@@ -459,7 +477,7 @@ pub fn table5_block(
             acc.error_rate_split(&ctx.test),
         )
     };
-    let (device_err, baseline_device_err) = if device_eval_n > 0 {
+    let (device_err, baseline_device_err, est_measure) = if device_eval_n > 0 {
         let _span = span!("device_noise_eval");
         sei_debug!(
             "{}: device-level eval on {device_eval_n} samples",
@@ -472,12 +490,40 @@ pub fn table5_block(
             &calib.truncated(32),
             &crate::baseline_eval::BaselineEvalConfig::default(),
         );
+        let device_err = xnet.error_rate(&subset, engine);
+        // Estimator pass: bit-identical accuracy by construction
+        // (DESIGN.md §14); run it under counter deltas to measure the
+        // skip rate that prices the estimated-skip energy row.
+        let est_measure = {
+            let _span = span!("estimator_skip_eval");
+            let est_net = acc.crossbar_network_with_estimator(EstimatorMode::Prescan);
+            let was_enabled = counters::enabled();
+            counters::set_enabled(true);
+            let before = counters::snapshot();
+            let est_err = est_net.error_rate(&subset, engine);
+            let delta = counters::snapshot().delta_since(&before);
+            counters::set_enabled(was_enabled);
+            assert_eq!(
+                est_err.to_bits(),
+                device_err.to_bits(),
+                "estimator must not change device-level accuracy"
+            );
+            let skipped = delta.get(Event::ColumnsSkipped);
+            let sensed = delta.get(Event::SenseAmpFires);
+            let saved_j = delta.energy_saved_j();
+            let spent_j = delta.energy_pj() * 1e-12;
+            EstMeasure {
+                col_skip_frac: skipped as f64 / (skipped + sensed).max(1) as f64,
+                read_saving_frac: saved_j / (saved_j + spent_j).max(f64::MIN_POSITIVE),
+            }
+        };
         (
-            Some(xnet.error_rate(&subset, engine)),
+            Some(device_err),
             Some(baseline.error_rate(&subset, engine)),
+            Some(est_measure),
         )
     } else {
-        (None, None)
+        (None, None, None)
     };
 
     let gops = which.paper_gops() * 1e9;
@@ -490,6 +536,20 @@ pub fn table5_block(
                 Structure::DacAdc => float_err,
                 Structure::OneBitInputAdc => q_err,
                 Structure::Sei => sei_err,
+            };
+            // The estimated-skip energy row: only the SEI structure has
+            // an estimator-gated read path, and only a device eval
+            // produces a measured skip rate to price.
+            let est = match (s, &est_measure) {
+                (Structure::Sei, Some(m)) => {
+                    let adj = r.with_rram_read_saving(m.read_saving_frac);
+                    Some((
+                        m.col_skip_frac,
+                        adj.total_energy_j() * 1e6,
+                        adj.energy_saving_vs(&base) * 100.0,
+                    ))
+                }
+                _ => None,
             };
             Table5Row {
                 network: which,
@@ -506,6 +566,9 @@ pub fn table5_block(
                 energy_saving_pct: r.energy_saving_vs(&base) * 100.0,
                 area_saving_pct: r.area_saving_vs(&base) * 100.0,
                 gops_per_j: gops_per_joule(gops, r.total_energy_j()),
+                est_col_skip_frac: est.map(|(f, _, _)| f),
+                est_energy_uj: est.map(|(_, e, _)| e),
+                est_energy_saving_pct: est.map(|(_, _, p)| p),
             }
         })
         .collect())

@@ -156,6 +156,25 @@ impl CostReport {
         (by[0] + by[1]) / self.total_area_um2().max(f64::MIN_POSITIVE)
     }
 
+    /// A copy of this report with `frac` of the RRAM read energy removed —
+    /// pricing a *measured* activation-estimator skip rate (`SEI_ESTIMATOR`,
+    /// DESIGN.md §14) into the static plan. The RRAM energy class is
+    /// exactly the per-picture cell read energy, so scaling it by
+    /// `1 − frac` applies the network-measured saved-read fraction;
+    /// the rate is applied uniformly across layers (the plan carries no
+    /// per-layer skip rates — an approximation documented in
+    /// EXPERIMENTS.md). Area is untouched: skipping reads saves energy,
+    /// not silicon.
+    #[must_use]
+    pub fn with_rram_read_saving(&self, frac: f64) -> CostReport {
+        let keep = 1.0 - frac.clamp(0.0, 1.0);
+        let mut out = self.clone();
+        for l in &mut out.layers {
+            l.energy[2] *= keep;
+        }
+        out
+    }
+
     /// Saving of this report relative to a baseline, as a fraction in
     /// `[0, 1]` (negative if this design costs more).
     pub fn energy_saving_vs(&self, baseline: &CostReport) -> f64 {
@@ -299,6 +318,25 @@ mod tests {
         assert!(
             (0.8e-6..8e-6).contains(&e),
             "SEI energy {e} J should be microjoule-scale"
+        );
+    }
+
+    #[test]
+    fn rram_read_saving_scales_only_the_rram_class() {
+        let r = report(Structure::Sei, 512);
+        let adj = r.with_rram_read_saving(0.4);
+        let before = r.energy_by_class();
+        let after = adj.energy_by_class();
+        assert!((after[2] - before[2] * 0.6).abs() < 1e-18 + before[2] * 1e-12);
+        for c in [0usize, 1, 3] {
+            assert_eq!(after[c], before[c], "class {c} untouched");
+        }
+        assert_eq!(adj.total_area_um2(), r.total_area_um2());
+        // Out-of-range fractions clamp instead of going negative.
+        assert_eq!(r.with_rram_read_saving(2.0).energy_by_class()[2], 0.0);
+        assert_eq!(
+            r.with_rram_read_saving(-1.0).energy_by_class()[2],
+            before[2]
         );
     }
 

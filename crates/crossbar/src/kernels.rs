@@ -314,6 +314,43 @@ pub struct ReadView<'a> {
     pub(crate) packed: &'a PackedRows,
 }
 
+/// Estimator context of one gated read (see `sei-estimate` and DESIGN.md
+/// §14): which columns the prescan already proved non-firing, and — in
+/// running mode — the per-column remaining bound the accumulation loop
+/// may exhaust early.
+///
+/// `mask` is a bitset over the physical columns (`width.div_ceil(64)`
+/// words, bit `k` = column `k` is skipped). A backend may leave a masked
+/// column's `sums`/`vars` unaccumulated — the caller never reads them —
+/// but must fully accumulate every unmasked column unless it records the
+/// abort by setting the column's bit in `scratch.est_forced`. `margins`
+/// is empty in prescan mode; in running mode it holds each column's
+/// prescan margin (`f64::INFINITY` on the reference lane, which must
+/// never be masked or aborted) and `neg` the `sei-estimate` decrement
+/// table (`logical_inputs × width`).
+pub struct EstimatorPass<'a> {
+    /// Prescan skip bitset over physical columns.
+    pub mask: &'a [u64],
+    /// Running-mode remaining margins per column (empty = prescan only).
+    pub margins: &'a [f64],
+    /// Running-mode per-input bound decrements, `logical_inputs × width`.
+    pub neg: &'a [f64],
+}
+
+impl EstimatorPass<'_> {
+    /// Whether the running-bound abort path is active.
+    #[inline]
+    pub fn running(&self) -> bool {
+        !self.margins.is_empty()
+    }
+}
+
+/// Whether column `k`'s bit is set in a column bitset.
+#[inline]
+fn mask_bit(mask: &[u64], k: usize) -> bool {
+    mask[k / 64] & (1u64 << (k % 64)) != 0
+}
+
 /// One interchangeable implementation of the SEI read path's accumulate
 /// step. Every backend must produce bit-identical `scratch.sums` (and
 /// `scratch.vars` when `want_vars`) — the per-column f64 add order is
@@ -336,6 +373,25 @@ pub trait KernelBackend: Sync {
         scratch: &mut ReadScratch,
         want_vars: bool,
     ) -> u64;
+
+    /// [`accumulate`](Self::accumulate) under an estimator pass: columns
+    /// masked in `est.mask` (and columns the backend aborts under the
+    /// running bound, which it must record in `scratch.est_forced`) may
+    /// be left unaccumulated; every other column must carry the full
+    /// canonical bit-exact sums. The default implementation simply
+    /// accumulates everything — sound for any backend, since extra
+    /// accumulation into skipped columns is never observed.
+    fn accumulate_masked(
+        &self,
+        view: ReadView<'_>,
+        input: &[bool],
+        scratch: &mut ReadScratch,
+        want_vars: bool,
+        est: &EstimatorPass<'_>,
+    ) -> u64 {
+        let _ = est;
+        self.accumulate(view, input, scratch, want_vars)
+    }
 }
 
 /// The original per-row scan, kept cost-faithful as the microbenchmark
@@ -481,6 +537,48 @@ impl KernelBackend for SimdBackend {
         }
         ones
     }
+
+    /// The only backend that turns the estimator mask into skipped work:
+    /// a column block whose every lane is masked is not swept at all, and
+    /// in running mode a block aborts its sweep once every live lane's
+    /// remaining bound is exhausted (recording the abort in
+    /// `scratch.est_forced`). Wide arrays fall back to the full row-major
+    /// pass — sound, because over-accumulating masked columns is never
+    /// observed.
+    fn accumulate_masked(
+        &self,
+        view: ReadView<'_>,
+        input: &[bool],
+        scratch: &mut ReadScratch,
+        want_vars: bool,
+        est: &EstimatorPass<'_>,
+    ) -> u64 {
+        let p = view.packed;
+        scratch.reset_columns(p.width);
+        let ones = scratch.pack_input(input);
+        if p.width > SIMD_MAX_BLOCK_WIDTH {
+            if want_vars {
+                p.accumulate(scratch);
+            } else {
+                p.accumulate_sums_only(scratch);
+            }
+            return ones;
+        }
+        scratch.decode_active();
+        let ReadScratch {
+            sums,
+            vars,
+            active,
+            est_forced,
+            ..
+        } = scratch;
+        if want_vars {
+            accumulate_blocked_masked::<true>(p, active, sums, vars, est, est_forced);
+        } else {
+            accumulate_blocked_masked::<false>(p, active, sums, vars, est, est_forced);
+        }
+        ones
+    }
 }
 
 /// The column-blocked accumulate: for each block of [`SIMD_LANES`]
@@ -570,6 +668,159 @@ fn accumulate_blocked<const VARS: bool>(
     }
 }
 
+/// [`accumulate_blocked`] under an estimator pass: a column block whose
+/// every lane is masked is skipped outright, and in running mode each
+/// lane carries its remaining bound — after processing active input `j`
+/// lane `l`'s bound drops by `est.neg[j·w + k + l]`, and once every live
+/// (unmasked, non-reference) lane in the block is exhausted the sweep
+/// aborts, recording the abort in `forced`. A forced column's
+/// `sums`/`vars` are left partial and must not be read; every other
+/// column's values are bit-identical to [`accumulate_blocked`] — same
+/// adds, same order, only whole-block work is elided. The reference
+/// lane's margin is `f64::INFINITY`, so a block containing it can never
+/// abort.
+fn accumulate_blocked_masked<const VARS: bool>(
+    p: &PackedRows,
+    active: &[u32],
+    sums: &mut [f64],
+    vars: &mut [f64],
+    est: &EstimatorPass<'_>,
+    forced: &mut [u64],
+) {
+    let w = p.width;
+    let span = p.rows_per_input * w;
+    let running = est.running();
+    let mut k = 0usize;
+    while k + SIMD_LANES <= w {
+        let mut live = 0u8;
+        for l in 0..SIMD_LANES {
+            if !mask_bit(est.mask, k + l) {
+                live |= 1 << l;
+            }
+        }
+        if live == 0 {
+            // Whole block proven non-firing by the prescan: not swept.
+            k += SIMD_LANES;
+            continue;
+        }
+        let mut s = [0.0f64; SIMD_LANES];
+        let mut v = [0.0f64; SIMD_LANES];
+        let mut r = [f64::INFINITY; SIMD_LANES];
+        if running {
+            r.copy_from_slice(&est.margins[k..k + SIMD_LANES]);
+        }
+        let mut aborted = false;
+        for &j in active {
+            let j = j as usize;
+            let block = &p.gated[j * span..(j + 1) * span];
+            for row in block.chunks_exact(w) {
+                let cells: &[f64; SIMD_LANES] =
+                    row[k..k + SIMD_LANES].try_into().expect("lane slice");
+                for l in 0..SIMD_LANES {
+                    s[l] += cells[l];
+                }
+            }
+            if VARS {
+                let part: &[f64; SIMD_LANES] = p.gated_vars[j * w + k..j * w + k + SIMD_LANES]
+                    .try_into()
+                    .expect("lane slice");
+                for l in 0..SIMD_LANES {
+                    v[l] += part[l];
+                }
+            }
+            if running {
+                let dec: &[f64; SIMD_LANES] = est.neg[j * w + k..j * w + k + SIMD_LANES]
+                    .try_into()
+                    .expect("lane slice");
+                let mut exhausted = true;
+                for l in 0..SIMD_LANES {
+                    r[l] -= dec[l];
+                    if live & (1 << l) != 0 && r[l] > 0.0 {
+                        exhausted = false;
+                    }
+                }
+                if exhausted {
+                    for l in 0..SIMD_LANES {
+                        if live & (1 << l) != 0 {
+                            forced[(k + l) / 64] |= 1u64 << ((k + l) % 64);
+                        }
+                    }
+                    aborted = true;
+                    break;
+                }
+            }
+        }
+        if !aborted {
+            for row in p.baseline.chunks_exact(w) {
+                let cells: &[f64; SIMD_LANES] =
+                    row[k..k + SIMD_LANES].try_into().expect("lane slice");
+                for l in 0..SIMD_LANES {
+                    s[l] += cells[l];
+                }
+            }
+            if VARS {
+                let part: &[f64; SIMD_LANES] = p.baseline_vars[k..k + SIMD_LANES]
+                    .try_into()
+                    .expect("lane slice");
+                for l in 0..SIMD_LANES {
+                    v[l] += part[l];
+                }
+            }
+            sums[k..k + SIMD_LANES].copy_from_slice(&s);
+            if VARS {
+                vars[k..k + SIMD_LANES].copy_from_slice(&v);
+            }
+        }
+        k += SIMD_LANES;
+    }
+    // Remainder columns, individually skipped or aborted.
+    while k < w {
+        if mask_bit(est.mask, k) {
+            k += 1;
+            continue;
+        }
+        let mut s = 0.0f64;
+        let mut v = 0.0f64;
+        let mut r = if running {
+            est.margins[k]
+        } else {
+            f64::INFINITY
+        };
+        let mut aborted = false;
+        for &j in active {
+            let j = j as usize;
+            let block = &p.gated[j * span..(j + 1) * span];
+            for row in block.chunks_exact(w) {
+                s += row[k];
+            }
+            if VARS {
+                v += p.gated_vars[j * w + k];
+            }
+            if running {
+                r -= est.neg[j * w + k];
+                if r <= 0.0 {
+                    forced[k / 64] |= 1u64 << (k % 64);
+                    aborted = true;
+                    break;
+                }
+            }
+        }
+        if !aborted {
+            for row in p.baseline.chunks_exact(w) {
+                s += row[k];
+            }
+            if VARS {
+                v += p.baseline_vars[k];
+            }
+            sums[k] = s;
+            if VARS {
+                vars[k] = v;
+            }
+        }
+        k += 1;
+    }
+}
+
 /// Applies counter-keyed Gaussian read noise to the column sums: column
 /// `k` with positive accumulated variance receives
 /// `sigma · sqrt(vars[k]) · key.gaussian(k)`. The draw is the
@@ -590,6 +841,29 @@ pub(crate) fn apply_column_noise(key: NoiseKey, sigma: f64, sums: &mut [f64], va
     draws
 }
 
+/// [`apply_column_noise`] for estimated reads: a column whose bit is set
+/// in `forced` was skipped or aborted — its sums/vars are partial and its
+/// decision is already forced `false` — so it consumes no draw. Because
+/// each draw is a pure function of `(key, k)`, eliding a column's draw
+/// cannot perturb any surviving column's noise (DESIGN.md §11/§14).
+pub(crate) fn apply_column_noise_masked(
+    key: NoiseKey,
+    sigma: f64,
+    sums: &mut [f64],
+    vars: &[f64],
+    forced: &[u64],
+) -> u64 {
+    debug_assert_eq!(sums.len(), vars.len());
+    let mut draws = 0u64;
+    for (k, (s, &v)) in sums.iter_mut().zip(vars).enumerate() {
+        if v > 0.0 && !mask_bit(forced, k) {
+            *s += sigma * v.sqrt() * key.gaussian(k as u64);
+            draws += 1;
+        }
+    }
+    draws
+}
+
 /// Per-scope batch of read-path events, mirrored into the attribution
 /// registry on flush.
 #[derive(Debug, Default, Clone, Copy)]
@@ -599,6 +873,9 @@ struct ScopedAcc {
     sense_fires: u64,
     energy_fj: u64,
     noise_draws: u64,
+    columns_skipped: u64,
+    reads_skipped: u64,
+    energy_saved_fj: u64,
 }
 
 impl ScopedAcc {
@@ -608,6 +885,9 @@ impl ScopedAcc {
             && self.sense_fires == 0
             && self.energy_fj == 0
             && self.noise_draws == 0
+            && self.columns_skipped == 0
+            && self.reads_skipped == 0
+            && self.energy_saved_fj == 0
     }
 }
 
@@ -644,11 +924,25 @@ pub struct ReadScratch {
     pub(crate) batch_sums: Vec<f64>,
     /// Batched reads: per-image column variance sums, image-major.
     pub(crate) batch_vars: Vec<f64>,
+    /// Estimator prescan bounds per column (`sei-estimate`).
+    pub(crate) est_bounds: Vec<f64>,
+    /// Estimator prescan skip bitset over columns.
+    pub(crate) est_mask: Vec<u64>,
+    /// Columns whose decision is forced `false`: the prescan mask plus
+    /// any running-bound aborts a backend recorded during accumulation.
+    pub(crate) est_forced: Vec<u64>,
+    /// Running-mode per-column remaining margins handed to the backend.
+    pub(crate) est_margins: Vec<f64>,
+    /// Per-image staging buffer for estimated batched reads.
+    pub(crate) est_fires: Vec<bool>,
     read_ops: u64,
     gate_switches: u64,
     sense_fires: u64,
     energy_fj: u64,
     noise_draws: u64,
+    columns_skipped: u64,
+    reads_skipped: u64,
+    energy_saved_fj: u64,
     /// Index into `scoped` of the scope now receiving events, if any.
     scope_idx: Option<usize>,
     /// Per-scope accumulators (a handful of layers × tiles; linear scan).
@@ -721,6 +1015,27 @@ impl ReadScratch {
         }
     }
 
+    /// Records the estimator's savings on one read: `columns` skipped
+    /// kernel columns, the `reads` cell reads they would have performed,
+    /// and the read energy not spent (rounded to femtojoules per read,
+    /// matching [`note_read`](Self::note_read)'s accounting).
+    #[inline]
+    pub(crate) fn note_skips(&mut self, columns: u64, reads: u64, energy_saved_joules: f64) {
+        if columns == 0 {
+            return;
+        }
+        self.columns_skipped += columns;
+        self.reads_skipped += reads;
+        let fj = (energy_saved_joules * 1e15).round();
+        let fj = if fj > 0.0 { fj as u64 } else { 0 };
+        self.energy_saved_fj += fj;
+        if let Some(acc) = self.scoped_acc() {
+            acc.columns_skipped += columns;
+            acc.reads_skipped += reads;
+            acc.energy_saved_fj += fj;
+        }
+    }
+
     /// Flushes the batched events into the global telemetry counters (and
     /// any scoped batches into the attribution registry) and zeroes the
     /// local accumulators. Evaluators call this once per image; dropping
@@ -746,6 +1061,18 @@ impl ReadScratch {
             counters::add(Event::NoiseDraws, self.noise_draws);
             self.noise_draws = 0;
         }
+        if self.columns_skipped > 0 {
+            counters::add(Event::ColumnsSkipped, self.columns_skipped);
+            self.columns_skipped = 0;
+        }
+        if self.reads_skipped > 0 {
+            counters::add(Event::ReadsSkipped, self.reads_skipped);
+            self.reads_skipped = 0;
+        }
+        if self.energy_saved_fj > 0 {
+            counters::add(Event::EnergySavedFemtojoules, self.energy_saved_fj);
+            self.energy_saved_fj = 0;
+        }
         for (scope, acc) in &mut self.scoped {
             if acc.is_zero() {
                 continue;
@@ -758,6 +1085,9 @@ impl ReadScratch {
                     (Event::SenseAmpFires, acc.sense_fires),
                     (Event::EnergyFemtojoules, acc.energy_fj),
                     (Event::NoiseDraws, acc.noise_draws),
+                    (Event::ColumnsSkipped, acc.columns_skipped),
+                    (Event::ReadsSkipped, acc.reads_skipped),
+                    (Event::EnergySavedFemtojoules, acc.energy_saved_fj),
                 ],
             );
             *acc = ScopedAcc::default();
@@ -886,7 +1216,7 @@ impl PackedRows {
         baseline: Vec<f64>,
     ) -> Self {
         let span = rows_per_input * width;
-        let logical = if span == 0 { 0 } else { gated.len() / span };
+        let logical = gated.len().checked_div(span).unwrap_or(0);
         let mut gated_vars = vec![0.0f64; logical * width];
         for j in 0..logical {
             var_partial(
@@ -1225,6 +1555,214 @@ mod tests {
                     0.0
                 };
             assert_eq!(s.to_bits(), expect.to_bits(), "col {k}");
+        }
+    }
+
+    /// Prescan-style pass (no running margins): unmasked columns must be
+    /// bit-identical to the unmasked blocked accumulate; masked columns
+    /// keep their reset value and no forced bit is ever recorded.
+    #[test]
+    fn masked_blocked_accumulate_matches_full_on_unmasked_lanes() {
+        let p = toy_packed();
+        let input = [true, false, true];
+        let mut full = ReadScratch::new();
+        full.reset_columns(p.width);
+        full.pack_input(&input[..]);
+        full.decode_active();
+        {
+            let ReadScratch {
+                sums, vars, active, ..
+            } = &mut full;
+            accumulate_blocked::<true>(&p, active, sums, vars);
+        }
+
+        // One masked lane inside the full block, one in the remainder.
+        let masked = [1usize, SIMD_LANES + 1];
+        let mut mask = vec![0u64; p.width.div_ceil(64)];
+        for &k in &masked {
+            mask[k / 64] |= 1u64 << (k % 64);
+        }
+        let est = EstimatorPass {
+            mask: &mask,
+            margins: &[],
+            neg: &[],
+        };
+        let mut m = ReadScratch::new();
+        m.reset_columns(p.width);
+        m.pack_input(&input[..]);
+        m.decode_active();
+        let mut forced = vec![0u64; mask.len()];
+        {
+            let ReadScratch {
+                sums, vars, active, ..
+            } = &mut m;
+            accumulate_blocked_masked::<true>(&p, active, sums, vars, &est, &mut forced);
+        }
+        for k in 0..p.width {
+            if masked.contains(&k) {
+                continue;
+            }
+            assert_eq!(full.sums[k].to_bits(), m.sums[k].to_bits(), "sums col {k}");
+            assert_eq!(full.vars[k].to_bits(), m.vars[k].to_bits(), "vars col {k}");
+        }
+        // The remainder's masked column is skipped, so its reset value
+        // survives; a prescan pass never aborts.
+        assert_eq!(m.sums[SIMD_LANES + 1], 0.0);
+        assert!(forced.iter().all(|&wd| wd == 0), "prescan never forces");
+    }
+
+    /// A block whose every lane is masked is not swept at all: its sums
+    /// stay at the reset value while the remainder is still exact.
+    #[test]
+    fn fully_masked_block_is_skipped() {
+        let p = toy_packed();
+        let input = [true, true, false];
+        let mut mask = vec![0u64; p.width.div_ceil(64)];
+        for k in 0..SIMD_LANES {
+            mask[k / 64] |= 1u64 << (k % 64);
+        }
+        let est = EstimatorPass {
+            mask: &mask,
+            margins: &[],
+            neg: &[],
+        };
+        let mut full = ReadScratch::new();
+        full.reset_columns(p.width);
+        full.pack_input(&input[..]);
+        full.decode_active();
+        {
+            let ReadScratch {
+                sums, vars, active, ..
+            } = &mut full;
+            accumulate_blocked::<false>(&p, active, sums, vars);
+        }
+        let mut m = ReadScratch::new();
+        m.reset_columns(p.width);
+        m.pack_input(&input[..]);
+        m.decode_active();
+        let mut forced = vec![0u64; mask.len()];
+        {
+            let ReadScratch {
+                sums, vars, active, ..
+            } = &mut m;
+            accumulate_blocked_masked::<false>(&p, active, sums, vars, &est, &mut forced);
+        }
+        for k in 0..SIMD_LANES {
+            assert_eq!(m.sums[k], 0.0, "masked block col {k} must stay reset");
+        }
+        for k in SIMD_LANES..p.width {
+            assert_eq!(full.sums[k].to_bits(), m.sums[k].to_bits(), "col {k}");
+        }
+    }
+
+    /// Running mode: when every live lane's remaining bound is exhausted
+    /// the block aborts mid-sweep, forced bits are recorded for the live
+    /// lanes, and nothing is stored; columns with infinite margins are
+    /// still bit-exact.
+    #[test]
+    fn running_abort_records_forced_bits_and_spares_live_columns() {
+        let p = toy_packed();
+        let input = [true, true, true];
+        let w = p.width;
+        let mask = vec![0u64; w.div_ceil(64)];
+        // Tiny margins in the full block, infinite in the remainder; a
+        // large decrement from the first active input exhausts the block.
+        let mut margins = vec![f64::INFINITY; w];
+        for m in margins.iter_mut().take(SIMD_LANES) {
+            *m = 1e-6;
+        }
+        let mut neg = vec![0.0; 3 * w];
+        for j in 0..3 {
+            for k in 0..SIMD_LANES {
+                neg[j * w + k] = 1.0;
+            }
+        }
+        let est = EstimatorPass {
+            mask: &mask,
+            margins: &margins,
+            neg: &neg,
+        };
+        assert!(est.running());
+        let mut full = ReadScratch::new();
+        full.reset_columns(w);
+        full.pack_input(&input[..]);
+        full.decode_active();
+        {
+            let ReadScratch {
+                sums, vars, active, ..
+            } = &mut full;
+            accumulate_blocked::<false>(&p, active, sums, vars);
+        }
+        let mut m = ReadScratch::new();
+        m.reset_columns(w);
+        m.pack_input(&input[..]);
+        m.decode_active();
+        let mut forced = vec![0u64; mask.len()];
+        {
+            let ReadScratch {
+                sums, vars, active, ..
+            } = &mut m;
+            accumulate_blocked_masked::<false>(&p, active, sums, vars, &est, &mut forced);
+        }
+        for k in 0..SIMD_LANES {
+            assert!(mask_bit(&forced, k), "block col {k} must be forced");
+            assert_eq!(m.sums[k], 0.0, "aborted block col {k} stores nothing");
+        }
+        for k in SIMD_LANES..w {
+            assert!(!mask_bit(&forced, k), "remainder col {k} not forced");
+            assert_eq!(full.sums[k].to_bits(), m.sums[k].to_bits(), "col {k}");
+        }
+
+        // Remainder abort: tiny margin on a single remainder column.
+        let mut margins = vec![f64::INFINITY; w];
+        margins[SIMD_LANES] = 1e-6;
+        let mut neg = vec![0.0; 3 * w];
+        for j in 0..3 {
+            neg[j * w + SIMD_LANES] = 1.0;
+        }
+        let est = EstimatorPass {
+            mask: &mask,
+            margins: &margins,
+            neg: &neg,
+        };
+        let mut m = ReadScratch::new();
+        m.reset_columns(w);
+        m.pack_input(&input[..]);
+        m.decode_active();
+        let mut forced = vec![0u64; mask.len()];
+        {
+            let ReadScratch {
+                sums, vars, active, ..
+            } = &mut m;
+            accumulate_blocked_masked::<false>(&p, active, sums, vars, &est, &mut forced);
+        }
+        assert!(mask_bit(&forced, SIMD_LANES));
+        assert_eq!(m.sums[SIMD_LANES], 0.0);
+        for k in (0..w).filter(|&k| k != SIMD_LANES) {
+            assert!(!mask_bit(&forced, k));
+            assert_eq!(full.sums[k].to_bits(), m.sums[k].to_bits(), "col {k}");
+        }
+    }
+
+    /// The masked noise step draws for exactly the live positive-variance
+    /// columns — forced lanes receive no draw and keep their sums.
+    #[test]
+    fn apply_column_noise_masked_skips_forced_lanes() {
+        let key = NoiseKey::new(4).tile(1).image(2).read(3);
+        let vars = [1.0, 0.25, 4.0, 0.0, 0.09];
+        let mut want = [10.0, 20.0, 30.0, 40.0, 50.0];
+        apply_column_noise(key, 0.1, &mut want, &vars);
+
+        let forced = [0b00100u64]; // column 2 forced
+        let mut sums = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let draws = apply_column_noise_masked(key, 0.1, &mut sums, &vars, &forced);
+        assert_eq!(draws, 3); // col 3 zero variance, col 2 forced
+        for (k, (&s, &w)) in sums.iter().zip(&want).enumerate() {
+            if k == 2 {
+                assert_eq!(s.to_bits(), 30.0f64.to_bits(), "forced col untouched");
+            } else {
+                assert_eq!(s.to_bits(), w.to_bits(), "col {k}");
+            }
         }
     }
 

@@ -66,6 +66,17 @@
 //! Select a backend per evaluation with
 //! [`kernels::KernelConfig::with_backend`] or process-wide via the
 //! `SEI_KERNELS` environment variable (bins only).
+//!
+//! # Activation estimation (`SEI_ESTIMATOR`)
+//!
+//! The runtime output-activation estimator (`sei-estimate`, DESIGN.md
+//! §14) can gate whole column sub-matrix reads off when a precomputed
+//! bound proves a column's sense decision is already `false`. Fires stay
+//! bit-identical in every mode; only telemetry counters
+//! (`columns_skipped`, `reads_skipped`, `energy_saved_fj`) and wall
+//! clock change. Select per evaluation with
+//! [`sei_estimate::EstimatorConfig::with_mode`] or process-wide via
+//! `SEI_ESTIMATOR` (off|prescan|running).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -86,11 +97,12 @@ pub use dac::Dac;
 pub use decoder::{ComputeDecoder, DecoderKind};
 pub use ir_drop::IrDropModel;
 pub use kernels::{
-    kernel_mode, set_kernel_mode, KernelBackend, KernelConfig, KernelMode, NoiseCtx, PackedBackend,
-    ReadScratch, ReadView, ScalarBackend, SimdBackend,
+    kernel_mode, set_kernel_mode, EstimatorPass, KernelBackend, KernelConfig, KernelMode, NoiseCtx,
+    PackedBackend, ReadScratch, ReadView, ScalarBackend, SimdBackend,
 };
 pub use merged::{MergedConfig, MergedCrossbar};
 pub use sei::{FaultInjection, FaultStats, SeiConfig, SeiCrossbar, SeiMode};
+pub use sei_estimate::{estimator_mode, set_estimator_mode, EstimatorConfig, EstimatorMode};
 pub use senseamp::SenseAmp;
 
 /// Maximum crossbar dimension achievable by state-of-the-art fabrication,

@@ -40,12 +40,14 @@
 //! The comparison `I_k > I_ref` is therefore unchanged.
 
 use crate::kernels::{
-    self, kernel_mode, Gate, KernelMode, NoiseCtx, PackedRows, PhysRow, ReadScratch, ReadView,
+    self, kernel_mode, EstimatorPass, Gate, KernelMode, NoiseCtx, PackedRows, PhysRow, ReadScratch,
+    ReadView,
 };
 use crate::senseamp::SenseAmp;
 use crate::MAX_FABRICABLE_SIZE;
 use rand::rngs::StdRng;
-use sei_device::{DeviceEnergy, DeviceSpec, ProgrammedCell, WriteVerify};
+use sei_device::{DeviceEnergy, DeviceSpec, ProgrammedCell, WriteVerify, GAUSSIAN_MAX_ABS};
+use sei_estimate::{estimator_mode, BoundTable, EstimatorMode};
 use sei_faults::{mix, unit01, EnduranceModel, FaultKind, FaultMap};
 use sei_nn::Matrix;
 use sei_telemetry::counters::{self, Event};
@@ -221,6 +223,16 @@ pub struct SeiCrossbar {
     cell_read_energy: f64,
     /// Fault bookkeeping (all zero when built without injection).
     faults: FaultStats,
+    /// Precomputed activation-estimator tables (`sei-estimate`): per-input
+    /// positive-mass rows, running-bound decrements and the noise
+    /// variance bracket, built once from the packed rows.
+    bounds: BoundTable,
+    /// Per-column worst-case noise terms for the estimator prescan:
+    /// `read_sigma · GAUSSIAN_MAX_ABS · sd_hi(k)` plus the sense amp's
+    /// `noise_sigma · GAUSSIAN_MAX_ABS`. A column whose noise-free margin
+    /// clears this bound on either side needs no draw to classify —
+    /// only borderline columns evaluate their exact deterministic draws.
+    est_noise_ub: Vec<f64>,
 }
 
 /// Greedy digit assignment over a weight's cells (physical-row order) so
@@ -617,7 +629,7 @@ impl SeiCrossbar {
             rng,
         );
 
-        let sas = (0..m)
+        let sas: Vec<SenseAmp> = (0..m)
             .map(|_| SenseAmp::with_mismatch(cfg.sa_offset_sigma, cfg.sa_noise_sigma, rng))
             .collect();
 
@@ -627,6 +639,21 @@ impl SeiCrossbar {
         );
 
         let packed = pack_rows(&rows, n, rows_per_input, m + 1);
+        let bounds = BoundTable::from_packed(
+            m + 1,
+            rows_per_input,
+            n,
+            &packed.gated,
+            &packed.baseline,
+            &packed.gated_vars,
+            &packed.baseline_vars,
+        );
+        let est_noise_ub = (0..m)
+            .map(|k| {
+                spec.read_sigma * GAUSSIAN_MAX_ABS * bounds.sd_hi(k)
+                    + sas[k].noise_sigma() * GAUSSIAN_MAX_ABS
+            })
+            .collect();
 
         SeiCrossbar {
             cfg: *cfg,
@@ -641,6 +668,8 @@ impl SeiCrossbar {
             cell_read_energy: DeviceEnergy::from_spec(spec)
                 .read_energy(0.5 * (spec.g_min + spec.g_max)),
             faults: stats,
+            bounds,
+            est_noise_ub,
         }
     }
 
@@ -757,7 +786,8 @@ impl SeiCrossbar {
     }
 
     /// [`SeiCrossbar::forward_into`] with an explicit kernel backend —
-    /// the differential-test / microbenchmark hook.
+    /// the differential-test / microbenchmark hook. The estimator mode
+    /// comes from the process default (`SEI_ESTIMATOR`).
     pub fn forward_into_with(
         &self,
         input: &[bool],
@@ -766,6 +796,28 @@ impl SeiCrossbar {
         fires: &mut Vec<bool>,
         mode: KernelMode,
     ) {
+        self.forward_into_opts(input, ctx, scratch, fires, mode, estimator_mode());
+    }
+
+    /// [`SeiCrossbar::forward_into`] with both the kernel backend and the
+    /// estimator mode explicit. With [`EstimatorMode::Off`] the read path
+    /// is exactly the pre-estimator code — not merely equivalent —
+    /// so golden traces are byte-identical; any other mode produces
+    /// bit-identical `fires` while skipping the sub-matrix reads of
+    /// columns whose decision the bound proves `false` (DESIGN.md §14).
+    pub fn forward_into_opts(
+        &self,
+        input: &[bool],
+        ctx: NoiseCtx,
+        scratch: &mut ReadScratch,
+        fires: &mut Vec<bool>,
+        mode: KernelMode,
+        est: EstimatorMode,
+    ) {
+        if est != EstimatorMode::Off {
+            self.forward_estimated(input, ctx, scratch, fires, mode, est);
+            return;
+        }
         self.sums_into(input, ctx, scratch, mode);
         scratch.note_sense_fires(self.cols as u64);
         let reference = scratch.sums[self.cols];
@@ -779,6 +831,181 @@ impl SeiCrossbar {
                 ctx.key(),
                 (w + k) as u64,
             ));
+        }
+    }
+
+    /// The estimated read path (DESIGN.md §14): a prescan over the
+    /// precomputed [`BoundTable`] upper-bounds each kernel column's
+    /// decision margin — including the column's *actual* deterministic
+    /// noise draws, evaluated against the precomputed variance bracket —
+    /// and columns whose bound proves the strict `I_k > I_ref` comparison
+    /// cannot pass are forced `false` without being read. Because the
+    /// forced value *is* the value the full computation would produce,
+    /// fires are bit-identical to the estimator-off path on every
+    /// backend. Skipped columns consume no noise draws, which cannot
+    /// perturb surviving columns (each draw is a pure function of
+    /// `(key, lane)`).
+    ///
+    /// Skip accounting (columns/reads/energy) is derived from the
+    /// prescan mask only, so counters are backend-independent; running-
+    /// mode aborts inside the simd backend save additional wall clock
+    /// but are conservatively *not* counted as saved reads.
+    fn forward_estimated(
+        &self,
+        input: &[bool],
+        ctx: NoiseCtx,
+        scratch: &mut ReadScratch,
+        fires: &mut Vec<bool>,
+        mode: KernelMode,
+        est: EstimatorMode,
+    ) {
+        assert_eq!(
+            input.len(),
+            self.logical_inputs,
+            "one input bit per logical row"
+        );
+        let w = self.cols + 1;
+        let want_vars = ctx.is_noisy() && self.read_sigma > 0.0;
+        let running = est == EstimatorMode::Running;
+        self.bounds.prescan_into(input, &mut scratch.est_bounds);
+        let key = ctx.key();
+        let sigma = self.read_sigma;
+        // Most favorable reference-side noise: the actual draw scaled by
+        // whichever end of the variance bracket minimizes the reference.
+        let lb_ref = match key {
+            Some(key) if want_vars => {
+                let g = key.gaussian(self.cols as u64);
+                sigma
+                    * if g >= 0.0 {
+                        g * self.bounds.sd_lo(self.cols)
+                    } else {
+                        g * self.bounds.sd_hi(self.cols)
+                    }
+            }
+            _ => 0.0,
+        };
+        scratch.est_mask.clear();
+        scratch.est_mask.resize(w.div_ceil(64), 0);
+        scratch.est_margins.clear();
+        if running {
+            // The reference lane's margin is infinite: it may never be
+            // masked or aborted — every read senses the reference.
+            scratch.est_margins.resize(w, f64::INFINITY);
+        }
+        let slack = self.bounds.slack();
+        let mut skipped = 0u64;
+        for k in 0..self.cols {
+            let sa = &self.sas[k];
+            let m0 = scratch.est_bounds[k] + sa.offset() - lb_ref + slack;
+            // Hard bound on the column's noise term (zero for an ideal
+            // context): when the noise-free margin `m0` clears it on
+            // either side the draw cannot change the classification, so
+            // the common case evaluates no gaussians at all. Only
+            // borderline columns (|m0| within the bound) pay for the
+            // exact deterministic draws — and those produce the *same*
+            // skip decision this fast path proves, so the mask is
+            // independent of which branch ran.
+            let ub = if key.is_some() {
+                self.est_noise_ub[k]
+            } else {
+                0.0
+            };
+            let margin = if m0 + ub <= 0.0 || m0 - ub > 0.0 {
+                m0 + ub
+            } else {
+                let key = key.expect("borderline requires a noisy context");
+                let mut hi = scratch.est_bounds[k] + sa.offset();
+                if want_vars {
+                    // Branch-free bracket select (`g` is sign-random, so a
+                    // branch here would mispredict every other read):
+                    // `g·sd_hi` when `g ≥ 0`, `g·sd_lo` otherwise.
+                    let g = sigma * key.gaussian(k as u64);
+                    hi += g.max(0.0) * self.bounds.sd_hi(k) + g.min(0.0) * self.bounds.sd_lo(k);
+                }
+                if sa.noise_sigma() > 0.0 {
+                    // The sense-amp term is exact: same lane, same draw as
+                    // `decide_keyed` would use.
+                    hi += sa.noise_sigma() * key.gaussian((w + k) as u64);
+                }
+                hi - lb_ref + slack
+            };
+            if margin <= 0.0 {
+                scratch.est_mask[k / 64] |= 1u64 << (k % 64);
+                skipped += 1;
+                if running {
+                    scratch.est_margins[k] = 0.0;
+                }
+            } else if running {
+                scratch.est_margins[k] = margin;
+            }
+        }
+        let rpi = self.packed.rows_per_input as u64;
+        let ones = input.iter().map(|&b| u64::from(b)).sum::<u64>();
+        let gated_on = ones * rpi;
+        let active_rows = gated_on + rpi;
+        scratch.note_read(
+            gated_on,
+            active_rows as f64 * (w as u64 - skipped) as f64 * self.cell_read_energy,
+        );
+        scratch.note_skips(
+            skipped,
+            active_rows * skipped,
+            active_rows as f64 * skipped as f64 * self.cell_read_energy,
+        );
+        scratch.note_sense_fires(self.cols as u64 - skipped);
+        fires.clear();
+        fires.reserve(self.cols);
+        if skipped == self.cols as u64 {
+            // Every kernel column proven non-firing: no accumulation, no
+            // noise, no sensing — only the reference column is charged.
+            fires.resize(self.cols, false);
+            return;
+        }
+        scratch.est_forced.clear();
+        let (est_forced, est_mask) = (&mut scratch.est_forced, &scratch.est_mask);
+        est_forced.extend_from_slice(est_mask);
+        let mask = std::mem::take(&mut scratch.est_mask);
+        let margins = std::mem::take(&mut scratch.est_margins);
+        let pass = EstimatorPass {
+            mask: &mask,
+            margins: if running { &margins } else { &[] },
+            neg: if running { self.bounds.neg() } else { &[] },
+        };
+        let view = ReadView {
+            rows: &self.rows,
+            packed: &self.packed,
+        };
+        let got = mode
+            .backend()
+            .accumulate_masked(view, input, scratch, want_vars, &pass);
+        debug_assert_eq!(got, ones, "backends count active inputs identically");
+        scratch.est_mask = mask;
+        scratch.est_margins = margins;
+        if want_vars {
+            let key = key.expect("noisy context carries a key");
+            let draws = {
+                let ReadScratch {
+                    sums,
+                    vars,
+                    est_forced,
+                    ..
+                } = scratch;
+                kernels::apply_column_noise_masked(key, sigma, sums, vars, est_forced)
+            };
+            scratch.note_noise_draws(draws);
+        }
+        let reference = scratch.sums[self.cols];
+        for k in 0..self.cols {
+            if scratch.est_forced[k / 64] & (1u64 << (k % 64)) != 0 {
+                fires.push(false);
+            } else {
+                fires.push(self.sas[k].decide_keyed(
+                    scratch.sums[k],
+                    reference,
+                    ctx.key(),
+                    (w + k) as u64,
+                ));
+            }
         }
     }
 
@@ -801,7 +1028,53 @@ impl SeiCrossbar {
         scratch: &mut ReadScratch,
         fires: &mut Vec<bool>,
     ) {
+        self.forward_batch_into_opts(
+            inputs,
+            ctxs,
+            scratch,
+            fires,
+            kernel_mode(),
+            estimator_mode(),
+        );
+    }
+
+    /// [`SeiCrossbar::forward_batch_into`] with explicit kernel and
+    /// estimator modes. With the estimator off this is the batched packed
+    /// traversal (the kernel mode is irrelevant there — the batch form
+    /// *is* the packed kernel); with it on, each image goes through the
+    /// estimated single-read path, whose fires are bit-identical, and the
+    /// batch amortization is traded for the skipped sub-matrix reads.
+    pub fn forward_batch_into_opts(
+        &self,
+        inputs: &[bool],
+        ctxs: &[NoiseCtx],
+        scratch: &mut ReadScratch,
+        fires: &mut Vec<bool>,
+        mode: KernelMode,
+        est: EstimatorMode,
+    ) {
         let logical = self.logical_inputs;
+        if est != EstimatorMode::Off {
+            assert!(logical > 0, "batched read needs at least one input");
+            assert_eq!(
+                inputs.len() % logical,
+                0,
+                "batch length must be a whole number of images"
+            );
+            let images = inputs.len() / logical;
+            assert_eq!(ctxs.len(), images, "one noise context per image");
+            fires.clear();
+            fires.reserve(images * self.cols);
+            // Stage per-image fires in a scratch-owned buffer so the warm
+            // path stays allocation-free.
+            let mut one = std::mem::take(&mut scratch.est_fires);
+            for (img, &ctx) in inputs.chunks_exact(logical).zip(ctxs) {
+                self.forward_into_opts(img, ctx, scratch, &mut one, mode, est);
+                fires.extend_from_slice(&one);
+            }
+            scratch.est_fires = one;
+            return;
+        }
         let images = scratch.pack_batch(inputs, logical);
         assert_eq!(ctxs.len(), images, "one noise context per image");
         let w = self.cols + 1;
@@ -1464,6 +1737,170 @@ mod tests {
             xbar.fault_stats().wearout_cells > 0,
             "characteristic life of 1 pulse must wear cells out"
         );
+    }
+
+    /// Every estimator mode, on every backend, against noiseless and
+    /// keyed-noise contexts: the estimated read path must reproduce the
+    /// estimator-off fires bit for bit (DESIGN.md §14). The config turns
+    /// on device read noise, SA offset mismatch and SA decision noise so
+    /// the bound's variance bracket and exact SA term are all exercised.
+    #[test]
+    fn estimator_fires_bit_identical_to_off() {
+        let weights = Matrix::from_rows(&[
+            &[0.5, -0.3, -0.8][..],
+            &[-0.25, 0.8, -0.4][..],
+            &[0.75, 0.1, -0.6][..],
+            &[-0.6, -0.9, 0.2][..],
+        ]);
+        let bias = [0.05, -0.1, -0.2];
+        for mode in [SeiMode::SignedPorts, SeiMode::DynamicThreshold] {
+            let cfg = SeiConfig {
+                sa_offset_sigma: 0.01,
+                sa_noise_sigma: 0.005,
+                ..SeiConfig::new(mode)
+            };
+            let xbar = SeiCrossbar::new(
+                &DeviceSpec::default_4bit(),
+                &weights,
+                &bias,
+                0.2,
+                &cfg,
+                &mut StdRng::seed_from_u64(71),
+            );
+            let root = NoiseCtx::keyed(sei_device::NoiseKey::new(71).tile(2));
+            let mut scratch = ReadScratch::new();
+            let mut want = Vec::new();
+            let mut got = Vec::new();
+            for (i, input) in all_patterns(4).enumerate() {
+                for ctx in [NoiseCtx::ideal(), root.image(i as u64)] {
+                    for kernel in KernelMode::ALL {
+                        xbar.forward_into_opts(
+                            &input,
+                            ctx,
+                            &mut scratch,
+                            &mut want,
+                            kernel,
+                            EstimatorMode::Off,
+                        );
+                        for est in [EstimatorMode::Prescan, EstimatorMode::Running] {
+                            xbar.forward_into_opts(
+                                &input,
+                                ctx,
+                                &mut scratch,
+                                &mut got,
+                                kernel,
+                                est,
+                            );
+                            assert_eq!(
+                                got, want,
+                                "{mode:?} {kernel:?} {est:?} input {input:?} ctx {ctx:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// When every kernel column is provably below threshold the prescan
+    /// short-circuits: all fires come back `false` (matching the off
+    /// path) and the skip mask covers every kernel column.
+    #[test]
+    fn estimator_short_circuits_provably_negative_columns() {
+        let weights = Matrix::from_rows(&[&[-0.9, -0.5][..], &[-0.7, -0.8][..]]);
+        let xbar = SeiCrossbar::new(
+            &DeviceSpec::ideal(4),
+            &weights,
+            &[-0.1, -0.2],
+            0.5,
+            &SeiConfig::new(SeiMode::SignedPorts),
+            &mut StdRng::seed_from_u64(81),
+        );
+        let mut scratch = ReadScratch::new();
+        let mut fires = Vec::new();
+        for input in all_patterns(2) {
+            xbar.forward_into_opts(
+                &input,
+                NoiseCtx::ideal(),
+                &mut scratch,
+                &mut fires,
+                KernelMode::Packed,
+                EstimatorMode::Prescan,
+            );
+            assert_eq!(fires, vec![false, false], "input {input:?}");
+            // The short-circuit leaves the prescan mask in scratch; both
+            // kernel columns must have been proven skippable.
+            assert_eq!(scratch.est_mask[0] & 0b11, 0b11, "input {input:?}");
+        }
+    }
+
+    /// Batched reads with the estimator on take the per-image estimated
+    /// path; fires must match both the sequential estimated reads and the
+    /// estimator-off batch bit for bit, including mixed noisy/ideal
+    /// contexts within one batch.
+    #[test]
+    fn estimated_batch_matches_sequential_and_off() {
+        let weights = Matrix::from_rows(&[&[0.5, -0.3][..], &[-0.25, 0.8][..], &[0.75, 0.1][..]]);
+        let cfg = SeiConfig {
+            sa_noise_sigma: 0.005,
+            ..SeiConfig::new(SeiMode::SignedPorts)
+        };
+        let xbar = SeiCrossbar::new(
+            &DeviceSpec::default_4bit(),
+            &weights,
+            &[0.05, -0.1],
+            0.1,
+            &cfg,
+            &mut StdRng::seed_from_u64(91),
+        );
+        let root = NoiseCtx::keyed(sei_device::NoiseKey::new(91).tile(1));
+        let batch: Vec<Vec<bool>> = all_patterns(3).collect();
+        let flat: Vec<bool> = batch.iter().flatten().copied().collect();
+        let ctxs: Vec<NoiseCtx> = (0..batch.len() as u64)
+            .map(|i| {
+                if i == 3 {
+                    NoiseCtx::ideal()
+                } else {
+                    root.image(i)
+                }
+            })
+            .collect();
+        let mut scratch = ReadScratch::new();
+        let mut off = Vec::new();
+        xbar.forward_batch_into_opts(
+            &flat,
+            &ctxs,
+            &mut scratch,
+            &mut off,
+            KernelMode::Packed,
+            EstimatorMode::Off,
+        );
+        for est in [EstimatorMode::Prescan, EstimatorMode::Running] {
+            let mut batched = Vec::new();
+            xbar.forward_batch_into_opts(
+                &flat,
+                &ctxs,
+                &mut scratch,
+                &mut batched,
+                KernelMode::Packed,
+                est,
+            );
+            assert_eq!(batched, off, "{est:?} batch vs off");
+            let mut sequential = Vec::new();
+            let mut fires = Vec::new();
+            for (input, &ctx) in batch.iter().zip(&ctxs) {
+                xbar.forward_into_opts(
+                    input,
+                    ctx,
+                    &mut scratch,
+                    &mut fires,
+                    KernelMode::Packed,
+                    est,
+                );
+                sequential.extend_from_slice(&fires);
+            }
+            assert_eq!(batched, sequential, "{est:?} batch vs sequential");
+        }
     }
 
     #[test]

@@ -49,6 +49,13 @@ impl SenseAmp {
         self.offset
     }
 
+    /// The per-decision comparator noise sigma. The activation estimator
+    /// uses it to reproduce [`decide_keyed`](Self::decide_keyed)'s exact
+    /// noise term when bounding a column's decision before the read.
+    pub fn noise_sigma(&self) -> f64 {
+        self.noise_sigma
+    }
+
     /// Compares `current` against `reference`; returns `true` when the
     /// column fires. Decision noise is drawn sequentially from `rng`.
     pub fn decide(&self, current: f64, reference: f64, rng: &mut StdRng) -> bool {

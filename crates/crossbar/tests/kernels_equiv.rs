@@ -15,7 +15,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sei_crossbar::{
-    FaultInjection, KernelMode, NoiseCtx, ReadScratch, SeiConfig, SeiCrossbar, SeiMode,
+    EstimatorMode, FaultInjection, KernelMode, NoiseCtx, ReadScratch, SeiConfig, SeiCrossbar,
+    SeiMode,
 };
 use sei_device::{DeviceSpec, NoiseKey};
 use sei_faults::{FaultMap, FaultModel};
@@ -113,6 +114,90 @@ proptest! {
 
             xbar.forward_into_with(&input, ctx, &mut scratch, &mut fb, other);
             prop_assert_eq!(&fa, &fb, "{} vs {}: fires diverged", reference, other);
+        }
+    }
+
+    /// The activation estimator is invisible in the fires: `prescan` and
+    /// `running` produce bit-identical outputs to the estimator-off read
+    /// on every backend, across signed/dynamic modes, fault injection,
+    /// sparsity levels and both ideal and noisy contexts. A skipped
+    /// column must report exactly the fire the full read would have
+    /// produced, and skipping must not consume noise draws that would
+    /// perturb the surviving columns.
+    #[test]
+    fn estimator_preserves_fires_bit_exactly(
+        wm in weights(13, 4),
+        bias in proptest::collection::vec(-0.5f32..0.5, 4),
+        theta in -0.2f32..2.5f32,
+        density in 0.0f64..1.0,
+        pattern_seed in 0u64..1 << 48,
+        build_seed in 0u64..1 << 48,
+        noise_seed in 0u64..1 << 48,
+        signed in 0u8..2,
+        faulty in 0u8..2,
+        noisy in 0u8..2,
+    ) {
+        use rand::Rng;
+        let mode = if signed == 1 { SeiMode::SignedPorts } else { SeiMode::DynamicThreshold };
+        let fault_rate = if faulty == 1 { 0.05 } else { 0.0 };
+        let xbar = build(&wm, &bias, theta, mode, build_seed, fault_rate);
+
+        let mut pat_rng = StdRng::seed_from_u64(pattern_seed);
+        let input: Vec<bool> = (0..wm.rows()).map(|_| pat_rng.gen_bool(density)).collect();
+        let ctx = if noisy == 1 {
+            NoiseCtx::keyed(NoiseKey::new(noise_seed)).tile(7).image(3)
+        } else {
+            NoiseCtx::ideal()
+        };
+
+        let mut scratch = ReadScratch::new();
+        let mut want = Vec::new();
+        xbar.forward_into_opts(
+            &input, ctx, &mut scratch, &mut want, KernelMode::Packed, EstimatorMode::Off,
+        );
+        let mut got = Vec::new();
+        for km in KernelMode::ALL {
+            for est in EstimatorMode::ALL {
+                xbar.forward_into_opts(&input, ctx, &mut scratch, &mut got, km, est);
+                prop_assert_eq!(&want, &got, "{}/{} diverged from packed/off", km, est);
+            }
+        }
+    }
+
+    /// The estimator composes with batching: `forward_batch_into_opts`
+    /// with skipping enabled matches the estimator-off batched read for
+    /// every backend.
+    #[test]
+    fn batched_estimator_preserves_fires(
+        wm in weights(11, 3),
+        density in 0.0f64..1.0,
+        pattern_seed in 0u64..1 << 48,
+        build_seed in 0u64..1 << 48,
+        noise_seed in 0u64..1 << 48,
+        batch in 1usize..6,
+        signed in 0u8..2,
+    ) {
+        use rand::Rng;
+        let mode = if signed == 1 { SeiMode::SignedPorts } else { SeiMode::DynamicThreshold };
+        let xbar = build(&wm, &[0.1, -0.1, 0.0], 1.0, mode, build_seed, 0.0);
+
+        let rows = wm.rows();
+        let mut pat_rng = StdRng::seed_from_u64(pattern_seed);
+        let inputs: Vec<bool> = (0..rows * batch).map(|_| pat_rng.gen_bool(density)).collect();
+        let root = NoiseCtx::keyed(NoiseKey::new(noise_seed)).tile(2);
+        let ctxs: Vec<NoiseCtx> = (0..batch).map(|i| root.image(i as u64)).collect();
+
+        let mut scratch = ReadScratch::new();
+        let mut off = Vec::new();
+        xbar.forward_batch_into_opts(
+            &inputs, &ctxs, &mut scratch, &mut off, KernelMode::Packed, EstimatorMode::Off,
+        );
+        let mut on = Vec::new();
+        for km in KernelMode::ALL {
+            for est in [EstimatorMode::Prescan, EstimatorMode::Running] {
+                xbar.forward_batch_into_opts(&inputs, &ctxs, &mut scratch, &mut on, km, est);
+                prop_assert_eq!(&off, &on, "batched {}/{} diverged from off", km, est);
+            }
         }
     }
 

@@ -8,10 +8,17 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sei_crossbar::{KernelMode, NoiseCtx, ReadScratch, SeiConfig, SeiCrossbar, SeiMode};
+use sei_crossbar::{
+    EstimatorMode, KernelMode, NoiseCtx, ReadScratch, SeiConfig, SeiCrossbar, SeiMode,
+};
 use sei_device::{DeviceSpec, NoiseKey};
 use sei_nn::Matrix;
 use sei_telemetry::counters::{self, Event};
+
+/// Serializes the tests in this binary: they all reset and read the
+/// process-global counters, so the harness's default parallelism would
+/// interleave their totals.
+static COUNTER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 const EVENTS: [Event; 5] = [
     Event::CrossbarReadOps,
@@ -67,6 +74,7 @@ fn batched_totals_for(xbar: &SeiCrossbar, patterns: &[Vec<bool>]) -> ([u64; 5], 
 
 #[test]
 fn telemetry_totals_match_across_backends() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let rows = 9;
     let mut wrng = StdRng::seed_from_u64(3);
     for (case, &(mode, density)) in [
@@ -112,5 +120,150 @@ fn telemetry_totals_match_across_backends() {
         );
         assert_eq!(fires_p, fires_b, "case {case}: batched fires diverged");
         assert!(packed[0] > 0, "case {case}: no reads counted");
+    }
+}
+
+/// Event totals for an estimator-mode read pass: the standard events
+/// plus the skip counters, in one snapshot.
+const EST_EVENTS: [Event; 3] = [
+    Event::ColumnsSkipped,
+    Event::ReadsSkipped,
+    Event::EnergySavedFemtojoules,
+];
+
+fn est_totals_for(
+    xbar: &SeiCrossbar,
+    patterns: &[Vec<bool>],
+    mode: KernelMode,
+    est: EstimatorMode,
+) -> ([u64; 5], [u64; 3], Vec<bool>) {
+    counters::reset();
+    let root = NoiseCtx::keyed(NoiseKey::new(99)).tile(1);
+    let mut fires = Vec::new();
+    {
+        let mut scratch = ReadScratch::new();
+        let mut one = Vec::new();
+        for (i, p) in patterns.iter().enumerate() {
+            xbar.forward_into_opts(p, root.image(i as u64), &mut scratch, &mut one, mode, est);
+            fires.extend_from_slice(&one);
+        }
+    } // drop flushes the batched counters
+    let mut std_out = [0u64; 5];
+    for (slot, ev) in std_out.iter_mut().zip(EVENTS) {
+        *slot = counters::get(ev);
+    }
+    let mut est_out = [0u64; 3];
+    for (slot, ev) in est_out.iter_mut().zip(EST_EVENTS) {
+        *slot = counters::get(ev);
+    }
+    (std_out, est_out, fires)
+}
+
+/// The estimator's skip accounting is a pure function of the prescan
+/// mask, never of the backend: `columns_skipped`, `reads_skipped` and
+/// `energy_saved_fj` agree bit-for-bit across `scalar`/`packed`/`simd`
+/// in both `prescan` and `running` mode, are identically zero with the
+/// estimator off, and conserve the sense-amp total — every column either
+/// fires a sense amp or is counted skipped, so
+/// `sense_amp_fires + columns_skipped` equals the estimator-off fire
+/// count. Saved energy moves out of the spent ledger, it is not minted:
+/// spent-with-skips plus saved never exceeds spent-without.
+#[test]
+fn estimator_skip_counters_are_backend_independent() {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let rows = 24;
+    let cols = 6;
+    let mut wrng = StdRng::seed_from_u64(21);
+    // Strongly negative columns 0..3 guarantee skips at theta = 1.5;
+    // mixed-sign columns 3..6 keep live lanes in the read.
+    let wm = Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|i| {
+                if i % cols < 3 {
+                    wrng.gen_range(-1.0f32..-0.5)
+                } else {
+                    wrng.gen_range(-1.0f32..1.0)
+                }
+            })
+            .collect(),
+    );
+    let spec = DeviceSpec::default_4bit();
+    let cfg = SeiConfig::new(SeiMode::SignedPorts);
+    let mut brng = StdRng::seed_from_u64(23);
+    let xbar = SeiCrossbar::new(&spec, &wm, &vec![0.0; cols], 1.5, &cfg, &mut brng);
+
+    let mut prng = StdRng::seed_from_u64(29);
+    let patterns: Vec<Vec<bool>> = (0..8)
+        .map(|_| (0..rows).map(|_| prng.gen_bool(0.3)).collect())
+        .collect();
+
+    let (off_std, off_est, off_fires) =
+        est_totals_for(&xbar, &patterns, KernelMode::Packed, EstimatorMode::Off);
+    assert_eq!(
+        off_est,
+        [0, 0, 0],
+        "estimator off must record no skips or savings"
+    );
+
+    for est in [EstimatorMode::Prescan, EstimatorMode::Running] {
+        let (ref_std, ref_est, ref_fires) =
+            est_totals_for(&xbar, &patterns, KernelMode::Packed, est);
+        assert_eq!(off_fires, ref_fires, "{est}: fires diverged from off");
+        assert!(
+            ref_est[0] > 0,
+            "{est}: workload produced no skipped columns"
+        );
+        assert!(ref_est[1] > 0, "{est}: no sub-matrix reads skipped");
+        assert!(ref_est[2] > 0, "{est}: no read energy saved");
+        // Conservation: every column either fired a sense amp or was
+        // skipped. EVENTS[2] is SenseAmpFires.
+        assert_eq!(
+            ref_std[2] + ref_est[0],
+            off_std[2],
+            "{est}: sense fires + skipped columns != off-mode fires"
+        );
+        // Savings are carved out of the spent ledger, not minted on top:
+        // spent + saved equals the estimator-off spend up to the 1 fJ
+        // per-read rounding slack (spent and saved round independently).
+        // EVENTS[3] is EnergyFemtojoules.
+        assert!(
+            ref_std[3] + ref_est[2] <= off_std[3] + patterns.len() as u64,
+            "{est}: spent {} + saved {} exceeds off-mode spend {}",
+            ref_std[3],
+            ref_est[2],
+            off_std[3]
+        );
+        assert!(
+            off_std[3] <= ref_std[3] + ref_est[2] + patterns.len() as u64,
+            "{est}: spent {} + saved {} undercounts off-mode spend {}",
+            ref_std[3],
+            ref_est[2],
+            off_std[3]
+        );
+        for mode in [KernelMode::Scalar, KernelMode::Simd] {
+            let (std_t, est_t, fires) = est_totals_for(&xbar, &patterns, mode, est);
+            assert_eq!(ref_est, est_t, "{mode}/{est}: skip counters diverged");
+            assert_eq!(ref_fires, fires, "{mode}/{est}: fires diverged");
+            // EVENTS[..4] (reads, gate switches, sense fires, energy) are
+            // pure functions of the prescan mask and match everywhere.
+            // Noise draws are exempt in running mode: only the simd
+            // backend turns a mid-read abort into draws never taken, so
+            // it may draw fewer — never more — than the reference.
+            assert_eq!(
+                ref_std[..4],
+                std_t[..4],
+                "{mode}/{est}: counter totals diverged"
+            );
+            if est == EstimatorMode::Running {
+                assert!(
+                    std_t[4] <= ref_std[4],
+                    "{mode}/{est}: aborting must not add noise draws"
+                );
+            } else {
+                assert_eq!(ref_std[4], std_t[4], "{mode}/{est}: noise draws diverged");
+            }
+        }
     }
 }

@@ -49,7 +49,7 @@ pub mod spec;
 
 pub use energy::DeviceEnergy;
 pub use iv::IvCurve;
-pub use noise::{NoiseConfig, NoiseKey, ReadNoise, NOISE_STREAM_VERSION};
+pub use noise::{NoiseConfig, NoiseKey, ReadNoise, GAUSSIAN_MAX_ABS, NOISE_STREAM_VERSION};
 pub use programming::{ProgramOutcome, ProgrammedCell, WriteVerify};
 pub use retention::RetentionModel;
 pub use spec::{DeviceSpec, Polarity};

@@ -53,6 +53,19 @@ const DOMAIN_READ: u64 = 0x5E1_0004;
 const DOMAIN_GAUSS: u64 = 0x5E1_0005;
 const DOMAIN_UNIFORM: u64 = 0x5E1_0006;
 
+/// `1 / sqrt(32 + 1/12)`: the [`NoiseKey::gaussian`] normalization —
+/// binomial variance of the 128 summed bits plus the dither variance.
+const GAUSSIAN_NORM: f64 = 0.176_546_965_900_949_9;
+
+/// Hard bound on `|NoiseKey::gaussian(lane)|` for any key and lane: the
+/// popcount sum lies in `[-64, 64]` and the dither in `[-0.5, 0.5)`, so
+/// no draw can exceed `64.5 · GAUSSIAN_NORM ≈ 11.39` in magnitude. The
+/// activation estimator's prescan uses this to bound a column's noise
+/// term without evaluating its draw — only columns whose noise-free
+/// margin falls inside `±GAUSSIAN_MAX_ABS · σ` of the threshold pay for
+/// the exact deterministic draw.
+pub const GAUSSIAN_MAX_ABS: f64 = 64.5 * GAUSSIAN_NORM;
+
 /// A key into the counter-based noise stream (see module docs).
 ///
 /// Keys are cheap `Copy` values; deriving a child key costs two
@@ -116,18 +129,17 @@ impl NoiseKey {
     /// while the cost is three `mix64` rounds and two popcounts — no
     /// transcendentals. That is what lets noisy reads run at nearly
     /// ideal-read speed (the draw is also exactly zero-mean and
-    /// unit-variance by construction). Tails truncate at ±11.3 σ.
+    /// unit-variance by construction). Tails truncate at ±11.3 σ
+    /// ([`GAUSSIAN_MAX_ABS`] is the hard bound).
     #[inline]
     pub fn gaussian(self, lane: u64) -> f64 {
-        // 1 / sqrt(32 + 1/12): binomial variance plus dither variance.
-        const NORM: f64 = 0.176_546_965_900_949_9;
         let h1 = mix64(self.0 ^ mix64(lane ^ DOMAIN_GAUSS));
         let h2 = mix64(h1 ^ DOMAIN_GAUSS);
         let pop = i64::from(h1.count_ones() + h2.count_ones()) - 64;
         // Dither from a third hash so it is independent of the popcounts.
         let h3 = mix64(h2 ^ DOMAIN_GAUSS);
         let dither = (h3 >> 11) as f64 * (1.0 / (1u64 << 53) as f64) - 0.5;
-        (pop as f64 + dither) * NORM
+        (pop as f64 + dither) * GAUSSIAN_NORM
     }
 
     /// Two standard-normal draws: lanes `2p` and `2p + 1` of
@@ -285,6 +297,19 @@ mod tests {
             let again = NoiseKey::new(7).tile(3).image(11).read(2);
             assert_eq!(key.gaussian(lane).to_bits(), again.gaussian(lane).to_bits());
             assert_eq!(key.uniform(lane).to_bits(), again.uniform(lane).to_bits());
+        }
+    }
+
+    #[test]
+    fn gaussian_draws_respect_the_hard_support_bound() {
+        // The analytical bound is `64.5 · NORM`; every sampled draw must
+        // sit strictly inside it (popcounts of 0 or 128 are astronomically
+        // unlikely but the bound holds even for them).
+        for seed in 0..4u64 {
+            let key = NoiseKey::new(seed).tile(seed).image(7).read(3);
+            for lane in 0..4096u64 {
+                assert!(key.gaussian(lane).abs() < GAUSSIAN_MAX_ABS);
+            }
         }
     }
 

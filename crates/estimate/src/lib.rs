@@ -1,0 +1,651 @@
+//! Runtime output-activation estimation for ReLU-skip gating of SEI
+//! crossbar reads (CompRRAE-style, DESIGN.md §14).
+//!
+//! The SEI structure already gates crossbar *rows* by the 1-bit inputs;
+//! this crate adds the complementary axis: estimating each kernel
+//! column's *output* before the read and skipping the columns whose
+//! pre-ReLU sum is provably negative — their sense amplifier would
+//! return `false` anyway, so the sub-matrix read spends energy to
+//! compute a zero.
+//!
+//! # The bound
+//!
+//! A column fires when `sum_k + offset_k + sa_noise_k > sum_ref` (strict,
+//! see `sei-crossbar`). Both sums decompose per logical input `j` into
+//! per-block partials, so with `d_j[k] = blocksum_j[k] − blocksum_j[ref]`
+//! and `base[k]` the always-on (bias/threshold) margin,
+//!
+//! ```text
+//! sum_k − sum_ref  =  base[k] + Σ_{j active} d_j[k]
+//!                  ≤  base[k] + Σ_{j active} max(0, d_j[k])   =: B_k
+//! ```
+//!
+//! `B_k` is the **prescan bound**: one precomputed positive-mass row per
+//! logical input ([`BoundTable::prescan_into`]), accumulated only over
+//! the active inputs of the bit-packed activation vector — `O(active·w)`
+//! work versus the full read's `O(active·rows_per_input·w)`. The noise
+//! terms are *not* estimated: the counter-based noise stream makes every
+//! draw a pure function of `(key, lane)`, so the caller evaluates the
+//! actual draws against the precomputed variance bracket
+//! ([`BoundTable::sd_lo`]/[`BoundTable::sd_hi`]) and adds an exact
+//! allowance. If even the maximally favorable noise cannot push the
+//! column above the reference, the decision is forced `false` — exactly
+//! the value the full computation would have produced, which is why the
+//! estimator preserves bit-identical fires (DESIGN.md §14).
+//!
+//! The **running** variant additionally carries `B_k` into the
+//! accumulation loop: after processing active input `j` the bound
+//! tightens by `neg_j[k] = max(0, d_j[k]) − d_j[k] ≥ 0`, and a column
+//! block whose every live lane's bound has gone non-positive aborts the
+//! rest of its sweep (`sei-crossbar`'s simd backend).
+//!
+//! # Selection
+//!
+//! [`EstimatorMode`] mirrors the `SEI_KERNELS` pattern: a process-wide
+//! default from the strict `SEI_ESTIMATOR` knob ([`estimator_mode`],
+//! malformed values exit 2), overridable per evaluation via
+//! [`EstimatorConfig::with_mode`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sei_telemetry::env::{parse_var, EnvError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Whether (and how) the activation estimator gates SEI crossbar reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum EstimatorMode {
+    /// No estimation: every column is read and sensed (default). The
+    /// read path is byte-identical to builds predating the estimator.
+    Off,
+    /// Pre-read column scan: the positive-mass bound plus the exact
+    /// noise allowance decides per column, before accumulation, whether
+    /// its sense decision is already proven `false`.
+    Prescan,
+    /// Prescan plus the running bound: backends that can abort a column
+    /// block mid-sweep (simd) stop accumulating once every live lane's
+    /// bound is exhausted. Equivalent to `prescan` on backends without
+    /// an abort path (scalar/packed) — fires are identical everywhere.
+    Running,
+}
+
+impl EstimatorMode {
+    /// All modes, in the order benches and CI matrices iterate them.
+    pub const ALL: [EstimatorMode; 3] = [
+        EstimatorMode::Off,
+        EstimatorMode::Prescan,
+        EstimatorMode::Running,
+    ];
+
+    /// Stable lowercase name, matching the `SEI_ESTIMATOR` value.
+    pub fn name(self) -> &'static str {
+        match self {
+            EstimatorMode::Off => "off",
+            EstimatorMode::Prescan => "prescan",
+            EstimatorMode::Running => "running",
+        }
+    }
+
+    /// Whether this mode skips any reads at all.
+    pub fn is_on(self) -> bool {
+        self != EstimatorMode::Off
+    }
+}
+
+impl fmt::Display for EstimatorMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for EstimatorMode {
+    type Err = ();
+
+    /// Parses a `SEI_ESTIMATOR` value; the empty string selects the
+    /// default (`off`).
+    fn from_str(s: &str) -> Result<Self, ()> {
+        match s {
+            "" | "off" => Ok(EstimatorMode::Off),
+            "prescan" => Ok(EstimatorMode::Prescan),
+            "running" => Ok(EstimatorMode::Running),
+            _ => Err(()),
+        }
+    }
+}
+
+/// The expected-form string for `SEI_ESTIMATOR` error messages.
+pub const ESTIMATOR_EXPECTED: &str = "off|prescan|running";
+
+/// Typed estimator selection for library callers (the `KernelConfig`
+/// pattern): bins resolve the environment once
+/// ([`EstimatorConfig::from_env`]) and hand the value down; `None`
+/// defers to the process-wide default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EstimatorConfig {
+    #[serde(default)]
+    mode: Option<EstimatorMode>,
+}
+
+impl EstimatorConfig {
+    /// A config that defers to the process-wide `SEI_ESTIMATOR` default.
+    pub fn new() -> Self {
+        EstimatorConfig::default()
+    }
+
+    /// Pins an explicit mode, overriding the env default — this is how
+    /// tests exercise estimator on/off side-by-side in one process.
+    #[must_use]
+    pub fn with_mode(mut self, mode: EstimatorMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// The pinned mode, if any.
+    pub fn mode(&self) -> Option<EstimatorMode> {
+        self.mode
+    }
+
+    /// Reads `SEI_ESTIMATOR` from the environment (strict `SEI_*`
+    /// contract: malformed values are an error, never a silent default).
+    pub fn from_env() -> Result<Self, EnvError> {
+        Ok(EstimatorConfig {
+            mode: parse_var("SEI_ESTIMATOR", ESTIMATOR_EXPECTED)?,
+        })
+    }
+
+    /// Checks the configuration for consistency (always valid today; kept
+    /// for signature parity with the other `*Config` types).
+    pub fn validate(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// The effective mode: the pinned mode or the process default.
+    pub fn resolve(&self) -> EstimatorMode {
+        self.mode.unwrap_or_else(estimator_mode)
+    }
+}
+
+const EST_UNSET: u8 = 0;
+const EST_OFF: u8 = 1;
+const EST_PRESCAN: u8 = 2;
+const EST_RUNNING: u8 = 3;
+
+static EST: AtomicU8 = AtomicU8::new(EST_UNSET);
+
+/// The process-wide default estimator mode, initialized from
+/// `SEI_ESTIMATOR` on first use: unset or `off` → [`EstimatorMode::Off`],
+/// `prescan` → [`EstimatorMode::Prescan`], `running` →
+/// [`EstimatorMode::Running`], anything else → process exit 2 (the strict
+/// `SEI_*` contract — malformed values are never silently defaulted).
+/// Per-evaluation selection via [`EstimatorConfig::with_mode`] overrides
+/// this without touching it.
+#[inline]
+pub fn estimator_mode() -> EstimatorMode {
+    match EST.load(Ordering::Relaxed) {
+        EST_OFF => EstimatorMode::Off,
+        EST_PRESCAN => EstimatorMode::Prescan,
+        EST_RUNNING => EstimatorMode::Running,
+        _ => init_mode_from_env(),
+    }
+}
+
+#[cold]
+fn init_mode_from_env() -> EstimatorMode {
+    match parse_var::<EstimatorMode>("SEI_ESTIMATOR", ESTIMATOR_EXPECTED) {
+        Ok(mode) => {
+            let mode = mode.unwrap_or(EstimatorMode::Off);
+            set_estimator_mode(mode);
+            mode
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Overrides the process-wide default estimator mode — used by the
+/// `kernels` microbenchmark to time on/off in one run and by
+/// differential tests. Safe to flip at any point: every mode produces
+/// bit-identical fires, so switching cannot perturb an experiment's
+/// outputs (only its telemetry counters and wall clock).
+pub fn set_estimator_mode(mode: EstimatorMode) {
+    let v = match mode {
+        EstimatorMode::Off => EST_OFF,
+        EstimatorMode::Prescan => EST_PRESCAN,
+        EstimatorMode::Running => EST_RUNNING,
+    };
+    EST.store(v, Ordering::Relaxed);
+}
+
+/// Precomputed per-crossbar estimator tables, built once at programming
+/// time from the packed row storage (see the crate docs for the math).
+/// All values are in the crossbar's internal fraction units.
+#[derive(Debug, Clone)]
+pub struct BoundTable {
+    /// Physical column count (kernel columns + reference, reference
+    /// last).
+    width: usize,
+    /// Positive-mass rows, `logical_inputs × width`: `pos[j·w + k] =
+    /// max(0, d_j[k])` where `d_j[k] = blocksum_j[k] − blocksum_j[ref]`.
+    /// The reference lane is 0 by construction.
+    pos: Vec<f64>,
+    /// Running-bound decrements, same shape: `neg[j·w + k] =
+    /// pos[j·w + k] − d_j[k] ≥ 0`.
+    neg: Vec<f64>,
+    /// Always-on (bias/threshold) margin per column: `base[k] =
+    /// basesum[k] − basesum[ref]`.
+    base_margin: Vec<f64>,
+    /// `sqrt` of the per-column read-noise variance **lower** bound — the
+    /// baseline block's partial alone (the variance any read accrues).
+    sd_lo: Vec<f64>,
+    /// `sqrt` of the per-column variance **upper** bound — baseline plus
+    /// every gated block's partial (all inputs active).
+    sd_hi: Vec<f64>,
+    /// Conservative floating-point slack: a column is only skipped when
+    /// its bound clears zero by at least this much, so summation-order
+    /// rounding differences between the bound and the real read can
+    /// never force a column the full computation would have fired.
+    slack: f64,
+}
+
+impl BoundTable {
+    /// Builds the tables from a packed row layout: `gated` is
+    /// `logical_inputs · rows_per_input · width` input-gated cell
+    /// contributions (input `j`'s rows contiguous), `baseline` a whole
+    /// number of `width`-wide always-on rows, and `gated_vars` /
+    /// `baseline_vars` the per-block `Σ c²` variance partials
+    /// (`logical_inputs × width` and `width`).
+    pub fn from_packed(
+        width: usize,
+        rows_per_input: usize,
+        logical_inputs: usize,
+        gated: &[f64],
+        baseline: &[f64],
+        gated_vars: &[f64],
+        baseline_vars: &[f64],
+    ) -> Self {
+        assert!(width > 0, "bound table needs a reference column");
+        assert_eq!(gated.len(), logical_inputs * rows_per_input * width);
+        assert_eq!(gated_vars.len(), logical_inputs * width);
+        assert_eq!(baseline_vars.len(), width);
+        assert_eq!(baseline.len() % width, 0);
+        let r = width - 1;
+        let span = rows_per_input * width;
+
+        let mut base_sums = vec![0.0f64; width];
+        for row in baseline.chunks_exact(width) {
+            for (s, &c) in base_sums.iter_mut().zip(row) {
+                *s += c;
+            }
+        }
+        let base_ref = base_sums[r];
+        let base_margin: Vec<f64> = base_sums.iter().map(|&s| s - base_ref).collect();
+
+        let mut pos = vec![0.0f64; logical_inputs * width];
+        let mut neg = vec![0.0f64; logical_inputs * width];
+        let mut block_sums = vec![0.0f64; width];
+        let mut max_abs_sum = 0.0f64;
+        for j in 0..logical_inputs {
+            block_sums.fill(0.0);
+            for row in gated[j * span..(j + 1) * span].chunks_exact(width) {
+                for (s, &c) in block_sums.iter_mut().zip(row) {
+                    *s += c;
+                }
+            }
+            let block_ref = block_sums[r];
+            let mut max_abs = 0.0f64;
+            for k in 0..r {
+                let d = block_sums[k] - block_ref;
+                pos[j * width + k] = d.max(0.0);
+                neg[j * width + k] = d.max(0.0) - d;
+                max_abs = max_abs.max(d.abs());
+            }
+            max_abs_sum += max_abs;
+        }
+
+        let mut var_hi = baseline_vars.to_vec();
+        for j in 0..logical_inputs {
+            for (v, &p) in var_hi
+                .iter_mut()
+                .zip(&gated_vars[j * width..(j + 1) * width])
+            {
+                *v += p;
+            }
+        }
+        let sd_lo: Vec<f64> = baseline_vars.iter().map(|&v| v.sqrt()).collect();
+        let sd_hi: Vec<f64> = var_hi.iter().map(|&v| v.sqrt()).collect();
+
+        let max_abs_base = base_margin.iter().fold(0.0f64, |m, &b| m.max(b.abs()));
+        // Orders of magnitude above any f64 summation-order error over the
+        // involved magnitudes, orders below any margin worth skipping.
+        let slack = 1e-9 * (1.0 + max_abs_base + max_abs_sum);
+
+        BoundTable {
+            width,
+            pos,
+            neg,
+            base_margin,
+            sd_lo,
+            sd_hi,
+            slack,
+        }
+    }
+
+    /// Physical column count (kernel columns + reference).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The floating-point slack a skip decision must clear.
+    pub fn slack(&self) -> f64 {
+        self.slack
+    }
+
+    /// `sqrt` of the column's read-noise variance lower bound.
+    #[inline]
+    pub fn sd_lo(&self, k: usize) -> f64 {
+        self.sd_lo[k]
+    }
+
+    /// `sqrt` of the column's read-noise variance upper bound.
+    #[inline]
+    pub fn sd_hi(&self, k: usize) -> f64 {
+        self.sd_hi[k]
+    }
+
+    /// The running-bound decrement table (`logical_inputs × width`,
+    /// stride = width): `neg[j·w + k]` is how much column `k`'s bound
+    /// tightens once active input `j`'s rows have actually been
+    /// accumulated.
+    pub fn neg(&self) -> &[f64] {
+        &self.neg
+    }
+
+    /// Computes the prescan bound `B_k = base[k] + Σ_{j active} pos_j[k]`
+    /// for every column into `bounds` (cleared first; the reference lane
+    /// is meaningless and stays at 0). `O(active · width)`,
+    /// allocation-free once `bounds` has capacity.
+    pub fn prescan_into(&self, input: &[bool], bounds: &mut Vec<f64>) {
+        assert_eq!(
+            input.len() * self.width,
+            self.pos.len(),
+            "one positive-mass row per logical input"
+        );
+        bounds.clear();
+        bounds.extend_from_slice(&self.base_margin);
+        for (j, &b) in input.iter().enumerate() {
+            if !b {
+                continue;
+            }
+            let row = &self.pos[j * self.width..(j + 1) * self.width];
+            for (acc, &p) in bounds.iter_mut().zip(row) {
+                *acc += p;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    use sei_telemetry::env::parse_lookup;
+
+    fn env_of<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |name| {
+            pairs
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| v.to_string())
+        }
+    }
+
+    #[test]
+    fn estimator_mode_parses_and_prints() {
+        assert_eq!("off".parse(), Ok(EstimatorMode::Off));
+        assert_eq!("prescan".parse(), Ok(EstimatorMode::Prescan));
+        assert_eq!("running".parse(), Ok(EstimatorMode::Running));
+        assert_eq!("".parse(), Ok(EstimatorMode::Off));
+        assert!("on".parse::<EstimatorMode>().is_err());
+        assert!("Prescan".parse::<EstimatorMode>().is_err());
+        for mode in EstimatorMode::ALL {
+            assert_eq!(mode.to_string(), mode.name());
+            assert_eq!(mode.to_string().parse(), Ok(mode));
+        }
+        assert!(!EstimatorMode::Off.is_on());
+        assert!(EstimatorMode::Prescan.is_on());
+        assert!(EstimatorMode::Running.is_on());
+    }
+
+    #[test]
+    fn estimator_config_pins_and_defers() {
+        let cfg = EstimatorConfig::new();
+        assert_eq!(cfg.mode(), None);
+        assert!(cfg.validate().is_ok());
+        let pinned = cfg.with_mode(EstimatorMode::Running);
+        assert_eq!(pinned.mode(), Some(EstimatorMode::Running));
+        assert_eq!(pinned.resolve(), EstimatorMode::Running);
+    }
+
+    /// The strict `SEI_ESTIMATOR` contract: unset → None, valid (and
+    /// trimmed) values parse, malformed values produce the standard
+    /// `EnvError` naming variable, value and expected form — the same
+    /// error `estimator_mode()` prints before `exit(2)`.
+    #[test]
+    fn sei_estimator_strict_parse() {
+        let unset: Option<EstimatorMode> =
+            parse_lookup(env_of(&[]), "SEI_ESTIMATOR", ESTIMATOR_EXPECTED).unwrap();
+        assert_eq!(unset, None);
+        for (raw, want) in [
+            ("off", EstimatorMode::Off),
+            (" prescan ", EstimatorMode::Prescan),
+            ("running", EstimatorMode::Running),
+            ("", EstimatorMode::Off),
+        ] {
+            let got: Option<EstimatorMode> = parse_lookup(
+                env_of(&[("SEI_ESTIMATOR", raw)]),
+                "SEI_ESTIMATOR",
+                ESTIMATOR_EXPECTED,
+            )
+            .unwrap();
+            assert_eq!(got, Some(want), "raw {raw:?}");
+        }
+        for bad in ["on", "1", "true", "pre-scan", "OFF"] {
+            let err = parse_lookup::<EstimatorMode>(
+                env_of(&[("SEI_ESTIMATOR", bad)]),
+                "SEI_ESTIMATOR",
+                ESTIMATOR_EXPECTED,
+            )
+            .unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("SEI_ESTIMATOR"), "{msg}");
+            assert!(msg.contains(bad), "{msg}");
+            assert!(msg.contains(ESTIMATOR_EXPECTED), "{msg}");
+        }
+    }
+
+    /// (width, rows_per_input, inputs, gated, baseline, gated_vars, baseline_vars).
+    type ToyParts = (usize, usize, usize, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>);
+
+    /// A tiny hand-built packed layout for bound checks: 3 logical
+    /// inputs × 2 rows over 4+1 columns, plus 2 baseline rows.
+    fn toy() -> ToyParts {
+        let width = 5;
+        let rpi = 2;
+        let inputs = 3;
+        let mut gated = Vec::new();
+        for r in 0..inputs * rpi {
+            for c in 0..width {
+                let sign = if (r + c) % 3 == 0 { -1.0 } else { 1.0 };
+                gated.push(sign * (0.05 + 0.125 * (r * width + c) as f64));
+            }
+        }
+        let mut baseline = Vec::new();
+        for r in 0..rpi {
+            for c in 0..width {
+                baseline.push(0.01 * (r * width + c) as f64 - 0.03);
+            }
+        }
+        let mut gated_vars = vec![0.0f64; inputs * width];
+        for j in 0..inputs {
+            for r in 0..rpi {
+                for c in 0..width {
+                    let cell = gated[(j * rpi + r) * width + c];
+                    gated_vars[j * width + c] += cell * cell;
+                }
+            }
+        }
+        let mut baseline_vars = vec![0.0f64; width];
+        for r in 0..rpi {
+            for c in 0..width {
+                let cell = baseline[r * width + c];
+                baseline_vars[c] += cell * cell;
+            }
+        }
+        (
+            width,
+            rpi,
+            inputs,
+            gated,
+            baseline,
+            gated_vars,
+            baseline_vars,
+        )
+    }
+
+    fn toy_table() -> BoundTable {
+        let (w, rpi, n, gated, baseline, gv, bv) = toy();
+        BoundTable::from_packed(w, rpi, n, &gated, &baseline, &gv, &bv)
+    }
+
+    /// Exact `sum_k − sum_ref` of the toy layout for an input pattern.
+    fn exact_margin(input: &[bool], k: usize) -> f64 {
+        let (width, rpi, inputs, gated, baseline, _, _) = toy();
+        let mut sum_k = 0.0;
+        let mut sum_r = 0.0;
+        for j in 0..inputs {
+            if !input[j] {
+                continue;
+            }
+            for r in 0..rpi {
+                sum_k += gated[(j * rpi + r) * width + k];
+                sum_r += gated[(j * rpi + r) * width + (width - 1)];
+            }
+        }
+        for r in 0..rpi {
+            sum_k += baseline[r * width + k];
+            sum_r += baseline[r * width + (width - 1)];
+        }
+        sum_k - sum_r
+    }
+
+    #[test]
+    fn prescan_bound_dominates_exact_margin() {
+        let bt = toy_table();
+        let mut bounds = Vec::new();
+        for mask in 0..8usize {
+            let input: Vec<bool> = (0..3).map(|j| mask & (1 << j) != 0).collect();
+            bt.prescan_into(&input, &mut bounds);
+            for (k, &bound) in bounds.iter().enumerate().take(4) {
+                let exact = exact_margin(&input, k);
+                assert!(
+                    bound >= exact - 1e-12,
+                    "mask {mask} col {k}: bound {bound} < exact {exact}",
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn running_decrements_recover_exact_margin() {
+        // Processing every active input tightens the bound down to the
+        // exact margin: B_k − Σ_{j active} neg_j[k] = exact.
+        let bt = toy_table();
+        let mut bounds = Vec::new();
+        let input = [true, true, true];
+        bt.prescan_into(&input, &mut bounds);
+        for (k, &bound) in bounds.iter().enumerate().take(4) {
+            let mut b = bound;
+            for j in 0..3 {
+                b -= bt.neg()[j * bt.width() + k];
+            }
+            let exact = exact_margin(&input, k);
+            assert!((b - exact).abs() < 1e-12, "col {k}: {b} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn variance_bracket_is_ordered() {
+        let bt = toy_table();
+        for k in 0..bt.width() {
+            assert!(bt.sd_hi(k) >= bt.sd_lo(k), "col {k}");
+            assert!(bt.sd_lo(k) >= 0.0);
+        }
+        assert!(bt.slack() > 0.0);
+        assert!(bt.slack() < 1e-6, "slack should be tiny: {}", bt.slack());
+    }
+
+    proptest! {
+        /// Bound soundness over random layouts: for every input pattern
+        /// and column, the prescan bound dominates the exact margin, and
+        /// the running decrements are non-negative.
+        #[test]
+        fn prescan_bound_sound_on_random_layouts(
+            cells in proptest::collection::vec(-2.0f64..2.0, 4 * 2 * 5),
+            base in proptest::collection::vec(-1.0f64..1.0, 2 * 5),
+            mask in 0usize..16,
+        ) {
+            let width = 5;
+            let rpi = 2;
+            let inputs = 4;
+            let mut gated_vars = vec![0.0f64; inputs * width];
+            for j in 0..inputs {
+                for r in 0..rpi {
+                    for c in 0..width {
+                        let cell = cells[(j * rpi + r) * width + c];
+                        gated_vars[j * width + c] += cell * cell;
+                    }
+                }
+            }
+            let mut baseline_vars = vec![0.0f64; width];
+            for r in 0..rpi {
+                for c in 0..width {
+                    baseline_vars[c] += base[r * width + c] * base[r * width + c];
+                }
+            }
+            let bt = BoundTable::from_packed(
+                width, rpi, inputs, &cells, &base, &gated_vars, &baseline_vars,
+            );
+            let input: Vec<bool> = (0..inputs).map(|j| mask & (1 << j) != 0).collect();
+            let mut bounds = Vec::new();
+            bt.prescan_into(&input, &mut bounds);
+            for k in 0..width - 1 {
+                let mut sum_k = 0.0;
+                let mut sum_r = 0.0;
+                for j in 0..inputs {
+                    if !input[j] {
+                        continue;
+                    }
+                    for r in 0..rpi {
+                        sum_k += cells[(j * rpi + r) * width + k];
+                        sum_r += cells[(j * rpi + r) * width + (width - 1)];
+                    }
+                }
+                for r in 0..rpi {
+                    sum_k += base[r * width + k];
+                    sum_r += base[r * width + (width - 1)];
+                }
+                prop_assert!(bounds[k] + bt.slack() >= sum_k - sum_r);
+            }
+            for &n in bt.neg() {
+                prop_assert!(n >= 0.0);
+            }
+        }
+    }
+}

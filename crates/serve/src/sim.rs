@@ -681,7 +681,10 @@ pub struct SimDriver<'a> {
 impl<'a> SimDriver<'a> {
     /// Validates the configuration and opens a primed simulation (the
     /// first arrival is already scheduled).
-    pub fn new(profile: &'a ServiceProfile, cfg: &'a ServeConfig) -> Result<SimDriver<'a>, SeiError> {
+    pub fn new(
+        profile: &'a ServiceProfile,
+        cfg: &'a ServeConfig,
+    ) -> Result<SimDriver<'a>, SeiError> {
         cfg.validate()?;
         validate_profile(profile)?;
         let mut sim = Sim::new(profile, cfg);

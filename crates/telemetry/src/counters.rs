@@ -65,9 +65,20 @@ pub enum Event {
     /// [`Event::EnergyFemtojoules`] so update energy is attributable
     /// against read/serving energy.
     WriteEnergyFemtojoules,
+    /// Kernel columns whose sense decision the activation estimator
+    /// proved `false` before the read, so the column was never sensed
+    /// (`SEI_ESTIMATOR`, DESIGN.md §14).
+    ColumnsSkipped,
+    /// Cell reads elided by skipped columns (active rows × skipped
+    /// columns — the sub-matrix the estimator gated off).
+    ReadsSkipped,
+    /// Read energy *not* spent thanks to skipped columns, in femtojoules.
+    /// [`Event::EnergyFemtojoules`] already excludes it; this counter
+    /// makes the saving itself reportable.
+    EnergySavedFemtojoules,
 }
 
-pub const EVENT_COUNT: usize = 19;
+pub const EVENT_COUNT: usize = 22;
 
 pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::CrossbarReadOps,
@@ -89,6 +100,9 @@ pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::FleetScaleDowns,
     Event::Writes,
     Event::WriteEnergyFemtojoules,
+    Event::ColumnsSkipped,
+    Event::ReadsSkipped,
+    Event::EnergySavedFemtojoules,
 ];
 
 impl Event {
@@ -114,6 +128,9 @@ impl Event {
             Event::FleetScaleDowns => "fleet_scale_downs",
             Event::Writes => "writes",
             Event::WriteEnergyFemtojoules => "write_energy_fj",
+            Event::ColumnsSkipped => "columns_skipped",
+            Event::ReadsSkipped => "reads_skipped",
+            Event::EnergySavedFemtojoules => "energy_saved_fj",
         }
     }
 }
@@ -208,6 +225,11 @@ impl Snapshot {
     /// Accumulated lifecycle write energy in joules.
     pub fn write_energy_j(&self) -> f64 {
         self.get(Event::WriteEnergyFemtojoules) as f64 / 1e15
+    }
+
+    /// Read energy the activation estimator avoided spending, in joules.
+    pub fn energy_saved_j(&self) -> f64 {
+        self.get(Event::EnergySavedFemtojoules) as f64 / 1e15
     }
 
     /// Counter-wise difference `self - earlier` (saturating), for

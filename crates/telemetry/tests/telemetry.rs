@@ -201,6 +201,7 @@ fn ndjson_schema_snapshot() {
         "\"queue_depth_peak\":42,\"requests_evicted\":0,",
         "\"fleet_scale_ups\":0,\"fleet_scale_downs\":0,",
         "\"writes\":0,\"write_energy_fj\":0,",
+        "\"columns_skipped\":0,\"reads_skipped\":0,\"energy_saved_fj\":0,",
         "\"energy_pj\":1.5,\"write_energy_j\":0.0}}"
     );
     assert_eq!(fixed_report().to_ndjson_line(), expected);

@@ -9,6 +9,8 @@
 //! * [`device`] — behavioural RRAM device models;
 //! * [`faults`] — stuck-at fault maps and endurance wear-out models;
 //! * [`crossbar`] — crossbar arrays, peripherals and the SEI structure;
+//! * [`estimate`] — runtime output-activation estimation for ReLU-skip
+//!   gating of crossbar reads (`SEI_ESTIMATOR`);
 //! * [`quantize`] — 1-bit quantization (Algorithm 1);
 //! * [`mapping`] — splitting, homogenization, dynamic thresholds, layout;
 //! * [`cost`] — area/power/energy model;
@@ -52,6 +54,7 @@ pub use sei_cost as cost;
 pub use sei_crossbar as crossbar;
 pub use sei_device as device;
 pub use sei_engine as engine;
+pub use sei_estimate as estimate;
 pub use sei_faults as faults;
 pub use sei_lifecycle as lifecycle;
 pub use sei_mapping as mapping;

@@ -17,7 +17,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sei::core::{AcceleratorBuilder, EvalScratch};
-use sei::crossbar::{NoiseCtx, ReadScratch, SeiConfig, SeiCrossbar, SeiMode};
+use sei::crossbar::{
+    EstimatorMode, KernelMode, NoiseCtx, ReadScratch, SeiConfig, SeiCrossbar, SeiMode,
+};
 use sei::device::{DeviceSpec, NoiseKey};
 use sei::lifecycle::{simulate_lifecycle, LifecycleConfig, UpdatePlan, UpdateStrategy};
 use sei::nn::data::SynthConfig;
@@ -117,6 +119,102 @@ fn mapped_forward_does_not_allocate_per_read() {
         per_image <= 64,
         "forward allocated {per_image} times (budget 64, {reads} reads)"
     );
+}
+
+#[test]
+fn mapped_forward_with_estimator_does_not_allocate_per_read() {
+    // Same contract as `mapped_forward_does_not_allocate_per_read`, but
+    // with the activation estimator pinned on: the prescan bound check,
+    // the skip mask, and the estimated read's staging buffers must all
+    // live in the warmed scratch, adding zero per-read allocations over
+    // the estimator-off path.
+    let train = SynthConfig::new(300, 41).generate();
+    let mut net = paper::network2(42);
+    Trainer::new(TrainConfig {
+        epochs: 1,
+        ..TrainConfig::default()
+    })
+    .fit(&mut net, &train);
+    let acc = AcceleratorBuilder::new(net)
+        .with_seed(5)
+        .build(&train.truncated(60))
+        .unwrap();
+
+    for est in [EstimatorMode::Prescan, EstimatorMode::Running] {
+        let hw = acc.crossbar_network_with_estimator(est);
+        let (img, _) = train.sample(0);
+        let mut scratch = EvalScratch::new();
+
+        let warm = hw.classify_scratch(img, 0, &mut scratch);
+
+        counters::reset();
+        let before = allocs();
+        let steady = hw.classify_scratch(img, 1, &mut scratch);
+        let after = allocs();
+        let reads = counters::get(Event::CrossbarReadOps);
+        let _ = warm;
+        let _ = steady;
+
+        let per_image = after - before;
+        assert!(
+            reads > 64,
+            "{est}: network too small to be meaningful: {reads} reads"
+        );
+        assert!(
+            per_image <= 64,
+            "{est}: forward allocated {per_image} times (budget 64, {reads} reads)"
+        );
+    }
+}
+
+#[test]
+fn batched_read_with_estimator_does_not_allocate_per_read() {
+    // Estimator-on variant of `batched_read_does_not_allocate_per_read`:
+    // the estimated batch path stages each image's fires in a
+    // scratch-owned buffer and routes through the single-read estimated
+    // path, all of which must be warm after one pass.
+    use rand::Rng;
+    let rows = 48;
+    let cols = 12;
+    let batch = 16;
+    let mut rng = StdRng::seed_from_u64(13);
+    let wm = Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect(),
+    );
+    let spec = DeviceSpec::default_4bit();
+    let cfg = SeiConfig::new(SeiMode::SignedPorts);
+    let xbar = SeiCrossbar::new(&spec, &wm, &vec![0.0; cols], 0.1, &cfg, &mut rng);
+
+    let inputs: Vec<bool> = (0..rows * batch).map(|_| rng.gen_bool(0.6)).collect();
+    let root = NoiseCtx::keyed(NoiseKey::new(3)).tile(1);
+    let ctxs: Vec<NoiseCtx> = (0..batch).map(|i| root.image(i as u64)).collect();
+
+    // The scalar backend is exempt: it is the deliberately naive
+    // readable reference and allocates its accumulators per read. The
+    // estimator must keep the production backends (packed, simd)
+    // allocation-free.
+    for est in [EstimatorMode::Prescan, EstimatorMode::Running] {
+        for mode in [KernelMode::Packed, KernelMode::Simd] {
+            let mut scratch = ReadScratch::new();
+            let mut fires = Vec::new();
+            // Warm-up sizes every buffer, including the estimator's.
+            xbar.forward_batch_into_opts(&inputs, &ctxs, &mut scratch, &mut fires, mode, est);
+
+            let before = allocs();
+            xbar.forward_batch_into_opts(&inputs, &ctxs, &mut scratch, &mut fires, mode, est);
+            let after = allocs();
+            assert_eq!(
+                after - before,
+                0,
+                "{mode}/{est}: warm estimated batched read allocated {} times",
+                after - before
+            );
+        }
+    }
 }
 
 #[test]
